@@ -1,0 +1,352 @@
+//! Derand-style imputation under similarity rules (Song et al., paper
+//! ref. \[23\]).
+//!
+//! Derand treats imputation as *maximizing the number of imputed cells*
+//! subject to differential-dependency (DD) similarity rules. The original
+//! derandomizes a randomized rounding of an integer program by the method
+//! of conditional expectations. This reimplementation keeps that skeleton:
+//!
+//! 1. **Candidate generation** — for every missing cell, collect the
+//!    values of tuples that are LHS-similar under *any* rule with the
+//!    missing attribute on its RHS (the same `RfdSet` RENUVER receives is
+//!    used as the DD set, exactly as the paper's comparison does).
+//! 2. **Derandomized assignment** — cells are processed in order; for each,
+//!    every candidate is scored by the number of rule violations the
+//!    relation would hold after placing it (the conditional expectation of
+//!    the objective given choices so far), and the minimum-violation
+//!    candidate is committed. A cell with candidates is **always imputed**
+//!    — Derand trades precision for fill count, which is exactly the
+//!    behaviour the paper measures (high fill, precision well below
+//!    RENUVER's).
+//!
+//! Placing a value in `(row, attr)` only changes violations of rules that
+//! mention `attr`, so the violation-count delta is evaluated against a
+//! per-cell precomputed plan (same hoisting RENUVER's verifier uses);
+//! rules not mentioning `attr` contribute a candidate-independent constant
+//! that cannot affect the argmin.
+
+use renuver_data::{AttrId, Cell, Relation, Value};
+use renuver_distance::DistanceOracle;
+use renuver_rfd::{Rfd, RfdSet};
+
+/// Configuration for [`Derand`].
+#[derive(Debug, Clone)]
+pub struct DerandConfig {
+    /// Cap on candidates evaluated per cell (the IP relaxation's support).
+    pub max_candidates_per_cell: usize,
+}
+
+impl Default for DerandConfig {
+    fn default() -> Self {
+        DerandConfig { max_candidates_per_cell: 64 }
+    }
+}
+
+/// The Derand-style imputer.
+#[derive(Debug, Clone, Default)]
+pub struct Derand {
+    config: DerandConfig,
+}
+
+/// The candidate-dependent part of the violation count for one cell.
+struct CountPlan {
+    /// `(attr threshold, rows)`: +1 violation per row whose `attr` value is
+    /// within the threshold of the candidate (LHS-relevant rules whose RHS
+    /// is already violated).
+    close_counts: Vec<(f64, Vec<usize>)>,
+    /// `(RHS threshold, rows)`: +1 violation per row whose `attr` value is
+    /// beyond the threshold from the candidate (rules with `attr` as RHS
+    /// and a satisfied LHS).
+    far_counts: Vec<(f64, Vec<usize>)>,
+}
+
+impl CountPlan {
+    fn build(
+        oracle: &DistanceOracle,
+        rel: &Relation,
+        rules: &RfdSet,
+        cell: Cell,
+    ) -> CountPlan {
+        let (row, attr) = (cell.row, cell.col);
+        let t = rel.tuple(row);
+        let mut close_counts = Vec::new();
+        let mut far_counts = Vec::new();
+        for rfd in rules.iter() {
+            if rfd.lhs_contains(attr) {
+                let rhs = rfd.rhs();
+                if t[rhs.attr].is_null() {
+                    continue;
+                }
+                let attr_thr = rfd
+                    .lhs()
+                    .iter()
+                    .find(|c| c.attr == attr)
+                    .expect("lhs_contains checked")
+                    .threshold;
+                let mut rows = Vec::new();
+                'rows: for j in 0..rel.len() {
+                    if j == row || rel.is_missing(j, attr) || rel.is_missing(j, rhs.attr) {
+                        continue;
+                    }
+                    for c in rfd.lhs() {
+                        if c.attr != attr
+                            && oracle
+                                .distance_bounded(rel, c.attr, row, j, c.threshold)
+                                .is_none()
+                        {
+                            continue 'rows;
+                        }
+                    }
+                    if oracle
+                        .distance_bounded(rel, rhs.attr, row, j, rhs.threshold)
+                        .is_none()
+                    {
+                        rows.push(j);
+                    }
+                }
+                if !rows.is_empty() {
+                    close_counts.push((attr_thr, rows));
+                }
+            } else if rfd.rhs_attr() == attr {
+                let mut rows = Vec::new();
+                'rows2: for j in 0..rel.len() {
+                    if j == row || rel.is_missing(j, attr) {
+                        continue;
+                    }
+                    for c in rfd.lhs() {
+                        if oracle
+                            .distance_bounded(rel, c.attr, row, j, c.threshold)
+                            .is_none()
+                        {
+                            continue 'rows2;
+                        }
+                    }
+                    rows.push(j);
+                }
+                if !rows.is_empty() {
+                    far_counts.push((rfd.rhs_threshold(), rows));
+                }
+            }
+        }
+        CountPlan { close_counts, far_counts }
+    }
+
+    /// Violations introduced by taking the value of `donor_row`.
+    fn violations(
+        &self,
+        oracle: &DistanceOracle,
+        rel: &Relation,
+        attr: AttrId,
+        donor_row: usize,
+    ) -> usize {
+        let mut count = 0;
+        for (thr, rows) in &self.close_counts {
+            count += rows
+                .iter()
+                .filter(|&&j| oracle.distance_bounded(rel, attr, donor_row, j, *thr).is_some())
+                .count();
+        }
+        for (thr, rows) in &self.far_counts {
+            count += rows
+                .iter()
+                .filter(|&&j| oracle.distance_bounded(rel, attr, donor_row, j, *thr).is_none())
+                .count();
+        }
+        count
+    }
+}
+
+impl Derand {
+    /// Creates the imputer.
+    pub fn new(config: DerandConfig) -> Self {
+        Derand { config }
+    }
+
+    /// Imputes the relation under the rule set, returning the repaired
+    /// relation.
+    pub fn impute(&self, rel: &Relation, rules: &RfdSet) -> Relation {
+        let mut out = rel.clone();
+        let mut oracle = DistanceOracle::build(&out, 3000);
+        for cell in rel.missing_cells() {
+            let candidates = self.candidates(&oracle, &out, rules, cell);
+            if candidates.is_empty() {
+                continue;
+            }
+            let plan = CountPlan::build(&oracle, &out, rules, cell);
+            // Derandomized choice: the candidate whose placement minimizes
+            // the violation count against the current relation state; ties
+            // break on the value ordering for determinism.
+            let best = candidates
+                .into_iter()
+                .map(|donor| {
+                    let violations = plan.violations(&oracle, &out, cell.col, donor);
+                    (violations, out.value(donor, cell.col).clone())
+                })
+                .min_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+            if let Some((_, v)) = best {
+                out.set_value(cell.row, cell.col, v);
+                oracle.update_cell(&out, cell.row, cell.col);
+            }
+        }
+        out
+    }
+
+    /// Donor rows LHS-similar to `cell.row` under any rule with `cell.col`
+    /// on the RHS — one per distinct value, in deterministic order.
+    fn candidates(
+        &self,
+        oracle: &DistanceOracle,
+        rel: &Relation,
+        rules: &RfdSet,
+        cell: Cell,
+    ) -> Vec<usize> {
+        let mut donors: Vec<usize> = Vec::new();
+        let mut values: Vec<Value> = Vec::new();
+        for idx in rules.rhs_index(cell.col) {
+            let rfd = rules.get(idx);
+            for j in 0..rel.len() {
+                if j == cell.row || rel.is_missing(j, cell.col) {
+                    continue;
+                }
+                if lhs_similar(oracle, rel, rfd, cell.row, j) {
+                    let v = rel.value(j, cell.col);
+                    if !values.contains(v) {
+                        values.push(v.clone());
+                        donors.push(j);
+                    }
+                }
+            }
+        }
+        // Deterministic order by value, then cap.
+        let mut paired: Vec<(Value, usize)> = values.into_iter().zip(donors).collect();
+        paired.sort_by(|a, b| a.0.total_cmp(&b.0));
+        paired.truncate(self.config.max_candidates_per_cell);
+        paired.into_iter().map(|(_, d)| d).collect()
+    }
+}
+
+/// LHS similarity of a tuple pair under one rule.
+fn lhs_similar(
+    oracle: &DistanceOracle,
+    rel: &Relation,
+    rfd: &Rfd,
+    i: usize,
+    j: usize,
+) -> bool {
+    rfd.lhs()
+        .iter()
+        .all(|c| oracle.distance_bounded(rel, c.attr, i, j, c.threshold).is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renuver_data::{AttrType, Schema};
+    use renuver_rfd::Constraint;
+
+    fn rel(rows: Vec<Vec<Value>>) -> Relation {
+        let schema = Schema::new([("A", AttrType::Int), ("B", AttrType::Int)]).unwrap();
+        Relation::new(schema, rows).unwrap()
+    }
+
+    fn rule_a_to_b() -> RfdSet {
+        RfdSet::from_vec(vec![Rfd::new(
+            vec![Constraint::new(0, 1.0)],
+            Constraint::new(1, 0.0),
+        )])
+    }
+
+    #[test]
+    fn imputes_similar_tuple_value() {
+        let r = rel(vec![
+            vec![Value::Int(10), Value::Int(7)],
+            vec![Value::Int(10), Value::Null],
+            vec![Value::Int(50), Value::Int(99)],
+        ]);
+        let out = Derand::default().impute(&r, &rule_a_to_b());
+        assert_eq!(out.value(1, 1), &Value::Int(7));
+    }
+
+    #[test]
+    fn always_imputes_when_candidates_exist() {
+        // Conflicting candidates: rows 0 and 1 both A-similar to row 2 but
+        // with different B. RENUVER would leave the cell missing; Derand
+        // picks the lower-violation (here: either) value anyway.
+        let r = rel(vec![
+            vec![Value::Int(10), Value::Int(7)],
+            vec![Value::Int(10), Value::Int(9)],
+            vec![Value::Int(10), Value::Null],
+        ]);
+        let out = Derand::default().impute(&r, &rule_a_to_b());
+        assert!(!out.is_missing(2, 1));
+    }
+
+    #[test]
+    fn prefers_lower_violation_candidate() {
+        // Candidates 7 (violates against two tuples) and 9 (violates
+        // against one): 9 must win even though 7 sorts first.
+        let r = rel(vec![
+            vec![Value::Int(10), Value::Int(9)],
+            vec![Value::Int(11), Value::Int(9)],
+            vec![Value::Int(12), Value::Int(7)],
+            vec![Value::Int(10), Value::Null],
+        ]);
+        // A(≤2) → B(≤0): candidates for row 3 are {7, 9}; value 7 violates
+        // against rows 0/1, value 9 violates only against row 2.
+        let rules = RfdSet::from_vec(vec![Rfd::new(
+            vec![Constraint::new(0, 2.0)],
+            Constraint::new(1, 0.0),
+        )]);
+        let out = Derand::default().impute(&r, &rules);
+        assert_eq!(out.value(3, 1), &Value::Int(9));
+    }
+
+    #[test]
+    fn no_rules_no_imputations() {
+        let r = rel(vec![
+            vec![Value::Int(10), Value::Int(7)],
+            vec![Value::Int(10), Value::Null],
+        ]);
+        let out = Derand::default().impute(&r, &RfdSet::new());
+        assert!(out.is_missing(1, 1));
+    }
+
+    #[test]
+    fn earlier_imputations_feed_later_cells() {
+        let r = rel(vec![
+            vec![Value::Int(10), Value::Int(7)],
+            vec![Value::Int(10), Value::Null],
+            vec![Value::Int(10), Value::Null],
+        ]);
+        let out = Derand::default().impute(&r, &rule_a_to_b());
+        assert_eq!(out.value(1, 1), &Value::Int(7));
+        assert_eq!(out.value(2, 1), &Value::Int(7));
+    }
+
+    #[test]
+    fn candidate_cap_respected() {
+        let mut rows: Vec<Vec<Value>> = (0..20)
+            .map(|i| vec![Value::Int(10), Value::Int(i)])
+            .collect();
+        rows.push(vec![Value::Int(10), Value::Null]);
+        let r = rel(rows);
+        let derand = Derand::new(DerandConfig { max_candidates_per_cell: 3 });
+        // With the cap, only the three smallest values compete.
+        let out = derand.impute(&r, &rule_a_to_b());
+        match out.value(20, 1) {
+            Value::Int(v) => assert!((0..3).contains(v)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let r = rel(vec![
+            vec![Value::Int(10), Value::Int(7)],
+            vec![Value::Int(11), Value::Int(9)],
+            vec![Value::Int(10), Value::Null],
+        ]);
+        let d = Derand::default();
+        assert_eq!(d.impute(&r, &rule_a_to_b()), d.impute(&r, &rule_a_to_b()));
+    }
+}

@@ -1,0 +1,26 @@
+//! Comparator imputation approaches (paper Section 6.3).
+//!
+//! The paper benchmarks RENUVER against three strategies, each reimplemented
+//! here at algorithmic fidelity (the originals are Java/Python systems; see
+//! DESIGN.md, substitution 3):
+//!
+//! - [`knn`] — the grey-relational nearest-neighbour imputer of Huang & Lee
+//!   (ref. \[14\]): grey relational coefficients rank complete tuples, the
+//!   top-k donate via weighted mean (numeric) or weighted mode
+//!   (categorical).
+//! - [`derand`] — the Derand algorithm of Song et al. (ref. \[23\]):
+//!   candidates from differential-dependency similarity (the same RFD set
+//!   RENUVER receives), then a derandomized conditional-expectation pass
+//!   that maximizes the number of imputed cells.
+//! - [`holoclean`] — the probabilistic-inference core of Holoclean (ref.
+//!   \[20\]): pruned candidate domains, co-occurrence and frequency features,
+//!   and denial-constraint violation penalties combined in a log-linear
+//!   score.
+
+pub mod derand;
+pub mod holoclean;
+pub mod knn;
+
+pub use derand::{Derand, DerandConfig};
+pub use holoclean::{Holoclean, HolocleanConfig};
+pub use knn::{GreyKnn, GreyKnnConfig};

@@ -1,0 +1,85 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! cluster visiting order, verification scope, key re-evaluation, and the
+//! candidate cap. Each toggle is measured on the Restaurant dataset at 3%
+//! missing with the threshold-15 RFD set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use renuver_bench::{rfds_for, DATA_SEED};
+use renuver_core::{ClusterOrder, ImputationOrder, Renuver, RenuverConfig, VerifyScope};
+use renuver_datasets::Dataset;
+use renuver_eval::inject;
+
+fn configs() -> Vec<(&'static str, RenuverConfig)> {
+    vec![
+        ("paper_default", RenuverConfig::default()),
+        (
+            "clusters_descending",
+            RenuverConfig {
+                cluster_order: ClusterOrder::Descending,
+                ..RenuverConfig::default()
+            },
+        ),
+        (
+            "verify_full_sigma",
+            RenuverConfig { verify_scope: VerifyScope::Full, ..RenuverConfig::default() },
+        ),
+        (
+            "no_key_reactivation",
+            RenuverConfig { skip_key_reevaluation: true, ..RenuverConfig::default() },
+        ),
+        (
+            "candidate_cap_8",
+            RenuverConfig {
+                max_candidates_per_cluster: Some(8),
+                ..RenuverConfig::default()
+            },
+        ),
+        (
+            "column_major_order",
+            RenuverConfig {
+                imputation_order: ImputationOrder::ColumnMajor,
+                ..RenuverConfig::default()
+            },
+        ),
+        (
+            "fewest_missing_first",
+            RenuverConfig {
+                imputation_order: ImputationOrder::FewestMissingFirst,
+                ..RenuverConfig::default()
+            },
+        ),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let ds = Dataset::Restaurant;
+    let rel = ds.relation(DATA_SEED);
+    let rfds = rfds_for(ds, 15.0);
+    let (incomplete, _) = inject(&rel, 0.03, 1);
+
+    let mut g = c.benchmark_group("ablation_restaurant");
+    g.sample_size(10);
+    for (name, config) in configs() {
+        let engine = Renuver::new(config);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &incomplete, |bench, rel| {
+            bench.iter(|| engine.impute(black_box(rel), &rfds))
+        });
+    }
+    g.finish();
+
+    // Also report the quality impact once per configuration, so the
+    // ablation output pairs time with effect (printed, not measured).
+    println!("\nablation quality (imputed / missing, verification failures):");
+    for (name, config) in configs() {
+        let result = Renuver::new(config).impute(&incomplete, &rfds);
+        println!(
+            "  {name:22} {} / {} imputed, {} rejected candidates",
+            result.stats.imputed, result.stats.missing_total, result.stats.verification_failures
+        );
+    }
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Benchmarks of metadata discovery: RFD discovery across datasets and
+//! threshold limits, scaling with tuple count, and DC discovery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use renuver_bench::{discovery_config, DATA_SEED};
+use renuver_datasets::{physician, Dataset};
+use renuver_dc::{discover_dcs, DcDiscoveryConfig};
+use renuver_rfd::discovery::discover;
+
+fn bench_rfd_discovery_datasets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rfd_discovery");
+    g.sample_size(10);
+    for ds in Dataset::all() {
+        let rel = ds.relation(DATA_SEED);
+        for limit in [3.0, 15.0] {
+            let cfg = discovery_config(limit);
+            g.bench_with_input(
+                BenchmarkId::new(ds.name(), format!("limit{limit}")),
+                &rel,
+                |bench, rel| bench.iter(|| discover(black_box(rel), &cfg)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_rfd_discovery_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rfd_discovery_scaling");
+    g.sample_size(10);
+    for n in [104usize, 208, 1036] {
+        let rel = physician::generate(n, DATA_SEED);
+        let cfg = discovery_config(3.0);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &rel, |bench, rel| {
+            bench.iter(|| discover(black_box(rel), &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dc_discovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dc_discovery");
+    g.sample_size(10);
+    for ds in [Dataset::Restaurant, Dataset::Glass] {
+        let rel = ds.relation(DATA_SEED);
+        g.bench_with_input(BenchmarkId::from_parameter(ds.name()), &rel, |bench, rel| {
+            bench.iter(|| discover_dcs(black_box(rel), &DcDiscoveryConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_skyline_vs_naive(c: &mut Criterion) {
+    // The skyline search against the brute-force reference, on an input
+    // small enough for the reference to finish (12 tuples, 3 attributes,
+    // grid limit 3, LHS ≤ 2).
+    use renuver_data::{AttrType, Relation, Schema, Value};
+    use renuver_rfd::discovery::DiscoveryConfig;
+    use renuver_rfd::naive::{discover_naive, NaiveConfig};
+    let schema = Schema::new([
+        ("A", AttrType::Int),
+        ("B", AttrType::Int),
+        ("C", AttrType::Int),
+    ])
+    .unwrap();
+    let rows: Vec<_> = (0..12i64)
+        .map(|i| vec![Value::Int(i % 5), Value::Int(i % 3 * 4), Value::Int(i)])
+        .collect();
+    let rel = Relation::new(schema, rows).unwrap();
+    let mut g = c.benchmark_group("skyline_vs_naive");
+    g.sample_size(10);
+    let cfg = DiscoveryConfig { max_lhs: 2, parallel: false, ..DiscoveryConfig::with_limit(3.0) };
+    g.bench_function("skyline", |b| b.iter(|| discover(black_box(&rel), &cfg)));
+    g.bench_function("naive", |b| {
+        b.iter(|| discover_naive(black_box(&rel), &NaiveConfig::new(3, 2)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rfd_discovery_datasets,
+    bench_rfd_discovery_scaling,
+    bench_dc_discovery,
+    bench_skyline_vs_naive
+);
+criterion_main!(benches);

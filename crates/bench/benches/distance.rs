@@ -1,0 +1,99 @@
+//! Microbenchmarks of the distance kernels: plain vs bounded Levenshtein,
+//! value distances, distance patterns, and the dictionary-encoded oracle
+//! against direct computation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use renuver_bench::DATA_SEED;
+use renuver_datasets::Dataset;
+use renuver_distance::functions::{levenshtein, levenshtein_bounded, value_distance};
+use renuver_distance::{DistanceOracle, DistancePattern};
+
+fn bench_levenshtein(c: &mut Criterion) {
+    let mut g = c.benchmark_group("levenshtein");
+    let pairs = [
+        ("short", "Granita", "Citrus"),
+        ("phone", "310/456-0488", "310-392-9025"),
+        ("long", "Chinois on Main Santa Monica", "C. Main St. Santa Monica CA"),
+    ];
+    for (name, a, b) in pairs {
+        g.bench_function(format!("plain/{name}"), |bench| {
+            bench.iter(|| levenshtein(black_box(a), black_box(b)))
+        });
+        g.bench_function(format!("bounded3/{name}"), |bench| {
+            bench.iter(|| levenshtein_bounded(black_box(a), black_box(b), 3))
+        });
+    }
+    g.finish();
+}
+
+fn bench_value_distance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("value_distance");
+    let text_a = renuver_data::Value::from("Los Angeles");
+    let text_b = renuver_data::Value::from("LA");
+    let num_a = renuver_data::Value::Float(1.51761);
+    let num_b = renuver_data::Value::Float(1.52101);
+    g.bench_function("text", |bench| {
+        bench.iter(|| value_distance(black_box(&text_a), black_box(&text_b)))
+    });
+    g.bench_function("numeric", |bench| {
+        bench.iter(|| value_distance(black_box(&num_a), black_box(&num_b)))
+    });
+    g.finish();
+}
+
+fn bench_pattern(c: &mut Criterion) {
+    let rel = Dataset::Restaurant.relation(DATA_SEED);
+    c.bench_function("distance_pattern/restaurant_row_pair", |bench| {
+        bench.iter(|| DistancePattern::between_rows(black_box(&rel), 10, 700))
+    });
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let rel = Dataset::Restaurant.relation(DATA_SEED);
+    let mut g = c.benchmark_group("oracle");
+    g.sample_size(20);
+    g.bench_function("build/restaurant", |bench| {
+        bench.iter_batched(
+            || &rel,
+            |rel| DistanceOracle::build(black_box(rel), 3000),
+            BatchSize::LargeInput,
+        )
+    });
+    let cached = DistanceOracle::build(&rel, 3000);
+    let direct = DistanceOracle::direct(&rel);
+    // A full column scan, the shape of candidate generation.
+    g.bench_function("column_scan/cached", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for j in 0..rel.len() {
+                if let Some(d) = cached.distance(&rel, 0, 5, j) {
+                    acc += d;
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("column_scan/direct", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for j in 0..rel.len() {
+                if let Some(d) = direct.distance(&rel, 0, 5, j) {
+                    acc += d;
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_levenshtein,
+    bench_value_distance,
+    bench_pattern,
+    bench_oracle
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! End-to-end imputation benchmarks: all four approaches on each dataset
+//! with 3% injected missing values and pre-discovered metadata — the
+//! engine-time core of the paper's Tables 4–5 measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use renuver_baselines::{Derand, DerandConfig, GreyKnn, GreyKnnConfig, Holoclean, HolocleanConfig};
+use renuver_bench::{rfds_for, DATA_SEED};
+use renuver_core::{Renuver, RenuverConfig};
+use renuver_datasets::Dataset;
+use renuver_dc::{discover_dcs, DcDiscoveryConfig};
+use renuver_eval::inject;
+
+fn bench_imputers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("impute_3pct");
+    g.sample_size(10);
+    for ds in Dataset::all() {
+        let rel = ds.relation(DATA_SEED);
+        let rfds = rfds_for(ds, 15.0);
+        let dcs = discover_dcs(&rel, &DcDiscoveryConfig::default());
+        let (incomplete, _) = inject(&rel, 0.03, 1);
+
+        let renuver = Renuver::new(RenuverConfig::default());
+        g.bench_with_input(
+            BenchmarkId::new("renuver", ds.name()),
+            &incomplete,
+            |bench, rel| bench.iter(|| renuver.impute(black_box(rel), &rfds)),
+        );
+
+        let derand = Derand::new(DerandConfig::default());
+        g.bench_with_input(
+            BenchmarkId::new("derand", ds.name()),
+            &incomplete,
+            |bench, rel| bench.iter(|| derand.impute(black_box(rel), &rfds)),
+        );
+
+        let holoclean = Holoclean::new(HolocleanConfig::default());
+        g.bench_with_input(
+            BenchmarkId::new("holoclean", ds.name()),
+            &incomplete,
+            |bench, rel| bench.iter(|| holoclean.impute(black_box(rel), &dcs)),
+        );
+
+        let knn = GreyKnn::new(GreyKnnConfig::default());
+        g.bench_with_input(
+            BenchmarkId::new("knn", ds.name()),
+            &incomplete,
+            |bench, rel| bench.iter(|| knn.impute(black_box(rel))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_missing_rate_scaling(c: &mut Criterion) {
+    // RENUVER's cost versus the missing rate (the Table 4 stress axis).
+    let mut g = c.benchmark_group("renuver_by_rate");
+    g.sample_size(10);
+    let ds = Dataset::Restaurant;
+    let rel = ds.relation(DATA_SEED);
+    let rfds = rfds_for(ds, 15.0);
+    let renuver = Renuver::new(RenuverConfig::default());
+    for rate in [0.05, 0.20, 0.40] {
+        let (incomplete, _) = inject(&rel, rate, 1);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}pct", (rate * 100.0) as u32)),
+            &incomplete,
+            |bench, rel| bench.iter(|| renuver.impute(black_box(rel), &rfds)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_tuple_scaling(c: &mut Criterion) {
+    // RENUVER's cost versus the instance size on Restaurant-structured
+    // data (fixed 3% missing, metadata discovered per size).
+    let mut g = c.benchmark_group("renuver_by_tuples");
+    g.sample_size(10);
+    let renuver = Renuver::new(RenuverConfig::default());
+    for n in [216usize, 432, 864, 1728] {
+        let rel = Dataset::Restaurant.relation_n(n, DATA_SEED);
+        let rfds = renuver_rfd::discovery::discover(
+            &rel,
+            &renuver_bench::discovery_config(15.0),
+        );
+        let (incomplete, _) = inject(&rel, 0.03, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &incomplete, |bench, rel| {
+            bench.iter(|| renuver.impute(black_box(rel), &rfds))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_imputers, bench_missing_rate_scaling, bench_tuple_scaling);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Reproduces **Figure 3**: comparative evaluation by missing rate.
+//!
+//! - Figures 3a–3c: RENUVER vs Derand vs Holoclean on **Restaurant**
+//!   (recall, precision, F1), RFD threshold limit 15.
+//! - Figures 3d–3f: the same plus the numeric-only **kNN** on **Glass**,
+//!   RFD threshold limit 15.
+//!
+//! Every approach sees the same injected datasets (paper: "All
+//! experimental sessions were performed on the same sets of missing
+//! values"); Holoclean consumes automatically discovered denial
+//! constraints, and both dependency-driven approaches share one RFD set.
+
+use renuver_bench::{fmt_score, print_header, print_row, rfds_for, seeds, CsvSink, DATA_SEED, MISSING_RATES};
+use renuver_baselines::{DerandConfig, GreyKnnConfig, HolocleanConfig};
+use renuver_core::RenuverConfig;
+use renuver_datasets::Dataset;
+use renuver_dc::{discover_dcs, DcDiscoveryConfig};
+use renuver_eval::{
+    average_scores, run_variants_parallel as run_variants, DerandImputer, GreyKnnImputer, HolocleanImputer, Imputer,
+    RenuverImputer,
+};
+
+fn main() {
+    let seeds = seeds();
+    let mut csv = CsvSink::new("dataset,approach,rate,recall,precision,f1");
+    println!(
+        "Figure 3: comparative evaluation by missing rate ({} seeds per cell)\n",
+        seeds.len()
+    );
+    for (ds, with_knn, fig) in [
+        (Dataset::Restaurant, false, "3a-3c"),
+        (Dataset::Glass, true, "3d-3f"),
+    ] {
+        let rel = ds.relation(DATA_SEED);
+        let rules = ds.rules();
+        let rfds = rfds_for(ds, 15.0);
+        let dcs = discover_dcs(&rel, &DcDiscoveryConfig::default());
+        println!(
+            "== {} (Figures {fig}) — {} RFDs, {} DCs ==",
+            ds.name(),
+            rfds.len(),
+            dcs.len()
+        );
+        let mut imputers: Vec<Box<dyn Imputer>> = vec![
+            Box::new(RenuverImputer::new(RenuverConfig::default(), rfds.clone())),
+            Box::new(DerandImputer::new(DerandConfig::default(), rfds.clone())),
+            Box::new(HolocleanImputer::new(HolocleanConfig::default(), dcs)),
+        ];
+        if with_knn {
+            imputers.push(Box::new(GreyKnnImputer::new(GreyKnnConfig::default())));
+        }
+
+        // One imputation grid, printed three ways.
+        let mut grid: Vec<(String, Vec<renuver_eval::Scores>)> = Vec::new();
+        for imp in &imputers {
+            let mut row = Vec::new();
+            for &rate in &MISSING_RATES {
+                let avg =
+                    average_scores(&run_variants(&rel, &rules, imp.as_ref(), rate, &seeds));
+                csv.push(format!(
+                    "{},{},{rate},{:.4},{:.4},{:.4}",
+                    ds.name(),
+                    imp.name(),
+                    avg.scores.recall,
+                    avg.scores.precision,
+                    avg.scores.f1
+                ));
+                row.push(avg.scores);
+            }
+            grid.push((imp.name().to_owned(), row));
+        }
+        for metric in ["Recall", "Precision", "F1-measure"] {
+            println!("-- {metric} --");
+            let widths = [10, 7, 7, 7, 7, 7];
+            print_header(&["approach", "1%", "2%", "3%", "4%", "5%"], &widths);
+            for (name, row) in &grid {
+                let mut cells = vec![name.clone()];
+                for scores in row {
+                    let v = match metric {
+                        "Recall" => scores.recall,
+                        "Precision" => scores.precision,
+                        _ => scores.f1,
+                    };
+                    cells.push(fmt_score(v));
+                }
+                print_row(&cells, &widths);
+            }
+            println!();
+        }
+    }
+    println!(
+        "Paper shape: RENUVER leads every metric; its precision stays above \
+         ~0.8 while Derand peaks near 0.55 and Holoclean near 0.47; on \
+         Glass the margins widen and Derand collapses."
+    );
+    csv.write_if_requested();
+}

@@ -1,0 +1,24 @@
+//! Developer tool: times discovery and one RENUVER imputation run per
+//! benchmark dataset at threshold limit 15 and 5% missing. Not part of a
+//! paper experiment; useful for spotting performance regressions quickly.
+
+use renuver_bench::{rfds_for, DATA_SEED};
+use renuver_core::{Renuver, RenuverConfig};
+use renuver_datasets::Dataset;
+use renuver_eval::inject;
+use std::time::Instant;
+
+fn main() {
+    for ds in [Dataset::Restaurant, Dataset::Cars, Dataset::Glass, Dataset::Bridges] {
+        let rel = ds.relation(DATA_SEED);
+        let t0 = Instant::now();
+        let rfds = rfds_for(ds, 15.0);
+        let t_disc = t0.elapsed();
+        let (inc, _) = inject(&rel, 0.05, 1);
+        let t1 = Instant::now();
+        let res = Renuver::new(RenuverConfig::default()).impute(&inc, &rfds);
+        println!("{}: discovery {:?}, impute {:?}, rfds={}, missing={}, imputed={}, verif={}, cand={}",
+            ds.name(), t_disc, t1.elapsed(), rfds.len(), res.stats.missing_total,
+            res.stats.imputed, res.stats.verifications, res.stats.candidates_scored);
+    }
+}

@@ -1,0 +1,31 @@
+//! Developer tool: times all three metadata-driven approaches on the
+//! largest Physician rung (10 359 tuples, Table 5's stress point).
+
+use renuver_bench::discovery_config;
+use renuver_baselines::{Derand, DerandConfig, Holoclean, HolocleanConfig};
+use renuver_core::{Renuver, RenuverConfig};
+use renuver_datasets::physician;
+use renuver_dc::{discover_dcs, DcDiscoveryConfig};
+use renuver_eval::inject;
+use renuver_rfd::discovery::discover;
+use std::time::Instant;
+
+fn main() {
+    let rel = physician::generate(10359, 42);
+    let t = Instant::now();
+    let rfds = discover(&rel, &discovery_config(3.0));
+    println!("rfd discovery: {:?} ({} RFDs)", t.elapsed(), rfds.len());
+    let t = Instant::now();
+    let dcs = discover_dcs(&rel, &DcDiscoveryConfig::default());
+    println!("dc discovery: {:?} ({} DCs)", t.elapsed(), dcs.len());
+    let (inc, _) = inject(&rel, 0.01, 1);
+    let t = Instant::now();
+    let res = Renuver::new(RenuverConfig::default()).impute(&inc, &rfds);
+    println!("renuver: {:?} (imputed {}/{})", t.elapsed(), res.stats.imputed, res.stats.missing_total);
+    let t = Instant::now();
+    let _ = Derand::new(DerandConfig::default()).impute(&inc, &rfds);
+    println!("derand: {:?}", t.elapsed());
+    let t = Instant::now();
+    let _ = Holoclean::new(HolocleanConfig::default()).impute(&inc, &dcs);
+    println!("holoclean: {:?}", t.elapsed());
+}

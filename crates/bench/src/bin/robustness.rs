@@ -1,0 +1,91 @@
+//! Beyond the paper: robustness to the **missingness mechanism**.
+//!
+//! The paper's evaluation injects uniformly at random (MCAR). Real data
+//! loses values systematically — a source system that never records a
+//! field (column-concentrated, MAR-style) or drops extreme readings
+//! (value-biased, MNAR). This experiment reruns the Figure 3 comparison
+//! under all three mechanisms on Restaurant (Phone column) and Glass
+//! (highest-variance oxide), at 3% missing.
+//!
+//! Expected: dependency-driven imputation degrades gracefully under
+//! column-concentrated loss (donor attributes stay intact), while MNAR
+//! hurts everyone — but RENUVER's verification keeps precision ahead.
+
+use renuver_baselines::{DerandConfig, GreyKnnConfig, HolocleanConfig};
+use renuver_bench::{fmt_score, print_header, print_row, rfds_for, seeds, CsvSink, DATA_SEED};
+use renuver_core::RenuverConfig;
+use renuver_datasets::Dataset;
+use renuver_dc::{discover_dcs, DcDiscoveryConfig};
+use renuver_eval::sweep::Sweep;
+use renuver_eval::{
+    DerandImputer, GreyKnnImputer, HolocleanImputer, Imputer, InjectionPattern, RenuverImputer,
+};
+
+fn main() {
+    let seeds = seeds();
+    let mut csv = CsvSink::new("dataset,approach,pattern,recall,precision,f1");
+    println!(
+        "Robustness to the missingness mechanism (3% missing, {} seeds)\n",
+        seeds.len()
+    );
+    for (ds, biased_attr) in [(Dataset::Restaurant, "Phone"), (Dataset::Glass, "Ca")] {
+        let rel = ds.relation(DATA_SEED);
+        let rules = ds.rules();
+        let rfds = rfds_for(ds, 15.0);
+        let dcs = discover_dcs(&rel, &DcDiscoveryConfig::default());
+        let attr = rel.schema().require(biased_attr).expect("known attribute");
+
+        let mut imputers: Vec<Box<dyn Imputer>> = vec![
+            Box::new(RenuverImputer::new(RenuverConfig::default(), rfds.clone())),
+            Box::new(DerandImputer::new(DerandConfig::default(), rfds.clone())),
+            Box::new(HolocleanImputer::new(HolocleanConfig::default(), dcs)),
+        ];
+        if ds == Dataset::Glass {
+            imputers.push(Box::new(GreyKnnImputer::new(GreyKnnConfig::default())));
+        }
+        let patterns = [
+            ("MCAR", InjectionPattern::Mcar),
+            (
+                "MNAR",
+                InjectionPattern::ValueBiased { attr, bias: 8.0 },
+            ),
+            ("column", InjectionPattern::Columns(vec![attr])),
+        ];
+        let cells = Sweep {
+            relation: &rel,
+            rules: &rules,
+            imputers: &imputers,
+            patterns: &patterns,
+            rates: &[0.03],
+            seeds: &seeds,
+        }
+        .run();
+
+        println!("== {} (biased attribute: {biased_attr}) ==", ds.name());
+        let widths = [10, 8, 8, 10, 8];
+        print_header(&["approach", "pattern", "recall", "precision", "F1"], &widths);
+        for cell in &cells {
+            csv.push(format!(
+                "{},{},{},{:.4},{:.4},{:.4}",
+                ds.name(),
+                cell.imputer,
+                cell.pattern,
+                cell.outcome.scores.recall,
+                cell.outcome.scores.precision,
+                cell.outcome.scores.f1
+            ));
+            print_row(
+                &[
+                    cell.imputer.clone(),
+                    cell.pattern.clone(),
+                    fmt_score(cell.outcome.scores.recall),
+                    fmt_score(cell.outcome.scores.precision),
+                    fmt_score(cell.outcome.scores.f1),
+                ],
+                &widths,
+            );
+        }
+        println!();
+    }
+    csv.write_if_requested();
+}

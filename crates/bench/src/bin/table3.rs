@@ -1,0 +1,44 @@
+//! Reproduces **Table 3**: per-dataset statistics — attribute and tuple
+//! counts, the number of discovered RFDs at each threshold limit
+//! {3, 6, 9, 12, 15}, and the number of injected missing values at each
+//! missing rate 1%–5%.
+
+use renuver_bench::{discovery_config, print_header, print_row, DATA_SEED, MISSING_RATES, THRESHOLD_LIMITS};
+use renuver_datasets::Dataset;
+use renuver_eval::inject;
+use renuver_rfd::discovery::discover;
+
+fn main() {
+    println!("Table 3: details of the considered datasets (synthetic stand-ins)\n");
+    let widths = [10, 6, 6, 8, 8, 8, 8, 8, 6, 6, 6, 6, 6];
+    print_header(
+        &[
+            "Dataset", "Attrs", "Tuples", "thr=3", "thr=6", "thr=9", "thr=12",
+            "thr=15", "1%", "2%", "3%", "4%", "5%",
+        ],
+        &widths,
+    );
+    for ds in Dataset::all() {
+        let rel = ds.relation(DATA_SEED);
+        let mut cells = vec![
+            ds.name().to_string(),
+            rel.arity().to_string(),
+            rel.len().to_string(),
+        ];
+        for limit in THRESHOLD_LIMITS {
+            let rfds = discover(&rel, &discovery_config(limit));
+            cells.push(rfds.len().to_string());
+        }
+        for rate in MISSING_RATES {
+            let (_, truth) = inject(&rel, rate, 1);
+            cells.push(truth.len().to_string());
+        }
+        print_row(&cells, &widths);
+    }
+    println!(
+        "\nPaper reference (real datasets): Restaurant 6×864, Cars 9×406, \
+         Glass 11×214, Bridges 13×108; RFD counts grow with the threshold \
+         limit (e.g. Restaurant 25 → 1961). Absolute counts differ on the \
+         synthetic stand-ins; the growth pattern is the reproduced shape."
+    );
+}

@@ -1,0 +1,74 @@
+//! Reproduces **Table 5**: performance limits on the Physician dataset,
+//! varying the number of tuples over {104, 208, 1036, 2072, 10359} at a
+//! fixed 1% missing rate — per size: #RFDs, #DCs, and per approach the
+//! qualitative metrics, wall time, and peak heap.
+//!
+//! Discovery runs per size with RFD threshold limit 3 (the paper's choice
+//! for Physician). `--quick` stops the ladder at 1036 tuples.
+
+use renuver_bench::{discovery_config, fmt_score, print_header, print_row, quick_mode, seeds};
+use renuver_baselines::{DerandConfig, HolocleanConfig};
+use renuver_core::RenuverConfig;
+use renuver_datasets::physician;
+use renuver_dc::{discover_dcs, DcDiscoveryConfig};
+use renuver_eval::budget::{format_bytes, format_duration, TrackingAlloc};
+use renuver_eval::{
+    average_scores, run_variants, DerandImputer, HolocleanImputer, Imputer, RenuverImputer,
+};
+use renuver_rfd::discovery::discover;
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+fn main() {
+    let seeds = seeds();
+    let sizes: Vec<usize> = if quick_mode() {
+        physician::TABLE_5_SIZES[..3].to_vec()
+    } else {
+        physician::TABLE_5_SIZES.to_vec()
+    };
+    println!(
+        "Table 5: performance limits on Physician (18 attributes), \
+         1% missing, RFD limit 3, {} seeds\n",
+        seeds.len()
+    );
+    let widths = [7, 7, 6, 10, 7, 9, 8, 10, 9];
+    print_header(
+        &["tuples", "#RFDs", "#DCs", "approach", "recall", "precision", "F1", "time", "memory"],
+        &widths,
+    );
+    let rules = physician::rules();
+    for &n in &sizes {
+        let rel = physician::generate(n, 42);
+        let rfds = discover(&rel, &discovery_config(3.0));
+        let dcs = discover_dcs(&rel, &DcDiscoveryConfig::default());
+        let imputers: Vec<Box<dyn Imputer>> = vec![
+            Box::new(RenuverImputer::new(RenuverConfig::default(), rfds.clone())),
+            Box::new(DerandImputer::new(DerandConfig::default(), rfds.clone())),
+            Box::new(HolocleanImputer::new(HolocleanConfig::default(), dcs.clone())),
+        ];
+        for imp in &imputers {
+            let avg = average_scores(&run_variants(&rel, &rules, imp.as_ref(), 0.01, &seeds));
+            print_row(
+                &[
+                    n.to_string(),
+                    rfds.len().to_string(),
+                    dcs.len().to_string(),
+                    imp.name().to_owned(),
+                    fmt_score(avg.scores.recall),
+                    fmt_score(avg.scores.precision),
+                    fmt_score(avg.scores.f1),
+                    format_duration(avg.elapsed),
+                    format_bytes(avg.peak_bytes),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!(
+        "\nPaper shape: RENUVER and Holoclean scale to thousands of tuples \
+         while Derand's conditional-expectation pass grows fastest; \
+         Holoclean's co-occurrence tables dominate memory; RENUVER leads \
+         the qualitative metrics at every size."
+    );
+}

@@ -1,0 +1,715 @@
+//! The RENUVER main procedure (Algorithms 1 and 2).
+
+use renuver_data::{Cell, Relation};
+use renuver_distance::DistanceOracle;
+use renuver_rfd::check::stays_key_after_update_with;
+use renuver_rfd::{Rfd, RfdSet};
+
+use crate::candidates::{find_candidate_tuples, sort_candidates};
+use crate::config::{ClusterOrder, ImputationOrder, RenuverConfig};
+use crate::result::{ImputationResult, ImputationStats, ImputedCell, TraceEvent};
+use crate::verify::VerifyPlan;
+
+/// The RENUVER imputation engine.
+///
+/// ```
+/// use renuver_core::{Renuver, RenuverConfig};
+/// use renuver_rfd::{Constraint, Rfd, RfdSet};
+/// use renuver_data::{AttrType, Relation, Schema, Value};
+///
+/// let schema = Schema::new([("City", AttrType::Text), ("Zip", AttrType::Text)]).unwrap();
+/// let rel = Relation::new(schema, vec![
+///     vec!["Salerno".into(), "84084".into()],
+///     vec!["Salerno".into(), Value::Null],
+/// ]).unwrap();
+/// // City(≤0) → Zip(≤0): same city, same zip.
+/// let rfds = RfdSet::from_vec(vec![
+///     Rfd::new(vec![Constraint::new(0, 0.0)], Constraint::new(1, 0.0)),
+/// ]);
+/// let result = Renuver::new(RenuverConfig::default()).impute(&rel, &rfds);
+/// assert_eq!(result.relation.value(1, 1), &Value::Text("84084".into()));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Renuver {
+    config: RenuverConfig,
+}
+
+impl Renuver {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: RenuverConfig) -> Self {
+        Renuver { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &RenuverConfig {
+        &self.config
+    }
+
+    /// Runs RENUVER (Algorithm 1) over `rel` with the dependency set
+    /// `sigma`, returning the imputed relation and per-cell outcomes.
+    ///
+    /// The input relation is not modified; imputation happens on a clone
+    /// (`r'` in the paper's notation).
+    pub fn impute(&self, rel: &Relation, sigma: &RfdSet) -> ImputationResult {
+        self.impute_rows(rel, sigma, 0..rel.len())
+    }
+
+    /// Incremental imputation (the paper's Section 7 future-work item on
+    /// incremental scenarios): only the missing cells of the freshly
+    /// appended tuples `first_new_row..` are imputed; the existing tuples
+    /// serve as donors and consistency witnesses but are never modified.
+    ///
+    /// Appending a batch and calling this is equivalent to re-running the
+    /// full algorithm with the old rows' missing cells masked — the
+    /// pre-processing (key detection over the whole instance) and the
+    /// verification still consider every tuple.
+    pub fn impute_appended(
+        &self,
+        rel: &Relation,
+        first_new_row: usize,
+        sigma: &RfdSet,
+    ) -> ImputationResult {
+        self.impute_rows(rel, sigma, first_new_row..rel.len())
+    }
+
+    /// [`Renuver::impute`] restricted to missing cells in `row_range`.
+    /// Rows outside the range participate as candidate donors and in
+    /// verification but are never imputed — the engine of
+    /// [`Renuver::impute_with_donors`] and [`Renuver::impute_appended`].
+    pub(crate) fn impute_rows(
+        &self,
+        rel: &Relation,
+        sigma: &RfdSet,
+        row_range: std::ops::Range<usize>,
+    ) -> ImputationResult {
+        let mut rel = rel.clone();
+        let mut stats = ImputationStats::default();
+        // Dictionary-encode the text columns once; every distance query in
+        // key detection, candidate generation, and verification becomes a
+        // matrix lookup. Kept current after every imputation.
+        let mut oracle = DistanceOracle::build(&rel, 3000);
+
+        // Pre-processing (lines 1-6): Σ' = non-key RFDs; r̂ = incomplete
+        // tuples. `active` tracks Σ' membership so key-RFDs can be
+        // re-admitted after imputations (line 14 / Example 5.1).
+        let (non_keys, keys) = sigma.partition_keys_with(&oracle, &rel);
+        stats.keys_filtered = keys.len();
+        let mut active = vec![false; sigma.len()];
+        for &i in &non_keys {
+            active[i] = true;
+        }
+        let mut dormant_keys = keys;
+
+        let mut incomplete = rel.incomplete_rows();
+        incomplete.retain(|&row| row_range.contains(&row));
+        let mut imputed = Vec::new();
+        let mut unimputed = Vec::new();
+        let mut trace: Vec<TraceEvent> = Vec::new();
+
+        // Imputation (lines 11-14): visit missing cells in the configured
+        // order (paper default: tuple by tuple, attributes within).
+        let cells = self.ordered_cells(&rel, &incomplete);
+        for Cell { row, col: attr } in cells {
+            {
+                if !rel.is_missing(row, attr) {
+                    continue;
+                }
+                stats.missing_total += 1;
+                if self.config.trace {
+                    trace.push(TraceEvent::CellStarted { cell: Cell::new(row, attr) });
+                }
+                match self.impute_missing_value(
+                    &mut rel, &oracle, row, attr, sigma, &active, &mut stats, &mut trace,
+                ) {
+                    Some(cell) => {
+                        oracle.update_cell(&rel, row, attr);
+                        if self.config.trace {
+                            trace.push(TraceEvent::Imputed {
+                                cell: cell.cell,
+                                donor_row: cell.donor_row,
+                            });
+                        }
+                        imputed.push(cell);
+                        stats.imputed += 1;
+                        // Line 14: an imputed value can turn a key-RFD into
+                        // a usable one; only pairs involving `row` changed.
+                        if !self.config.skip_key_reevaluation {
+                            dormant_keys.retain(|&k| {
+                                if stays_key_after_update_with(&oracle, &rel, sigma.get(k), row) {
+                                    true
+                                } else {
+                                    active[k] = true;
+                                    stats.keys_reactivated += 1;
+                                    false
+                                }
+                            });
+                        }
+                    }
+                    None => {
+                        if self.config.trace {
+                            trace.push(TraceEvent::LeftMissing {
+                                cell: Cell::new(row, attr),
+                            });
+                        }
+                        unimputed.push(Cell::new(row, attr));
+                        stats.unimputed += 1;
+                    }
+                }
+            }
+        }
+
+        ImputationResult { relation: rel, imputed, unimputed, stats, trace }
+    }
+
+    /// Produces the missing cells of the given rows in the configured
+    /// visiting order.
+    fn ordered_cells(&self, rel: &Relation, rows: &[usize]) -> Vec<Cell> {
+        let mut cells: Vec<Cell> = Vec::new();
+        for &row in rows {
+            for attr in 0..rel.arity() {
+                if rel.is_missing(row, attr) {
+                    cells.push(Cell::new(row, attr));
+                }
+            }
+        }
+        match self.config.imputation_order {
+            ImputationOrder::RowMajor => {}
+            ImputationOrder::ColumnMajor => {
+                cells.sort_by_key(|c| (c.col, c.row));
+            }
+            ImputationOrder::FewestMissingFirst => {
+                let mut per_row = vec![0usize; rel.len()];
+                for c in &cells {
+                    per_row[c.row] += 1;
+                }
+                cells.sort_by_key(|c| (per_row[c.row], c.row, c.col));
+            }
+        }
+        cells
+    }
+
+    /// IMPUTE_MISSING_VALUE (Algorithm 2): walks the RHS-threshold clusters
+    /// for `attr`, scoring and verifying candidates until one sticks.
+    /// Returns the imputed-cell record, or `None` (leaving the cell
+    /// missing) when no candidate passes verification.
+    #[allow(clippy::too_many_arguments)]
+    fn impute_missing_value(
+        &self,
+        rel: &mut Relation,
+        oracle: &DistanceOracle,
+        row: usize,
+        attr: usize,
+        sigma: &RfdSet,
+        active: &[bool],
+        stats: &mut ImputationStats,
+        trace: &mut Vec<TraceEvent>,
+    ) -> Option<ImputedCell> {
+        // RFD selection (Algorithm 1 lines 8-9), restricted to the active
+        // Σ'. Clusters come back in ascending RHS-threshold order.
+        let mut clusters: Vec<(f64, Vec<&Rfd>)> = Vec::new();
+        for (i, rfd) in sigma.iter().enumerate() {
+            if !active[i] || rfd.rhs_attr() != attr {
+                continue;
+            }
+            let thr = rfd.rhs_threshold();
+            match clusters.iter_mut().find(|(t, _)| *t == thr) {
+                Some((_, v)) => v.push(rfd),
+                None => clusters.push((thr, vec![rfd])),
+            }
+        }
+        clusters.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        if self.config.cluster_order == ClusterOrder::Descending {
+            clusters.reverse();
+        }
+        if clusters.is_empty() {
+            return None;
+        }
+
+        // Verification runs against the FULL Σ, dormant keys included: the
+        // imputation under test can itself create the first LHS-similar
+        // pair of a key-RFD (Example 5.1) and violate it in the same stroke
+        // — checking only Σ' would let that slip through. (Algorithm 4 is
+        // handed Σ', but Definition 4.3 demands `r' ⊨ Σ`.) The plan hoists
+        // the candidate-independent pair scans out of the candidate loop;
+        // `VerifyPlan::admits` is equivalent to `is_faultless` on the
+        // mutated relation.
+        let plan =
+            VerifyPlan::build(oracle, rel, row, attr, sigma.iter(), self.config.verify_scope);
+
+        for (cluster_threshold, rfds) in &clusters {
+            stats.clusters_visited += 1;
+            let mut candidates = find_candidate_tuples(oracle, rel, row, attr, rfds);
+            stats.candidates_scored += candidates.len();
+            if self.config.trace {
+                trace.push(TraceEvent::ClusterVisited {
+                    cell: Cell::new(row, attr),
+                    rhs_threshold: *cluster_threshold,
+                    candidates: candidates.len(),
+                });
+            }
+            sort_candidates(&mut candidates);
+            if let Some(cap) = self.config.max_candidates_per_cluster {
+                candidates.truncate(cap);
+            }
+            for cand in candidates {
+                stats.verifications += 1;
+                if plan.admits(oracle, rel, attr, cand.row) {
+                    let value = rel.value(cand.row, attr).clone();
+                    rel.set_value(row, attr, value.clone());
+                    return Some(ImputedCell {
+                        cell: Cell::new(row, attr),
+                        value,
+                        donor_row: cand.row,
+                        distance: cand.distance,
+                        cluster_threshold: *cluster_threshold,
+                        via: rfds[cand.via].clone(),
+                    });
+                }
+                stats.verification_failures += 1;
+                if self.config.trace {
+                    trace.push(TraceEvent::CandidateRejected {
+                        cell: Cell::new(row, attr),
+                        donor_row: cand.row,
+                        distance: cand.distance,
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VerifyScope;
+    use renuver_data::{AttrType, Schema, Value};
+    use renuver_rfd::Constraint;
+
+    /// Table 2 sample: Name, City, Phone, Type, Class.
+    fn restaurant_sample() -> Relation {
+        let schema = Schema::new([
+            ("Name", AttrType::Text),
+            ("City", AttrType::Text),
+            ("Phone", AttrType::Text),
+            ("Type", AttrType::Text),
+            ("Class", AttrType::Int),
+        ])
+        .unwrap();
+        let t = |name: &str, city: Option<&str>, phone: Option<&str>, ty: Option<&str>, class: i64| {
+            vec![
+                Value::from(name),
+                city.map(Value::from).unwrap_or(Value::Null),
+                phone.map(Value::from).unwrap_or(Value::Null),
+                ty.map(Value::from).unwrap_or(Value::Null),
+                Value::Int(class),
+            ]
+        };
+        Relation::new(
+            schema,
+            vec![
+                t("Granita", Some("Malibu"), Some("310/456-0488"), Some("Californian"), 6),
+                t("Chinois Main", Some("LA"), Some("310-392-9025"), Some("French"), 5),
+                t("Citrus", Some("Los Angeles"), Some("213/857-0034"), Some("Californian"), 6),
+                t("Citrus", Some("Los Angeles"), None, Some("Californian"), 6),
+                t("Fenix", Some("Hollywood"), Some("213/848-6677"), None, 5),
+                t("Fenix Argyle", None, Some("213/848-6677"), Some("French (new)"), 5),
+                t("C. Main", Some("Los Angeles"), None, Some("French"), 5),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// The Figure 1 dependency set φ1..φ7.
+    fn figure_1_sigma() -> RfdSet {
+        RfdSet::from_vec(vec![
+            // φ1: Name(≤8), Phone(≤0), Class(≤1) → Type(≤0)  [key]
+            Rfd::new(
+                vec![Constraint::new(0, 8.0), Constraint::new(2, 0.0), Constraint::new(4, 1.0)],
+                Constraint::new(3, 0.0),
+            ),
+            // φ2: Class(≤0) → Type(≤5)
+            Rfd::new(vec![Constraint::new(4, 0.0)], Constraint::new(3, 5.0)),
+            // φ3: City(≤2) → Phone(≤2)
+            Rfd::new(vec![Constraint::new(1, 2.0)], Constraint::new(2, 2.0)),
+            // φ4: Name(≤4) → Phone(≤1)
+            Rfd::new(vec![Constraint::new(0, 4.0)], Constraint::new(2, 1.0)),
+            // φ5: Name(≤8), Phone(≤0) → City(≤9)
+            Rfd::new(
+                vec![Constraint::new(0, 8.0), Constraint::new(2, 0.0)],
+                Constraint::new(1, 9.0),
+            ),
+            // φ6: Name(≤6), City(≤9) → Phone(≤0)
+            Rfd::new(
+                vec![Constraint::new(0, 6.0), Constraint::new(1, 9.0)],
+                Constraint::new(2, 0.0),
+            ),
+            // φ7: Phone(≤1) → Class(≤0)
+            Rfd::new(vec![Constraint::new(2, 1.0)], Constraint::new(4, 0.0)),
+        ])
+    }
+
+    #[test]
+    fn doc_example_city_zip() {
+        let schema =
+            Schema::new([("City", AttrType::Text), ("Zip", AttrType::Text)]).unwrap();
+        let rel = Relation::new(
+            schema,
+            vec![
+                vec!["Salerno".into(), "84084".into()],
+                vec!["Salerno".into(), Value::Null],
+            ],
+        )
+        .unwrap();
+        let rfds = RfdSet::from_vec(vec![Rfd::new(
+            vec![Constraint::new(0, 0.0)],
+            Constraint::new(1, 0.0),
+        )]);
+        let result = Renuver::new(RenuverConfig::default()).impute(&rel, &rfds);
+        assert_eq!(result.relation.value(1, 1), &Value::Text("84084".into()));
+        assert_eq!(result.stats.imputed, 1);
+        assert_eq!(result.stats.missing_total, 1);
+    }
+
+    #[test]
+    fn figure_1_t7_phone_gets_t2_value() {
+        // The paper's walk-through: imputing t7[Phone] first tries t3's
+        // phone (dist 3), which φ7 rejects, then accepts t2's phone
+        // (dist 7.5).
+        let rel = restaurant_sample();
+        let result = Renuver::new(RenuverConfig::default()).impute(&rel, &figure_1_sigma());
+        let cell = Cell::new(6, 2);
+        let imputed = result.imputed.iter().find(|c| c.cell == cell);
+        let imputed = imputed.expect("t7[Phone] should be imputed");
+        assert_eq!(imputed.value, Value::Text("310-392-9025".into()));
+        assert_eq!(imputed.donor_row, 1);
+        assert_eq!(imputed.distance, 7.5);
+        // At least one verification failed along the way (t3 rejected).
+        assert!(result.stats.verification_failures >= 1);
+    }
+
+    #[test]
+    fn input_relation_untouched() {
+        let rel = restaurant_sample();
+        let before = rel.clone();
+        let _ = Renuver::new(RenuverConfig::default()).impute(&rel, &figure_1_sigma());
+        assert_eq!(rel, before);
+    }
+
+    #[test]
+    fn no_rfds_means_nothing_imputed() {
+        let rel = restaurant_sample();
+        let result = Renuver::new(RenuverConfig::default()).impute(&rel, &RfdSet::new());
+        assert_eq!(result.stats.imputed, 0);
+        assert_eq!(result.stats.unimputed, result.stats.missing_total);
+        assert_eq!(result.relation.missing_count(), rel.missing_count());
+    }
+
+    #[test]
+    fn complete_relation_is_noop() {
+        let schema = Schema::new([("A", AttrType::Int), ("B", AttrType::Int)]).unwrap();
+        let rel = Relation::new(
+            schema,
+            vec![vec![Value::Int(1), Value::Int(2)], vec![Value::Int(3), Value::Int(4)]],
+        )
+        .unwrap();
+        let rfds = RfdSet::from_vec(vec![Rfd::new(
+            vec![Constraint::new(0, 1.0)],
+            Constraint::new(1, 1.0),
+        )]);
+        let result = Renuver::new(RenuverConfig::default()).impute(&rel, &rfds);
+        assert_eq!(result.stats.missing_total, 0);
+        assert_eq!(result.relation, rel);
+    }
+
+    #[test]
+    fn imputed_tuple_becomes_candidate() {
+        // Row 1 misses B; row 2 misses B and only matches row 1 on A.
+        // Once row 1 is imputed from row 0, row 2 can be imputed from row 1.
+        let schema = Schema::new([("A", AttrType::Int), ("B", AttrType::Int)]).unwrap();
+        let rel = Relation::new(
+            schema,
+            vec![
+                vec![Value::Int(10), Value::Int(5)],
+                vec![Value::Int(10), Value::Null],
+                vec![Value::Int(11), Value::Null],
+            ],
+        )
+        .unwrap();
+        // A(≤0) → B(≤0) fills row 1 from row 0; A(≤1) → B(≤2) then lets
+        // row 2 borrow from rows 0/1.
+        let rfds = RfdSet::from_vec(vec![
+            Rfd::new(vec![Constraint::new(0, 0.0)], Constraint::new(1, 0.0)),
+            Rfd::new(vec![Constraint::new(0, 1.0)], Constraint::new(1, 2.0)),
+        ]);
+        let result = Renuver::new(RenuverConfig::default()).impute(&rel, &rfds);
+        assert_eq!(result.stats.imputed, 2);
+        assert_eq!(result.relation.value(1, 1), &Value::Int(5));
+        assert_eq!(result.relation.value(2, 1), &Value::Int(5));
+    }
+
+    #[test]
+    fn inconsistent_candidates_left_missing() {
+        // Both potential donors for row 2's B trip the guard
+        // B(≤0) → C(≤0) — equal B values with distant C values — so the
+        // cell stays missing (Section 4: better unimputed than wrong).
+        let schema = Schema::new([
+            ("A", AttrType::Int),
+            ("B", AttrType::Int),
+            ("C", AttrType::Int),
+        ])
+        .unwrap();
+        let rel = Relation::new(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Int(100), Value::Int(7)],
+                vec![Value::Int(1), Value::Int(200), Value::Int(8)],
+                vec![Value::Int(1), Value::Null, Value::Int(9)],
+            ],
+        )
+        .unwrap();
+        let rfds = RfdSet::from_vec(vec![
+            // Candidate generator: A(≤0) → B(≤200).
+            Rfd::new(vec![Constraint::new(0, 0.0)], Constraint::new(1, 200.0)),
+            // Consistency guard with B on the LHS: B(≤0) → C(≤0). Imputing
+            // row 2 with either donor's B makes it B-equal to a row whose C
+            // differs from row 2's.
+            Rfd::new(vec![Constraint::new(1, 0.0)], Constraint::new(2, 0.0)),
+        ]);
+        let result = Renuver::new(RenuverConfig::default()).impute(&rel, &rfds);
+        assert_eq!(result.stats.imputed, 0);
+        assert!(result.relation.is_missing(2, 1));
+        assert_eq!(result.unimputed, vec![Cell::new(2, 1)]);
+        assert_eq!(result.stats.verification_failures, 2);
+    }
+
+    #[test]
+    fn full_scope_rejects_what_lhs_only_accepts() {
+        // A(≤1) → B(≤100) with non-transitive LHS similarity: row 2 (A=1)
+        // is within distance 1 of both row 0 (A=0, B=0) and row 1 (A=2,
+        // B=500), which are NOT similar to each other — so the dependency
+        // holds on the input. Either candidate value for row 2's B puts it
+        // within 1 of a tuple whose B is 500 away. LhsOnly (Algorithm 4
+        // literal, B not on any LHS) accepts the first candidate; Full
+        // (Definition 4.3) rejects both.
+        let schema = Schema::new([("A", AttrType::Int), ("B", AttrType::Int)]).unwrap();
+        let rel = Relation::new(
+            schema,
+            vec![
+                vec![Value::Int(0), Value::Int(0)],
+                vec![Value::Int(2), Value::Int(500)],
+                vec![Value::Int(1), Value::Null],
+            ],
+        )
+        .unwrap();
+        let rfds = RfdSet::from_vec(vec![Rfd::new(
+            vec![Constraint::new(0, 1.0)],
+            Constraint::new(1, 100.0),
+        )]);
+        let full = Renuver::new(RenuverConfig {
+            verify_scope: VerifyScope::Full,
+            ..RenuverConfig::default()
+        })
+        .impute(&rel, &rfds);
+        assert_eq!(full.stats.imputed, 0);
+        assert_eq!(full.stats.verification_failures, 2);
+        let lhs_only = Renuver::new(RenuverConfig::default()).impute(&rel, &rfds);
+        assert_eq!(lhs_only.stats.imputed, 1);
+        assert_eq!(lhs_only.relation.value(2, 1), &Value::Int(0));
+    }
+
+    #[test]
+    fn key_reactivation_enables_late_imputation() {
+        // Schema (A, C, B). φ_c: C(≤0) → B(≤0) starts as a key: row 1's C is
+        // missing and rows 0/2 have distinct C. φ_a: A(≤0) → C(≤0) fills
+        // row 1's C from row 0 (A=1), turning φ_c non-key (Example 5.1);
+        // φ_c then fills row 1's B — processed after C in column order.
+        let schema = Schema::new([
+            ("A", AttrType::Int),
+            ("C", AttrType::Int),
+            ("B", AttrType::Int),
+        ])
+        .unwrap();
+        let rel = Relation::new(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Int(9), Value::Int(40)],
+                vec![Value::Int(1), Value::Null, Value::Null],
+                vec![Value::Int(5), Value::Int(8), Value::Int(77)],
+            ],
+        )
+        .unwrap();
+        let rfds = RfdSet::from_vec(vec![
+            Rfd::new(vec![Constraint::new(0, 0.0)], Constraint::new(1, 0.0)),
+            Rfd::new(vec![Constraint::new(1, 0.0)], Constraint::new(2, 0.0)),
+        ]);
+        let with = Renuver::new(RenuverConfig::default()).impute(&rel, &rfds);
+        assert_eq!(with.stats.imputed, 2);
+        assert_eq!(with.relation.value(1, 1), &Value::Int(9));
+        assert_eq!(with.relation.value(1, 2), &Value::Int(40));
+        assert_eq!(with.stats.keys_reactivated, 1);
+        assert_eq!(with.stats.keys_filtered, 1);
+
+        // With re-evaluation disabled, B stays missing.
+        let without = Renuver::new(RenuverConfig {
+            skip_key_reevaluation: true,
+            ..RenuverConfig::default()
+        })
+        .impute(&rel, &rfds);
+        assert_eq!(without.relation.value(1, 1), &Value::Int(9));
+        assert!(without.relation.is_missing(1, 2));
+    }
+
+    #[test]
+    fn candidate_cap_limits_verifications() {
+        let rel = restaurant_sample();
+        let capped = Renuver::new(RenuverConfig {
+            max_candidates_per_cluster: Some(1),
+            ..RenuverConfig::default()
+        })
+        .impute(&rel, &figure_1_sigma());
+        let uncapped = Renuver::new(RenuverConfig::default()).impute(&rel, &figure_1_sigma());
+        assert!(capped.stats.verifications <= uncapped.stats.verifications);
+    }
+
+    #[test]
+    fn incremental_imputes_only_appended_rows() {
+        // Two batches: the base instance has a missing value of its own,
+        // which incremental imputation must leave alone.
+        let schema = Schema::new([("A", AttrType::Int), ("B", AttrType::Int)]).unwrap();
+        let rel = Relation::new(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Null], // pre-existing hole
+                // appended batch:
+                vec![Value::Int(1), Value::Null],
+                vec![Value::Int(9), Value::Int(90)],
+            ],
+        )
+        .unwrap();
+        let rfds = RfdSet::from_vec(vec![Rfd::new(
+            vec![Constraint::new(0, 1.0)],
+            Constraint::new(1, 0.0),
+        )]);
+        let result = Renuver::new(RenuverConfig::default()).impute_appended(&rel, 2, &rfds);
+        assert_eq!(result.stats.missing_total, 1); // only the appended hole
+        assert_eq!(result.relation.value(2, 1), &Value::Int(10));
+        assert!(result.relation.is_missing(1, 1)); // old hole untouched
+    }
+
+    #[test]
+    fn incremental_with_empty_batch_is_noop() {
+        let schema = Schema::new([("A", AttrType::Int)]).unwrap();
+        let rel = Relation::new(schema, vec![vec![Value::Null]]).unwrap();
+        let result = Renuver::new(RenuverConfig::default()).impute_appended(
+            &rel,
+            rel.len(),
+            &RfdSet::new(),
+        );
+        assert_eq!(result.stats.missing_total, 0);
+        assert_eq!(result.relation, rel);
+    }
+
+    #[test]
+    fn imputation_orders_visit_all_cells() {
+        use crate::config::ImputationOrder;
+        let rel = restaurant_sample();
+        let sigma = figure_1_sigma();
+        for order in [
+            ImputationOrder::RowMajor,
+            ImputationOrder::ColumnMajor,
+            ImputationOrder::FewestMissingFirst,
+        ] {
+            let result = Renuver::new(RenuverConfig {
+                imputation_order: order,
+                ..RenuverConfig::default()
+            })
+            .impute(&rel, &sigma);
+            assert_eq!(result.stats.missing_total, rel.missing_count(), "{order:?}");
+            assert_eq!(
+                result.stats.imputed + result.stats.unimputed,
+                result.stats.missing_total,
+                "{order:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fewest_missing_first_can_unlock_chains() {
+        // Row 1 misses only B (easy); row 2 misses B and C. Row-major hits
+        // row 1 first anyway here, so instead demonstrate the order is
+        // honored: column-major imputes all B cells before any C cell,
+        // which the donor chain B→C requires in this construction.
+        let schema = Schema::new([
+            ("A", AttrType::Int),
+            ("B", AttrType::Int),
+            ("C", AttrType::Int),
+        ])
+        .unwrap();
+        let rel = Relation::new(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Int(10), Value::Int(100)],
+                // C missing and B missing; C's donor needs row 1's B first.
+                vec![Value::Int(1), Value::Null, Value::Null],
+            ],
+        )
+        .unwrap();
+        let sigma = RfdSet::from_vec(vec![
+            // A(≤0) → B(≤0) fills B; B(≤0) → C(≤0) then fills C.
+            Rfd::new(vec![Constraint::new(0, 0.0)], Constraint::new(1, 0.0)),
+            Rfd::new(vec![Constraint::new(1, 0.0)], Constraint::new(2, 0.0)),
+        ]);
+        let result = Renuver::new(RenuverConfig::default()).impute(&rel, &sigma);
+        assert_eq!(result.stats.imputed, 2);
+        assert_eq!(result.relation.value(1, 2), &Value::Int(100));
+    }
+
+    #[test]
+    fn trace_records_the_walkthrough() {
+        let rel = restaurant_sample();
+        let traced = Renuver::new(RenuverConfig { trace: true, ..RenuverConfig::default() })
+            .impute(&rel, &figure_1_sigma());
+        use crate::result::TraceEvent as E;
+        // One CellStarted per missing value, one terminal event each.
+        let started = traced.trace.iter().filter(|e| matches!(e, E::CellStarted { .. })).count();
+        assert_eq!(started, rel.missing_count());
+        let terminal = traced
+            .trace
+            .iter()
+            .filter(|e| matches!(e, E::Imputed { .. } | E::LeftMissing { .. }))
+            .count();
+        assert_eq!(terminal, rel.missing_count());
+        // t7[Phone]'s rejection of donor t3 (distance 3) is in the log.
+        assert!(traced.trace.iter().any(|e| matches!(
+            e,
+            E::CandidateRejected { cell, donor_row: 2, distance } if *cell == Cell::new(6, 2) && *distance == 3.0
+        )), "{:#?}", traced.trace);
+        // Rejections in the log match the counter.
+        let rejected = traced
+            .trace
+            .iter()
+            .filter(|e| matches!(e, E::CandidateRejected { .. }))
+            .count();
+        assert_eq!(rejected, traced.stats.verification_failures);
+        // Untraced runs have an empty log and identical outcomes.
+        let plain = Renuver::new(RenuverConfig::default()).impute(&rel, &figure_1_sigma());
+        assert!(plain.trace.is_empty());
+        assert_eq!(plain.relation, traced.relation);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let rel = restaurant_sample();
+        let r = Renuver::new(RenuverConfig::default()).impute(&rel, &figure_1_sigma());
+        assert_eq!(r.stats.missing_total, rel.missing_count());
+        assert_eq!(r.stats.imputed + r.stats.unimputed, r.stats.missing_total);
+        assert_eq!(r.imputed.len(), r.stats.imputed);
+        assert_eq!(r.unimputed.len(), r.stats.unimputed);
+        assert_eq!(
+            r.relation.missing_count(),
+            rel.missing_count() - r.stats.imputed
+        );
+    }
+}

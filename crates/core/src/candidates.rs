@@ -1,0 +1,211 @@
+//! Generation of plausible candidate tuples (Algorithm 3).
+
+use renuver_data::{AttrId, Relation};
+use renuver_distance::DistanceOracle;
+use renuver_rfd::Rfd;
+
+/// A plausible candidate tuple for a missing value, scored by the minimum
+/// Equation 2 distance value across the cluster's RFDs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Row of the candidate tuple `t_j`.
+    pub row: usize,
+    /// `dist_min`: the smallest `Σ_B p[B] / |X|` over the cluster RFDs whose
+    /// LHS the pair satisfies.
+    pub distance: f64,
+    /// Index (within the cluster slice) of the RFD that achieved
+    /// `dist_min` — the dependency that justifies this candidate.
+    pub via: usize,
+}
+
+/// FIND_CANDIDATE_TUPLES (Algorithm 3): scores every tuple `t_j ≠ t` with
+/// `t_j[A] ≠ _` against the cluster `ρ_A^i` of RFDs, returning the tuples
+/// that satisfy at least one RFD's LHS constraints, each with its minimum
+/// distance value.
+///
+/// Distances are resolved through the [`DistanceOracle`] (dictionary-encoded
+/// per-column caches); an attribute's distance is only needed up to the
+/// largest threshold any cluster RFD puts on it, and a tuple that exceeds
+/// every threshold on some attribute short-circuits the RFDs requiring it.
+pub fn find_candidate_tuples(
+    oracle: &DistanceOracle,
+    rel: &Relation,
+    row: usize,
+    attr: AttrId,
+    cluster: &[&Rfd],
+) -> Vec<Candidate> {
+    let m = rel.arity();
+    // Largest threshold each attribute is compared against in this cluster;
+    // distances above it are never needed exactly.
+    let mut max_thr: Vec<Option<f64>> = vec![None; m];
+    for rfd in cluster {
+        for c in rfd.lhs() {
+            let slot = &mut max_thr[c.attr];
+            *slot = Some(slot.map_or(c.threshold, |t: f64| t.max(c.threshold)));
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut dist_buf: Vec<Option<f64>> = vec![None; m];
+    for j in 0..rel.len() {
+        if j == row || rel.is_missing(j, attr) {
+            continue;
+        }
+        // Partial distance pattern over the attributes this cluster uses.
+        // `None` = missing value on either side, or beyond every threshold.
+        for (a, slot) in dist_buf.iter_mut().enumerate() {
+            *slot = max_thr[a].and_then(|thr| oracle.distance_bounded(rel, a, row, j, thr));
+        }
+        let mut dist_min = f64::INFINITY;
+        let mut via = 0usize;
+        for (idx, rfd) in cluster.iter().enumerate() {
+            let lhs = rfd.lhs();
+            let satisfied = lhs.iter().all(|c| {
+                matches!(dist_buf[c.attr], Some(d) if d <= c.threshold)
+            });
+            if satisfied {
+                let sum: f64 = lhs.iter().map(|c| dist_buf[c.attr].unwrap()).sum();
+                let dist = sum / lhs.len() as f64;
+                if dist < dist_min {
+                    dist_min = dist;
+                    via = idx;
+                }
+            }
+        }
+        if dist_min.is_finite() {
+            out.push(Candidate { row: j, distance: dist_min, via });
+        }
+    }
+    out
+}
+
+/// Sorts candidates by ascending distance value (Algorithm 2 line 3),
+/// breaking ties by row index so the order — and therefore the whole
+/// imputation — is deterministic.
+pub fn sort_candidates(candidates: &mut [Candidate]) {
+    candidates.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap()
+            .then(a.row.cmp(&b.row))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renuver_data::{AttrType, Relation, Schema, Value};
+    use renuver_rfd::Constraint;
+
+    /// Table 2 sample: Name, City, Phone, Type, Class.
+    fn restaurant_sample() -> Relation {
+        let schema = Schema::new([
+            ("Name", AttrType::Text),
+            ("City", AttrType::Text),
+            ("Phone", AttrType::Text),
+            ("Type", AttrType::Text),
+            ("Class", AttrType::Int),
+        ])
+        .unwrap();
+        let t = |name: &str, city: Option<&str>, phone: Option<&str>, ty: Option<&str>, class: i64| {
+            vec![
+                Value::from(name),
+                city.map(Value::from).unwrap_or(Value::Null),
+                phone.map(Value::from).unwrap_or(Value::Null),
+                ty.map(Value::from).unwrap_or(Value::Null),
+                Value::Int(class),
+            ]
+        };
+        Relation::new(
+            schema,
+            vec![
+                t("Granita", Some("Malibu"), Some("310/456-0488"), Some("Californian"), 6),
+                t("Chinois Main", Some("LA"), Some("310-392-9025"), Some("French"), 5),
+                t("Citrus", Some("Los Angeles"), Some("213/857-0034"), Some("Californian"), 6),
+                t("Citrus", Some("Los Angeles"), None, Some("Californian"), 6),
+                t("Fenix", Some("Hollywood"), Some("213/848-6677"), None, 5),
+                t("Fenix Argyle", None, Some("213/848-6677"), Some("French (new)"), 5),
+                t("C. Main", Some("Los Angeles"), None, Some("French"), 5),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_4_6_single_candidate() {
+        // φ0: Phone(≤0) → City(≤10). Imputing t6[City]: only t5 shares the
+        // phone, so t5 is the only candidate.
+        let rel = restaurant_sample();
+        let phi0 = Rfd::new(vec![Constraint::new(2, 0.0)], Constraint::new(1, 10.0));
+        let cands = find_candidate_tuples(&DistanceOracle::direct(&rel), &rel, 5, 1, &[&phi0]);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].row, 4);
+        assert_eq!(cands[0].distance, 0.0);
+    }
+
+    #[test]
+    fn example_5_8_two_candidates_ranked() {
+        // φ6: Name(≤6), City(≤9) → Phone(≤0) for t7[Phone]: candidates t2
+        // (dist 7.5) and t3 (dist 3).
+        let rel = restaurant_sample();
+        let phi6 = Rfd::new(
+            vec![Constraint::new(0, 6.0), Constraint::new(1, 9.0)],
+            Constraint::new(2, 0.0),
+        );
+        let mut cands = find_candidate_tuples(&DistanceOracle::direct(&rel), &rel, 6, 2, &[&phi6]);
+        sort_candidates(&mut cands);
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].row, 2);
+        assert_eq!(cands[0].distance, 3.0);
+        assert_eq!(cands[1].row, 1);
+        assert_eq!(cands[1].distance, 7.5);
+    }
+
+    #[test]
+    fn candidates_skip_missing_donor_values() {
+        // t4 would match t3 closely but its Phone is missing → not a donor.
+        let rel = restaurant_sample();
+        let phi6 = Rfd::new(
+            vec![Constraint::new(0, 6.0), Constraint::new(1, 9.0)],
+            Constraint::new(2, 0.0),
+        );
+        let cands = find_candidate_tuples(&DistanceOracle::direct(&rel), &rel, 6, 2, &[&phi6]);
+        assert!(cands.iter().all(|c| c.row != 3 && c.row != 6));
+    }
+
+    #[test]
+    fn minimum_distance_across_cluster_rfds() {
+        // Two RFDs in one cluster: Class(≤1) → Phone and City(≤0) → Phone.
+        // For a pair matching both, dist_min is the smaller mean.
+        let rel = restaurant_sample();
+        let by_class = Rfd::new(vec![Constraint::new(4, 1.0)], Constraint::new(2, 0.0));
+        let by_city = Rfd::new(vec![Constraint::new(1, 0.0)], Constraint::new(2, 0.0));
+        let mut cands = find_candidate_tuples(&DistanceOracle::direct(&rel), &rel, 6, 2, &[&by_class, &by_city]);
+        sort_candidates(&mut cands);
+        // t3 matches by_city with City distance 0 and by_class with Class
+        // distance 1 → min is 0, achieved via the second RFD of the cluster.
+        let t3 = cands.iter().find(|c| c.row == 2).unwrap();
+        assert_eq!(t3.distance, 0.0);
+        assert_eq!(t3.via, 1);
+    }
+
+    #[test]
+    fn no_candidates_when_no_lhs_match() {
+        let rel = restaurant_sample();
+        // Name(≤0) → Phone: no other tuple shares t7's exact name.
+        let rfd = Rfd::new(vec![Constraint::new(0, 0.0)], Constraint::new(2, 0.0));
+        assert!(find_candidate_tuples(&DistanceOracle::direct(&rel), &rel, 6, 2, &[&rfd]).is_empty());
+    }
+
+    #[test]
+    fn sort_is_deterministic_on_ties() {
+        let mut cands = vec![
+            Candidate { row: 5, distance: 1.0, via: 0 },
+            Candidate { row: 2, distance: 1.0, via: 0 },
+            Candidate { row: 9, distance: 0.5, via: 0 },
+        ];
+        sort_candidates(&mut cands);
+        let rows: Vec<usize> = cands.iter().map(|c| c.row).collect();
+        assert_eq!(rows, vec![9, 2, 5]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Configuration knobs for the RENUVER algorithm.
+//!
+//! The defaults follow the paper's prose and worked examples; the
+//! alternatives cover the points where the paper is ambiguous (see
+//! DESIGN.md) and feed the ablation benchmarks.
+
+/// Order in which the RHS-threshold clusters `ρ_A^i` are visited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClusterOrder {
+    /// Lowest RHS threshold first — the order of Section 5(b) ("from lowest
+    /// to highest threshold values") and of the Figure 1 walk-through
+    /// (ρ⁰ before ρ¹ before ρ²). Tighter RHS thresholds come from
+    /// dependencies whose candidates agree more closely on `A`, so this
+    /// visits the most trustworthy candidates first. Default.
+    #[default]
+    Ascending,
+    /// Highest RHS threshold first — the literal reading of Algorithm 2
+    /// line 1 ("in descending order of RHS threshold"). Exposed for the
+    /// ablation bench.
+    Descending,
+}
+
+/// Which dependencies the post-imputation consistency check examines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyScope {
+    /// Check only RFDs whose LHS contains the imputed attribute — Algorithm
+    /// 4 line 1 as written. This is also the only reading consistent with
+    /// the Figure 1 walk-through: the accepted imputation of `t7[Phone]`
+    /// with t2's phone would be rejected by `φ3: City(≤2) → Phone(≤2)`
+    /// (t3 and t7 share the city but end with distant phones) if RFDs with
+    /// the imputed attribute on the RHS were checked too. Default.
+    #[default]
+    LhsOnly,
+    /// Additionally check RFDs whose RHS is the imputed attribute, giving
+    /// the full `r' ⊨ Σ` guarantee Definition 4.3 asks for. Stricter than
+    /// the paper's implementation: higher precision, lower recall. Exposed
+    /// for the ablation bench.
+    Full,
+}
+
+/// Order in which missing cells are visited (Algorithm 1 lines 11–12).
+///
+/// The paper walks tuples in relation order, attributes within each tuple
+/// (row-major). The order matters because imputed tuples immediately become
+/// candidate donors for later cells; the alternatives are exposed for the
+/// ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ImputationOrder {
+    /// Tuple by tuple, attributes in schema order — the paper's order.
+    #[default]
+    RowMajor,
+    /// Attribute by attribute across all tuples: every Phone first, then
+    /// every City, … Groups the per-attribute cluster work together.
+    ColumnMajor,
+    /// Tuples with the fewest missing values first: the most-complete
+    /// tuples are repaired (and become reliable donors) before the
+    /// hardest ones are attempted.
+    FewestMissingFirst,
+}
+
+/// RENUVER configuration.
+#[derive(Debug, Clone, Default)]
+pub struct RenuverConfig {
+    /// Cluster visiting order (default: ascending RHS threshold).
+    pub cluster_order: ClusterOrder,
+    /// Consistency-check scope (default: LHS-only, per Algorithm 4).
+    pub verify_scope: VerifyScope,
+    /// Skip the key-RFD re-examination after successful imputations
+    /// (Algorithm 1 line 14). `false` (default) re-examines, as the paper
+    /// does; `true` trades a little recall for speed — the ablation bench
+    /// quantifies the trade.
+    pub skip_key_reevaluation: bool,
+    /// Cap on how many ranked candidates are verified per cluster before
+    /// falling through to the next cluster. `None` (default) verifies all,
+    /// as in Algorithm 2.
+    pub max_candidates_per_cluster: Option<usize>,
+    /// Missing-cell visiting order (default: the paper's row-major).
+    pub imputation_order: ImputationOrder,
+    /// Collect a [`crate::result::TraceEvent`] log of every decision
+    /// (clusters visited, candidates rejected). Off by default — the log
+    /// grows with the candidate count.
+    pub trace: bool,
+}
+
+impl RenuverConfig {
+    /// The paper-faithful default configuration.
+    pub fn paper() -> Self {
+        RenuverConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_paper() {
+        let cfg = RenuverConfig::default();
+        assert_eq!(cfg.cluster_order, ClusterOrder::Ascending);
+        assert_eq!(cfg.verify_scope, VerifyScope::LhsOnly);
+        assert!(!cfg.skip_key_reevaluation);
+        assert!(cfg.max_candidates_per_cluster.is_none());
+        assert_eq!(cfg.imputation_order, ImputationOrder::RowMajor);
+    }
+}

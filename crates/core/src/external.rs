@@ -1,0 +1,209 @@
+//! Multi-dataset candidate selection — one of the paper's future-work
+//! items (Section 7: "extend RENUVER with the possibility of selecting
+//! plausible candidate tuples among multiple datasets").
+//!
+//! [`Renuver::impute_with_donors`] appends the tuples of the donor
+//! relations to the target instance, runs the standard algorithm over the
+//! combined instance restricted to the target's missing cells, and splits
+//! the donors back off. Semantics:
+//!
+//! - candidate tuples (and distance rankings) draw from the union;
+//! - IS_FAULTLESS checks consistency against the union, so an imputation
+//!   must not contradict the donor data either;
+//! - key-RFD classification happens on the union (a dependency that is a
+//!   key on the small target alone may be usable thanks to donor pairs);
+//! - missing values inside donor relations are never imputed.
+
+use renuver_data::{Relation, Value};
+use renuver_rfd::RfdSet;
+
+use crate::algorithm::Renuver;
+use crate::result::ImputationResult;
+
+/// Error returned when a donor relation cannot be combined with the
+/// target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaMismatch {
+    /// Index of the offending donor relation.
+    pub donor: usize,
+}
+
+impl std::fmt::Display for SchemaMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "donor relation #{} does not share the target's schema", self.donor)
+    }
+}
+
+impl std::error::Error for SchemaMismatch {}
+
+impl Renuver {
+    /// Imputes `rel`, additionally drawing candidate tuples from the donor
+    /// relations (which must share the target's schema exactly).
+    ///
+    /// In the returned result, [`crate::result::ImputedCell::donor_row`]
+    /// indexes the combined instance: values `< rel.len()` are target rows,
+    /// larger values point into the donors in order.
+    ///
+    /// # Errors
+    /// [`SchemaMismatch`] when a donor's schema differs from the target's.
+    pub fn impute_with_donors(
+        &self,
+        rel: &Relation,
+        donors: &[&Relation],
+        sigma: &RfdSet,
+    ) -> Result<ImputationResult, SchemaMismatch> {
+        for (i, donor) in donors.iter().enumerate() {
+            if donor.schema() != rel.schema() {
+                return Err(SchemaMismatch { donor: i });
+            }
+        }
+        let n = rel.len();
+        let mut combined = rel.clone();
+        for donor in donors {
+            for t in donor.tuples() {
+                combined
+                    .push(t.clone())
+                    .expect("schema equality checked above");
+            }
+        }
+
+        let mut result = self.impute_rows(&combined, sigma, 0..n);
+        result.relation.truncate(n);
+        Ok(result)
+    }
+}
+
+/// A tiny helper type used by tests to build a donor with the same schema.
+pub fn donor_like(rel: &Relation, tuples: Vec<Vec<Value>>) -> Relation {
+    Relation::new(rel.schema().clone(), tuples).expect("tuples fit the schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RenuverConfig;
+    use renuver_data::{AttrType, Schema};
+    use renuver_rfd::{Constraint, Rfd};
+
+    fn target() -> Relation {
+        let schema = Schema::new([("City", AttrType::Text), ("Zip", AttrType::Text)]).unwrap();
+        Relation::new(
+            schema,
+            vec![
+                vec!["Milano".into(), "20121".into()],
+                vec!["Salerno".into(), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn city_zip_rfds() -> RfdSet {
+        RfdSet::from_vec(vec![Rfd::new(
+            vec![Constraint::new(0, 0.0)],
+            Constraint::new(1, 0.0),
+        )])
+    }
+
+    #[test]
+    fn donor_enables_otherwise_impossible_imputation() {
+        let rel = target();
+        let rfds = city_zip_rfds();
+        // Alone: no tuple shares the city → nothing to impute.
+        let alone = Renuver::new(RenuverConfig::default()).impute(&rel, &rfds);
+        assert_eq!(alone.stats.imputed, 0);
+
+        // With a donor dataset containing Salerno, the zip arrives.
+        let donor = donor_like(&rel, vec![vec!["Salerno".into(), "84084".into()]]);
+        let with = Renuver::new(RenuverConfig::default())
+            .impute_with_donors(&rel, &[&donor], &rfds)
+            .unwrap();
+        assert_eq!(with.stats.imputed, 1);
+        assert_eq!(with.relation.value(1, 1), &Value::Text("84084".into()));
+        assert_eq!(with.relation.len(), rel.len()); // donors split back off
+        assert_eq!(with.imputed[0].donor_row, 2); // combined-instance index
+    }
+
+    #[test]
+    fn donor_missing_values_not_imputed() {
+        let rel = target();
+        let rfds = city_zip_rfds();
+        let donor = donor_like(
+            &rel,
+            vec![
+                vec!["Salerno".into(), "84084".into()],
+                vec!["Milano".into(), Value::Null], // imputable, but a donor
+            ],
+        );
+        let result = Renuver::new(RenuverConfig::default())
+            .impute_with_donors(&rel, &[&donor], &rfds)
+            .unwrap();
+        // Only the target's cell was considered.
+        assert_eq!(result.stats.missing_total, 1);
+        assert_eq!(result.stats.imputed, 1);
+    }
+
+    #[test]
+    fn donor_data_participates_in_verification() {
+        // The donor contains a conflicting zip for Salerno, so a candidate
+        // drawn from it is rejected by the guard Zip(≤0) → City(≤0)... and
+        // with two contradicting donors, consistency fails for both values.
+        let rel = target();
+        let rfds = RfdSet::from_vec(vec![
+            // Generator: City(≤0) → Zip(≤9000). Wide RHS so both donor zips
+            // are candidates.
+            Rfd::new(vec![Constraint::new(0, 0.0)], Constraint::new(1, 9000.0)),
+            // Guard with the imputed attribute on its LHS: Zip(≤0) → City(≤1).
+            Rfd::new(vec![Constraint::new(1, 0.0)], Constraint::new(0, 1.0)),
+        ]);
+        let donor = donor_like(
+            &rel,
+            vec![
+                vec!["Salerno".into(), "84084".into()],
+                // Same zip listed under a very different city: imputing
+                // 84084 into the Salerno row violates the guard against
+                // this tuple.
+                vec!["Castellammare".into(), "84084".into()],
+            ],
+        );
+        let result = Renuver::new(RenuverConfig::default())
+            .impute_with_donors(&rel, &[&donor], &rfds)
+            .unwrap();
+        assert_eq!(result.stats.imputed, 0, "{:?}", result.imputed);
+        assert!(result.stats.verification_failures >= 1);
+    }
+
+    #[test]
+    fn schema_mismatch_reported() {
+        let rel = target();
+        let other_schema =
+            Schema::new([("City", AttrType::Text), ("Zip", AttrType::Int)]).unwrap();
+        let donor = Relation::empty(other_schema);
+        let err = Renuver::new(RenuverConfig::default())
+            .impute_with_donors(&rel, &[&donor], &city_zip_rfds())
+            .unwrap_err();
+        assert_eq!(err, SchemaMismatch { donor: 0 });
+        assert!(err.to_string().contains("#0"));
+    }
+
+    #[test]
+    fn no_donors_matches_plain_impute() {
+        let schema = Schema::new([("A", AttrType::Int), ("B", AttrType::Int)]).unwrap();
+        let rel = Relation::new(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(1), Value::Null],
+            ],
+        )
+        .unwrap();
+        let rfds = RfdSet::from_vec(vec![Rfd::new(
+            vec![Constraint::new(0, 0.0)],
+            Constraint::new(1, 0.0),
+        )]);
+        let engine = Renuver::new(RenuverConfig::default());
+        let plain = engine.impute(&rel, &rfds);
+        let with = engine.impute_with_donors(&rel, &[], &rfds).unwrap();
+        assert_eq!(plain.relation, with.relation);
+        assert_eq!(plain.stats, with.stats);
+    }
+}

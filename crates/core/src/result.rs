@@ -1,0 +1,173 @@
+//! Imputation outputs: the repaired relation, per-cell outcomes, counters.
+
+use renuver_data::{Cell, Relation, Value};
+use renuver_rfd::Rfd;
+
+/// One successfully imputed cell, with full provenance: where the value
+/// came from, how close the donor was, and which dependency justified it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImputedCell {
+    /// The cell that was filled.
+    pub cell: Cell,
+    /// The value written into it.
+    pub value: Value,
+    /// Row of the candidate tuple the value was taken from.
+    pub donor_row: usize,
+    /// The Equation 2 distance value of the chosen candidate.
+    pub distance: f64,
+    /// RHS threshold of the cluster that produced the candidate.
+    pub cluster_threshold: f64,
+    /// The RFD whose LHS similarity selected the donor (the one achieving
+    /// the minimum distance value in the winning cluster).
+    pub via: Rfd,
+}
+
+/// One event of the imputation trace (collected when
+/// [`crate::config::RenuverConfig::trace`] is set).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Work on a missing cell began.
+    CellStarted {
+        /// The missing cell.
+        cell: Cell,
+    },
+    /// A threshold cluster was searched.
+    ClusterVisited {
+        /// The cell under imputation.
+        cell: Cell,
+        /// The cluster's RHS threshold.
+        rhs_threshold: f64,
+        /// Plausible candidates the cluster produced.
+        candidates: usize,
+    },
+    /// A ranked candidate failed IS_FAULTLESS.
+    CandidateRejected {
+        /// The cell under imputation.
+        cell: Cell,
+        /// The rejected donor row.
+        donor_row: usize,
+        /// The candidate's distance value.
+        distance: f64,
+    },
+    /// The cell was filled.
+    Imputed {
+        /// The cell.
+        cell: Cell,
+        /// The accepted donor row.
+        donor_row: usize,
+    },
+    /// Every candidate failed; the cell stays missing.
+    LeftMissing {
+        /// The cell.
+        cell: Cell,
+    },
+}
+
+/// Counters describing the work an imputation run performed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ImputationStats {
+    /// Missing values present in the input.
+    pub missing_total: usize,
+    /// Missing values successfully filled.
+    pub imputed: usize,
+    /// Missing values left unfilled (no consistent candidate found).
+    pub unimputed: usize,
+    /// Candidate tuples scored across all clusters (Algorithm 3 output
+    /// rows).
+    pub candidates_scored: usize,
+    /// Candidate values submitted to IS_FAULTLESS.
+    pub verifications: usize,
+    /// Verifications that found a violation (candidate rejected).
+    pub verification_failures: usize,
+    /// Clusters visited across all missing values.
+    pub clusters_visited: usize,
+    /// Key-RFDs re-admitted to `Σ'` after an imputation (Example 5.1).
+    pub keys_reactivated: usize,
+    /// RFDs classified as keys during pre-processing.
+    pub keys_filtered: usize,
+}
+
+/// Result of a RENUVER run.
+#[derive(Debug, Clone)]
+pub struct ImputationResult {
+    /// The relation after imputation (`r'`). Cells that could not be
+    /// consistently imputed are left missing, per Section 4.
+    pub relation: Relation,
+    /// Successfully imputed cells, in imputation order.
+    pub imputed: Vec<ImputedCell>,
+    /// Cells left missing.
+    pub unimputed: Vec<Cell>,
+    /// Work counters.
+    pub stats: ImputationStats,
+    /// Event log, populated only when the engine's `trace` flag is set
+    /// (empty otherwise).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl ImputationResult {
+    /// Fraction of originally missing cells that were filled
+    /// (0 when there was nothing to fill).
+    pub fn fill_rate(&self) -> f64 {
+        if self.stats.missing_total == 0 {
+            0.0
+        } else {
+            self.stats.imputed as f64 / self.stats.missing_total as f64
+        }
+    }
+
+    /// Looks up the imputed value for `cell`, if that cell was filled.
+    pub fn value_for(&self, cell: Cell) -> Option<&Value> {
+        self.imputed
+            .iter()
+            .find(|ic| ic.cell == cell)
+            .map(|ic| &ic.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renuver_data::{AttrType, Schema};
+
+    #[test]
+    fn fill_rate() {
+        let schema = Schema::new([("A", AttrType::Int)]).unwrap();
+        let rel = Relation::empty(schema);
+        let mut res = ImputationResult {
+            relation: rel,
+            imputed: vec![],
+            unimputed: vec![],
+            stats: ImputationStats::default(),
+            trace: vec![],
+        };
+        assert_eq!(res.fill_rate(), 0.0);
+        res.stats.missing_total = 4;
+        res.stats.imputed = 3;
+        assert_eq!(res.fill_rate(), 0.75);
+    }
+
+    #[test]
+    fn value_for_lookup() {
+        let schema = Schema::new([("A", AttrType::Int)]).unwrap();
+        let rel = Relation::empty(schema);
+        let res = ImputationResult {
+            relation: rel,
+            imputed: vec![ImputedCell {
+                cell: Cell::new(2, 0),
+                value: Value::Int(7),
+                donor_row: 1,
+                distance: 0.5,
+                cluster_threshold: 1.0,
+                via: Rfd::new(
+                    vec![renuver_rfd::Constraint::new(1, 0.0)],
+                    renuver_rfd::Constraint::new(0, 1.0),
+                ),
+            }],
+            unimputed: vec![Cell::new(3, 0)],
+            stats: ImputationStats::default(),
+            trace: vec![],
+        };
+        assert_eq!(res.value_for(Cell::new(2, 0)), Some(&Value::Int(7)));
+        assert_eq!(res.value_for(Cell::new(3, 0)), None);
+    }
+}

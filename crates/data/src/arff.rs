@@ -1,0 +1,394 @@
+//! ARFF (Attribute-Relation File Format) codec.
+//!
+//! The UCI datasets the paper evaluates on (Glass, Bridges, …) are
+//! distributed in Weka's ARFF format, so a practical release reads it
+//! natively. Supported: `@relation`, `@attribute` with `numeric`/`real`/
+//! `integer`/`string`/nominal-specification types, `@data` with
+//! comma-separated rows, `?` for missing values, quoted identifiers and
+//! values, and `%` comments. Sparse rows (`{i v, …}`) are not supported —
+//! none of the relevant datasets use them.
+//!
+//! Nominal attributes (`{red, green, blue}`) are mapped to [`AttrType::Text`];
+//! the declared value list is validated against the data.
+
+use std::path::Path;
+
+use crate::error::DataError;
+use crate::relation::Relation;
+use crate::schema::{AttrType, Schema};
+use crate::value::Value;
+
+/// Parses ARFF text into a relation.
+pub fn read_str(input: &str) -> Result<Relation, DataError> {
+    let mut name = None;
+    let mut attrs: Vec<(String, AttrType, Option<Vec<String>>)> = Vec::new();
+    let mut in_data = false;
+    let mut rel: Option<Relation> = None;
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !in_data {
+            let lower = line.to_ascii_lowercase();
+            if lower.starts_with("@relation") {
+                name = Some(unquote(line[9..].trim()).to_owned());
+            } else if lower.starts_with("@attribute") {
+                let rest = line[10..].trim();
+                let (attr_name, ty_spec) = split_attr(rest, lineno)?;
+                let (ty, nominal) = parse_type(ty_spec, lineno)?;
+                attrs.push((attr_name, ty, nominal));
+            } else if lower.starts_with("@data") {
+                if attrs.is_empty() {
+                    return Err(DataError::Csv {
+                        line: lineno,
+                        message: "@data before any @attribute".into(),
+                    });
+                }
+                let schema =
+                    Schema::new(attrs.iter().map(|(n, t, _)| (n.clone(), *t)))?;
+                rel = Some(Relation::empty(schema));
+                in_data = true;
+            } else {
+                return Err(DataError::Csv {
+                    line: lineno,
+                    message: format!("unexpected ARFF header line {line:?}"),
+                });
+            }
+        } else {
+            let rel = rel.as_mut().expect("set when @data seen");
+            let fields = split_data_row(line, lineno)?;
+            if fields.len() != attrs.len() {
+                return Err(DataError::Csv {
+                    line: lineno,
+                    message: format!(
+                        "expected {} fields, found {}",
+                        attrs.len(),
+                        fields.len()
+                    ),
+                });
+            }
+            let mut tuple = Vec::with_capacity(fields.len());
+            for (field, (attr_name, ty, nominal)) in fields.iter().zip(&attrs) {
+                let v = if field == "?" {
+                    Value::Null
+                } else {
+                    let field = unquote(field);
+                    if let Some(allowed) = nominal {
+                        if !allowed.iter().any(|a| a == field) {
+                            return Err(DataError::Csv {
+                                line: lineno,
+                                message: format!(
+                                    "value {field:?} not in the nominal domain of {attr_name:?}"
+                                ),
+                            });
+                        }
+                    }
+                    Value::parse(field, *ty)
+                };
+                tuple.push(v);
+            }
+            rel.push(tuple)?;
+        }
+    }
+    let _ = name; // the relation name is not represented in `Relation`
+    rel.ok_or(DataError::Csv { line: 0, message: "no @data section".into() })
+}
+
+/// Reads an ARFF file.
+pub fn read_path(path: impl AsRef<Path>) -> Result<Relation, DataError> {
+    read_str(&std::fs::read_to_string(path)?)
+}
+
+/// Serializes a relation to ARFF text. Text attributes are emitted as
+/// `string` (not nominal); missing values as `?`.
+pub fn write_string(rel: &Relation, relation_name: &str) -> String {
+    let mut out = format!("@relation {}\n\n", quote_if_needed(relation_name));
+    for a in rel.schema().attrs() {
+        let ty = match a.ty {
+            AttrType::Int => "integer",
+            AttrType::Float => "numeric",
+            AttrType::Text => "string",
+            // ARFF has no boolean; the conventional encoding is a nominal.
+            AttrType::Bool => "{true, false}",
+        };
+        out.push_str(&format!("@attribute {} {}\n", quote_if_needed(&a.name), ty));
+    }
+    out.push_str("\n@data\n");
+    for t in rel.tuples() {
+        let row: Vec<String> = t
+            .iter()
+            .map(|v| {
+                if v.is_null() {
+                    "?".to_owned()
+                } else {
+                    quote_if_needed(&v.render())
+                }
+            })
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a relation to an ARFF file.
+pub fn write_path(
+    rel: &Relation,
+    relation_name: &str,
+    path: impl AsRef<Path>,
+) -> Result<(), DataError> {
+    std::fs::write(path, write_string(rel, relation_name))?;
+    Ok(())
+}
+
+/// Drops a `%` comment unless it is inside quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_quote: Option<char> = None;
+    for (i, c) in line.char_indices() {
+        match (c, in_quote) {
+            ('%', None) => return &line[..i],
+            (q @ ('\'' | '"'), None) => in_quote = Some(q),
+            (q, Some(open)) if q == open => in_quote = None,
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Splits `@attribute <name> <type>`; the name may be quoted.
+fn split_attr(rest: &str, line: usize) -> Result<(String, &str), DataError> {
+    let rest = rest.trim();
+    if let Some(q) = rest.chars().next().filter(|c| *c == '\'' || *c == '"') {
+        if let Some(end) = rest[1..].find(q) {
+            let name = rest[1..=end].to_owned();
+            return Ok((name, rest[end + 2..].trim()));
+        }
+        return Err(DataError::Csv { line, message: "unterminated attribute name".into() });
+    }
+    match rest.split_once(char::is_whitespace) {
+        Some((name, ty)) => Ok((name.to_owned(), ty.trim())),
+        None => Err(DataError::Csv { line, message: "attribute without a type".into() }),
+    }
+}
+
+/// Maps an ARFF type spec onto [`AttrType`] plus the nominal domain.
+fn parse_type(
+    spec: &str,
+    line: usize,
+) -> Result<(AttrType, Option<Vec<String>>), DataError> {
+    let lower = spec.to_ascii_lowercase();
+    if lower == "numeric" || lower == "real" {
+        return Ok((AttrType::Float, None));
+    }
+    if lower == "integer" {
+        return Ok((AttrType::Int, None));
+    }
+    if lower == "string" {
+        return Ok((AttrType::Text, None));
+    }
+    if spec.starts_with('{') && spec.ends_with('}') {
+        let values: Vec<String> = split_data_row(&spec[1..spec.len() - 1], line)?
+            .into_iter()
+            .map(|v| unquote(&v).to_owned())
+            .collect();
+        if values.is_empty() {
+            return Err(DataError::Csv { line, message: "empty nominal domain".into() });
+        }
+        // Booleans encoded as {true, false} keep their natural type.
+        let mut sorted: Vec<String> =
+            values.iter().map(|v| v.to_ascii_lowercase()).collect();
+        sorted.sort();
+        if sorted == ["false", "true"] {
+            return Ok((AttrType::Bool, None));
+        }
+        return Ok((AttrType::Text, Some(values)));
+    }
+    if lower.starts_with("date") {
+        // Dates are preserved as text; distance = edit distance.
+        return Ok((AttrType::Text, None));
+    }
+    Err(DataError::Csv { line, message: format!("unsupported ARFF type {spec:?}") })
+}
+
+/// Splits a data row on commas, honoring single/double quotes.
+fn split_data_row(line: &str, lineno: usize) -> Result<Vec<String>, DataError> {
+    let mut out = Vec::new();
+    let mut field = String::new();
+    let mut in_quote: Option<char> = None;
+    for c in line.chars() {
+        match (c, in_quote) {
+            (',', None) => out.push(std::mem::take(&mut field)),
+            (q @ ('\'' | '"'), None) => {
+                in_quote = Some(q);
+                field.push(q);
+            }
+            (q, Some(open)) if q == open => {
+                in_quote = None;
+                field.push(q);
+            }
+            (c, _) => field.push(c),
+        }
+    }
+    if in_quote.is_some() {
+        return Err(DataError::Csv { line: lineno, message: "unterminated quote".into() });
+    }
+    out.push(field);
+    Ok(out.into_iter().map(|f| f.trim().to_owned()).collect())
+}
+
+/// Strips one layer of matching quotes.
+fn unquote(s: &str) -> &str {
+    let s = s.trim();
+    for q in ['\'', '"'] {
+        if s.len() >= 2 && s.starts_with(q) && s.ends_with(q) {
+            return &s[1..s.len() - 1];
+        }
+    }
+    s
+}
+
+fn quote_if_needed(s: &str) -> String {
+    if s.contains([' ', ',', '%', '\'', '"']) || s.is_empty() {
+        format!("'{}'", s.replace('\'', "\\'"))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GLASS_SNIPPET: &str = "\
+% 1. Title: Glass Identification Database
+@relation glass
+
+@attribute RI numeric
+@attribute Na numeric
+@attribute 'Type' {build_wind_float, build_wind_non_float, headlamps}
+
+@data
+1.51761,13.89,build_wind_float
+1.51618,13.53,build_wind_non_float
+1.51766,?,headlamps
+";
+
+    #[test]
+    fn reads_uci_style_file() {
+        let rel = read_str(GLASS_SNIPPET).unwrap();
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.arity(), 3);
+        assert_eq!(rel.schema().name(2), "Type");
+        assert_eq!(rel.schema().ty(0), AttrType::Float);
+        assert_eq!(rel.schema().ty(2), AttrType::Text);
+        assert_eq!(rel.value(0, 0), &Value::Float(1.51761));
+        assert!(rel.is_missing(2, 1));
+        assert_eq!(rel.value(2, 2), &Value::Text("headlamps".into()));
+    }
+
+    #[test]
+    fn nominal_domain_enforced() {
+        let bad = GLASS_SNIPPET.replace("1.51766,?,headlamps", "1.51766,?,tableware");
+        let err = read_str(&bad).unwrap_err();
+        assert!(err.to_string().contains("nominal domain"), "{err}");
+    }
+
+    #[test]
+    fn integer_and_string_types() {
+        let rel = read_str(
+            "@relation t\n\
+             @attribute id integer\n\
+             @attribute name string\n\
+             @data\n\
+             1,'Granita Cafe'\n\
+             2,Citrus\n",
+        )
+        .unwrap();
+        assert_eq!(rel.schema().ty(0), AttrType::Int);
+        assert_eq!(rel.value(0, 1), &Value::Text("Granita Cafe".into()));
+        assert_eq!(rel.value(1, 0), &Value::Int(2));
+    }
+
+    #[test]
+    fn boolean_nominal_detected() {
+        let rel = read_str(
+            "@relation t\n@attribute flag {true, false}\n@data\ntrue\nfalse\n?\n",
+        )
+        .unwrap();
+        assert_eq!(rel.schema().ty(0), AttrType::Bool);
+        assert_eq!(rel.value(0, 0), &Value::Bool(true));
+        assert!(rel.is_missing(2, 0));
+    }
+
+    #[test]
+    fn comments_stripped_outside_quotes() {
+        let rel = read_str(
+            "@relation t % trailing comment\n\
+             @attribute v string\n\
+             @data\n\
+             'fifty % off'\n",
+        )
+        .unwrap();
+        assert_eq!(rel.value(0, 0), &Value::Text("fifty % off".into()));
+    }
+
+    #[test]
+    fn errors_report_context() {
+        assert!(read_str("@data\n1\n").is_err()); // @data before attributes
+        assert!(read_str("@relation t\n@attribute v string\n").is_err()); // no data
+        let err = read_str(
+            "@relation t\n@attribute v blob\n@data\nx\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unsupported"), "{err}");
+        let err = read_str(
+            "@relation t\n@attribute a string\n@attribute b string\n@data\nonly_one\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("expected 2 fields"), "{err}");
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let rel = read_str(GLASS_SNIPPET).unwrap();
+        let text = write_string(&rel, "glass");
+        let back = read_str(&text).unwrap();
+        // Nominal domains degrade to `string`, values survive exactly.
+        assert_eq!(back.len(), rel.len());
+        for row in 0..rel.len() {
+            for col in 0..rel.arity() {
+                assert_eq!(back.value(row, col), rel.value(row, col));
+            }
+        }
+    }
+
+    #[test]
+    fn writer_quotes_spaces_and_encodes_nulls() {
+        use crate::schema::Schema;
+        let schema = Schema::new([("n", AttrType::Text)]).unwrap();
+        let rel = Relation::new(
+            schema,
+            vec![vec!["Chinois on Main".into()], vec![Value::Null]],
+        )
+        .unwrap();
+        let text = write_string(&rel, "r");
+        assert!(text.contains("'Chinois on Main'"), "{text}");
+        assert!(text.lines().last().unwrap().contains('?'), "{text}");
+        let back = read_str(&text).unwrap();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let rel = read_str(GLASS_SNIPPET).unwrap();
+        let dir = std::env::temp_dir().join("renuver-arff-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("glass.arff");
+        write_path(&rel, "glass", &path).unwrap();
+        let back = read_path(&path).unwrap();
+        assert_eq!(back.len(), rel.len());
+    }
+}

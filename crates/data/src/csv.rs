@@ -1,0 +1,296 @@
+//! Minimal RFC 4180-style CSV codec.
+//!
+//! Implemented in-repo (rather than pulling in the `csv` crate) because the
+//! datasets the paper evaluates on are plain comma-separated files with
+//! occasional quoting, and a dependency-free codec keeps the workspace
+//! self-contained. Supports quoted fields, embedded commas/newlines/quotes,
+//! CRLF, and a typed header convention.
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+use crate::error::DataError;
+use crate::relation::Relation;
+use crate::schema::{AttrType, Schema};
+use crate::value::Value;
+
+/// Splits one logical CSV record into fields. `raw` must contain balanced
+/// quotes (the reader accumulates physical lines until quotes balance).
+fn split_record(raw: &str, line: usize) -> Result<Vec<String>, DataError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = raw.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        // A quote inside an unquoted field is taken literally;
+                        // real-world CSVs (the Restaurant dataset included)
+                        // contain such fields.
+                        field.push('"');
+                    }
+                }
+                ',' => {
+                    fields.push(std::mem::take(&mut field));
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Csv { line, message: "unterminated quoted field".into() });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Quotes a field if it contains a separator, quote, or newline.
+fn quote_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Parses a header field of the form `name:type` (falling back to `Text`
+/// when the type annotation is absent).
+fn parse_header_field(field: &str) -> Result<(String, AttrType), DataError> {
+    match field.rsplit_once(':') {
+        Some((name, ty)) => Ok((name.trim().to_owned(), ty.trim().parse()?)),
+        None => Ok((field.trim().to_owned(), AttrType::Text)),
+    }
+}
+
+/// Reads a relation from CSV text with a typed header line
+/// (`Name:text,Class:int,...`). Untyped header fields default to text.
+pub fn read_str(input: &str) -> Result<Relation, DataError> {
+    read_records(input.lines().map(|l| Ok(l.to_owned())))
+}
+
+/// Reads a relation from a CSV file with a typed header line.
+pub fn read_path(path: impl AsRef<Path>) -> Result<Relation, DataError> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    read_records(reader.lines().map(|l| l.map_err(DataError::from)))
+}
+
+/// Groups physical lines into logical records: lines are joined while a
+/// record has an odd number of quote characters (an open quoted field).
+/// Returns `(first_line_number, record_text)` pairs.
+fn logical_records(
+    lines: impl Iterator<Item = Result<String, DataError>>,
+) -> Result<Vec<(usize, String)>, DataError> {
+    let mut records = Vec::new();
+    let mut lineno = 0usize;
+    let mut pending: Option<(usize, String)> = None;
+    for line in lines {
+        let line = line?;
+        lineno += 1;
+        match pending.take() {
+            None => pending = Some((lineno, line)),
+            Some((start, mut acc)) => {
+                acc.push('\n');
+                acc.push_str(&line);
+                pending = Some((start, acc));
+            }
+        }
+        // Quotes balanced: the record is complete.
+        if pending.as_ref().is_some_and(|(_, r)| r.matches('"').count() % 2 == 0) {
+            records.push(pending.take().unwrap());
+        }
+    }
+    if let Some(rec) = pending {
+        // Unterminated quote at EOF; keep it so split_record reports the error.
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+fn read_records(
+    lines: impl Iterator<Item = Result<String, DataError>>,
+) -> Result<Relation, DataError> {
+    let records = logical_records(lines)?;
+    let mut records = records.into_iter();
+    let (hline, header) = records
+        .next()
+        .ok_or(DataError::Csv { line: 0, message: "empty input".into() })?;
+    let header_fields = split_record(header.trim_end_matches('\r'), hline)?;
+    let mut attrs = Vec::with_capacity(header_fields.len());
+    for f in &header_fields {
+        attrs.push(parse_header_field(f)?);
+    }
+    let schema = Schema::new(attrs)?;
+
+    let mut rel = Relation::empty(schema);
+    for (line, record) in records {
+        let record = record.trim_end_matches('\r');
+        if record.is_empty() {
+            continue;
+        }
+        let fields = split_record(record, line)?;
+        if fields.len() != rel.arity() {
+            return Err(DataError::Csv {
+                line,
+                message: format!("expected {} fields, found {}", rel.arity(), fields.len()),
+            });
+        }
+        let tuple = fields
+            .iter()
+            .enumerate()
+            .map(|(col, raw)| Value::parse(raw, rel.schema().ty(col)))
+            .collect();
+        rel.push(tuple)?;
+    }
+    Ok(rel)
+}
+
+/// Serializes a relation to CSV text with a typed header. Missing values are
+/// written as `_` (a recognized null token) rather than empty fields, so
+/// that a row of all-null values does not collapse into a blank line and the
+/// output round-trips through [`read_str`].
+pub fn write_string(rel: &Relation) -> String {
+    let mut out = String::new();
+    for (i, a) in rel.schema().attrs().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&quote_field(&format!("{}:{}", a.name, a.ty)));
+    }
+    out.push('\n');
+    for t in rel.tuples() {
+        for (i, v) in t.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&quote_field(&v.render()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a relation to a CSV file with a typed header.
+pub fn write_path(rel: &Relation, path: impl AsRef<Path>) -> Result<(), DataError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(write_string(rel).as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+Name:text,City:text,Class:int
+Granita,Malibu,6
+\"Chinois, Main\",LA,5
+Citrus,,6
+";
+
+    #[test]
+    fn read_basic() {
+        let r = read_str(SAMPLE).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.value(0, 2), &Value::Int(6));
+        assert_eq!(r.value(1, 0), &Value::Text("Chinois, Main".into()));
+        assert!(r.is_missing(2, 1));
+    }
+
+    #[test]
+    fn untyped_header_defaults_to_text() {
+        let r = read_str("A,B\nx,y\n").unwrap();
+        assert_eq!(r.schema().ty(0), AttrType::Text);
+        assert_eq!(r.value(0, 1), &Value::Text("y".into()));
+    }
+
+    #[test]
+    fn quoted_quote_and_newline() {
+        let input = "A:text\n\"say \"\"hi\"\"\nthere\"\n";
+        let r = read_str(input).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.value(0, 0), &Value::Text("say \"hi\"\nthere".into()));
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let r = read_str("A:int\r\n1\r\n2\r\n").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.value(1, 0), &Value::Int(2));
+    }
+
+    #[test]
+    fn field_count_mismatch_reports_line() {
+        let err = read_str("A:int,B:int\n1,2\n3\n").unwrap_err();
+        match err {
+            DataError::Csv { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(read_str("A:text\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let r = read_str(SAMPLE).unwrap();
+        let text = write_string(&r);
+        let r2 = read_str(&text).unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn round_trip_with_special_chars() {
+        let schema = Schema::new([("A", AttrType::Text)]).unwrap();
+        let r = Relation::new(
+            schema,
+            vec![
+                vec!["comma, inside".into()],
+                vec!["quote \" inside".into()],
+                vec![Value::Null],
+            ],
+        )
+        .unwrap();
+        let r2 = read_str(&write_string(&r)).unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let r = read_str(SAMPLE).unwrap();
+        let dir = std::env::temp_dir().join("renuver-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.csv");
+        write_path(&r, &path).unwrap();
+        let r2 = read_path(&path).unwrap();
+        assert_eq!(r, r2);
+    }
+}

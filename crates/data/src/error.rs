@@ -1,0 +1,104 @@
+//! Error type for the data substrate.
+
+use std::fmt;
+
+/// Errors produced while building schemas and relations or decoding CSV.
+#[derive(Debug)]
+pub enum DataError {
+    /// Two attributes in one schema share a name.
+    DuplicateAttribute(String),
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// An attribute type string could not be parsed.
+    UnknownType(String),
+    /// A tuple's arity does not match the schema's.
+    ArityMismatch {
+        /// Arity the schema demands.
+        expected: usize,
+        /// Arity the tuple has.
+        actual: usize,
+    },
+    /// A value's type does not match the attribute's declared type.
+    TypeMismatch {
+        /// Attribute name.
+        attr: String,
+        /// Declared attribute type.
+        expected: String,
+        /// The offending value, rendered.
+        value: String,
+    },
+    /// A row or column index is out of bounds.
+    OutOfBounds {
+        /// What was indexed ("row" or "column").
+        what: &'static str,
+        /// Offending index.
+        index: usize,
+        /// Exclusive bound.
+        len: usize,
+    },
+    /// Malformed CSV input.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DuplicateAttribute(n) => write!(f, "duplicate attribute name {n:?}"),
+            DataError::UnknownAttribute(n) => write!(f, "unknown attribute {n:?}"),
+            DataError::UnknownType(t) => write!(f, "unknown attribute type {t:?}"),
+            DataError::ArityMismatch { expected, actual } => {
+                write!(f, "tuple arity {actual} does not match schema arity {expected}")
+            }
+            DataError::TypeMismatch { attr, expected, value } => {
+                write!(f, "value {value:?} does not fit attribute {attr:?} of type {expected}")
+            }
+            DataError::OutOfBounds { what, index, len } => {
+                write!(f, "{what} index {index} out of bounds (len {len})")
+            }
+            DataError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            DataError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DataError::ArityMismatch { expected: 3, actual: 2 };
+        assert_eq!(e.to_string(), "tuple arity 2 does not match schema arity 3");
+        let e = DataError::Csv { line: 4, message: "unterminated quote".into() };
+        assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        use std::error::Error;
+        let e = DataError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

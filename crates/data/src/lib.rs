@@ -1,0 +1,27 @@
+//! Relational data substrate for the RENUVER reproduction.
+//!
+//! This crate provides the minimal relational model the paper assumes
+//! (Section 3, Table 1): typed attribute [`Value`]s with an explicit
+//! missing-value representation (`t[A] = _`), a [`Schema`] of named, typed
+//! attributes, and a [`Relation`] instance holding tuples. A small RFC
+//! 4180-style CSV codec and a Weka ARFF codec (the format the paper's UCI
+//! datasets ship in) are included so datasets can be loaded from and
+//! persisted to disk without external dependencies.
+//!
+//! Nothing in this crate knows about dependencies or imputation; it is the
+//! substrate everything else (distances, RFDs, the RENUVER algorithm,
+//! baselines) is built on.
+
+pub mod arff;
+pub mod csv;
+pub mod error;
+pub mod profile;
+pub mod relation;
+pub mod schema;
+pub mod value;
+
+pub use error::DataError;
+pub use profile::{profile, AttrProfile};
+pub use relation::{Cell, Relation, Tuple};
+pub use schema::{AttrId, AttrType, Attribute, Schema};
+pub use value::Value;

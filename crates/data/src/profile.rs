@@ -1,0 +1,159 @@
+//! Per-attribute statistical profiles of a relation.
+//!
+//! Profiles summarize what a column holds — null counts, distinct counts,
+//! numeric range and mean, text length range — and feed distribution-aware
+//! features: the CLI's `stats` command, and (through
+//! `renuver-rfd`'s `auto_limits`) the per-attribute discovery threshold
+//! caps of the paper's future-work item.
+
+use crate::relation::Relation;
+use crate::schema::{AttrId, AttrType};
+use crate::value::Value;
+
+/// Statistics of one attribute over an instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrProfile {
+    /// Attribute id.
+    pub attr: AttrId,
+    /// Attribute name (copied from the schema for self-contained display).
+    pub name: String,
+    /// Attribute type.
+    pub ty: AttrType,
+    /// Rows with a missing value here.
+    pub nulls: usize,
+    /// Distinct non-null values.
+    pub distinct: usize,
+    /// Numeric range `(min, max)` for numeric columns with data.
+    pub numeric_range: Option<(f64, f64)>,
+    /// Mean of the numeric values.
+    pub numeric_mean: Option<f64>,
+    /// `(shortest, longest)` value length in chars, for text columns.
+    pub text_len_range: Option<(usize, usize)>,
+}
+
+impl AttrProfile {
+    /// Fraction of rows missing this attribute (0 for an empty relation).
+    pub fn null_rate(&self, total_rows: usize) -> f64 {
+        if total_rows == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / total_rows as f64
+        }
+    }
+
+    /// A crude uniqueness score: distinct / non-null (1 = key-like).
+    pub fn uniqueness(&self, total_rows: usize) -> f64 {
+        let present = total_rows.saturating_sub(self.nulls);
+        if present == 0 {
+            0.0
+        } else {
+            self.distinct as f64 / present as f64
+        }
+    }
+}
+
+/// Profiles one attribute.
+pub fn profile_attr(rel: &Relation, attr: AttrId) -> AttrProfile {
+    let mut nulls = 0usize;
+    let mut distinct: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut num_min = f64::INFINITY;
+    let mut num_max = f64::NEG_INFINITY;
+    let mut num_sum = 0.0;
+    let mut num_count = 0usize;
+    let mut len_min = usize::MAX;
+    let mut len_max = 0usize;
+    for t in rel.tuples() {
+        match &t[attr] {
+            Value::Null => nulls += 1,
+            v => {
+                distinct.insert(v.render());
+                if let Some(x) = v.as_f64() {
+                    num_min = num_min.min(x);
+                    num_max = num_max.max(x);
+                    num_sum += x;
+                    num_count += 1;
+                }
+                if let Some(s) = v.as_text() {
+                    let len = s.chars().count();
+                    len_min = len_min.min(len);
+                    len_max = len_max.max(len);
+                }
+            }
+        }
+    }
+    AttrProfile {
+        attr,
+        name: rel.schema().name(attr).to_owned(),
+        ty: rel.schema().ty(attr),
+        nulls,
+        distinct: distinct.len(),
+        numeric_range: (num_count > 0).then_some((num_min, num_max)),
+        numeric_mean: (num_count > 0).then(|| num_sum / num_count as f64),
+        text_len_range: (len_max > 0 || len_min != usize::MAX)
+            .then_some((len_min.min(len_max), len_max)),
+    }
+}
+
+/// Profiles every attribute of the relation.
+pub fn profile(rel: &Relation) -> Vec<AttrProfile> {
+    rel.schema().attr_ids().map(|a| profile_attr(rel, a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn sample() -> Relation {
+        let schema = Schema::new([
+            ("City", AttrType::Text),
+            ("Pop", AttrType::Int),
+        ])
+        .unwrap();
+        Relation::new(
+            schema,
+            vec![
+                vec!["Salerno".into(), Value::Int(130)],
+                vec!["Milano".into(), Value::Int(1350)],
+                vec!["Salerno".into(), Value::Null],
+                vec![Value::Null, Value::Int(20)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn profiles_counts() {
+        let p = profile(&sample());
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].name, "City");
+        assert_eq!(p[0].nulls, 1);
+        assert_eq!(p[0].distinct, 2);
+        assert_eq!(p[0].text_len_range, Some((6, 7)));
+        assert_eq!(p[0].numeric_range, None);
+        assert_eq!(p[1].nulls, 1);
+        assert_eq!(p[1].distinct, 3);
+        assert_eq!(p[1].numeric_range, Some((20.0, 1350.0)));
+        assert_eq!(p[1].numeric_mean, Some(500.0));
+    }
+
+    #[test]
+    fn rates_and_uniqueness() {
+        let p = profile(&sample());
+        assert_eq!(p[0].null_rate(4), 0.25);
+        assert!((p[0].uniqueness(4) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p[1].uniqueness(4), 1.0);
+    }
+
+    #[test]
+    fn empty_relation_profiles() {
+        let schema = Schema::new([("A", AttrType::Float)]).unwrap();
+        let rel = Relation::empty(schema);
+        let p = profile(&rel);
+        assert_eq!(p[0].nulls, 0);
+        assert_eq!(p[0].distinct, 0);
+        assert_eq!(p[0].numeric_range, None);
+        assert_eq!(p[0].null_rate(0), 0.0);
+        assert_eq!(p[0].uniqueness(0), 0.0);
+    }
+}

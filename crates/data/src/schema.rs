@@ -1,0 +1,215 @@
+//! Relation schemas: named, typed attributes.
+
+use std::fmt;
+
+use crate::error::DataError;
+
+/// Index of an attribute within a [`Schema`] (the paper's `A ∈ attr(R)`).
+///
+/// Attribute ids are dense `0..m` indices; every per-attribute structure in
+/// the workspace (distance patterns, RFD constraints, rule sets) is keyed by
+/// `AttrId` so lookups are array indexing, never string hashing.
+pub type AttrId = usize;
+
+/// Domain of an attribute. Determines which distance function applies
+/// (Section 5.3: edit distance for strings, absolute difference for
+/// numbers, equality for booleans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// Free text / categorical values; compared with edit distance.
+    Text,
+    /// Integer values; compared with absolute difference.
+    Int,
+    /// Floating point values; compared with absolute difference.
+    Float,
+    /// Boolean values; compared with the equality constraint.
+    Bool,
+}
+
+impl AttrType {
+    /// `true` for the numeric domains (`Int`, `Float`).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, AttrType::Int | AttrType::Float)
+    }
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttrType::Text => "text",
+            AttrType::Int => "int",
+            AttrType::Float => "float",
+            AttrType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for AttrType {
+    type Err = DataError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "text" | "string" | "str" => Ok(AttrType::Text),
+            "int" | "integer" | "i64" => Ok(AttrType::Int),
+            "float" | "double" | "f64" | "real" => Ok(AttrType::Float),
+            "bool" | "boolean" => Ok(AttrType::Bool),
+            other => Err(DataError::UnknownType(other.to_owned())),
+        }
+    }
+}
+
+/// A single named, typed attribute of a relation schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, unique within its schema.
+    pub name: String,
+    /// Attribute domain.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        Attribute { name: name.into(), ty }
+    }
+}
+
+/// A relation schema `R = {A_1, ..., A_m}` (Definition 3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    ///
+    /// # Errors
+    /// Returns [`DataError::DuplicateAttribute`] if two attributes share a
+    /// name.
+    pub fn new<I, S>(attrs: I) -> Result<Self, DataError>
+    where
+        I: IntoIterator<Item = (S, AttrType)>,
+        S: Into<String>,
+    {
+        let mut schema = Schema { attrs: Vec::new() };
+        for (name, ty) in attrs {
+            let name = name.into();
+            if schema.index_of(&name).is_some() {
+                return Err(DataError::DuplicateAttribute(name));
+            }
+            schema.attrs.push(Attribute::new(name, ty));
+        }
+        Ok(schema)
+    }
+
+    /// Number of attributes `m`.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Iterates over the attributes in declaration order.
+    pub fn attrs(&self) -> impl Iterator<Item = &Attribute> {
+        self.attrs.iter()
+    }
+
+    /// The attribute at `id`.
+    ///
+    /// # Panics
+    /// Panics if `id >= arity()`; attribute ids always come from the same
+    /// schema so out-of-range access is a programming error.
+    pub fn attr(&self, id: AttrId) -> &Attribute {
+        &self.attrs[id]
+    }
+
+    /// Name of the attribute at `id`.
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.attrs[id].name
+    }
+
+    /// Type of the attribute at `id`.
+    pub fn ty(&self, id: AttrId) -> AttrType {
+        self.attrs[id].ty
+    }
+
+    /// Looks an attribute up by name.
+    pub fn index_of(&self, name: &str) -> Option<AttrId> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// Looks an attribute up by name, erroring with context if absent.
+    pub fn require(&self, name: &str) -> Result<AttrId, DataError> {
+        self.index_of(name)
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_owned()))
+    }
+
+    /// Ids of all attributes, `0..m`.
+    pub fn attr_ids(&self) -> std::ops::Range<AttrId> {
+        0..self.attrs.len()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new([
+            ("Name", AttrType::Text),
+            ("City", AttrType::Text),
+            ("Class", AttrType::Int),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn arity_and_lookup() {
+        let s = sample();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("City"), Some(1));
+        assert_eq!(s.index_of("Phone"), None);
+        assert_eq!(s.name(2), "Class");
+        assert_eq!(s.ty(2), AttrType::Int);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Schema::new([("A", AttrType::Int), ("A", AttrType::Text)]).unwrap_err();
+        assert!(matches!(err, DataError::DuplicateAttribute(ref n) if n == "A"));
+    }
+
+    #[test]
+    fn require_reports_unknown() {
+        let s = sample();
+        assert!(s.require("Name").is_ok());
+        assert!(matches!(
+            s.require("Phone"),
+            Err(DataError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn type_parsing() {
+        assert_eq!("double".parse::<AttrType>().unwrap(), AttrType::Float);
+        assert_eq!("STRING".parse::<AttrType>().unwrap(), AttrType::Text);
+        assert!("blob".parse::<AttrType>().is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(sample().to_string(), "R(Name: text, City: text, Class: int)");
+    }
+}

@@ -1,0 +1,192 @@
+//! Synthetic Bridges dataset (108 × 13), modeled on the Pittsburgh bridges
+//! data.
+//!
+//! Attributes: Id, River, Location, Erected, Purpose, Length, Lanes,
+//! ClearG, TOrD, Material, Span, RelL, Type. Categorical correlations are
+//! planted the way the real data exhibits them: the construction era
+//! determines the material (wood → iron → steel), the material constrains
+//! the bridge type, span follows length, and lanes follow purpose — a
+//! categorical-heavy profile where RFD thresholds bite (Section 6.2's
+//! Bridges discussion).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use renuver_data::{AttrType, Relation, Schema, Value};
+use renuver_rulekit::{parse_rules, RuleSet};
+
+use crate::names::RIVERS;
+
+/// Total rows, matching Table 3.
+pub const TUPLES: usize = 108;
+
+/// Builds the 13-attribute schema.
+pub fn schema() -> Schema {
+    Schema::new([
+        ("Id", AttrType::Text),
+        ("River", AttrType::Text),
+        ("Location", AttrType::Int),
+        ("Erected", AttrType::Int),
+        ("Purpose", AttrType::Text),
+        ("Length", AttrType::Int),
+        ("Lanes", AttrType::Int),
+        ("ClearG", AttrType::Text),
+        ("TOrD", AttrType::Text),
+        ("Material", AttrType::Text),
+        ("Span", AttrType::Text),
+        ("RelL", AttrType::Text),
+        ("Type", AttrType::Text),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Generates the paper-sized dataset deterministically from `seed`.
+pub fn generate(seed: u64) -> Relation {
+    generate_n(TUPLES, seed)
+}
+
+/// Generates `n` rows; `generate_n(TUPLES, seed)` is exactly
+/// [`generate`]`(seed)`.
+pub fn generate_n(n: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB41D6E);
+    let mut tuples = Vec::with_capacity(n);
+    for i in 1..=n {
+        let erected = 1818 + rng.random_range(0..170i64);
+        // Era determines material; material constrains the bridge type.
+        let material = if erected < 1870 {
+            "WOOD"
+        } else if erected < 1910 {
+            "IRON"
+        } else {
+            "STEEL"
+        };
+        let ty = match material {
+            "WOOD" => "WOOD",
+            "IRON" => {
+                if rng.random_bool(0.6) {
+                    "SUSPEN"
+                } else {
+                    "SIMPLE-T"
+                }
+            }
+            _ => match rng.random_range(0..3) {
+                0 => "ARCH",
+                1 => "CANTILEV",
+                _ => "CONT-T",
+            },
+        };
+        let purpose = match rng.random_range(0..10) {
+            0..=5 => "HIGHWAY",
+            6..=8 => "RR",
+            _ => "AQUEDUCT",
+        };
+        let lanes: i64 = match purpose {
+            "HIGHWAY" => {
+                if erected > 1940 {
+                    4
+                } else {
+                    2
+                }
+            }
+            "RR" => 2,
+            _ => 1,
+        };
+        let length = 800 + rng.random_range(0..2500i64);
+        let span = if length < 1200 {
+            "SHORT"
+        } else if length < 2400 {
+            "MEDIUM"
+        } else {
+            "LONG"
+        };
+        let rel_l = if length < 1200 {
+            "S"
+        } else if length < 2400 {
+            "S-F"
+        } else {
+            "F"
+        };
+        let t_or_d = if matches!(ty, "SUSPEN" | "ARCH") { "THROUGH" } else { "DECK" };
+        let clear_g = if purpose == "HIGHWAY" { "G" } else { "N" };
+        tuples.push(vec![
+            Value::Text(format!("E{i}")),
+            Value::Text(RIVERS[rng.random_range(0..RIVERS.len())].to_owned()),
+            Value::Int(rng.random_range(1..53i64)),
+            Value::Int(erected),
+            Value::Text(purpose.to_owned()),
+            Value::Int(length),
+            Value::Int(lanes),
+            Value::Text(clear_g.to_owned()),
+            Value::Text(t_or_d.to_owned()),
+            Value::Text(material.to_owned()),
+            Value::Text(span.to_owned()),
+            Value::Text(rel_l.to_owned()),
+            Value::Text(ty.to_owned()),
+        ]);
+    }
+    Relation::new(schema(), tuples).expect("generated tuples fit the schema")
+}
+
+/// Validation rules: the numeric attributes admit deltas at the precision a
+/// historical record supports; categorical attributes must match exactly
+/// (no rules registered).
+pub fn rules() -> RuleSet {
+    parse_rules(
+        "# Bridges validation rules\n\
+         attr Erected\n  delta 5\n\
+         attr Length\n  delta 200\n\
+         attr Location\n  delta 2\n",
+    )
+    .expect("static rule file parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn era_determines_material() {
+        let rel = generate(1);
+        let s = rel.schema();
+        let (erected, material) = (s.require("Erected").unwrap(), s.require("Material").unwrap());
+        for t in rel.tuples() {
+            let year = t[erected].as_f64().unwrap() as i64;
+            let mat = t[material].as_text().unwrap();
+            match mat {
+                "WOOD" => assert!(year < 1870),
+                "IRON" => assert!((1870..1910).contains(&year)),
+                "STEEL" => assert!(year >= 1910),
+                other => panic!("unexpected material {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn span_follows_length() {
+        let rel = generate(2);
+        let s = rel.schema();
+        let (length, span) = (s.require("Length").unwrap(), s.require("Span").unwrap());
+        for t in rel.tuples() {
+            let len = t[length].as_f64().unwrap() as i64;
+            let sp = t[span].as_text().unwrap();
+            match sp {
+                "SHORT" => assert!(len < 1200),
+                "MEDIUM" => assert!((1200..2400).contains(&len)),
+                "LONG" => assert!(len >= 2400),
+                other => panic!("unexpected span {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ids_unique() {
+        let rel = generate(3);
+        let mut ids: Vec<String> = rel
+            .tuples()
+            .map(|t| t[0].as_text().unwrap().to_owned())
+            .collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), TUPLES);
+    }
+}

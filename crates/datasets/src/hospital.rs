@@ -1,0 +1,194 @@
+//! Synthetic Hospital dataset (n × 15), modeled on the US HHS hospital
+//! quality data — the canonical benchmark of the Holoclean line of work
+//! (the paper's ref. \[20\] evaluates on it) and a natural companion to
+//! the four RENUVER datasets.
+//!
+//! Hospitals repeat across measure rows (one row per quality measure per
+//! hospital), so the provider attributes are massively redundant — the
+//! regime where dependency-driven repair shines. Planted dependencies:
+//! ProviderNumber → every provider attribute (name, address, city, state,
+//! zip, county, phone, ownership, emergency service), MeasureCode ↔
+//! MeasureName, State → StateAvg prefix.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use renuver_data::{AttrType, Relation, Schema, Value};
+use renuver_rulekit::{parse_rules, RuleSet};
+
+use crate::names::{CITIES, LAST_NAMES, STREETS};
+
+/// The quality measures hospitals report, as (code, name) pairs.
+const MEASURES: &[(&str, &str)] = &[
+    ("AMI-1", "aspirin at arrival"),
+    ("AMI-2", "aspirin at discharge"),
+    ("AMI-3", "ace inhibitor for lvsd"),
+    ("AMI-4", "adult smoking cessation advice"),
+    ("AMI-5", "beta blocker at discharge"),
+    ("HF-1", "discharge instructions"),
+    ("HF-2", "evaluation of lvs function"),
+    ("HF-3", "ace inhibitor or arb for lvsd"),
+    ("PN-2", "pneumococcal vaccination"),
+    ("PN-3B", "blood culture before antibiotic"),
+    ("PN-4", "adult smoking cessation advice"),
+    ("PN-5C", "initial antibiotic within 6 hours"),
+    ("SCIP-INF-1", "prophylactic antibiotic within 1 hour"),
+    ("SCIP-INF-2", "prophylactic antibiotic selection"),
+];
+
+const OWNERSHIP: &[&str] = &[
+    "government - federal",
+    "government - state",
+    "proprietary",
+    "voluntary non-profit - church",
+    "voluntary non-profit - private",
+];
+
+/// Builds the 15-attribute schema.
+pub fn schema() -> Schema {
+    Schema::new([
+        ("ProviderNumber", AttrType::Int),
+        ("HospitalName", AttrType::Text),
+        ("Address", AttrType::Text),
+        ("City", AttrType::Text),
+        ("State", AttrType::Text),
+        ("Zip", AttrType::Text),
+        ("County", AttrType::Text),
+        ("Phone", AttrType::Text),
+        ("HospitalType", AttrType::Text),
+        ("Ownership", AttrType::Text),
+        ("EmergencyService", AttrType::Bool),
+        ("MeasureCode", AttrType::Text),
+        ("MeasureName", AttrType::Text),
+        ("Score", AttrType::Int),
+        ("Sample", AttrType::Int),
+    ])
+    .expect("static schema is valid")
+}
+
+/// One hospital's provider attributes, shared by all its measure rows.
+struct Hospital {
+    provider: i64,
+    name: String,
+    address: String,
+    city: String,
+    state: String,
+    zip: String,
+    county: String,
+    phone: String,
+    ownership: &'static str,
+    emergency: bool,
+}
+
+/// Generates `n` measure rows over `n / 10` hospitals, deterministically.
+pub fn generate(n: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x405917A1);
+    let n_hospitals = (n / 10).max(1);
+    let hospitals: Vec<Hospital> = (0..n_hospitals)
+        .map(|i| {
+            let (city, area, _) = CITIES[rng.random_range(0..CITIES.len())];
+            let county = LAST_NAMES[rng.random_range(0..LAST_NAMES.len())];
+            Hospital {
+                provider: 10_000 + i as i64,
+                name: format!(
+                    "{} {} hospital",
+                    LAST_NAMES[i % LAST_NAMES.len()].to_lowercase(),
+                    ["memorial", "regional", "community", "general"]
+                        [rng.random_range(0..4)]
+                ),
+                address: format!(
+                    "{} {}",
+                    100 + rng.random_range(0..900),
+                    STREETS[rng.random_range(0..STREETS.len())].to_lowercase()
+                ),
+                city: city.to_lowercase(),
+                state: ["al", "ak", "az", "ca", "ny", "tx"][rng.random_range(0..6)]
+                    .to_owned(),
+                zip: format!("{:05}", 10000 + i * 37 % 90000),
+                county: county.to_lowercase(),
+                phone: format!("{area}{:07}", rng.random_range(0..9_999_999)),
+                ownership: OWNERSHIP[rng.random_range(0..OWNERSHIP.len())],
+                emergency: rng.random_bool(0.7),
+            }
+        })
+        .collect();
+
+    let mut tuples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let h = &hospitals[rng.random_range(0..hospitals.len())];
+        let (code, name) = MEASURES[rng.random_range(0..MEASURES.len())];
+        tuples.push(vec![
+            Value::Int(h.provider),
+            Value::Text(h.name.clone()),
+            Value::Text(h.address.clone()),
+            Value::Text(h.city.clone()),
+            Value::Text(h.state.clone()),
+            Value::Text(h.zip.clone()),
+            Value::Text(h.county.clone()),
+            Value::Text(h.phone.clone()),
+            Value::Text("acute care hospitals".to_owned()),
+            Value::Text(h.ownership.to_owned()),
+            Value::Bool(h.emergency),
+            Value::Text(code.to_owned()),
+            Value::Text(name.to_owned()),
+            Value::Int(rng.random_range(40..100)),
+            Value::Int(rng.random_range(10..500)),
+        ]);
+    }
+    Relation::new(schema(), tuples).expect("generated tuples fit the schema")
+}
+
+/// Validation rules: phone digits modulo separators, zip digits, score and
+/// sample within survey tolerances.
+pub fn rules() -> RuleSet {
+    parse_rules(
+        "# Hospital validation rules\n\
+         attr Phone\n  regex \\d{10} project digits\n\
+         attr Zip\n  regex \\d{5} project digits\n\
+         attr Score\n  delta 5\n\
+         attr Sample\n  delta 50\n",
+    )
+    .expect("static rule file parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provider_determines_every_provider_attribute() {
+        let rel = generate(400, 1);
+        let mut by_provider: std::collections::HashMap<String, Vec<String>> =
+            std::collections::HashMap::new();
+        for t in rel.tuples() {
+            let key = t[0].render();
+            let provider_attrs: Vec<String> =
+                (1..=10).map(|a| t[a].render()).collect();
+            match by_provider.get(&key) {
+                None => {
+                    by_provider.insert(key, provider_attrs);
+                }
+                Some(prev) => assert_eq!(prev, &provider_attrs, "provider {key}"),
+            }
+        }
+        // Rows per hospital ≈ 10: real redundancy exists.
+        assert!(by_provider.len() >= 30);
+    }
+
+    #[test]
+    fn measure_code_determines_name() {
+        let rel = generate(300, 2);
+        let s = rel.schema();
+        let (code, name) = (
+            s.require("MeasureCode").unwrap(),
+            s.require("MeasureName").unwrap(),
+        );
+        let mut map = std::collections::HashMap::new();
+        for t in rel.tuples() {
+            let k = t[code].render();
+            let v = t[name].render();
+            assert_eq!(map.entry(k).or_insert_with(|| v.clone()), &v);
+        }
+    }
+
+}

@@ -1,0 +1,139 @@
+//! Shared word pools for the synthetic generators.
+
+/// Cities with their phone area code and the spelling variants the
+/// Restaurant duplicates use (the canonical spelling first).
+pub const CITIES: &[(&str, &str, &[&str])] = &[
+    ("Los Angeles", "213", &["Los Angeles", "LA", "L.A."]),
+    ("New York", "212", &["New York", "New York City", "NY"]),
+    ("San Francisco", "415", &["San Francisco", "SF", "San Fran"]),
+    ("Malibu", "310", &["Malibu"]),
+    ("Hollywood", "323", &["Hollywood", "W. Hollywood"]),
+    ("Pasadena", "626", &["Pasadena"]),
+    ("Santa Monica", "424", &["Santa Monica", "Sta. Monica"]),
+    ("Atlanta", "404", &["Atlanta"]),
+    ("Brooklyn", "718", &["Brooklyn"]),
+    ("Chicago", "312", &["Chicago"]),
+    ("Boston", "617", &["Boston"]),
+    ("Queens", "917", &["Queens"]),
+];
+
+/// Cuisine types with their numeric class id (the Restaurant `Class`
+/// column is "a numeric id associated to the type of cuisine").
+pub const CUISINES: &[(&str, i64)] = &[
+    ("American", 1),
+    ("Italian", 2),
+    ("Chinese", 3),
+    ("Mexican", 4),
+    ("French", 5),
+    ("Californian", 6),
+    ("Japanese", 7),
+    ("Indian", 8),
+    ("Thai", 9),
+    ("Seafood", 10),
+    ("Steakhouse", 11),
+    ("Mediterranean", 12),
+    ("Cajun", 13),
+    ("Vegetarian", 14),
+    ("Continental", 15),
+];
+
+/// First words of restaurant names.
+pub const NAME_HEADS: &[&str] = &[
+    "Granita", "Citrus", "Fenix", "Chinois", "Campanile", "Spago", "Patina",
+    "Lespinasse", "Aquavit", "Nobu", "Carmine", "Remi", "Zarela", "Palio",
+    "Dawat", "Arcadia", "Montrachet", "Chanterelle", "Provence", "Verbena",
+    "Maxim", "Tavola", "Bouley", "Daniel", "Lutece", "Oceana", "Solera",
+    "Tribeca", "Vernon", "Zoe", "Cascabel", "Delmonico", "Gotham", "Mesa",
+    "Parioli", "Rainbow", "Savoy", "Terrace", "Union", "Vong",
+];
+
+/// Second words of restaurant names (empty means single-word name).
+pub const NAME_TAILS: &[&str] = &[
+    "", "Grill", "Main", "on Main", "Bistro", "Cafe", "Kitchen", "Room",
+    "House", "Garden", "Argyle", "East", "West", "Club", "Tavern", "Express",
+];
+
+/// Street names for addresses.
+pub const STREETS: &[&str] = &[
+    "Ocean Ave", "Main St", "Melrose Ave", "Broadway", "Sunset Blvd",
+    "Wilshire Blvd", "Madison Ave", "Lexington Ave", "Columbus Ave",
+    "Hudson St", "Spring St", "Canal St", "La Brea Ave", "Pico Blvd",
+    "3rd St", "57th St",
+];
+
+/// Rivers for the Bridges dataset.
+pub const RIVERS: &[&str] = &["Allegheny", "Monongahela", "Ohio", "Youghiogheny"];
+
+/// US state codes used by the Physician dataset.
+pub const STATES: &[&str] = &["CA", "NY", "TX", "FL", "PA", "OH", "IL", "MA", "GA", "WA"];
+
+/// Medical schools for the Physician dataset.
+pub const SCHOOLS: &[&str] = &[
+    "HARVARD MEDICAL SCHOOL",
+    "JOHNS HOPKINS UNIVERSITY",
+    "STANFORD UNIVERSITY",
+    "UNIVERSITY OF PENNSYLVANIA",
+    "DUKE UNIVERSITY",
+    "COLUMBIA UNIVERSITY",
+    "YALE UNIVERSITY",
+    "UNIVERSITY OF MICHIGAN",
+    "EMORY UNIVERSITY",
+    "BAYLOR COLLEGE OF MEDICINE",
+    "OTHER",
+];
+
+/// Medical specialties for the Physician dataset.
+pub const SPECIALTIES: &[&str] = &[
+    "INTERNAL MEDICINE",
+    "FAMILY PRACTICE",
+    "CARDIOLOGY",
+    "DERMATOLOGY",
+    "ORTHOPEDIC SURGERY",
+    "PEDIATRICS",
+    "PSYCHIATRY",
+    "RADIOLOGY",
+    "ANESTHESIOLOGY",
+    "NEUROLOGY",
+    "OPHTHALMOLOGY",
+    "UROLOGY",
+];
+
+/// Given names for physicians.
+pub const FIRST_NAMES: &[&str] = &[
+    "JAMES", "MARY", "JOHN", "PATRICIA", "ROBERT", "JENNIFER", "MICHAEL",
+    "LINDA", "WILLIAM", "ELIZABETH", "DAVID", "BARBARA", "RICHARD", "SUSAN",
+    "JOSEPH", "JESSICA", "THOMAS", "SARAH", "CARLOS", "KAREN",
+];
+
+/// Family names for physicians.
+pub const LAST_NAMES: &[&str] = &[
+    "SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "GARCIA", "MILLER",
+    "DAVIS", "RODRIGUEZ", "MARTINEZ", "HERNANDEZ", "LOPEZ", "GONZALEZ",
+    "WILSON", "ANDERSON", "THOMAS", "TAYLOR", "MOORE", "JACKSON", "MARTIN",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_distinct() {
+        assert!(CITIES.len() >= 10);
+        let mut names: Vec<_> = CITIES.iter().map(|c| c.0).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CITIES.len());
+
+        let mut classes: Vec<_> = CUISINES.iter().map(|c| c.1).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        assert_eq!(classes.len(), CUISINES.len(), "class ids must be unique");
+    }
+
+    #[test]
+    fn city_variants_include_canonical() {
+        for (name, _, variants) in CITIES {
+            assert_eq!(&variants[0], name);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Synthetic Physician dataset (n × 18), modeled on the Medicare
+//! *Physician Compare* extract the paper uses for its scaling study
+//! (Table 5: 104 … 10359 tuples, 18 attributes, mixed text and numbers).
+//!
+//! Physicians cluster into practice organizations: members of one
+//! organization share the street address, city, state, zip, and phone
+//! prefix — exactly the redundancy dependency-driven imputation thrives
+//! on. Planted dependencies: Zip → City/State, Org → Street/City/Phone
+//! prefix, GradYear → Experience (exact), School ↔ SchoolCode (exact).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use renuver_data::{AttrType, Relation, Schema, Value};
+use renuver_rulekit::{parse_rules, RuleSet};
+
+use crate::names::{FIRST_NAMES, LAST_NAMES, SCHOOLS, SPECIALTIES, STATES, STREETS};
+
+/// Reference year for deriving years of experience from graduation year.
+const CURRENT_YEAR: i64 = 2021;
+
+/// Builds the 18-attribute schema.
+pub fn schema() -> Schema {
+    Schema::new([
+        ("Npi", AttrType::Int),
+        ("FirstName", AttrType::Text),
+        ("LastName", AttrType::Text),
+        ("Gender", AttrType::Text),
+        ("Credential", AttrType::Text),
+        ("School", AttrType::Text),
+        ("SchoolCode", AttrType::Int),
+        ("GradYear", AttrType::Int),
+        ("Experience", AttrType::Int),
+        ("Specialty", AttrType::Text),
+        ("OrgName", AttrType::Text),
+        ("Street", AttrType::Text),
+        ("City", AttrType::Text),
+        ("State", AttrType::Text),
+        ("Zip", AttrType::Text),
+        ("Phone", AttrType::Text),
+        ("GroupSize", AttrType::Int),
+        ("AcceptsMedicare", AttrType::Bool),
+    ])
+    .expect("static schema is valid")
+}
+
+/// One practice organization shared by several physicians.
+struct Org {
+    name: String,
+    street: String,
+    city: String,
+    state: &'static str,
+    zip: String,
+    phone_prefix: String,
+    size: i64,
+}
+
+/// Generates `n` physician rows deterministically from `seed`.
+pub fn generate(n: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD0C70B);
+    // One organization per ~6 physicians.
+    let n_orgs = (n / 6).max(1);
+    let cities: Vec<(String, &'static str, String)> = (0..(n_orgs / 3).max(1))
+        .map(|i| {
+            let state = STATES[rng.random_range(0..STATES.len())];
+            let city = format!("{}VILLE {}", LAST_NAMES[i % LAST_NAMES.len()], i);
+            // Unique by construction so Zip → City/State holds exactly.
+            let zip = format!("{:05}", 10000 + i % 90000);
+            (city, state, zip)
+        })
+        .collect();
+    let orgs: Vec<Org> = (0..n_orgs)
+        .map(|i| {
+            let (city, state, zip) = cities[rng.random_range(0..cities.len())].clone();
+            Org {
+                name: format!("{} MEDICAL GROUP {}", LAST_NAMES[i % LAST_NAMES.len()], i),
+                street: format!(
+                    "{} {}",
+                    100 + rng.random_range(0..900),
+                    STREETS[rng.random_range(0..STREETS.len())].to_uppercase()
+                ),
+                city,
+                state,
+                zip,
+                phone_prefix: format!("{}-{}", rng.random_range(200..999), rng.random_range(200..999)),
+                size: rng.random_range(2..40i64),
+            }
+        })
+        .collect();
+
+    let mut tuples = Vec::with_capacity(n);
+    for i in 0..n {
+        let org = &orgs[rng.random_range(0..orgs.len())];
+        let grad_year = 1960 + rng.random_range(0..55i64);
+        let school_idx = rng.random_range(0..SCHOOLS.len());
+        let gender = if rng.random_bool(0.5) { "M" } else { "F" };
+        tuples.push(vec![
+            Value::Int(1_000_000_000 + i as i64),
+            Value::Text(FIRST_NAMES[rng.random_range(0..FIRST_NAMES.len())].to_owned()),
+            Value::Text(LAST_NAMES[rng.random_range(0..LAST_NAMES.len())].to_owned()),
+            Value::Text(gender.to_owned()),
+            Value::Text(if rng.random_bool(0.8) { "MD" } else { "DO" }.to_owned()),
+            Value::Text(SCHOOLS[school_idx].to_owned()),
+            Value::Int(school_idx as i64 + 1),
+            Value::Int(grad_year),
+            Value::Int(CURRENT_YEAR - grad_year),
+            Value::Text(SPECIALTIES[rng.random_range(0..SPECIALTIES.len())].to_owned()),
+            Value::Text(org.name.clone()),
+            Value::Text(org.street.clone()),
+            Value::Text(org.city.clone()),
+            Value::Text(org.state.to_owned()),
+            Value::Text(org.zip.clone()),
+            Value::Text(format!("{}-{:04}", org.phone_prefix, rng.random_range(0..9999))),
+            Value::Int(org.size),
+            Value::Bool(rng.random_bool(0.9)),
+        ]);
+    }
+    Relation::new(schema(), tuples).expect("generated tuples fit the schema")
+}
+
+/// The tuple counts of the paper's Table 5 scaling ladder.
+pub const TABLE_5_SIZES: [usize; 5] = [104, 208, 1036, 2072, 10359];
+
+/// Validation rules: phone digits modulo separators, zip by digits,
+/// graduation year and experience within ±2, school admissible through its
+/// code pairing.
+pub fn rules() -> RuleSet {
+    parse_rules(
+        "# Physician validation rules\n\
+         attr Phone\n  regex \\d{3}[- ]\\d{3}[- ]\\d{4} project digits\n\
+         attr Zip\n  regex \\d{5} project digits\n\
+         attr GradYear\n  delta 2\n\
+         attr Experience\n  delta 2\n\
+         attr GroupSize\n  delta 5\n",
+    )
+    .expect("static rule file parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_sizes_generate() {
+        for &n in &[104usize, 208] {
+            let rel = generate(n, 1);
+            assert_eq!(rel.len(), n);
+            assert_eq!(rel.arity(), 18);
+        }
+    }
+
+    #[test]
+    fn experience_is_function_of_grad_year() {
+        let rel = generate(200, 2);
+        let s = rel.schema();
+        let (gy, exp) = (s.require("GradYear").unwrap(), s.require("Experience").unwrap());
+        for t in rel.tuples() {
+            let year = t[gy].as_f64().unwrap() as i64;
+            assert_eq!(t[exp], Value::Int(CURRENT_YEAR - year));
+        }
+    }
+
+    #[test]
+    fn organization_members_share_address() {
+        let rel = generate(300, 3);
+        let s = rel.schema();
+        let (org, street, city, zip) = (
+            s.require("OrgName").unwrap(),
+            s.require("Street").unwrap(),
+            s.require("City").unwrap(),
+            s.require("Zip").unwrap(),
+        );
+        let mut by_org: std::collections::HashMap<String, (String, String, String)> =
+            std::collections::HashMap::new();
+        for t in rel.tuples() {
+            let key = t[org].as_text().unwrap().to_owned();
+            let addr = (
+                t[street].as_text().unwrap().to_owned(),
+                t[city].as_text().unwrap().to_owned(),
+                t[zip].as_text().unwrap().to_owned(),
+            );
+            match by_org.get(&key) {
+                None => {
+                    by_org.insert(key, addr);
+                }
+                Some(prev) => assert_eq!(prev, &addr, "org {key} has two addresses"),
+            }
+        }
+    }
+
+    #[test]
+    fn zip_determines_city_and_state() {
+        let rel = generate(400, 4);
+        let s = rel.schema();
+        let (zip, city, state) = (
+            s.require("Zip").unwrap(),
+            s.require("City").unwrap(),
+            s.require("State").unwrap(),
+        );
+        let mut by_zip: std::collections::HashMap<String, (String, String)> =
+            std::collections::HashMap::new();
+        for t in rel.tuples() {
+            let key = t[zip].as_text().unwrap().to_owned();
+            let loc = (
+                t[city].as_text().unwrap().to_owned(),
+                t[state].as_text().unwrap().to_owned(),
+            );
+            match by_zip.get(&key) {
+                None => {
+                    by_zip.insert(key, loc);
+                }
+                Some(prev) => assert_eq!(prev, &loc, "zip {key} maps to two places"),
+            }
+        }
+    }
+
+    #[test]
+    fn npis_unique() {
+        let rel = generate(500, 5);
+        let mut npis: Vec<i64> = rel
+            .tuples()
+            .map(|t| t[0].as_f64().unwrap() as i64)
+            .collect();
+        npis.sort_unstable();
+        npis.dedup();
+        assert_eq!(npis.len(), 500);
+    }
+
+    #[test]
+    fn rules_admit_separator_variants() {
+        let rules = rules();
+        assert!(rules.validate("Phone", "555-123 4567", "555-123-4567"));
+        assert!(rules.validate("GradYear", "1990", "1992"));
+        assert!(!rules.validate("GradYear", "1990", "1995"));
+    }
+}

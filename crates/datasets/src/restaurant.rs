@@ -1,0 +1,227 @@
+//! Synthetic Restaurant dataset (864 × 6).
+//!
+//! Mirrors the RIDDLE restaurant dataset the paper uses: guide listings
+//! merged from two sources, so ~35% of restaurants appear twice with
+//! spelling variants — abbreviated names ("Chinois on Main" → "Chinois
+//! Main"), city nicknames ("Los Angeles" → "LA"), and phone-separator
+//! changes ("310/456-0488" → "310-456-0488"). Planted dependencies:
+//!
+//! - duplicates make *similar names* imply *similar phones* (φ4-style);
+//! - a phone's area code is a function of the city, and duplicates share
+//!   digits, so *equal phones* imply *similar cities* (φ0-style);
+//! - `Class` is the numeric id of the cuisine `Type` (exact FD both ways);
+//! - addresses repeat with their restaurant (Name → Address).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use renuver_data::{AttrType, Relation, Schema, Value};
+use renuver_rulekit::{parse_rules, RuleSet};
+
+use crate::names::{CITIES, CUISINES, NAME_HEADS, NAME_TAILS, STREETS};
+
+/// Total rows, matching Table 3.
+pub const TUPLES: usize = 864;
+
+/// Builds the 6-attribute schema: Name, Address, City, Phone, Type, Class.
+pub fn schema() -> Schema {
+    Schema::new([
+        ("Name", AttrType::Text),
+        ("Address", AttrType::Text),
+        ("City", AttrType::Text),
+        ("Phone", AttrType::Text),
+        ("Type", AttrType::Text),
+        ("Class", AttrType::Int),
+    ])
+    .expect("static schema is valid")
+}
+
+/// One base restaurant before duplication.
+struct Base {
+    name: String,
+    address: String,
+    city_idx: usize,
+    phone_digits: (u32, u32), // exchange, line
+    cuisine_idx: usize,
+}
+
+/// Generates the paper-sized dataset (864 rows) deterministically.
+pub fn generate(seed: u64) -> Relation {
+    generate_n(TUPLES, seed)
+}
+
+/// Generates `n` rows with the same duplicate proportion as the paper-sized
+/// dataset (~26% duplicated listings). `generate_n(864, seed)` is exactly
+/// [`generate`]`(seed)`.
+pub fn generate_n(n: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    // Same base/duplicate split as the 640 + 224 = 864 original.
+    let n_dup = (n * 224 / TUPLES).min(n.saturating_sub(1));
+    let n_base = (n - n_dup).max(1);
+
+    let mut bases = Vec::with_capacity(n_base);
+    for i in 0..n_base {
+        let head = NAME_HEADS[rng.random_range(0..NAME_HEADS.len())];
+        let tail = NAME_TAILS[rng.random_range(0..NAME_TAILS.len())];
+        let name = if tail.is_empty() {
+            format!("{head} {}", i % 97) // numeric suffix keeps names distinct
+        } else {
+            format!("{head} {tail}")
+        };
+        let city_idx = rng.random_range(0..CITIES.len());
+        let street = STREETS[rng.random_range(0..STREETS.len())];
+        bases.push(Base {
+            name,
+            address: format!("{} {street}", 100 + rng.random_range(0..900)),
+            city_idx,
+            phone_digits: (rng.random_range(200..999), rng.random_range(1000..9999)),
+            cuisine_idx: rng.random_range(0..CUISINES.len()),
+        });
+    }
+
+    let mut tuples = Vec::with_capacity(n);
+    let render = |b: &Base, variant: bool, rng: &mut StdRng| -> Vec<Value> {
+        let (city_name, area, variants) = CITIES[b.city_idx];
+        let city = if variant && variants.len() > 1 {
+            variants[1 + rng.random_range(0..variants.len() - 1)]
+        } else {
+            city_name
+        };
+        // Both sources list the same number; separators differ.
+        let (exch, line) = b.phone_digits;
+        let phone = if variant {
+            format!("{area}-{exch}-{line}")
+        } else {
+            format!("{area}/{exch}-{line}")
+        };
+        let name = if variant {
+            abbreviate(&b.name)
+        } else {
+            b.name.clone()
+        };
+        let (cuisine, class) = CUISINES[b.cuisine_idx];
+        let cuisine = if variant && rng.random_bool(0.3) {
+            format!("{cuisine} (new)")
+        } else {
+            cuisine.to_owned()
+        };
+        vec![
+            Value::Text(name),
+            Value::Text(b.address.clone()),
+            Value::Text(city.to_owned()),
+            Value::Text(phone),
+            Value::Text(cuisine),
+            Value::Int(class),
+        ]
+    };
+
+    for b in &bases {
+        tuples.push(render(b, false, &mut rng));
+    }
+    for i in 0..n_dup {
+        // Duplicate evenly spread base restaurants.
+        let b = &bases[(i * n_base / n_dup) % n_base];
+        tuples.push(render(b, true, &mut rng));
+    }
+
+    Relation::new(schema(), tuples).expect("generated tuples fit the schema")
+}
+
+/// Produces the second source's spelling of a name: drops connective words
+/// and trims long tails, like "Chinois on Main" → "Chinois Main".
+fn abbreviate(name: &str) -> String {
+    let words: Vec<&str> = name
+        .split_whitespace()
+        .filter(|w| !matches!(*w, "on" | "the" | "of"))
+        .collect();
+    words.join(" ")
+}
+
+/// Validation rules (paper Section 6.1): phones match on digits regardless
+/// of separators; city nickname groups; `(new)` suffixes on cuisine types
+/// are immaterial; Class must be exact (delta 0 adds nothing beyond
+/// equality, so no rule is registered for it).
+pub fn rules() -> RuleSet {
+    let mut text = String::from(
+        "# Restaurant validation rules\n\
+         attr Phone\n  regex \\d{3}[-/ ]\\d{3}[- ]\\d{4} project digits\n\
+         attr City\n",
+    );
+    for (_, _, variants) in CITIES {
+        if variants.len() > 1 {
+            text.push_str("  set");
+            for v in *variants {
+                text.push_str(&format!(" \"{v}\""));
+            }
+            text.push('\n');
+        }
+    }
+    text.push_str("attr Type\n");
+    for (cuisine, _) in CUISINES {
+        text.push_str(&format!("  set \"{cuisine}\" \"{cuisine} (new)\"\n"));
+    }
+    parse_rules(&text).expect("static rule file parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_is_function_of_type() {
+        let rel = generate(1);
+        let ty = rel.schema().require("Type").unwrap();
+        let class = rel.schema().require("Class").unwrap();
+        for t in rel.tuples() {
+            let cuisine = t[ty].as_text().unwrap().trim_end_matches(" (new)").to_owned();
+            let expected = CUISINES.iter().find(|(c, _)| *c == cuisine).unwrap().1;
+            assert_eq!(t[class], Value::Int(expected));
+        }
+    }
+
+    #[test]
+    fn phone_area_code_matches_city() {
+        let rel = generate(2);
+        let city = rel.schema().require("City").unwrap();
+        let phone = rel.schema().require("Phone").unwrap();
+        for t in rel.tuples() {
+            let city_v = t[city].as_text().unwrap();
+            let (_, area, _) = CITIES
+                .iter()
+                .find(|(_, _, vs)| vs.contains(&city_v))
+                .unwrap_or_else(|| panic!("unknown city {city_v}"));
+            assert!(t[phone].as_text().unwrap().starts_with(area));
+        }
+    }
+
+    #[test]
+    fn duplicates_share_digits() {
+        // Each duplicated pair lists the same 10 digits.
+        let rel = generate(3);
+        let phone = rel.schema().require("Phone").unwrap();
+        let digits = |s: &str| -> String { s.chars().filter(char::is_ascii_digit).collect() };
+        let mut by_digits = std::collections::HashMap::new();
+        for t in rel.tuples() {
+            *by_digits
+                .entry(digits(t[phone].as_text().unwrap()))
+                .or_insert(0usize) += 1;
+        }
+        let dupes = by_digits.values().filter(|&&c| c >= 2).count();
+        assert!(dupes >= 150, "expected many duplicated numbers, got {dupes}");
+    }
+
+    #[test]
+    fn abbreviation_examples() {
+        assert_eq!(abbreviate("Chinois on Main"), "Chinois Main");
+        assert_eq!(abbreviate("Granita"), "Granita");
+    }
+
+    #[test]
+    fn rules_accept_separator_variants() {
+        let rules = rules();
+        assert!(rules.validate("Phone", "310/456-0488", "310-456-0488"));
+        assert!(!rules.validate("Phone", "310/456-0489", "310-456-0488"));
+        assert!(rules.validate("City", "LA", "Los Angeles"));
+        assert!(rules.validate("Type", "French (new)", "French"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Violation detection for denial constraints.
+
+use renuver_data::Relation;
+
+use crate::model::DenialConstraint;
+
+/// `true` iff no ordered pair of distinct tuples violates the constraint.
+pub fn holds(rel: &Relation, dc: &DenialConstraint) -> bool {
+    let n = rel.len();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && dc.pair_violates(rel.tuple(i), rel.tuple(j)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// All ordered violating pairs `(i, j)`, `i ≠ j`.
+pub fn violating_pairs(rel: &Relation, dc: &DenialConstraint) -> Vec<(usize, usize)> {
+    let n = rel.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && dc.pair_violates(rel.tuple(i), rel.tuple(j)) {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+/// Number of DC violations tuple `row` participates in against the rest of
+/// the instance, across all constraints. This is the penalty feature the
+/// Holoclean-style baseline scores candidate values with.
+pub fn violations_for_row(rel: &Relation, dcs: &[DenialConstraint], row: usize) -> usize {
+    let mut count = 0;
+    let t = rel.tuple(row);
+    for dc in dcs {
+        for j in 0..rel.len() {
+            if j == row {
+                continue;
+            }
+            let tj = rel.tuple(j);
+            if dc.pair_violates(t, tj) {
+                count += 1;
+            }
+            if dc.pair_violates(tj, t) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Op, Predicate};
+    use renuver_data::{AttrType, Schema, Value};
+
+    fn rel(rows: &[(i64, i64)]) -> Relation {
+        let schema = Schema::new([("A", AttrType::Int), ("B", AttrType::Int)]).unwrap();
+        Relation::new(
+            schema,
+            rows.iter()
+                .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn fd_dc() -> DenialConstraint {
+        // A determines B: ¬(t1.A = t2.A ∧ t1.B ≠ t2.B).
+        DenialConstraint::new(vec![Predicate::new(0, Op::Eq), Predicate::new(1, Op::Neq)])
+    }
+
+    #[test]
+    fn holds_and_violations() {
+        let ok = rel(&[(1, 10), (1, 10), (2, 20)]);
+        assert!(holds(&ok, &fd_dc()));
+        assert!(violating_pairs(&ok, &fd_dc()).is_empty());
+
+        let bad = rel(&[(1, 10), (1, 20)]);
+        assert!(!holds(&bad, &fd_dc()));
+        // Both orders violate (≠ is symmetric here).
+        assert_eq!(violating_pairs(&bad, &fd_dc()), vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn asymmetric_op_ordering() {
+        // ¬(t1.A = t2.A ∧ t1.B > t2.B): within equal A, B must not decrease.
+        let dc = DenialConstraint::new(vec![
+            Predicate::new(0, Op::Eq),
+            Predicate::new(1, Op::Gt),
+        ]);
+        let r = rel(&[(1, 10), (1, 20)]);
+        assert_eq!(violating_pairs(&r, &dc), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn violations_for_row_counts_both_directions() {
+        let bad = rel(&[(1, 10), (1, 20), (1, 30)]);
+        // Row 0 conflicts with rows 1 and 2, each in both directions.
+        assert_eq!(violations_for_row(&bad, &[fd_dc()], 0), 4);
+    }
+
+    #[test]
+    fn nulls_cannot_violate() {
+        let schema = Schema::new([("A", AttrType::Int), ("B", AttrType::Int)]).unwrap();
+        let r = Relation::new(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(1), Value::Null],
+            ],
+        )
+        .unwrap();
+        assert!(holds(&r, &fd_dc()));
+    }
+}

@@ -1,0 +1,361 @@
+//! Evidence-set based DC discovery (FastDC-style, refs [2, 9]).
+//!
+//! For every ordered tuple pair, compute the **evidence set**: the set of
+//! predicates the pair satisfies, represented as a bitset over the
+//! predicate universe. A predicate conjunction `P` is a valid DC iff `P` is
+//! not a subset of any evidence set (no pair satisfies all of `P`); the
+//! interesting DCs are the **minimal** such sets. Discovery deduplicates
+//! evidence sets, then runs a size-bounded level-wise search with
+//! superset pruning.
+
+use std::collections::HashSet;
+
+use renuver_data::Relation;
+
+use crate::model::{DenialConstraint, Op, Predicate};
+
+/// Configuration for [`discover_dcs`].
+#[derive(Debug, Clone)]
+pub struct DcDiscoveryConfig {
+    /// Maximum predicates per constraint.
+    pub max_predicates: usize,
+    /// Cap on the number of (ordered) tuple pairs examined; larger
+    /// instances are sampled deterministically.
+    pub max_pairs: usize,
+    /// Drop trivially wide constraints: a DC whose predicate set is
+    /// satisfied by no *sampled* pair but is a superset of another valid DC
+    /// is never emitted; this additionally drops single-predicate DCs of
+    /// the form `¬(t1.A ≠ t2.A)` (constant columns) when `false`.
+    pub keep_single_predicate: bool,
+    /// Cap on the number of constraints returned, most general (fewest
+    /// predicates) first. The paper's DC sets are small (9 on Restaurant,
+    /// 74 on Physician); numeric-heavy data would otherwise emit thousands
+    /// of ordering constraints that drown the Holoclean baseline.
+    pub max_dcs: usize,
+}
+
+impl Default for DcDiscoveryConfig {
+    fn default() -> Self {
+        DcDiscoveryConfig {
+            max_predicates: 3,
+            max_pairs: 200_000,
+            keep_single_predicate: false,
+            max_dcs: 100,
+        }
+    }
+}
+
+/// Builds the predicate universe for a schema: `=` and `≠` on every
+/// attribute, plus `<` and `>` on numeric attributes (`≤`/`≥` are their
+/// pair-complements together with `=` and add little at this scale).
+pub fn predicate_space(rel: &Relation) -> Vec<Predicate> {
+    let mut out = Vec::new();
+    for a in rel.schema().attr_ids() {
+        out.push(Predicate::new(a, Op::Eq));
+        out.push(Predicate::new(a, Op::Neq));
+        if rel.schema().ty(a).is_numeric() {
+            out.push(Predicate::new(a, Op::Lt));
+            out.push(Predicate::new(a, Op::Gt));
+        }
+    }
+    out
+}
+
+/// Discovers minimal denial constraints holding on (a sample of) `rel`.
+pub fn discover_dcs(rel: &Relation, cfg: &DcDiscoveryConfig) -> Vec<DenialConstraint> {
+    let preds = predicate_space(rel);
+    assert!(preds.len() <= 128, "predicate space exceeds bitset width");
+    let n = rel.len();
+    if n < 2 {
+        return Vec::new();
+    }
+
+    // Evidence sets over ordered pairs, deduplicated.
+    let mut evidence: HashSet<u128> = HashSet::new();
+    let total_pairs = n * (n - 1);
+    let eval_pair = |i: usize, j: usize, evidence: &mut HashSet<u128>| {
+        let (t1, t2) = (rel.tuple(i), rel.tuple(j));
+        let mut bits = 0u128;
+        for (k, p) in preds.iter().enumerate() {
+            if p.eval(&t1[p.attr], &t2[p.attr]) {
+                bits |= 1 << k;
+            }
+        }
+        evidence.insert(bits);
+    };
+    if total_pairs <= cfg.max_pairs {
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    eval_pair(i, j, &mut evidence);
+                }
+            }
+        }
+    } else {
+        // Deterministic sampling via a splitmix-style walk.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..cfg.max_pairs {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let i = (state >> 33) as usize % n;
+            let j = {
+                let j = (state & 0xFFFF_FFFF) as usize % (n - 1);
+                if j >= i {
+                    j + 1
+                } else {
+                    j
+                }
+            };
+            eval_pair(i, j, &mut evidence);
+        }
+    }
+    let evidence: Vec<u128> = evidence.into_iter().collect();
+
+    // Level-wise search for minimal uncovered predicate sets.
+    let mut found: Vec<u128> = Vec::new();
+    let mut level: Vec<u128> = Vec::new();
+    // Never combine two predicates on the same attribute: conjunctions like
+    // `A = ∧ A <` are contradictions (valid but vacuous DCs).
+    let attr_of: Vec<usize> = preds.iter().map(|p| p.attr).collect();
+
+    // Level 1. Valid singles always enter `found` so that their supersets
+    // are pruned as non-minimal; they are filtered from the output below
+    // unless configured otherwise.
+    for k in 0..preds.len() {
+        let set = 1u128 << k;
+        if is_valid(set, &evidence) {
+            found.push(set);
+        } else {
+            level.push(set);
+        }
+    }
+
+    for _size in 2..=cfg.max_predicates {
+        let mut next: Vec<u128> = Vec::new();
+        let mut seen: HashSet<u128> = HashSet::new();
+        for &set in &level {
+            let max_bit = 127 - set.leading_zeros() as usize;
+            for k in (max_bit + 1)..preds.len() {
+                // Skip same-attribute combinations.
+                let attr_k = attr_of[k];
+                if (0..preds.len())
+                    .any(|b| set & (1 << b) != 0 && attr_of[b] == attr_k)
+                {
+                    continue;
+                }
+                let bigger = set | (1 << k);
+                if !seen.insert(bigger) {
+                    continue;
+                }
+                // Superset of an already-found DC → non-minimal. (Not a
+                // `contains` despite clippy's pattern match: `f` is the
+                // *element*, and the test is subset inclusion.)
+                #[allow(clippy::manual_contains)]
+                if found.iter().any(|&f| f & bigger == f) {
+                    continue;
+                }
+                if is_valid(bigger, &evidence) {
+                    found.push(bigger);
+                } else {
+                    next.push(bigger);
+                }
+            }
+        }
+        level = next;
+    }
+
+    found.sort_by_key(|set| set.count_ones());
+    found
+        .into_iter()
+        .filter(|set| cfg.keep_single_predicate || set.count_ones() > 1)
+        .take(cfg.max_dcs)
+        .map(|set| {
+            DenialConstraint::new(
+                preds
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| set & (1 << k) != 0)
+                    .map(|(_, p)| *p)
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// A predicate set is a valid DC iff it is not covered by any evidence set.
+#[inline]
+fn is_valid(set: u128, evidence: &[u128]) -> bool {
+    evidence.iter().all(|&e| e & set != set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renuver_data::{AttrType, Schema, Value};
+
+    fn rel(rows: &[(i64, i64)]) -> Relation {
+        let schema = Schema::new([("A", AttrType::Int), ("B", AttrType::Int)]).unwrap();
+        Relation::new(
+            schema,
+            rows.iter()
+                .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn predicate_space_by_type() {
+        let schema = Schema::new([("T", AttrType::Text), ("N", AttrType::Int)]).unwrap();
+        let r = Relation::empty(schema);
+        let space = predicate_space(&r);
+        // Text: =, ≠; numeric: =, ≠, <, >.
+        assert_eq!(space.len(), 6);
+    }
+
+    #[test]
+    fn discovers_fd_as_dc() {
+        // A determines B: the DC ¬(A= ∧ B≠) must be found.
+        let r = rel(&[(1, 10), (1, 10), (2, 20), (2, 20), (3, 30)]);
+        let dcs = discover_dcs(&r, &DcDiscoveryConfig::default());
+        let fd = DenialConstraint::new(vec![
+            Predicate::new(0, Op::Eq),
+            Predicate::new(1, Op::Neq),
+        ]);
+        assert!(dcs.contains(&fd), "expected {fd:?} in {dcs:?}");
+        // Everything discovered actually holds.
+        for dc in &dcs {
+            assert!(crate::check::holds(&r, dc), "spurious DC {dc:?}");
+        }
+    }
+
+    #[test]
+    fn no_fd_dc_on_contradicting_data() {
+        let r = rel(&[(1, 10), (1, 20)]);
+        let dcs = discover_dcs(&r, &DcDiscoveryConfig::default());
+        let fd = DenialConstraint::new(vec![
+            Predicate::new(0, Op::Eq),
+            Predicate::new(1, Op::Neq),
+        ]);
+        assert!(!dcs.contains(&fd));
+    }
+
+    #[test]
+    fn minimality_no_dc_contains_another() {
+        let r = rel(&[(1, 10), (1, 10), (2, 20), (3, 15), (4, 40)]);
+        let dcs = discover_dcs(&r, &DcDiscoveryConfig::default());
+        for a in &dcs {
+            for b in &dcs {
+                if a != b {
+                    let a_in_b = a
+                        .predicates()
+                        .iter()
+                        .all(|p| b.predicates().contains(p));
+                    assert!(!a_in_b, "{a:?} subsumed by {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_same_attribute_conjunctions() {
+        let r = rel(&[(1, 10), (2, 20), (3, 30)]);
+        let dcs = discover_dcs(&r, &DcDiscoveryConfig::default());
+        for dc in &dcs {
+            let mut attrs: Vec<_> = dc.predicates().iter().map(|p| p.attr).collect();
+            attrs.sort_unstable();
+            attrs.dedup();
+            assert_eq!(attrs.len(), dc.predicates().len(), "{dc:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_sampling() {
+        let rows: Vec<(i64, i64)> = (0..40).map(|i| (i, i * 2)).collect();
+        let r = rel(&rows);
+        let cfg = DcDiscoveryConfig { max_pairs: 100, ..DcDiscoveryConfig::default() };
+        let a = discover_dcs(&r, &cfg);
+        let b = discover_dcs(&r, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_relations() {
+        let r = rel(&[(1, 1)]);
+        assert!(discover_dcs(&r, &DcDiscoveryConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn max_dcs_caps_output_most_general_first() {
+        let rows: Vec<(i64, i64)> = (0..12).map(|i| (i, i * 3)).collect();
+        let r = rel(&rows);
+        let full = discover_dcs(&r, &DcDiscoveryConfig::default());
+        assert!(full.len() >= 2, "need enough DCs for the cap to bite");
+        let capped = discover_dcs(&r, &DcDiscoveryConfig { max_dcs: 1, ..Default::default() });
+        assert_eq!(capped.len(), 1);
+        // The kept constraints are the most general (fewest predicates).
+        let max_kept = capped.iter().map(|d| d.predicates().len()).max().unwrap();
+        let min_dropped = full
+            .iter()
+            .filter(|d| !capped.contains(d))
+            .map(|d| d.predicates().len())
+            .min()
+            .unwrap();
+        assert!(max_kept <= min_dropped);
+    }
+
+    #[test]
+    fn keep_single_predicate_emits_constant_column_dcs() {
+        // Column B is constant → ¬(t1.B ≠ t2.B) is a valid single-predicate
+        // DC, emitted only on request.
+        let r = rel(&[(1, 9), (2, 9), (3, 9)]);
+        let without = discover_dcs(&r, &DcDiscoveryConfig::default());
+        assert!(without.iter().all(|d| d.predicates().len() > 1));
+        let with = discover_dcs(
+            &r,
+            &DcDiscoveryConfig { keep_single_predicate: true, ..Default::default() },
+        );
+        let neq_b = DenialConstraint::new(vec![Predicate::new(1, Op::Neq)]);
+        assert!(with.contains(&neq_b), "{with:?}");
+    }
+
+    #[test]
+    fn nulls_do_not_create_spurious_dcs() {
+        use renuver_data::Value;
+        let schema = Schema::new([("A", AttrType::Int), ("B", AttrType::Int)]).unwrap();
+        // With the null present, the pair (r0, r2) cannot witness anything
+        // on B; discovery must still find the A-determines-B constraint
+        // from the evaluable pairs.
+        let r = Relation::new(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(1), Value::Null],
+                vec![Value::Int(2), Value::Int(20)],
+            ],
+        )
+        .unwrap();
+        let dcs = discover_dcs(&r, &DcDiscoveryConfig::default());
+        let fd = DenialConstraint::new(vec![
+            Predicate::new(0, Op::Eq),
+            Predicate::new(1, Op::Neq),
+        ]);
+        assert!(dcs.contains(&fd), "{dcs:?}");
+        for dc in &dcs {
+            assert!(crate::check::holds(&r, dc), "{dc:?}");
+        }
+    }
+
+    #[test]
+    fn ordering_constraints_discovered_on_monotone_data() {
+        // B strictly increases with A: ¬(A< ∧ B>) (and its mirror) hold.
+        let rows: Vec<(i64, i64)> = (0..10).map(|i| (i, i * 3)).collect();
+        let r = rel(&rows);
+        let dcs = discover_dcs(&r, &DcDiscoveryConfig::default());
+        let monotone = DenialConstraint::new(vec![
+            Predicate::new(0, Op::Lt),
+            Predicate::new(1, Op::Gt),
+        ]);
+        assert!(dcs.contains(&monotone), "{dcs:?}");
+    }
+}

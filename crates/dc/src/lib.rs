@@ -1,0 +1,24 @@
+//! Denial constraints: model, checking, and evidence-set discovery.
+//!
+//! A denial constraint (DC) forbids a conjunction of predicates over tuple
+//! pairs: `∀ t1 ≠ t2 : ¬(p1 ∧ … ∧ pk)`, with predicates like
+//! `t1.City = t2.City` or `t1.Class > t2.Class`. The Holoclean baseline
+//! (paper ref. \[20\]) consumes DCs as integrity features; the paper obtains
+//! them with the automatic discovery of refs \[2, 9\] (Hydra / FastDC). This
+//! crate implements the same pipeline at small scale:
+//!
+//! - [`model`] — predicates and constraints over a schema;
+//! - [`check`] — violation detection for tuple pairs and whole instances;
+//! - [`discovery`] — evidence-set based discovery: compute the satisfied
+//!   predicate set of every tuple pair, then search for minimal predicate
+//!   sets not contained in any evidence set (exactly the FastDC
+//!   formulation, with a bitset representation and a size-bounded
+//!   level-wise search).
+
+pub mod check;
+pub mod discovery;
+pub mod model;
+
+pub use check::{holds, violating_pairs};
+pub use discovery::{discover_dcs, DcDiscoveryConfig};
+pub use model::{dcs_from_text, dcs_to_text, DenialConstraint, Op, Predicate};

@@ -1,0 +1,361 @@
+//! Denial-constraint model: pairwise predicates and their conjunctions.
+
+use std::fmt;
+
+use renuver_data::{AttrId, Schema, Value};
+
+/// Comparison operator of a pairwise predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `t1[A] = t2[A]`
+    Eq,
+    /// `t1[A] ≠ t2[A]`
+    Neq,
+    /// `t1[A] < t2[A]` (numeric attributes only)
+    Lt,
+    /// `t1[A] ≤ t2[A]` (numeric attributes only)
+    Le,
+    /// `t1[A] > t2[A]` (numeric attributes only)
+    Gt,
+    /// `t1[A] ≥ t2[A]` (numeric attributes only)
+    Ge,
+}
+
+impl Op {
+    /// The symbol used in the conventional DC notation.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Op::Eq => "=",
+            Op::Neq => "≠",
+            Op::Lt => "<",
+            Op::Le => "≤",
+            Op::Gt => ">",
+            Op::Ge => "≥",
+        }
+    }
+
+    /// Negation, used to read a violated pair as a repair hint.
+    pub fn negate(self) -> Op {
+        match self {
+            Op::Eq => Op::Neq,
+            Op::Neq => Op::Eq,
+            Op::Lt => Op::Ge,
+            Op::Le => Op::Gt,
+            Op::Gt => Op::Le,
+            Op::Ge => Op::Lt,
+        }
+    }
+}
+
+/// A single-attribute pairwise predicate `t1[attr] op t2[attr]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    /// The compared attribute.
+    pub attr: AttrId,
+    /// The comparison operator.
+    pub op: Op,
+}
+
+impl Predicate {
+    /// Creates a predicate.
+    pub fn new(attr: AttrId, op: Op) -> Self {
+        Predicate { attr, op }
+    }
+
+    /// Evaluates the predicate on a pair of values. A predicate over a
+    /// missing value is unsatisfied (it cannot witness anything).
+    pub fn eval(&self, a: &Value, b: &Value) -> bool {
+        if a.is_null() || b.is_null() {
+            return false;
+        }
+        match self.op {
+            Op::Eq => a == b,
+            Op::Neq => a != b,
+            op => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => match op {
+                    Op::Lt => x < y,
+                    Op::Le => x <= y,
+                    Op::Gt => x > y,
+                    Op::Ge => x >= y,
+                    _ => unreachable!(),
+                },
+                _ => false,
+            },
+        }
+    }
+}
+
+/// A denial constraint: `∀ t1 ≠ t2 : ¬(p1 ∧ … ∧ pk)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenialConstraint {
+    predicates: Vec<Predicate>,
+}
+
+impl DenialConstraint {
+    /// Builds a DC from its predicate conjunction.
+    ///
+    /// # Panics
+    /// Panics on an empty predicate list (it would forbid every pair).
+    pub fn new(mut predicates: Vec<Predicate>) -> Self {
+        assert!(!predicates.is_empty(), "a DC needs at least one predicate");
+        predicates.sort_by_key(|p| (p.attr, p.op.symbol()));
+        DenialConstraint { predicates }
+    }
+
+    /// The predicate conjunction.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// `true` iff the ordered pair `(t1, t2)` satisfies every predicate —
+    /// i.e. violates the constraint.
+    pub fn pair_violates(&self, t1: &[Value], t2: &[Value]) -> bool {
+        self.predicates
+            .iter()
+            .all(|p| p.eval(&t1[p.attr], &t2[p.attr]))
+    }
+
+    /// Renders in the conventional notation, e.g.
+    /// `¬(t1.City = t2.City ∧ t1.Class ≠ t2.Class)`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> DcDisplay<'a> {
+        DcDisplay { dc: self, schema }
+    }
+
+    /// Parses the notation produced by [`DenialConstraint::display`].
+    /// ASCII spellings are accepted too: `!(...)` for `¬(...)`, `&` or
+    /// `and` for `∧`, and `!=`, `<=`, `>=` for `≠`, `≤`, `≥`.
+    ///
+    /// # Errors
+    /// Returns a human-readable message for malformed input or unknown
+    /// attribute names.
+    pub fn parse(s: &str, schema: &Schema) -> Result<DenialConstraint, String> {
+        let s = s.trim();
+        let body = s
+            .strip_prefix('¬')
+            .or_else(|| s.strip_prefix('!'))
+            .ok_or_else(|| format!("DC must start with '¬(' or '!(': {s:?}"))?
+            .trim();
+        let body = body
+            .strip_prefix('(')
+            .and_then(|b| b.strip_suffix(')'))
+            .ok_or_else(|| format!("unbalanced parentheses in DC {s:?}"))?;
+        let mut predicates = Vec::new();
+        for conjunct in body.split(['∧', '&']).flat_map(|c| c.split(" and ")) {
+            let conjunct = conjunct.trim();
+            if conjunct.is_empty() {
+                continue;
+            }
+            predicates.push(parse_predicate(conjunct, schema)?);
+        }
+        if predicates.is_empty() {
+            return Err(format!("empty DC {s:?}"));
+        }
+        Ok(DenialConstraint::new(predicates))
+    }
+}
+
+/// Parses one `t1.Attr op t2.Attr` predicate.
+fn parse_predicate(s: &str, schema: &Schema) -> Result<Predicate, String> {
+    // Longest operators first so `!=` is not read as `!` `=`.
+    const OPS: [(&str, Op); 10] = [
+        ("!=", Op::Neq),
+        ("≠", Op::Neq),
+        ("<=", Op::Le),
+        ("≤", Op::Le),
+        (">=", Op::Ge),
+        ("≥", Op::Ge),
+        ("=", Op::Eq),
+        ("<", Op::Lt),
+        (">", Op::Gt),
+        ("==", Op::Eq),
+    ];
+    for (sym, op) in OPS {
+        if let Some((lhs, rhs)) = s.split_once(sym) {
+            let name_of = |side: &str, tag: &str| -> Result<String, String> {
+                let side = side.trim();
+                side.strip_prefix(tag)
+                    .and_then(|r| r.strip_prefix('.'))
+                    .map(|n| n.trim().to_owned())
+                    .ok_or_else(|| format!("expected '{tag}.<attr>', got {side:?}"))
+            };
+            let l = name_of(lhs, "t1")?;
+            let r = name_of(rhs, "t2")?;
+            if l != r {
+                return Err(format!(
+                    "cross-attribute predicates are unsupported: {l:?} vs {r:?}"
+                ));
+            }
+            let attr = schema
+                .index_of(&l)
+                .ok_or_else(|| format!("unknown attribute {l:?}"))?;
+            return Ok(Predicate::new(attr, op));
+        }
+    }
+    Err(format!("no comparison operator in predicate {s:?}"))
+}
+
+/// Serializes a DC list, one constraint per line.
+pub fn dcs_to_text(dcs: &[DenialConstraint], schema: &Schema) -> String {
+    let mut out = String::new();
+    for dc in dcs {
+        out.push_str(&dc.display(schema).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a DC list serialized with [`dcs_to_text`]; blank lines and `#`
+/// comments are skipped.
+pub fn dcs_from_text(text: &str, schema: &Schema) -> Result<Vec<DenialConstraint>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(DenialConstraint::parse(line, schema)?);
+    }
+    Ok(out)
+}
+
+/// Display adapter binding a [`DenialConstraint`] to a [`Schema`].
+pub struct DcDisplay<'a> {
+    dc: &'a DenialConstraint,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for DcDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "¬(")?;
+        for (i, p) in self.dc.predicates.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            let name = self.schema.name(p.attr);
+            write!(f, "t1.{name} {} t2.{name}", p.op.symbol())?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renuver_data::AttrType;
+
+    #[test]
+    fn predicate_eval() {
+        let eq = Predicate::new(0, Op::Eq);
+        assert!(eq.eval(&Value::Int(3), &Value::Int(3)));
+        assert!(!eq.eval(&Value::Int(3), &Value::Int(4)));
+        assert!(!eq.eval(&Value::Null, &Value::Int(3)));
+
+        let lt = Predicate::new(0, Op::Lt);
+        assert!(lt.eval(&Value::Int(1), &Value::Float(1.5)));
+        assert!(!lt.eval(&Value::Int(2), &Value::Int(2)));
+        // Ordering ops on non-numeric values are unsatisfied.
+        assert!(!lt.eval(&Value::Text("a".into()), &Value::Text("b".into())));
+
+        let neq = Predicate::new(0, Op::Neq);
+        assert!(neq.eval(&Value::Text("a".into()), &Value::Text("b".into())));
+        assert!(!neq.eval(&Value::Null, &Value::Null));
+    }
+
+    #[test]
+    fn op_negation_round_trips() {
+        for op in [Op::Eq, Op::Neq, Op::Lt, Op::Le, Op::Gt, Op::Ge] {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn dc_pair_violation() {
+        // ¬(t1.A = t2.A ∧ t1.B ≠ t2.B): A determines B.
+        let dc = DenialConstraint::new(vec![
+            Predicate::new(0, Op::Eq),
+            Predicate::new(1, Op::Neq),
+        ]);
+        let t1 = vec![Value::Int(1), Value::Int(10)];
+        let t2 = vec![Value::Int(1), Value::Int(20)];
+        let t3 = vec![Value::Int(1), Value::Int(10)];
+        assert!(dc.pair_violates(&t1, &t2));
+        assert!(!dc.pair_violates(&t1, &t3));
+    }
+
+    #[test]
+    fn display_notation() {
+        let schema = Schema::new([("City", AttrType::Text), ("Class", AttrType::Int)]).unwrap();
+        let dc = DenialConstraint::new(vec![
+            Predicate::new(0, Op::Eq),
+            Predicate::new(1, Op::Neq),
+        ]);
+        assert_eq!(
+            dc.display(&schema).to_string(),
+            "¬(t1.City = t2.City ∧ t1.Class ≠ t2.Class)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one predicate")]
+    fn empty_dc_panics() {
+        let _ = DenialConstraint::new(vec![]);
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        let schema = Schema::new([
+            ("City", AttrType::Text),
+            ("Class", AttrType::Int),
+        ])
+        .unwrap();
+        let dc = DenialConstraint::new(vec![
+            Predicate::new(0, Op::Eq),
+            Predicate::new(1, Op::Gt),
+        ]);
+        let text = dc.display(&schema).to_string();
+        assert_eq!(DenialConstraint::parse(&text, &schema).unwrap(), dc);
+        // ASCII spelling.
+        let ascii = "!(t1.City = t2.City & t1.Class > t2.Class)";
+        assert_eq!(DenialConstraint::parse(ascii, &schema).unwrap(), dc);
+        let worded = "!(t1.City = t2.City and t1.Class > t2.Class)";
+        assert_eq!(DenialConstraint::parse(worded, &schema).unwrap(), dc);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        let schema = Schema::new([("A", AttrType::Int)]).unwrap();
+        for bad in [
+            "t1.A = t2.A",             // missing negation wrapper
+            "!(t1.A = t2.A",           // unbalanced
+            "!()",                     // empty
+            "!(t1.A ~ t2.A)",          // unknown operator
+            "!(t1.B = t2.B)",          // unknown attribute
+            "!(t1.A = t2.Other)",      // cross-attribute
+            "!(x.A = t2.A)",           // bad tuple tag
+        ] {
+            assert!(DenialConstraint::parse(bad, &schema).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn dc_list_text_round_trip() {
+        let schema = Schema::new([
+            ("City", AttrType::Text),
+            ("Class", AttrType::Int),
+        ])
+        .unwrap();
+        let dcs = vec![
+            DenialConstraint::new(vec![
+                Predicate::new(0, Op::Eq),
+                Predicate::new(1, Op::Neq),
+            ]),
+            DenialConstraint::new(vec![Predicate::new(1, Op::Lt), Predicate::new(0, Op::Eq)]),
+        ];
+        let text = dcs_to_text(&dcs, &schema);
+        let back = dcs_from_text(&text, &schema).unwrap();
+        assert_eq!(back, dcs);
+        // Comments and blanks tolerated.
+        let with_comments = format!("# header\n\n{text}");
+        assert_eq!(dcs_from_text(&with_comments, &schema).unwrap(), dcs);
+    }
+}

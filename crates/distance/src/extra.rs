@@ -1,0 +1,204 @@
+//! Additional similarity/distance functions.
+//!
+//! Definition 3.2 allows RFD_c constraints over *any* similarity or
+//! distance function; the core pipeline uses Levenshtein / absolute
+//! difference (Section 5.3), and this module supplies the other common
+//! string measures for custom pipelines: Jaro, Jaro–Winkler, and
+//! token-set Jaccard. All are returned as **distances** in `[0, 1]`
+//! (0 = identical) so they can be used with `≤`-threshold constraints
+//! directly.
+
+/// Jaro similarity of two strings, in `[0, 1]` (1 = identical).
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches.push((i, j));
+                break;
+            }
+        }
+    }
+    if matches.is_empty() {
+        return 0.0;
+    }
+    let m = matches.len() as f64;
+    // Transpositions: matched characters out of order.
+    let b_order: Vec<usize> = matches.iter().map(|&(_, j)| j).collect();
+    let transpositions = b_order.windows(2).filter(|w| w[0] > w[1]).count() as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions) / m) / 3.0
+}
+
+/// Jaro–Winkler **distance**: `1 − similarity`, with the standard prefix
+/// boost (`p = 0.1`, up to 4 common leading characters).
+pub fn jaro_winkler_distance(a: &str, b: &str) -> f64 {
+    let sim = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    1.0 - (sim + prefix * 0.1 * (1.0 - sim))
+}
+
+/// Jaccard **distance** between the whitespace-token sets of two strings
+/// (case-insensitive): `1 − |∩| / |∪|`. Suits multi-word fields like
+/// addresses and organization names where word order varies.
+pub fn jaccard_token_distance(a: &str, b: &str) -> f64 {
+    use std::collections::BTreeSet;
+    let tok = |s: &str| -> BTreeSet<String> {
+        s.split_whitespace().map(str::to_lowercase).collect()
+    };
+    let (ta, tb) = (tok(a), tok(b));
+    if ta.is_empty() && tb.is_empty() {
+        return 0.0;
+    }
+    let inter = ta.intersection(&tb).count() as f64;
+    let union = ta.union(&tb).count() as f64;
+    1.0 - inter / union
+}
+
+/// American Soundex code of a string (4 characters, e.g. `R163` for
+/// "Robert"), the classic phonetic key used in record linkage. Strings
+/// with no leading ASCII letter code as `0000`.
+pub fn soundex(s: &str) -> String {
+    fn digit(c: char) -> Option<char> {
+        match c.to_ascii_lowercase() {
+            'b' | 'f' | 'p' | 'v' => Some('1'),
+            'c' | 'g' | 'j' | 'k' | 'q' | 's' | 'x' | 'z' => Some('2'),
+            'd' | 't' => Some('3'),
+            'l' => Some('4'),
+            'm' | 'n' => Some('5'),
+            'r' => Some('6'),
+            _ => None, // vowels, h, w, y and non-letters separate codes
+        }
+    }
+    let mut chars = s.chars().filter(|c| c.is_ascii_alphabetic());
+    let Some(first) = chars.next() else {
+        return "0000".to_owned();
+    };
+    let mut code = String::with_capacity(4);
+    code.push(first.to_ascii_uppercase());
+    let mut last = digit(first);
+    for c in chars {
+        let d = digit(c);
+        // h and w do not reset the run; vowels (None from digit, but
+        // vowel-ish) do.
+        match (d, c.to_ascii_lowercase()) {
+            (Some(d), _) if Some(d) != last => {
+                code.push(d);
+                last = Some(d);
+                if code.len() == 4 {
+                    break;
+                }
+            }
+            (Some(_), _) => {} // same run: skip
+            (None, 'h' | 'w') => {} // transparent: keep the run
+            (None, _) => last = None, // vowel separates
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    code
+}
+
+/// Soundex **distance**: `0.0` when the codes match, `1.0` otherwise —
+/// an equality-style constraint for phonetically-equivalent names.
+pub fn soundex_distance(a: &str, b: &str) -> f64 {
+    if soundex(a) == soundex(b) {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaro_identical_and_disjoint() {
+        assert_eq!(jaro("granita", "granita"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        // Classic textbook pair: JW(MARTHA, MARHTA).
+        let j = jaro("MARTHA", "MARHTA");
+        assert!((j - 0.944).abs() < 0.01, "{j}");
+        let jw = 1.0 - jaro_winkler_distance("MARTHA", "MARHTA");
+        assert!((jw - 0.961).abs() < 0.01, "{jw}");
+    }
+
+    #[test]
+    fn jaro_winkler_prefers_shared_prefixes() {
+        let d_prefix = jaro_winkler_distance("granita", "granito");
+        let d_suffix = jaro_winkler_distance("granita", "aranitg");
+        assert!(d_prefix < d_suffix);
+        assert_eq!(jaro_winkler_distance("same", "same"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_symmetric_and_bounded() {
+        for (a, b) in [("Chinois on Main", "Chinois Main"), ("LA", "Los Angeles"), ("", "x")] {
+            let d1 = jaro_winkler_distance(a, b);
+            let d2 = jaro_winkler_distance(b, a);
+            assert!((d1 - d2).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&d1), "{d1}");
+        }
+    }
+
+    #[test]
+    fn soundex_textbook_values() {
+        assert_eq!(soundex("Robert"), "R163");
+        assert_eq!(soundex("Rupert"), "R163");
+        assert_eq!(soundex("Ashcraft"), "A261"); // h is transparent
+        assert_eq!(soundex("Ashcroft"), "A261");
+        assert_eq!(soundex("Tymczak"), "T522");
+        assert_eq!(soundex("Pfister"), "P236");
+        assert_eq!(soundex("Honeyman"), "H555");
+    }
+
+    #[test]
+    fn soundex_edge_cases() {
+        assert_eq!(soundex(""), "0000");
+        assert_eq!(soundex("123"), "0000");
+        assert_eq!(soundex("A"), "A000");
+        assert_eq!(soundex("  éclair"), "C460"); // non-ASCII skipped
+    }
+
+    #[test]
+    fn soundex_distance_matches_phonetic_pairs() {
+        assert_eq!(soundex_distance("Smith", "Smyth"), 0.0);
+        assert_eq!(soundex_distance("Granita", "Granitta"), 0.0);
+        assert_eq!(soundex_distance("Granita", "Citrus"), 1.0);
+    }
+
+    #[test]
+    fn jaccard_tokens() {
+        assert_eq!(jaccard_token_distance("Chinois on Main", "Main Chinois on"), 0.0);
+        assert_eq!(jaccard_token_distance("a b", "a c"), 1.0 - 1.0 / 3.0);
+        assert_eq!(jaccard_token_distance("", ""), 0.0);
+        assert_eq!(jaccard_token_distance("x", ""), 1.0);
+        // Case-insensitive.
+        assert_eq!(jaccard_token_distance("Ocean Ave", "ocean ave"), 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Scalar distance functions (`δ_A` in the paper's notation).
+
+use renuver_data::Value;
+
+/// Levenshtein edit distance between two strings, computed over Unicode
+/// scalar values with the classic two-row dynamic program.
+///
+/// This is the `δ` used for text attributes (paper Section 5.3, ref. \[25\]):
+/// e.g. `levenshtein("Fenix", "Fenix Argyle") == 7` as in Example 5.5.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    lev_core(&a, &b)
+}
+
+fn lev_core(a: &[char], b: &[char]) -> usize {
+    // Keep the shorter string in the inner dimension to minimize the row.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, &lc) in long.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[short.len()]
+}
+
+/// Levenshtein distance with an early-exit bound: returns `None` as soon as
+/// the distance provably exceeds `max`, avoiding the full `O(|a|·|b|)` work.
+///
+/// Candidate filtering in RENUVER and RFD discovery only ever asks
+/// "is the distance ≤ t?", so the bounded kernel is the hot path.
+pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > max {
+        return None;
+    }
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return (long.len() <= max).then_some(long.len());
+    }
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, &lc) in long.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        let mut row_min = row[0];
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+            row_min = row_min.min(next);
+        }
+        if row_min > max {
+            return None;
+        }
+    }
+    (row[short.len()] <= max).then_some(row[short.len()])
+}
+
+/// Distance between two attribute values (the paper's `δ_A(t[A], t'[A])`).
+///
+/// Returns `None` when either value is missing — the distance-pattern entry
+/// is then flagged `_` (Definition 5.4) — or when the values are of
+/// incomparable types (which cannot happen for schema-validated relations
+/// but keeps the function total).
+///
+/// - numeric vs numeric → absolute difference (`Int` promotes to `f64`)
+/// - text vs text → Levenshtein edit distance
+/// - bool vs bool → `0.0` if equal, `1.0` otherwise (the equality
+///   constraint: any threshold `< 1` demands equality)
+pub fn value_distance(a: &Value, b: &Value) -> Option<f64> {
+    match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => None,
+        (Value::Text(x), Value::Text(y)) => Some(levenshtein(x, y) as f64),
+        (Value::Bool(x), Value::Bool(y)) => Some(if x == y { 0.0 } else { 1.0 }),
+        (x, y) => match (x.as_f64(), y.as_f64()) {
+            (Some(x), Some(y)) => Some((x - y).abs()),
+            _ => None,
+        },
+    }
+}
+
+/// Like [`value_distance`] but with an early exit: returns `Some(d)` only if
+/// `d ≤ max`, and `None` both for missing/incomparable values and for
+/// distances exceeding the bound.
+pub fn value_distance_bounded(a: &Value, b: &Value, max: f64) -> Option<f64> {
+    match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => None,
+        (Value::Text(x), Value::Text(y)) => {
+            levenshtein_bounded(x, y, max.floor().max(0.0) as usize).map(|d| d as f64)
+        }
+        _ => value_distance(a, b).filter(|d| *d <= max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+    }
+
+    #[test]
+    fn levenshtein_paper_example() {
+        // Example 5.5: δ(Fenix, Fenix Argyle) = 7.
+        assert_eq!(levenshtein("Fenix", "Fenix Argyle"), 7);
+    }
+
+    #[test]
+    fn levenshtein_symmetric() {
+        assert_eq!(levenshtein("restaurant", "rest"), levenshtein("rest", "restaurant"));
+    }
+
+    #[test]
+    fn levenshtein_unicode() {
+        // Each accented char is one scalar value, not multiple bytes.
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn bounded_matches_exact_within_limit() {
+        let pairs = [("kitten", "sitting"), ("abc", "xyz"), ("", "hello"), ("same", "same")];
+        for (a, b) in pairs {
+            let d = levenshtein(a, b);
+            for max in 0..10 {
+                let got = levenshtein_bounded(a, b, max);
+                if d <= max {
+                    assert_eq!(got, Some(d), "{a} {b} max={max}");
+                } else {
+                    assert_eq!(got, None, "{a} {b} max={max}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_early_exit_on_length_gap() {
+        assert_eq!(levenshtein_bounded("a", "abcdefgh", 3), None);
+    }
+
+    #[test]
+    fn value_distance_numeric() {
+        assert_eq!(value_distance(&Value::Int(5), &Value::Int(2)), Some(3.0));
+        assert_eq!(value_distance(&Value::Float(1.5), &Value::Int(1)), Some(0.5));
+        assert_eq!(value_distance(&Value::Float(-2.0), &Value::Float(2.0)), Some(4.0));
+    }
+
+    #[test]
+    fn value_distance_text() {
+        assert_eq!(
+            value_distance(&Value::Text("LA".into()), &Value::Text("Los Angeles".into())),
+            Some(9.0)
+        );
+    }
+
+    #[test]
+    fn value_distance_bool() {
+        assert_eq!(value_distance(&Value::Bool(true), &Value::Bool(true)), Some(0.0));
+        assert_eq!(value_distance(&Value::Bool(true), &Value::Bool(false)), Some(1.0));
+    }
+
+    #[test]
+    fn value_distance_null_is_none() {
+        assert_eq!(value_distance(&Value::Null, &Value::Int(1)), None);
+        assert_eq!(value_distance(&Value::Text("x".into()), &Value::Null), None);
+        assert_eq!(value_distance(&Value::Null, &Value::Null), None);
+    }
+
+    #[test]
+    fn value_distance_incomparable_is_none() {
+        assert_eq!(value_distance(&Value::Text("1".into()), &Value::Int(1)), None);
+        assert_eq!(value_distance(&Value::Bool(true), &Value::Int(1)), None);
+    }
+
+    #[test]
+    fn bounded_value_distance_filters() {
+        let a = Value::Text("Granita".into());
+        let b = Value::Text("Granitas".into());
+        assert_eq!(value_distance_bounded(&a, &b, 1.0), Some(1.0));
+        assert_eq!(value_distance_bounded(&a, &b, 0.0), None);
+        assert_eq!(value_distance_bounded(&Value::Int(9), &Value::Int(3), 5.0), None);
+        assert_eq!(value_distance_bounded(&Value::Int(9), &Value::Int(3), 6.0), Some(6.0));
+    }
+}

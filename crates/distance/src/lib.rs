@@ -1,0 +1,18 @@
+//! Distance functions and tuple distance patterns.
+//!
+//! RFD_c constraints compare attribute values through domain-appropriate
+//! distance functions (paper Section 5.3): **edit distance** for text,
+//! **absolute difference** for numbers, and the **equality constraint**
+//! (0 / 1) for booleans. This crate implements those functions, the
+//! per-tuple-pair [`pattern::DistancePattern`] (Definition 5.4), and small
+//! pairwise-computation helpers used by RFD discovery.
+
+pub mod extra;
+pub mod functions;
+pub mod oracle;
+pub mod pattern;
+
+pub use extra::{jaccard_token_distance, jaro_winkler_distance, soundex};
+pub use functions::{levenshtein, levenshtein_bounded, value_distance};
+pub use oracle::DistanceOracle;
+pub use pattern::DistancePattern;

@@ -1,0 +1,297 @@
+//! Dictionary-encoded distance lookups.
+//!
+//! RENUVER, key detection, and candidate generation all ask the same
+//! question — `δ_A(t_i[A], t_j[A])` — millions of times, but a column
+//! rarely has more than a few hundred *distinct* values. The
+//! [`DistanceOracle`] interns each text column and precomputes its full
+//! distance matrix once (columns with huge dictionaries fall back to
+//! direct computation), so the hot path is an array lookup instead of an
+//! `O(len²)` edit-distance dynamic program.
+//!
+//! Numeric and boolean distances are a subtraction; they are always
+//! computed directly.
+
+use std::collections::HashMap;
+
+use renuver_data::{AttrId, AttrType, Relation, Value};
+
+use crate::functions::{value_distance, value_distance_bounded};
+
+/// Code meaning "this cell is missing".
+const NULL_CODE: u32 = u32::MAX;
+/// Code meaning "value not in the dictionary — compute directly".
+const DIRECT_CODE: u32 = u32::MAX - 1;
+
+enum ColumnTable {
+    /// Numeric / boolean column: distances are computed directly.
+    Numeric,
+    /// Text column with an interned dictionary and a full distance matrix.
+    Matrix {
+        index: HashMap<String, u32>,
+        dict_len: usize,
+        /// Row-major `dict_len × dict_len` distances.
+        data: Vec<f32>,
+    },
+    /// Text column whose dictionary exceeded the cap.
+    Direct,
+}
+
+/// Per-relation distance cache (see module docs).
+pub struct DistanceOracle {
+    /// `codes[attr][row]`: dictionary code of the cell, or a sentinel.
+    codes: Vec<Vec<u32>>,
+    tables: Vec<ColumnTable>,
+}
+
+impl DistanceOracle {
+    /// Builds the oracle for `rel`, precomputing distance matrices for
+    /// every text column with at most `cap` distinct values.
+    pub fn build(rel: &Relation, cap: usize) -> Self {
+        let m = rel.arity();
+        let n = rel.len();
+        let mut codes = vec![Vec::new(); m];
+        let mut tables = Vec::with_capacity(m);
+        for (attr, code_slot) in codes.iter_mut().enumerate() {
+            if rel.schema().ty(attr) != AttrType::Text {
+                tables.push(ColumnTable::Numeric);
+                continue;
+            }
+            let mut index: HashMap<String, u32> = HashMap::new();
+            let mut dict: Vec<&str> = Vec::new();
+            let mut col_codes = Vec::with_capacity(n);
+            for row in 0..n {
+                match rel.value(row, attr).as_text() {
+                    None => col_codes.push(NULL_CODE),
+                    Some(s) => {
+                        let next = dict.len() as u32;
+                        let code = *index.entry(s.to_owned()).or_insert_with(|| {
+                            dict.push(s);
+                            next
+                        });
+                        col_codes.push(code);
+                    }
+                }
+            }
+            if dict.len() > cap {
+                tables.push(ColumnTable::Direct);
+                continue;
+            }
+            let k = dict.len();
+            let chars: Vec<Vec<char>> = dict.iter().map(|s| s.chars().collect()).collect();
+            let mut data = vec![0.0f32; k * k];
+            for a in 0..k {
+                for b in (a + 1)..k {
+                    let d = lev_chars(&chars[a], &chars[b]) as f32;
+                    data[a * k + b] = d;
+                    data[b * k + a] = d;
+                }
+            }
+            *code_slot = col_codes;
+            tables.push(ColumnTable::Matrix { index, dict_len: k, data });
+        }
+        DistanceOracle { codes, tables }
+    }
+
+    /// A cache-free oracle: every query computes directly. Useful for
+    /// one-shot calls and as the reference in equivalence tests.
+    pub fn direct(rel: &Relation) -> Self {
+        DistanceOracle {
+            codes: vec![Vec::new(); rel.arity()],
+            tables: (0..rel.arity())
+                .map(|a| {
+                    if rel.schema().ty(a) == AttrType::Text {
+                        ColumnTable::Direct
+                    } else {
+                        ColumnTable::Numeric
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Distance between `rel[i][attr]` and `rel[j][attr]` — `None` when
+    /// either value is missing (or incomparable). Must be called with the
+    /// same relation the oracle was built from, kept current through
+    /// [`DistanceOracle::update_cell`].
+    #[inline]
+    pub fn distance(&self, rel: &Relation, attr: AttrId, i: usize, j: usize) -> Option<f64> {
+        match &self.tables[attr] {
+            ColumnTable::Numeric | ColumnTable::Direct => {
+                value_distance(rel.value(i, attr), rel.value(j, attr))
+            }
+            ColumnTable::Matrix { dict_len, data, .. } => {
+                let (a, b) = (self.codes[attr][i], self.codes[attr][j]);
+                if a == NULL_CODE || b == NULL_CODE {
+                    return None;
+                }
+                if a == DIRECT_CODE || b == DIRECT_CODE {
+                    return value_distance(rel.value(i, attr), rel.value(j, attr));
+                }
+                Some(data[a as usize * dict_len + b as usize] as f64)
+            }
+        }
+    }
+
+    /// [`DistanceOracle::distance`] filtered by a bound: `Some(d)` only
+    /// when `d ≤ max`. Columns without a precomputed matrix use the
+    /// early-exit banded Levenshtein kernel, which is the hot path for
+    /// high-cardinality text columns (phone numbers, ids).
+    #[inline]
+    pub fn distance_bounded(
+        &self,
+        rel: &Relation,
+        attr: AttrId,
+        i: usize,
+        j: usize,
+        max: f64,
+    ) -> Option<f64> {
+        match &self.tables[attr] {
+            ColumnTable::Matrix { dict_len, data, .. } => {
+                let (a, b) = (self.codes[attr][i], self.codes[attr][j]);
+                if a == NULL_CODE || b == NULL_CODE {
+                    return None;
+                }
+                if a == DIRECT_CODE || b == DIRECT_CODE {
+                    return value_distance_bounded(rel.value(i, attr), rel.value(j, attr), max);
+                }
+                Some(data[a as usize * dict_len + b as usize] as f64).filter(|d| *d <= max)
+            }
+            _ => value_distance_bounded(rel.value(i, attr), rel.value(j, attr), max),
+        }
+    }
+
+    /// Re-interns a cell after its value changed (e.g. an imputation).
+    /// A value not present in the column's dictionary falls back to direct
+    /// computation for that cell — imputers that copy existing values
+    /// (RENUVER always does) keep full cache coverage.
+    pub fn update_cell(&mut self, rel: &Relation, row: usize, attr: AttrId) {
+        if let ColumnTable::Matrix { index, .. } = &self.tables[attr] {
+            self.codes[attr][row] = match rel.value(row, attr) {
+                Value::Null => NULL_CODE,
+                v => match v.as_text().and_then(|s| index.get(s)) {
+                    Some(&code) => code,
+                    None => DIRECT_CODE,
+                },
+            };
+        }
+    }
+}
+
+/// Levenshtein over pre-collected char slices (avoids re-collecting the
+/// chars for every pair during matrix construction).
+fn lev_chars(a: &[char], b: &[char]) -> usize {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, &lc) in long.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[short.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renuver_data::Schema;
+
+    fn sample() -> Relation {
+        let schema = Schema::new([
+            ("Name", AttrType::Text),
+            ("Class", AttrType::Int),
+        ])
+        .unwrap();
+        Relation::new(
+            schema,
+            vec![
+                vec!["Granita".into(), Value::Int(6)],
+                vec!["Granitas".into(), Value::Int(5)],
+                vec![Value::Null, Value::Int(7)],
+                vec!["Granita".into(), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matrix_matches_direct_computation() {
+        let rel = sample();
+        let cached = DistanceOracle::build(&rel, 1024);
+        let direct = DistanceOracle::direct(&rel);
+        for attr in 0..rel.arity() {
+            for i in 0..rel.len() {
+                for j in 0..rel.len() {
+                    assert_eq!(
+                        cached.distance(&rel, attr, i, j),
+                        direct.distance(&rel, attr, i, j),
+                        "attr {attr} pair ({i},{j})"
+                    );
+                    assert_eq!(
+                        cached.distance(&rel, attr, i, j),
+                        value_distance(rel.value(i, attr), rel.value(j, attr)),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_values_share_codes() {
+        let rel = sample();
+        let oracle = DistanceOracle::build(&rel, 1024);
+        assert_eq!(oracle.distance(&rel, 0, 0, 3), Some(0.0));
+        assert_eq!(oracle.distance(&rel, 0, 0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn nulls_are_none() {
+        let rel = sample();
+        let oracle = DistanceOracle::build(&rel, 1024);
+        assert_eq!(oracle.distance(&rel, 0, 0, 2), None);
+        assert_eq!(oracle.distance(&rel, 1, 2, 3), None);
+    }
+
+    #[test]
+    fn over_cap_columns_fall_back_to_direct() {
+        let rel = sample();
+        let oracle = DistanceOracle::build(&rel, 1); // cap below dict size
+        assert_eq!(oracle.distance(&rel, 0, 0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn update_cell_tracks_imputation() {
+        let mut rel = sample();
+        let mut oracle = DistanceOracle::build(&rel, 1024);
+        // Impute the null Name with an existing value.
+        rel.set_value(2, 0, "Granitas".into());
+        oracle.update_cell(&rel, 2, 0);
+        assert_eq!(oracle.distance(&rel, 0, 0, 2), Some(1.0));
+        // A foreign value falls back to direct computation.
+        rel.set_value(2, 0, "Fenix".into());
+        oracle.update_cell(&rel, 2, 0);
+        assert_eq!(
+            oracle.distance(&rel, 0, 0, 2),
+            value_distance(&"Granita".into(), &"Fenix".into())
+        );
+        // Back to null.
+        rel.set_value(2, 0, Value::Null);
+        oracle.update_cell(&rel, 2, 0);
+        assert_eq!(oracle.distance(&rel, 0, 0, 2), None);
+    }
+
+    #[test]
+    fn bounded_filters() {
+        let rel = sample();
+        let oracle = DistanceOracle::build(&rel, 1024);
+        assert_eq!(oracle.distance_bounded(&rel, 0, 0, 1, 1.0), Some(1.0));
+        assert_eq!(oracle.distance_bounded(&rel, 0, 0, 1, 0.5), None);
+    }
+}

@@ -1,0 +1,188 @@
+//! Distance patterns between tuple pairs (Definition 5.4).
+
+use renuver_data::{AttrId, Relation, Tuple};
+
+use crate::functions::value_distance;
+
+/// The distance pattern `p` of a tuple pair `(t, t_j)`: one entry per
+/// attribute, `None` where either tuple is missing the value, otherwise
+/// `Some(δ_A(t[A], t_j[A]))`.
+///
+/// Example 5.5: for `(t5, t6)` of the Restaurant sample the pattern is
+/// `[7, _, 0, _, 0]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistancePattern {
+    entries: Vec<Option<f64>>,
+}
+
+impl DistancePattern {
+    /// Computes the pattern between two tuples of the same schema.
+    pub fn between(a: &Tuple, b: &Tuple) -> Self {
+        let entries = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| value_distance(x, y))
+            .collect();
+        DistancePattern { entries }
+    }
+
+    /// Computes the pattern between rows `i` and `j` of a relation.
+    pub fn between_rows(rel: &Relation, i: usize, j: usize) -> Self {
+        Self::between(rel.tuple(i), rel.tuple(j))
+    }
+
+    /// Builds a pattern directly from entries (used by tests and discovery).
+    pub fn from_entries(entries: Vec<Option<f64>>) -> Self {
+        DistancePattern { entries }
+    }
+
+    /// The pattern entry for attribute `attr` — the paper's `p[B]`.
+    #[inline]
+    pub fn get(&self, attr: AttrId) -> Option<f64> {
+        self.entries[attr]
+    }
+
+    /// Number of attributes in the pattern.
+    pub fn arity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Raw entries slice.
+    pub fn entries(&self) -> &[Option<f64>] {
+        &self.entries
+    }
+
+    /// `true` iff the pattern satisfies every constraint `(B, β)`:
+    /// `p[B] ≠ _` and `p[B] ≤ β` (paper, text after Example 5.5).
+    pub fn satisfies(&self, constraints: &[(AttrId, f64)]) -> bool {
+        constraints
+            .iter()
+            .all(|&(attr, thr)| matches!(self.entries[attr], Some(d) if d <= thr))
+    }
+
+    /// Mean of the entries over `attrs` — the distance value of Equation 2,
+    /// `dist = Σ_B p[B] / |X|`. Returns `None` if any required entry is
+    /// missing (a pattern that satisfies the LHS never has missing entries
+    /// on LHS attributes).
+    pub fn mean_over(&self, attrs: &[AttrId]) -> Option<f64> {
+        if attrs.is_empty() {
+            return None;
+        }
+        let mut sum = 0.0;
+        for &a in attrs {
+            sum += self.entries[a]?;
+        }
+        Some(sum / attrs.len() as f64)
+    }
+}
+
+impl std::fmt::Display for DistancePattern {
+    /// Renders like the paper: `[7, _, 0, _, 0]`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match e {
+                None => write!(f, "_")?,
+                Some(d) if d.fract() == 0.0 => write!(f, "{}", *d as i64)?,
+                Some(d) => write!(f, "{d}")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renuver_data::{AttrType, Schema, Value};
+
+    /// The (t5, t6) pair from Table 2: Name, City, Phone, Type, Class.
+    fn t5_t6() -> (Tuple, Tuple) {
+        let t5: Tuple = vec![
+            "Fenix".into(),
+            "Hollywood".into(),
+            "213/848-6677".into(),
+            Value::Null,
+            Value::Int(5),
+        ];
+        let t6: Tuple = vec![
+            "Fenix Argyle".into(),
+            Value::Null,
+            "213/848-6677".into(),
+            "French (new)".into(),
+            Value::Int(5),
+        ];
+        (t5, t6)
+    }
+
+    #[test]
+    fn paper_example_5_5() {
+        let (t5, t6) = t5_t6();
+        let p = DistancePattern::between(&t5, &t6);
+        assert_eq!(
+            p.entries(),
+            &[Some(7.0), None, Some(0.0), None, Some(0.0)]
+        );
+        assert_eq!(p.to_string(), "[7, _, 0, _, 0]");
+    }
+
+    #[test]
+    fn paper_example_5_7_distance_value() {
+        // φ5: Name(≤8), Phone(≤0) → City(≤9); dist = (7+0)/2 = 3.5.
+        let (t5, t6) = t5_t6();
+        let p = DistancePattern::between(&t5, &t6);
+        assert!(p.satisfies(&[(0, 8.0), (2, 0.0)]));
+        assert_eq!(p.mean_over(&[0, 2]), Some(3.5));
+    }
+
+    #[test]
+    fn satisfies_requires_present_entries() {
+        let (t5, t6) = t5_t6();
+        let p = DistancePattern::between(&t5, &t6);
+        // City entry is `_`, so any constraint on City fails.
+        assert!(!p.satisfies(&[(1, 100.0)]));
+    }
+
+    #[test]
+    fn satisfies_respects_thresholds() {
+        let p = DistancePattern::from_entries(vec![Some(3.0), Some(5.0)]);
+        assert!(p.satisfies(&[(0, 3.0), (1, 5.0)]));
+        assert!(!p.satisfies(&[(0, 2.9)]));
+        assert!(p.satisfies(&[])); // vacuous
+    }
+
+    #[test]
+    fn mean_over_missing_entry_is_none() {
+        let p = DistancePattern::from_entries(vec![Some(3.0), None]);
+        assert_eq!(p.mean_over(&[0]), Some(3.0));
+        assert_eq!(p.mean_over(&[0, 1]), None);
+        assert_eq!(p.mean_over(&[]), None);
+    }
+
+    #[test]
+    fn between_rows_matches_between() {
+        let schema = Schema::new([("A", AttrType::Int), ("B", AttrType::Text)]).unwrap();
+        let rel = Relation::new(
+            schema,
+            vec![
+                vec![Value::Int(1), "ab".into()],
+                vec![Value::Int(4), "abc".into()],
+            ],
+        )
+        .unwrap();
+        let p = DistancePattern::between_rows(&rel, 0, 1);
+        assert_eq!(p.entries(), &[Some(3.0), Some(1.0)]);
+    }
+
+    #[test]
+    fn pattern_is_symmetric() {
+        let (t5, t6) = t5_t6();
+        assert_eq!(
+            DistancePattern::between(&t5, &t6),
+            DistancePattern::between(&t6, &t5)
+        );
+    }
+}

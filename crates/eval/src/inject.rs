@@ -1,0 +1,250 @@
+//! Seeded missing-value injection (paper Section 6.1, "Datasets").
+//!
+//! The paper injects uniformly at random (MCAR — missing completely at
+//! random). [`inject_with`] additionally supports the two standard
+//! non-uniform mechanisms for robustness studies: value-biased
+//! missingness (MNAR — high values of a chosen attribute go missing
+//! preferentially) and column-concentrated missingness (MAR-style — only
+//! chosen attributes lose values).
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, RngExt, SeedableRng};
+
+use renuver_data::{AttrId, Cell, Relation, Value};
+
+/// How injected cells are selected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InjectionPattern {
+    /// Uniformly at random over all non-missing cells — the paper's
+    /// protocol (missing completely at random).
+    Mcar,
+    /// Missing **not** at random: cells of `attr` whose value ranks in the
+    /// upper half of the attribute's ordering are `bias`× more likely to
+    /// be selected. Only cells of `attr` are injected.
+    ValueBiased {
+        /// The attribute losing values.
+        attr: AttrId,
+        /// Selection weight multiplier for upper-half values (≥ 1).
+        bias: f64,
+    },
+    /// Only the listed attributes lose values (uniform within them).
+    Columns(Vec<AttrId>),
+}
+
+/// The injected cells with their original values — the ground truth an
+/// evaluation compares against.
+pub type GroundTruth = Vec<(Cell, Value)>;
+
+/// Turns `rate` (fraction of all cells, e.g. `0.01` for the paper's 1%)
+/// of the non-missing cells into missing values, selected uniformly with
+/// the given seed. Returns the incomplete instance and the ground truth.
+///
+/// Different seeds give the paper's "five injected datasets per missing
+/// rate"; the same seed always selects the same cells.
+pub fn inject(rel: &Relation, rate: f64, seed: u64) -> (Relation, GroundTruth) {
+    let total = rel.len() * rel.arity();
+    let count = ((total as f64) * rate).round() as usize;
+    inject_count(rel, count, seed)
+}
+
+/// Like [`inject`] but with an explicit number of cells.
+pub fn inject_count(rel: &Relation, count: usize, seed: u64) -> (Relation, GroundTruth) {
+    inject_pattern(rel, count, seed, &InjectionPattern::Mcar)
+}
+
+/// Injects `rate` of the cells under the given selection pattern. For
+/// [`InjectionPattern::Mcar`] this is exactly [`inject`].
+pub fn inject_with(
+    rel: &Relation,
+    rate: f64,
+    seed: u64,
+    pattern: &InjectionPattern,
+) -> (Relation, GroundTruth) {
+    let total = rel.len() * rel.arity();
+    let count = ((total as f64) * rate).round() as usize;
+    inject_pattern(rel, count, seed, pattern)
+}
+
+fn inject_pattern(
+    rel: &Relation,
+    count: usize,
+    seed: u64,
+    pattern: &InjectionPattern,
+) -> (Relation, GroundTruth) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x17CE11);
+    let mut candidates: Vec<Cell> = Vec::new();
+    match pattern {
+        InjectionPattern::Mcar => {
+            for row in 0..rel.len() {
+                for col in 0..rel.arity() {
+                    if !rel.is_missing(row, col) {
+                        candidates.push(Cell::new(row, col));
+                    }
+                }
+            }
+            candidates.shuffle(&mut rng);
+        }
+        InjectionPattern::Columns(cols) => {
+            for row in 0..rel.len() {
+                for &col in cols {
+                    if col < rel.arity() && !rel.is_missing(row, col) {
+                        candidates.push(Cell::new(row, col));
+                    }
+                }
+            }
+            candidates.shuffle(&mut rng);
+        }
+        InjectionPattern::ValueBiased { attr, bias } => {
+            // Rank the attribute's present values; upper-half cells get
+            // weight `bias`, lower-half weight 1, then a weighted shuffle
+            // (exponential-sort trick on -ln(u)/w keys).
+            let mut ranked: Vec<(usize, &Value)> = (0..rel.len())
+                .filter(|&r| !rel.is_missing(r, *attr))
+                .map(|r| (r, rel.value(r, *attr)))
+                .collect();
+            ranked.sort_by(|a, b| a.1.total_cmp(b.1));
+            let half = ranked.len() / 2;
+            let mut keyed: Vec<(f64, Cell)> = ranked
+                .iter()
+                .enumerate()
+                .map(|(pos, &(row, _))| {
+                    let w = if pos >= half { bias.max(1.0) } else { 1.0 };
+                    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                    ((-u.ln()) / w, Cell::new(row, *attr))
+                })
+                .collect();
+            keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            candidates = keyed.into_iter().map(|(_, c)| c).collect();
+        }
+    }
+    candidates.truncate(count.min(candidates.len()));
+    candidates.sort();
+
+    let mut out = rel.clone();
+    let mut truth = Vec::with_capacity(candidates.len());
+    for cell in candidates {
+        truth.push((cell, rel.value(cell.row, cell.col).clone()));
+        out.set_value(cell.row, cell.col, Value::Null);
+    }
+    (out, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renuver_data::{AttrType, Schema};
+
+    fn sample() -> Relation {
+        let schema = Schema::new([("A", AttrType::Int), ("B", AttrType::Int)]).unwrap();
+        Relation::new(
+            schema,
+            (0..50)
+                .map(|i| vec![Value::Int(i), Value::Int(i * 2)])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn injects_requested_fraction() {
+        let rel = sample();
+        let (injected, truth) = inject(&rel, 0.1, 1);
+        assert_eq!(truth.len(), 10); // 100 cells * 10%
+        assert_eq!(injected.missing_count(), 10);
+    }
+
+    #[test]
+    fn ground_truth_matches_original() {
+        let rel = sample();
+        let (injected, truth) = inject(&rel, 0.05, 2);
+        for (cell, original) in &truth {
+            assert!(injected.is_missing(cell.row, cell.col));
+            assert_eq!(rel.value(cell.row, cell.col), original);
+        }
+    }
+
+    #[test]
+    fn untouched_cells_preserved() {
+        let rel = sample();
+        let (injected, truth) = inject(&rel, 0.05, 3);
+        let hit: std::collections::HashSet<Cell> =
+            truth.iter().map(|(c, _)| *c).collect();
+        for row in 0..rel.len() {
+            for col in 0..rel.arity() {
+                if !hit.contains(&Cell::new(row, col)) {
+                    assert_eq!(injected.value(row, col), rel.value(row, col));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_select_different_cells() {
+        let rel = sample();
+        let (_, a) = inject(&rel, 0.05, 1);
+        let (_, b) = inject(&rel, 0.05, 2);
+        assert_ne!(a, b);
+        let (_, a2) = inject(&rel, 0.05, 1);
+        assert_eq!(a, a2); // deterministic per seed
+    }
+
+    #[test]
+    fn never_injects_into_already_missing() {
+        let schema = Schema::new([("A", AttrType::Int)]).unwrap();
+        let rel = Relation::new(schema, vec![vec![Value::Null], vec![Value::Int(1)]]).unwrap();
+        let (injected, truth) = inject_count(&rel, 5, 1);
+        assert_eq!(truth.len(), 1); // only one non-missing cell existed
+        assert_eq!(injected.missing_count(), 2);
+    }
+
+    #[test]
+    fn columns_pattern_restricts_attributes() {
+        let rel = sample();
+        let (incomplete, truth) =
+            inject_with(&rel, 0.1, 1, &InjectionPattern::Columns(vec![1]));
+        assert_eq!(truth.len(), 10);
+        assert!(truth.iter().all(|(c, _)| c.col == 1));
+        assert!((0..rel.len()).all(|r| !incomplete.is_missing(r, 0)));
+    }
+
+    #[test]
+    fn value_biased_pattern_prefers_upper_half() {
+        // Column B holds i*2 for i in 0..50; with strong bias the selected
+        // rows should skew to the top of the ordering.
+        let rel = sample();
+        let pattern = InjectionPattern::ValueBiased { attr: 1, bias: 50.0 };
+        let mut upper = 0usize;
+        let mut total = 0usize;
+        for seed in 0..10 {
+            let (_, truth) = inject_with(&rel, 0.1, seed, &pattern);
+            assert!(truth.iter().all(|(c, _)| c.col == 1));
+            for (cell, _) in &truth {
+                total += 1;
+                if cell.row >= 25 {
+                    upper += 1;
+                }
+            }
+        }
+        assert!(
+            upper as f64 / total as f64 > 0.8,
+            "bias too weak: {upper}/{total}"
+        );
+    }
+
+    #[test]
+    fn mcar_pattern_equals_plain_inject() {
+        let rel = sample();
+        let (a, ta) = inject(&rel, 0.07, 3);
+        let (b, tb) = inject_with(&rel, 0.07, 3, &InjectionPattern::Mcar);
+        assert_eq!(a, b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let rel = sample();
+        let (injected, truth) = inject(&rel, 0.0, 9);
+        assert_eq!(injected, rel);
+        assert!(truth.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! Evaluation harness: missing-value injection, metrics, imputer adapters,
+//! and resource tracking (paper Section 6.1).
+//!
+//! The paper's protocol, reproduced end to end:
+//!
+//! 1. Start from a complete instance and **inject** missing values at a
+//!    rate in `[1%, 5%]`, five seeded variants per rate ([`inject()`]).
+//! 2. Run each imputation approach through the common [`Imputer`] trait.
+//! 3. **Validate** every imputed cell against the ground truth with the
+//!    dataset's rule file — not just strict equality ([`metrics`]).
+//! 4. Report precision / recall / F1 averaged over the variants, plus wall
+//!    time and peak memory ([`budget`], [`runner`]).
+
+pub mod auto_rules;
+pub mod budget;
+pub mod imputer;
+pub mod inject;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+
+pub use auto_rules::auto_rules;
+pub use imputer::{
+    DerandImputer, GreyKnnImputer, HolocleanImputer, Imputer, RenuverImputer,
+};
+pub use inject::{inject, inject_count, inject_with, GroundTruth, InjectionPattern};
+pub use metrics::{evaluate, Scores};
+pub use runner::{average_scores, run_variants, run_variants_parallel, summarize, MeanStd, OutcomeSummary, RunOutcome};

@@ -1,0 +1,124 @@
+//! Precision / recall / F1 over rule-validated imputations
+//! (paper Section 6.1, "Evaluation metrics").
+
+use renuver_data::Relation;
+use renuver_rulekit::RuleSet;
+
+use crate::inject::GroundTruth;
+
+/// The paper's three effectiveness metrics, plus the raw counts behind
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Scores {
+    /// `|true ∩ imputed| / |imputed|` — reliability of what was filled.
+    pub precision: f64,
+    /// `|true ∩ missing| / |missing|` — coverage of what was missing.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Injected (ground-truth) missing cells.
+    pub missing: usize,
+    /// Cells the approach filled.
+    pub imputed: usize,
+    /// Filled cells judged correct by the rule set.
+    pub correct: usize,
+}
+
+impl Scores {
+    /// Derives the metric triple from the raw counts.
+    pub fn from_counts(missing: usize, imputed: usize, correct: usize) -> Scores {
+        let precision = if imputed == 0 { 0.0 } else { correct as f64 / imputed as f64 };
+        let recall = if missing == 0 { 0.0 } else { correct as f64 / missing as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Scores { precision, recall, f1, missing, imputed, correct }
+    }
+}
+
+/// Judges an imputed relation against the ground truth: for every injected
+/// cell, checks whether it was filled and whether the filled value is
+/// admissible under the dataset's rules (exact match or any rule).
+pub fn evaluate(imputed_rel: &Relation, truth: &GroundTruth, rules: &RuleSet) -> Scores {
+    let mut imputed = 0usize;
+    let mut correct = 0usize;
+    for (cell, expected) in truth {
+        let got = imputed_rel.value(cell.row, cell.col);
+        if got.is_null() {
+            continue;
+        }
+        imputed += 1;
+        let attr = imputed_rel.schema().name(cell.col);
+        if rules.validate(attr, &got.render(), &expected.render()) {
+            correct += 1;
+        }
+    }
+    Scores::from_counts(truth.len(), imputed, correct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renuver_data::{AttrType, Cell, Schema, Value};
+    use renuver_rulekit::parse_rules;
+
+    fn rel(values: Vec<Value>) -> Relation {
+        let schema = Schema::new([("Phone", AttrType::Text)]).unwrap();
+        Relation::new(schema, values.into_iter().map(|v| vec![v]).collect()).unwrap()
+    }
+
+    #[test]
+    fn from_counts_edge_cases() {
+        let s = Scores::from_counts(0, 0, 0);
+        assert_eq!((s.precision, s.recall, s.f1), (0.0, 0.0, 0.0));
+        let s = Scores::from_counts(10, 0, 0);
+        assert_eq!((s.precision, s.recall), (0.0, 0.0));
+        let s = Scores::from_counts(10, 10, 10);
+        assert_eq!((s.precision, s.recall, s.f1), (1.0, 1.0, 1.0));
+        let s = Scores::from_counts(10, 5, 5);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.5);
+        assert!((s.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_counts_rule_admissible_as_correct() {
+        let rules = parse_rules(
+            "attr Phone\n  regex \\d{3}[-/ ]\\d{3}[- ]\\d{4} project digits\n",
+        )
+        .unwrap();
+        // Three injected cells: one exact, one separator variant, one wrong.
+        let imputed = rel(vec![
+            "213-848-6677".into(),
+            "310/456-0488".into(),
+            "999-999-9999".into(),
+        ]);
+        let truth: GroundTruth = vec![
+            (Cell::new(0, 0), "213-848-6677".into()),
+            (Cell::new(1, 0), "310-456-0488".into()),
+            (Cell::new(2, 0), "111-111-1111".into()),
+        ];
+        let s = evaluate(&imputed, &truth, &rules);
+        assert_eq!(s.imputed, 3);
+        assert_eq!(s.correct, 2);
+        assert!((s.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.recall - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfilled_cells_hit_recall_not_precision() {
+        let rules = parse_rules("").unwrap();
+        let imputed = rel(vec![Value::Null, "x".into()]);
+        let truth: GroundTruth = vec![
+            (Cell::new(0, 0), "a".into()),
+            (Cell::new(1, 0), "x".into()),
+        ];
+        let s = evaluate(&imputed, &truth, &rules);
+        assert_eq!(s.imputed, 1);
+        assert_eq!(s.correct, 1);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.5);
+    }
+}

@@ -1,0 +1,179 @@
+//! Human-readable run reports.
+//!
+//! Formats an imputation run the way the paper's tables present results —
+//! metrics, resource use, and per-attribute breakdowns — for the CLI and
+//! the examples. Pure string building; no I/O.
+
+use std::time::Duration;
+
+use renuver_data::{Relation, Schema};
+
+use crate::budget::{format_bytes, format_duration};
+use crate::inject::GroundTruth;
+use crate::metrics::Scores;
+use crate::runner::RunOutcome;
+
+/// Formats the metric triple as one line: `precision 0.833 | recall 0.641
+/// | F1 0.724 (imputed 166/259, correct 138)`.
+pub fn scores_line(s: &Scores) -> String {
+    format!(
+        "precision {:.3} | recall {:.3} | F1 {:.3} (imputed {}/{}, correct {})",
+        s.precision, s.recall, s.f1, s.imputed, s.missing, s.correct
+    )
+}
+
+/// Formats a full outcome with resource use appended.
+pub fn outcome_line(o: &RunOutcome) -> String {
+    let mut line = scores_line(&o.scores);
+    line.push_str(&format!(" in {}", format_duration(o.elapsed)));
+    if o.peak_bytes > 0 {
+        line.push_str(&format!(", peak {}", format_bytes(o.peak_bytes)));
+    }
+    line
+}
+
+/// Per-attribute imputation breakdown: how many of each attribute's
+/// injected cells were filled and judged correct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrBreakdown {
+    /// Attribute name.
+    pub name: String,
+    /// Injected cells on this attribute.
+    pub missing: usize,
+    /// Cells filled.
+    pub imputed: usize,
+    /// Filled cells judged correct.
+    pub correct: usize,
+}
+
+/// Computes the per-attribute breakdown of a run.
+pub fn attr_breakdown(
+    imputed_rel: &Relation,
+    truth: &GroundTruth,
+    rules: &renuver_rulekit::RuleSet,
+) -> Vec<AttrBreakdown> {
+    let schema: &Schema = imputed_rel.schema();
+    let mut rows: Vec<AttrBreakdown> = schema
+        .attrs()
+        .map(|a| AttrBreakdown {
+            name: a.name.clone(),
+            missing: 0,
+            imputed: 0,
+            correct: 0,
+        })
+        .collect();
+    for (cell, expected) in truth {
+        let slot = &mut rows[cell.col];
+        slot.missing += 1;
+        let got = imputed_rel.value(cell.row, cell.col);
+        if got.is_null() {
+            continue;
+        }
+        slot.imputed += 1;
+        if rules.validate(&slot.name, &got.render(), &expected.render()) {
+            slot.correct += 1;
+        }
+    }
+    rows.retain(|r| r.missing > 0);
+    rows
+}
+
+/// Renders the breakdown as an aligned text table.
+pub fn breakdown_table(rows: &[AttrBreakdown]) -> String {
+    let name_w = rows
+        .iter()
+        .map(|r| r.name.chars().count())
+        .max()
+        .unwrap_or(4)
+        .max("attribute".len());
+    let mut out = format!(
+        "{:<name_w$} {:>8} {:>8} {:>8} {:>10}\n",
+        "attribute", "missing", "imputed", "correct", "precision"
+    );
+    for r in rows {
+        let precision = if r.imputed == 0 {
+            "-".to_owned()
+        } else {
+            format!("{:.3}", r.correct as f64 / r.imputed as f64)
+        };
+        out.push_str(&format!(
+            "{:<name_w$} {:>8} {:>8} {:>8} {:>10}\n",
+            r.name, r.missing, r.imputed, r.correct, precision
+        ));
+    }
+    out
+}
+
+/// One-line summary used by the examples: duration plus the triple.
+pub fn summarize(scores: &Scores, elapsed: Duration) -> String {
+    format!("{} [{}]", scores_line(scores), format_duration(elapsed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::evaluate;
+    use renuver_data::{AttrType, Cell, Value};
+    use renuver_rulekit::RuleSet;
+
+    fn setup() -> (Relation, GroundTruth) {
+        let schema = renuver_data::Schema::new([
+            ("City", AttrType::Text),
+            ("Zip", AttrType::Text),
+        ])
+        .unwrap();
+        let imputed = Relation::new(
+            schema,
+            vec![
+                vec!["Salerno".into(), "84084".into()],
+                vec![Value::Null, "84084".into()],
+            ],
+        )
+        .unwrap();
+        let truth: GroundTruth = vec![
+            (Cell::new(0, 0), "Salerno".into()),   // imputed correctly
+            (Cell::new(1, 0), "Milano".into()),    // left missing
+            (Cell::new(1, 1), "99999".into()),     // imputed wrong
+        ];
+        (imputed, truth)
+    }
+
+    #[test]
+    fn lines_render() {
+        let (rel, truth) = setup();
+        let scores = evaluate(&rel, &truth, &RuleSet::new());
+        let line = scores_line(&scores);
+        assert!(line.contains("imputed 2/3"), "{line}");
+        assert!(line.contains("correct 1"), "{line}");
+        let out = RunOutcome {
+            scores,
+            elapsed: Duration::from_millis(470),
+            peak_bytes: 0,
+        };
+        let line = outcome_line(&out);
+        assert!(line.ends_with("in 470ms"), "{line}");
+    }
+
+    #[test]
+    fn breakdown_routes_by_attribute() {
+        let (rel, truth) = setup();
+        let rows = attr_breakdown(&rel, &truth, &RuleSet::new());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "City");
+        assert_eq!((rows[0].missing, rows[0].imputed, rows[0].correct), (2, 1, 1));
+        assert_eq!(rows[1].name, "Zip");
+        assert_eq!((rows[1].missing, rows[1].imputed, rows[1].correct), (1, 1, 0));
+        let table = breakdown_table(&rows);
+        assert!(table.contains("City"));
+        assert!(table.contains("0.000")); // Zip precision
+    }
+
+    #[test]
+    fn attributes_without_injections_omitted() {
+        let (rel, _) = setup();
+        let truth: GroundTruth = vec![(Cell::new(0, 0), "Salerno".into())];
+        let rows = attr_breakdown(&rel, &truth, &RuleSet::new());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "City");
+    }
+}

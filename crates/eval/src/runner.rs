@@ -1,0 +1,275 @@
+//! Experiment runner: inject → impute → validate, across seeds and rates.
+
+use std::time::Duration;
+
+use renuver_data::Relation;
+use renuver_rulekit::RuleSet;
+
+use crate::budget::measure;
+use crate::imputer::Imputer;
+use crate::inject::inject;
+use crate::metrics::{evaluate, Scores};
+
+/// Outcome of one imputation run (one injected variant).
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Effectiveness metrics.
+    pub scores: Scores,
+    /// Wall-clock time of the imputation call.
+    pub elapsed: Duration,
+    /// Heap high-water mark during the call (0 unless the binary installs
+    /// [`crate::budget::TrackingAlloc`]).
+    pub peak_bytes: usize,
+}
+
+/// Runs `imputer` on `seeds.len()` injected variants of `rel` at the given
+/// missing `rate`, validating with `rules` (the paper averages five
+/// variants per rate).
+pub fn run_variants(
+    rel: &Relation,
+    rules: &RuleSet,
+    imputer: &dyn Imputer,
+    rate: f64,
+    seeds: &[u64],
+) -> Vec<RunOutcome> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            let (incomplete, truth) = inject(rel, rate, seed);
+            let (repaired, elapsed, peak_bytes) = measure(|| imputer.impute(&incomplete));
+            RunOutcome {
+                scores: evaluate(&repaired, &truth, rules),
+                elapsed,
+                peak_bytes,
+            }
+        })
+        .collect()
+}
+
+/// [`run_variants`] with the seeds fanned out across threads. Scores are
+/// identical to the serial version (each variant is independent); wall
+/// times remain meaningful per run, but the **peak-memory** figures are
+/// not attributable to a single run when variants overlap — use the serial
+/// runner for memory studies (Tables 4–5 do).
+pub fn run_variants_parallel(
+    rel: &Relation,
+    rules: &RuleSet,
+    imputer: &dyn Imputer,
+    rate: f64,
+    seeds: &[u64],
+) -> Vec<RunOutcome> {
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                scope.spawn(move |_| {
+                    let (incomplete, truth) = inject(rel, rate, seed);
+                    let (repaired, elapsed, peak_bytes) =
+                        measure(|| imputer.impute(&incomplete));
+                    RunOutcome {
+                        scores: evaluate(&repaired, &truth, rules),
+                        elapsed,
+                        peak_bytes,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("variant worker panicked")
+}
+
+/// Mean and sample standard deviation of a metric across outcomes —
+/// the dispersion behind the paper's per-rate averages, which the paper
+/// itself does not report ("a slight variability in missing rates…").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanStd {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than two outcomes).
+    pub std: f64,
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3}", self.mean, self.std)
+    }
+}
+
+fn mean_std(values: impl Iterator<Item = f64> + Clone) -> MeanStd {
+    let n = values.clone().count();
+    if n == 0 {
+        return MeanStd { mean: 0.0, std: 0.0 };
+    }
+    let mean = values.clone().sum::<f64>() / n as f64;
+    if n < 2 {
+        return MeanStd { mean, std: 0.0 };
+    }
+    let var = values.map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+    MeanStd { mean, std: var.sqrt() }
+}
+
+/// Per-metric dispersion of a batch of outcomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutcomeSummary {
+    /// Precision across the variants.
+    pub precision: MeanStd,
+    /// Recall across the variants.
+    pub recall: MeanStd,
+    /// F1 across the variants.
+    pub f1: MeanStd,
+}
+
+/// Summarizes outcomes as mean ± sample std per metric.
+pub fn summarize(outcomes: &[RunOutcome]) -> OutcomeSummary {
+    OutcomeSummary {
+        precision: mean_std(outcomes.iter().map(|o| o.scores.precision)),
+        recall: mean_std(outcomes.iter().map(|o| o.scores.recall)),
+        f1: mean_std(outcomes.iter().map(|o| o.scores.f1)),
+    }
+}
+
+/// Averages the metric triple over a batch of outcomes, as the paper does
+/// per missing rate. Time is averaged; memory takes the maximum.
+pub fn average_scores(outcomes: &[RunOutcome]) -> RunOutcome {
+    assert!(!outcomes.is_empty(), "cannot average zero outcomes");
+    let n = outcomes.len() as f64;
+    let mut p = 0.0;
+    let mut r = 0.0;
+    let mut f = 0.0;
+    let mut missing = 0;
+    let mut imputed = 0;
+    let mut correct = 0;
+    let mut elapsed = Duration::ZERO;
+    let mut peak = 0usize;
+    for o in outcomes {
+        p += o.scores.precision;
+        r += o.scores.recall;
+        f += o.scores.f1;
+        missing += o.scores.missing;
+        imputed += o.scores.imputed;
+        correct += o.scores.correct;
+        elapsed += o.elapsed;
+        peak = peak.max(o.peak_bytes);
+    }
+    RunOutcome {
+        scores: Scores {
+            precision: p / n,
+            recall: r / n,
+            f1: f / n,
+            missing,
+            imputed,
+            correct,
+        },
+        elapsed: elapsed / outcomes.len() as u32,
+        peak_bytes: peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imputer::RenuverImputer;
+    use renuver_core::RenuverConfig;
+    use renuver_data::{AttrType, Schema, Value};
+    use renuver_rfd::{Constraint, Rfd, RfdSet};
+    use renuver_rulekit::RuleSet;
+
+    /// A relation where A(≤0) → B(≤0) perfectly reconstructs B.
+    fn paired_rel() -> Relation {
+        let schema = Schema::new([("A", AttrType::Int), ("B", AttrType::Int)]).unwrap();
+        let mut rows = Vec::new();
+        for i in 0..40i64 {
+            // Two copies of each pair so a donor survives injection.
+            rows.push(vec![Value::Int(i), Value::Int(i * 7)]);
+            rows.push(vec![Value::Int(i), Value::Int(i * 7)]);
+        }
+        Relation::new(schema, rows).unwrap()
+    }
+
+    fn rfds() -> RfdSet {
+        RfdSet::from_vec(vec![
+            Rfd::new(vec![Constraint::new(0, 0.0)], Constraint::new(1, 0.0)),
+            Rfd::new(vec![Constraint::new(1, 0.0)], Constraint::new(0, 0.0)),
+        ])
+    }
+
+    #[test]
+    fn renuver_reconstructs_planted_dependency() {
+        let rel = paired_rel();
+        let imputer = RenuverImputer::new(RenuverConfig::default(), rfds());
+        let outcomes = run_variants(&rel, &RuleSet::new(), &imputer, 0.03, &[1, 2, 3]);
+        assert_eq!(outcomes.len(), 3);
+        let avg = average_scores(&outcomes);
+        // With a duplicate of every row, nearly every injected cell has a
+        // surviving donor; precision should be perfect, recall high.
+        assert!(avg.scores.precision > 0.95, "precision {avg:?}");
+        assert!(avg.scores.recall > 0.7, "recall {avg:?}");
+    }
+
+    #[test]
+    fn parallel_matches_serial_scores() {
+        let rel = paired_rel();
+        let imputer = RenuverImputer::new(RenuverConfig::default(), rfds());
+        let serial = run_variants(&rel, &RuleSet::new(), &imputer, 0.04, &[1, 2, 3, 4]);
+        let parallel =
+            run_variants_parallel(&rel, &RuleSet::new(), &imputer, 0.04, &[1, 2, 3, 4]);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.scores, p.scores);
+        }
+    }
+
+    #[test]
+    fn average_is_elementwise() {
+        let mk = |p: f64, r: f64| RunOutcome {
+            scores: Scores {
+                precision: p,
+                recall: r,
+                f1: 0.0,
+                missing: 10,
+                imputed: 5,
+                correct: 4,
+            },
+            elapsed: Duration::from_secs(2),
+            peak_bytes: 100,
+        };
+        let avg = average_scores(&[mk(1.0, 0.5), mk(0.5, 1.0)]);
+        assert_eq!(avg.scores.precision, 0.75);
+        assert_eq!(avg.scores.recall, 0.75);
+        assert_eq!(avg.scores.missing, 20);
+        assert_eq!(avg.elapsed, Duration::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero outcomes")]
+    fn average_of_nothing_panics() {
+        let _ = average_scores(&[]);
+    }
+
+    #[test]
+    fn summary_mean_and_std() {
+        let mk = |p: f64| RunOutcome {
+            scores: Scores {
+                precision: p,
+                recall: p,
+                f1: p,
+                missing: 1,
+                imputed: 1,
+                correct: 1,
+            },
+            elapsed: Duration::ZERO,
+            peak_bytes: 0,
+        };
+        let s = summarize(&[mk(0.8), mk(1.0)]);
+        assert!((s.precision.mean - 0.9).abs() < 1e-12);
+        // Sample std of {0.8, 1.0} = sqrt(0.02) ≈ 0.1414.
+        assert!((s.precision.std - 0.02f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.precision.to_string(), "0.900 ± 0.141");
+
+        let single = summarize(&[mk(0.7)]);
+        assert_eq!(single.f1.std, 0.0);
+        let empty = summarize(&[]);
+        assert_eq!(empty.recall.mean, 0.0);
+    }
+}

@@ -1,0 +1,346 @@
+//! RFD satisfaction, violation enumeration, and key-RFD detection.
+
+use renuver_data::Relation;
+use renuver_distance::DistanceOracle;
+
+use crate::model::Rfd;
+
+/// `true` iff the pair `(i, j)` satisfies every LHS constraint of `rfd`:
+/// both values present and within the threshold on each LHS attribute.
+/// Distances go through the oracle's per-column cache.
+#[inline]
+pub fn pair_satisfies_lhs_with(
+    oracle: &DistanceOracle,
+    rel: &Relation,
+    rfd: &Rfd,
+    i: usize,
+    j: usize,
+) -> bool {
+    rfd.lhs()
+        .iter()
+        .all(|c| oracle.distance_bounded(rel, c.attr, i, j, c.threshold).is_some())
+}
+
+/// Cache-free convenience wrapper around [`pair_satisfies_lhs_with`].
+#[inline]
+pub fn pair_satisfies_lhs(rel: &Relation, rfd: &Rfd, i: usize, j: usize) -> bool {
+    pair_satisfies_lhs_with(&DistanceOracle::direct(rel), rel, rfd, i, j)
+}
+
+/// `true` iff the pair `(i, j)` satisfies the RHS constraint of `rfd`.
+/// A pair with a missing RHS value cannot be evaluated and counts as
+/// satisfying (it cannot witness a violation).
+#[inline]
+pub fn pair_satisfies_rhs_with(
+    oracle: &DistanceOracle,
+    rel: &Relation,
+    rfd: &Rfd,
+    i: usize,
+    j: usize,
+) -> bool {
+    let c = rfd.rhs();
+    if rel.value(i, c.attr).is_null() || rel.value(j, c.attr).is_null() {
+        return true;
+    }
+    oracle.distance_bounded(rel, c.attr, i, j, c.threshold).is_some()
+}
+
+/// Cache-free convenience wrapper around [`pair_satisfies_rhs_with`].
+#[inline]
+pub fn pair_satisfies_rhs(rel: &Relation, rfd: &Rfd, i: usize, j: usize) -> bool {
+    pair_satisfies_rhs_with(&DistanceOracle::direct(rel), rel, rfd, i, j)
+}
+
+/// `true` iff the pair `(i, j)` violates `rfd`: LHS-similar but RHS-distant.
+#[inline]
+pub fn pair_violates(rel: &Relation, rfd: &Rfd, i: usize, j: usize) -> bool {
+    pair_satisfies_lhs(rel, rfd, i, j) && !pair_satisfies_rhs(rel, rfd, i, j)
+}
+
+/// `r ⊨ φ`: no tuple pair violates the dependency (Definition 3.2).
+pub fn holds(rel: &Relation, rfd: &Rfd) -> bool {
+    let n = rel.len();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if pair_violates(rel, rfd, i, j) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// All violating pairs `(i, j)` with `i < j`.
+pub fn violations(rel: &Relation, rfd: &Rfd) -> Vec<(usize, usize)> {
+    let n = rel.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if pair_violates(rel, rfd, i, j) {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+/// Key-RFD test (Definition 3.4): `φ` is a key iff no pair of distinct
+/// tuples satisfies all its LHS constraints. (The "φ holds" part of the
+/// definition is then vacuous: with no LHS-similar pair there is nothing to
+/// violate.) A pair with a missing value on an LHS attribute never
+/// satisfies the LHS.
+///
+/// Note: the paper's Example 5.2 classifies
+/// `φ1: Name(≤8), Phone(≤0), Class(≤1) → Type(≤0)` as a key on the Table 2
+/// sample; under plain Levenshtein distance the pair `(t5, t6)` actually
+/// satisfies that LHS (Name distance 7, identical phones, equal Class), so
+/// the example does not follow from Definition 3.4 as stated. We implement
+/// the definition literally — the alternative readings we tried
+/// (ignoring pairs with missing RHS values or with any incomplete tuple)
+/// each contradict a *different* part of the paper: they would classify
+/// `φ6: Name(≤6), City(≤9) → Phone(≤0)` as a key too, yet Figure 1 keeps
+/// φ6 in Σ' and drives its whole walk-through with it.
+pub fn is_key(rel: &Relation, rfd: &Rfd) -> bool {
+    is_key_with(&DistanceOracle::direct(rel), rel, rfd)
+}
+
+/// [`is_key`] with a shared distance oracle (the hot path inside RENUVER's
+/// pre-processing).
+///
+/// RFDs whose LHS includes a zero-threshold constraint take an exact fast
+/// path: `δ ≤ 0` means equality for every distance function in use, so
+/// only pairs *within an equality bucket* of that attribute can satisfy
+/// the LHS — `Σ bucket²` pairs instead of `n²`. Everything else falls back
+/// to the full pair scan.
+pub fn is_key_with(oracle: &DistanceOracle, rel: &Relation, rfd: &Rfd) -> bool {
+    let n = rel.len();
+    if let Some(eq) = rfd.lhs().iter().find(|c| c.threshold == 0.0) {
+        // Bucket rows by the exact value of the zero-threshold attribute;
+        // rows with a missing value can never satisfy the LHS.
+        let mut buckets: std::collections::HashMap<String, Vec<usize>> =
+            std::collections::HashMap::new();
+        for row in 0..n {
+            let v = rel.value(row, eq.attr);
+            if !v.is_null() {
+                buckets.entry(v.render()).or_default().push(row);
+            }
+        }
+        for rows in buckets.values() {
+            for (a, &i) in rows.iter().enumerate() {
+                for &j in &rows[a + 1..] {
+                    if pair_satisfies_lhs_with(oracle, rel, rfd, i, j) {
+                        return false;
+                    }
+                }
+            }
+        }
+        return true;
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if pair_satisfies_lhs_with(oracle, rel, rfd, i, j) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Incremental key test after tuple `row` changed: `φ` stays a key iff no
+/// pair *involving `row`* satisfies the LHS (pairs not involving `row` were
+/// already checked when `φ` was classified). Used by RENUVER's
+/// post-imputation re-evaluation (Algorithm 1 line 14, Example 5.1).
+pub fn stays_key_after_update(rel: &Relation, rfd: &Rfd, row: usize) -> bool {
+    stays_key_after_update_with(&DistanceOracle::direct(rel), rel, rfd, row)
+}
+
+/// [`stays_key_after_update`] with a shared distance oracle.
+pub fn stays_key_after_update_with(
+    oracle: &DistanceOracle,
+    rel: &Relation,
+    rfd: &Rfd,
+    row: usize,
+) -> bool {
+    (0..rel.len())
+        .all(|j| j == row || !pair_satisfies_lhs_with(oracle, rel, rfd, row.min(j), row.max(j)))
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::model::{Constraint, Rfd};
+    use renuver_data::{AttrType, Relation, Schema, Value};
+
+    /// The paper's Table 2 Restaurant sample (7 tuples, 5 attributes:
+    /// Name, City, Phone, Type, Class).
+    pub(crate) fn restaurant_sample() -> Relation {
+        let schema = Schema::new([
+            ("Name", AttrType::Text),
+            ("City", AttrType::Text),
+            ("Phone", AttrType::Text),
+            ("Type", AttrType::Text),
+            ("Class", AttrType::Int),
+        ])
+        .unwrap();
+        let t = |name: &str, city: Option<&str>, phone: Option<&str>, ty: Option<&str>, class: i64| {
+            vec![
+                Value::from(name),
+                city.map(Value::from).unwrap_or(Value::Null),
+                phone.map(Value::from).unwrap_or(Value::Null),
+                ty.map(Value::from).unwrap_or(Value::Null),
+                Value::Int(class),
+            ]
+        };
+        Relation::new(
+            schema,
+            vec![
+                t("Granita", Some("Malibu"), Some("310/456-0488"), Some("Californian"), 6),
+                t("Chinois Main", Some("LA"), Some("310-392-9025"), Some("French"), 5),
+                t("Citrus", Some("Los Angeles"), Some("213/857-0034"), Some("Californian"), 6),
+                t("Citrus", Some("Los Angeles"), None, Some("Californian"), 6),
+                t("Fenix", Some("Hollywood"), Some("213/848-6677"), None, 5),
+                t("Fenix Argyle", None, Some("213/848-6677"), Some("French (new)"), 5),
+                t("C. Main", Some("Los Angeles"), None, Some("French"), 5),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn key_rfd_detection() {
+        // Name(≤0), Phone(≤0) → Type(≤0) is a key on the sample: t3/t4 share
+        // the name but t4's phone is missing, and no other pair has equal
+        // names — no pair of distinct tuples satisfies the LHS.
+        let rel = restaurant_sample();
+        let key = Rfd::new(
+            vec![Constraint::new(0, 0.0), Constraint::new(2, 0.0)],
+            Constraint::new(3, 0.0),
+        );
+        assert!(is_key(&rel, &key));
+        assert!(holds(&rel, &key)); // vacuously
+
+        // φ1 of Example 5.2 is NOT a key under the literal Definition 3.4:
+        // (t5, t6) satisfies its LHS (see `is_key` docs for the paper
+        // discrepancy).
+        let phi1 = Rfd::new(
+            vec![Constraint::new(0, 8.0), Constraint::new(2, 0.0), Constraint::new(4, 1.0)],
+            Constraint::new(3, 0.0),
+        );
+        assert!(!is_key(&rel, &phi1));
+    }
+
+    #[test]
+    fn non_key_rfd_phi2() {
+        // φ2: Class(≤0) → Type(≤5) has LHS-similar pairs (t3, t4).
+        let rel = restaurant_sample();
+        let phi2 = Rfd::new(vec![Constraint::new(4, 0.0)], Constraint::new(3, 5.0));
+        assert!(!is_key(&rel, &phi2));
+    }
+
+    #[test]
+    fn missing_lhs_value_never_satisfies() {
+        let rel = restaurant_sample();
+        // t4 and t7 both miss Phone; a Phone(≤0) LHS can't be satisfied.
+        let rfd = Rfd::new(vec![Constraint::new(2, 0.0)], Constraint::new(1, 100.0));
+        assert!(!pair_satisfies_lhs(&rel, &rfd, 3, 6));
+        // But t5 and t6 share the same phone.
+        assert!(pair_satisfies_lhs(&rel, &rfd, 4, 5));
+    }
+
+    #[test]
+    fn missing_rhs_value_cannot_violate() {
+        let rel = restaurant_sample();
+        // t5/t6 satisfy Phone(≤0); t6's City is missing → RHS not evaluable.
+        let rfd = Rfd::new(vec![Constraint::new(2, 0.0)], Constraint::new(1, 0.0));
+        assert!(pair_satisfies_rhs(&rel, &rfd, 4, 5));
+        assert!(!pair_violates(&rel, &rfd, 4, 5));
+    }
+
+    #[test]
+    fn example_4_4_violation_after_bad_imputation() {
+        // Imputing t7[Phone] with t1[Phone] violates
+        // φ0: Phone(≤0) → City(≤10): same phone, city edit distance > 10.
+        let mut rel = restaurant_sample();
+        rel.set_value(6, 2, rel.value(0, 2).clone());
+        let phi0 = Rfd::new(vec![Constraint::new(2, 0.0)], Constraint::new(1, 10.0));
+        assert!(pair_violates(&rel, &phi0, 0, 6));
+        assert!(!holds(&rel, &phi0));
+        assert_eq!(violations(&rel, &phi0), vec![(0, 6)]);
+    }
+
+    #[test]
+    fn holds_on_consistent_rfd() {
+        let rel = restaurant_sample();
+        // φ7: Phone(≤1) → Class(≤0): equal/near-equal phones agree on class.
+        let phi7 = Rfd::new(vec![Constraint::new(2, 1.0)], Constraint::new(4, 0.0));
+        assert!(holds(&rel, &phi7));
+        assert!(violations(&rel, &phi7).is_empty());
+    }
+
+    #[test]
+    fn key_fast_path_matches_full_scan() {
+        // Exercise both the bucketed (zero-threshold present) and the
+        // full-scan paths on the same dependencies and compare.
+        let rel = restaurant_sample();
+        let candidates = vec![
+            // Zero-threshold on City (buckets): non-key via (t3, t4, t7).
+            Rfd::new(vec![Constraint::new(1, 0.0)], Constraint::new(4, 0.0)),
+            // Zero-threshold on Phone: non-key via (t5, t6).
+            Rfd::new(vec![Constraint::new(2, 0.0)], Constraint::new(4, 0.0)),
+            // Zero-threshold on Name AND Phone: key (t3/t4 lack phones).
+            Rfd::new(
+                vec![Constraint::new(0, 0.0), Constraint::new(2, 0.0)],
+                Constraint::new(3, 0.0),
+            ),
+            // No zero threshold: full scan path, non-key.
+            Rfd::new(vec![Constraint::new(0, 4.0)], Constraint::new(2, 1.0)),
+        ];
+        let oracle = renuver_distance::DistanceOracle::build(&rel, 100);
+        for rfd in &candidates {
+            // Reference: brute-force over all pairs, LHS only.
+            let n = rel.len();
+            let mut brute = true;
+            'outer: for i in 0..n {
+                for j in (i + 1)..n {
+                    if pair_satisfies_lhs(&rel, rfd, i, j) {
+                        brute = false;
+                        break 'outer;
+                    }
+                }
+            }
+            assert_eq!(is_key_with(&oracle, &rel, rfd), brute, "{rfd:?}");
+            assert_eq!(is_key(&rel, rfd), brute, "{rfd:?}");
+        }
+    }
+
+    #[test]
+    fn stays_key_matches_full_recheck() {
+        // In the spirit of Example 5.1: Name(≤0), Phone(≤0) → Type is a key
+        // until t4[Phone] is imputed with t3's value, after which (t3, t4)
+        // satisfies its LHS.
+        let mut rel = restaurant_sample();
+        let key = Rfd::new(
+            vec![Constraint::new(0, 0.0), Constraint::new(2, 0.0)],
+            Constraint::new(3, 0.0),
+        );
+        assert!(is_key(&rel, &key));
+        rel.set_value(3, 2, rel.value(2, 2).clone());
+        assert!(!stays_key_after_update(&rel, &key, 3));
+        assert!(!is_key(&rel, &key));
+        // An unrelated update leaves it keyed w.r.t. the incremental check.
+        let key2 = Rfd::new(
+            vec![Constraint::new(0, 0.0), Constraint::new(1, 0.0), Constraint::new(2, 0.0)],
+            Constraint::new(3, 0.0),
+        );
+        assert!(stays_key_after_update(&rel, &key2, 0));
+    }
+
+    #[test]
+    fn empty_relation_everything_holds() {
+        let schema = Schema::new([("A", AttrType::Int), ("B", AttrType::Int)]).unwrap();
+        let rel = Relation::empty(schema);
+        let rfd = Rfd::new(vec![Constraint::new(0, 0.0)], Constraint::new(1, 0.0));
+        assert!(holds(&rel, &rfd));
+        assert!(is_key(&rel, &rfd));
+    }
+}

@@ -1,0 +1,177 @@
+//! Coverage measures for approximate RFDs.
+//!
+//! The paper's Section 3 notes that an RFD may hold on a *subset* of the
+//! data, quantified through a **coverage measure** (Caruccio et al.'s
+//! survey, ref. \[7\]). RENUVER itself only consumes exact RFDs, but
+//! coverage is the natural quality score for dependencies on dirty data
+//! and for deciding whether a near-dependency is worth keeping. This
+//! module provides the two standard measures:
+//!
+//! - [`g1_error`] — the fraction of *evaluable LHS-similar pairs* that
+//!   violate the RHS (Kivinen–Mannila's `g1` adapted to RFDs);
+//! - [`coverage`] — its complement, the fraction of LHS-similar pairs
+//!   that also satisfy the RHS (`1 − g1`).
+//!
+//! Plus [`filter_by_coverage`], which keeps the dependencies of a set
+//! whose coverage on an instance meets a floor — useful to tolerate a
+//! bounded amount of noise in externally supplied RFD sets.
+
+use renuver_data::Relation;
+use renuver_distance::DistanceOracle;
+
+use crate::check::{pair_satisfies_lhs_with, pair_satisfies_rhs_with};
+use crate::model::Rfd;
+use crate::set::RfdSet;
+
+/// Pairs relevant to an RFD's coverage on an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoverageCounts {
+    /// Pairs satisfying the LHS with both RHS values present.
+    pub support: usize,
+    /// Of those, pairs violating the RHS constraint.
+    pub violations: usize,
+}
+
+/// Counts the LHS-similar, RHS-evaluable pairs and the violating subset.
+pub fn coverage_counts(oracle: &DistanceOracle, rel: &Relation, rfd: &Rfd) -> CoverageCounts {
+    let n = rel.len();
+    let rhs_attr = rfd.rhs_attr();
+    let mut counts = CoverageCounts::default();
+    for i in 0..n {
+        if rel.is_missing(i, rhs_attr) {
+            continue;
+        }
+        for j in (i + 1)..n {
+            if rel.is_missing(j, rhs_attr) {
+                continue;
+            }
+            if pair_satisfies_lhs_with(oracle, rel, rfd, i, j) {
+                counts.support += 1;
+                if !pair_satisfies_rhs_with(oracle, rel, rfd, i, j) {
+                    counts.violations += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// The `g1` error: violating pairs over supporting pairs. Zero when the
+/// dependency holds exactly (or has no supporting pair at all — a key).
+pub fn g1_error(rel: &Relation, rfd: &Rfd) -> f64 {
+    let counts = coverage_counts(&DistanceOracle::direct(rel), rel, rfd);
+    if counts.support == 0 {
+        0.0
+    } else {
+        counts.violations as f64 / counts.support as f64
+    }
+}
+
+/// Coverage: the fraction of supporting pairs that satisfy the RHS
+/// (`1 − g1`). A key (no supporting pair) has coverage 1.
+pub fn coverage(rel: &Relation, rfd: &Rfd) -> f64 {
+    1.0 - g1_error(rel, rfd)
+}
+
+/// Keeps the RFDs of `set` whose coverage on `rel` is at least
+/// `min_coverage`. Returns the kept set and the number dropped.
+pub fn filter_by_coverage(set: &RfdSet, rel: &Relation, min_coverage: f64) -> (RfdSet, usize) {
+    let oracle = DistanceOracle::build(rel, 3000);
+    let kept: Vec<Rfd> = set
+        .iter()
+        .filter(|rfd| {
+            let counts = coverage_counts(&oracle, rel, rfd);
+            let cov = if counts.support == 0 {
+                1.0
+            } else {
+                1.0 - counts.violations as f64 / counts.support as f64
+            };
+            cov >= min_coverage
+        })
+        .cloned()
+        .collect();
+    let dropped = set.len() - kept.len();
+    (RfdSet::from_vec(kept), dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::holds;
+    use crate::model::Constraint;
+    use renuver_data::{AttrType, Schema, Value};
+
+    fn rel(rows: &[(i64, i64)]) -> Relation {
+        let schema = Schema::new([("A", AttrType::Int), ("B", AttrType::Int)]).unwrap();
+        Relation::new(
+            schema,
+            rows.iter()
+                .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn a_to_b() -> Rfd {
+        Rfd::new(vec![Constraint::new(0, 0.0)], Constraint::new(1, 0.0))
+    }
+
+    #[test]
+    fn exact_dependency_has_full_coverage() {
+        let r = rel(&[(1, 10), (1, 10), (2, 20), (2, 20)]);
+        assert!(holds(&r, &a_to_b()));
+        assert_eq!(g1_error(&r, &a_to_b()), 0.0);
+        assert_eq!(coverage(&r, &a_to_b()), 1.0);
+    }
+
+    #[test]
+    fn partial_violations_measured() {
+        // A=1 supports 3 pairs, one violating (10 vs 11); A=2 supports 1
+        // clean pair → g1 = 1/4.
+        let r = rel(&[(1, 10), (1, 10), (1, 11), (2, 20), (2, 20)]);
+        let counts = coverage_counts(&DistanceOracle::direct(&r), &r, &a_to_b());
+        assert_eq!(counts.support, 4);
+        assert_eq!(counts.violations, 2); // (r0,r2) and (r1,r2)
+        assert_eq!(g1_error(&r, &a_to_b()), 0.5);
+        assert_eq!(coverage(&r, &a_to_b()), 0.5);
+    }
+
+    #[test]
+    fn keys_have_coverage_one() {
+        let r = rel(&[(1, 10), (2, 20), (3, 30)]);
+        assert_eq!(coverage(&r, &a_to_b()), 1.0);
+    }
+
+    #[test]
+    fn missing_rhs_pairs_excluded_from_support() {
+        let schema = Schema::new([("A", AttrType::Int), ("B", AttrType::Int)]).unwrap();
+        let r = Relation::new(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(1), Value::Null],
+            ],
+        )
+        .unwrap();
+        let counts = coverage_counts(&DistanceOracle::direct(&r), &r, &a_to_b());
+        assert_eq!(counts.support, 0);
+    }
+
+    #[test]
+    fn filter_keeps_high_coverage_rfds() {
+        let r = rel(&[(1, 10), (1, 10), (1, 11), (2, 20), (2, 20)]);
+        let set = RfdSet::from_vec(vec![
+            a_to_b(), // coverage 0.5 on this instance
+            // B(≤0) → A(≤0): equal B pairs agree on A → coverage 1.
+            Rfd::new(vec![Constraint::new(1, 0.0)], Constraint::new(0, 0.0)),
+        ]);
+        let (kept, dropped) = filter_by_coverage(&set, &r, 0.9);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(dropped, 1);
+        assert_eq!(kept.get(0).lhs_attrs(), vec![1]);
+        // A permissive floor keeps everything.
+        let (all, none) = filter_by_coverage(&set, &r, 0.3);
+        assert_eq!(all.len(), 2);
+        assert_eq!(none, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Logical implication between RFD sets.
+//!
+//! Two sound inference rules (the RFD/differential-dependency analogues of
+//! Armstrong reflexivity and transitivity — Song & Chen, the paper's
+//! ref. \[21\], study the general reasoning problem):
+//!
+//! - **Subsumption** ([`Rfd::implies`]): `X(α) → A(β)` implies
+//!   `X'(α') → A(β')` when `X ⊆ X'`, `αᵢ ≥ α'ᵢ` on `X`, and `β ≤ β'` —
+//!   every pair the weaker LHS admits is admitted by the stronger RFD,
+//!   whose RHS bound is at least as tight.
+//! - **Transitivity**: from `X(α) → A(β₁)` and `A(β₂) → B(β₃)` with
+//!   `β₁ ≤ β₂` derive `X(α) → B(β₃)`: an LHS-similar pair is within `β₁ ≤
+//!   β₂` on `A`, so the second dependency bounds it by `β₃` on `B`.
+//!   (Only single-attribute middles compose soundly without extra
+//!   assumptions; a multi-attribute LHS on the second dependency would
+//!   need the first to bound *all* of its attributes.)
+//!
+//! **Missing values break transitivity.** On instances with nulls, a pair
+//! can satisfy `X(α) → A(β₁)` *vacuously* — its `A` values are not both
+//! present — in which case nothing bounds its `A` distance and the second
+//! dependency's LHS never fires; the composed conclusion can then be
+//! violated. (Minimal counterexample, found by the property test in
+//! `tests/proptests.rs`: Σ = {X(≤3) → T(≤1), Y(≤0) → X(≤1)} with a null
+//! `X` satisfies Σ yet violates the composed `Y(≤0) → T(≤1)`.)
+//! Subsumption alone is sound unconditionally; composition is sound on
+//! instances where the chained (middle) attribute has no missing values.
+//! [`implied_by`] therefore takes the composition depth explicitly:
+//! `max_depth = 0` gives the unconditional reasoning, larger depths add
+//! chaining under the completeness precondition.
+
+use crate::model::{Constraint, Rfd};
+use crate::set::RfdSet;
+
+/// `true` if `target` is derivable from `sigma` by subsumption and
+/// transitive composition up to `max_depth` composition steps.
+///
+/// With `max_depth = 0` (subsumption only), a `true` answer guarantees
+/// every instance satisfying `sigma` satisfies `target` — nulls included.
+/// With chaining (`max_depth > 0`) the guarantee additionally requires the
+/// chained middle attributes to have no missing values in the instance
+/// (see the module docs for the counterexample). A `false` answer is
+/// always inconclusive (the rule system is not complete).
+pub fn implied_by(sigma: &RfdSet, target: &Rfd, max_depth: usize) -> bool {
+    let mut derived: Vec<Rfd> = sigma.iter().cloned().collect();
+    if covered(&derived, target) {
+        return true;
+    }
+    for _ in 0..max_depth {
+        let mut new: Vec<Rfd> = Vec::new();
+        for first in &derived {
+            for second in sigma.iter() {
+                if let Some(composed) = compose(first, second) {
+                    if !derived.iter().chain(new.iter()).any(|r| r.implies(&composed)) {
+                        new.push(composed);
+                    }
+                }
+            }
+        }
+        if new.is_empty() {
+            break;
+        }
+        derived.append(&mut new);
+        if covered(&derived, target) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Transitive composition: `X(α) → A(β₁)` ∘ `A(β₂) → B(β₃)` =
+/// `X(α) → B(β₃)` when the middle matches (`β₁ ≤ β₂`, single-attribute
+/// second LHS) and the result is well-formed (`B ∉ X`).
+pub fn compose(first: &Rfd, second: &Rfd) -> Option<Rfd> {
+    let [mid] = second.lhs() else {
+        return None; // multi-attribute middle: not sound to compose
+    };
+    if first.rhs_attr() != mid.attr || first.rhs_threshold() > mid.threshold {
+        return None;
+    }
+    let b = second.rhs();
+    if first.lhs_contains(b.attr) || first.rhs_attr() == b.attr {
+        return None; // would put B on both sides (or is a no-op)
+    }
+    Some(Rfd::new(
+        first.lhs().to_vec(),
+        Constraint::new(b.attr, b.threshold),
+    ))
+}
+
+fn covered(derived: &[Rfd], target: &Rfd) -> bool {
+    derived.iter().any(|r| r.implies(target))
+}
+
+/// Removes from `set` every RFD implied by the *rest* of the set under
+/// [`implied_by`] — a stronger reduction than
+/// [`RfdSet::prune_implied`], which only uses pairwise subsumption. With
+/// `max_depth > 0` the reduction inherits composition's completeness
+/// precondition (no missing values on chained attributes); use depth 0
+/// for a reduction valid on arbitrary instances.
+/// Returns the number removed.
+pub fn reduce(set: &RfdSet, max_depth: usize) -> (RfdSet, usize) {
+    let mut kept: Vec<Rfd> = set.iter().cloned().collect();
+    let mut removed = 0usize;
+    let mut i = 0;
+    while i < kept.len() {
+        let candidate = kept[i].clone();
+        let rest: RfdSet = kept
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, r)| r.clone())
+            .collect();
+        if implied_by(&rest, &candidate, max_depth) {
+            kept.remove(i);
+            removed += 1;
+        } else {
+            i += 1;
+        }
+    }
+    (RfdSet::from_vec(kept), removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rfd(lhs: &[(usize, f64)], rhs: (usize, f64)) -> Rfd {
+        Rfd::new(
+            lhs.iter().map(|&(a, t)| Constraint::new(a, t)).collect(),
+            Constraint::new(rhs.0, rhs.1),
+        )
+    }
+
+    #[test]
+    fn subsumption_is_found() {
+        let sigma = RfdSet::from_vec(vec![rfd(&[(0, 4.0)], (1, 1.0))]);
+        // Stronger LHS (extra attr, tighter threshold), looser RHS.
+        let target = rfd(&[(0, 2.0), (2, 3.0)], (1, 2.0));
+        assert!(implied_by(&sigma, &target, 0));
+    }
+
+    #[test]
+    fn transitivity_composes() {
+        // A(2) → B(1) and B(1) → C(3) give A(2) → C(3).
+        let sigma = RfdSet::from_vec(vec![
+            rfd(&[(0, 2.0)], (1, 1.0)),
+            rfd(&[(1, 1.0)], (2, 3.0)),
+        ]);
+        let target = rfd(&[(0, 2.0)], (2, 3.0));
+        assert!(!implied_by(&sigma, &target, 0)); // needs one composition
+        assert!(implied_by(&sigma, &target, 1));
+    }
+
+    #[test]
+    fn composition_requires_compatible_middle() {
+        // A → B(5) but the second needs B within 1: no composition.
+        let sigma = RfdSet::from_vec(vec![
+            rfd(&[(0, 2.0)], (1, 5.0)),
+            rfd(&[(1, 1.0)], (2, 3.0)),
+        ]);
+        let target = rfd(&[(0, 2.0)], (2, 3.0));
+        assert!(!implied_by(&sigma, &target, 3));
+    }
+
+    #[test]
+    fn multi_attribute_middle_does_not_compose() {
+        let first = rfd(&[(0, 2.0)], (1, 1.0));
+        let second = rfd(&[(1, 1.0), (3, 2.0)], (2, 3.0));
+        assert!(compose(&first, &second).is_none());
+    }
+
+    #[test]
+    fn chains_of_compositions() {
+        // A → B → C → D across three hops.
+        let sigma = RfdSet::from_vec(vec![
+            rfd(&[(0, 1.0)], (1, 1.0)),
+            rfd(&[(1, 1.0)], (2, 1.0)),
+            rfd(&[(2, 1.0)], (3, 1.0)),
+        ]);
+        let target = rfd(&[(0, 1.0)], (3, 1.0));
+        assert!(!implied_by(&sigma, &target, 1));
+        assert!(implied_by(&sigma, &target, 2));
+    }
+
+    #[test]
+    fn reduce_removes_transitively_redundant() {
+        let sigma = RfdSet::from_vec(vec![
+            rfd(&[(0, 2.0)], (1, 1.0)),
+            rfd(&[(1, 1.0)], (2, 3.0)),
+            // Redundant: follows from the two above.
+            rfd(&[(0, 2.0)], (2, 3.0)),
+        ]);
+        let (kept, removed) = reduce(&sigma, 2);
+        assert_eq!(removed, 1);
+        assert_eq!(kept.len(), 2);
+        // The survivors still imply the removed one.
+        assert!(implied_by(&kept, &rfd(&[(0, 2.0)], (2, 3.0)), 2));
+    }
+
+    #[test]
+    fn reduce_keeps_independent_sets() {
+        let sigma = RfdSet::from_vec(vec![
+            rfd(&[(0, 2.0)], (1, 1.0)),
+            rfd(&[(2, 2.0)], (3, 1.0)),
+        ]);
+        let (kept, removed) = reduce(&sigma, 2);
+        assert_eq!(removed, 0);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn self_composition_rejected() {
+        let a_b = rfd(&[(0, 1.0)], (1, 1.0));
+        let b_a = rfd(&[(1, 1.0)], (0, 1.0));
+        // Composing A→B with B→A would conclude A→A: rejected.
+        assert!(compose(&a_b, &b_a).is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! Relaxed functional dependencies (RFD_c): model, checking, discovery.
+//!
+//! An RFD_c (paper Definition 3.2) is a statement `X_Φ1 → A_φ2` where each
+//! attribute carries a distance constraint: a pair of tuples that is within
+//! the LHS thresholds on every `X` attribute must be within the RHS threshold
+//! on `A`. Example (3.3): `Name(≤4) → Phone(≤1)` — restaurants with similar
+//! names have similar phone numbers.
+//!
+//! This crate provides:
+//! - [`model`] — the [`Rfd`] type, constraints, display/parse in the paper's
+//!   notation;
+//! - [`check`] — satisfaction, violation enumeration, and key-RFD detection
+//!   (Definition 3.4);
+//! - [`set`] — [`RfdSet`] with the RHS-attribute index and the
+//!   RHS-threshold clustering (`Λ_Σ'_A`) RENUVER consumes;
+//! - [`discovery`] — distance-based RFD discovery from data, standing in for
+//!   the closed-source algorithm of the paper's reference \[6\];
+//! - [`naive`] — brute-force reference discovery used to validate the
+//!   skyline search and as a bench baseline;
+//! - [`mod@coverage`] — coverage / `g1` measures for approximate RFDs
+//!   (dependencies holding on a subset of the data, paper Section 3);
+//! - [`implication`] — sound logical reasoning over RFD sets
+//!   (subsumption + transitive composition, after ref. \[21\]).
+
+pub mod check;
+pub mod coverage;
+pub mod discovery;
+pub mod implication;
+pub mod model;
+pub mod naive;
+pub mod set;
+
+pub use check::{holds, is_key, violations};
+pub use coverage::{coverage, g1_error};
+pub use implication::implied_by;
+pub use model::{Constraint, Rfd, RfdBuilder};
+pub use set::{Cluster, RfdSet};

@@ -1,0 +1,409 @@
+//! The RFD_c type and its notation.
+
+use std::fmt;
+
+use renuver_data::{AttrId, Schema};
+
+/// One distance constraint `φ[B]`: attribute `B` with distance threshold
+/// `β`, always under the `≤` operator (the paper restricts `φ` to
+/// `distance ≤ threshold`, Section 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constraint {
+    /// Constrained attribute.
+    pub attr: AttrId,
+    /// Distance threshold; a pair satisfies the constraint iff
+    /// `δ(t1[B], t2[B]) ≤ threshold` and neither value is missing.
+    pub threshold: f64,
+}
+
+impl Constraint {
+    /// Creates a constraint.
+    pub fn new(attr: AttrId, threshold: f64) -> Self {
+        Constraint { attr, threshold }
+    }
+}
+
+/// A relaxed functional dependency `X_Φ1 → A_φ2` with a single RHS attribute
+/// (the paper's working form, Section 3).
+///
+/// LHS constraints are kept sorted by attribute id, so structural equality
+/// and subset tests are order-insensitive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rfd {
+    lhs: Vec<Constraint>,
+    rhs: Constraint,
+}
+
+impl Rfd {
+    /// Builds an RFD from LHS constraints and the RHS constraint.
+    ///
+    /// # Panics
+    /// Panics if the LHS is empty, contains duplicate attributes, or
+    /// includes the RHS attribute — all malformed dependencies that cannot
+    /// arise from discovery or the provided parser.
+    pub fn new(mut lhs: Vec<Constraint>, rhs: Constraint) -> Self {
+        assert!(!lhs.is_empty(), "RFD requires a non-empty LHS");
+        lhs.sort_by_key(|c| c.attr);
+        assert!(
+            lhs.windows(2).all(|w| w[0].attr != w[1].attr),
+            "duplicate LHS attribute in RFD"
+        );
+        assert!(
+            lhs.iter().all(|c| c.attr != rhs.attr),
+            "RHS attribute cannot appear in the LHS"
+        );
+        Rfd { lhs, rhs }
+    }
+
+    /// The LHS constraints, sorted by attribute id — `Φ1`.
+    pub fn lhs(&self) -> &[Constraint] {
+        &self.lhs
+    }
+
+    /// The RHS constraint — `φ2`.
+    pub fn rhs(&self) -> Constraint {
+        self.rhs
+    }
+
+    /// LHS attribute ids, sorted — the paper's `LHS(φ)`.
+    pub fn lhs_attrs(&self) -> Vec<AttrId> {
+        self.lhs.iter().map(|c| c.attr).collect()
+    }
+
+    /// RHS attribute id — the paper's `RHS(φ)`.
+    pub fn rhs_attr(&self) -> AttrId {
+        self.rhs.attr
+    }
+
+    /// RHS distance threshold — the paper's `RHS_th(φ)`.
+    pub fn rhs_threshold(&self) -> f64 {
+        self.rhs.threshold
+    }
+
+    /// LHS constraints as `(attr, threshold)` pairs, the form
+    /// [`renuver_distance::DistancePattern::satisfies`] consumes.
+    pub fn lhs_pairs(&self) -> Vec<(AttrId, f64)> {
+        self.lhs.iter().map(|c| (c.attr, c.threshold)).collect()
+    }
+
+    /// `true` iff `attr` appears in the LHS.
+    pub fn lhs_contains(&self, attr: AttrId) -> bool {
+        self.lhs.iter().any(|c| c.attr == attr)
+    }
+
+    /// `true` iff `self` logically implies `other`: any instance satisfying
+    /// `self` satisfies `other`. Requires the same RHS attribute, LHS
+    /// attributes of `self` a subset of `other`'s with thresholds at least
+    /// as large (so `other`'s LHS-similar pairs are `self`'s too), and an
+    /// RHS threshold at most `other`'s.
+    pub fn implies(&self, other: &Rfd) -> bool {
+        if self.rhs.attr != other.rhs.attr || self.rhs.threshold > other.rhs.threshold {
+            return false;
+        }
+        self.lhs.iter().all(|c| {
+            other
+                .lhs
+                .iter()
+                .any(|oc| oc.attr == c.attr && oc.threshold <= c.threshold)
+        })
+    }
+
+    /// Renders the RFD in the paper's notation using schema attribute names,
+    /// e.g. `Name(≤8), Phone(≤0) → City(≤9)`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> RfdDisplay<'a> {
+        RfdDisplay { rfd: self, schema }
+    }
+
+    /// Parses the notation produced by [`Rfd::display`]. Accepts both `≤`
+    /// and `<=`, and both `→` and `->`.
+    ///
+    /// # Errors
+    /// Returns a human-readable message for malformed input or unknown
+    /// attribute names.
+    pub fn parse(s: &str, schema: &Schema) -> Result<Rfd, String> {
+        let (lhs_s, rhs_s) = s
+            .split_once("->")
+            .or_else(|| s.split_once('→'))
+            .ok_or_else(|| format!("missing '->' in RFD {s:?}"))?;
+        let parse_constraint = |tok: &str| -> Result<Constraint, String> {
+            let tok = tok.trim();
+            let open = tok
+                .find('(')
+                .ok_or_else(|| format!("missing '(' in constraint {tok:?}"))?;
+            let close = tok
+                .rfind(')')
+                .ok_or_else(|| format!("missing ')' in constraint {tok:?}"))?;
+            let name = tok[..open].trim();
+            let body = tok[open + 1..close]
+                .trim()
+                .trim_start_matches("<=")
+                .trim_start_matches('≤')
+                .trim();
+            let attr = schema
+                .index_of(name)
+                .ok_or_else(|| format!("unknown attribute {name:?}"))?;
+            let threshold: f64 = body
+                .parse()
+                .map_err(|_| format!("bad threshold {body:?} in {tok:?}"))?;
+            if !threshold.is_finite() || threshold < 0.0 {
+                return Err(format!("threshold must be finite and >= 0, got {body:?}"));
+            }
+            Ok(Constraint::new(attr, threshold))
+        };
+        let mut lhs = Vec::new();
+        for tok in lhs_s.split(',') {
+            if tok.trim().is_empty() {
+                continue;
+            }
+            lhs.push(parse_constraint(tok)?);
+        }
+        if lhs.is_empty() {
+            return Err(format!("empty LHS in RFD {s:?}"));
+        }
+        let rhs = parse_constraint(rhs_s)?;
+        lhs.sort_by_key(|c| c.attr);
+        if lhs.windows(2).any(|w| w[0].attr == w[1].attr) {
+            return Err(format!("duplicate LHS attribute in RFD {s:?}"));
+        }
+        if lhs.iter().any(|c| c.attr == rhs.attr) {
+            return Err(format!("RHS attribute also on LHS in RFD {s:?}"));
+        }
+        Ok(Rfd { lhs, rhs })
+    }
+}
+
+/// Name-based builder for [`Rfd`], resolving attribute names against a
+/// schema — the ergonomic way to write dependencies in application code:
+///
+/// ```
+/// use renuver_data::{AttrType, Schema};
+/// use renuver_rfd::model::RfdBuilder;
+///
+/// let schema = Schema::new([
+///     ("Name", AttrType::Text),
+///     ("City", AttrType::Text),
+///     ("Phone", AttrType::Text),
+/// ]).unwrap();
+/// let rfd = RfdBuilder::new(&schema)
+///     .lhs("Name", 6.0)
+///     .lhs("City", 9.0)
+///     .rhs("Phone", 0.0)
+///     .unwrap();
+/// assert_eq!(rfd.display(&schema).to_string(), "Name(≤6), City(≤9) → Phone(≤0)");
+/// ```
+pub struct RfdBuilder<'a> {
+    schema: &'a Schema,
+    lhs: Vec<Constraint>,
+    error: Option<String>,
+}
+
+impl<'a> RfdBuilder<'a> {
+    /// Starts a builder over `schema`.
+    pub fn new(schema: &'a Schema) -> Self {
+        RfdBuilder { schema, lhs: Vec::new(), error: None }
+    }
+
+    /// Adds an LHS constraint by attribute name. Errors (unknown name,
+    /// duplicate attribute) are deferred to [`RfdBuilder::rhs`].
+    pub fn lhs(mut self, attr: &str, threshold: f64) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match self.schema.index_of(attr) {
+            None => self.error = Some(format!("unknown attribute {attr:?}")),
+            Some(id) if self.lhs.iter().any(|c| c.attr == id) => {
+                self.error = Some(format!("duplicate LHS attribute {attr:?}"));
+            }
+            Some(id) => self.lhs.push(Constraint::new(id, threshold)),
+        }
+        self
+    }
+
+    /// Finishes the dependency with its RHS constraint.
+    ///
+    /// # Errors
+    /// Reports any deferred LHS error, an unknown RHS name, an RHS that
+    /// also appears on the LHS, or an empty LHS.
+    pub fn rhs(self, attr: &str, threshold: f64) -> Result<Rfd, String> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let id = self
+            .schema
+            .index_of(attr)
+            .ok_or_else(|| format!("unknown attribute {attr:?}"))?;
+        if self.lhs.is_empty() {
+            return Err("an RFD needs at least one LHS constraint".into());
+        }
+        if self.lhs.iter().any(|c| c.attr == id) {
+            return Err(format!("RHS attribute {attr:?} also appears on the LHS"));
+        }
+        Ok(Rfd::new(self.lhs, Constraint::new(id, threshold)))
+    }
+}
+
+/// Display adapter binding an [`Rfd`] to a [`Schema`] for attribute names.
+pub struct RfdDisplay<'a> {
+    rfd: &'a Rfd,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for RfdDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_thr = |t: f64| {
+            if t.fract() == 0.0 {
+                format!("{}", t as i64)
+            } else {
+                format!("{t}")
+            }
+        };
+        for (i, c) in self.rfd.lhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}(≤{})", self.schema.name(c.attr), fmt_thr(c.threshold))?;
+        }
+        write!(
+            f,
+            " → {}(≤{})",
+            self.schema.name(self.rfd.rhs.attr),
+            fmt_thr(self.rfd.rhs.threshold)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renuver_data::AttrType;
+
+    fn schema() -> Schema {
+        Schema::new([
+            ("Name", AttrType::Text),
+            ("City", AttrType::Text),
+            ("Phone", AttrType::Text),
+            ("Type", AttrType::Text),
+            ("Class", AttrType::Int),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_sorts_lhs() {
+        let rfd = Rfd::new(
+            vec![Constraint::new(2, 0.0), Constraint::new(0, 6.0)],
+            Constraint::new(4, 0.0),
+        );
+        assert_eq!(rfd.lhs_attrs(), vec![0, 2]);
+        assert_eq!(rfd.rhs_attr(), 4);
+        assert_eq!(rfd.rhs_threshold(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty LHS")]
+    fn empty_lhs_panics() {
+        let _ = Rfd::new(vec![], Constraint::new(0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "RHS attribute")]
+    fn rhs_on_lhs_panics() {
+        let _ = Rfd::new(vec![Constraint::new(0, 1.0)], Constraint::new(0, 1.0));
+    }
+
+    #[test]
+    fn display_paper_notation() {
+        let s = schema();
+        let rfd = Rfd::new(
+            vec![Constraint::new(0, 8.0), Constraint::new(2, 0.0)],
+            Constraint::new(1, 9.0),
+        );
+        assert_eq!(rfd.display(&s).to_string(), "Name(≤8), Phone(≤0) → City(≤9)");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let s = schema();
+        let rfd = Rfd::new(
+            vec![Constraint::new(0, 4.0)],
+            Constraint::new(2, 1.0),
+        );
+        let text = rfd.display(&s).to_string();
+        assert_eq!(Rfd::parse(&text, &s).unwrap(), rfd);
+        // ASCII spelling too.
+        assert_eq!(Rfd::parse("Name(<=4) -> Phone(<=1)", &s).unwrap(), rfd);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        let s = schema();
+        assert!(Rfd::parse("Name(<=4)", &s).is_err());
+        assert!(Rfd::parse("Bogus(<=4) -> Phone(<=1)", &s).is_err());
+        assert!(Rfd::parse("Name(<=x) -> Phone(<=1)", &s).is_err());
+        assert!(Rfd::parse("-> Phone(<=1)", &s).is_err());
+        assert!(Rfd::parse("Phone(<=1) -> Phone(<=1)", &s).is_err());
+        assert!(Rfd::parse("Name(<=1), Name(<=2) -> Phone(<=1)", &s).is_err());
+        assert!(Rfd::parse("Name(<=-3) -> Phone(<=1)", &s).is_err());
+    }
+
+    #[test]
+    fn implication() {
+        // Name(≤4) → Phone(≤1) implies Name(≤2), City(≤5) → Phone(≤3):
+        // smaller LHS with looser thresholds, tighter RHS.
+        let general = Rfd::new(vec![Constraint::new(0, 4.0)], Constraint::new(2, 1.0));
+        let specific = Rfd::new(
+            vec![Constraint::new(0, 2.0), Constraint::new(1, 5.0)],
+            Constraint::new(2, 3.0),
+        );
+        assert!(general.implies(&specific));
+        assert!(!specific.implies(&general));
+        // Not implied when the would-be implier's LHS threshold is tighter
+        // than the implied RFD's: pairs at Name distance 2 are uncovered.
+        let tight = Rfd::new(vec![Constraint::new(0, 1.0)], Constraint::new(2, 1.0));
+        assert!(!tight.implies(&specific));
+        // Different RHS attribute: no implication.
+        let other = Rfd::new(vec![Constraint::new(0, 4.0)], Constraint::new(3, 1.0));
+        assert!(!general.implies(&other));
+    }
+
+    #[test]
+    fn implies_is_reflexive() {
+        let rfd = Rfd::new(vec![Constraint::new(0, 4.0)], Constraint::new(2, 1.0));
+        assert!(rfd.implies(&rfd));
+    }
+
+    #[test]
+    fn builder_happy_path_and_errors() {
+        let s = schema();
+        let rfd = RfdBuilder::new(&s)
+            .lhs("Name", 4.0)
+            .rhs("Phone", 1.0)
+            .unwrap();
+        assert_eq!(rfd.lhs_attrs(), vec![0]);
+        assert_eq!(rfd.rhs_attr(), 2);
+
+        assert!(RfdBuilder::new(&s).lhs("Bogus", 1.0).rhs("Phone", 1.0).is_err());
+        assert!(RfdBuilder::new(&s).rhs("Phone", 1.0).is_err()); // empty LHS
+        assert!(RfdBuilder::new(&s)
+            .lhs("Name", 1.0)
+            .lhs("Name", 2.0)
+            .rhs("Phone", 1.0)
+            .is_err());
+        assert!(RfdBuilder::new(&s)
+            .lhs("Phone", 1.0)
+            .rhs("Phone", 1.0)
+            .is_err());
+        assert!(RfdBuilder::new(&s).lhs("Name", 1.0).rhs("Bogus", 1.0).is_err());
+    }
+
+    #[test]
+    fn lhs_contains() {
+        let rfd = Rfd::new(
+            vec![Constraint::new(0, 8.0), Constraint::new(2, 0.0)],
+            Constraint::new(1, 9.0),
+        );
+        assert!(rfd.lhs_contains(0));
+        assert!(rfd.lhs_contains(2));
+        assert!(!rfd.lhs_contains(1));
+    }
+}

@@ -1,0 +1,393 @@
+//! Collections of RFDs with the indexes RENUVER consumes.
+
+use renuver_data::{AttrId, Relation, Schema};
+use renuver_distance::DistanceOracle;
+
+use crate::check::is_key_with;
+use crate::model::Rfd;
+
+/// A cluster `ρ_A^i`: all RFDs with RHS attribute `A` and the same RHS
+/// threshold `i` (paper Section 5.2). Clusters order the search for
+/// candidate tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// The shared RHS threshold `i`.
+    pub rhs_threshold: f64,
+    /// Indices into the owning [`RfdSet`].
+    pub rfds: Vec<usize>,
+}
+
+/// A set of RFD_c's — the paper's `Σ` (and, after key filtering, `Σ'`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RfdSet {
+    rfds: Vec<Rfd>,
+}
+
+impl RfdSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        RfdSet::default()
+    }
+
+    /// Builds a set from a vector of RFDs.
+    pub fn from_vec(rfds: Vec<Rfd>) -> Self {
+        RfdSet { rfds }
+    }
+
+    /// Adds an RFD.
+    pub fn push(&mut self, rfd: Rfd) {
+        self.rfds.push(rfd);
+    }
+
+    /// Number of RFDs, `|Σ|`.
+    pub fn len(&self) -> usize {
+        self.rfds.len()
+    }
+
+    /// `true` iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rfds.is_empty()
+    }
+
+    /// Iterates over the RFDs.
+    pub fn iter(&self) -> impl Iterator<Item = &Rfd> {
+        self.rfds.iter()
+    }
+
+    /// The RFD at `idx`.
+    pub fn get(&self, idx: usize) -> &Rfd {
+        &self.rfds[idx]
+    }
+
+    /// Indices of the RFDs whose RHS attribute is `attr` — the paper's
+    /// `Σ'_A` (Algorithm 1 line 8).
+    pub fn rhs_index(&self, attr: AttrId) -> Vec<usize> {
+        self.rfds
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.rhs_attr() == attr)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of the RFDs whose LHS contains `attr` (used by the
+    /// IS_FAULTLESS verification, Algorithm 4 line 1).
+    pub fn lhs_index(&self, attr: AttrId) -> Vec<usize> {
+        self.rfds
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.lhs_contains(attr))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Partitions `Σ'_A` into threshold clusters `Λ_Σ'_A = {ρ_A^th}`,
+    /// returned in **ascending** RHS-threshold order (the order of the
+    /// paper's Figure 1 walk-through; callers can reverse for the
+    /// Algorithm 2 descending reading).
+    pub fn clusters_for(&self, attr: AttrId) -> Vec<Cluster> {
+        let mut by_thr: Vec<(f64, Vec<usize>)> = Vec::new();
+        for idx in self.rhs_index(attr) {
+            let thr = self.rfds[idx].rhs_threshold();
+            match by_thr.iter_mut().find(|(t, _)| *t == thr) {
+                Some((_, v)) => v.push(idx),
+                None => by_thr.push((thr, vec![idx])),
+            }
+        }
+        by_thr.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        by_thr
+            .into_iter()
+            .map(|(rhs_threshold, rfds)| Cluster { rhs_threshold, rfds })
+            .collect()
+    }
+
+    /// Splits the set into non-key RFDs (`Σ'`) and key RFDs with respect to
+    /// the instance `rel` (Algorithm 1 line 1). Key RFDs are returned so the
+    /// caller can re-admit them when an imputation turns them non-key
+    /// (Example 5.1).
+    pub fn partition_keys(&self, rel: &Relation) -> (Vec<usize>, Vec<usize>) {
+        self.partition_keys_with(&DistanceOracle::direct(rel), rel)
+    }
+
+    /// [`RfdSet::partition_keys`] with a shared distance oracle.
+    pub fn partition_keys_with(
+        &self,
+        oracle: &DistanceOracle,
+        rel: &Relation,
+    ) -> (Vec<usize>, Vec<usize>) {
+        let mut non_keys = Vec::new();
+        let mut keys = Vec::new();
+        for (i, rfd) in self.rfds.iter().enumerate() {
+            if is_key_with(oracle, rel, rfd) {
+                keys.push(i);
+            } else {
+                non_keys.push(i);
+            }
+        }
+        (non_keys, keys)
+    }
+
+    /// Removes RFDs implied by another RFD in the set (see
+    /// [`Rfd::implies`]), keeping the most general representative of each
+    /// implication chain. Returns the number removed.
+    pub fn prune_implied(&mut self) -> usize {
+        let n = self.rfds.len();
+        let mut keep = vec![true; n];
+        for i in 0..n {
+            if !keep[i] {
+                continue;
+            }
+            #[allow(clippy::needless_range_loop)] // `keep[j]` is written below
+            for j in 0..n {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                if self.rfds[i].implies(&self.rfds[j])
+                    && !(self.rfds[j].implies(&self.rfds[i]) && j < i)
+                {
+                    keep[j] = false;
+                }
+            }
+        }
+        let before = self.rfds.len();
+        let mut idx = 0;
+        self.rfds.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+        before - self.rfds.len()
+    }
+
+    /// Summary statistics of the set: per-RHS-attribute counts, LHS size
+    /// histogram, and the RHS threshold range — the shape information
+    /// Table 3's #RFDs column summarizes to a single number.
+    pub fn summary(&self, schema: &Schema) -> SetSummary {
+        let mut per_rhs = vec![0usize; schema.arity()];
+        let mut lhs_sizes: Vec<usize> = Vec::new();
+        let mut min_rhs = f64::INFINITY;
+        let mut max_rhs = f64::NEG_INFINITY;
+        for rfd in &self.rfds {
+            if rfd.rhs_attr() < per_rhs.len() {
+                per_rhs[rfd.rhs_attr()] += 1;
+            }
+            let k = rfd.lhs().len();
+            if lhs_sizes.len() <= k {
+                lhs_sizes.resize(k + 1, 0);
+            }
+            lhs_sizes[k] += 1;
+            min_rhs = min_rhs.min(rfd.rhs_threshold());
+            max_rhs = max_rhs.max(rfd.rhs_threshold());
+        }
+        SetSummary {
+            total: self.rfds.len(),
+            per_rhs: per_rhs
+                .into_iter()
+                .enumerate()
+                .map(|(a, c)| (schema.name(a).to_owned(), c))
+                .collect(),
+            lhs_size_histogram: lhs_sizes,
+            rhs_threshold_range: (!self.rfds.is_empty()).then_some((min_rhs, max_rhs)),
+        }
+    }
+
+    /// Serializes the set, one RFD per line, in the paper notation.
+    pub fn to_text(&self, schema: &Schema) -> String {
+        let mut out = String::new();
+        for rfd in &self.rfds {
+            out.push_str(&rfd.display(schema).to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a set serialized with [`RfdSet::to_text`]. Blank lines and
+    /// `#` comment lines are skipped.
+    pub fn from_text(text: &str, schema: &Schema) -> Result<Self, String> {
+        let mut set = RfdSet::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            set.push(Rfd::parse(line, schema)?);
+        }
+        Ok(set)
+    }
+}
+
+/// Summary statistics of an [`RfdSet`] (see [`RfdSet::summary`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetSummary {
+    /// Total number of RFDs.
+    pub total: usize,
+    /// `(attribute name, #RFDs with that RHS)` in schema order.
+    pub per_rhs: Vec<(String, usize)>,
+    /// `lhs_size_histogram[k]` = RFDs with `k` LHS attributes.
+    pub lhs_size_histogram: Vec<usize>,
+    /// `(min, max)` RHS threshold, `None` when the set is empty.
+    pub rhs_threshold_range: Option<(f64, f64)>,
+}
+
+impl std::fmt::Display for SetSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} RFDs", self.total)?;
+        if let Some((lo, hi)) = self.rhs_threshold_range {
+            writeln!(f, "RHS thresholds in [{lo}, {hi}]")?;
+        }
+        for (k, count) in self.lhs_size_histogram.iter().enumerate() {
+            if *count > 0 {
+                writeln!(f, "  {count} with {k} LHS attribute(s)")?;
+            }
+        }
+        for (name, count) in &self.per_rhs {
+            if *count > 0 {
+                writeln!(f, "  {count:>6} determine {name}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Rfd> for RfdSet {
+    fn from_iter<T: IntoIterator<Item = Rfd>>(iter: T) -> Self {
+        RfdSet { rfds: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Constraint;
+    use renuver_data::AttrType;
+
+    fn schema() -> Schema {
+        Schema::new([
+            ("Name", AttrType::Text),
+            ("City", AttrType::Text),
+            ("Phone", AttrType::Text),
+            ("Class", AttrType::Int),
+        ])
+        .unwrap()
+    }
+
+    /// φ3: City(≤2) → Phone(≤2), φ4: Name(≤4) → Phone(≤1),
+    /// φ6: Name(≤6), City(≤9) → Phone(≤0), φ7: Phone(≤1) → Class(≤0).
+    fn sample_set() -> RfdSet {
+        RfdSet::from_vec(vec![
+            Rfd::new(vec![Constraint::new(1, 2.0)], Constraint::new(2, 2.0)),
+            Rfd::new(vec![Constraint::new(0, 4.0)], Constraint::new(2, 1.0)),
+            Rfd::new(
+                vec![Constraint::new(0, 6.0), Constraint::new(1, 9.0)],
+                Constraint::new(2, 0.0),
+            ),
+            Rfd::new(vec![Constraint::new(2, 1.0)], Constraint::new(3, 0.0)),
+        ])
+    }
+
+    #[test]
+    fn rhs_index_selects_by_rhs() {
+        let set = sample_set();
+        assert_eq!(set.rhs_index(2), vec![0, 1, 2]);
+        assert_eq!(set.rhs_index(3), vec![3]);
+        assert!(set.rhs_index(0).is_empty());
+    }
+
+    #[test]
+    fn lhs_index_selects_by_lhs_membership() {
+        let set = sample_set();
+        assert_eq!(set.lhs_index(0), vec![1, 2]);
+        assert_eq!(set.lhs_index(2), vec![3]);
+    }
+
+    #[test]
+    fn clusters_ascending_by_threshold() {
+        // Mirrors the paper's Figure 1: ρ⁰={φ6}, ρ¹={φ4}, ρ²={φ3}.
+        let set = sample_set();
+        let clusters = set.clusters_for(2);
+        assert_eq!(clusters.len(), 3);
+        assert_eq!(clusters[0].rhs_threshold, 0.0);
+        assert_eq!(clusters[0].rfds, vec![2]);
+        assert_eq!(clusters[1].rhs_threshold, 1.0);
+        assert_eq!(clusters[1].rfds, vec![1]);
+        assert_eq!(clusters[2].rhs_threshold, 2.0);
+        assert_eq!(clusters[2].rfds, vec![0]);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let s = schema();
+        let set = sample_set();
+        let text = set.to_text(&s);
+        let parsed = RfdSet::from_text(&text, &s).unwrap();
+        assert_eq!(set, parsed);
+    }
+
+    #[test]
+    fn from_text_skips_comments_and_blanks() {
+        let s = schema();
+        let text = "# header\n\nName(<=4) -> Phone(<=1)\n";
+        let set = RfdSet::from_text(text, &s).unwrap();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn prune_implied_removes_dominated() {
+        // Name(≤4)→Phone(≤1) implies Name(≤2),City(≤5)→Phone(≤3).
+        let mut set = RfdSet::from_vec(vec![
+            Rfd::new(vec![Constraint::new(0, 4.0)], Constraint::new(2, 1.0)),
+            Rfd::new(
+                vec![Constraint::new(0, 2.0), Constraint::new(1, 5.0)],
+                Constraint::new(2, 3.0),
+            ),
+        ]);
+        assert_eq!(set.prune_implied(), 1);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.get(0).lhs_attrs(), vec![0]);
+    }
+
+    #[test]
+    fn prune_implied_keeps_one_of_equals() {
+        let rfd = Rfd::new(vec![Constraint::new(0, 4.0)], Constraint::new(2, 1.0));
+        let mut set = RfdSet::from_vec(vec![rfd.clone(), rfd]);
+        assert_eq!(set.prune_implied(), 1);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = schema();
+        let set = sample_set();
+        let summary = set.summary(&s);
+        assert_eq!(summary.total, 4);
+        assert_eq!(summary.per_rhs[2], ("Phone".to_owned(), 3));
+        assert_eq!(summary.per_rhs[3], ("Class".to_owned(), 1));
+        assert_eq!(summary.lhs_size_histogram, vec![0, 3, 1]);
+        assert_eq!(summary.rhs_threshold_range, Some((0.0, 2.0)));
+        let text = summary.to_string();
+        assert!(text.contains("4 RFDs"), "{text}");
+        assert!(text.contains("3 determine Phone"), "{text}");
+
+        let empty = RfdSet::new().summary(&s);
+        assert_eq!(empty.total, 0);
+        assert_eq!(empty.rhs_threshold_range, None);
+    }
+
+    #[test]
+    fn partition_keys_on_sample() {
+        use crate::check::tests::restaurant_sample;
+        let rel = restaurant_sample();
+        // Name(≤0), Phone(≤0) → Type(≤0) is a key on the sample;
+        // φ2: Class(≤0) → Type(≤5) is not.
+        let set = RfdSet::from_vec(vec![
+            Rfd::new(
+                vec![Constraint::new(0, 0.0), Constraint::new(2, 0.0)],
+                Constraint::new(3, 0.0),
+            ),
+            Rfd::new(vec![Constraint::new(4, 0.0)], Constraint::new(3, 5.0)),
+        ]);
+        let (non_keys, keys) = set.partition_keys(&rel);
+        assert_eq!(keys, vec![0]);
+        assert_eq!(non_keys, vec![1]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Rule-based validation of imputation results (paper Section 6.1,
+//! "Evaluation process").
+//!
+//! Comparing an imputed value to the ground truth by strict equality
+//! under-counts correct imputations: `213/848-6677` and `213-848-6677` are
+//! the same phone number, and `LA` means `Los Angeles`. The paper introduces
+//! a rule file per dataset with three kinds of admissibility rules, all
+//! implemented here:
+//!
+//! - **Value sets** ([`Rule::ValueSet`]): spellings with the same meaning.
+//! - **Custom regexes** ([`Rule::Pattern`]): structural variation is
+//!   admissible as long as the *retained* characters (e.g. the digits of a
+//!   phone number) coincide. Backed by the in-crate [`regex`] engine — a
+//!   small Thompson-NFA matcher, so the workspace stays dependency-free.
+//! - **Delta variation** ([`Rule::Delta`]): numeric values within ±δ of the
+//!   expected value count as correct.
+//!
+//! A [`RuleSet`] maps attribute names to rules and is parsed from the same
+//! line-based rule-file format the datasets crate ships for each dataset.
+
+pub mod parser;
+pub mod regex;
+pub mod rules;
+
+pub use parser::parse_rules;
+pub use regex::Regex;
+pub use rules::{CharClass, Rule, RuleSet};

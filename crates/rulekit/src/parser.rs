@@ -1,0 +1,225 @@
+//! Parser for the line-based rule-file format.
+//!
+//! ```text
+//! # Restaurant validation rules
+//! attr Phone
+//!   regex \d{3}[-/ ]\d{3}[- ]\d{4} project digits
+//! attr City
+//!   set "new york" "new york city" "ny"
+//!   set "los angeles" "la"
+//! attr Horsepower
+//!   delta 25
+//! ```
+//!
+//! `attr <name>` opens a section; `set`, `regex ... [project <class>]` and
+//! `delta <value>` add rules to the open section. Blank lines and `#`
+//! comments are skipped. `set` values may be quoted (for embedded spaces)
+//! or bare.
+
+use crate::regex::Regex;
+use crate::rules::{CharClass, Rule, RuleSet};
+
+/// Parses a rule file (see module docs for the format).
+///
+/// ```
+/// let rules = renuver_rulekit::parse_rules(
+///     "attr Phone\n  regex \\d{3}[- ]\\d{4} project digits\n\
+///      attr Price\n  delta 5\n",
+/// ).unwrap();
+/// assert!(rules.validate("Phone", "555 1234", "555-1234"));
+/// assert!(rules.validate("Price", "100", "104"));
+/// assert!(!rules.validate("Price", "100", "110"));
+/// ```
+///
+/// # Errors
+/// Returns `line number, message` pairs formatted into a string.
+pub fn parse_rules(text: &str) -> Result<RuleSet, String> {
+    let mut rules = RuleSet::new();
+    let mut current: Option<String> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (word, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match word {
+            "attr" => {
+                if rest.is_empty() {
+                    return Err(format!("line {lineno}: 'attr' requires a name"));
+                }
+                current = Some(rest.to_owned());
+            }
+            "set" => {
+                let attr = current
+                    .as_ref()
+                    .ok_or(format!("line {lineno}: 'set' outside an attr section"))?;
+                let values = parse_tokens(rest)
+                    .map_err(|e| format!("line {lineno}: {e}"))?;
+                if values.len() < 2 {
+                    return Err(format!(
+                        "line {lineno}: a value set needs at least two values"
+                    ));
+                }
+                rules.add(attr.clone(), Rule::ValueSet(values));
+            }
+            "regex" => {
+                let attr = current
+                    .as_ref()
+                    .ok_or(format!("line {lineno}: 'regex' outside an attr section"))?;
+                let (pattern, keep) = match rest.rsplit_once(" project ") {
+                    Some((pat, class)) => {
+                        let keep: CharClass = class
+                            .trim()
+                            .parse()
+                            .map_err(|e| format!("line {lineno}: {e}"))?;
+                        (pat.trim(), keep)
+                    }
+                    None => (rest, CharClass::default()),
+                };
+                if pattern.is_empty() {
+                    return Err(format!("line {lineno}: 'regex' requires a pattern"));
+                }
+                let regex =
+                    Regex::new(pattern).map_err(|e| format!("line {lineno}: {e}"))?;
+                rules.add(attr.clone(), Rule::Pattern { regex, keep });
+            }
+            "delta" => {
+                let attr = current
+                    .as_ref()
+                    .ok_or(format!("line {lineno}: 'delta' outside an attr section"))?;
+                let delta: f64 = rest
+                    .parse()
+                    .map_err(|_| format!("line {lineno}: bad delta value {rest:?}"))?;
+                if !delta.is_finite() || delta < 0.0 {
+                    return Err(format!("line {lineno}: delta must be finite and >= 0"));
+                }
+                rules.add(attr.clone(), Rule::Delta(delta));
+            }
+            other => {
+                return Err(format!("line {lineno}: unknown directive {other:?}"));
+            }
+        }
+    }
+    Ok(rules)
+}
+
+/// Splits a `set` payload into tokens, honoring double quotes.
+fn parse_tokens(s: &str) -> Result<Vec<String>, String> {
+    let mut tokens = Vec::new();
+    let mut chars = s.chars().peekable();
+    loop {
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.peek() {
+            None => break,
+            Some('"') => {
+                chars.next();
+                let mut tok = String::new();
+                loop {
+                    match chars.next() {
+                        None => return Err("unterminated quote".into()),
+                        Some('"') => break,
+                        Some(c) => tok.push(c),
+                    }
+                }
+                tokens.push(tok);
+            }
+            Some(_) => {
+                let mut tok = String::new();
+                while chars.peek().is_some_and(|c| !c.is_whitespace()) {
+                    tok.push(chars.next().unwrap());
+                }
+                tokens.push(tok);
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# Restaurant validation rules
+attr Phone
+  regex \d{3}[-/ ]\d{3}[- ]\d{4} project digits
+attr City
+  set "new york" "new york city" ny
+  set "los angeles" la
+attr Horsepower
+  delta 25
+"#;
+
+    #[test]
+    fn parses_all_rule_kinds() {
+        let rules = parse_rules(SAMPLE).unwrap();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules.rules_for("Phone").len(), 1);
+        assert_eq!(rules.rules_for("City").len(), 2);
+        assert_eq!(rules.rules_for("Horsepower").len(), 1);
+        assert!(rules.validate("Phone", "213/848-6677", "213-848-6677"));
+        assert!(rules.validate("City", "LA", "los angeles"));
+        assert!(rules.validate("Horsepower", "150", "170"));
+        assert!(!rules.validate("Horsepower", "150", "200"));
+    }
+
+    #[test]
+    fn quoted_tokens_keep_spaces() {
+        let toks = parse_tokens(r#""new york" ny "a b c""#).unwrap();
+        assert_eq!(toks, vec!["new york", "ny", "a b c"]);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_rules("attr A\n  bogus 1\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_rules("set a b\n").unwrap_err();
+        assert!(err.contains("outside an attr"), "{err}");
+        let err = parse_rules("attr A\n  delta x\n").unwrap_err();
+        assert!(err.contains("bad delta"), "{err}");
+        let err = parse_rules("attr A\n  regex (bad\n").unwrap_err();
+        assert!(err.contains("regex"), "{err}");
+        let err = parse_rules("attr A\n  set single\n").unwrap_err();
+        assert!(err.contains("two values"), "{err}");
+    }
+
+    #[test]
+    fn default_projection_is_digits() {
+        let rules = parse_rules("attr Zip\n  regex \\d{5}\n").unwrap();
+        assert!(rules.validate("Zip", "84084", "84084"));
+        assert!(!rules.validate("Zip", "84084", "84085"));
+    }
+
+    #[test]
+    fn to_text_round_trips() {
+        let rules = parse_rules(SAMPLE).unwrap();
+        let text = rules.to_text();
+        let back = parse_rules(&text).unwrap();
+        // Same judgments on representative probes.
+        for (attr, a, b) in [
+            ("Phone", "213/848-6677", "213-848-6677"),
+            ("Phone", "213/848-6678", "213-848-6677"),
+            ("City", "LA", "los angeles"),
+            ("City", "LA", "new york"),
+            ("Horsepower", "150", "170"),
+            ("Horsepower", "150", "200"),
+        ] {
+            assert_eq!(
+                rules.validate(attr, a, b),
+                back.validate(attr, a, b),
+                "{attr} {a} {b}"
+            );
+        }
+        assert_eq!(back.len(), rules.len());
+    }
+
+    #[test]
+    fn empty_input_is_empty_ruleset() {
+        let rules = parse_rules("").unwrap();
+        assert!(rules.is_empty());
+    }
+}

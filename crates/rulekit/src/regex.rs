@@ -1,0 +1,591 @@
+//! A small regular-expression engine (Thompson NFA construction, breadth
+//! simulation — linear time in `pattern × input`, no backtracking).
+//!
+//! Supports the subset the validation rule files need:
+//!
+//! - literals, `.` (any char), escapes `\d \D \w \W \s \S` and `\<punct>`
+//! - character classes `[a-z0-9_]`, negated `[^...]`, ranges
+//! - quantifiers `*`, `+`, `?`, `{m}`, `{m,}`, `{m,n}` (greedy; the engine
+//!   reports *whether* the whole string matches, so greediness is moot)
+//! - alternation `|` and grouping `(...)`
+//! - `^` and `$` are accepted and ignored at the ends: matching is always
+//!   anchored (full-string), the natural semantics for value validation.
+
+use std::fmt;
+
+/// Compilation error with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError(pub String);
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// A single-character matcher.
+#[derive(Debug, Clone, PartialEq)]
+enum CharSet {
+    /// One literal character.
+    Lit(char),
+    /// Any character (`.`).
+    Any,
+    /// An explicit set: ranges plus negation flag.
+    Set { ranges: Vec<(char, char)>, negated: bool },
+}
+
+impl CharSet {
+    fn matches(&self, c: char) -> bool {
+        match self {
+            CharSet::Lit(l) => *l == c,
+            CharSet::Any => true,
+            CharSet::Set { ranges, negated } => {
+                let inside = ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+                inside != *negated
+            }
+        }
+    }
+}
+
+/// Parsed AST.
+#[derive(Debug, Clone, PartialEq)]
+enum Ast {
+    Empty,
+    Char(CharSet),
+    Concat(Vec<Ast>),
+    Alt(Vec<Ast>),
+    Repeat { node: Box<Ast>, min: u32, max: Option<u32> },
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { chars: src.chars().collect(), pos: 0, src }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn err(&self, msg: &str) -> RegexError {
+        RegexError(format!("{msg} at position {} in {:?}", self.pos, self.src))
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn parse_alt(&mut self) -> Result<Ast, RegexError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Ast::Alt(branches)
+        })
+    }
+
+    /// concat := repeat*
+    fn parse_concat(&mut self) -> Result<Ast, RegexError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().unwrap(),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    /// repeat := atom ('*' | '+' | '?' | '{m}' | '{m,}' | '{m,n}')?
+    fn parse_repeat(&mut self) -> Result<Ast, RegexError> {
+        let atom = self.parse_atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') => {
+                self.bump();
+                let min = self.parse_number()?;
+                match self.bump() {
+                    Some('}') => (min, Some(min)),
+                    Some(',') => {
+                        if self.peek() == Some('}') {
+                            self.bump();
+                            (min, None)
+                        } else {
+                            let max = self.parse_number()?;
+                            if self.bump() != Some('}') {
+                                return Err(self.err("expected '}'"));
+                            }
+                            if max < min {
+                                return Err(self.err("repetition max below min"));
+                            }
+                            (min, Some(max))
+                        }
+                    }
+                    _ => return Err(self.err("malformed repetition")),
+                }
+            }
+            _ => return Ok(atom),
+        };
+        if min > 1000 || max.is_some_and(|m| m > 1000) {
+            return Err(self.err("repetition count too large (max 1000)"));
+        }
+        Ok(Ast::Repeat { node: Box::new(atom), min, max })
+    }
+
+    fn parse_number(&mut self) -> Result<u32, RegexError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .map_err(|_| self.err("number too large"))
+    }
+
+    /// atom := '(' alternation ')' | class | escape | '.' | literal
+    fn parse_atom(&mut self) -> Result<Ast, RegexError> {
+        match self.bump() {
+            None => Err(self.err("unexpected end of pattern")),
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("unclosed group"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => Ok(Ast::Char(self.parse_escape()?)),
+            Some('.') => Ok(Ast::Char(CharSet::Any)),
+            Some(c @ ('*' | '+' | '?')) => {
+                Err(self.err(&format!("dangling quantifier {c:?}")))
+            }
+            Some(')') => Err(self.err("unmatched ')'")),
+            Some(c) => Ok(Ast::Char(CharSet::Lit(c))),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<CharSet, RegexError> {
+        let c = self.bump().ok_or_else(|| self.err("dangling escape"))?;
+        let digit = ('0', '9');
+        let lower = ('a', 'z');
+        let upper = ('A', 'Z');
+        Ok(match c {
+            'd' => CharSet::Set { ranges: vec![digit], negated: false },
+            'D' => CharSet::Set { ranges: vec![digit], negated: true },
+            'w' => CharSet::Set {
+                ranges: vec![digit, lower, upper, ('_', '_')],
+                negated: false,
+            },
+            'W' => CharSet::Set {
+                ranges: vec![digit, lower, upper, ('_', '_')],
+                negated: true,
+            },
+            's' => CharSet::Set {
+                ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+                negated: false,
+            },
+            'S' => CharSet::Set {
+                ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+                negated: true,
+            },
+            'n' => CharSet::Lit('\n'),
+            't' => CharSet::Lit('\t'),
+            other => CharSet::Lit(other),
+        })
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, RegexError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.bump() {
+                None => return Err(self.err("unclosed character class")),
+                Some(']') if !ranges.is_empty() || negated => break,
+                Some(']') => break, // empty class `[]` matches nothing
+                Some('\\') => match self.parse_escape()? {
+                    CharSet::Lit(l) => l,
+                    CharSet::Set { ranges: r, negated: false } => {
+                        ranges.extend(r);
+                        continue;
+                    }
+                    _ => return Err(self.err("negated escape inside class")),
+                },
+                Some(c) => c,
+            };
+            if self.peek() == Some('-')
+                && self.chars.get(self.pos + 1).copied().is_some_and(|n| n != ']')
+            {
+                self.bump(); // '-'
+                let hi = match self.bump() {
+                    Some('\\') => match self.parse_escape()? {
+                        CharSet::Lit(l) => l,
+                        _ => return Err(self.err("class escape cannot end a range")),
+                    },
+                    Some(hi) => hi,
+                    None => return Err(self.err("unclosed character class")),
+                };
+                if hi < c {
+                    return Err(self.err("inverted range"));
+                }
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        Ok(Ast::Char(CharSet::Set { ranges, negated }))
+    }
+}
+
+/// NFA instruction.
+#[derive(Debug, Clone)]
+enum Inst {
+    /// Consume one character matching the set, then go to `next`.
+    Char { set: CharSet, next: usize },
+    /// Fork to both targets without consuming.
+    Split(usize, usize),
+    /// Jump without consuming.
+    Jmp(usize),
+    /// Accept.
+    Match,
+}
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    prog: Vec<Inst>,
+    source: String,
+}
+
+impl Regex {
+    /// Compiles `pattern` (see module docs for the supported syntax).
+    pub fn new(pattern: &str) -> Result<Regex, RegexError> {
+        // Full-string matching: leading '^' / trailing '$' are redundant.
+        let mut trimmed = pattern;
+        if let Some(s) = trimmed.strip_prefix('^') {
+            trimmed = s;
+        }
+        if let Some(s) = trimmed.strip_suffix('$') {
+            if !s.ends_with('\\') {
+                trimmed = s;
+            }
+        }
+        let mut parser = Parser::new(trimmed);
+        let ast = parser.parse_alt()?;
+        if parser.pos != parser.chars.len() {
+            return Err(parser.err("trailing characters"));
+        }
+        let mut prog = Vec::new();
+        compile(&ast, &mut prog);
+        prog.push(Inst::Match);
+        Ok(Regex { prog, source: pattern.to_owned() })
+    }
+
+    /// The pattern this regex was compiled from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// `true` iff the **entire** input matches the pattern.
+    pub fn is_match(&self, input: &str) -> bool {
+        let mut current = vec![false; self.prog.len()];
+        let mut next = vec![false; self.prog.len()];
+        let mut stack = Vec::new();
+        add_state(&self.prog, 0, &mut current, &mut stack);
+        for c in input.chars() {
+            next.iter_mut().for_each(|b| *b = false);
+            for (pc, active) in current.iter().enumerate() {
+                if !active {
+                    continue;
+                }
+                if let Inst::Char { set, next: n } = &self.prog[pc] {
+                    if set.matches(c) {
+                        add_state(&self.prog, *n, &mut next, &mut stack);
+                    }
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+            if current.iter().all(|b| !b) {
+                return false;
+            }
+        }
+        current
+            .iter()
+            .enumerate()
+            .any(|(pc, active)| *active && matches!(self.prog[pc], Inst::Match))
+    }
+}
+
+/// Adds `pc` and everything reachable through epsilon transitions.
+fn add_state(prog: &[Inst], pc: usize, set: &mut [bool], stack: &mut Vec<usize>) {
+    stack.push(pc);
+    while let Some(pc) = stack.pop() {
+        if set[pc] {
+            continue;
+        }
+        set[pc] = true;
+        match &prog[pc] {
+            Inst::Split(a, b) => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+            Inst::Jmp(t) => stack.push(*t),
+            _ => {}
+        }
+    }
+}
+
+/// Emits instructions for `ast`; on return, falling off the end of the
+/// emitted block continues to the next instruction.
+fn compile(ast: &Ast, prog: &mut Vec<Inst>) {
+    match ast {
+        Ast::Empty => {}
+        Ast::Char(set) => {
+            let here = prog.len();
+            prog.push(Inst::Char { set: set.clone(), next: here + 1 });
+        }
+        Ast::Concat(items) => {
+            for item in items {
+                compile(item, prog);
+            }
+        }
+        Ast::Alt(branches) => {
+            // Chain of splits; each branch jumps to the common end.
+            let mut jmp_slots = Vec::new();
+            let mut split_slots = Vec::new();
+            for (i, branch) in branches.iter().enumerate() {
+                let is_last = i + 1 == branches.len();
+                if !is_last {
+                    split_slots.push(prog.len());
+                    prog.push(Inst::Split(0, 0)); // patched below
+                }
+                let start = prog.len();
+                compile(branch, prog);
+                if let Some(slot) = split_slots.last().copied() {
+                    if !is_last {
+                        prog[slot] = Inst::Split(start, 0); // alt patched later
+                    }
+                }
+                if !is_last {
+                    jmp_slots.push(prog.len());
+                    prog.push(Inst::Jmp(0)); // patched below
+                    let slot = split_slots.pop().unwrap();
+                    if let Inst::Split(first, _) = prog[slot] {
+                        prog[slot] = Inst::Split(first, prog.len());
+                    }
+                }
+            }
+            let end = prog.len();
+            for slot in jmp_slots {
+                prog[slot] = Inst::Jmp(end);
+            }
+        }
+        Ast::Repeat { node, min, max } => {
+            // Mandatory copies.
+            for _ in 0..*min {
+                compile(node, prog);
+            }
+            match max {
+                None => {
+                    // Kleene tail: split(body, out); body ... jmp(split).
+                    let split = prog.len();
+                    prog.push(Inst::Split(0, 0));
+                    let body = prog.len();
+                    compile(node, prog);
+                    prog.push(Inst::Jmp(split));
+                    let out = prog.len();
+                    prog[split] = Inst::Split(body, out);
+                }
+                Some(max) => {
+                    // (max - min) optional copies.
+                    let mut split_slots = Vec::new();
+                    for _ in *min..*max {
+                        split_slots.push(prog.len());
+                        prog.push(Inst::Split(0, 0));
+                        let body = prog.len();
+                        let slot = *split_slots.last().unwrap();
+                        prog[slot] = Inst::Split(body, 0); // out patched below
+                        compile(node, prog);
+                    }
+                    let out = prog.len();
+                    for slot in split_slots {
+                        if let Inst::Split(body, _) = prog[slot] {
+                            prog[slot] = Inst::Split(body, out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, input: &str) -> bool {
+        Regex::new(pattern).unwrap().is_match(input)
+    }
+
+    #[test]
+    fn literals() {
+        assert!(m("abc", "abc"));
+        assert!(!m("abc", "abd"));
+        assert!(!m("abc", "ab"));
+        assert!(!m("abc", "abcd")); // full match only
+        assert!(m("", ""));
+        assert!(!m("", "x"));
+    }
+
+    #[test]
+    fn dot_and_escapes() {
+        assert!(m("a.c", "abc"));
+        assert!(m("a.c", "a-c"));
+        assert!(!m("a.c", "ac"));
+        assert!(m(r"\d\d\d", "213"));
+        assert!(!m(r"\d\d\d", "21a"));
+        assert!(m(r"\w+", "foo_bar3"));
+        assert!(!m(r"\w+", "foo bar"));
+        assert!(m(r"\s", " "));
+        assert!(m(r"\.", "."));
+        assert!(!m(r"\.", "x"));
+        assert!(m(r"\D+", "abc-"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(m("[abc]+", "cab"));
+        assert!(!m("[abc]+", "cad"));
+        assert!(m("[a-z0-9]+", "renuver22"));
+        assert!(m("[^0-9]+", "abc"));
+        assert!(!m("[^0-9]+", "ab1"));
+        assert!(m(r"[\d-]+", "21-3"));
+        assert!(m("[-a]+", "a-a"));
+        assert!(!m("[]", "x")); // empty class matches nothing
+        assert!(!m("[]a", "a"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(m("a*", ""));
+        assert!(m("a*", "aaaa"));
+        assert!(m("a+b", "aab"));
+        assert!(!m("a+b", "b"));
+        assert!(m("colou?r", "color"));
+        assert!(m("colou?r", "colour"));
+        assert!(m(r"\d{3}", "123"));
+        assert!(!m(r"\d{3}", "12"));
+        assert!(!m(r"\d{3}", "1234"));
+        assert!(m(r"\d{2,4}", "123"));
+        assert!(!m(r"\d{2,4}", "1"));
+        assert!(!m(r"\d{2,4}", "12345"));
+        assert!(m(r"\d{2,}", "123456"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("cat|dog", "cat"));
+        assert!(m("cat|dog", "dog"));
+        assert!(!m("cat|dog", "cow"));
+        assert!(m("a(b|c)d", "abd"));
+        assert!(m("a(b|c)d", "acd"));
+        assert!(!m("a(b|c)d", "aed"));
+        assert!(m("(ab)+", "ababab"));
+        assert!(m("x(y|z)*", "x"));
+        assert!(m("x(y|z)*", "xyzzy"));
+        assert!(m("a|b|c", "b"));
+    }
+
+    #[test]
+    fn anchors_ignored() {
+        assert!(m("^abc$", "abc"));
+        assert!(m("^abc", "abc"));
+        assert!(m("abc$", "abc"));
+    }
+
+    #[test]
+    fn phone_pattern() {
+        // The Restaurant Phone rule: same digits, any separator.
+        let re = Regex::new(r"\d{3}[-/ ]\d{3}[- ]\d{4}").unwrap();
+        assert!(re.is_match("213/848-6677"));
+        assert!(re.is_match("213-848-6677"));
+        assert!(!re.is_match("213.848.6677"));
+        assert!(!re.is_match("2138486677"));
+    }
+
+    #[test]
+    fn unicode_literals() {
+        assert!(m("caffè", "caffè"));
+        assert!(m(".+", "日本語"));
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(Regex::new("(abc").is_err());
+        assert!(Regex::new("abc)").is_err());
+        assert!(Regex::new("[abc").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("a{3,1}").is_err());
+        assert!(Regex::new("a{").is_err());
+        assert!(Regex::new("a{2000}").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+        assert!(Regex::new("\\").is_err());
+    }
+
+    #[test]
+    fn no_pathological_backtracking() {
+        // (a*)*b against aⁿ: the NFA simulation stays linear.
+        let re = Regex::new("(a*)*b").unwrap();
+        let input = "a".repeat(2000);
+        assert!(!re.is_match(&input));
+        let mut with_b = input.clone();
+        with_b.push('b');
+        assert!(re.is_match(&with_b));
+    }
+
+    #[test]
+    fn nested_repetition() {
+        assert!(m("(ab{2}){2}", "abbabb"));
+        assert!(!m("(ab{2}){2}", "abab"));
+    }
+}

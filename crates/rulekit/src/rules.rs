@@ -1,0 +1,260 @@
+//! Admissibility rules and rule sets (the paper's three rule kinds).
+
+use std::collections::BTreeMap;
+
+use crate::regex::Regex;
+
+/// Character class retained by a [`Rule::Pattern`] projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CharClass {
+    /// ASCII digits `0-9` (phone numbers, zips). Default.
+    #[default]
+    Digits,
+    /// Unicode alphabetic characters, lowercased.
+    Letters,
+    /// Digits plus lowercased alphabetic characters.
+    Alnum,
+}
+
+impl CharClass {
+    /// Projects `s` onto this class: keeps only the retained characters
+    /// (lowercased where alphabetic), dropping separators and noise.
+    pub fn project(self, s: &str) -> String {
+        s.chars()
+            .filter_map(|c| match self {
+                CharClass::Digits => c.is_ascii_digit().then_some(c),
+                CharClass::Letters => c.is_alphabetic().then(|| lower(c)),
+                CharClass::Alnum => {
+                    (c.is_ascii_digit() || c.is_alphabetic()).then(|| lower(c))
+                }
+            })
+            .collect()
+    }
+}
+
+fn lower(c: char) -> char {
+    c.to_lowercase().next().unwrap_or(c)
+}
+
+impl std::str::FromStr for CharClass {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "digits" => Ok(CharClass::Digits),
+            "letters" => Ok(CharClass::Letters),
+            "alnum" => Ok(CharClass::Alnum),
+            other => Err(format!("unknown character class {other:?}")),
+        }
+    }
+}
+
+/// One admissibility rule (paper Section 6.1).
+#[derive(Debug, Clone)]
+pub enum Rule {
+    /// *Value set*: spellings with the same meaning ("new york", "ny").
+    /// Matching is case-insensitive on trimmed values. The imputation is
+    /// admissible iff both values fall in this set.
+    ValueSet(Vec<String>),
+    /// *Custom designed regex*: both values must match `regex`, and their
+    /// projections onto `keep` must coincide — e.g. phone numbers with the
+    /// same digits but different separators.
+    Pattern {
+        /// Structural pattern both values must satisfy.
+        regex: Regex,
+        /// Characters that must be preserved between the two values.
+        keep: CharClass,
+    },
+    /// *Delta variation*: numeric values within `±delta` of the expected
+    /// value are admissible.
+    Delta(f64),
+}
+
+impl Rule {
+    /// `true` iff `imputed` is an admissible stand-in for `expected` under
+    /// this rule. Both sides are compared as rendered strings, the common
+    /// currency of all imputers.
+    pub fn admits(&self, imputed: &str, expected: &str) -> bool {
+        match self {
+            Rule::ValueSet(values) => {
+                let canon = |s: &str| s.trim().to_lowercase();
+                let (i, e) = (canon(imputed), canon(expected));
+                let contains = |v: &str| values.iter().any(|x| canon(x) == v);
+                contains(&i) && contains(&e)
+            }
+            Rule::Pattern { regex, keep } => {
+                regex.is_match(imputed.trim())
+                    && regex.is_match(expected.trim())
+                    && keep.project(imputed) == keep.project(expected)
+            }
+            Rule::Delta(delta) => {
+                match (imputed.trim().parse::<f64>(), expected.trim().parse::<f64>()) {
+                    (Ok(i), Ok(e)) => (i - e).abs() <= *delta,
+                    _ => false,
+                }
+            }
+        }
+    }
+}
+
+/// Per-attribute admissibility rules for one dataset.
+///
+/// Validation (paper Section 6.1): an imputed value is **correct** iff it
+/// equals the expected value exactly (after trimming, case-insensitively
+/// for text) or any rule registered for the attribute admits it.
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    rules: BTreeMap<String, Vec<Rule>>,
+}
+
+impl RuleSet {
+    /// An empty rule set (validation degrades to equality).
+    pub fn new() -> Self {
+        RuleSet::default()
+    }
+
+    /// Registers a rule for `attr`.
+    pub fn add(&mut self, attr: impl Into<String>, rule: Rule) {
+        self.rules.entry(attr.into()).or_default().push(rule);
+    }
+
+    /// Rules registered for `attr`.
+    pub fn rules_for(&self, attr: &str) -> &[Rule] {
+        self.rules.get(attr).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of attributes with at least one rule.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` iff no attribute has rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Serializes the set in the rule-file format parsed by
+    /// [`crate::parser::parse_rules`] (round-trips modulo whitespace).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (attr, rules) in &self.rules {
+            out.push_str(&format!("attr {attr}\n"));
+            for rule in rules {
+                match rule {
+                    Rule::ValueSet(values) => {
+                        out.push_str("  set");
+                        for v in values {
+                            if v.contains(char::is_whitespace) || v.is_empty() {
+                                out.push_str(&format!(" \"{v}\""));
+                            } else {
+                                out.push_str(&format!(" {v}"));
+                            }
+                        }
+                        out.push('\n');
+                    }
+                    Rule::Pattern { regex, keep } => {
+                        let class = match keep {
+                            CharClass::Digits => "digits",
+                            CharClass::Letters => "letters",
+                            CharClass::Alnum => "alnum",
+                        };
+                        out.push_str(&format!(
+                            "  regex {} project {class}\n",
+                            regex.source()
+                        ));
+                    }
+                    Rule::Delta(d) => out.push_str(&format!("  delta {d}\n")),
+                }
+            }
+        }
+        out
+    }
+
+    /// Judges one imputation: is `imputed` correct for `expected` on
+    /// attribute `attr`?
+    pub fn validate(&self, attr: &str, imputed: &str, expected: &str) -> bool {
+        if imputed.trim().eq_ignore_ascii_case(expected.trim()) {
+            return true;
+        }
+        self.rules_for(attr)
+            .iter()
+            .any(|rule| rule.admits(imputed, expected))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_class_projection() {
+        assert_eq!(CharClass::Digits.project("213/848-6677"), "2138486677");
+        assert_eq!(CharClass::Letters.project("Los Angeles!"), "losangeles");
+        assert_eq!(CharClass::Alnum.project("Rt. 66"), "rt66");
+    }
+
+    #[test]
+    fn value_set_rule() {
+        let rule = Rule::ValueSet(vec![
+            "new york".into(),
+            "New York City".into(),
+            "NY".into(),
+        ]);
+        assert!(rule.admits("ny", "New York"));
+        assert!(rule.admits("new york city", "NY"));
+        assert!(!rule.admits("boston", "NY"));
+        assert!(!rule.admits("ny", "boston"));
+    }
+
+    #[test]
+    fn pattern_rule_phone() {
+        let rule = Rule::Pattern {
+            regex: Regex::new(r"\d{3}[-/ ]\d{3}[- ]\d{4}").unwrap(),
+            keep: CharClass::Digits,
+        };
+        // The paper's own example: same number, different separators.
+        assert!(rule.admits("213/848-6677", "213-848-6677"));
+        assert!(!rule.admits("213/848-6678", "213-848-6677")); // digits differ
+        assert!(!rule.admits("2138486677", "213-848-6677")); // malformed
+    }
+
+    #[test]
+    fn delta_rule() {
+        // The paper's Horsepower example: ±25 admissible.
+        let rule = Rule::Delta(25.0);
+        assert!(rule.admits("150", "165"));
+        assert!(rule.admits("150", "125"));
+        assert!(!rule.admits("150", "176"));
+        assert!(!rule.admits("strong", "150"));
+    }
+
+    #[test]
+    fn ruleset_exact_match_always_correct() {
+        let rules = RuleSet::new();
+        assert!(rules.validate("Any", "Granita", "granita"));
+        assert!(rules.validate("Any", " x ", "x"));
+        assert!(!rules.validate("Any", "a", "b"));
+    }
+
+    #[test]
+    fn ruleset_routes_by_attribute() {
+        let mut rules = RuleSet::new();
+        rules.add("Horsepower", Rule::Delta(25.0));
+        assert!(rules.validate("Horsepower", "150", "165"));
+        // The delta rule does not leak onto other attributes.
+        assert!(!rules.validate("Weight", "150", "165"));
+    }
+
+    #[test]
+    fn any_rule_suffices() {
+        let mut rules = RuleSet::new();
+        rules.add("City", Rule::ValueSet(vec!["la".into(), "los angeles".into()]));
+        rules.add(
+            "City",
+            Rule::ValueSet(vec!["ny".into(), "new york".into()]),
+        );
+        assert!(rules.validate("City", "LA", "Los Angeles"));
+        assert!(rules.validate("City", "NY", "New York"));
+        assert!(!rules.validate("City", "LA", "New York"));
+    }
+}

@@ -1,0 +1,88 @@
+//! The paper's future-work items, implemented (Section 7):
+//!
+//! 1. **Distribution-scaled thresholds** — per-attribute discovery limits
+//!    derived from each attribute's spread (`auto_limits`);
+//! 2. **Multi-dataset candidates** — imputing one dataset with donor
+//!    tuples from another (`impute_with_donors`);
+//! 3. **Incremental imputation** — filling only freshly appended tuples
+//!    (`impute_appended`), plus coverage scores for near-dependencies.
+//!
+//! ```sh
+//! cargo run --example extensions
+//! ```
+
+use renuver::core::{Renuver, RenuverConfig};
+use renuver::data::csv;
+use renuver::rfd::coverage::coverage;
+use renuver::rfd::discovery::{auto_limits, discover, DiscoveryConfig};
+use renuver::rfd::RfdSet;
+
+fn main() {
+    // --- 1. Distribution-scaled threshold limits -------------------------
+    let rel = csv::read_str(
+        "Org:text,Street:text,Zip:text,Employees:int\n\
+         Acme Medical Group,12 Ocean Ave,84084,120\n\
+         Acme Medical Group,12 Ocean Ave,84084,120\n\
+         Bolt Clinics,99 Main St,20121,1450\n\
+         Bolt Clinics,99 Main St,20121,1450\n\
+         Cardinal Health Partners,7 Broadway,00184,310\n\
+         Cardinal Health Partners,7 Broadway,00184,310\n",
+    )
+    .unwrap();
+    let limits = auto_limits(&rel, 0.2);
+    println!("auto limits (20% of each attribute's spread): {limits:?}");
+    let rfds = discover(
+        &rel,
+        &DiscoveryConfig {
+            per_attr_limits: Some(limits),
+            max_lhs: 2,
+            ..DiscoveryConfig::with_limit(3.0)
+        },
+    );
+    println!("discovered {} RFDs under per-attribute limits, e.g.:", rfds.len());
+    for rfd in rfds.iter().take(4) {
+        println!("  {}  (coverage {:.2})", rfd.display(rel.schema()), coverage(&rel, rfd));
+    }
+
+    // --- 2. Multi-dataset candidate selection ----------------------------
+    let target = csv::read_str(
+        "Org:text,Street:text,Zip:text,Employees:int\n\
+         Acme Medical Group,12 Ocean Ave,,120\n",
+    )
+    .unwrap();
+    let manual = RfdSet::from_text("Org(<=0) -> Zip(<=0)", target.schema()).unwrap();
+    let engine = Renuver::new(RenuverConfig::default());
+    let alone = engine.impute(&target, &manual);
+    println!(
+        "\ntarget alone: {}/{} imputed (no donor shares the org)",
+        alone.stats.imputed, alone.stats.missing_total
+    );
+    let with_donors = engine
+        .impute_with_donors(&target, &[&rel], &manual)
+        .expect("schemas match");
+    println!(
+        "with the reference dataset as donor: {}/{} imputed -> Zip = {}",
+        with_donors.stats.imputed,
+        with_donors.stats.missing_total,
+        with_donors.relation.value(0, 2).render()
+    );
+
+    // --- 3. Incremental imputation ---------------------------------------
+    let mut stream = rel.clone();
+    let first_new = stream.len();
+    stream
+        .push(vec![
+            "Bolt Clinics".into(),
+            "99 Main St".into(),
+            renuver::data::Value::Null, // zip missing in the arriving tuple
+            renuver::data::Value::Int(1450),
+        ])
+        .unwrap();
+    let incr = engine.impute_appended(&stream, first_new, &rfds);
+    println!(
+        "\nincremental batch: {}/{} imputed -> appended tuple's Zip = {}",
+        incr.stats.imputed,
+        incr.stats.missing_total,
+        incr.relation.value(first_new, 2).render()
+    );
+}

@@ -1,0 +1,65 @@
+//! Comparing imputation strategies on numeric measurement data (the Glass
+//! composition dataset): RENUVER vs grey-kNN vs the Derand- and
+//! Holoclean-style baselines, on identical injected missing values.
+//!
+//! ```sh
+//! cargo run --release --example sensor_comparison
+//! ```
+
+use renuver::baselines::{DerandConfig, GreyKnnConfig, HolocleanConfig};
+use renuver::core::RenuverConfig;
+use renuver::datasets::Dataset;
+use renuver::dc::{discover_dcs, DcDiscoveryConfig};
+use renuver::eval::{
+    average_scores, run_variants, DerandImputer, GreyKnnImputer, HolocleanImputer, Imputer,
+    RenuverImputer,
+};
+use renuver::rfd::discovery::{discover, DiscoveryConfig};
+
+fn main() {
+    let ds = Dataset::Glass;
+    let rel = ds.relation(42);
+    let rules = ds.rules();
+    println!(
+        "{}: {} tuples x {} numeric attributes\n",
+        ds.name(),
+        rel.len(),
+        rel.arity()
+    );
+
+    // Metadata for the dependency-driven approaches.
+    let rfds = discover(
+        &rel,
+        &DiscoveryConfig { max_lhs: 2, ..DiscoveryConfig::with_limit(15.0) },
+    );
+    let dcs = discover_dcs(&rel, &DcDiscoveryConfig::default());
+    println!("metadata: {} RFDs, {} denial constraints", rfds.len(), dcs.len());
+
+    let imputers: Vec<Box<dyn Imputer>> = vec![
+        Box::new(RenuverImputer::new(RenuverConfig::default(), rfds.clone())),
+        Box::new(DerandImputer::new(DerandConfig::default(), rfds)),
+        Box::new(HolocleanImputer::new(HolocleanConfig::default(), dcs)),
+        Box::new(GreyKnnImputer::new(GreyKnnConfig::default())),
+    ];
+
+    // Three seeded injections at 4% missing; every approach sees the same
+    // incomplete instances.
+    println!("\n{:<12} {:>9} {:>9} {:>9} {:>10}", "approach", "precision", "recall", "F1", "time");
+    for imp in &imputers {
+        let outcomes = run_variants(&rel, &rules, imp.as_ref(), 0.04, &[1, 2, 3]);
+        let avg = average_scores(&outcomes);
+        println!(
+            "{:<12} {:>9.3} {:>9.3} {:>9.3} {:>9.0}ms",
+            imp.name(),
+            avg.scores.precision,
+            avg.scores.recall,
+            avg.scores.f1,
+            avg.elapsed.as_millis()
+        );
+    }
+    println!(
+        "\nNote: validation uses per-oxide delta rules (e.g. Na within \
+         ±0.5 weight-% counts as correct), mirroring the paper's \
+         rule-based evaluation."
+    );
+}

@@ -1,0 +1,147 @@
+//! # A guided tour of RFD-based imputation
+//!
+//! This documentation-only module walks through the library the way the
+//! paper develops the material: dependencies first, then the imputation
+//! algorithm, then evaluation. Every snippet compiles and runs as a
+//! doctest.
+//!
+//! ## 1. Relaxed functional dependencies
+//!
+//! A classical FD `City → Zip` demands *equality*: two tuples with the
+//! same city must have the same zip. Real data is messier — "Los Angeles"
+//! and "LA" are the same city — so an RFD_c compares through **distance
+//! constraints**: `City(≤2) → Zip(≤0)` tolerates two edits in the city
+//! spelling and still expects identical zips.
+//!
+//! ```
+//! use renuver::data::csv;
+//! use renuver::rfd::{check, Rfd};
+//!
+//! let rel = csv::read_str(
+//!     "City:text,Zip:text\n\
+//!      Torre Annunziata,80058\n\
+//!      Torre Anunziata,80058\n\
+//!      Milano,20121\n",
+//! ).unwrap();
+//!
+//! // The strict FD reading fails to see the typo pair as "the same city"
+//! // — but the relaxed constraint does, and the dependency holds.
+//! let rfd = Rfd::parse("City(<=2) -> Zip(<=0)", rel.schema()).unwrap();
+//! assert!(check::holds(&rel, &rfd));
+//! ```
+//!
+//! ## 2. Discovering the dependencies
+//!
+//! You rarely know Σ up front. [`rfd::discovery::discover`] mines the
+//! RFDs holding on an instance, with every threshold capped by a limit —
+//! the knob the paper sweeps in its Figure 2:
+//!
+//! ```
+//! use renuver::datasets::Dataset;
+//! use renuver::rfd::discovery::{discover, DiscoveryConfig};
+//!
+//! let rel = Dataset::Bridges.relation(42);
+//! let cfg = DiscoveryConfig { max_lhs: 2, ..DiscoveryConfig::with_limit(6.0) };
+//! let sigma = discover(&rel, &cfg);
+//! assert!(!sigma.is_empty());
+//! println!("e.g. {}", sigma.get(0).display(rel.schema()));
+//! ```
+//!
+//! A small limit yields few, strict dependencies (high imputation
+//! precision, low recall); a large limit yields many, permissive ones
+//! (higher recall, lower precision). That trade-off *is* Figure 2.
+//!
+//! ## 3. Imputing
+//!
+//! [`core::Renuver`] walks each missing cell's dependencies from the
+//! tightest RHS threshold to the loosest, ranks candidate donor tuples by
+//! LHS distance (Equation 2 of the paper), and takes the first value that
+//! keeps the instance consistent:
+//!
+//! ```
+//! use renuver::core::{Renuver, RenuverConfig};
+//! use renuver::data::csv;
+//! use renuver::rfd::RfdSet;
+//!
+//! let rel = csv::read_str(
+//!     "City:text,Zip:text\n\
+//!      Salerno,84084\n\
+//!      Salerno,\n",
+//! ).unwrap();
+//! let sigma = RfdSet::from_text("City(<=0) -> Zip(<=0)", rel.schema()).unwrap();
+//!
+//! let result = Renuver::new(RenuverConfig::default()).impute(&rel, &sigma);
+//! let repair = &result.imputed[0];
+//! assert_eq!(repair.value.render(), "84084");
+//! assert_eq!(repair.donor_row, 0);               // provenance: who donated
+//! println!("justified by {}", repair.via.display(rel.schema()));
+//! ```
+//!
+//! When no candidate passes verification the cell stays missing — the
+//! paper's "better unimputed than wrong" stance, and the reason RENUVER's
+//! precision leads every comparison in Section 6.
+//!
+//! ## 4. Evaluating like the paper
+//!
+//! Inject missing values into a complete instance, impute, and judge each
+//! filled cell with the rule framework (value sets, structural regexes,
+//! numeric deltas):
+//!
+//! ```
+//! use renuver::core::{Renuver, RenuverConfig};
+//! use renuver::datasets::Dataset;
+//! use renuver::eval::{evaluate, inject};
+//! use renuver::rfd::discovery::{discover, DiscoveryConfig};
+//!
+//! let ds = Dataset::Glass;
+//! let rel = ds.relation(42);
+//! let (incomplete, truth) = inject(&rel, 0.02, 7);
+//! let sigma = discover(
+//!     &incomplete,
+//!     &DiscoveryConfig { max_lhs: 2, ..DiscoveryConfig::with_limit(6.0) },
+//! );
+//! let result = Renuver::new(RenuverConfig::default()).impute(&incomplete, &sigma);
+//! let scores = evaluate(&result.relation, &truth, &ds.rules());
+//! assert!(scores.precision > 0.5);
+//! ```
+//!
+//! ## 5. Auditing any repair
+//!
+//! [`core::audit`] answers Definition 4.3 globally — does the repaired
+//! instance satisfy Σ, and which repairs broke what:
+//!
+//! ```
+//! use renuver::core::{audit, AuditConfig};
+//! use renuver::data::csv;
+//! use renuver::rfd::RfdSet;
+//!
+//! let repaired = csv::read_str(
+//!     "City:text,Zip:text\n\
+//!      Salerno,84084\n\
+//!      Salerno,99999\n",   // a bad third-party repair
+//! ).unwrap();
+//! let sigma = RfdSet::from_text("City(<=0) -> Zip(<=0)", repaired.schema()).unwrap();
+//! let report = audit(&repaired, &sigma, &[], &AuditConfig::default());
+//! assert!(!report.is_consistent());
+//! assert_eq!(report.violations[0].pairs, vec![(0, 1)]);
+//! ```
+//!
+//! ## 6. Where to go next
+//!
+//! - The comparator implementations live in [`baselines`]; run them
+//!   through [`eval::Imputer`] on identical injected instances.
+//! - The paper's future-work items are implemented: per-attribute
+//!   discovery limits ([`rfd::discovery::auto_limits`]), donor datasets
+//!   ([`core::Renuver::impute_with_donors`]), and incremental batches
+//!   ([`core::Renuver::impute_appended`]).
+//! - `cargo run -p renuver-bench --release --bin fig3` reproduces the
+//!   paper's headline comparison end to end.
+//!
+//! [`rfd::discovery::discover`]: crate::rfd::discovery::discover
+//! [`core::Renuver`]: crate::core::Renuver
+//! [`core::audit`]: crate::core::audit
+//! [`baselines`]: crate::baselines
+//! [`eval::Imputer`]: crate::eval::Imputer
+//! [`rfd::discovery::auto_limits`]: crate::rfd::discovery::auto_limits
+//! [`core::Renuver::impute_with_donors`]: crate::core::Renuver::impute_with_donors
+//! [`core::Renuver::impute_appended`]: crate::core::Renuver::impute_appended

@@ -1,0 +1,60 @@
+//! # renuver
+//!
+//! A production-quality Rust reproduction of **RENUVER** (Breve, Caruccio,
+//! Deufemia, Polese — *RENUVER: A Missing Value Imputation Algorithm based on
+//! Relaxed Functional Dependencies*, EDBT 2022).
+//!
+//! RENUVER fills missing values in relational data using relaxed functional
+//! dependencies (RFD_c): distance-constrained dependencies such as
+//! `Name(≤4) → Phone(≤1)` that hold on the instance. RFDs are used to
+//! generate candidate tuples for each missing cell, to rank candidates by
+//! LHS distance, and to verify that every imputation keeps the instance
+//! semantically consistent.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`data`] — relational model (values, schemas, relations, CSV I/O)
+//! - [`distance`] — distance functions and tuple distance patterns
+//! - [`rfd`] — RFD_c model, checking, and discovery
+//! - [`dc`] — denial constraints (used by the Holoclean-style baseline)
+//! - [`core`] — the RENUVER imputation algorithm
+//! - [`baselines`] — grey-kNN, Derand-style, and Holoclean-style imputers
+//! - [`rulekit`] — rule-based imputation-result validation framework
+//! - [`datasets`] — synthetic datasets mirroring the paper's evaluation data
+//! - [`eval`] — missing-value injection, metrics, experiment runners
+//!
+//! New here? Start with the [`guide`] module — a compilable walk-through
+//! from dependencies to audited repairs.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use renuver::data::csv;
+//! use renuver::rfd::discovery::{discover, DiscoveryConfig};
+//! use renuver::core::{Renuver, RenuverConfig};
+//!
+//! let rel = csv::read_str(
+//!     "Name:text,City:text,Class:int\n\
+//!      Granita,Malibu,6\n\
+//!      Granitas,Malibu,6\n\
+//!      Citrus,,6\n",
+//! ).unwrap();
+//!
+//! // Discover RFDs with all thresholds capped at 3.
+//! let rfds = discover(&rel, &DiscoveryConfig::with_limit(3.0));
+//! // Impute the missing city.
+//! let result = Renuver::new(RenuverConfig::default()).impute(&rel, &rfds);
+//! assert!(result.relation.missing_count() <= rel.missing_count());
+//! ```
+
+pub mod guide;
+
+pub use renuver_baselines as baselines;
+pub use renuver_core as core;
+pub use renuver_data as data;
+pub use renuver_dc as dc;
+pub use renuver_datasets as datasets;
+pub use renuver_distance as distance;
+pub use renuver_eval as eval;
+pub use renuver_rfd as rfd;
+pub use renuver_rulekit as rulekit;

@@ -1,0 +1,475 @@
+//! `renuver` — command-line interface to the imputation pipeline.
+//!
+//! ```text
+//! renuver stats    <data.csv>
+//! renuver discover <data.csv> [--limit N] [--max-lhs N] [--out rfds.txt]
+//! renuver inject   <data.csv> --rate R [--seed S] --out incomplete.csv
+//! renuver impute   <data.csv> [--rfds rfds.txt | --limit N] [--out repaired.csv]
+//!                  [--full-verify] [--descending]
+//! renuver evaluate --original full.csv --incomplete holes.csv
+//!                  --imputed repaired.csv [--rules rules.txt]
+//! ```
+//!
+//! CSV files use a typed header (`Name:text,Class:int,...`); untyped
+//! columns default to text. Missing values are empty fields or `_`.
+
+use std::process::ExitCode;
+
+use renuver::baselines::{Derand, DerandConfig, GreyKnn, GreyKnnConfig, Holoclean, HolocleanConfig};
+use renuver::core::{ClusterOrder, Renuver, RenuverConfig, VerifyScope};
+use renuver::data::{csv, Cell, Relation};
+use renuver::dc::{discover_dcs, DcDiscoveryConfig};
+use renuver::eval::{evaluate, inject};
+use renuver::rfd::discovery::{discover, DiscoveryConfig};
+use renuver::rfd::RfdSet;
+use renuver::rulekit::{parse_rules, RuleSet};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  renuver stats    <data.csv>
+  renuver audit    <data.csv> --rfds rfds.txt
+  renuver discover <data.csv> [--limit N | --auto-limits F] [--max-lhs N]
+                   [--out rfds.txt] [--summary]
+  renuver inject   <data.csv> --rate R [--seed S] --out incomplete.csv
+  renuver impute   <data.csv> [--rfds rfds.txt | --limit N] [--out repaired.csv]
+                   [--approach renuver|derand|holoclean|knn] [--explain]
+                   [--donors donor.csv] [--full-verify] [--descending]
+  renuver evaluate --original full.csv --incomplete holes.csv \\
+                   --imputed repaired.csv [--rules rules.txt | --auto-rules F]
+  renuver compare  <full.csv> --rate R [--limit N] [--seeds N]
+                   [--rules rules.txt | --auto-rules F]";
+
+/// Minimal flag parser: returns positional args and looks up `--flag`
+/// values on demand.
+struct Args<'a> {
+    raw: &'a [String],
+}
+
+impl<'a> Args<'a> {
+    fn positional(&self) -> Vec<&'a str> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.raw.len() {
+            let a = &self.raw[i];
+            if a.starts_with("--") {
+                if !matches!(a.as_str(), "--full-verify" | "--descending" | "--explain" | "--summary") {
+                    i += 1; // skip the flag's value
+                }
+            } else {
+                out.push(a.as_str());
+            }
+            i += 1;
+        }
+        out
+    }
+
+    fn value(&self, flag: &str) -> Option<&'a str> {
+        self.raw
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.raw.iter().any(|a| a == flag)
+    }
+
+    fn parse_value<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, String> {
+        match self.value(flag) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad value {raw:?} for {flag}")),
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Relation, String> {
+    let result = if path.to_ascii_lowercase().ends_with(".arff") {
+        renuver::data::arff::read_path(path)
+    } else {
+        csv::read_path(path)
+    };
+    result.map_err(|e| format!("{path}: {e}"))
+}
+
+fn save(rel: &Relation, path: &str) -> Result<(), String> {
+    let result = if path.to_ascii_lowercase().ends_with(".arff") {
+        renuver::data::arff::write_path(rel, "renuver", path)
+    } else {
+        csv::write_path(rel, path)
+    };
+    result.map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(raw: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = raw.split_first() else {
+        return Err("missing command".into());
+    };
+    let args = Args { raw: rest };
+    match cmd.as_str() {
+        "stats" => stats(&args),
+        "audit" => audit_cmd(&args),
+        "discover" => discover_cmd(&args),
+        "inject" => inject_cmd(&args),
+        "impute" => impute_cmd(&args),
+        "evaluate" => evaluate_cmd(&args),
+        "compare" => compare_cmd(&args),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn one_positional(args: &Args) -> Result<String, String> {
+    match args.positional().as_slice() {
+        [p] => Ok((*p).to_owned()),
+        other => Err(format!("expected exactly one input file, got {}", other.len())),
+    }
+}
+
+fn stats(args: &Args) -> Result<(), String> {
+    let rel = load(&one_positional(args)?)?;
+    println!("schema:  {}", rel.schema());
+    println!("tuples:  {}", rel.len());
+    println!(
+        "missing: {} cells in {} incomplete tuples",
+        rel.missing_count(),
+        rel.incomplete_rows().len()
+    );
+    for p in renuver::data::profile(&rel) {
+        let extra = match (p.numeric_range, p.text_len_range) {
+            (Some((lo, hi)), _) => format!("range [{lo}, {hi}]"),
+            (None, Some((lo, hi))) => format!("length {lo}..{hi}"),
+            _ => String::new(),
+        };
+        println!(
+            "  {:<20} {:>6} distinct, {:>5} missing  {extra}",
+            p.name, p.distinct, p.nulls
+        );
+    }
+    Ok(())
+}
+
+fn audit_cmd(args: &Args) -> Result<(), String> {
+    let rel = load(&one_positional(args)?)?;
+    let path = args.value("--rfds").ok_or("audit requires --rfds")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let rfds = RfdSet::from_text(&text, rel.schema())?;
+    let report = renuver::core::audit(&rel, &rfds, &[], &renuver::core::AuditConfig::default());
+    print!("{}", renuver::core::audit::render_report(&report, &rfds, &rel));
+    if report.is_consistent() {
+        Ok(())
+    } else {
+        Err(format!(
+            "instance violates {} of {} dependencies",
+            report.violations.len(),
+            report.checked
+        ))
+    }
+}
+
+fn discovery_config(args: &Args, rel: &Relation) -> Result<DiscoveryConfig, String> {
+    let limit: f64 = args.parse_value("--limit")?.unwrap_or(3.0);
+    if !(0.0..=1000.0).contains(&limit) {
+        return Err("--limit must be in 0..=1000".into());
+    }
+    let max_lhs: usize = args.parse_value("--max-lhs")?.unwrap_or(2);
+    // Distribution-scaled per-attribute limits (fraction of each
+    // attribute's spread) instead of one global limit.
+    let per_attr_limits = args
+        .parse_value::<f64>("--auto-limits")?
+        .map(|fraction| {
+            if !(0.0..=1.0).contains(&fraction) {
+                return Err("--auto-limits must be a fraction in 0..=1".to_string());
+            }
+            Ok(renuver::rfd::discovery::auto_limits(rel, fraction))
+        })
+        .transpose()?;
+    Ok(DiscoveryConfig { max_lhs, per_attr_limits, ..DiscoveryConfig::with_limit(limit) })
+}
+
+fn discover_cmd(args: &Args) -> Result<(), String> {
+    let rel = load(&one_positional(args)?)?;
+    let rfds = discover(&rel, &discovery_config(args, &rel)?);
+    if args.has("--summary") {
+        eprint!("{}", rfds.summary(rel.schema()));
+    }
+    let text = rfds.to_text(rel.schema());
+    match args.value("--out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote {} RFDs to {path}", rfds.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn inject_cmd(args: &Args) -> Result<(), String> {
+    let rel = load(&one_positional(args)?)?;
+    let rate: f64 = args
+        .parse_value("--rate")?
+        .ok_or("inject requires --rate (e.g. 0.05)")?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err("--rate must be in 0..=1".into());
+    }
+    let seed: u64 = args.parse_value("--seed")?.unwrap_or(42);
+    let out = args.value("--out").ok_or("inject requires --out")?;
+    let (incomplete, truth) = inject(&rel, rate, seed);
+    save(&incomplete, out)?;
+    println!(
+        "injected {} missing values ({}%) into {out}",
+        truth.len(),
+        rate * 100.0
+    );
+    Ok(())
+}
+
+fn impute_cmd(args: &Args) -> Result<(), String> {
+    let rel = load(&one_positional(args)?)?;
+    let approach = args.value("--approach").unwrap_or("renuver");
+    if !matches!(approach, "renuver" | "derand" | "holoclean" | "knn") {
+        return Err(format!(
+            "unknown approach {approach:?} (expected renuver, derand, holoclean, or knn)"
+        ));
+    }
+    // The statistical approaches do not consume RFDs.
+    if matches!(approach, "holoclean" | "knn") {
+        let repaired = match approach {
+            "holoclean" => {
+                let dcs = discover_dcs(&rel, &DcDiscoveryConfig::default());
+                eprintln!("holoclean: {} denial constraints discovered", dcs.len());
+                Holoclean::new(HolocleanConfig::default()).impute(&rel, &dcs)
+            }
+            _ => GreyKnn::new(GreyKnnConfig::default()).impute(&rel),
+        };
+        let before = rel.missing_count();
+        eprintln!(
+            "imputed {}/{} missing cells with {approach}",
+            before - repaired.missing_count(),
+            before
+        );
+        return match args.value("--out") {
+            Some(path) => save(&repaired, path),
+            None => {
+                print!("{}", csv::write_string(&repaired));
+                Ok(())
+            }
+        };
+    }
+
+    let rfds = match args.value("--rfds") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            RfdSet::from_text(&text, rel.schema())?
+        }
+        None => {
+            let cfg = discovery_config(args, &rel)?;
+            eprintln!("no --rfds given; discovering with limit {}", cfg.limit);
+            discover(&rel, &cfg)
+        }
+    };
+    let config = RenuverConfig {
+        verify_scope: if args.has("--full-verify") {
+            VerifyScope::Full
+        } else {
+            VerifyScope::LhsOnly
+        },
+        cluster_order: if args.has("--descending") {
+            ClusterOrder::Descending
+        } else {
+            ClusterOrder::Ascending
+        },
+        ..RenuverConfig::default()
+    };
+    if approach == "derand" {
+        let repaired = Derand::new(DerandConfig::default()).impute(&rel, &rfds);
+        let before = rel.missing_count();
+        eprintln!(
+            "imputed {}/{} missing cells with derand ({} rules)",
+            before - repaired.missing_count(),
+            before,
+            rfds.len()
+        );
+        return match args.value("--out") {
+            Some(path) => save(&repaired, path),
+            None => {
+                print!("{}", csv::write_string(&repaired));
+                Ok(())
+            }
+        };
+    }
+    let engine = Renuver::new(config);
+    let result = match args.value("--donors") {
+        Some(path) => {
+            let donor = load(path)?;
+            engine
+                .impute_with_donors(&rel, &[&donor], &rfds)
+                .map_err(|e| e.to_string())?
+        }
+        None => engine.impute(&rel, &rfds),
+    };
+    eprintln!(
+        "imputed {}/{} missing cells with {} RFDs ({} candidates verified, {} rejected)",
+        result.stats.imputed,
+        result.stats.missing_total,
+        rfds.len(),
+        result.stats.verifications,
+        result.stats.verification_failures,
+    );
+    if args.has("--explain") {
+        for ic in &result.imputed {
+            eprintln!(
+                "  row {} [{}] <- {:?} from row {} (distance {:.2}) via {}",
+                ic.cell.row,
+                rel.schema().name(ic.cell.col),
+                ic.value.render(),
+                ic.donor_row,
+                ic.distance,
+                ic.via.display(rel.schema()),
+            );
+        }
+        for cell in &result.unimputed {
+            eprintln!(
+                "  row {} [{}] left missing (no consistent candidate)",
+                cell.row,
+                rel.schema().name(cell.col)
+            );
+        }
+    }
+    match args.value("--out") {
+        Some(path) => save(&result.relation, path)?,
+        None => print!("{}", csv::write_string(&result.relation)),
+    }
+    Ok(())
+}
+
+/// Runs all four approaches on seeded injections of a complete file and
+/// prints the paper-style comparison table.
+fn compare_cmd(args: &Args) -> Result<(), String> {
+    use renuver::baselines::{DerandConfig, GreyKnnConfig, HolocleanConfig};
+    use renuver::eval::{
+        average_scores, run_variants_parallel, DerandImputer, GreyKnnImputer,
+        HolocleanImputer, Imputer, RenuverImputer,
+    };
+    let rel = load(&one_positional(args)?)?;
+    if rel.missing_count() > 0 {
+        return Err(format!(
+            "compare needs a complete instance to inject into; {} has {} missing cells",
+            args.positional()[0],
+            rel.missing_count()
+        ));
+    }
+    let rate: f64 = args.parse_value("--rate")?.unwrap_or(0.03);
+    if !(0.0..=1.0).contains(&rate) {
+        return Err("--rate must be in 0..=1".into());
+    }
+    let n_seeds: u64 = args.parse_value("--seeds")?.unwrap_or(3);
+    let seeds: Vec<u64> = (1..=n_seeds).collect();
+    let rules = match (args.value("--rules"), args.parse_value::<f64>("--auto-rules")?) {
+        (Some(path), _) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            parse_rules(&text)?
+        }
+        (None, Some(fraction)) => renuver::eval::auto_rules(&rel, fraction),
+        (None, None) => RuleSet::new(),
+    };
+
+    eprintln!("discovering metadata...");
+    let cfg = discovery_config(args, &rel)?;
+    let rfds = discover(&rel, &cfg);
+    let dcs = discover_dcs(&rel, &DcDiscoveryConfig::default());
+    eprintln!("{} RFDs, {} DCs", rfds.len(), dcs.len());
+
+    let imputers: Vec<Box<dyn Imputer>> = vec![
+        Box::new(RenuverImputer::new(RenuverConfig::default(), rfds.clone())),
+        Box::new(DerandImputer::new(DerandConfig::default(), rfds)),
+        Box::new(HolocleanImputer::new(HolocleanConfig::default(), dcs)),
+        Box::new(GreyKnnImputer::new(GreyKnnConfig::default())),
+    ];
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>10}",
+        "approach", "precision", "recall", "F1", "avg time"
+    );
+    for imp in &imputers {
+        let avg = average_scores(&run_variants_parallel(
+            &rel,
+            &rules,
+            imp.as_ref(),
+            rate,
+            &seeds,
+        ));
+        println!(
+            "{:<12} {:>9.3} {:>9.3} {:>9.3} {:>8}ms",
+            imp.name(),
+            avg.scores.precision,
+            avg.scores.recall,
+            avg.scores.f1,
+            avg.elapsed.as_millis()
+        );
+    }
+    Ok(())
+}
+
+fn evaluate_cmd(args: &Args) -> Result<(), String> {
+    let original = load(args.value("--original").ok_or("evaluate requires --original")?)?;
+    let incomplete =
+        load(args.value("--incomplete").ok_or("evaluate requires --incomplete")?)?;
+    let imputed = load(args.value("--imputed").ok_or("evaluate requires --imputed")?)?;
+    if original.len() != incomplete.len() || original.len() != imputed.len() {
+        return Err("the three relations must have the same number of tuples".into());
+    }
+    let rules = match (args.value("--rules"), args.parse_value::<f64>("--auto-rules")?) {
+        (Some(_), Some(_)) => {
+            return Err("--rules and --auto-rules are mutually exclusive".into());
+        }
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            parse_rules(&text)?
+        }
+        (None, Some(fraction)) => {
+            if !(0.0..=1.0).contains(&fraction) {
+                return Err("--auto-rules must be a fraction in 0..=1".into());
+            }
+            renuver::eval::auto_rules(&original, fraction)
+        }
+        (None, None) => RuleSet::new(),
+    };
+    // Ground truth: cells missing in `incomplete` but present in `original`.
+    let truth: Vec<(Cell, renuver::data::Value)> = incomplete
+        .missing_cells()
+        .into_iter()
+        .filter(|c| !original.is_missing(c.row, c.col))
+        .map(|c| (c, original.value(c.row, c.col).clone()))
+        .collect();
+    let scores = evaluate(&imputed, &truth, &rules);
+    println!("missing:   {}", scores.missing);
+    println!("imputed:   {}", scores.imputed);
+    println!("correct:   {}", scores.correct);
+    println!("precision: {:.3}", scores.precision);
+    println!("recall:    {:.3}", scores.recall);
+    println!("f1:        {:.3}", scores.f1);
+    let rows = renuver::eval::report::attr_breakdown(&imputed, &truth, &rules);
+    if !rows.is_empty() {
+        println!();
+        print!("{}", renuver::eval::report::breakdown_table(&rows));
+    }
+    Ok(())
+}

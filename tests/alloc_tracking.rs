@@ -1,0 +1,50 @@
+//! Exercises the counting allocator with it actually installed as the
+//! global allocator (its own test binary, because a global allocator is
+//! per-binary).
+
+use renuver::eval::budget::{
+    current_bytes, format_bytes, measure, peak_bytes, reset_peak, TrackingAlloc,
+};
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+#[test]
+fn peak_tracks_large_allocations() {
+    reset_peak();
+    let before = peak_bytes();
+    let (len, _elapsed, peak) = measure(|| {
+        let v: Vec<u8> = vec![7; 8 * 1024 * 1024];
+        v.len()
+    });
+    assert_eq!(len, 8 * 1024 * 1024);
+    // The 8 MiB buffer must show up in the measured peak.
+    assert!(peak >= 8 * 1024 * 1024, "peak {} (before {before})", format_bytes(peak));
+    // And it was freed again: current live bytes are below the old peak.
+    assert!(current_bytes() < before + 8 * 1024 * 1024);
+}
+
+#[test]
+fn reset_clears_high_water_mark() {
+    {
+        let _big: Vec<u8> = vec![1; 4 * 1024 * 1024];
+    } // dropped
+    reset_peak();
+    let base = peak_bytes();
+    let _small: Vec<u8> = vec![2; 1024];
+    assert!(peak_bytes() >= base + 1024);
+    assert!(peak_bytes() < base + 4 * 1024 * 1024);
+}
+
+#[test]
+fn realloc_growth_is_counted() {
+    reset_peak();
+    let (_, _, peak) = measure(|| {
+        let mut v: Vec<u64> = Vec::new();
+        for i in 0..500_000u64 {
+            v.push(i); // repeated reallocs
+        }
+        v
+    });
+    assert!(peak >= 500_000 * 8, "peak {}", format_bytes(peak));
+}

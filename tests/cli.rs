@@ -1,0 +1,258 @@
+//! Integration tests for the `renuver` command-line binary: the full
+//! stats → discover → inject → impute → evaluate loop over temp files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const DATA: &str = "\
+City:text,Zip:text,Pop:int
+Salerno,84084,130000
+Salerno,84084,130000
+Milano,20121,1350000
+Milano,20121,1350000
+Roma,00184,2870000
+Roma,00184,2870000
+";
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_renuver"))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("renuver-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_pipeline_through_the_cli() {
+    let dir = tempdir("pipeline");
+    let data = dir.join("data.csv");
+    std::fs::write(&data, DATA).unwrap();
+
+    // stats
+    let out = bin().arg("stats").arg(&data).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("tuples:  6"), "{stdout}");
+
+    // discover
+    let rfds = dir.join("rfds.txt");
+    let out = bin()
+        .args(["discover"])
+        .arg(&data)
+        .args(["--limit", "3", "--out"])
+        .arg(&rfds)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let rfd_text = std::fs::read_to_string(&rfds).unwrap();
+    assert!(rfd_text.contains("→"), "{rfd_text}");
+
+    // inject
+    let holes = dir.join("holes.csv");
+    let out = bin()
+        .arg("inject")
+        .arg(&data)
+        .args(["--rate", "0.2", "--seed", "1", "--out"])
+        .arg(&holes)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // impute
+    let fixed = dir.join("fixed.csv");
+    let out = bin()
+        .arg("impute")
+        .arg(&holes)
+        .arg("--rfds")
+        .arg(&rfds)
+        .arg("--out")
+        .arg(&fixed)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // evaluate: the duplicated tuples make every cell perfectly imputable.
+    let out = bin()
+        .arg("evaluate")
+        .arg("--original")
+        .arg(&data)
+        .arg("--incomplete")
+        .arg(&holes)
+        .arg("--imputed")
+        .arg(&fixed)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("precision: 1.000"), "{stdout}");
+    assert!(stdout.contains("recall:    1.000"), "{stdout}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = bin().args(["stats", "/nonexistent/nope.csv"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("error:"), "{stderr}");
+}
+
+#[test]
+fn inject_validates_rate() {
+    let dir = tempdir("rate");
+    let data = dir.join("data.csv");
+    std::fs::write(&data, DATA).unwrap();
+    let out = bin()
+        .arg("inject")
+        .arg(&data)
+        .args(["--rate", "7", "--out", "/tmp/x.csv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--rate"));
+}
+
+#[test]
+fn impute_with_donor_file() {
+    let dir = tempdir("donors");
+    let target = dir.join("target.csv");
+    std::fs::write(&target, "City:text,Zip:text\nSalerno,\n").unwrap();
+    let donor = dir.join("donor.csv");
+    std::fs::write(&donor, "City:text,Zip:text\nSalerno,84084\n").unwrap();
+    let rfds = dir.join("rfds.txt");
+    std::fs::write(&rfds, "City(<=0) -> Zip(<=0)\n").unwrap();
+    let out = bin()
+        .arg("impute")
+        .arg(&target)
+        .arg("--rfds")
+        .arg(&rfds)
+        .arg("--donors")
+        .arg(&donor)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("84084"), "{stdout}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("imputed 1/1"));
+}
+
+#[test]
+fn approach_flag_selects_baselines() {
+    let dir = tempdir("approach");
+    let data = dir.join("data.csv");
+    std::fs::write(&data, DATA).unwrap();
+    let holes = dir.join("holes.csv");
+    assert!(bin()
+        .arg("inject")
+        .arg(&data)
+        .args(["--rate", "0.15", "--seed", "4", "--out"])
+        .arg(&holes)
+        .status()
+        .unwrap()
+        .success());
+    for approach in ["knn", "holoclean", "derand", "renuver"] {
+        let out = bin()
+            .arg("impute")
+            .arg(&holes)
+            .args(["--approach", approach, "--limit", "3", "--out", "/dev/null"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{approach}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("imputed"), "{approach}: {stderr}");
+    }
+    let out = bin()
+        .arg("impute")
+        .arg(&holes)
+        .args(["--approach", "bogus"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn audit_detects_violations() {
+    let dir = tempdir("audit");
+    let data = dir.join("bad.csv");
+    std::fs::write(
+        &data,
+        "City:text,Zip:text\nSalerno,84084\nSalerno,99999\n",
+    )
+    .unwrap();
+    let rfds = dir.join("rfds.txt");
+    std::fs::write(&rfds, "City(<=0) -> Zip(<=0)\n").unwrap();
+    let out = bin().arg("audit").arg(&data).arg("--rfds").arg(&rfds).output().unwrap();
+    assert!(!out.status.success()); // violations → non-zero exit
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("VIOLATED"), "{stdout}");
+
+    let clean = dir.join("good.csv");
+    std::fs::write(&clean, "City:text,Zip:text\nSalerno,84084\nMilano,20121\n").unwrap();
+    let out = bin().arg("audit").arg(&clean).arg("--rfds").arg(&rfds).output().unwrap();
+    assert!(out.status.success());
+}
+
+#[test]
+fn compare_runs_all_approaches() {
+    let dir = tempdir("compare");
+    let data = dir.join("data.csv");
+    std::fs::write(&data, DATA).unwrap();
+    let out = bin()
+        .arg("compare")
+        .arg(&data)
+        .args(["--rate", "0.2", "--limit", "3", "--seeds", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in ["RENUVER", "Derand", "Holoclean", "kNN"] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+    // An incomplete input is rejected with a clear message.
+    let holes = dir.join("holes.csv");
+    std::fs::write(&holes, "A:int\n1\n_\n").unwrap();
+    let out = bin().arg("compare").arg(&holes).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("complete instance"));
+}
+
+#[test]
+fn impute_discovers_when_no_rfds_given() {
+    let dir = tempdir("disc");
+    let data = dir.join("data.csv");
+    std::fs::write(&data, DATA).unwrap();
+    let holes = dir.join("holes.csv");
+    assert!(bin()
+        .arg("inject")
+        .arg(&data)
+        .args(["--rate", "0.1", "--seed", "2", "--out"])
+        .arg(&holes)
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .arg("impute")
+        .arg(&holes)
+        .args(["--limit", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("discovering"), "{stderr}");
+    // Output CSV lands on stdout when --out is absent.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("City:text"), "{stdout}");
+}

@@ -1,0 +1,132 @@
+//! Facade-level tests of the implemented future-work extensions
+//! (paper Section 7): distribution-scaled discovery limits, multi-dataset
+//! candidate selection, incremental imputation, and coverage measures.
+
+use renuver::core::{Renuver, RenuverConfig};
+use renuver::data::{csv, Value};
+use renuver::datasets::Dataset;
+use renuver::eval::inject;
+use renuver::rfd::coverage::{coverage, filter_by_coverage, g1_error};
+use renuver::rfd::discovery::{auto_limits, discover, DiscoveryConfig};
+use renuver::rfd::RfdSet;
+
+#[test]
+fn auto_limits_respect_attribute_spreads_on_real_dataset() {
+    let rel = Dataset::Cars.relation(1);
+    let limits = auto_limits(&rel, 0.1);
+    assert_eq!(limits.len(), rel.arity());
+    // Weight spans thousands; ModelYear spans 12 — the auto limits must
+    // reflect that ordering (both clamped into [1, 255]).
+    let s = rel.schema();
+    let weight = s.require("Weight").unwrap();
+    let year = s.require("ModelYear").unwrap();
+    assert!(limits[weight] > limits[year] * 10.0);
+    // Discovery under the per-attribute limits emits RFDs whose thresholds
+    // respect each attribute's cap.
+    let cfg = DiscoveryConfig {
+        max_lhs: 2,
+        per_attr_limits: Some(limits.clone()),
+        ..DiscoveryConfig::with_limit(3.0)
+    };
+    let rfds = discover(&rel, &cfg);
+    assert!(!rfds.is_empty());
+    for rfd in rfds.iter() {
+        for c in rfd.lhs() {
+            assert!(c.threshold <= limits[c.attr], "{rfd:?}");
+        }
+        assert!(rfd.rhs_threshold() <= limits[rfd.rhs_attr()]);
+    }
+}
+
+#[test]
+fn donors_lift_recall_on_a_real_dataset() {
+    // Split Restaurant in half: impute the first half alone vs with the
+    // second half as a donor dataset. The duplicate pairs straddle the
+    // split, so donors must help.
+    let full = Dataset::Restaurant.relation(3);
+    let schema = full.schema().clone();
+    let half = full.len() / 2;
+    let first: Vec<_> = full.tuples().take(half).cloned().collect();
+    let second: Vec<_> = full.tuples().skip(half).cloned().collect();
+    let target_full = renuver::data::Relation::new(schema.clone(), first).unwrap();
+    let donor = renuver::data::Relation::new(schema, second).unwrap();
+
+    let (target, _truth) = inject(&target_full, 0.05, 9);
+    let rfds = discover(
+        &full,
+        &DiscoveryConfig { max_lhs: 2, ..DiscoveryConfig::with_limit(12.0) },
+    );
+    let engine = Renuver::new(RenuverConfig::default());
+    let alone = engine.impute(&target, &rfds);
+    let with = engine.impute_with_donors(&target, &[&donor], &rfds).unwrap();
+    assert!(
+        with.stats.imputed >= alone.stats.imputed,
+        "donors reduced fill: {} -> {}",
+        alone.stats.imputed,
+        with.stats.imputed
+    );
+    assert_eq!(with.relation.len(), target.len());
+}
+
+#[test]
+fn incremental_equivalent_to_masked_full_run() {
+    // impute_appended on a batch == impute() where the old rows' missing
+    // cells are not counted: verify the appended rows get identical values.
+    let rel = csv::read_str(
+        "City:text,Zip:text\n\
+         Salerno,84084\n\
+         Milano,20121\n\
+         Salerno,84084\n\
+         Salerno,\n\
+         Milano,\n",
+    )
+    .unwrap();
+    let rfds = RfdSet::from_text("City(<=0) -> Zip(<=0)", rel.schema()).unwrap();
+    let engine = Renuver::new(RenuverConfig::default());
+    let incr = engine.impute_appended(&rel, 3, &rfds);
+    assert_eq!(incr.stats.missing_total, 2);
+    assert_eq!(incr.relation.value(3, 1), &Value::Text("84084".into()));
+    assert_eq!(incr.relation.value(4, 1), &Value::Text("20121".into()));
+    // A full run yields the same values for those rows.
+    let all = engine.impute(&rel, &rfds);
+    assert_eq!(all.relation.value(3, 1), incr.relation.value(3, 1));
+    assert_eq!(all.relation.value(4, 1), incr.relation.value(4, 1));
+}
+
+#[test]
+fn coverage_of_discovered_rfds_is_one() {
+    // Discovery only emits dependencies that hold → coverage 1 for all.
+    let rel = Dataset::Bridges.relation(2);
+    let rfds = discover(
+        &rel,
+        &DiscoveryConfig { max_lhs: 2, ..DiscoveryConfig::with_limit(6.0) },
+    );
+    for rfd in rfds.iter().take(25) {
+        assert_eq!(g1_error(&rel, rfd), 0.0, "{}", rfd.display(rel.schema()));
+        assert_eq!(coverage(&rel, rfd), 1.0);
+    }
+    let (kept, dropped) = filter_by_coverage(&rfds, &rel, 1.0);
+    assert_eq!(dropped, 0);
+    assert_eq!(kept.len(), rfds.len());
+}
+
+#[test]
+fn coverage_detects_degradation_after_noise() {
+    // Corrupt one cell of a dataset and watch a previously exact
+    // dependency's coverage drop below 1.
+    let mut rel = csv::read_str(
+        "City:text,Zip:text\n\
+         Salerno,84084\n\
+         Salerno,84084\n\
+         Salerno,84084\n\
+         Milano,20121\n",
+    )
+    .unwrap();
+    let rfd = renuver::rfd::Rfd::parse("City(<=0) -> Zip(<=0)", rel.schema()).unwrap();
+    assert_eq!(coverage(&rel, &rfd), 1.0);
+    rel.set_value(2, 1, "99999".into());
+    let cov = coverage(&rel, &rfd);
+    assert!(cov < 1.0 && cov > 0.0, "{cov}");
+    // g1: 2 violating of 3 supporting pairs among the Salerno rows.
+    assert!((g1_error(&rel, &rfd) - 2.0 / 3.0).abs() < 1e-12);
+}

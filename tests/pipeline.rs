@@ -1,0 +1,225 @@
+//! Cross-crate pipeline tests: dataset generation → RFD/DC discovery →
+//! injection → imputation (all four approaches) → rule-based evaluation.
+
+use renuver::baselines::{DerandConfig, GreyKnnConfig, HolocleanConfig};
+use renuver::core::{Renuver, RenuverConfig};
+use renuver::datasets::{physician, Dataset};
+use renuver::dc::{discover_dcs, DcDiscoveryConfig};
+use renuver::eval::{
+    average_scores, evaluate, inject, run_variants, DerandImputer, GreyKnnImputer,
+    HolocleanImputer, Imputer, RenuverImputer,
+};
+use renuver::rfd::check;
+use renuver::rfd::discovery::{discover, DiscoveryConfig};
+
+fn small_discovery(limit: f64) -> DiscoveryConfig {
+    DiscoveryConfig { max_lhs: 2, ..DiscoveryConfig::with_limit(limit) }
+}
+
+#[test]
+fn discovered_rfds_hold_on_every_dataset() {
+    for ds in Dataset::all() {
+        let rel = ds.relation(1);
+        let rfds = discover(&rel, &small_discovery(6.0));
+        assert!(!rfds.is_empty(), "{}", ds.name());
+        // Spot-check a sample (full verification of hundreds of RFDs at
+        // n² pairs each is bench territory).
+        for rfd in rfds.iter().step_by(rfds.len().div_ceil(10)) {
+            assert!(
+                check::holds(&rel, rfd),
+                "{}: violated {}",
+                ds.name(),
+                rfd.display(rel.schema())
+            );
+        }
+    }
+}
+
+#[test]
+fn renuver_imputed_values_come_from_donors() {
+    let ds = Dataset::Bridges;
+    let rel = ds.relation(2);
+    let (incomplete, _) = inject(&rel, 0.05, 3);
+    let rfds = discover(&incomplete, &small_discovery(9.0));
+    let result = Renuver::new(RenuverConfig::default()).impute(&incomplete, &rfds);
+    for ic in &result.imputed {
+        // The value was copied from the donor row.
+        assert_eq!(
+            &ic.value,
+            result.relation.value(ic.donor_row, ic.cell.col),
+            "donor mismatch at {:?}",
+            ic.cell
+        );
+        assert!(ic.distance >= 0.0);
+    }
+    // Unimputed cells are still missing; imputed cells are not.
+    for cell in &result.unimputed {
+        assert!(result.relation.is_missing(cell.row, cell.col));
+    }
+    for ic in &result.imputed {
+        assert!(!result.relation.is_missing(ic.cell.row, ic.cell.col));
+    }
+}
+
+#[test]
+fn end_to_end_deterministic() {
+    let ds = Dataset::Cars;
+    let rel = ds.relation(3);
+    let rfds = discover(&rel, &small_discovery(6.0));
+    let (incomplete, truth) = inject(&rel, 0.03, 5);
+    let a = Renuver::new(RenuverConfig::default()).impute(&incomplete, &rfds);
+    let b = Renuver::new(RenuverConfig::default()).impute(&incomplete, &rfds);
+    assert_eq!(a.relation, b.relation);
+    assert_eq!(a.imputed, b.imputed);
+    let sa = evaluate(&a.relation, &truth, &ds.rules());
+    let sb = evaluate(&b.relation, &truth, &ds.rules());
+    assert_eq!(sa, sb);
+}
+
+#[test]
+fn all_approaches_run_on_a_real_dataset() {
+    let ds = Dataset::Glass;
+    let rel = ds.relation(4);
+    let rules = ds.rules();
+    let rfds = discover(&rel, &small_discovery(9.0));
+    let dcs = discover_dcs(&rel, &DcDiscoveryConfig::default());
+    let imputers: Vec<Box<dyn Imputer>> = vec![
+        Box::new(RenuverImputer::new(RenuverConfig::default(), rfds.clone())),
+        Box::new(DerandImputer::new(DerandConfig::default(), rfds)),
+        Box::new(HolocleanImputer::new(HolocleanConfig::default(), dcs)),
+        Box::new(GreyKnnImputer::new(GreyKnnConfig::default())),
+    ];
+    for imp in &imputers {
+        let outcomes = run_variants(&rel, &rules, imp.as_ref(), 0.03, &[1, 2]);
+        let avg = average_scores(&outcomes);
+        // Every approach fills something and gets a sane score.
+        assert!(avg.scores.imputed > 0, "{} filled nothing", imp.name());
+        assert!(
+            (0.0..=1.0).contains(&avg.scores.precision),
+            "{}",
+            imp.name()
+        );
+        assert!(avg.scores.correct <= avg.scores.imputed, "{}", imp.name());
+        assert!(avg.scores.imputed <= avg.scores.missing, "{}", imp.name());
+    }
+}
+
+#[test]
+fn renuver_precision_beats_derand_on_restaurant() {
+    // The paper's headline comparison, scaled down to one seed.
+    let ds = Dataset::Restaurant;
+    let rel = ds.relation(5);
+    let rules = ds.rules();
+    let rfds = discover(&rel, &small_discovery(15.0));
+    let renuver = RenuverImputer::new(RenuverConfig::default(), rfds.clone());
+    let derand = DerandImputer::new(DerandConfig::default(), rfds);
+    let r = average_scores(&run_variants(&rel, &rules, &renuver, 0.03, &[9]));
+    let d = average_scores(&run_variants(&rel, &rules, &derand, 0.03, &[9]));
+    assert!(
+        r.scores.precision > d.scores.precision,
+        "RENUVER {:.3} vs Derand {:.3}",
+        r.scores.precision,
+        d.scores.precision
+    );
+}
+
+#[test]
+fn injected_missing_counts_match_paper_table_3() {
+    // Same tuple counts and protocol as the paper, so the injected counts
+    // land within rounding of Table 3's numbers.
+    let expectations = [
+        (Dataset::Restaurant, [52, 104, 155, 206, 259]),
+        (Dataset::Cars, [37, 73, 110, 146, 183]),
+        (Dataset::Glass, [24, 47, 71, 94, 118]),
+        (Dataset::Bridges, [14, 28, 42, 56, 70]),
+    ];
+    for (ds, paper) in expectations {
+        let rel = ds.relation(1);
+        for (i, rate) in [0.01, 0.02, 0.03, 0.04, 0.05].into_iter().enumerate() {
+            let (_, truth) = inject(&rel, rate, 1);
+            let diff = truth.len().abs_diff(paper[i]);
+            assert!(
+                diff <= 1,
+                "{} at {rate}: got {}, paper {}",
+                ds.name(),
+                truth.len(),
+                paper[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn hospital_redundancy_repairs_exactly() {
+    use renuver::datasets::hospital;
+    use renuver::rfd::RfdSet;
+    // The Hospital dataset repeats provider attributes across measure
+    // rows; ProviderNumber(≤0) → City(≤0) restores a knocked-out city
+    // exactly from a sibling row.
+    let rel = hospital::generate(300, 3);
+    let city = rel.schema().require("City").unwrap();
+    let expected = rel.value(0, city).clone();
+    let mut holed = rel.clone();
+    holed.set_value(0, city, renuver::data::Value::Null);
+    let rfds = RfdSet::from_text(
+        "ProviderNumber(<=0) -> City(<=0)",
+        rel.schema(),
+    )
+    .unwrap();
+    let result = Renuver::new(RenuverConfig::default()).impute(&holed, &rfds);
+    assert_eq!(result.relation.value(0, city), &expected);
+    assert_eq!(result.imputed[0].via.display(rel.schema()).to_string(),
+        "ProviderNumber(≤0) → City(≤0)");
+}
+
+#[test]
+fn hospital_full_pipeline_high_precision() {
+    use renuver::datasets::hospital;
+    // Discovery + imputation on the redundancy-rich Hospital data should
+    // reach very high precision (the Holoclean benchmark regime).
+    let rel = hospital::generate(500, 7);
+    let (incomplete, truth) = inject(&rel, 0.02, 5);
+    let rfds = discover(&incomplete, &small_discovery(3.0));
+    let result = Renuver::new(RenuverConfig::default()).impute(&incomplete, &rfds);
+    let scores = evaluate(&result.relation, &truth, &hospital::rules());
+    assert!(scores.precision >= 0.9, "{scores:?}");
+    assert!(scores.recall >= 0.6, "{scores:?}");
+}
+
+#[test]
+fn physician_scaling_smoke() {
+    // Table 5's smallest rung, end to end.
+    let rel = physician::generate(104, 42);
+    let rfds = discover(&rel, &small_discovery(3.0));
+    let dcs = discover_dcs(&rel, &DcDiscoveryConfig::default());
+    assert!(!rfds.is_empty());
+    assert!(!dcs.is_empty());
+    let (incomplete, truth) = inject(&rel, 0.01, 1);
+    let result = Renuver::new(RenuverConfig::default()).impute(&incomplete, &rfds);
+    let scores = evaluate(&result.relation, &truth, &physician::rules());
+    // The planted org/zip redundancy makes the small instance imputable
+    // with high precision.
+    assert!(scores.precision >= 0.5, "{scores:?}");
+}
+
+#[test]
+fn higher_threshold_limits_do_not_reduce_fill() {
+    // Figure 2's recall mechanism: a larger threshold limit yields a
+    // superset-ish RFD set, so RENUVER fills at least roughly as much.
+    let ds = Dataset::Restaurant;
+    let rel = ds.relation(6);
+    let (incomplete, _) = inject(&rel, 0.03, 2);
+    let low = discover(&incomplete, &small_discovery(3.0));
+    let high = discover(&incomplete, &small_discovery(12.0));
+    let fill = |rfds| {
+        Renuver::new(RenuverConfig::default())
+            .impute(&incomplete, rfds)
+            .stats
+            .imputed
+    };
+    let (f_low, f_high) = (fill(&low), fill(&high));
+    assert!(
+        f_high + 5 >= f_low,
+        "fill dropped sharply with the limit: {f_low} -> {f_high}"
+    );
+}

@@ -1,0 +1,150 @@
+//! Property test: the rulekit NFA regex engine against a tiny
+//! backtracking reference matcher, over a restricted random grammar
+//! (literals, `.`, classes, `*`, `+`, `?`, alternation of two branches).
+
+use proptest::prelude::*;
+use renuver::rulekit::Regex;
+
+/// Reference AST mirroring the generated patterns.
+#[derive(Debug, Clone)]
+enum Tok {
+    Lit(char),
+    Any,
+    Class(Vec<char>, bool),
+    Star(Box<Tok>),
+    Plus(Box<Tok>),
+    Opt(Box<Tok>),
+}
+
+impl Tok {
+    fn to_pattern(&self) -> String {
+        match self {
+            Tok::Lit(c) => c.to_string(),
+            Tok::Any => ".".into(),
+            Tok::Class(cs, neg) => {
+                let body: String = cs.iter().collect();
+                if *neg {
+                    format!("[^{body}]")
+                } else {
+                    format!("[{body}]")
+                }
+            }
+            Tok::Star(t) => format!("{}*", t.to_pattern()),
+            Tok::Plus(t) => format!("{}+", t.to_pattern()),
+            Tok::Opt(t) => format!("{}?", t.to_pattern()),
+        }
+    }
+}
+
+/// Backtracking full-match of a token sequence against a char slice.
+fn matches(tokens: &[Tok], input: &[char]) -> bool {
+    match tokens.split_first() {
+        None => input.is_empty(),
+        Some((tok, rest)) => match tok {
+            Tok::Lit(c) => {
+                input.first() == Some(c) && matches(rest, &input[1..])
+            }
+            Tok::Any => !input.is_empty() && matches(rest, &input[1..]),
+            Tok::Class(cs, neg) => match input.first() {
+                None => false,
+                Some(c) => (cs.contains(c) != *neg) && matches(rest, &input[1..]),
+            },
+            Tok::Star(inner) => {
+                // Zero or more copies of `inner`, then the rest.
+                let single = [(**inner).clone()];
+                let mut i = 0;
+                loop {
+                    if matches(rest, &input[i..]) {
+                        return true;
+                    }
+                    if i < input.len() && matches(&single, &input[i..=i]) {
+                        i += 1;
+                    } else {
+                        return false;
+                    }
+                }
+            }
+            Tok::Plus(inner) => {
+                let single = [(**inner).clone()];
+                if input.is_empty() || !matches(&single, &input[..1]) {
+                    return false;
+                }
+                let star = [Tok::Star(inner.clone())];
+                let mut seq: Vec<Tok> = star.to_vec();
+                seq.extend_from_slice(rest);
+                matches(&seq, &input[1..])
+            }
+            Tok::Opt(inner) => {
+                let single = [(**inner).clone()];
+                (!input.is_empty() && matches(&single, &input[..1]) && matches(rest, &input[1..]))
+                    || matches(rest, input)
+            }
+        },
+    }
+}
+
+fn arb_atom() -> impl Strategy<Value = Tok> {
+    prop_oneof![
+        4 => prop::char::range('a', 'd').prop_map(Tok::Lit),
+        1 => Just(Tok::Any),
+        2 => (proptest::collection::vec(prop::char::range('a', 'd'), 1..3), any::<bool>())
+            .prop_map(|(mut cs, neg)| {
+                cs.dedup();
+                Tok::Class(cs, neg)
+            }),
+    ]
+}
+
+fn arb_token() -> impl Strategy<Value = Tok> {
+    arb_atom().prop_flat_map(|atom| {
+        prop_oneof![
+            4 => Just(atom.clone()),
+            1 => Just(Tok::Star(Box::new(atom.clone()))),
+            1 => Just(Tok::Plus(Box::new(atom.clone()))),
+            1 => Just(Tok::Opt(Box::new(atom))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn engine_agrees_with_backtracking_reference(
+        tokens in proptest::collection::vec(arb_token(), 0..6),
+        input in "[a-e]{0,8}",
+    ) {
+        let pattern: String = tokens.iter().map(Tok::to_pattern).collect();
+        let engine = Regex::new(&pattern).unwrap();
+        let chars: Vec<char> = input.chars().collect();
+        prop_assert_eq!(
+            engine.is_match(&input),
+            matches(&tokens, &chars),
+            "pattern {:?} input {:?}",
+            pattern,
+            input
+        );
+    }
+
+    #[test]
+    fn alternation_agrees(
+        left in proptest::collection::vec(arb_token(), 0..4),
+        right in proptest::collection::vec(arb_token(), 0..4),
+        input in "[a-e]{0,6}",
+    ) {
+        let pattern = format!(
+            "{}|{}",
+            left.iter().map(Tok::to_pattern).collect::<String>(),
+            right.iter().map(Tok::to_pattern).collect::<String>(),
+        );
+        let engine = Regex::new(&pattern).unwrap();
+        let chars: Vec<char> = input.chars().collect();
+        prop_assert_eq!(
+            engine.is_match(&input),
+            matches(&left, &chars) || matches(&right, &chars),
+            "pattern {:?} input {:?}",
+            pattern,
+            input
+        );
+    }
+}
