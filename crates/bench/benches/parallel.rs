@@ -1,0 +1,71 @@
+//! Parallel-speedup benchmarks: the rayon-distributed hot paths at one
+//! thread versus all available cores — the distance-matrix (oracle) build
+//! and the end-to-end imputation run. The `bench_parallel` binary measures
+//! the same pair and records the ratios in `BENCH_parallel.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use renuver_bench::{parallel_fixture, rfds_for, DATA_SEED};
+use renuver_core::{Renuver, RenuverConfig};
+use renuver_datasets::Dataset;
+use renuver_distance::DistanceOracle;
+use renuver_eval::inject;
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// `[1, all cores]`, collapsed to `[1]` on a single-core machine.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, available_cores()];
+    counts.dedup();
+    counts
+}
+
+fn bench_oracle_build(c: &mut Criterion) {
+    // 3 000 rows over 600 distinct text values: the O(k²) Levenshtein
+    // matrix fill dominates, which is exactly the scan `par_map_indexed`
+    // distributes.
+    let rel = parallel_fixture(3_000, 600);
+    let mut g = c.benchmark_group("oracle_build_parallel");
+    g.sample_size(10);
+    for threads in thread_counts() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}t")),
+            &rel,
+            |bench, rel| {
+                bench.iter(|| pool.install(|| DistanceOracle::build(black_box(rel), 3_000)))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_impute_end_to_end(c: &mut Criterion) {
+    let ds = Dataset::Restaurant;
+    let rel = ds.relation(DATA_SEED);
+    let rfds = rfds_for(ds, 15.0);
+    let (incomplete, _) = inject(&rel, 0.03, 1);
+    let mut g = c.benchmark_group("impute_parallel");
+    g.sample_size(10);
+    for threads in thread_counts() {
+        let engine = Renuver::new(RenuverConfig {
+            parallelism: threads,
+            ..RenuverConfig::default()
+        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}t")),
+            &incomplete,
+            |bench, rel| bench.iter(|| engine.impute(black_box(rel), &rfds)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_oracle_build, bench_impute_end_to_end);
+criterion_main!(benches);

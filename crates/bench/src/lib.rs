@@ -132,6 +132,26 @@ pub fn fmt_score(x: f64) -> String {
     format!("{x:.3}")
 }
 
+/// Relation for the parallel-speedup benchmarks: `n` rows drawing a text
+/// column from `k` distinct ~15-char values (plus an int column), so the
+/// [`renuver_distance::DistanceOracle`] build is dominated by the O(k²)
+/// Levenshtein matrix fill the parallel layer distributes.
+pub fn parallel_fixture(n: usize, k: usize) -> renuver_data::Relation {
+    use renuver_data::{AttrType, Relation, Schema, Value};
+    let schema =
+        Schema::new([("Label", AttrType::Text), ("Group", AttrType::Int)]).unwrap();
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|i| {
+            let v = i % k;
+            vec![
+                Value::from(format!("entry-{v:04}-{:04}", (v * 7919) % 10_000).as_str()),
+                Value::Int((i % 17) as i64),
+            ]
+        })
+        .collect();
+    Relation::new(schema, rows).unwrap()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

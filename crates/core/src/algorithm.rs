@@ -76,7 +76,26 @@ impl Renuver {
     /// Rows outside the range participate as candidate donors and in
     /// verification but are never imputed — the engine of
     /// [`Renuver::impute_with_donors`] and [`Renuver::impute_appended`].
+    ///
+    /// Installs a thread pool sized by [`RenuverConfig::parallelism`] so
+    /// the hot-path scans (oracle build, donor scans, verification scans)
+    /// pick the configured width up from thread-local state; the per-cell
+    /// imputation loop itself stays sequential because each imputation can
+    /// turn the imputed tuple into a donor for the next cell.
     pub(crate) fn impute_rows(
+        &self,
+        rel: &Relation,
+        sigma: &RfdSet,
+        row_range: std::ops::Range<usize>,
+    ) -> ImputationResult {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.config.parallelism)
+            .build()
+            .expect("thread pool construction cannot fail");
+        pool.install(|| self.impute_rows_inner(rel, sigma, row_range))
+    }
+
+    fn impute_rows_inner(
         &self,
         rel: &Relation,
         sigma: &RfdSet,
@@ -217,7 +236,9 @@ impl Renuver {
                 None => clusters.push((thr, vec![rfd])),
             }
         }
-        clusters.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        // total_cmp, not partial_cmp().unwrap(): a NaN threshold (possible
+        // with degenerate discovered RFDs) must not panic the engine.
+        clusters.sort_by(|a, b| a.0.total_cmp(&b.0));
         if self.config.cluster_order == ClusterOrder::Descending {
             clusters.reverse();
         }
@@ -384,6 +405,11 @@ mod tests {
         assert_eq!(imputed.value, Value::Text("310-392-9025".into()));
         assert_eq!(imputed.donor_row, 1);
         assert_eq!(imputed.distance, 7.5);
+        // The justifying RFD recorded via `Candidate::via` must be one of
+        // the cluster's Phone-RHS dependencies, resolved through the
+        // cluster-slice index (not a candidate-list position).
+        assert_eq!(imputed.via.rhs_attr(), 2);
+        assert!(figure_1_sigma().iter().any(|r| *r == imputed.via));
         // At least one verification failed along the way (t3 rejected).
         assert!(result.stats.verification_failures >= 1);
     }

@@ -45,14 +45,13 @@ pub fn find_candidate_tuples(
         }
     }
 
-    let mut out = Vec::new();
-    let mut dist_buf: Vec<Option<f64>> = vec![None; m];
-    for j in 0..rel.len() {
+    // Scores donor row `j`, filling `dist_buf` with the partial distance
+    // pattern over the attributes this cluster uses (`None` = missing value
+    // on either side, or beyond every threshold).
+    let score = |j: usize, dist_buf: &mut Vec<Option<f64>>| -> Option<Candidate> {
         if j == row || rel.is_missing(j, attr) {
-            continue;
+            return None;
         }
-        // Partial distance pattern over the attributes this cluster uses.
-        // `None` = missing value on either side, or beyond every threshold.
         for (a, slot) in dist_buf.iter_mut().enumerate() {
             *slot = max_thr[a].and_then(|thr| oracle.distance_bounded(rel, a, row, j, thr));
         }
@@ -72,23 +71,35 @@ pub fn find_candidate_tuples(
                 }
             }
         }
-        if dist_min.is_finite() {
-            out.push(Candidate { row: j, distance: dist_min, via });
-        }
+        dist_min
+            .is_finite()
+            .then_some(Candidate { row: j, distance: dist_min, via })
+    };
+
+    let n = rel.len();
+    if rayon::current_num_threads() <= 1 || n < rayon::MIN_PAR_LEN {
+        // Sequential path: one reusable distance buffer for the whole scan.
+        let mut dist_buf: Vec<Option<f64>> = vec![None; m];
+        (0..n).filter_map(|j| score(j, &mut dist_buf)).collect()
+    } else {
+        // Parallel path: rows are scored in fixed index chunks and merged
+        // back in order, so the output is identical to the sequential scan.
+        rayon::par_map_indexed(n, |j| score(j, &mut vec![None; m]))
+            .into_iter()
+            .flatten()
+            .collect()
     }
-    out
 }
 
 /// Sorts candidates by ascending distance value (Algorithm 2 line 3),
 /// breaking ties by row index so the order — and therefore the whole
 /// imputation — is deterministic.
+///
+/// Uses [`f64::total_cmp`], so NaN distances (possible when a discovered
+/// RFD carries a NaN threshold) sort after every finite value instead of
+/// panicking mid-imputation.
 pub fn sort_candidates(candidates: &mut [Candidate]) {
-    candidates.sort_by(|a, b| {
-        a.distance
-            .partial_cmp(&b.distance)
-            .unwrap()
-            .then(a.row.cmp(&b.row))
-    });
+    candidates.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.row.cmp(&b.row)));
 }
 
 #[cfg(test)]
@@ -187,6 +198,21 @@ mod tests {
         let t3 = cands.iter().find(|c| c.row == 2).unwrap();
         assert_eq!(t3.distance, 0.0);
         assert_eq!(t3.via, 1);
+        // `via` indexes the cluster slice, not the candidate list: after
+        // sorting it still names the RFD that achieved dist_min, so the
+        // engine attributes the imputation to the right dependency.
+        for c in &cands {
+            let lhs = [&by_class, &by_city][c.via].lhs();
+            let sum: f64 = lhs
+                .iter()
+                .map(|con| {
+                    DistanceOracle::direct(&rel)
+                        .distance_bounded(&rel, con.attr, 6, c.row, con.threshold)
+                        .unwrap()
+                })
+                .sum();
+            assert_eq!(c.distance, sum / lhs.len() as f64, "row {}", c.row);
+        }
     }
 
     #[test]
@@ -207,5 +233,23 @@ mod tests {
         sort_candidates(&mut cands);
         let rows: Vec<usize> = cands.iter().map(|c| c.row).collect();
         assert_eq!(rows, vec![9, 2, 5]);
+    }
+
+    #[test]
+    fn sort_survives_nan_distances() {
+        // Regression: this used to be `partial_cmp(..).unwrap()`, which
+        // panics as soon as a NaN distance shows up (e.g. via a discovered
+        // RFD with a NaN threshold). NaN now sorts after every finite
+        // value, deterministically.
+        let mut cands = vec![
+            Candidate { row: 1, distance: f64::NAN, via: 0 },
+            Candidate { row: 4, distance: 2.0, via: 0 },
+            Candidate { row: 3, distance: f64::NAN, via: 0 },
+            Candidate { row: 2, distance: 0.0, via: 0 },
+        ];
+        sort_candidates(&mut cands);
+        let rows: Vec<usize> = cands.iter().map(|c| c.row).collect();
+        assert_eq!(rows, vec![2, 4, 1, 3]);
+        assert!(cands[2].distance.is_nan() && cands[3].distance.is_nan());
     }
 }

@@ -80,6 +80,18 @@ pub struct RenuverConfig {
     /// (clusters visited, candidates rejected). Off by default — the log
     /// grows with the candidate count.
     pub trace: bool,
+    /// Worker threads for the imputation hot paths (distance-matrix
+    /// construction, donor-row scans, verification scans). `0` (default)
+    /// uses all available cores; `1` runs the exact sequential code path;
+    /// any other value caps the pool at that many threads.
+    ///
+    /// Results are bit-for-bit identical for every setting: the parallel
+    /// scans partition rows into fixed chunks and merge them back in index
+    /// order, so candidate ranking, tie-breaking, and the final
+    /// [`crate::result::ImputationResult`] never depend on the thread
+    /// count. `tests/parallel_determinism.rs` asserts this equivalence on
+    /// the restaurant sample and a 5k-row synthetic relation.
+    pub parallelism: usize,
 }
 
 impl RenuverConfig {
@@ -101,5 +113,6 @@ mod tests {
         assert!(!cfg.skip_key_reevaluation);
         assert!(cfg.max_candidates_per_cluster.is_none());
         assert_eq!(cfg.imputation_order, ImputationOrder::RowMajor);
+        assert_eq!(cfg.parallelism, 0, "default uses all available cores");
     }
 }

@@ -88,7 +88,11 @@ pub struct ImputationStats {
 }
 
 /// Result of a RENUVER run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field — relation contents, per-cell
+/// provenance, counters, and trace — which is what the parallel-vs-
+/// sequential determinism tests rely on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImputationResult {
     /// The relation after imputation (`r'`). Cells that could not be
     /// consistently imputed are left missing, per Section 4.

@@ -82,6 +82,23 @@ pub struct VerifyPlan {
 
 use renuver_distance::DistanceOracle;
 
+/// Collects the rows `0..n` (minus nothing — callers exclude rows inside
+/// `pred`) satisfying `pred`, in ascending order. Falls back to a plain
+/// sequential filter on one thread or short relations; the parallel path
+/// evaluates `pred` per fixed index chunk and merges chunks in order, so
+/// the result is identical either way.
+fn scan_matching_rows(n: usize, pred: impl Fn(usize) -> bool + Sync) -> Vec<usize> {
+    if rayon::current_num_threads() <= 1 || n < rayon::MIN_PAR_LEN {
+        (0..n).filter(|&j| pred(j)).collect()
+    } else {
+        rayon::par_map_indexed(n, &pred)
+            .into_iter()
+            .enumerate()
+            .filter_map(|(j, keep)| keep.then_some(j))
+            .collect()
+    }
+}
+
 impl VerifyPlan {
     /// Builds the plan for imputing `(row, attr)`; `rel[row][attr]` must
     /// currently be missing.
@@ -111,54 +128,45 @@ impl VerifyPlan {
                     .find(|c| c.attr == attr)
                     .expect("lhs_contains checked")
                     .threshold;
-                let mut rows = Vec::new();
-                'rows: for j in 0..rel.len() {
+                let rows = scan_matching_rows(rel.len(), |j| {
                     if j == row {
-                        continue;
+                        return false;
                     }
                     let tj = rel.tuple(j);
                     if tj[attr].is_null() {
-                        continue; // pair can never satisfy the attr constraint
+                        return false; // pair can never satisfy the attr constraint
                     }
                     for c in rfd.lhs() {
                         if c.attr == attr {
                             continue;
                         }
                         if oracle.distance_bounded(rel, c.attr, row, j, c.threshold).is_none() {
-                            continue 'rows;
+                            return false;
                         }
                     }
                     // Violates iff RHS distance exceeds the threshold
                     // (missing j RHS → not evaluable → no violation).
-                    if !tj[rhs.attr].is_null()
+                    !tj[rhs.attr].is_null()
                         && oracle
                             .distance_bounded(rel, rhs.attr, row, j, rhs.threshold)
                             .is_none()
-                    {
-                        rows.push(j);
-                    }
-                }
+                });
                 if !rows.is_empty() {
                     reject_if_close.push((attr_thr, rows));
                 }
             } else if scope == VerifyScope::Full && rfd.rhs_attr() == attr {
                 // LHS is fully candidate-independent.
-                let mut rows = Vec::new();
-                'rows2: for j in 0..rel.len() {
+                let rows = scan_matching_rows(rel.len(), |j| {
                     if j == row {
-                        continue;
+                        return false;
                     }
-                    let tj = rel.tuple(j);
-                    if tj[attr].is_null() {
-                        continue; // RHS pair not evaluable
+                    if rel.tuple(j)[attr].is_null() {
+                        return false; // RHS pair not evaluable
                     }
-                    for c in rfd.lhs() {
-                        if oracle.distance_bounded(rel, c.attr, row, j, c.threshold).is_none() {
-                            continue 'rows2;
-                        }
-                    }
-                    rows.push(j);
-                }
+                    rfd.lhs().iter().all(|c| {
+                        oracle.distance_bounded(rel, c.attr, row, j, c.threshold).is_some()
+                    })
+                });
                 if !rows.is_empty() {
                     reject_if_far.push((rfd.rhs_threshold(), rows));
                 }

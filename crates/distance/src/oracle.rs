@@ -78,10 +78,20 @@ impl DistanceOracle {
             }
             let k = dict.len();
             let chars: Vec<Vec<char>> = dict.iter().map(|s| s.chars().collect()).collect();
+            // The O(k²) Levenshtein fill dominates build time. Each row of
+            // the upper triangle is independent, so distribute rows across
+            // the installed pool (the per-row results come back in index
+            // order, keeping the matrix bit-identical to a sequential
+            // fill) and mirror into the lower triangle afterwards.
+            let tails: Vec<Vec<f32>> = rayon::par_map_indexed(k, |a| {
+                ((a + 1)..k)
+                    .map(|b| lev_chars(&chars[a], &chars[b]) as f32)
+                    .collect()
+            });
             let mut data = vec![0.0f32; k * k];
-            for a in 0..k {
-                for b in (a + 1)..k {
-                    let d = lev_chars(&chars[a], &chars[b]) as f32;
+            for (a, tail) in tails.into_iter().enumerate() {
+                for (off, d) in tail.into_iter().enumerate() {
+                    let b = a + 1 + off;
                     data[a * k + b] = d;
                     data[b * k + a] = d;
                 }
@@ -264,6 +274,36 @@ mod tests {
         let rel = sample();
         let oracle = DistanceOracle::build(&rel, 1); // cap below dict size
         assert_eq!(oracle.distance(&rel, 0, 0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn over_cap_column_full_query_surface() {
+        // The over-cap fallback (ColumnTable::Direct) leaves the column's
+        // code vector empty — that must stay consistent: every query path
+        // computes directly and `update_cell` must be a no-op that doesn't
+        // index into the empty codes.
+        let mut rel = sample();
+        let mut oracle = DistanceOracle::build(&rel, 1);
+        let direct = DistanceOracle::direct(&rel);
+        for i in 0..rel.len() {
+            for j in 0..rel.len() {
+                assert_eq!(
+                    oracle.distance(&rel, 0, i, j),
+                    direct.distance(&rel, 0, i, j),
+                    "pair ({i},{j})"
+                );
+            }
+        }
+        // Bounded lookups go through the banded kernel, not a matrix.
+        assert_eq!(oracle.distance_bounded(&rel, 0, 0, 1, 1.0), Some(1.0));
+        assert_eq!(oracle.distance_bounded(&rel, 0, 0, 1, 0.5), None);
+        assert_eq!(oracle.distance_bounded(&rel, 0, 0, 2, 5.0), None); // null side
+        // An imputation on the Direct column must not panic and must be
+        // visible to subsequent queries (they read the relation directly).
+        rel.set_value(2, 0, "Granita".into());
+        oracle.update_cell(&rel, 2, 0);
+        assert_eq!(oracle.distance(&rel, 0, 0, 2), Some(0.0));
+        assert_eq!(oracle.distance_bounded(&rel, 0, 1, 2, 1.0), Some(1.0));
     }
 
     #[test]

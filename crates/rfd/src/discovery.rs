@@ -65,7 +65,9 @@ pub struct DiscoveryConfig {
     pub seed: u64,
     /// Remove implied RFDs before returning.
     pub prune_implied: bool,
-    /// Distribute the per-RHS-attribute searches across threads.
+    /// Distribute the per-`(RHS attribute, LHS set)` skyline searches
+    /// across the installed thread pool. Output is identical either way —
+    /// tasks are merged back in the sequential visiting order.
     pub parallel: bool,
 }
 
@@ -342,19 +344,20 @@ fn lhs_sets(attrs: &[AttrId], max_lhs: usize) -> Vec<Vec<AttrId>> {
     out
 }
 
-/// Discovers the RFDs for one RHS attribute. Returns raw (unpruned) RFDs.
-fn discover_for_rhs(
+/// The skyline search for one `(RHS attribute, LHS attribute set)` pair —
+/// the unit of work [`discover`] distributes across threads. Returns the
+/// strongest RFDs of that lattice cell, raw (unpruned).
+fn discover_for_rhs_set(
     patterns: &PatternTable,
     rhs: AttrId,
+    set: &[AttrId],
     cfg: &DiscoveryConfig,
 ) -> Vec<Rfd> {
     let m = patterns.arity;
     let limits = attr_limits(cfg, m);
     let rhs_limit = limits[rhs];
-    let lhs_attrs: Vec<AttrId> = (0..m).filter(|&a| a != rhs).collect();
     let mut out = Vec::new();
-
-    for set in lhs_sets(&lhs_attrs, cfg.max_lhs) {
+    {
         let k = set.len();
         let set_limits: Vec<u16> = set.iter().map(|&a| limits[a]).collect();
         // Project patterns onto the LHS set, keeping per projected point the
@@ -365,7 +368,7 @@ fn discover_for_rhs(
         let mut proj: HashMap<u64, u16> = HashMap::new();
         'pattern: for row in 0..patterns.len {
             let mut key = 0u64;
-            for &a in &set {
+            for &a in set {
                 let c = patterns.get(row, a);
                 if c > limits[a] {
                     continue 'pattern;
@@ -454,26 +457,31 @@ pub fn discover(rel: &Relation, cfg: &DiscoveryConfig) -> RfdSet {
     }
     let patterns = build_patterns(rel, cfg);
 
-    let mut rfds: Vec<Rfd> = Vec::new();
-    if cfg.parallel && m > 2 {
-        let results: Vec<Vec<Rfd>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..m)
-                .map(|rhs| {
-                    let patterns = &patterns;
-                    scope.spawn(move |_| discover_for_rhs(patterns, rhs, cfg))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+    // One task per (RHS attribute, LHS attribute set) lattice cell, in the
+    // same (rhs ascending, lhs_sets order) the sequential loop visits them.
+    // Tasks are heavy and few, so the parallel path lowers the minimum
+    // fan-out length to 2; the in-order merge keeps the emitted RFD order
+    // identical to the sequential path.
+    let tasks: Vec<(AttrId, Vec<AttrId>)> = (0..m)
+        .flat_map(|rhs| {
+            let lhs_attrs: Vec<AttrId> = (0..m).filter(|&a| a != rhs).collect();
+            lhs_sets(&lhs_attrs, cfg.max_lhs)
+                .into_iter()
+                .map(move |set| (rhs, set))
         })
-        .expect("discovery worker panicked");
-        for r in results {
-            rfds.extend(r);
-        }
+        .collect();
+    let results: Vec<Vec<Rfd>> = if cfg.parallel {
+        rayon::par_map_indexed_with_min(tasks.len(), 2, |i| {
+            let (rhs, set) = &tasks[i];
+            discover_for_rhs_set(&patterns, *rhs, set, cfg)
+        })
     } else {
-        for rhs in 0..m {
-            rfds.extend(discover_for_rhs(&patterns, rhs, cfg));
-        }
-    }
+        tasks
+            .iter()
+            .map(|(rhs, set)| discover_for_rhs_set(&patterns, *rhs, set, cfg))
+            .collect()
+    };
+    let rfds: Vec<Rfd> = results.into_iter().flatten().collect();
 
     let mut set = RfdSet::from_vec(rfds);
     if cfg.prune_implied {

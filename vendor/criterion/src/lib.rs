@@ -1,0 +1,341 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! The workspace builds without network access, so `criterion` is vendored
+//! as a small wall-clock harness exposing the API subset the benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`] / [`BenchmarkGroup::sample_size`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`BatchSize`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! No statistics engine: each benchmark is warmed up, auto-calibrated to a
+//! per-sample iteration count, sampled `sample_size` times, and reported
+//! as `min / median / max` per-iteration wall time on stdout. Substring
+//! filtering from the command line works like upstream
+//! (`cargo bench -- oracle` runs only ids containing "oracle").
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], like upstream.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How [`Bencher::iter_batched`] amortizes setup; the shim treats every
+/// variant as per-batch-of-one (setup excluded from timing either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: upstream batches many per allocation.
+    SmallInput,
+    /// Large inputs: upstream runs one per batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), param) }
+    }
+
+    /// Id carrying only a parameter.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    calibrated: bool,
+    target_sample_time: Duration,
+}
+
+impl Bencher {
+    fn new(target_sample_time: Duration) -> Self {
+        Bencher { iters_per_sample: 1, samples: Vec::new(), calibrated: false, target_sample_time }
+    }
+
+    /// Times `routine`, running it enough times per sample to make the
+    /// sample measurable.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if !self.calibrated {
+            self.calibrate(|| {
+                black_box(routine());
+            });
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / self.iters_per_sample.max(1) as u32);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        if !self.calibrated {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let once = start.elapsed().max(Duration::from_nanos(1));
+            self.iters_per_sample = (self.target_sample_time.as_nanos() / once.as_nanos())
+                .clamp(1, 1_000_000) as u64;
+            self.calibrated = true;
+        }
+        let inputs: Vec<I> = (0..self.iters_per_sample).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.samples.push(start.elapsed() / self.iters_per_sample.max(1) as u32);
+    }
+
+    fn calibrate(&mut self, mut once: impl FnMut()) {
+        // Warm up and estimate a single-iteration time.
+        let warmup_start = Instant::now();
+        let mut runs = 0u64;
+        while runs < 3 || (warmup_start.elapsed() < Duration::from_millis(20) && runs < 1_000_000)
+        {
+            once();
+            runs += 1;
+        }
+        let per_iter = warmup_start.elapsed().max(Duration::from_nanos(1)) / runs.max(1) as u32;
+        self.iters_per_sample = (self.target_sample_time.as_nanos()
+            / per_iter.as_nanos().max(1))
+        .clamp(1, 1_000_000) as u64;
+        self.calibrated = true;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { filter: None, sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments: flags are ignored, the first free
+    /// argument becomes a substring filter on benchmark ids.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg.starts_with("--") {
+                // Flags with a value we must consume to avoid treating the
+                // value as a filter.
+                if matches!(
+                    arg.as_str(),
+                    "--save-baseline" | "--baseline" | "--load-baseline" | "--measurement-time"
+                        | "--warm-up-time" | "--sample-size"
+                ) {
+                    let _ = args.next();
+                }
+                continue;
+            }
+            if self.filter.is_none() {
+                self.filter = Some(arg);
+            }
+        }
+        self
+    }
+
+    /// Default number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.sample_size;
+        run_benchmark(self, None, id.into(), sample_size, f);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Upstream knob; accepted and ignored (the shim auto-calibrates).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let name = self.name.clone();
+        run_benchmark(self.criterion, Some(&name), id.into(), samples, f);
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (a no-op in the shim; exists for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(
+    criterion: &Criterion,
+    group: Option<&str>,
+    id: BenchmarkId,
+    samples: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let full_id = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id,
+    };
+    if let Some(filter) = &criterion.filter {
+        if !full_id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher::new(Duration::from_millis(25));
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_unstable();
+    if sorted.is_empty() {
+        println!("{full_id:<48} (no samples — closure never called iter)");
+        return;
+    }
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let max = sorted[sorted.len() - 1];
+    println!(
+        "{full_id:<48} time: [{} {} {}]",
+        format_duration(min),
+        format_duration(median),
+        format_duration(max)
+    );
+}
+
+/// Declares a benchmark group function, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        // Smoke test: must not panic and must run the closure.
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("f", |b| {
+                b.iter(|| {
+                    runs += 1;
+                })
+            });
+            g.finish();
+        }
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("batched");
+        g.sample_size(2);
+        g.bench_function("routine", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

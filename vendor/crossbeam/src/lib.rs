@@ -1,0 +1,86 @@
+//! Offline vendored stand-in for the `crossbeam` crate.
+//!
+//! This workspace builds in environments without network access to a
+//! crates.io mirror, so external dependencies are vendored as minimal
+//! API-compatible shims. Only the surface the workspace actually uses is
+//! provided: [`thread::scope`] / [`thread::Scope::spawn`] /
+//! [`thread::ScopedJoinHandle::join`], implemented directly on top of
+//! `std::thread::scope` (stable since Rust 1.63).
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The result of joining a scoped thread (the payload is the panic
+    /// value when the thread panicked).
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handed to the [`scope`] closure; spawns threads that may
+    /// borrow from the enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again so
+        /// nested spawns are possible, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads. Returns `Err` with
+    /// the panic payload when a spawned thread panicked (matching
+    /// crossbeam's contract of not propagating child panics as-is).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1, 2, 3];
+        let sum = thread::scope(|scope| {
+            let handles: Vec<_> =
+                data.iter().map(|&x| scope.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(sum, 12);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let r = thread::scope(|scope| {
+            let h = scope.spawn(|_| -> () { panic!("boom") });
+            h.join().unwrap(); // re-panics on the parent
+        });
+        assert!(r.is_err());
+    }
+}

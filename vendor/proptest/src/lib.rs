@@ -1,0 +1,759 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! The workspace builds without network access, so `proptest` is vendored
+//! as a generator-only property testing engine covering the API subset the
+//! repo's tests use:
+//!
+//! - [`Strategy`] with `prop_map` / `prop_flat_map` / `prop_filter` /
+//!   `prop_filter_map`, plus strategies for string regex patterns
+//!   (`".{0,12}"`), numeric ranges, tuples, [`Just`],
+//!   [`collection::vec`], [`prop::char::range`], and [`any`]
+//! - the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros and [`ProptestConfig::with_cases`]
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! case number and seed, but is not minimized), and case generation is
+//! deterministic per test name rather than seeded from OS entropy — the
+//! same cases run on every invocation, which makes failures reproducible
+//! without a regression file (`.proptest-regressions` files are ignored).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+// ------------------------------------------------------------------ rng
+
+/// Deterministic 64-bit generator (SplitMix64) driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9E3779B97F4A7C15 }
+    }
+
+    /// Next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ------------------------------------------------------------- strategy
+
+/// A recipe producing random values of type [`Strategy::Value`].
+///
+/// Unlike upstream there is no value tree / shrinking: a strategy is just
+/// a deterministic function of an rng state.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases this strategy (the shim's `BoxedStrategy`).
+    fn into_arb(self) -> Arb<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        Arb::new(move |rng| self.generate(rng))
+    }
+
+    /// Same as [`Strategy::into_arb`]; upstream name.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        self.into_arb()
+    }
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Arb<O>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        O: 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        Arb::new(move |rng| f(self.generate(rng)))
+    }
+
+    /// Builds a second strategy from each produced value and draws from it.
+    fn prop_flat_map<S, F>(self, f: F) -> Arb<S::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy + 'static,
+        S::Value: 'static,
+        F: Fn(Self::Value) -> S + 'static,
+    {
+        Arb::new(move |rng| f(self.generate(rng)).generate(rng))
+    }
+
+    /// Keeps only values for which `pred` holds, retrying otherwise.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Arb<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        self.prop_filter_map(reason, move |v| if pred(&v) { Some(v) } else { None })
+    }
+
+    /// Maps values through `f`, retrying whenever `f` returns `None`.
+    fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> Arb<O>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        O: 'static,
+        F: Fn(Self::Value) -> Option<O> + 'static,
+    {
+        Arb::new(move |rng| {
+            for _ in 0..10_000 {
+                if let Some(out) = f(self.generate(rng)) {
+                    return out;
+                }
+            }
+            panic!("prop_filter_map rejected 10000 candidates in a row: {reason}");
+        })
+    }
+}
+
+/// A type-erased, cheaply clonable strategy (every combinator returns one).
+pub struct Arb<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+/// Upstream name for a type-erased strategy.
+pub type BoxedStrategy<T> = Arb<T>;
+
+impl<T> Arb<T> {
+    /// Wraps a generation function.
+    pub fn new(gen: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        Arb { gen: Rc::new(gen) }
+    }
+}
+
+impl<T> Clone for Arb<T> {
+    fn clone(&self) -> Self {
+        Arb { gen: Rc::clone(&self.gen) }
+    }
+}
+
+impl<T> Strategy for Arb<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (the [`any`] entry point).
+pub trait Arbitrary: Sized + 'static {
+    /// Draws one arbitrary value.
+    fn arbitrary_with(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_with(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary_with(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary_with(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary_with(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+/// Canonical strategy for `T` (`any::<bool>()`).
+pub fn any<T: Arbitrary>() -> Arb<T> {
+    Arb::new(|rng| T::arbitrary_with(rng))
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<char> {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng) -> char {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let lo = self.start as u32;
+        let hi = self.end as u32;
+        // Re-draw on surrogate hits; ranges used in practice are ASCII.
+        loop {
+            if let Some(c) = char::from_u32(lo + rng.below((hi - lo) as u64) as u32) {
+                return c;
+            }
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Weighted choice between type-erased arms — built by [`prop_oneof!`].
+pub fn union_of<T: 'static>(arms: Vec<(u32, Arb<T>)>) -> Arb<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+    assert!(total > 0, "prop_oneof! weights sum to zero");
+    Arb::new(move |rng| {
+        let mut pick = rng.below(total);
+        for (weight, arm) in &arms {
+            if pick < *weight as u64 {
+                return arm.generate(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick out of range");
+    })
+}
+
+pub mod collection {
+    use super::{Arb, Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for vectors whose length is drawn from `size`.
+    pub fn vec<S>(element: S, size: Range<usize>) -> Arb<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        assert!(size.start < size.end, "cannot sample empty size range");
+        Arb::new(move |rng: &mut TestRng| {
+            let span = (size.end - size.start) as u64;
+            let len = size.start + rng.below(span) as usize;
+            (0..len).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+pub mod prop {
+    pub use crate::collection;
+
+    pub mod char {
+        use crate::Arb;
+
+        /// Strategy for chars in `lo..=hi` (inclusive, like upstream).
+        pub fn range(lo: char, hi: char) -> Arb<char> {
+            assert!(lo <= hi, "cannot sample empty char range");
+            let (lo, hi) = (lo as u32, hi as u32);
+            Arb::new(move |rng| loop {
+                if let Some(c) = char::from_u32(lo + rng.below((hi - lo + 1) as u64) as u32) {
+                    return c;
+                }
+            })
+        }
+    }
+}
+
+// ------------------------------------------- regex pattern strategies
+
+/// Cap for unbounded quantifiers (`*`, `+`, `{m,}`) during generation.
+const MAX_UNBOUNDED_REP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    Any,
+    Class { neg: bool, ranges: Vec<(char, char)> },
+    /// Alternation of sequences (`(a|bc|d)` and the top level).
+    Alt(Vec<Vec<Node>>),
+    Repeat { node: Box<Node>, min: u32, max: u32 },
+}
+
+struct PatternParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl PatternParser {
+    fn parse(pattern: &str) -> Node {
+        let mut p = PatternParser { chars: pattern.chars().collect(), pos: 0 };
+        let node = p.alternation();
+        assert!(
+            p.pos == p.chars.len(),
+            "unsupported regex strategy pattern {pattern:?}: trailing {:?}",
+            &p.chars[p.pos..]
+        );
+        node
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.pos];
+        self.pos += 1;
+        c
+    }
+
+    fn alternation(&mut self) -> Node {
+        let mut branches = vec![self.sequence()];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.sequence());
+        }
+        Node::Alt(branches)
+    }
+
+    fn sequence(&mut self) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.atom();
+            nodes.push(self.quantified(atom));
+        }
+        nodes
+    }
+
+    fn atom(&mut self) -> Node {
+        match self.bump() {
+            '(' => {
+                let inner = self.alternation();
+                assert_eq!(self.bump(), ')', "unclosed group in regex strategy pattern");
+                inner
+            }
+            '[' => self.class(),
+            '.' => Node::Any,
+            '\\' => Node::Lit(match self.bump() {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            }),
+            lit => Node::Lit(lit),
+        }
+    }
+
+    fn class(&mut self) -> Node {
+        let neg = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges = Vec::new();
+        loop {
+            let c = self.bump();
+            if c == ']' {
+                break;
+            }
+            let lo = if c == '\\' { self.bump() } else { c };
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let hi = self.bump();
+                assert!(lo <= hi, "inverted class range in regex strategy pattern");
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        assert!(!ranges.is_empty(), "empty class in regex strategy pattern");
+        Node::Class { neg, ranges }
+    }
+
+    fn quantified(&mut self, atom: Node) -> Node {
+        let (min, max) = match self.peek() {
+            Some('*') => (0, MAX_UNBOUNDED_REP),
+            Some('+') => (1, 1 + MAX_UNBOUNDED_REP),
+            Some('?') => (0, 1),
+            Some('{') => {
+                self.bump();
+                let min = self.number();
+                let max = match self.bump() {
+                    '}' => return Node::Repeat { node: Box::new(atom), min, max: min },
+                    ',' => {
+                        if self.peek() == Some('}') {
+                            min + MAX_UNBOUNDED_REP
+                        } else {
+                            self.number()
+                        }
+                    }
+                    other => panic!("bad quantifier char {other:?} in regex strategy pattern"),
+                };
+                assert_eq!(self.bump(), '}', "unclosed quantifier in regex strategy pattern");
+                assert!(min <= max, "inverted quantifier in regex strategy pattern");
+                return Node::Repeat { node: Box::new(atom), min, max };
+            }
+            _ => return atom,
+        };
+        self.bump();
+        Node::Repeat { node: Box::new(atom), min, max }
+    }
+
+    fn number(&mut self) -> u32 {
+        let mut n = 0u32;
+        let mut any = false;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                n = n * 10 + d;
+                any = true;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        assert!(any, "expected number in regex strategy quantifier");
+        n
+    }
+}
+
+/// Char for `.`: mostly printable ASCII, some format-hostile specials
+/// (quotes, separators, whitespace), some non-ASCII — never a newline,
+/// matching the regex meaning of `.`.
+fn sample_any_char(rng: &mut TestRng) -> char {
+    match rng.below(10) {
+        0..=6 => char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap(),
+        7 => ['\t', '"', '\'', ',', ';', '\\'][rng.below(6) as usize],
+        _ => {
+            // BMP below the surrogate block: always a valid char.
+            char::from_u32(0x80 + rng.below(0xD800 - 0x80) as u32).unwrap()
+        }
+    }
+}
+
+fn generate_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Any => out.push(sample_any_char(rng)),
+        Node::Class { neg, ranges } => {
+            if *neg {
+                for _ in 0..10_000 {
+                    let c = char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap();
+                    if !ranges.iter().any(|(lo, hi)| (*lo..=*hi).contains(&c)) {
+                        out.push(c);
+                        return;
+                    }
+                }
+                panic!("negated class covers all sampled chars");
+            }
+            let total: u64 = ranges.iter().map(|(lo, hi)| *hi as u64 - *lo as u64 + 1).sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let size = *hi as u64 - *lo as u64 + 1;
+                if pick < size {
+                    // Ranges in practice are ASCII; skip surrogate gaps defensively.
+                    if let Some(c) = char::from_u32(*lo as u32 + pick as u32) {
+                        out.push(c);
+                    } else {
+                        out.push(*lo);
+                    }
+                    return;
+                }
+                pick -= size;
+            }
+            unreachable!("class pick out of range");
+        }
+        Node::Alt(branches) => {
+            let branch = &branches[rng.below(branches.len() as u64) as usize];
+            for n in branch {
+                generate_node(n, rng, out);
+            }
+        }
+        Node::Repeat { node, min, max } => {
+            let reps = min + rng.below((*max - *min + 1) as u64) as u32;
+            for _ in 0..reps {
+                generate_node(node, rng, out);
+            }
+        }
+    }
+}
+
+/// String patterns are strategies producing matching strings
+/// (`".{0,12}"`, `"[a-d]{1,4}"`, groups, alternation, quantifiers).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let node = PatternParser::parse(self);
+        let mut out = String::new();
+        generate_node(&node, rng, &mut out);
+        out
+    }
+}
+
+// --------------------------------------------------------------- runner
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test function.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test base seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Runs `case` for each configured case, reporting the failing case
+/// number and seed on panic. Called by the [`proptest!`] expansion.
+pub fn run_proptest(config: &ProptestConfig, name: &str, case: impl Fn(&mut TestRng)) {
+    let base = name_seed(name);
+    for i in 0..config.cases as u64 {
+        let seed = base.wrapping_add(i.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| case(&mut rng))) {
+            eprintln!(
+                "proptest {name}: failed at case {} of {} (seed {seed:#018x})",
+                i + 1,
+                config.cases
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+/// Defines property test functions whose arguments are drawn from
+/// strategies: `#[test] fn name(x in strat, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_proptest(&$cfg, stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                $body
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Weighted (`3 => strat`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::union_of(vec![
+            $(($weight as u32, $crate::Strategy::into_arb($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union_of(vec![
+            $((1u32, $crate::Strategy::into_arb($strat))),+
+        ])
+    };
+}
+
+/// In this shim, identical to [`assert!`] (no shrinking machinery).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// In this shim, identical to [`assert_eq!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// In this shim, identical to [`assert_ne!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn string_pattern_generates_matching_shapes() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-d]{1,4}", &mut rng);
+            assert!((1..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)), "{s:?}");
+
+            let t = Strategy::generate(&".{0,12}", &mut rng);
+            assert!(t.chars().count() <= 12, "{t:?}");
+            assert!(!t.contains('\n'), "{t:?}");
+
+            let alt = Strategy::generate(&"(set|regex|delta)", &mut rng);
+            assert!(["set", "regex", "delta"].contains(&alt.as_str()), "{alt:?}");
+        }
+    }
+
+    #[test]
+    fn nested_group_pattern_parses() {
+        let mut rng = TestRng::from_seed(2);
+        let pat = "(attr [A-C]\n(  (set|regex|delta) .{0,20}\n){0,3}){0,3}";
+        for _ in 0..100 {
+            let s = Strategy::generate(&pat, &mut rng);
+            for line in s.lines() {
+                assert!(
+                    line.is_empty() || line.starts_with("attr ") || line.starts_with("  "),
+                    "{s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let strat = prop_oneof![
+            3 => (0i64..8).prop_map(|v| v * 2),
+            1 => Just(-1i64),
+        ];
+        let pairs = prop::collection::vec((strat, any::<bool>()), 2..6);
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let vs = Strategy::generate(&pairs, &mut rng);
+            assert!((2..6).contains(&vs.len()));
+            for (v, _) in vs {
+                assert!(v == -1 || (v % 2 == 0 && (0..16).contains(&v)));
+            }
+        }
+    }
+
+    #[test]
+    fn filter_map_retries() {
+        let odd = (0u64..100).prop_filter_map("odd only", |v| (v % 2 == 1).then_some(v));
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..100 {
+            assert!(Strategy::generate(&odd, &mut rng) % 2 == 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(a in 0usize..10, b in "[a-e]{0,3}") {
+            prop_assert!(a < 10);
+            prop_assert!(b.len() <= 3);
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! Offline vendored stand-in for the `rayon` crate.
+//!
+//! This workspace builds without network access, so `rayon` is vendored as
+//! an API-compatible shim covering the subset the imputation engine uses:
+//!
+//! - `slice.par_iter()` / `(0..n).into_par_iter()` → `.map(f)` →
+//!   `.collect::<Vec<_>>()` or `.for_each(f)`
+//! - [`ThreadPoolBuilder`] / [`ThreadPool::install`] /
+//!   [`current_num_threads`]
+//!
+//! ## Execution model and determinism
+//!
+//! Unlike real rayon there is no persistent work-stealing pool: each
+//! parallel call forks scoped `std::thread` workers that pull fixed-size
+//! index chunks from an atomic cursor and produce `(chunk_start, results)`
+//! pairs, which are merged **in index order** after the join. Output is
+//! therefore bit-for-bit identical to the sequential loop regardless of
+//! thread count or scheduling — the property the RENUVER determinism tests
+//! assert. With an effective thread count of 1 (or a small input, see
+//! [`MIN_PAR_LEN`]) no threads are spawned at all and the exact sequential
+//! path runs.
+//!
+//! Worker threads run their chunk closures with an effective thread count
+//! of 1, so accidentally nested parallel calls degrade to sequential
+//! execution instead of oversubscribing the machine.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Inputs shorter than this run sequentially even when a pool is active:
+/// thread spawn/join overhead (tens of microseconds per call with scoped
+/// threads) dwarfs the work for small scans, and the tests' tiny relations
+/// should not pay it. Does not affect results, only scheduling.
+pub const MIN_PAR_LEN: usize = 128;
+
+thread_local! {
+    /// Effective thread count installed by [`ThreadPool::install`];
+    /// 0 = not inside a pool → use all available cores.
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The thread count parallel calls on this thread will use: the innermost
+/// [`ThreadPool::install`]'s count, or the number of available cores.
+pub fn current_num_threads() -> usize {
+    let cur = CURRENT_THREADS.with(|c| c.get());
+    if cur > 0 {
+        cur
+    } else {
+        available_cores()
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. The shim never fails to build;
+/// the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring rayon's.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (all cores) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the thread count; `0` (the default) means all available cores.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { available_cores() } else { self.num_threads };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool" in the shim is a scoped thread-count setting: parallel calls
+/// made while [`ThreadPool::install`] is on the stack use its count.
+/// Workers are forked per call, not kept alive.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `f` with this pool's thread count installed for every parallel
+    /// call `f` makes (directly or transitively) on the current thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        CURRENT_THREADS.with(|c| {
+            let prev = c.replace(self.num_threads);
+            // Restore on unwind too, so a panicking closure does not leak
+            // the override into unrelated later work on this thread.
+            struct Restore<'a>(&'a Cell<usize>, usize);
+            impl Drop for Restore<'_> {
+                fn drop(&mut self) {
+                    self.0.set(self.1);
+                }
+            }
+            let _restore = Restore(c, prev);
+            f()
+        })
+    }
+}
+
+/// Ordered parallel map over `0..len`: the workhorse behind every iterator
+/// in the shim. Returns exactly `(0..len).map(f).collect()` for any thread
+/// count; runs sequentially when `threads <= 1` or `len < MIN_PAR_LEN`.
+pub fn par_map_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_indexed_with_min(len, MIN_PAR_LEN, f)
+}
+
+/// [`par_map_indexed`] with an explicit sequential-fallback length instead
+/// of [`MIN_PAR_LEN`] — for coarse-grained work (e.g. discovery lattice
+/// tasks) where even a handful of items is worth distributing. The iterator
+/// equivalent is [`iter::ParallelIterator::with_min_len`].
+pub fn par_map_indexed_with_min<R, F>(len: usize, min_len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(len);
+    if threads <= 1 || len < min_len.max(2) {
+        return (0..len).map(f).collect();
+    }
+    // Dynamic chunking: small fixed chunks pulled from an atomic cursor
+    // balance skewed per-index costs (e.g. triangular matrix rows) without
+    // a work-stealing deque. 8 chunks per thread keeps the tail short.
+    let chunk = (len / (threads * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                // Nested parallel calls inside a worker run sequentially.
+                CURRENT_THREADS.with(|c| c.set(1));
+                let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + chunk).min(len);
+                    local.push((start, (start..end).map(&f).collect()));
+                }
+                parts.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut parts = parts.into_inner().unwrap();
+    parts.sort_unstable_by_key(|(start, _)| *start);
+    debug_assert_eq!(parts.iter().map(|(_, v)| v.len()).sum::<usize>(), len);
+    let mut out = Vec::with_capacity(len);
+    for (_, v) in parts {
+        out.extend(v);
+    }
+    out
+}
+
+pub mod iter {
+    use std::ops::Range;
+
+    /// An indexed parallel source: a known length plus random access to
+    /// each item. All shim iterators (ranges, slices, maps) are indexed,
+    /// which is what makes deterministic ordered collection possible.
+    pub trait ParallelIterator: Sized + Sync {
+        /// The element type.
+        type Item: Send;
+
+        /// Number of items.
+        fn par_len(&self) -> usize;
+
+        /// The `i`-th item. Must be pure: it may run on any worker thread
+        /// and in any order.
+        fn par_item(&self, i: usize) -> Self::Item;
+
+        /// Sequential-fallback length this iterator executes with (see
+        /// [`crate::MIN_PAR_LEN`]); adapters forward their base's value.
+        fn par_min_len(&self) -> usize {
+            crate::MIN_PAR_LEN
+        }
+
+        /// Lowers the sequential-fallback length, like rayon's
+        /// `IndexedParallelIterator::with_min_len`: items are worth
+        /// distributing even when there are fewer than [`crate::MIN_PAR_LEN`]
+        /// of them. Purely a scheduling knob — results are unchanged.
+        fn with_min_len(self, min: usize) -> MinLen<Self> {
+            MinLen { base: self, min }
+        }
+
+        /// Maps each element through `f` (lazily, like rayon).
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Runs `f` on every element. Effects must be independent; the
+        /// visit order across threads is unspecified.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            super::par_map_indexed_with_min(self.par_len(), self.par_min_len(), |i| {
+                f(self.par_item(i))
+            });
+        }
+
+        /// Collects into a `Vec` in index order, identically to the
+        /// sequential loop for every thread count.
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_par_iter(self)
+        }
+    }
+
+    /// Collection from a parallel iterator (only `Vec` in the shim).
+    pub trait FromParallelIterator<T: Send>: Sized {
+        /// Builds the collection, preserving index order.
+        fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+            super::par_map_indexed_with_min(iter.par_len(), iter.par_min_len(), |i| {
+                iter.par_item(i)
+            })
+        }
+    }
+
+    /// Lazy map adapter.
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    impl<I, R, F> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync,
+    {
+        type Item = R;
+
+        fn par_len(&self) -> usize {
+            self.base.par_len()
+        }
+
+        fn par_item(&self, i: usize) -> R {
+            (self.f)(self.base.par_item(i))
+        }
+
+        fn par_min_len(&self) -> usize {
+            self.base.par_min_len()
+        }
+    }
+
+    /// Adapter lowering the sequential-fallback length
+    /// ([`ParallelIterator::with_min_len`]).
+    pub struct MinLen<I> {
+        base: I,
+        min: usize,
+    }
+
+    impl<I: ParallelIterator> ParallelIterator for MinLen<I> {
+        type Item = I::Item;
+
+        fn par_len(&self) -> usize {
+            self.base.par_len()
+        }
+
+        fn par_item(&self, i: usize) -> Self::Item {
+            self.base.par_item(i)
+        }
+
+        fn par_min_len(&self) -> usize {
+            self.min
+        }
+    }
+
+    /// Parallel iterator over a `usize` range.
+    pub struct ParRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl ParallelIterator for ParRange {
+        type Item = usize;
+
+        fn par_len(&self) -> usize {
+            self.end - self.start
+        }
+
+        fn par_item(&self, i: usize) -> usize {
+            self.start + i
+        }
+    }
+
+    /// Parallel iterator over slice references.
+    pub struct ParSlice<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+        type Item = &'a T;
+
+        fn par_len(&self) -> usize {
+            self.slice.len()
+        }
+
+        fn par_item(&self, i: usize) -> &'a T {
+            &self.slice[i]
+        }
+    }
+
+    /// By-value conversion into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Concrete iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Item = usize;
+        type Iter = ParRange;
+
+        fn into_par_iter(self) -> ParRange {
+            ParRange { start: self.start.min(self.end), end: self.end }
+        }
+    }
+
+    /// By-reference conversion (`.par_iter()` on slices and `Vec`s).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type (a reference).
+        type Item: Send;
+        /// Concrete iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Borrows `self` as a parallel iterator.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = ParSlice<'a, T>;
+
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            ParSlice { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = ParSlice<'a, T>;
+
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            ParSlice { slice: self }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{current_num_threads, par_map_indexed, ThreadPoolBuilder, MIN_PAR_LEN};
+
+    #[test]
+    fn ordered_collect_matches_sequential_for_any_thread_count() {
+        let n = MIN_PAR_LEN * 7 + 13; // force the parallel path, ragged tail
+        let expect: Vec<usize> = (0..n).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let got: Vec<usize> =
+                pool.install(|| (0..n).into_par_iter().map(|i| i * i).collect());
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn slice_par_iter_preserves_order() {
+        let data: Vec<i64> = (0..(MIN_PAR_LEN as i64 * 4)).rev().collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let doubled: Vec<i64> = pool.install(|| data.par_iter().map(|x| x * 2).collect());
+        assert_eq!(doubled, data.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_scopes_thread_count_and_restores() {
+        let outside = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn install_restores_after_panic() {
+        let outside = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| -> () { panic!("boom") })
+        }));
+        assert!(r.is_err());
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn nested_parallel_calls_degrade_to_sequential() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let nested: Vec<usize> =
+            pool.install(|| par_map_indexed(MIN_PAR_LEN * 2, |_| current_num_threads()));
+        // Inside workers the effective count is 1.
+        assert!(nested.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn small_inputs_run_sequentially() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let got: Vec<usize> = pool.install(|| (0..10).into_par_iter().map(|i| i).collect());
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn builder_zero_means_all_cores() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}
