@@ -1,5 +1,6 @@
 //! The RENUVER main procedure (Algorithms 1 and 2).
 
+use renuver_budget::BudgetTrip;
 use renuver_data::{Cell, Relation};
 use renuver_distance::DistanceOracle;
 use renuver_rfd::check::stays_key_after_update_with;
@@ -7,7 +8,7 @@ use renuver_rfd::{Rfd, RfdSet};
 
 use crate::candidates::{find_candidate_tuples, sort_candidates};
 use crate::config::{ClusterOrder, ImputationOrder, RenuverConfig};
-use crate::result::{ImputationResult, ImputationStats, ImputedCell, TraceEvent};
+use crate::result::{CellOutcome, ImputationResult, ImputationStats, ImputedCell, TraceEvent};
 use crate::verify::VerifyPlan;
 
 /// The RENUVER imputation engine.
@@ -88,11 +89,16 @@ impl Renuver {
         sigma: &RfdSet,
         row_range: std::ops::Range<usize>,
     ) -> ImputationResult {
-        let pool = rayon::ThreadPoolBuilder::new()
+        match rayon::ThreadPoolBuilder::new()
             .num_threads(self.config.parallelism)
             .build()
-            .expect("thread pool construction cannot fail");
-        pool.install(|| self.impute_rows_inner(rel, sigma, row_range))
+        {
+            Ok(pool) => pool.install(|| self.impute_rows_inner(rel, sigma, row_range)),
+            // Pool construction can fail when the OS refuses new threads;
+            // the inner run needs none — the scans detect the missing pool
+            // and take their sequential paths.
+            Err(_) => self.impute_rows_inner(rel, sigma, row_range),
+        }
     }
 
     fn impute_rows_inner(
@@ -101,17 +107,21 @@ impl Renuver {
         sigma: &RfdSet,
         row_range: std::ops::Range<usize>,
     ) -> ImputationResult {
+        let budget = &self.config.budget;
         let mut rel = rel.clone();
         let mut stats = ImputationStats::default();
         // Dictionary-encode the text columns once; every distance query in
         // key detection, candidate generation, and verification becomes a
-        // matrix lookup. Kept current after every imputation.
-        let mut oracle = DistanceOracle::build(&rel, 3000);
+        // matrix lookup. Kept current after every imputation. Under a
+        // tripped budget the build degrades column-wise to direct
+        // computation (same answers, no cache).
+        let mut oracle = DistanceOracle::build_budgeted(&rel, 3000, budget);
 
         // Pre-processing (lines 1-6): Σ' = non-key RFDs; r̂ = incomplete
         // tuples. `active` tracks Σ' membership so key-RFDs can be
-        // re-admitted after imputations (line 14 / Example 5.1).
-        let (non_keys, keys) = sigma.partition_keys_with(&oracle, &rel);
+        // re-admitted after imputations (line 14 / Example 5.1). When the
+        // budget cuts the key scan short, unchecked RFDs stay active.
+        let (non_keys, keys, _keys_cut) = sigma.partition_keys_budgeted(&oracle, &rel, budget);
         stats.keys_filtered = keys.len();
         let mut active = vec![false; sigma.len()];
         for &i in &non_keys {
@@ -124,35 +134,75 @@ impl Renuver {
         let mut imputed = Vec::new();
         let mut unimputed = Vec::new();
         let mut trace: Vec<TraceEvent> = Vec::new();
+        // Rows imputed in this run — the witness neighborhood the degraded
+        // verification rung restricts itself to.
+        let mut touched: Vec<usize> = Vec::new();
 
         // Imputation (lines 11-14): visit missing cells in the configured
-        // order (paper default: tuple by tuple, attributes within).
+        // order (paper default: tuple by tuple, attributes within). The
+        // budget ladder per cell: full verify → (pressure ≥ degrade_at)
+        // changed-cell neighborhood verify → (tripped) skip the rest.
         let cells = self.ordered_cells(&rel, &incomplete);
+        let mut outcomes: Vec<(Cell, CellOutcome)> = Vec::with_capacity(cells.len());
         for Cell { row, col: attr } in cells {
             {
                 if !rel.is_missing(row, attr) {
                     continue;
                 }
+                let cell = Cell::new(row, attr);
                 stats.missing_total += 1;
+                if let Err(trip) = budget.check("core::cell") {
+                    let outcome = if trip == BudgetTrip::Cancelled {
+                        stats.cancelled += 1;
+                        CellOutcome::Cancelled
+                    } else {
+                        stats.skipped_budget += 1;
+                        CellOutcome::SkippedBudget
+                    };
+                    if self.config.trace {
+                        trace.push(TraceEvent::LeftMissing { cell });
+                    }
+                    unimputed.push(cell);
+                    stats.unimputed += 1;
+                    outcomes.push((cell, outcome));
+                    continue;
+                }
+                // The intermediate rung: close to the limit, verify only
+                // against rows changed this run and stop re-examining keys.
+                let degraded =
+                    budget.is_limited() && budget.pressure() >= self.config.degrade_at;
                 if self.config.trace {
-                    trace.push(TraceEvent::CellStarted { cell: Cell::new(row, attr) });
+                    trace.push(TraceEvent::CellStarted { cell });
                 }
                 match self.impute_missing_value(
-                    &mut rel, &oracle, row, attr, sigma, &active, &mut stats, &mut trace,
+                    &mut rel,
+                    &oracle,
+                    row,
+                    attr,
+                    sigma,
+                    &active,
+                    degraded.then_some(touched.as_slice()),
+                    &mut stats,
+                    &mut trace,
                 ) {
-                    Some(cell) => {
+                    Some(cell_rec) => {
                         oracle.update_cell(&rel, row, attr);
                         if self.config.trace {
                             trace.push(TraceEvent::Imputed {
-                                cell: cell.cell,
-                                donor_row: cell.donor_row,
+                                cell: cell_rec.cell,
+                                donor_row: cell_rec.donor_row,
                             });
                         }
-                        imputed.push(cell);
+                        imputed.push(cell_rec);
                         stats.imputed += 1;
+                        outcomes.push((cell, CellOutcome::Imputed));
+                        if !touched.contains(&row) {
+                            touched.push(row);
+                        }
                         // Line 14: an imputed value can turn a key-RFD into
                         // a usable one; only pairs involving `row` changed.
-                        if !self.config.skip_key_reevaluation {
+                        // The degraded rung skips this O(n·|keys|) scan.
+                        if !self.config.skip_key_reevaluation && !degraded {
                             dormant_keys.retain(|&k| {
                                 if stays_key_after_update_with(&oracle, &rel, sigma.get(k), row) {
                                     true
@@ -166,18 +216,25 @@ impl Renuver {
                     }
                     None => {
                         if self.config.trace {
-                            trace.push(TraceEvent::LeftMissing {
-                                cell: Cell::new(row, attr),
-                            });
+                            trace.push(TraceEvent::LeftMissing { cell });
                         }
-                        unimputed.push(Cell::new(row, attr));
+                        unimputed.push(cell);
                         stats.unimputed += 1;
+                        outcomes.push((cell, CellOutcome::NoCandidates));
                     }
                 }
             }
         }
 
-        ImputationResult { relation: rel, imputed, unimputed, stats, trace }
+        ImputationResult {
+            relation: rel,
+            imputed,
+            unimputed,
+            outcomes,
+            stats,
+            trace,
+            budget: budget.report(),
+        }
     }
 
     /// Produces the missing cells of the given rows in the configured
@@ -220,6 +277,7 @@ impl Renuver {
         attr: usize,
         sigma: &RfdSet,
         active: &[bool],
+        restrict: Option<&[usize]>,
         stats: &mut ImputationStats,
         trace: &mut Vec<TraceEvent>,
     ) -> Option<ImputedCell> {
@@ -253,9 +311,24 @@ impl Renuver {
         // handed Σ', but Definition 4.3 demands `r' ⊨ Σ`.) The plan hoists
         // the candidate-independent pair scans out of the candidate loop;
         // `VerifyPlan::admits` is equivalent to `is_faultless` on the
-        // mutated relation.
-        let plan =
-            VerifyPlan::build(oracle, rel, row, attr, sigma.iter(), self.config.verify_scope);
+        // mutated relation. The degraded budget rung restricts the witness
+        // scan to the rows this run already changed — a deliberate
+        // weakening (violations against untouched rows go unseen) traded
+        // for finishing more cells before the budget's hard stop.
+        let plan = match restrict {
+            Some(rows) => VerifyPlan::build_over(
+                oracle,
+                rel,
+                row,
+                attr,
+                sigma.iter(),
+                self.config.verify_scope,
+                rows,
+            ),
+            None => {
+                VerifyPlan::build(oracle, rel, row, attr, sigma.iter(), self.config.verify_scope)
+            }
+        };
 
         for (cluster_threshold, rfds) in &clusters {
             stats.clusters_visited += 1;
@@ -737,5 +810,125 @@ mod tests {
             r.relation.missing_count(),
             rel.missing_count() - r.stats.imputed
         );
+    }
+
+    #[test]
+    fn outcomes_cover_every_missing_cell() {
+        let rel = restaurant_sample();
+        let r = Renuver::new(RenuverConfig::default()).impute(&rel, &figure_1_sigma());
+        assert_eq!(r.outcomes.len(), r.stats.missing_total);
+        let imputed =
+            r.outcomes.iter().filter(|(_, o)| *o == CellOutcome::Imputed).count();
+        assert_eq!(imputed, r.stats.imputed);
+        let no_cand =
+            r.outcomes.iter().filter(|(_, o)| *o == CellOutcome::NoCandidates).count();
+        assert_eq!(no_cand, r.stats.unimputed);
+        // An unlimited run trips nothing.
+        assert_eq!(r.stats.skipped_budget, 0);
+        assert_eq!(r.stats.cancelled, 0);
+        assert!(r.budget.tripped.is_none());
+    }
+
+    #[test]
+    fn exhausted_budget_skips_cells_but_stays_consistent() {
+        // A zero-op budget trips before the first cell: everything is
+        // skipped, the stats invariant holds, and the report names the
+        // trip site.
+        let rel = restaurant_sample();
+        let cfg = RenuverConfig {
+            budget: renuver_budget::Budget::unlimited().with_ops_limit(0),
+            parallelism: 1,
+            ..RenuverConfig::default()
+        };
+        let r = Renuver::new(cfg).impute(&rel, &figure_1_sigma());
+        assert_eq!(r.stats.imputed, 0);
+        assert_eq!(r.stats.unimputed, rel.missing_count());
+        assert_eq!(r.stats.skipped_budget, rel.missing_count());
+        assert!(r
+            .outcomes
+            .iter()
+            .all(|(_, o)| *o == CellOutcome::SkippedBudget));
+        assert_eq!(r.stats.imputed + r.stats.unimputed, r.stats.missing_total);
+        assert_eq!(r.budget.tripped, Some(renuver_budget::BudgetTrip::Ops));
+        assert!(r.budget.tripped_at.is_some());
+        // The input is returned unchanged (minus nothing).
+        assert_eq!(r.relation.missing_count(), rel.missing_count());
+    }
+
+    #[test]
+    fn cancelled_run_reports_cancelled_cells() {
+        let rel = restaurant_sample();
+        let budget = renuver_budget::Budget::unlimited();
+        budget.cancel();
+        let cfg =
+            RenuverConfig { budget, parallelism: 1, ..RenuverConfig::default() };
+        let r = Renuver::new(cfg).impute(&rel, &figure_1_sigma());
+        assert_eq!(r.stats.imputed, 0);
+        assert_eq!(r.stats.cancelled, rel.missing_count());
+        assert!(r.outcomes.iter().all(|(_, o)| *o == CellOutcome::Cancelled));
+        assert_eq!(r.budget.tripped, Some(renuver_budget::BudgetTrip::Cancelled));
+    }
+
+    #[test]
+    fn budget_limited_runs_are_deterministic() {
+        // Two runs under the same finite ops budget at parallelism = 1 make
+        // bit-for-bit identical decisions. Ops limits are deterministic
+        // (unlike wall-clock deadlines), so the trip lands on the same cell.
+        let rel = restaurant_sample();
+        let sigma = figure_1_sigma();
+        // Calibrate the limit off an unlimited run's checkpoint count: half
+        // of it always trips mid-run (the per-cell checks come last), so the
+        // test keeps exercising the budget path even as check density
+        // evolves.
+        let full = {
+            let cfg = RenuverConfig { parallelism: 1, ..RenuverConfig::default() };
+            Renuver::new(cfg).impute(&rel, &sigma)
+        };
+        let limit = full.budget.ops / 2;
+        let run = || {
+            let cfg = RenuverConfig {
+                budget: renuver_budget::Budget::unlimited().with_ops_limit(limit),
+                parallelism: 1,
+                ..RenuverConfig::default()
+            };
+            Renuver::new(cfg).impute(&rel, &sigma)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        // The limit is tight enough that something was actually skipped —
+        // otherwise this test wouldn't exercise the budget path at all.
+        assert!(a.stats.skipped_budget > 0, "{:?}", a.stats);
+    }
+
+    #[test]
+    fn degraded_mode_still_imputes() {
+        // degrade_at = 0.0 forces the changed-cell-neighborhood rung for
+        // every cell of a limited (but never-tripping) run. The doc example
+        // still fills its cell: restricted verification only weakens
+        // rejection, never acceptance.
+        let schema =
+            Schema::new([("City", AttrType::Text), ("Zip", AttrType::Text)]).unwrap();
+        let rel = Relation::new(
+            schema,
+            vec![
+                vec!["Salerno".into(), "84084".into()],
+                vec!["Salerno".into(), Value::Null],
+            ],
+        )
+        .unwrap();
+        let rfds = RfdSet::from_vec(vec![Rfd::new(
+            vec![Constraint::new(0, 0.0)],
+            Constraint::new(1, 0.0),
+        )]);
+        let cfg = RenuverConfig {
+            budget: renuver_budget::Budget::unlimited().with_ops_limit(1_000_000),
+            degrade_at: 0.0,
+            parallelism: 1,
+            ..RenuverConfig::default()
+        };
+        let result = Renuver::new(cfg).impute(&rel, &rfds);
+        assert_eq!(result.relation.value(1, 1), &Value::Text("84084".into()));
+        assert_eq!(result.stats.imputed, 1);
     }
 }

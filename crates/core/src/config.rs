@@ -4,6 +4,8 @@
 //! alternatives cover the points where the paper is ambiguous (see
 //! DESIGN.md) and feed the ablation benchmarks.
 
+use renuver_budget::Budget;
+
 /// Order in which the RHS-threshold clusters `ρ_A^i` are visited.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ClusterOrder {
@@ -59,7 +61,7 @@ pub enum ImputationOrder {
 }
 
 /// RENUVER configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RenuverConfig {
     /// Cluster visiting order (default: ascending RHS threshold).
     pub cluster_order: ClusterOrder,
@@ -92,6 +94,36 @@ pub struct RenuverConfig {
     /// count. `tests/parallel_determinism.rs` asserts this equivalence on
     /// the restaurant sample and a 5k-row synthetic relation.
     pub parallelism: usize,
+    /// Execution budget for the run, polled before each missing cell and
+    /// inside the hot scans (oracle build, key partitioning). The default
+    /// budget is unlimited; with a limit set the run degrades instead of
+    /// overrunning — see [`crate::result::CellOutcome`] for the per-cell
+    /// taxonomy and [`RenuverConfig::degrade_at`] for the intermediate
+    /// rung.
+    pub budget: Budget,
+    /// Budget-pressure fraction (see [`Budget::pressure`]) at which the
+    /// engine drops from full verification to the changed-cell
+    /// neighborhood check ([`crate::verify::VerifyPlan::build_over`]).
+    /// `1.0` disables the intermediate rung (full verify until the budget
+    /// trips); the default `0.9` spends the last tenth of the budget in
+    /// the cheap mode to fill more cells before the hard stop.
+    pub degrade_at: f64,
+}
+
+impl Default for RenuverConfig {
+    fn default() -> Self {
+        RenuverConfig {
+            cluster_order: ClusterOrder::default(),
+            verify_scope: VerifyScope::default(),
+            skip_key_reevaluation: false,
+            max_candidates_per_cluster: None,
+            imputation_order: ImputationOrder::default(),
+            trace: false,
+            parallelism: 0,
+            budget: Budget::unlimited(),
+            degrade_at: 0.9,
+        }
+    }
 }
 
 impl RenuverConfig {
@@ -114,5 +146,7 @@ mod tests {
         assert!(cfg.max_candidates_per_cluster.is_none());
         assert_eq!(cfg.imputation_order, ImputationOrder::RowMajor);
         assert_eq!(cfg.parallelism, 0, "default uses all available cores");
+        assert!(!cfg.budget.is_limited(), "default budget is unlimited");
+        assert_eq!(cfg.degrade_at, 0.9);
     }
 }

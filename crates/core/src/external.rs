@@ -59,11 +59,11 @@ impl Renuver {
         }
         let n = rel.len();
         let mut combined = rel.clone();
-        for donor in donors {
+        for (i, donor) in donors.iter().enumerate() {
             for t in donor.tuples() {
-                combined
-                    .push(t.clone())
-                    .expect("schema equality checked above");
+                // Equality was checked above, but a push failure must not
+                // take the process down — report it as the mismatch it is.
+                combined.push(t.clone()).map_err(|_| SchemaMismatch { donor: i })?;
             }
         }
 

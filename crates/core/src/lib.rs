@@ -29,5 +29,5 @@ pub use audit::{audit, AuditConfig, AuditReport};
 pub use candidates::{find_candidate_tuples, Candidate};
 pub use config::{ClusterOrder, ImputationOrder, RenuverConfig, VerifyScope};
 pub use external::SchemaMismatch;
-pub use result::{ImputationResult, ImputationStats, ImputedCell, TraceEvent};
+pub use result::{CellOutcome, ImputationResult, ImputationStats, ImputedCell, TraceEvent};
 pub use verify::{is_faultless, VerifyPlan};

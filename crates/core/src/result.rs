@@ -1,7 +1,24 @@
 //! Imputation outputs: the repaired relation, per-cell outcomes, counters.
 
+use renuver_budget::BudgetReport;
 use renuver_data::{Cell, Relation, Value};
 use renuver_rfd::Rfd;
+
+/// What happened to one missing cell — the per-cell taxonomy of a
+/// (possibly budget-limited) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellOutcome {
+    /// A consistent candidate was found and written.
+    Imputed,
+    /// The cell was attempted but no candidate passed verification (or no
+    /// active RFD could generate one); left missing, per Section 4.
+    NoCandidates,
+    /// The budget tripped before this cell was attempted; left missing.
+    SkippedBudget,
+    /// Cancellation was requested before this cell was attempted; left
+    /// missing.
+    Cancelled,
+}
 
 /// One successfully imputed cell, with full provenance: where the value
 /// came from, how close the donor was, and which dependency justified it.
@@ -85,14 +102,21 @@ pub struct ImputationStats {
     pub keys_reactivated: usize,
     /// RFDs classified as keys during pre-processing.
     pub keys_filtered: usize,
+    /// Cells skipped because the budget tripped (a subset of `unimputed`).
+    pub skipped_budget: usize,
+    /// Cells skipped because the run was cancelled (a subset of
+    /// `unimputed`).
+    pub cancelled: usize,
 }
 
 /// Result of a RENUVER run.
 ///
-/// `PartialEq` compares every field — relation contents, per-cell
-/// provenance, counters, and trace — which is what the parallel-vs-
-/// sequential determinism tests rely on.
-#[derive(Debug, Clone, PartialEq)]
+/// `PartialEq` compares every decision the run made — relation contents,
+/// per-cell provenance, outcomes, counters, and trace — which is what the
+/// parallel-vs-sequential determinism tests rely on. The [`BudgetReport`]
+/// is deliberately *excluded*: it carries wall-clock and peak-memory
+/// readings that differ between otherwise identical runs.
+#[derive(Debug, Clone)]
 pub struct ImputationResult {
     /// The relation after imputation (`r'`). Cells that could not be
     /// consistently imputed are left missing, per Section 4.
@@ -101,11 +125,28 @@ pub struct ImputationResult {
     pub imputed: Vec<ImputedCell>,
     /// Cells left missing.
     pub unimputed: Vec<Cell>,
+    /// Per-cell outcome for every missing cell of the run, in visiting
+    /// order.
+    pub outcomes: Vec<(Cell, CellOutcome)>,
     /// Work counters.
     pub stats: ImputationStats,
     /// Event log, populated only when the engine's `trace` flag is set
     /// (empty otherwise).
     pub trace: Vec<TraceEvent>,
+    /// Budget snapshot at the end of the run: elapsed time, peak bytes,
+    /// and — when limited — which limit tripped and where.
+    pub budget: BudgetReport,
+}
+
+impl PartialEq for ImputationResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.relation == other.relation
+            && self.imputed == other.imputed
+            && self.unimputed == other.unimputed
+            && self.outcomes == other.outcomes
+            && self.stats == other.stats
+            && self.trace == other.trace
+    }
 }
 
 impl ImputationResult {
@@ -141,8 +182,10 @@ mod tests {
             relation: rel,
             imputed: vec![],
             unimputed: vec![],
+            outcomes: vec![],
             stats: ImputationStats::default(),
             trace: vec![],
+            budget: BudgetReport::default(),
         };
         assert_eq!(res.fill_rate(), 0.0);
         res.stats.missing_total = 4;
@@ -168,10 +211,40 @@ mod tests {
                 ),
             }],
             unimputed: vec![Cell::new(3, 0)],
+            outcomes: vec![
+                (Cell::new(2, 0), CellOutcome::Imputed),
+                (Cell::new(3, 0), CellOutcome::NoCandidates),
+            ],
             stats: ImputationStats::default(),
             trace: vec![],
+            budget: BudgetReport::default(),
         };
         assert_eq!(res.value_for(Cell::new(2, 0)), Some(&Value::Int(7)));
         assert_eq!(res.value_for(Cell::new(3, 0)), None);
+    }
+
+    #[test]
+    fn equality_ignores_budget_readings() {
+        // Two runs that made identical decisions compare equal even when
+        // their wall-clock/memory readings differ — what the determinism
+        // tests compare.
+        let schema = Schema::new([("A", AttrType::Int)]).unwrap();
+        let rel = Relation::empty(schema);
+        let a = ImputationResult {
+            relation: rel,
+            imputed: vec![],
+            unimputed: vec![],
+            outcomes: vec![],
+            stats: ImputationStats::default(),
+            trace: vec![],
+            budget: BudgetReport::default(),
+        };
+        let mut b = a.clone();
+        b.budget.elapsed = std::time::Duration::from_secs(5);
+        b.budget.peak_bytes = 1 << 30;
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.outcomes.push((Cell::new(0, 0), CellOutcome::SkippedBudget));
+        assert_ne!(a, c);
     }
 }

@@ -99,6 +99,19 @@ fn scan_matching_rows(n: usize, pred: impl Fn(usize) -> bool + Sync) -> Vec<usiz
     }
 }
 
+/// Row collection for plan building: the full `0..n` scan, or — in the
+/// degraded (budget-pressure) mode — only the explicitly listed rows.
+fn collect_rows(
+    n: usize,
+    restrict: Option<&[usize]>,
+    pred: impl Fn(usize) -> bool + Sync,
+) -> Vec<usize> {
+    match restrict {
+        Some(rows) => rows.iter().copied().filter(|&j| pred(j)).collect(),
+        None => scan_matching_rows(n, pred),
+    }
+}
+
 impl VerifyPlan {
     /// Builds the plan for imputing `(row, attr)`; `rel[row][attr]` must
     /// currently be missing.
@@ -109,6 +122,37 @@ impl VerifyPlan {
         attr: AttrId,
         sigma: impl Iterator<Item = &'a Rfd>,
         scope: VerifyScope,
+    ) -> VerifyPlan {
+        Self::build_inner(oracle, rel, row, attr, sigma, scope, None)
+    }
+
+    /// [`VerifyPlan::build`] restricted to `rows` as the only potential
+    /// violation witnesses — the degraded rung of the budget ladder. Under
+    /// budget pressure the engine verifies candidates only against the
+    /// tuples *changed this run* (the neighborhood where a fresh
+    /// inconsistency is most likely), trading the full `O(n)` pair scan
+    /// for an `O(|rows|)` one. Weaker than the full check, but still
+    /// rejects the violations imputation chains most commonly introduce.
+    pub fn build_over<'a>(
+        oracle: &DistanceOracle,
+        rel: &Relation,
+        row: usize,
+        attr: AttrId,
+        sigma: impl Iterator<Item = &'a Rfd>,
+        scope: VerifyScope,
+        rows: &[usize],
+    ) -> VerifyPlan {
+        Self::build_inner(oracle, rel, row, attr, sigma, scope, Some(rows))
+    }
+
+    fn build_inner<'a>(
+        oracle: &DistanceOracle,
+        rel: &Relation,
+        row: usize,
+        attr: AttrId,
+        sigma: impl Iterator<Item = &'a Rfd>,
+        scope: VerifyScope,
+        restrict: Option<&[usize]>,
     ) -> VerifyPlan {
         debug_assert!(rel.is_missing(row, attr));
         let mut reject_if_close = Vec::new();
@@ -122,13 +166,12 @@ impl VerifyPlan {
                 if t[rhs.attr].is_null() {
                     continue; // RHS not evaluable → cannot violate
                 }
-                let attr_thr = rfd
-                    .lhs()
-                    .iter()
-                    .find(|c| c.attr == attr)
-                    .expect("lhs_contains checked")
-                    .threshold;
-                let rows = scan_matching_rows(rel.len(), |j| {
+                let Some(attr_thr) =
+                    rfd.lhs().iter().find(|c| c.attr == attr).map(|c| c.threshold)
+                else {
+                    continue; // unreachable: lhs_contains checked above
+                };
+                let rows = collect_rows(rel.len(), restrict, |j| {
                     if j == row {
                         return false;
                     }
@@ -156,7 +199,7 @@ impl VerifyPlan {
                 }
             } else if scope == VerifyScope::Full && rfd.rhs_attr() == attr {
                 // LHS is fully candidate-independent.
-                let rows = scan_matching_rows(rel.len(), |j| {
+                let rows = collect_rows(rel.len(), restrict, |j| {
                     if j == row {
                         return false;
                     }
@@ -304,6 +347,29 @@ mod tests {
         // → violated in the data, but irrelevant to imputing Phone.
         let phi = Rfd::new(vec![Constraint::new(1, 0.0)], Constraint::new(4, 0.0));
         assert!(is_faultless(&rel, 6, 2, [&phi].into_iter(), VerifyScope::Full));
+    }
+
+    #[test]
+    fn build_over_restricts_witnesses() {
+        // Imputing t7[Phone] with t3's phone violates Phone(≤1) → Class(≤0)
+        // via witness row 2 (t3). The restricted plan only sees the rows it
+        // is given: with row 2 listed it rejects like the full plan; with a
+        // disjoint row list the violation is invisible — the documented
+        // weakening of the degraded mode.
+        let rel = restaurant_sample();
+        let oracle = DistanceOracle::direct(&rel);
+        let phi = Rfd::new(vec![Constraint::new(2, 1.0)], Constraint::new(4, 0.0));
+        let full =
+            VerifyPlan::build(&oracle, &rel, 6, 2, [&phi].into_iter(), VerifyScope::LhsOnly);
+        assert!(!full.admits(&oracle, &rel, 2, 2));
+        let seeing = VerifyPlan::build_over(
+            &oracle, &rel, 6, 2, [&phi].into_iter(), VerifyScope::LhsOnly, &[2],
+        );
+        assert!(!seeing.admits(&oracle, &rel, 2, 2));
+        let blind = VerifyPlan::build_over(
+            &oracle, &rel, 6, 2, [&phi].into_iter(), VerifyScope::LhsOnly, &[0, 4],
+        );
+        assert!(blind.admits(&oracle, &rel, 2, 2));
     }
 
     #[test]

@@ -22,7 +22,8 @@ use crate::value::Value;
 pub fn read_str(input: &str) -> Result<Relation, DataError> {
     let mut name = None;
     let mut attrs: Vec<(String, AttrType, Option<Vec<String>>)> = Vec::new();
-    let mut in_data = false;
+    // `Some` doubles as the "inside @data" marker — there is no boolean to
+    // fall out of sync with, so data rows always have a relation to land in.
     let mut rel: Option<Relation> = None;
 
     for (lineno, raw) in input.lines().enumerate() {
@@ -31,37 +32,10 @@ pub fn read_str(input: &str) -> Result<Relation, DataError> {
         if line.is_empty() {
             continue;
         }
-        if !in_data {
-            let lower = line.to_ascii_lowercase();
-            if lower.starts_with("@relation") {
-                name = Some(unquote(line[9..].trim()).to_owned());
-            } else if lower.starts_with("@attribute") {
-                let rest = line[10..].trim();
-                let (attr_name, ty_spec) = split_attr(rest, lineno)?;
-                let (ty, nominal) = parse_type(ty_spec, lineno)?;
-                attrs.push((attr_name, ty, nominal));
-            } else if lower.starts_with("@data") {
-                if attrs.is_empty() {
-                    return Err(DataError::Csv {
-                        line: lineno,
-                        message: "@data before any @attribute".into(),
-                    });
-                }
-                let schema =
-                    Schema::new(attrs.iter().map(|(n, t, _)| (n.clone(), *t)))?;
-                rel = Some(Relation::empty(schema));
-                in_data = true;
-            } else {
-                return Err(DataError::Csv {
-                    line: lineno,
-                    message: format!("unexpected ARFF header line {line:?}"),
-                });
-            }
-        } else {
-            let rel = rel.as_mut().expect("set when @data seen");
+        if let Some(rel) = rel.as_mut() {
             let fields = split_data_row(line, lineno)?;
             if fields.len() != attrs.len() {
-                return Err(DataError::Csv {
+                return Err(DataError::Arff {
                     line: lineno,
                     message: format!(
                         "expected {} fields, found {}",
@@ -78,7 +52,7 @@ pub fn read_str(input: &str) -> Result<Relation, DataError> {
                     let field = unquote(field);
                     if let Some(allowed) = nominal {
                         if !allowed.iter().any(|a| a == field) {
-                            return Err(DataError::Csv {
+                            return Err(DataError::Arff {
                                 line: lineno,
                                 message: format!(
                                     "value {field:?} not in the nominal domain of {attr_name:?}"
@@ -91,10 +65,35 @@ pub fn read_str(input: &str) -> Result<Relation, DataError> {
                 tuple.push(v);
             }
             rel.push(tuple)?;
+        } else {
+            let lower = line.to_ascii_lowercase();
+            if lower.starts_with("@relation") {
+                name = Some(unquote(line[9..].trim()).to_owned());
+            } else if lower.starts_with("@attribute") {
+                let rest = line[10..].trim();
+                let (attr_name, ty_spec) = split_attr(rest, lineno)?;
+                let (ty, nominal) = parse_type(ty_spec, lineno)?;
+                attrs.push((attr_name, ty, nominal));
+            } else if lower.starts_with("@data") {
+                if attrs.is_empty() {
+                    return Err(DataError::Arff {
+                        line: lineno,
+                        message: "@data before any @attribute".into(),
+                    });
+                }
+                let schema =
+                    Schema::new(attrs.iter().map(|(n, t, _)| (n.clone(), *t)))?;
+                rel = Some(Relation::empty(schema));
+            } else {
+                return Err(DataError::Arff {
+                    line: lineno,
+                    message: format!("unexpected ARFF header line {line:?}"),
+                });
+            }
         }
     }
     let _ = name; // the relation name is not represented in `Relation`
-    rel.ok_or(DataError::Csv { line: 0, message: "no @data section".into() })
+    rel.ok_or(DataError::Arff { line: 0, message: "no @data section".into() })
 }
 
 /// Reads an ARFF file.
@@ -166,11 +165,11 @@ fn split_attr(rest: &str, line: usize) -> Result<(String, &str), DataError> {
             let name = rest[1..=end].to_owned();
             return Ok((name, rest[end + 2..].trim()));
         }
-        return Err(DataError::Csv { line, message: "unterminated attribute name".into() });
+        return Err(DataError::Arff { line, message: "unterminated attribute name".into() });
     }
     match rest.split_once(char::is_whitespace) {
         Some((name, ty)) => Ok((name.to_owned(), ty.trim())),
-        None => Err(DataError::Csv { line, message: "attribute without a type".into() }),
+        None => Err(DataError::Arff { line, message: "attribute without a type".into() }),
     }
 }
 
@@ -195,7 +194,7 @@ fn parse_type(
             .map(|v| unquote(&v).to_owned())
             .collect();
         if values.is_empty() {
-            return Err(DataError::Csv { line, message: "empty nominal domain".into() });
+            return Err(DataError::Arff { line, message: "empty nominal domain".into() });
         }
         // Booleans encoded as {true, false} keep their natural type.
         let mut sorted: Vec<String> =
@@ -210,7 +209,7 @@ fn parse_type(
         // Dates are preserved as text; distance = edit distance.
         return Ok((AttrType::Text, None));
     }
-    Err(DataError::Csv { line, message: format!("unsupported ARFF type {spec:?}") })
+    Err(DataError::Arff { line, message: format!("unsupported ARFF type {spec:?}") })
 }
 
 /// Splits a data row on commas, honoring single/double quotes.
@@ -233,7 +232,7 @@ fn split_data_row(line: &str, lineno: usize) -> Result<Vec<String>, DataError> {
         }
     }
     if in_quote.is_some() {
-        return Err(DataError::Csv { line: lineno, message: "unterminated quote".into() });
+        return Err(DataError::Arff { line: lineno, message: "unterminated quote".into() });
     }
     out.push(field);
     Ok(out.into_iter().map(|f| f.trim().to_owned()).collect())

@@ -112,17 +112,19 @@ fn logical_records(
     for line in lines {
         let line = line?;
         lineno += 1;
-        match pending.take() {
-            None => pending = Some((lineno, line)),
+        let (start, acc) = match pending.take() {
+            None => (lineno, line),
             Some((start, mut acc)) => {
                 acc.push('\n');
                 acc.push_str(&line);
-                pending = Some((start, acc));
+                (start, acc)
             }
-        }
+        };
         // Quotes balanced: the record is complete.
-        if pending.as_ref().is_some_and(|(_, r)| r.matches('"').count() % 2 == 0) {
-            records.push(pending.take().unwrap());
+        if acc.matches('"').count() % 2 == 0 {
+            records.push((start, acc));
+        } else {
+            pending = Some((start, acc));
         }
     }
     if let Some(rec) = pending {

@@ -43,6 +43,13 @@ pub enum DataError {
         /// Description of the problem.
         message: String,
     },
+    /// Malformed ARFF input.
+    Arff {
+        /// 1-based line number (0 when the problem is the file as a whole).
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -63,6 +70,9 @@ impl fmt::Display for DataError {
                 write!(f, "{what} index {index} out of bounds (len {len})")
             }
             DataError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            DataError::Arff { line, message } => {
+                write!(f, "ARFF error at line {line}: {message}")
+            }
             DataError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
@@ -93,6 +103,8 @@ mod tests {
         assert_eq!(e.to_string(), "tuple arity 2 does not match schema arity 3");
         let e = DataError::Csv { line: 4, message: "unterminated quote".into() };
         assert!(e.to_string().contains("line 4"));
+        let e = DataError::Arff { line: 7, message: "empty nominal domain".into() };
+        assert_eq!(e.to_string(), "ARFF error at line 7: empty nominal domain");
     }
 
     #[test]

@@ -8,6 +8,11 @@ use renuver_data::Value;
 /// This is the `δ` used for text attributes (paper Section 5.3, ref. \[25\]):
 /// e.g. `levenshtein("Fenix", "Fenix Argyle") == 7` as in Example 5.5.
 pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a == b {
+        // Equality short-circuit: without it, two identical megabyte cells
+        // cost a full O(n²) dynamic program just to report zero.
+        return 0;
+    }
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     lev_core(&a, &b)
@@ -39,6 +44,9 @@ fn lev_core(a: &[char], b: &[char]) -> usize {
 /// Candidate filtering in RENUVER and RFD discovery only ever asks
 /// "is the distance ≤ t?", so the bounded kernel is the hot path.
 pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
+    if a == b {
+        return Some(0);
+    }
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     if a.len().abs_diff(b.len()) > max {
@@ -48,23 +56,40 @@ pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
     if short.is_empty() {
         return (long.len() <= max).then_some(long.len());
     }
-    let mut row: Vec<usize> = (0..=short.len()).collect();
-    for (i, &lc) in long.iter().enumerate() {
-        let mut prev_diag = row[0];
-        row[0] = i + 1;
-        let mut row_min = row[0];
-        for (j, &sc) in short.iter().enumerate() {
-            let cost = usize::from(lc != sc);
-            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
-            prev_diag = row[j + 1];
-            row[j + 1] = next;
-            row_min = row_min.min(next);
+    // Banded DP (Ukkonen): `d[i][j] >= |i - j|`, so any cell farther than
+    // `max` from the diagonal can never contribute to a within-bound
+    // answer. Restricting each row to the `2·max + 1` band makes the cost
+    // O(len · max) instead of O(len²) — the difference between microseconds
+    // and hours on two megabyte cells that differ by one character.
+    const INF: usize = usize::MAX / 2;
+    let n = short.len();
+    let mut prev: Vec<usize> = (0..=n).map(|j| if j <= max { j } else { INF }).collect();
+    let mut cur = vec![INF; n + 1];
+    for i in 1..=long.len() {
+        let lo = i.saturating_sub(max);
+        let hi = (i + max).min(n);
+        let start = lo.max(1);
+        // The cell left of the band re-reads as out-of-band (or as the
+        // real first-column boundary when the band touches it).
+        cur[start - 1] = if lo == 0 { i } else { INF };
+        let mut row_min = cur[start - 1];
+        let lc = long[i - 1];
+        for j in start..=hi {
+            let cost = usize::from(lc != short[j - 1]);
+            let val = (prev[j - 1] + cost).min(prev[j] + 1).min(cur[j - 1] + 1);
+            cur[j] = val;
+            row_min = row_min.min(val);
+        }
+        if hi < n {
+            // Guard the cell the next row will read just past this band.
+            cur[hi + 1] = INF;
         }
         if row_min > max {
             return None;
         }
+        std::mem::swap(&mut prev, &mut cur);
     }
-    (row[short.len()] <= max).then_some(row[short.len()])
+    (prev[n] <= max).then_some(prev[n])
 }
 
 /// Distance between two attribute values (the paper's `δ_A(t[A], t'[A])`).

@@ -13,9 +13,20 @@
 
 use std::collections::HashMap;
 
+use renuver_budget::Budget;
 use renuver_data::{AttrId, AttrType, Relation, Value};
 
 use crate::functions::{value_distance, value_distance_bounded};
+
+/// Dictionary values longer than this never enter a precomputed matrix:
+/// one megabyte-scale cell would turn the `O(k²)` fill into gigabytes of
+/// `O(len²)` Levenshtein work before the first query. Direct computation
+/// uses the banded early-exit kernel, which stays proportional to the
+/// query threshold instead.
+const MAX_MATRIX_VALUE_CHARS: usize = 1024;
+
+/// How many matrix entries to fill between budget checks.
+const FILL_CHECK_STRIDE: usize = 64;
 
 /// Code meaning "this cell is missing".
 const NULL_CODE: u32 = u32::MAX;
@@ -47,6 +58,15 @@ impl DistanceOracle {
     /// Builds the oracle for `rel`, precomputing distance matrices for
     /// every text column with at most `cap` distinct values.
     pub fn build(rel: &Relation, cap: usize) -> Self {
+        Self::build_budgeted(rel, cap, &Budget::unlimited())
+    }
+
+    /// [`DistanceOracle::build`] under a [`Budget`]: when the budget trips
+    /// during a column's matrix fill, that column (and every later text
+    /// column) degrades to direct computation — the oracle stays fully
+    /// functional, it just answers those columns without a cache. Queries
+    /// return the same distances either way.
+    pub fn build_budgeted(rel: &Relation, cap: usize, budget: &Budget) -> Self {
         let m = rel.arity();
         let n = rel.len();
         let mut codes = vec![Vec::new(); m];
@@ -54,6 +74,10 @@ impl DistanceOracle {
         for (attr, code_slot) in codes.iter_mut().enumerate() {
             if rel.schema().ty(attr) != AttrType::Text {
                 tables.push(ColumnTable::Numeric);
+                continue;
+            }
+            if budget.check("distance::oracle_build").is_err() {
+                tables.push(ColumnTable::Direct);
                 continue;
             }
             let mut index: HashMap<String, u32> = HashMap::new();
@@ -78,19 +102,40 @@ impl DistanceOracle {
             }
             let k = dict.len();
             let chars: Vec<Vec<char>> = dict.iter().map(|s| s.chars().collect()).collect();
+            if chars.iter().any(|c| c.len() > MAX_MATRIX_VALUE_CHARS) {
+                tables.push(ColumnTable::Direct);
+                continue;
+            }
             // The O(k²) Levenshtein fill dominates build time. Each row of
             // the upper triangle is independent, so distribute rows across
             // the installed pool (the per-row results come back in index
             // order, keeping the matrix bit-identical to a sequential
-            // fill) and mirror into the lower triangle afterwards.
-            let tails: Vec<Vec<f32>> = rayon::par_map_indexed(k, |a| {
-                ((a + 1)..k)
-                    .map(|b| lev_chars(&chars[a], &chars[b]) as f32)
-                    .collect()
+            // fill) and mirror into the lower triangle afterwards. A row
+            // that observes a budget trip yields `None`, which discards
+            // the whole matrix — a half-filled cache would answer queries
+            // with zeros.
+            let tails: Vec<Option<Vec<f32>>> = rayon::par_map_indexed(k, |a| {
+                if budget.check("distance::matrix_fill").is_err() {
+                    return None;
+                }
+                let mut tail = Vec::with_capacity(k - a - 1);
+                for (off, b) in ((a + 1)..k).enumerate() {
+                    if off % FILL_CHECK_STRIDE == FILL_CHECK_STRIDE - 1
+                        && budget.check("distance::matrix_fill").is_err()
+                    {
+                        return None;
+                    }
+                    tail.push(lev_chars(&chars[a], &chars[b]) as f32);
+                }
+                Some(tail)
             });
+            if tails.iter().any(Option::is_none) {
+                tables.push(ColumnTable::Direct);
+                continue;
+            }
             let mut data = vec![0.0f32; k * k];
             for (a, tail) in tails.into_iter().enumerate() {
-                for (off, d) in tail.into_iter().enumerate() {
+                for (off, d) in tail.into_iter().flatten().enumerate() {
                     let b = a + 1 + off;
                     data[a * k + b] = d;
                     data[b * k + a] = d;
@@ -332,6 +377,42 @@ mod tests {
         let rel = sample();
         let oracle = DistanceOracle::build(&rel, 1024);
         assert_eq!(oracle.distance_bounded(&rel, 0, 0, 1, 1.0), Some(1.0));
+        assert_eq!(oracle.distance_bounded(&rel, 0, 0, 1, 0.5), None);
+    }
+
+    #[test]
+    fn tripped_budget_degrades_to_direct_with_identical_answers() {
+        let rel = sample();
+        let budget = Budget::unlimited().with_ops_limit(0);
+        let degraded = DistanceOracle::build_budgeted(&rel, 1024, &budget);
+        let reference = DistanceOracle::build(&rel, 1024);
+        for attr in 0..rel.arity() {
+            for i in 0..rel.len() {
+                for j in 0..rel.len() {
+                    assert_eq!(
+                        degraded.distance(&rel, attr, i, j),
+                        reference.distance(&rel, attr, i, j),
+                        "attr {attr} pair ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn huge_values_never_enter_a_matrix() {
+        // A megabyte-scale cell must not trigger an O(len²) matrix fill;
+        // the column degrades to the banded direct kernel, which respects
+        // the query bound.
+        let schema = Schema::new([("Blob", AttrType::Text)]).unwrap();
+        let big = "x".repeat(1 << 20);
+        let rel = Relation::new(
+            schema,
+            vec![vec![big.clone().into()], vec![format!("{big}y").into()]],
+        )
+        .unwrap();
+        let oracle = DistanceOracle::build(&rel, 1024);
+        assert_eq!(oracle.distance_bounded(&rel, 0, 0, 1, 2.0), Some(1.0));
         assert_eq!(oracle.distance_bounded(&rel, 0, 0, 1, 0.5), None);
     }
 }

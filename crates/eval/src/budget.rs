@@ -1,154 +1,13 @@
-//! Wall-clock and peak-memory tracking for the stress experiments
-//! (paper Tables 4 and 5 report time and memory per run, with 48 h / 30 GB
-//! kill limits).
+//! Wall-clock and peak-memory tracking, re-exported from
+//! [`renuver_budget`].
+//!
+//! The tracking allocator and formatting helpers originated here; they now
+//! live in the `renuver-budget` crate (at the bottom of the dependency
+//! graph) so that `renuver-rfd`, `renuver-distance`, and `renuver-core`
+//! can enforce budgets against the same counters. This module stays as a
+//! re-export so existing `renuver_eval::budget::…` paths keep working.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
-
-/// Bytes currently allocated through [`TrackingAlloc`].
-static CURRENT: AtomicUsize = AtomicUsize::new(0);
-/// High-water mark since the last [`reset_peak`].
-static PEAK: AtomicUsize = AtomicUsize::new(0);
-
-/// A counting global allocator: wraps the system allocator and maintains
-/// the live-bytes counter and its high-water mark. Install it in a binary
-/// with:
-///
-/// ```ignore
-/// #[global_allocator]
-/// static ALLOC: renuver_eval::budget::TrackingAlloc = renuver_eval::budget::TrackingAlloc;
-/// ```
-///
-/// The paper reports OS-level memory; a counting allocator measures the
-/// same quantity (heap high-water mark) portably and deterministically.
-pub struct TrackingAlloc;
-
-// SAFETY: delegates allocation to `System`; the counters are simple
-// atomics with no safety impact.
-unsafe impl GlobalAlloc for TrackingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let ptr = unsafe { System.alloc(layout) };
-        if !ptr.is_null() {
-            let now = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
-            PEAK.fetch_max(now, Ordering::Relaxed);
-        }
-        ptr
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) };
-        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
-        if !new_ptr.is_null() {
-            let old = layout.size();
-            if new_size >= old {
-                let now = CURRENT.fetch_add(new_size - old, Ordering::Relaxed) + (new_size - old);
-                PEAK.fetch_max(now, Ordering::Relaxed);
-            } else {
-                CURRENT.fetch_sub(old - new_size, Ordering::Relaxed);
-            }
-        }
-        new_ptr
-    }
-}
-
-/// Resets the high-water mark to the current live size.
-pub fn reset_peak() {
-    PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
-}
-
-/// The high-water mark (bytes) since the last [`reset_peak`]. Zero when
-/// [`TrackingAlloc`] is not installed as the global allocator.
-pub fn peak_bytes() -> usize {
-    PEAK.load(Ordering::Relaxed)
-}
-
-/// Bytes currently live. Zero when the allocator is not installed.
-pub fn current_bytes() -> usize {
-    CURRENT.load(Ordering::Relaxed)
-}
-
-/// Runs `f`, returning its output, the elapsed wall time, and the heap
-/// high-water mark observed during the call (relative to the start).
-pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Duration, usize) {
-    reset_peak();
-    let before = current_bytes();
-    let start = Instant::now();
-    let out = f();
-    let elapsed = start.elapsed();
-    let peak = peak_bytes().saturating_sub(before);
-    (out, elapsed, peak)
-}
-
-/// Formats a byte count the way the paper's tables do (`1.38 GB`,
-/// `730 MB`).
-pub fn format_bytes(bytes: usize) -> String {
-    const GB: f64 = 1024.0 * 1024.0 * 1024.0;
-    const MB: f64 = 1024.0 * 1024.0;
-    const KB: f64 = 1024.0;
-    let b = bytes as f64;
-    if b >= GB {
-        format!("{:.2} GB", b / GB)
-    } else if b >= MB {
-        format!("{:.0} MB", b / MB)
-    } else if b >= KB {
-        format!("{:.0} KB", b / KB)
-    } else {
-        format!("{bytes} B")
-    }
-}
-
-/// Formats a duration the way the paper's tables do (`14m 29s`, `470ms`).
-pub fn format_duration(d: Duration) -> String {
-    let ms = d.as_millis();
-    if ms < 1_000 {
-        format!("{ms}ms")
-    } else if ms < 60_000 {
-        format!("{:.1}s", d.as_secs_f64())
-    } else if ms < 3_600_000 {
-        let m = d.as_secs() / 60;
-        let s = d.as_secs() % 60;
-        format!("{m}m {s}s")
-    } else {
-        let h = d.as_secs() / 3600;
-        let m = (d.as_secs() % 3600) / 60;
-        format!("{h}h {m}m")
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn measure_returns_output_and_nonzero_time() {
-        let (out, elapsed, _peak) = measure(|| {
-            let v: Vec<u64> = (0..100_000).collect();
-            v.len()
-        });
-        assert_eq!(out, 100_000);
-        assert!(elapsed.as_nanos() > 0);
-        // Peak is only nonzero when TrackingAlloc is the global allocator,
-        // which unit tests do not install.
-    }
-
-    #[test]
-    fn byte_formatting() {
-        assert_eq!(format_bytes(512), "512 B");
-        assert_eq!(format_bytes(10 * 1024), "10 KB");
-        assert_eq!(format_bytes(730 * 1024 * 1024), "730 MB");
-        assert_eq!(format_bytes(1_482_000_000), "1.38 GB");
-    }
-
-    #[test]
-    fn duration_formatting() {
-        assert_eq!(format_duration(Duration::from_millis(470)), "470ms");
-        assert_eq!(format_duration(Duration::from_millis(3_200)), "3.2s");
-        assert_eq!(format_duration(Duration::from_secs(869)), "14m 29s");
-        assert_eq!(format_duration(Duration::from_secs(48 * 3600 + 120)), "48h 2m");
-    }
-}
+pub use renuver_budget::{
+    current_bytes, format_bytes, format_duration, measure, peak_bytes, reset_peak, Budget,
+    BudgetReport, BudgetTrip, ManualClock, TrackingAlloc,
+};

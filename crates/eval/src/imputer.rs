@@ -1,6 +1,7 @@
 //! The common imputer interface and adapters for all four approaches.
 
 use renuver_baselines::{Derand, DerandConfig, GreyKnn, GreyKnnConfig, Holoclean, HolocleanConfig};
+use renuver_budget::Budget;
 use renuver_core::{Renuver, RenuverConfig};
 use renuver_data::Relation;
 use renuver_dc::DenialConstraint;
@@ -18,18 +19,29 @@ pub trait Imputer: Send + Sync {
 
     /// Imputes the relation. Cells an approach cannot fill stay missing.
     fn impute(&self, rel: &Relation) -> Relation;
+
+    /// Imputes under an execution [`Budget`]. Approaches that do not poll a
+    /// budget run to completion (the default); budget-aware approaches
+    /// return whatever partial repair they reached when a limit tripped.
+    /// The caller inspects `budget.trip()` afterwards to learn whether —
+    /// and which — limit was hit.
+    fn impute_budgeted(&self, rel: &Relation, budget: &Budget) -> Relation {
+        let _ = budget;
+        self.impute(rel)
+    }
 }
 
 /// RENUVER behind the [`Imputer`] interface.
 pub struct RenuverImputer {
     engine: Renuver,
+    config: RenuverConfig,
     rfds: RfdSet,
 }
 
 impl RenuverImputer {
     /// Binds a configured engine to a dependency set.
     pub fn new(config: RenuverConfig, rfds: RfdSet) -> Self {
-        RenuverImputer { engine: Renuver::new(config), rfds }
+        RenuverImputer { engine: Renuver::new(config.clone()), config, rfds }
     }
 }
 
@@ -40,6 +52,13 @@ impl Imputer for RenuverImputer {
 
     fn impute(&self, rel: &Relation) -> Relation {
         self.engine.impute(rel, &self.rfds).relation
+    }
+
+    fn impute_budgeted(&self, rel: &Relation, budget: &Budget) -> Relation {
+        // Fresh engine with the caller's budget installed; the bound
+        // configuration is otherwise unchanged.
+        let cfg = RenuverConfig { budget: budget.clone(), ..self.config.clone() };
+        Renuver::new(cfg).impute(rel, &self.rfds).relation
     }
 }
 

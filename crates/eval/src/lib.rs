@@ -26,4 +26,7 @@ pub use imputer::{
 };
 pub use inject::{inject, inject_count, inject_with, GroundTruth, InjectionPattern};
 pub use metrics::{evaluate, Scores};
-pub use runner::{average_scores, run_variants, run_variants_parallel, summarize, MeanStd, OutcomeSummary, RunOutcome};
+pub use runner::{
+    average_scores, run_variants, run_variants_budgeted, run_variants_parallel, summarize,
+    MeanStd, OutcomeSummary, RunOutcome,
+};

@@ -149,6 +149,7 @@ mod tests {
             scores,
             elapsed: Duration::from_millis(470),
             peak_bytes: 0,
+            tripped: None,
         };
         let line = outcome_line(&out);
         assert!(line.ends_with("in 470ms"), "{line}");

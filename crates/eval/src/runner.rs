@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use renuver_budget::{Budget, BudgetTrip};
 use renuver_data::Relation;
 use renuver_rulekit::RuleSet;
 
@@ -20,6 +21,10 @@ pub struct RunOutcome {
     /// Heap high-water mark during the call (0 unless the binary installs
     /// [`crate::budget::TrackingAlloc`]).
     pub peak_bytes: usize,
+    /// Which budget limit tripped during the run, if any (`None` for
+    /// unbudgeted runs and runs that finished inside their budget). A
+    /// tripped run's scores describe a *partial* repair.
+    pub tripped: Option<BudgetTrip>,
 }
 
 /// Runs `imputer` on `seeds.len()` injected variants of `rel` at the given
@@ -32,15 +37,33 @@ pub fn run_variants(
     rate: f64,
     seeds: &[u64],
 ) -> Vec<RunOutcome> {
+    run_variants_budgeted(rel, rules, imputer, rate, seeds, &Budget::unlimited)
+}
+
+/// [`run_variants`] under an execution budget. `make_budget` is invoked
+/// once per variant — each run gets a **fresh** budget, so a deadline or
+/// ceiling tripped by one variant does not poison the rest of the batch.
+/// Each outcome records which limit (if any) its run tripped.
+pub fn run_variants_budgeted(
+    rel: &Relation,
+    rules: &RuleSet,
+    imputer: &dyn Imputer,
+    rate: f64,
+    seeds: &[u64],
+    make_budget: &(dyn Fn() -> Budget + Sync),
+) -> Vec<RunOutcome> {
     seeds
         .iter()
         .map(|&seed| {
             let (incomplete, truth) = inject(rel, rate, seed);
-            let (repaired, elapsed, peak_bytes) = measure(|| imputer.impute(&incomplete));
+            let budget = make_budget();
+            let (repaired, elapsed, peak_bytes) =
+                measure(|| imputer.impute_budgeted(&incomplete, &budget));
             RunOutcome {
                 scores: evaluate(&repaired, &truth, rules),
                 elapsed,
                 peak_bytes,
+                tripped: budget.trip(),
             }
         })
         .collect()
@@ -70,13 +93,16 @@ pub fn run_variants_parallel(
                         scores: evaluate(&repaired, &truth, rules),
                         elapsed,
                         peak_bytes,
+                        tripped: None,
                     }
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        // A worker that panicked has no outcome to contribute; its variant
+        // is dropped rather than taking the whole batch down.
+        handles.into_iter().filter_map(|h| h.join().ok()).collect()
     })
-    .expect("variant worker panicked")
+    .unwrap_or_default()
 }
 
 /// Mean and sample standard deviation of a metric across outcomes —
@@ -163,6 +189,9 @@ pub fn average_scores(outcomes: &[RunOutcome]) -> RunOutcome {
         },
         elapsed: elapsed / outcomes.len() as u32,
         peak_bytes: peak,
+        // An average over any tripped run is itself partial; surface the
+        // first trip so callers cannot mistake it for a complete batch.
+        tripped: outcomes.iter().find_map(|o| o.tripped),
     }
 }
 
@@ -208,6 +237,32 @@ mod tests {
     }
 
     #[test]
+    fn budgeted_runner_records_trips() {
+        let rel = paired_rel();
+        let imputer = RenuverImputer::new(
+            RenuverConfig { parallelism: 1, ..RenuverConfig::default() },
+            rfds(),
+        );
+        let outcomes = run_variants_budgeted(
+            &rel,
+            &RuleSet::new(),
+            &imputer,
+            0.03,
+            &[1, 2],
+            &|| Budget::unlimited().with_ops_limit(0),
+        );
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            // Each variant got a FRESH zero-op budget and tripped it.
+            assert_eq!(o.tripped, Some(BudgetTrip::Ops));
+            assert_eq!(o.scores.imputed, 0, "zero-op budget imputes nothing");
+        }
+        // Unbudgeted runs never report a trip.
+        let free = run_variants(&rel, &RuleSet::new(), &imputer, 0.03, &[1]);
+        assert!(free[0].tripped.is_none());
+    }
+
+    #[test]
     fn parallel_matches_serial_scores() {
         let rel = paired_rel();
         let imputer = RenuverImputer::new(RenuverConfig::default(), rfds());
@@ -233,6 +288,7 @@ mod tests {
             },
             elapsed: Duration::from_secs(2),
             peak_bytes: 100,
+            tripped: None,
         };
         let avg = average_scores(&[mk(1.0, 0.5), mk(0.5, 1.0)]);
         assert_eq!(avg.scores.precision, 0.75);
@@ -260,6 +316,7 @@ mod tests {
             },
             elapsed: Duration::ZERO,
             peak_bytes: 0,
+            tripped: None,
         };
         let s = summarize(&[mk(0.8), mk(1.0)]);
         assert!((s.precision.mean - 0.9).abs() < 1e-12);

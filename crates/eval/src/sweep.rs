@@ -70,6 +70,7 @@ impl Sweep<'_> {
                                 scores: evaluate(&repaired, truth, self.rules),
                                 elapsed,
                                 peak_bytes,
+                                tripped: None,
                             }
                         })
                         .collect();

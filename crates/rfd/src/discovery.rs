@@ -32,6 +32,7 @@
 
 use std::collections::HashMap;
 
+use renuver_budget::{Budget, BudgetReport};
 use renuver_data::{AttrId, Relation};
 use renuver_distance::functions::value_distance;
 
@@ -40,6 +41,12 @@ use crate::set::RfdSet;
 
 /// Marker for "either value missing" in quantized patterns.
 const MISSING: u16 = u16::MAX;
+
+/// Tuple pairs examined between budget checks during pattern building.
+/// The first stride always completes, so even a zero budget leaves the
+/// search a (sampled) pattern table to work from rather than an empty one
+/// — an empty table would make every candidate RFD look feasible.
+const PATTERN_CHECK_STRIDE: usize = 1024;
 
 /// Configuration for [`discover`].
 #[derive(Debug, Clone)]
@@ -69,6 +76,11 @@ pub struct DiscoveryConfig {
     /// across the installed thread pool. Output is identical either way —
     /// tasks are merged back in the sequential visiting order.
     pub parallel: bool,
+    /// Execution budget, polled between pattern-building strides, lattice
+    /// cells, and RHS-threshold sweep steps. On a trip the search stops
+    /// expanding and [`discover_outcome`] returns the Pareto frontier
+    /// found so far, flagged `truncated`. The default budget is unlimited.
+    pub budget: Budget,
 }
 
 impl DiscoveryConfig {
@@ -82,6 +94,7 @@ impl DiscoveryConfig {
             seed: 0x5EED,
             prune_implied: true,
             parallel: true,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -193,7 +206,10 @@ impl PatternTable {
 }
 
 /// Builds the deduplicated pattern table over (a sample of) tuple pairs.
-fn build_patterns(rel: &Relation, cfg: &DiscoveryConfig) -> PatternTable {
+/// The second component is `false` when the budget cut the pair scan
+/// short — the table is then a deterministic prefix sample, which makes
+/// discovery approximate in the same way `max_pairs` sampling does.
+fn build_patterns(rel: &Relation, cfg: &DiscoveryConfig) -> (PatternTable, bool) {
     let n = rel.len();
     let m = rel.arity();
     let limits = attr_limits(cfg, m);
@@ -213,10 +229,19 @@ fn build_patterns(rel: &Relation, cfg: &DiscoveryConfig) -> PatternTable {
         }
     };
 
+    let mut complete = true;
+    let mut processed = 0usize;
     let mut buf = Vec::with_capacity(m);
     if total_pairs <= cfg.max_pairs {
-        for i in 0..n {
+        'scan: for i in 0..n {
             for j in (i + 1)..n {
+                processed += 1;
+                if processed.is_multiple_of(PATTERN_CHECK_STRIDE)
+                    && cfg.budget.check("rfd::patterns").is_err()
+                {
+                    complete = false;
+                    break 'scan;
+                }
                 pattern_of(i, j, &mut buf);
                 *seen.entry(buf.clone()).or_insert(0) += 1;
             }
@@ -224,6 +249,13 @@ fn build_patterns(rel: &Relation, cfg: &DiscoveryConfig) -> PatternTable {
     } else {
         let mut rng = SplitMix64(cfg.seed);
         for _ in 0..cfg.max_pairs {
+            processed += 1;
+            if processed.is_multiple_of(PATTERN_CHECK_STRIDE)
+                && cfg.budget.check("rfd::patterns").is_err()
+            {
+                complete = false;
+                break;
+            }
             let i = rng.below(n as u64) as usize;
             let mut j = rng.below((n - 1) as u64) as usize;
             if j >= i {
@@ -239,7 +271,7 @@ fn build_patterns(rel: &Relation, cfg: &DiscoveryConfig) -> PatternTable {
     for (pat, _count) in seen {
         rows.extend_from_slice(&pat);
     }
-    PatternTable { rows, arity: m, len }
+    (PatternTable { rows, arity: m, len }, complete)
 }
 
 /// Pareto-minimal point set under componentwise `≤`, maintained
@@ -346,17 +378,21 @@ fn lhs_sets(attrs: &[AttrId], max_lhs: usize) -> Vec<Vec<AttrId>> {
 
 /// The skyline search for one `(RHS attribute, LHS attribute set)` pair —
 /// the unit of work [`discover`] distributes across threads. Returns the
-/// strongest RFDs of that lattice cell, raw (unpruned).
+/// strongest RFDs of that lattice cell, raw (unpruned), plus whether the
+/// budget cut the RHS-threshold sweep short (the emitted RFDs still hold;
+/// they just may be weaker than a full sweep would have tightened them
+/// to).
 fn discover_for_rhs_set(
     patterns: &PatternTable,
     rhs: AttrId,
     set: &[AttrId],
     cfg: &DiscoveryConfig,
-) -> Vec<Rfd> {
+) -> (Vec<Rfd>, bool) {
     let m = patterns.arity;
     let limits = attr_limits(cfg, m);
     let rhs_limit = limits[rhs];
     let mut out = Vec::new();
+    let mut truncated = false;
     {
         let k = set.len();
         let set_limits: Vec<u16> = set.iter().map(|&a| limits[a]).collect();
@@ -406,6 +442,13 @@ fn discover_for_rhs_set(
         // still feasible (a smaller β strictly strengthens the RFD).
         let mut strongest: Vec<(Vec<u16>, u16)> = Vec::new();
         while beta >= 0 {
+            // The first sweep step (β = limit) always runs, so every
+            // visited lattice cell emits at least its weakest skyline even
+            // under an exhausted budget.
+            if beta < rhs_limit as i32 && cfg.budget.check("rfd::beta_sweep").is_err() {
+                truncated = true;
+                break;
+            }
             while next < points.len() && points[next].0 as i32 > beta {
                 // rhs_q never exceeds the quantization clamp rhs_limit + 1.
                 debug_assert!(points[next].0 <= rhs_limit + 1);
@@ -430,7 +473,7 @@ fn discover_for_rhs_set(
             out.push(Rfd::new(lhs, Constraint::new(rhs, beta as f64)));
         }
     }
-    out
+    (out, truncated)
 }
 
 /// Discovers the RFD_c's holding on `rel` under `cfg` (see module docs).
@@ -451,11 +494,39 @@ fn discover_for_rhs_set(
 /// assert!(rfds.iter().all(|rfd| holds(&rel, rfd)));
 /// ```
 pub fn discover(rel: &Relation, cfg: &DiscoveryConfig) -> RfdSet {
+    discover_outcome(rel, cfg).rfds
+}
+
+/// What a (possibly budget-limited) discovery run produced.
+#[derive(Debug)]
+pub struct DiscoveryOutcome {
+    /// The discovered Pareto frontier — everything found before the budget
+    /// tripped.
+    pub rfds: RfdSet,
+    /// `true` when the budget cut actual search work (pattern pairs,
+    /// lattice cells, or sweep steps) — the frontier is then a valid but
+    /// partial answer.
+    pub truncated: bool,
+    /// Snapshot of the budget at the end of the run.
+    pub budget: BudgetReport,
+}
+
+/// [`discover`] with budget-outcome reporting: on budget exhaustion the
+/// search stops expanding and returns what it found so far (flagged
+/// [`DiscoveryOutcome::truncated`]) instead of running unbounded. The
+/// first lattice cell always runs, so even a zero budget yields the
+/// relation's weakest frontier rather than nothing.
+pub fn discover_outcome(rel: &Relation, cfg: &DiscoveryConfig) -> DiscoveryOutcome {
     let m = rel.arity();
     if m < 2 || rel.len() < 2 {
-        return RfdSet::new();
+        return DiscoveryOutcome {
+            rfds: RfdSet::new(),
+            truncated: false,
+            budget: cfg.budget.report(),
+        };
     }
-    let patterns = build_patterns(rel, cfg);
+    let (patterns, patterns_complete) = build_patterns(rel, cfg);
+    let mut truncated = !patterns_complete;
 
     // One task per (RHS attribute, LHS attribute set) lattice cell, in the
     // same (rhs ascending, lhs_sets order) the sequential loop visits them.
@@ -470,24 +541,39 @@ pub fn discover(rel: &Relation, cfg: &DiscoveryConfig) -> RfdSet {
                 .map(move |set| (rhs, set))
         })
         .collect();
-    let results: Vec<Vec<Rfd>> = if cfg.parallel {
+    let results: Vec<(Vec<Rfd>, bool)> = if cfg.parallel {
         rayon::par_map_indexed_with_min(tasks.len(), 2, |i| {
+            // Cell 0 always runs; later cells are dropped wholesale once
+            // the budget has tripped.
+            if i > 0 && cfg.budget.check("rfd::lattice").is_err() {
+                return (Vec::new(), true);
+            }
             let (rhs, set) = &tasks[i];
             discover_for_rhs_set(&patterns, *rhs, set, cfg)
         })
     } else {
         tasks
             .iter()
-            .map(|(rhs, set)| discover_for_rhs_set(&patterns, *rhs, set, cfg))
+            .enumerate()
+            .map(|(i, (rhs, set))| {
+                if i > 0 && cfg.budget.check("rfd::lattice").is_err() {
+                    return (Vec::new(), true);
+                }
+                discover_for_rhs_set(&patterns, *rhs, set, cfg)
+            })
             .collect()
     };
-    let rfds: Vec<Rfd> = results.into_iter().flatten().collect();
+    let mut rfds: Vec<Rfd> = Vec::new();
+    for (cell, cut) in results {
+        truncated |= cut;
+        rfds.extend(cell);
+    }
 
     let mut set = RfdSet::from_vec(rfds);
     if cfg.prune_implied {
         set.prune_implied();
     }
-    set
+    DiscoveryOutcome { rfds: set, truncated, budget: cfg.budget.report() }
 }
 
 #[cfg(test)]
@@ -648,6 +734,86 @@ mod tests {
         let schema = Schema::new([("A", AttrType::Int)]).unwrap();
         let rel = Relation::new(schema, vec![vec![Value::Int(1)]]).unwrap();
         assert!(discover(&rel, &DiscoveryConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn one_row_relation_terminates_with_valid_frontier() {
+        // Regression: a single row yields zero tuple pairs — the lattice
+        // walk must terminate immediately with an empty frontier, not
+        // index into an empty pattern table or loop.
+        let schema = Schema::new([("A", AttrType::Int), ("B", AttrType::Text)]).unwrap();
+        let rel =
+            Relation::new(schema, vec![vec![Value::Int(1), "x".into()]]).unwrap();
+        let out = discover_outcome(&rel, &DiscoveryConfig::default());
+        assert!(out.rfds.is_empty());
+        assert!(!out.truncated);
+    }
+
+    #[test]
+    fn all_null_column_terminates_with_holding_frontier() {
+        // Regression: a column that is null on every row produces MISSING
+        // in every pattern coordinate. It can never witness a violation,
+        // so discovery must terminate and everything it emits must hold.
+        let schema = Schema::new([
+            ("A", AttrType::Int),
+            ("AllNull", AttrType::Text),
+            ("B", AttrType::Int),
+        ])
+        .unwrap();
+        let rows: Vec<_> = (0..6i64)
+            .map(|i| vec![Value::Int(i), Value::Null, Value::Int(2 * i)])
+            .collect();
+        let rel = Relation::new(schema, rows).unwrap();
+        let cfg = DiscoveryConfig { parallel: false, ..DiscoveryConfig::with_limit(3.0) };
+        let out = discover_outcome(&rel, &cfg);
+        assert!(!out.truncated);
+        for rfd in out.rfds.iter() {
+            assert!(holds(&rel, rfd), "{rfd:?}");
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_still_yields_partial_frontier() {
+        // A zero operation budget: the first pattern stride and the first
+        // lattice cell still run, so the outcome is a non-empty truncated
+        // frontier — never an unbounded run, never nothing.
+        let rows: Vec<(i64, i64)> = (0..30).map(|i| (i, 2 * i)).collect();
+        let rel = two_col(&rows);
+        let cfg = DiscoveryConfig {
+            parallel: false,
+            budget: Budget::unlimited().with_ops_limit(0),
+            ..DiscoveryConfig::with_limit(5.0)
+        };
+        let out = discover_outcome(&rel, &cfg);
+        assert!(out.truncated, "zero budget must report truncation");
+        assert!(!out.rfds.is_empty(), "first lattice cell must still emit");
+        assert_eq!(out.budget.tripped, Some(renuver_budget::BudgetTrip::Ops));
+    }
+
+    #[test]
+    fn budgeted_discovery_is_deterministic_when_sequential() {
+        let rows: Vec<(i64, i64)> = (0..40).map(|i| (i % 11, (i * 3) % 13)).collect();
+        let rel = two_col(&rows);
+        let run = || {
+            let cfg = DiscoveryConfig {
+                parallel: false,
+                budget: Budget::unlimited().with_ops_limit(10),
+                ..DiscoveryConfig::with_limit(5.0)
+            };
+            let out = discover_outcome(&rel, &cfg);
+            (out.rfds.to_text(rel.schema()), out.truncated)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn unlimited_budget_reports_untruncated() {
+        let rel = two_col(&[(1, 10), (2, 11), (3, 12)]);
+        let cfg = DiscoveryConfig { parallel: false, ..DiscoveryConfig::with_limit(3.0) };
+        let out = discover_outcome(&rel, &cfg);
+        assert!(!out.truncated);
+        assert_eq!(out.budget.tripped, None);
+        assert_eq!(out.rfds.to_text(rel.schema()), discover(&rel, &cfg).to_text(rel.schema()));
     }
 
     /// Brute force over the full grid: every feasible α, then filter to

@@ -94,7 +94,9 @@ impl RfdSet {
                 None => by_thr.push((thr, vec![idx])),
             }
         }
-        by_thr.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        // total_cmp: a NaN RHS threshold (possible on hand-written rule
+        // files) must sort deterministically, not panic mid-clustering.
+        by_thr.sort_by(|a, b| a.0.total_cmp(&b.0));
         by_thr
             .into_iter()
             .map(|(rhs_threshold, rfds)| Cluster { rhs_threshold, rfds })
@@ -115,16 +117,38 @@ impl RfdSet {
         oracle: &DistanceOracle,
         rel: &Relation,
     ) -> (Vec<usize>, Vec<usize>) {
+        let (non_keys, keys, _) =
+            self.partition_keys_budgeted(oracle, rel, &renuver_budget::Budget::unlimited());
+        (non_keys, keys)
+    }
+
+    /// [`RfdSet::partition_keys_with`] under a budget: each key test polls
+    /// the budget first; once it trips, the remaining RFDs are classified
+    /// as non-key (kept active). That is the graceful direction — an
+    /// unchecked RFD left active can still generate candidates (every
+    /// imputation is verified anyway), while one wrongly parked as a key
+    /// would silently drop imputations. The third component reports
+    /// whether the scan was cut short.
+    pub fn partition_keys_budgeted(
+        &self,
+        oracle: &DistanceOracle,
+        rel: &Relation,
+        budget: &renuver_budget::Budget,
+    ) -> (Vec<usize>, Vec<usize>, bool) {
         let mut non_keys = Vec::new();
         let mut keys = Vec::new();
+        let mut cut = false;
         for (i, rfd) in self.rfds.iter().enumerate() {
-            if is_key_with(oracle, rel, rfd) {
+            if !cut && budget.check("rfd::partition_keys").is_err() {
+                cut = true;
+            }
+            if !cut && is_key_with(oracle, rel, rfd) {
                 keys.push(i);
             } else {
                 non_keys.push(i);
             }
         }
-        (non_keys, keys)
+        (non_keys, keys, cut)
     }
 
     /// Removes RFDs implied by another RFD in the set (see
@@ -371,6 +395,51 @@ mod tests {
         let empty = RfdSet::new().summary(&s);
         assert_eq!(empty.total, 0);
         assert_eq!(empty.rhs_threshold_range, None);
+    }
+
+    #[test]
+    fn clusters_survive_nan_thresholds() {
+        // Regression: the threshold sort used `partial_cmp(..).unwrap()`,
+        // which panicked on a NaN RHS threshold (reachable via a
+        // hand-written rules file). NaN now sorts last, in its own
+        // cluster.
+        let set = RfdSet::from_vec(vec![
+            Rfd::new(vec![Constraint::new(0, 1.0)], Constraint::new(2, f64::NAN)),
+            Rfd::new(vec![Constraint::new(0, 2.0)], Constraint::new(2, 1.0)),
+        ]);
+        let clusters = set.clusters_for(2);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].rhs_threshold, 1.0);
+        assert!(clusters[1].rhs_threshold.is_nan());
+    }
+
+    #[test]
+    fn budgeted_partition_keeps_unchecked_rfds_active() {
+        use crate::check::tests::restaurant_sample;
+        use renuver_budget::{Budget, BudgetTrip};
+        let rel = restaurant_sample();
+        let set = RfdSet::from_vec(vec![
+            Rfd::new(
+                vec![Constraint::new(0, 0.0), Constraint::new(2, 0.0)],
+                Constraint::new(3, 0.0),
+            ),
+            Rfd::new(vec![Constraint::new(4, 0.0)], Constraint::new(3, 5.0)),
+        ]);
+        let oracle = DistanceOracle::direct(&rel);
+        // Tripped before any key test: everything stays active (non-key).
+        let budget = Budget::unlimited().with_ops_limit(0);
+        let (non_keys, keys, cut) = set.partition_keys_budgeted(&oracle, &rel, &budget);
+        assert!(cut);
+        assert_eq!(non_keys, vec![0, 1]);
+        assert!(keys.is_empty());
+        assert_eq!(budget.trip(), Some(BudgetTrip::Ops));
+        // One op of budget: the first RFD is tested (it is a key), the
+        // second is left active.
+        let (non_keys, keys, cut) =
+            set.partition_keys_budgeted(&oracle, &rel, &Budget::unlimited().with_ops_limit(1));
+        assert!(cut);
+        assert_eq!(keys, vec![0]);
+        assert_eq!(non_keys, vec![1]);
     }
 
     #[test]

@@ -129,8 +129,13 @@ fn parse_tokens(s: &str) -> Result<Vec<String>, String> {
             }
             Some(_) => {
                 let mut tok = String::new();
-                while chars.peek().is_some_and(|c| !c.is_whitespace()) {
-                    tok.push(chars.next().unwrap());
+                // peek + copy, then advance: no unwrap on the iterator.
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() {
+                        break;
+                    }
+                    tok.push(c);
+                    chars.next();
                 }
                 tokens.push(tok);
             }

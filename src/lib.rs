@@ -50,6 +50,7 @@
 pub mod guide;
 
 pub use renuver_baselines as baselines;
+pub use renuver_budget as budget;
 pub use renuver_core as core;
 pub use renuver_data as data;
 pub use renuver_dc as dc;

@@ -24,6 +24,12 @@ use renuver::rfd::discovery::{discover, DiscoveryConfig};
 use renuver::rfd::RfdSet;
 use renuver::rulekit::{parse_rules, RuleSet};
 
+/// Counting allocator: makes `--mem-limit-mb` (and the peak-memory figures
+/// the eval harness prints) measure real heap use. The counting cost is two
+/// relaxed atomics per allocation.
+#[global_allocator]
+static ALLOC: renuver::budget::TrackingAlloc = renuver::budget::TrackingAlloc;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
@@ -41,38 +47,64 @@ const USAGE: &str = "usage:
   renuver stats    <data.csv>
   renuver audit    <data.csv> --rfds rfds.txt
   renuver discover <data.csv> [--limit N | --auto-limits F] [--max-lhs N]
-                   [--out rfds.txt] [--summary]
+                   [--out rfds.txt] [--summary] [budget flags]
   renuver inject   <data.csv> --rate R [--seed S] --out incomplete.csv
   renuver impute   <data.csv> [--rfds rfds.txt | --limit N] [--out repaired.csv]
                    [--approach renuver|derand|holoclean|knn] [--explain]
                    [--donors donor.csv] [--full-verify] [--descending]
+                   [budget flags]
   renuver evaluate --original full.csv --incomplete holes.csv \\
                    --imputed repaired.csv [--rules rules.txt | --auto-rules F]
   renuver compare  <full.csv> --rate R [--limit N] [--seeds N]
-                   [--rules rules.txt | --auto-rules F]";
+                   [--rules rules.txt | --auto-rules F] [budget flags]
 
-/// Minimal flag parser: returns positional args and looks up `--flag`
-/// values on demand.
+budget flags (discover, impute, compare):
+  --timeout-secs S   stop after S seconds, returning the partial result
+  --mem-limit-mb M   stop when tracked heap use exceeds M MiB
+  --ops-limit N      stop after N budget checkpoints (deterministic)";
+
+/// Budget-related flags, shared by `discover`, `impute`, and `compare`.
+const BUDGET_VALUE_FLAGS: [&str; 3] = ["--timeout-secs", "--mem-limit-mb", "--ops-limit"];
+
+/// Flag parser with an explicit per-command vocabulary: every `--flag` must
+/// be either a declared value flag (consumes the next argument) or a
+/// declared boolean flag — anything else is rejected up front instead of
+/// being silently mis-read as a positional or swallowing one.
+#[derive(Debug)]
 struct Args<'a> {
     raw: &'a [String],
+    positionals: Vec<&'a str>,
 }
 
 impl<'a> Args<'a> {
-    fn positional(&self) -> Vec<&'a str> {
-        let mut out = Vec::new();
+    fn parse(
+        raw: &'a [String],
+        value_flags: &[&str],
+        bool_flags: &[&str],
+    ) -> Result<Args<'a>, String> {
+        let mut positionals = Vec::new();
         let mut i = 0;
-        while i < self.raw.len() {
-            let a = &self.raw[i];
+        while i < raw.len() {
+            let a = raw[i].as_str();
             if a.starts_with("--") {
-                if !matches!(a.as_str(), "--full-verify" | "--descending" | "--explain" | "--summary") {
+                if value_flags.contains(&a) {
+                    if i + 1 >= raw.len() {
+                        return Err(format!("flag {a} requires a value"));
+                    }
                     i += 1; // skip the flag's value
+                } else if !bool_flags.contains(&a) {
+                    return Err(format!("unknown flag {a:?} for this command"));
                 }
             } else {
-                out.push(a.as_str());
+                positionals.push(a);
             }
             i += 1;
         }
-        out
+        Ok(Args { raw, positionals })
+    }
+
+    fn positional(&self) -> &[&'a str] {
+        &self.positionals
     }
 
     fn value(&self, flag: &str) -> Option<&'a str> {
@@ -98,6 +130,51 @@ impl<'a> Args<'a> {
     }
 }
 
+/// The budget limits requested on the command line. `build` produces a
+/// **fresh** [`renuver::budget::Budget`] each call, so batch commands
+/// (`compare`) can give every run its own deadline instead of sharing one
+/// already-tripped handle.
+#[derive(Clone, Copy, Default)]
+struct BudgetSpec {
+    timeout_secs: Option<f64>,
+    mem_limit_mb: Option<usize>,
+    ops_limit: Option<u64>,
+}
+
+impl BudgetSpec {
+    fn from_args(args: &Args) -> Result<BudgetSpec, String> {
+        let timeout_secs: Option<f64> = args.parse_value("--timeout-secs")?;
+        if let Some(s) = timeout_secs {
+            if !s.is_finite() || s < 0.0 {
+                return Err("--timeout-secs must be finite and >= 0".into());
+            }
+        }
+        Ok(BudgetSpec {
+            timeout_secs,
+            mem_limit_mb: args.parse_value("--mem-limit-mb")?,
+            ops_limit: args.parse_value("--ops-limit")?,
+        })
+    }
+
+    fn build(&self) -> renuver::budget::Budget {
+        let mut b = renuver::budget::Budget::unlimited();
+        if let Some(s) = self.timeout_secs {
+            b = b.with_deadline(std::time::Duration::from_secs_f64(s));
+        }
+        if let Some(mb) = self.mem_limit_mb {
+            b = b.with_mem_ceiling(mb.saturating_mul(1024 * 1024));
+        }
+        if let Some(n) = self.ops_limit {
+            b = b.with_ops_limit(n);
+        }
+        b
+    }
+
+    fn is_limited(&self) -> bool {
+        self.timeout_secs.is_some() || self.mem_limit_mb.is_some() || self.ops_limit.is_some()
+    }
+}
+
 fn load(path: &str) -> Result<Relation, String> {
     let result = if path.to_ascii_lowercase().ends_with(".arff") {
         renuver::data::arff::read_path(path)
@@ -116,11 +193,53 @@ fn save(rel: &Relation, path: &str) -> Result<(), String> {
     result.map_err(|e| format!("{path}: {e}"))
 }
 
+/// `(value flags, boolean flags)` accepted by a command. Budget flags are
+/// appended for the commands that run the budgeted pipelines.
+fn flag_spec(cmd: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
+    let discovery = ["--limit", "--auto-limits", "--max-lhs"];
+    let (mut values, bools): (Vec<&str>, Vec<&str>) = match cmd {
+        "stats" => (vec![], vec![]),
+        "audit" => (vec!["--rfds"], vec![]),
+        "discover" => {
+            let mut v = vec!["--out"];
+            v.extend(discovery);
+            (v, vec!["--summary"])
+        }
+        "inject" => (vec!["--rate", "--seed", "--out"], vec![]),
+        "impute" => {
+            let mut v = vec!["--rfds", "--out", "--approach", "--donors"];
+            v.extend(discovery);
+            (v, vec!["--full-verify", "--descending", "--explain"])
+        }
+        "evaluate" => (
+            vec!["--original", "--incomplete", "--imputed", "--rules", "--auto-rules"],
+            vec![],
+        ),
+        "compare" => {
+            let mut v = vec!["--rate", "--seeds", "--rules", "--auto-rules"];
+            v.extend(discovery);
+            (v, vec![])
+        }
+        _ => return None,
+    };
+    if matches!(cmd, "discover" | "impute" | "compare") {
+        values.extend(BUDGET_VALUE_FLAGS);
+    }
+    Some((values, bools))
+}
+
 fn run(raw: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = raw.split_first() else {
         return Err("missing command".into());
     };
-    let args = Args { raw: rest };
+    if matches!(cmd.as_str(), "--help" | "-h" | "help") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let Some((value_flags, bool_flags)) = flag_spec(cmd) else {
+        return Err(format!("unknown command {cmd:?}"));
+    };
+    let args = Args::parse(rest, &value_flags, &bool_flags)?;
     match cmd.as_str() {
         "stats" => stats(&args),
         "audit" => audit_cmd(&args),
@@ -129,16 +248,12 @@ fn run(raw: &[String]) -> Result<(), String> {
         "impute" => impute_cmd(&args),
         "evaluate" => evaluate_cmd(&args),
         "compare" => compare_cmd(&args),
-        "--help" | "-h" | "help" => {
-            println!("{USAGE}");
-            Ok(())
-        }
         other => Err(format!("unknown command {other:?}")),
     }
 }
 
 fn one_positional(args: &Args) -> Result<String, String> {
-    match args.positional().as_slice() {
+    match args.positional() {
         [p] => Ok((*p).to_owned()),
         other => Err(format!("expected exactly one input file, got {}", other.len())),
     }
@@ -207,7 +322,11 @@ fn discovery_config(args: &Args, rel: &Relation) -> Result<DiscoveryConfig, Stri
 
 fn discover_cmd(args: &Args) -> Result<(), String> {
     let rel = load(&one_positional(args)?)?;
-    let rfds = discover(&rel, &discovery_config(args, &rel)?);
+    let spec = BudgetSpec::from_args(args)?;
+    let mut cfg = discovery_config(args, &rel)?;
+    cfg.budget = spec.build();
+    let outcome = renuver::rfd::discovery::discover_outcome(&rel, &cfg);
+    let rfds = outcome.rfds;
     if args.has("--summary") {
         eprint!("{}", rfds.summary(rel.schema()));
     }
@@ -218,6 +337,20 @@ fn discover_cmd(args: &Args) -> Result<(), String> {
             println!("wrote {} RFDs to {path}", rfds.len());
         }
         None => print!("{text}"),
+    }
+    // A truncated frontier is a *partial but valid* result, not a failure:
+    // report it on stderr and still exit 0.
+    if outcome.truncated {
+        let why = outcome
+            .budget
+            .tripped
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "budget".into());
+        eprintln!(
+            "truncated: {why} tripped after {}; the {} RFDs above are the frontier found so far",
+            renuver::budget::format_duration(outcome.budget.elapsed),
+            rfds.len(),
+        );
     }
     Ok(())
 }
@@ -286,6 +419,7 @@ fn impute_cmd(args: &Args) -> Result<(), String> {
             discover(&rel, &cfg)
         }
     };
+    let spec = BudgetSpec::from_args(args)?;
     let config = RenuverConfig {
         verify_scope: if args.has("--full-verify") {
             VerifyScope::Full
@@ -297,6 +431,7 @@ fn impute_cmd(args: &Args) -> Result<(), String> {
         } else {
             ClusterOrder::Ascending
         },
+        budget: spec.build(),
         ..RenuverConfig::default()
     };
     if approach == "derand" {
@@ -334,6 +469,24 @@ fn impute_cmd(args: &Args) -> Result<(), String> {
         result.stats.verifications,
         result.stats.verification_failures,
     );
+    // A tripped budget yields a partial repair: say what was skipped and
+    // why, but the partial relation is still written and the exit code
+    // stays 0.
+    if let Some(trip) = result.budget.tripped {
+        eprintln!(
+            "budget: {trip} tripped at {} after {}; {} cells skipped, {} cancelled",
+            result.budget.tripped_at.unwrap_or("unknown"),
+            renuver::budget::format_duration(result.budget.elapsed),
+            result.stats.skipped_budget,
+            result.stats.cancelled,
+        );
+    } else if spec.is_limited() {
+        eprintln!(
+            "budget: finished within limits ({} elapsed, peak {})",
+            renuver::budget::format_duration(result.budget.elapsed),
+            renuver::budget::format_bytes(result.budget.peak_bytes),
+        );
+    }
     if args.has("--explain") {
         for ic in &result.imputed {
             eprintln!(
@@ -347,8 +500,13 @@ fn impute_cmd(args: &Args) -> Result<(), String> {
             );
         }
         for cell in &result.unimputed {
+            let why = match result.outcomes.iter().find(|(c, _)| c == cell) {
+                Some((_, renuver::core::CellOutcome::SkippedBudget)) => "budget exhausted",
+                Some((_, renuver::core::CellOutcome::Cancelled)) => "run cancelled",
+                _ => "no consistent candidate",
+            };
             eprintln!(
-                "  row {} [{}] left missing (no consistent candidate)",
+                "  row {} [{}] left missing ({why})",
                 cell.row,
                 rel.schema().name(cell.col)
             );
@@ -366,8 +524,8 @@ fn impute_cmd(args: &Args) -> Result<(), String> {
 fn compare_cmd(args: &Args) -> Result<(), String> {
     use renuver::baselines::{DerandConfig, GreyKnnConfig, HolocleanConfig};
     use renuver::eval::{
-        average_scores, run_variants_parallel, DerandImputer, GreyKnnImputer,
-        HolocleanImputer, Imputer, RenuverImputer,
+        average_scores, run_variants_budgeted, run_variants_parallel, DerandImputer,
+        GreyKnnImputer, HolocleanImputer, Imputer, RenuverImputer,
     };
     let rel = load(&one_positional(args)?)?;
     if rel.missing_count() > 0 {
@@ -404,26 +562,35 @@ fn compare_cmd(args: &Args) -> Result<(), String> {
         Box::new(HolocleanImputer::new(HolocleanConfig::default(), dcs)),
         Box::new(GreyKnnImputer::new(GreyKnnConfig::default())),
     ];
+    let spec = BudgetSpec::from_args(args)?;
     println!(
         "{:<12} {:>9} {:>9} {:>9} {:>10}",
         "approach", "precision", "recall", "F1", "avg time"
     );
+    let mut any_tripped = false;
     for imp in &imputers {
-        let avg = average_scores(&run_variants_parallel(
-            &rel,
-            &rules,
-            imp.as_ref(),
-            rate,
-            &seeds,
-        ));
+        // Budgeted comparisons run serially with a FRESH budget per
+        // variant (one tripped deadline must not poison later runs);
+        // unbudgeted ones keep the parallel fan-out.
+        let outcomes = if spec.is_limited() {
+            run_variants_budgeted(&rel, &rules, imp.as_ref(), rate, &seeds, &|| spec.build())
+        } else {
+            run_variants_parallel(&rel, &rules, imp.as_ref(), rate, &seeds)
+        };
+        let avg = average_scores(&outcomes);
+        let marker = if avg.tripped.is_some() { "*" } else { "" };
+        any_tripped |= avg.tripped.is_some();
         println!(
-            "{:<12} {:>9.3} {:>9.3} {:>9.3} {:>8}ms",
+            "{:<12} {:>9.3} {:>9.3} {:>9.3} {:>8}ms{marker}",
             imp.name(),
             avg.scores.precision,
             avg.scores.recall,
             avg.scores.f1,
             avg.elapsed.as_millis()
         );
+    }
+    if any_tripped {
+        println!("* budget tripped during at least one variant; scores reflect partial repairs");
     }
     Ok(())
 }
@@ -472,4 +639,75 @@ fn evaluate_cmd(args: &Args) -> Result<(), String> {
         print!("{}", renuver::eval::report::breakdown_table(&rows));
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn positionals_survive_boolean_flags() {
+        let raw = strings(&["--summary", "data.csv", "--out", "rfds.txt"]);
+        let args = Args::parse(&raw, &["--out"], &["--summary"]).unwrap();
+        assert_eq!(args.positional(), ["data.csv"]);
+        assert_eq!(args.value("--out"), Some("rfds.txt"));
+        assert!(args.has("--summary"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_not_swallowed() {
+        // The old parser assumed every unknown flag took a value, silently
+        // eating the positional that followed it. Now it is a hard error.
+        let raw = strings(&["--bogus", "data.csv"]);
+        let err = Args::parse(&raw, &["--out"], &["--summary"]).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn value_flag_at_end_reports_missing_value() {
+        let raw = strings(&["data.csv", "--out"]);
+        let err = Args::parse(&raw, &["--out"], &[]).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn run_rejects_unknown_flag_per_command() {
+        // `--summary` belongs to discover, not stats.
+        let err = run(&strings(&["stats", "x.csv", "--summary"])).unwrap_err();
+        assert!(err.contains("--summary"), "{err}");
+        // Budget flags are valid on discover/impute/compare only.
+        let err = run(&strings(&["inject", "x.csv", "--ops-limit", "9"])).unwrap_err();
+        assert!(err.contains("--ops-limit"), "{err}");
+    }
+
+    #[test]
+    fn budget_spec_builds_limited_budgets() {
+        let raw = strings(&["x.csv", "--timeout-secs", "2.5", "--ops-limit", "100"]);
+        let mut values = vec![];
+        values.extend(BUDGET_VALUE_FLAGS);
+        let args = Args::parse(&raw, &values, &[]).unwrap();
+        let spec = BudgetSpec::from_args(&args).unwrap();
+        assert!(spec.is_limited());
+        assert!(spec.build().is_limited());
+        // Each build() call returns an independent handle.
+        let a = spec.build();
+        a.cancel();
+        assert!(!spec.build().is_cancelled());
+    }
+
+    #[test]
+    fn budget_spec_rejects_bad_values() {
+        let raw = strings(&["x.csv", "--timeout-secs", "-1"]);
+        let mut values = vec![];
+        values.extend(BUDGET_VALUE_FLAGS);
+        let args = Args::parse(&raw, &values, &[]).unwrap();
+        assert!(BudgetSpec::from_args(&args).is_err());
+        let raw = strings(&["x.csv", "--ops-limit", "lots"]);
+        let args = Args::parse(&raw, &values, &[]).unwrap();
+        assert!(BudgetSpec::from_args(&args).is_err());
+    }
 }

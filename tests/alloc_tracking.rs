@@ -3,7 +3,8 @@
 //! per-binary).
 
 use renuver::eval::budget::{
-    current_bytes, format_bytes, measure, peak_bytes, reset_peak, TrackingAlloc,
+    current_bytes, format_bytes, measure, peak_bytes, reset_peak, Budget, BudgetTrip,
+    TrackingAlloc,
 };
 
 #[global_allocator]
@@ -47,4 +48,25 @@ fn realloc_growth_is_counted() {
         v
     });
     assert!(peak >= 500_000 * 8, "peak {}", format_bytes(peak));
+}
+
+#[test]
+fn mem_ceiling_trips_against_the_real_allocator() {
+    // The ceiling is anchored at the current live-byte count, then a large
+    // ballast is held alive across the check: with the tracking allocator
+    // installed, `current_bytes()` must exceed the ceiling and trip.
+    let budget = Budget::unlimited().with_mem_ceiling(current_bytes());
+    let ballast: Vec<u8> = vec![0xAB; 32 * 1024 * 1024];
+    assert_eq!(budget.check("test::ballast"), Err(BudgetTrip::Memory));
+    // The first trip is sticky: site and kind survive later checks.
+    assert_eq!(budget.trip(), Some(BudgetTrip::Memory));
+    assert_eq!(budget.trip_phase(), Some("test::ballast"));
+    drop(ballast);
+    assert_eq!(budget.check("test::after-free"), Err(BudgetTrip::Memory));
+    assert_eq!(budget.trip_phase(), Some("test::ballast"));
+    // Peak is left out of the assertions: sibling tests call reset_peak()
+    // concurrently, so only the trip kind and site are stable here.
+    let report = budget.report();
+    assert_eq!(report.tripped, Some(BudgetTrip::Memory));
+    assert_eq!(report.tripped_at, Some("test::ballast"));
 }

@@ -1,0 +1,87 @@
+//! Table-driven decoder test over the checked-in corpus of malformed (and
+//! deliberately odd but valid) CSV/ARFF files in `tests/corpus/`.
+//!
+//! Two guarantees per file: the decoder **returns** (never panics), and the
+//! verdict matches the table. The table is exhaustive over the directory —
+//! adding a corpus file without classifying it here fails the test, so the
+//! corpus cannot silently rot.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use renuver::data::{arff, csv};
+
+/// `(file name, decodes successfully)`.
+const EXPECTATIONS: &[(&str, bool)] = &[
+    // CSV
+    ("bad_duplicate_attr.csv", false),
+    ("bad_empty.csv", false),
+    ("bad_field_count.csv", false),
+    ("bad_unknown_type.csv", false),
+    ("bad_unterminated_quote.csv", false),
+    ("ok_all_null_rows.csv", true),
+    ("ok_crlf.csv", true),
+    ("ok_quoted_newline.csv", true),
+    // ARFF
+    ("bad_attr_without_type.arff", false),
+    ("bad_data_before_attrs.arff", false),
+    ("bad_empty_nominal.arff", false),
+    ("bad_field_count.arff", false),
+    ("bad_header_garbage.arff", false),
+    ("bad_no_data.arff", false),
+    ("bad_nominal_violation.arff", false),
+    ("bad_unsupported_type.arff", false),
+    ("bad_unterminated_attr_quote.arff", false),
+    ("bad_unterminated_data_quote.arff", false),
+    ("ok_small.arff", true),
+];
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn every_corpus_file_decodes_as_classified() {
+    for (name, ok) in EXPECTATIONS {
+        let path = corpus_dir().join(name);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("corpus file {name} unreadable: {e}"));
+        let result = if name.ends_with(".arff") {
+            arff::read_str(&text).map(|_| ())
+        } else {
+            csv::read_str(&text).map(|_| ())
+        };
+        match (result, ok) {
+            (Ok(()), true) | (Err(_), false) => {}
+            (Ok(()), false) => panic!("{name}: expected a decode error, got Ok"),
+            (Err(e), true) => panic!("{name}: expected success, got error: {e}"),
+        }
+    }
+}
+
+#[test]
+fn corpus_errors_name_the_format_and_line() {
+    // Errors must point the user somewhere useful: ARFF errors identify the
+    // format, both formats carry a line number in their Display output.
+    let text = std::fs::read_to_string(corpus_dir().join("bad_nominal_violation.arff")).unwrap();
+    let err = arff::read_str(&text).unwrap_err().to_string();
+    assert!(err.starts_with("ARFF error at line "), "{err}");
+    let text = std::fs::read_to_string(corpus_dir().join("bad_field_count.csv")).unwrap();
+    let err = csv::read_str(&text).unwrap_err().to_string();
+    assert!(err.contains("line 3"), "{err}");
+}
+
+#[test]
+fn table_is_exhaustive_over_the_directory() {
+    let on_disk: BTreeSet<String> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus must exist")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    let in_table: BTreeSet<String> =
+        EXPECTATIONS.iter().map(|(n, _)| (*n).to_owned()).collect();
+    assert_eq!(
+        on_disk, in_table,
+        "tests/corpus and the EXPECTATIONS table are out of sync"
+    );
+}
