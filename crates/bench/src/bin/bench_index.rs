@@ -1,0 +1,204 @@
+//! Measures what the similarity index buys over the naive reference scans
+//! — candidate generation and end-to-end imputation at `parallelism: 1` —
+//! and writes the results to `BENCH_index.json`.
+//!
+//! Run with `cargo run -p renuver-bench --release --bin bench_index`
+//! (`--quick` shrinks the fixture, `--out <path>` overrides the output
+//! file). Everything is measured single-threaded on purpose: the index is
+//! an *algorithmic* improvement (inverted-list lookups instead of O(n)
+//! distance checks per query), so its speedup must not be conflated with
+//! the thread-pool speedups `bench_parallel` reports.
+//!
+//! Two RFD sets run over the same relation:
+//!
+//! * the **headline** set uses tight thresholds — the regime RFD
+//!   discovery actually produces and the index is built for, where the
+//!   q-gram/value filters are selective;
+//! * the **loose** set (the one `tests/index_differential.rs` pins for
+//!   correctness) has thresholds so wide that true neighborhoods cover
+//!   much of the relation. There the selectivity cutoff makes the index
+//!   decline and fall back to scans, so its speedup hovers near 1× by
+//!   design — recorded here to document that regime, not to win it.
+
+use std::time::Instant;
+
+use renuver_bench::quick_mode;
+use renuver_core::{
+    find_candidate_tuples, find_candidate_tuples_with, IndexMode, Renuver, RenuverConfig,
+};
+use renuver_data::{AttrType, Relation, Schema, Value};
+use renuver_distance::{DistanceOracle, SimilarityIndex};
+use renuver_eval::inject;
+use renuver_rfd::{Rfd, RfdSet};
+
+/// The 5 000-row synthetic relation of `tests/index_differential.rs` (and
+/// `tests/parallel_determinism.rs`): high-cardinality text columns with
+/// planted dependencies.
+fn synthetic(n: usize) -> Relation {
+    let schema = Schema::new([
+        ("Name", AttrType::Text),
+        ("City", AttrType::Text),
+        ("Zip", AttrType::Text),
+        ("Class", AttrType::Int),
+    ])
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|i| {
+            let city_id = i % 40;
+            vec![
+                Value::from(format!("Shop-{:04}", i % 800).as_str()),
+                Value::from(format!("City{city_id:02}").as_str()),
+                Value::from(format!("9{:04}", city_id * 7).as_str()),
+                Value::Int((i % 9) as i64),
+            ]
+        })
+        .collect();
+    Relation::new(schema, rows).unwrap()
+}
+
+fn median_ms(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Every missing cell with a non-empty cluster — the per-cell loop of
+/// Algorithm 2 — paired with its cluster under `sigma`.
+fn cluster_cells<'a>(rel: &Relation, sigma: &'a RfdSet) -> Vec<(usize, usize, Vec<&'a Rfd>)> {
+    (0..rel.len())
+        .flat_map(|row| (0..rel.arity()).map(move |attr| (row, attr)))
+        .filter(|&(row, attr)| rel.is_missing(row, attr))
+        .map(|(row, attr)| {
+            let cluster: Vec<&Rfd> = sigma.iter().filter(|r| r.rhs_attr() == attr).collect();
+            (row, attr, cluster)
+        })
+        .filter(|(_, _, cluster)| !cluster.is_empty())
+        .collect()
+}
+
+/// Candidate generation over all cluster cells, scan vs indexed. Returns
+/// `(queries, scan_ms, indexed_ms)`.
+fn measure_candidates(
+    rel: &Relation,
+    sigma: &RfdSet,
+    oracle: &DistanceOracle,
+    index: &SimilarityIndex,
+    pool: &rayon::ThreadPool,
+    runs: usize,
+) -> (usize, f64, f64) {
+    let cells = cluster_cells(rel, sigma);
+    let scan = median_ms(runs, || {
+        pool.install(|| {
+            for (row, attr, cluster) in &cells {
+                drop(find_candidate_tuples(oracle, rel, *row, *attr, cluster));
+            }
+        })
+    });
+    let indexed = median_ms(runs, || {
+        pool.install(|| {
+            for (row, attr, cluster) in &cells {
+                drop(find_candidate_tuples_with(oracle, Some(index), rel, *row, *attr, cluster));
+            }
+        })
+    });
+    (cells.len(), scan, indexed)
+}
+
+fn main() {
+    let runs = if quick_mode() { 3 } else { 7 };
+    let n = if quick_mode() { 1_000 } else { 5_000 };
+    let rel = synthetic(n);
+    // Headline: discovery-realistic tight thresholds (selective filters).
+    let tight = RfdSet::from_text(
+        "City(<=0) -> Zip(<=0)\n\
+         Zip(<=0) -> City(<=3)\n\
+         Name(<=1) -> City(<=3)\n\
+         Zip(<=0) -> Class(<=8)",
+        rel.schema(),
+    )
+    .unwrap();
+    // Secondary: the loose thresholds the differential suite pins.
+    let loose = RfdSet::from_text(
+        "City(<=0) -> Zip(<=0)\n\
+         Zip(<=1) -> City(<=3)\n\
+         Name(<=3) -> City(<=6)\n\
+         Zip(<=0) -> Class(<=8)",
+        rel.schema(),
+    )
+    .unwrap();
+    let (incomplete, _truth) = inject(&rel, 0.002, 23);
+
+    // Single-threaded pool: the scan paths fall through to rayon, and the
+    // point here is the algorithmic gap, not the core count.
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+
+    let oracle = pool.install(|| DistanceOracle::build(&incomplete, 3_000));
+    let index_build_ms =
+        median_ms(runs, || drop(pool.install(|| SimilarityIndex::build(&incomplete, &oracle))));
+    let index = pool.install(|| SimilarityIndex::build(&incomplete, &oracle));
+
+    let (queries, cand_scan, cand_indexed) =
+        measure_candidates(&incomplete, &tight, &oracle, &index, &pool, runs);
+    let (loose_queries, loose_scan, loose_indexed) =
+        measure_candidates(&incomplete, &loose, &oracle, &index, &pool, runs);
+
+    // End-to-end run, index construction included.
+    let engine = |mode: IndexMode| {
+        Renuver::new(RenuverConfig { parallelism: 1, index_mode: mode, ..RenuverConfig::default() })
+    };
+    let impute_scan = median_ms(runs, || drop(engine(IndexMode::Scan).impute(&incomplete, &tight)));
+    let impute_indexed =
+        median_ms(runs, || drop(engine(IndexMode::Indexed).impute(&incomplete, &tight)));
+
+    // Correctness cross-check while we're here (the differential suite is
+    // the real harness; this catches a stale build).
+    for sigma in [&tight, &loose] {
+        assert_eq!(
+            engine(IndexMode::Scan).impute(&incomplete, sigma),
+            engine(IndexMode::Indexed).impute(&incomplete, sigma),
+            "indexed and scan runs diverged"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \
+         \"rows\": {n},\n  \
+         \"runs_per_measurement\": {runs},\n  \
+         \"parallelism\": 1,\n  \
+         \"index_build_ms\": {index_build_ms:.3},\n  \
+         \"candidate_generation\": {{\n    \
+         \"queries\": {queries},\n    \
+         \"scan_ms\": {cand_scan:.3},\n    \
+         \"indexed_ms\": {cand_indexed:.3},\n    \
+         \"speedup\": {:.3}\n  }},\n  \
+         \"candidate_generation_loose_thresholds\": {{\n    \
+         \"queries\": {loose_queries},\n    \
+         \"scan_ms\": {loose_scan:.3},\n    \
+         \"indexed_ms\": {loose_indexed:.3},\n    \
+         \"speedup\": {:.3}\n  }},\n  \
+         \"impute_end_to_end\": {{\n    \
+         \"scan_ms\": {impute_scan:.3},\n    \
+         \"indexed_ms\": {impute_indexed:.3},\n    \
+         \"speedup\": {:.3}\n  }}\n}}\n",
+        cand_scan / cand_indexed,
+        loose_scan / loose_indexed,
+        impute_scan / impute_indexed,
+    );
+
+    let out = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_index.json".to_string())
+    };
+    std::fs::write(&out, &json).expect("write benchmark results");
+    print!("{json}");
+    eprintln!("wrote {out}");
+}

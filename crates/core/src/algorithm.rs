@@ -2,12 +2,12 @@
 
 use renuver_budget::BudgetTrip;
 use renuver_data::{Cell, Relation};
-use renuver_distance::DistanceOracle;
-use renuver_rfd::check::stays_key_after_update_with;
+use renuver_distance::{DistanceOracle, SimilarityIndex};
+use renuver_rfd::check::stays_key_after_update_with_index;
 use renuver_rfd::{Rfd, RfdSet};
 
-use crate::candidates::{find_candidate_tuples, sort_candidates};
-use crate::config::{ClusterOrder, ImputationOrder, RenuverConfig};
+use crate::candidates::{find_candidate_tuples_with, sort_candidates};
+use crate::config::{ClusterOrder, ImputationOrder, IndexMode, RenuverConfig, AUTO_MIN_ROWS};
 use crate::result::{CellOutcome, ImputationResult, ImputationStats, ImputedCell, TraceEvent};
 use crate::verify::VerifyPlan;
 
@@ -116,12 +116,25 @@ impl Renuver {
         // tripped budget the build degrades column-wise to direct
         // computation (same answers, no cache).
         let mut oracle = DistanceOracle::build_budgeted(&rel, 3000, budget);
+        // The similarity index prunes the `distance ≤ t` scans in key
+        // detection, candidate generation, and verification — decisions
+        // are identical with or without it (the superset contract in
+        // `renuver_distance::index`). Kept current after every imputation,
+        // like the oracle. Budget trips degrade construction per attribute
+        // to the scan path.
+        let mut index: Option<SimilarityIndex> = match self.config.index_mode {
+            IndexMode::Scan => None,
+            IndexMode::Indexed => Some(SimilarityIndex::build_budgeted(&rel, &oracle, budget)),
+            IndexMode::Auto => (rel.len() >= AUTO_MIN_ROWS)
+                .then(|| SimilarityIndex::build_budgeted(&rel, &oracle, budget)),
+        };
 
         // Pre-processing (lines 1-6): Σ' = non-key RFDs; r̂ = incomplete
         // tuples. `active` tracks Σ' membership so key-RFDs can be
         // re-admitted after imputations (line 14 / Example 5.1). When the
         // budget cuts the key scan short, unchecked RFDs stay active.
-        let (non_keys, keys, _keys_cut) = sigma.partition_keys_budgeted(&oracle, &rel, budget);
+        let (non_keys, keys, _keys_cut) =
+            sigma.partition_keys_budgeted_with(&oracle, index.as_ref(), &rel, budget);
         stats.keys_filtered = keys.len();
         let mut active = vec![false; sigma.len()];
         for &i in &non_keys {
@@ -177,6 +190,7 @@ impl Renuver {
                 match self.impute_missing_value(
                     &mut rel,
                     &oracle,
+                    index.as_ref(),
                     row,
                     attr,
                     sigma,
@@ -187,6 +201,9 @@ impl Renuver {
                 ) {
                     Some(cell_rec) => {
                         oracle.update_cell(&rel, row, attr);
+                        if let Some(ix) = index.as_mut() {
+                            ix.update_cell(&rel, row, attr);
+                        }
                         if self.config.trace {
                             trace.push(TraceEvent::Imputed {
                                 cell: cell_rec.cell,
@@ -204,7 +221,13 @@ impl Renuver {
                         // The degraded rung skips this O(n·|keys|) scan.
                         if !self.config.skip_key_reevaluation && !degraded {
                             dormant_keys.retain(|&k| {
-                                if stays_key_after_update_with(&oracle, &rel, sigma.get(k), row) {
+                                if stays_key_after_update_with_index(
+                                    &oracle,
+                                    index.as_ref(),
+                                    &rel,
+                                    sigma.get(k),
+                                    row,
+                                ) {
                                     true
                                 } else {
                                     active[k] = true;
@@ -273,6 +296,7 @@ impl Renuver {
         &self,
         rel: &mut Relation,
         oracle: &DistanceOracle,
+        index: Option<&SimilarityIndex>,
         row: usize,
         attr: usize,
         sigma: &RfdSet,
@@ -325,14 +349,20 @@ impl Renuver {
                 self.config.verify_scope,
                 rows,
             ),
-            None => {
-                VerifyPlan::build(oracle, rel, row, attr, sigma.iter(), self.config.verify_scope)
-            }
+            None => VerifyPlan::build_with(
+                oracle,
+                index,
+                rel,
+                row,
+                attr,
+                sigma.iter(),
+                self.config.verify_scope,
+            ),
         };
 
         for (cluster_threshold, rfds) in &clusters {
             stats.clusters_visited += 1;
-            let mut candidates = find_candidate_tuples(oracle, rel, row, attr, rfds);
+            let mut candidates = find_candidate_tuples_with(oracle, index, rel, row, attr, rfds);
             stats.candidates_scored += candidates.len();
             if self.config.trace {
                 trace.push(TraceEvent::ClusterVisited {

@@ -1,7 +1,7 @@
 //! Generation of plausible candidate tuples (Algorithm 3).
 
 use renuver_data::{AttrId, Relation};
-use renuver_distance::DistanceOracle;
+use renuver_distance::{intersect_sorted, union_sorted, DistanceOracle, SimilarityIndex};
 use renuver_rfd::Rfd;
 
 /// A plausible candidate tuple for a missing value, scored by the minimum
@@ -29,6 +29,55 @@ pub struct Candidate {
 /// every threshold on some attribute short-circuits the RFDs requiring it.
 pub fn find_candidate_tuples(
     oracle: &DistanceOracle,
+    rel: &Relation,
+    row: usize,
+    attr: AttrId,
+    cluster: &[&Rfd],
+) -> Vec<Candidate> {
+    find_candidate_tuples_with(oracle, None, rel, row, attr, cluster)
+}
+
+/// The donor rows worth scoring, retrieved through the index: the union
+/// over the cluster's RFDs of the intersection of each RFD's per-LHS-
+/// constraint `rows_within` supersets. `None` when some RFD has no indexed
+/// LHS attribute — every row would have to be scored anyway, so the caller
+/// scans. The returned rows are ascending, so scoring them in order yields
+/// exactly the scan's output (the score closure re-checks every constraint
+/// exactly; see the superset contract in `renuver_distance::index`).
+fn index_candidate_rows(
+    index: &SimilarityIndex,
+    rel: &Relation,
+    row: usize,
+    cluster: &[&Rfd],
+) -> Option<Vec<usize>> {
+    let mut union: Vec<usize> = Vec::new();
+    for rfd in cluster {
+        let mut rows: Option<Vec<usize>> = None;
+        for c in rfd.lhs() {
+            let Some(within) = index.rows_within(rel, c.attr, row, c.threshold) else {
+                continue; // unindexed attribute — the exact check covers it
+            };
+            rows = Some(match rows {
+                None => within,
+                Some(acc) => intersect_sorted(&acc, &within),
+            });
+        }
+        // An RFD with no indexed LHS attribute can match any row: no
+        // pruning is possible for the whole cluster.
+        let rows = rows?;
+        union = union_sorted(&union, &rows);
+    }
+    Some(union)
+}
+
+/// [`find_candidate_tuples`] with an optional [`SimilarityIndex`]: when
+/// every RFD of the cluster has at least one indexed LHS attribute, only
+/// the index-retrieved donor rows are scored instead of all `n`. Output is
+/// bit-for-bit identical either way (asserted by
+/// `tests/index_differential.rs`).
+pub fn find_candidate_tuples_with(
+    oracle: &DistanceOracle,
+    index: Option<&SimilarityIndex>,
     rel: &Relation,
     row: usize,
     attr: AttrId,
@@ -77,6 +126,10 @@ pub fn find_candidate_tuples(
     };
 
     let n = rel.len();
+    if let Some(rows) = index.and_then(|ix| index_candidate_rows(ix, rel, row, cluster)) {
+        let mut dist_buf: Vec<Option<f64>> = vec![None; m];
+        return rows.into_iter().filter_map(|j| score(j, &mut dist_buf)).collect();
+    }
     if rayon::current_num_threads() <= 1 || n < rayon::MIN_PAR_LEN {
         // Sequential path: one reusable distance buffer for the whole scan.
         let mut dist_buf: Vec<Option<f64>> = vec![None; m];
@@ -221,6 +274,34 @@ mod tests {
         // Name(≤0) → Phone: no other tuple shares t7's exact name.
         let rfd = Rfd::new(vec![Constraint::new(0, 0.0)], Constraint::new(2, 0.0));
         assert!(find_candidate_tuples(&DistanceOracle::direct(&rel), &rel, 6, 2, &[&rfd]).is_empty());
+    }
+
+    #[test]
+    fn indexed_candidates_equal_scan_on_sample() {
+        let rel = restaurant_sample();
+        let oracle = DistanceOracle::build(&rel, 3000);
+        let index = SimilarityIndex::build(&rel, &oracle);
+        let phi6 = Rfd::new(
+            vec![Constraint::new(0, 6.0), Constraint::new(1, 9.0)],
+            Constraint::new(2, 0.0),
+        );
+        let by_class = Rfd::new(vec![Constraint::new(4, 1.0)], Constraint::new(2, 0.0));
+        for cluster in [vec![&phi6], vec![&by_class], vec![&phi6, &by_class]] {
+            for row in 0..rel.len() {
+                for attr in 0..rel.arity() {
+                    let scan = find_candidate_tuples(&oracle, &rel, row, attr, &cluster);
+                    let indexed = find_candidate_tuples_with(
+                        &oracle,
+                        Some(&index),
+                        &rel,
+                        row,
+                        attr,
+                        &cluster,
+                    );
+                    assert_eq!(scan, indexed, "row {row} attr {attr}");
+                }
+            }
+        }
     }
 
     #[test]

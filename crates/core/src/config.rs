@@ -60,6 +60,31 @@ pub enum ImputationOrder {
     FewestMissingFirst,
 }
 
+/// How `distance ≤ t` predicates are resolved in candidate generation,
+/// key detection, and verification.
+///
+/// Every mode produces bit-for-bit identical [`crate::ImputationResult`]s
+/// (asserted by `tests/index_differential.rs`): the
+/// [`renuver_distance::SimilarityIndex`] only prunes which rows receive
+/// the exact distance check, never the check itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexMode {
+    /// Always scan every row — the reference path.
+    Scan,
+    /// Always build and consult the per-attribute similarity index.
+    Indexed,
+    /// Build the index only for relations of at least
+    /// [`AUTO_MIN_ROWS`] rows, where construction pays for itself;
+    /// smaller relations take the scan path. Default.
+    #[default]
+    Auto,
+}
+
+/// Row count at which [`IndexMode::Auto`] switches from scanning to
+/// indexing: below this, a scan touches so few rows that the index build
+/// costs more than it saves.
+pub const AUTO_MIN_ROWS: usize = 256;
+
 /// RENUVER configuration.
 #[derive(Debug, Clone)]
 pub struct RenuverConfig {
@@ -108,6 +133,10 @@ pub struct RenuverConfig {
     /// trips); the default `0.9` spends the last tenth of the budget in
     /// the cheap mode to fill more cells before the hard stop.
     pub degrade_at: f64,
+    /// Similarity-index usage (default: [`IndexMode::Auto`]). The indexed
+    /// and scan paths make identical decisions; this only trades index
+    /// construction time against per-cell scan time.
+    pub index_mode: IndexMode,
 }
 
 impl Default for RenuverConfig {
@@ -122,6 +151,7 @@ impl Default for RenuverConfig {
             parallelism: 0,
             budget: Budget::unlimited(),
             degrade_at: 0.9,
+            index_mode: IndexMode::default(),
         }
     }
 }
@@ -148,5 +178,6 @@ mod tests {
         assert_eq!(cfg.parallelism, 0, "default uses all available cores");
         assert!(!cfg.budget.is_limited(), "default budget is unlimited");
         assert_eq!(cfg.degrade_at, 0.9);
+        assert_eq!(cfg.index_mode, IndexMode::Auto);
     }
 }

@@ -26,8 +26,8 @@ pub mod verify;
 
 pub use algorithm::Renuver;
 pub use audit::{audit, AuditConfig, AuditReport};
-pub use candidates::{find_candidate_tuples, Candidate};
-pub use config::{ClusterOrder, ImputationOrder, RenuverConfig, VerifyScope};
+pub use candidates::{find_candidate_tuples, find_candidate_tuples_with, Candidate};
+pub use config::{ClusterOrder, ImputationOrder, IndexMode, RenuverConfig, VerifyScope};
 pub use external::SchemaMismatch;
 pub use result::{CellOutcome, ImputationResult, ImputationStats, ImputedCell, TraceEvent};
 pub use verify::{is_faultless, VerifyPlan};

@@ -80,7 +80,7 @@ pub struct VerifyPlan {
     reject_if_far: Vec<(f64, Vec<usize>)>,
 }
 
-use renuver_distance::DistanceOracle;
+use renuver_distance::{intersect_sorted, DistanceOracle, SimilarityIndex};
 
 /// Collects the rows `0..n` (minus nothing — callers exclude rows inside
 /// `pred`) satisfying `pred`, in ascending order. Falls back to a plain
@@ -123,7 +123,25 @@ impl VerifyPlan {
         sigma: impl Iterator<Item = &'a Rfd>,
         scope: VerifyScope,
     ) -> VerifyPlan {
-        Self::build_inner(oracle, rel, row, attr, sigma, scope, None)
+        Self::build_inner(oracle, None, rel, row, attr, sigma, scope, None)
+    }
+
+    /// [`VerifyPlan::build`] with an optional [`SimilarityIndex`]: each
+    /// RFD's witness scan is seeded with the index-retrieved superset of
+    /// rows satisfying its indexed candidate-independent LHS constraints,
+    /// then filtered by the same exact predicate the scan applies to all
+    /// rows — the resulting plan is identical, it was just built from
+    /// fewer exact checks.
+    pub fn build_with<'a>(
+        oracle: &DistanceOracle,
+        index: Option<&SimilarityIndex>,
+        rel: &Relation,
+        row: usize,
+        attr: AttrId,
+        sigma: impl Iterator<Item = &'a Rfd>,
+        scope: VerifyScope,
+    ) -> VerifyPlan {
+        Self::build_inner(oracle, index, rel, row, attr, sigma, scope, None)
     }
 
     /// [`VerifyPlan::build`] restricted to `rows` as the only potential
@@ -142,11 +160,13 @@ impl VerifyPlan {
         scope: VerifyScope,
         rows: &[usize],
     ) -> VerifyPlan {
-        Self::build_inner(oracle, rel, row, attr, sigma, scope, Some(rows))
+        Self::build_inner(oracle, None, rel, row, attr, sigma, scope, Some(rows))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build_inner<'a>(
         oracle: &DistanceOracle,
+        index: Option<&SimilarityIndex>,
         rel: &Relation,
         row: usize,
         attr: AttrId,
@@ -155,6 +175,34 @@ impl VerifyPlan {
         restrict: Option<&[usize]>,
     ) -> VerifyPlan {
         debug_assert!(rel.is_missing(row, attr));
+        // Superset of the rows within threshold of `row` on every *indexed*
+        // constraint in `lhs` (minus the `skip` attribute); `None` when no
+        // constraint is indexed and the full scan is needed. Already-
+        // restricted (degraded-mode) builds skip the index: the witness
+        // list is small by construction.
+        let index_base = |lhs: &[renuver_rfd::Constraint], skip: Option<AttrId>| {
+            if restrict.is_some() {
+                return None;
+            }
+            let mut base: Option<Vec<usize>> = None;
+            for c in lhs {
+                if Some(c.attr) == skip {
+                    continue;
+                }
+                // Unindexed constraints stay with the exact predicate; any
+                // indexed one already prunes the witness scan.
+                let Some(within) =
+                    index.and_then(|ix| ix.rows_within(rel, c.attr, row, c.threshold))
+                else {
+                    continue;
+                };
+                base = Some(match base {
+                    None => within,
+                    Some(acc) => intersect_sorted(&acc, &within),
+                });
+            }
+            base
+        };
         let mut reject_if_close = Vec::new();
         let mut reject_if_far = Vec::new();
         let t = rel.tuple(row);
@@ -171,7 +219,8 @@ impl VerifyPlan {
                 else {
                     continue; // unreachable: lhs_contains checked above
                 };
-                let rows = collect_rows(rel.len(), restrict, |j| {
+                let base = index_base(rfd.lhs(), Some(attr));
+                let rows = collect_rows(rel.len(), base.as_deref().or(restrict), |j| {
                     if j == row {
                         return false;
                     }
@@ -199,7 +248,8 @@ impl VerifyPlan {
                 }
             } else if scope == VerifyScope::Full && rfd.rhs_attr() == attr {
                 // LHS is fully candidate-independent.
-                let rows = collect_rows(rel.len(), restrict, |j| {
+                let base = index_base(rfd.lhs(), None);
+                let rows = collect_rows(rel.len(), base.as_deref().or(restrict), |j| {
                     if j == row {
                         return false;
                     }
@@ -370,6 +420,47 @@ mod tests {
             &oracle, &rel, 6, 2, [&phi].into_iter(), VerifyScope::LhsOnly, &[0, 4],
         );
         assert!(blind.admits(&oracle, &rel, 2, 2));
+    }
+
+    #[test]
+    fn indexed_plan_admits_exactly_like_scan_plan() {
+        let rel = restaurant_sample();
+        let oracle = DistanceOracle::build(&rel, 3000);
+        let index = SimilarityIndex::build(&rel, &oracle);
+        let sigma = [
+            Rfd::new(vec![Constraint::new(2, 1.0)], Constraint::new(4, 0.0)),
+            Rfd::new(
+                vec![Constraint::new(0, 8.0), Constraint::new(2, 0.0)],
+                Constraint::new(1, 9.0),
+            ),
+            Rfd::new(vec![Constraint::new(0, 20.0)], Constraint::new(2, 2.0)),
+        ];
+        for scope in [VerifyScope::LhsOnly, VerifyScope::Full] {
+            for (row, attr) in [(6, 2), (3, 2), (5, 1), (4, 3)] {
+                assert!(rel.is_missing(row, attr));
+                let scan =
+                    VerifyPlan::build(&oracle, &rel, row, attr, sigma.iter(), scope);
+                let indexed = VerifyPlan::build_with(
+                    &oracle,
+                    Some(&index),
+                    &rel,
+                    row,
+                    attr,
+                    sigma.iter(),
+                    scope,
+                );
+                for donor in 0..rel.len() {
+                    if rel.is_missing(donor, attr) {
+                        continue;
+                    }
+                    assert_eq!(
+                        scan.admits(&oracle, &rel, attr, donor),
+                        indexed.admits(&oracle, &rel, attr, donor),
+                        "scope {scope:?} cell ({row},{attr}) donor {donor}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,17 +8,27 @@ use renuver_data::Value;
 /// This is the `δ` used for text attributes (paper Section 5.3, ref. \[25\]):
 /// e.g. `levenshtein("Fenix", "Fenix Argyle") == 7` as in Example 5.5.
 pub fn levenshtein(a: &str, b: &str) -> usize {
-    if a == b {
-        // Equality short-circuit: without it, two identical megabyte cells
-        // cost a full O(n²) dynamic program just to report zero.
-        return 0;
+    if let Some(d) = zero_if_equal(a, b) {
+        return d;
     }
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     lev_core(&a, &b)
 }
 
-fn lev_core(a: &[char], b: &[char]) -> usize {
+/// Equality short-circuit shared by both Levenshtein kernels: identical
+/// strings answer 0 before any chars are collected — without it, two
+/// identical megabyte cells cost a full O(n²) dynamic program just to
+/// report zero.
+#[inline]
+fn zero_if_equal(a: &str, b: &str) -> Option<usize> {
+    (a == b).then_some(0)
+}
+
+/// Levenshtein over pre-collected char slices — the kernel shared by
+/// [`levenshtein`] and the oracle's matrix fill (which collects each
+/// dictionary value's chars once instead of once per pair).
+pub(crate) fn lev_core(a: &[char], b: &[char]) -> usize {
     // Keep the shorter string in the inner dimension to minimize the row.
     let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if short.is_empty() {
@@ -44,14 +54,18 @@ fn lev_core(a: &[char], b: &[char]) -> usize {
 /// Candidate filtering in RENUVER and RFD discovery only ever asks
 /// "is the distance ≤ t?", so the bounded kernel is the hot path.
 pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
-    if a == b {
-        return Some(0);
+    if let Some(d) = zero_if_equal(a, b) {
+        return Some(d);
     }
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     if a.len().abs_diff(b.len()) > max {
         return None;
     }
+    // The distance never exceeds the longer length, so the band half-width
+    // doesn't need to either — this also keeps the `i + max` band edge from
+    // overflowing when callers pass a `usize::MAX`-style "unbounded" bound.
+    let max = max.min(a.len().max(b.len()));
     let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
     if short.is_empty() {
         return (long.len() <= max).then_some(long.len());
@@ -179,6 +193,14 @@ mod tests {
     #[test]
     fn bounded_early_exit_on_length_gap() {
         assert_eq!(levenshtein_bounded("a", "abcdefgh", 3), None);
+    }
+
+    #[test]
+    fn bounded_survives_unbounded_max() {
+        // Regression: `usize::MAX` as the bound used to overflow the band
+        // edge (`i + max`). The bound is now clamped to the longer length.
+        assert_eq!(levenshtein_bounded("kitten", "sitting", usize::MAX), Some(3));
+        assert_eq!(levenshtein_bounded("", "abc", usize::MAX), Some(3));
     }
 
     #[test]

@@ -9,10 +9,12 @@
 
 pub mod extra;
 pub mod functions;
+pub mod index;
 pub mod oracle;
 pub mod pattern;
 
 pub use extra::{jaccard_token_distance, jaro_winkler_distance, soundex};
 pub use functions::{levenshtein, levenshtein_bounded, value_distance};
+pub use index::{intersect_sorted, union_sorted, SimilarityIndex};
 pub use oracle::DistanceOracle;
 pub use pattern::DistancePattern;

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use renuver_budget::Budget;
 use renuver_data::{AttrId, AttrType, Relation, Value};
 
-use crate::functions::{value_distance, value_distance_bounded};
+use crate::functions::{lev_core, value_distance, value_distance_bounded};
 
 /// Dictionary values longer than this never enter a precomputed matrix:
 /// one megabyte-scale cell would turn the `O(k²)` fill into gigabytes of
@@ -45,6 +45,19 @@ enum ColumnTable {
     },
     /// Text column whose dictionary exceeded the cap.
     Direct,
+}
+
+/// Per-row dictionary status of a matrix-encoded text column, as exposed
+/// by [`DistanceOracle::dictionary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowCode {
+    /// The cell's interned dictionary code.
+    Code(u32),
+    /// The cell is missing.
+    Null,
+    /// The cell holds a post-update value outside the dictionary; the
+    /// oracle computes its distances directly.
+    Foreign,
 }
 
 /// Per-relation distance cache (see module docs).
@@ -125,7 +138,7 @@ impl DistanceOracle {
                     {
                         return None;
                     }
-                    tail.push(lev_chars(&chars[a], &chars[b]) as f32);
+                    tail.push(lev_core(&chars[a], &chars[b]) as f32);
                 }
                 Some(tail)
             });
@@ -215,6 +228,29 @@ impl DistanceOracle {
         }
     }
 
+    /// The dictionary encoding of a text column, when one was built: the
+    /// value → code interning map plus the per-row code of every cell.
+    /// `None` for numeric/boolean columns and for text columns that
+    /// degraded to direct computation (over-cap dictionaries, huge cells,
+    /// tripped budgets) — the [`crate::SimilarityIndex`] builds its q-gram
+    /// layer on top of this encoding and re-interns only when it is absent.
+    pub fn dictionary(&self, attr: AttrId) -> Option<(&HashMap<String, u32>, Vec<RowCode>)> {
+        match &self.tables[attr] {
+            ColumnTable::Matrix { index, .. } => {
+                let rows = self.codes[attr]
+                    .iter()
+                    .map(|&c| match c {
+                        NULL_CODE => RowCode::Null,
+                        DIRECT_CODE => RowCode::Foreign,
+                        c => RowCode::Code(c),
+                    })
+                    .collect();
+                Some((index, rows))
+            }
+            _ => None,
+        }
+    }
+
     /// Re-interns a cell after its value changed (e.g. an imputation).
     /// A value not present in the column's dictionary falls back to direct
     /// computation for that cell — imputers that copy existing values
@@ -230,27 +266,6 @@ impl DistanceOracle {
             };
         }
     }
-}
-
-/// Levenshtein over pre-collected char slices (avoids re-collecting the
-/// chars for every pair during matrix construction).
-fn lev_chars(a: &[char], b: &[char]) -> usize {
-    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    if short.is_empty() {
-        return long.len();
-    }
-    let mut row: Vec<usize> = (0..=short.len()).collect();
-    for (i, &lc) in long.iter().enumerate() {
-        let mut prev_diag = row[0];
-        row[0] = i + 1;
-        for (j, &sc) in short.iter().enumerate() {
-            let cost = usize::from(lc != sc);
-            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
-            prev_diag = row[j + 1];
-            row[j + 1] = next;
-        }
-    }
-    row[short.len()]
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! RFD satisfaction, violation enumeration, and key-RFD detection.
 
 use renuver_data::Relation;
-use renuver_distance::DistanceOracle;
+use renuver_distance::{DistanceOracle, SimilarityIndex};
 
 use crate::model::Rfd;
 
@@ -146,6 +146,51 @@ pub fn is_key_with(oracle: &DistanceOracle, rel: &Relation, rfd: &Rfd) -> bool {
     true
 }
 
+/// [`is_key_with`] accelerated by a [`SimilarityIndex`]: instead of the
+/// `O(n²)` pair scan, each row queries the index on one LHS attribute and
+/// exact-checks only the returned neighborhood (a superset of the rows
+/// within that constraint — see the index's superset contract, which makes
+/// the verdict identical to the scan's). Falls back to [`is_key_with`]
+/// when no LHS attribute is indexed; the zero-threshold bucket fast path
+/// is kept, it is already sub-quadratic.
+pub fn is_key_with_index(
+    oracle: &DistanceOracle,
+    index: Option<&SimilarityIndex>,
+    rel: &Relation,
+    rfd: &Rfd,
+) -> bool {
+    let probe = match index {
+        Some(ix) if !rfd.lhs().iter().any(|c| c.threshold == 0.0) => {
+            rfd.lhs().iter().find(|c| ix.is_indexed(c.attr)).map(|c| (ix, c))
+        }
+        _ => None,
+    };
+    let Some((ix, probe)) = probe else {
+        return is_key_with(oracle, rel, rfd);
+    };
+    for i in 0..rel.len() {
+        match ix.rows_within(rel, probe.attr, i, probe.threshold) {
+            Some(neighbors) => {
+                for j in neighbors {
+                    if j > i && pair_satisfies_lhs_with(oracle, rel, rfd, i, j) {
+                        return false;
+                    }
+                }
+            }
+            // The index declined to prune for this row's value (weak
+            // selectivity); scan its pairs directly.
+            None => {
+                for j in i + 1..rel.len() {
+                    if pair_satisfies_lhs_with(oracle, rel, rfd, i, j) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
 /// Incremental key test after tuple `row` changed: `φ` stays a key iff no
 /// pair *involving `row`* satisfies the LHS (pairs not involving `row` were
 /// already checked when `φ` was classified). Used by RENUVER's
@@ -163,6 +208,31 @@ pub fn stays_key_after_update_with(
 ) -> bool {
     (0..rel.len())
         .all(|j| j == row || !pair_satisfies_lhs_with(oracle, rel, rfd, row.min(j), row.max(j)))
+}
+
+/// [`stays_key_after_update_with`] accelerated by a [`SimilarityIndex`]:
+/// only the index-retrieved neighborhood of the changed row on one indexed
+/// LHS attribute is exact-checked (same verdict — any LHS-satisfying pair
+/// is within every LHS constraint, hence inside the queried superset).
+pub fn stays_key_after_update_with_index(
+    oracle: &DistanceOracle,
+    index: Option<&SimilarityIndex>,
+    rel: &Relation,
+    rfd: &Rfd,
+    row: usize,
+) -> bool {
+    if let Some(ix) = index {
+        if let Some(probe) = rfd.lhs().iter().find(|c| ix.is_indexed(c.attr)) {
+            if let Some(neighbors) = ix.rows_within(rel, probe.attr, row, probe.threshold)
+            {
+                return neighbors.into_iter().all(|j| {
+                    j == row
+                        || !pair_satisfies_lhs_with(oracle, rel, rfd, row.min(j), row.max(j))
+                });
+            }
+        }
+    }
+    stays_key_after_update_with(oracle, rel, rfd, row)
 }
 
 #[cfg(test)]
@@ -310,6 +380,45 @@ pub(crate) mod tests {
             }
             assert_eq!(is_key_with(&oracle, &rel, rfd), brute, "{rfd:?}");
             assert_eq!(is_key(&rel, rfd), brute, "{rfd:?}");
+        }
+    }
+
+    #[test]
+    fn indexed_key_checks_match_scan() {
+        let mut rel = restaurant_sample();
+        let candidates = vec![
+            // Zero threshold: bucket fast path (index unused).
+            Rfd::new(vec![Constraint::new(2, 0.0)], Constraint::new(4, 0.0)),
+            // Non-zero thresholds: the indexed neighborhood path.
+            Rfd::new(vec![Constraint::new(0, 4.0)], Constraint::new(2, 1.0)),
+            Rfd::new(
+                vec![Constraint::new(0, 2.0), Constraint::new(4, 1.0)],
+                Constraint::new(3, 0.0),
+            ),
+            // Key under the full scan: stays a key under the index.
+            Rfd::new(vec![Constraint::new(0, 1.0)], Constraint::new(3, 0.0)),
+        ];
+        let oracle = renuver_distance::DistanceOracle::build(&rel, 100);
+        let index = SimilarityIndex::build(&rel, &oracle);
+        for rfd in &candidates {
+            assert_eq!(
+                is_key_with_index(&oracle, Some(&index), &rel, rfd),
+                is_key_with(&oracle, &rel, rfd),
+                "{rfd:?}"
+            );
+        }
+        // Incremental re-check after a cell update.
+        rel.set_value(3, 2, rel.value(2, 2).clone());
+        let oracle = renuver_distance::DistanceOracle::build(&rel, 100);
+        let index = SimilarityIndex::build(&rel, &oracle);
+        for rfd in &candidates {
+            for row in 0..rel.len() {
+                assert_eq!(
+                    stays_key_after_update_with_index(&oracle, Some(&index), &rel, rfd, row),
+                    stays_key_after_update_with(&oracle, &rel, rfd, row),
+                    "{rfd:?} row {row}"
+                );
+            }
         }
     }
 

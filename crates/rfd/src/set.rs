@@ -1,9 +1,9 @@
 //! Collections of RFDs with the indexes RENUVER consumes.
 
 use renuver_data::{AttrId, Relation, Schema};
-use renuver_distance::DistanceOracle;
+use renuver_distance::{DistanceOracle, SimilarityIndex};
 
-use crate::check::is_key_with;
+use crate::check::is_key_with_index;
 use crate::model::Rfd;
 
 /// A cluster `ρ_A^i`: all RFDs with RHS attribute `A` and the same RHS
@@ -135,6 +135,19 @@ impl RfdSet {
         rel: &Relation,
         budget: &renuver_budget::Budget,
     ) -> (Vec<usize>, Vec<usize>, bool) {
+        self.partition_keys_budgeted_with(oracle, None, rel, budget)
+    }
+
+    /// [`RfdSet::partition_keys_budgeted`] with an optional
+    /// [`SimilarityIndex`] accelerating each key test (identical verdicts
+    /// — see [`is_key_with_index`]).
+    pub fn partition_keys_budgeted_with(
+        &self,
+        oracle: &DistanceOracle,
+        index: Option<&SimilarityIndex>,
+        rel: &Relation,
+        budget: &renuver_budget::Budget,
+    ) -> (Vec<usize>, Vec<usize>, bool) {
         let mut non_keys = Vec::new();
         let mut keys = Vec::new();
         let mut cut = false;
@@ -142,7 +155,7 @@ impl RfdSet {
             if !cut && budget.check("rfd::partition_keys").is_err() {
                 cut = true;
             }
-            if !cut && is_key_with(oracle, rel, rfd) {
+            if !cut && is_key_with_index(oracle, index, rel, rfd) {
                 keys.push(i);
             } else {
                 non_keys.push(i);

@@ -16,7 +16,7 @@
 use std::process::ExitCode;
 
 use renuver::baselines::{Derand, DerandConfig, GreyKnn, GreyKnnConfig, Holoclean, HolocleanConfig};
-use renuver::core::{ClusterOrder, Renuver, RenuverConfig, VerifyScope};
+use renuver::core::{ClusterOrder, IndexMode, Renuver, RenuverConfig, VerifyScope};
 use renuver::data::{csv, Cell, Relation};
 use renuver::dc::{discover_dcs, DcDiscoveryConfig};
 use renuver::eval::{evaluate, inject};
@@ -52,11 +52,12 @@ const USAGE: &str = "usage:
   renuver impute   <data.csv> [--rfds rfds.txt | --limit N] [--out repaired.csv]
                    [--approach renuver|derand|holoclean|knn] [--explain]
                    [--donors donor.csv] [--full-verify] [--descending]
-                   [budget flags]
+                   [--index-mode scan|indexed|auto] [budget flags]
   renuver evaluate --original full.csv --incomplete holes.csv \\
                    --imputed repaired.csv [--rules rules.txt | --auto-rules F]
   renuver compare  <full.csv> --rate R [--limit N] [--seeds N]
-                   [--rules rules.txt | --auto-rules F] [budget flags]
+                   [--rules rules.txt | --auto-rules F]
+                   [--index-mode scan|indexed|auto] [budget flags]
 
 budget flags (discover, impute, compare):
   --timeout-secs S   stop after S seconds, returning the partial result
@@ -127,6 +128,20 @@ impl<'a> Args<'a> {
                 .map(Some)
                 .map_err(|_| format!("bad value {raw:?} for {flag}")),
         }
+    }
+}
+
+/// Resolve `--index-mode` (shared by `impute` and `compare`). Every mode
+/// yields bit-for-bit identical repairs; the knob only trades index
+/// construction time against per-cell scan time.
+fn index_mode_from_args(args: &Args) -> Result<IndexMode, String> {
+    match args.value("--index-mode") {
+        None | Some("auto") => Ok(IndexMode::Auto),
+        Some("scan") => Ok(IndexMode::Scan),
+        Some("indexed") => Ok(IndexMode::Indexed),
+        Some(other) => Err(format!(
+            "bad value {other:?} for --index-mode (expected scan, indexed, or auto)"
+        )),
     }
 }
 
@@ -207,7 +222,7 @@ fn flag_spec(cmd: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
         }
         "inject" => (vec!["--rate", "--seed", "--out"], vec![]),
         "impute" => {
-            let mut v = vec!["--rfds", "--out", "--approach", "--donors"];
+            let mut v = vec!["--rfds", "--out", "--approach", "--donors", "--index-mode"];
             v.extend(discovery);
             (v, vec!["--full-verify", "--descending", "--explain"])
         }
@@ -216,7 +231,7 @@ fn flag_spec(cmd: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
             vec![],
         ),
         "compare" => {
-            let mut v = vec!["--rate", "--seeds", "--rules", "--auto-rules"];
+            let mut v = vec!["--rate", "--seeds", "--rules", "--auto-rules", "--index-mode"];
             v.extend(discovery);
             (v, vec![])
         }
@@ -432,6 +447,7 @@ fn impute_cmd(args: &Args) -> Result<(), String> {
             ClusterOrder::Ascending
         },
         budget: spec.build(),
+        index_mode: index_mode_from_args(args)?,
         ..RenuverConfig::default()
     };
     if approach == "derand" {
@@ -556,8 +572,12 @@ fn compare_cmd(args: &Args) -> Result<(), String> {
     let dcs = discover_dcs(&rel, &DcDiscoveryConfig::default());
     eprintln!("{} RFDs, {} DCs", rfds.len(), dcs.len());
 
+    let renuver_config = RenuverConfig {
+        index_mode: index_mode_from_args(args)?,
+        ..RenuverConfig::default()
+    };
     let imputers: Vec<Box<dyn Imputer>> = vec![
-        Box::new(RenuverImputer::new(RenuverConfig::default(), rfds.clone())),
+        Box::new(RenuverImputer::new(renuver_config, rfds.clone())),
         Box::new(DerandImputer::new(DerandConfig::default(), rfds)),
         Box::new(HolocleanImputer::new(HolocleanConfig::default(), dcs)),
         Box::new(GreyKnnImputer::new(GreyKnnConfig::default())),
@@ -682,6 +702,27 @@ mod tests {
         // Budget flags are valid on discover/impute/compare only.
         let err = run(&strings(&["inject", "x.csv", "--ops-limit", "9"])).unwrap_err();
         assert!(err.contains("--ops-limit"), "{err}");
+    }
+
+    #[test]
+    fn index_mode_flag_parses_the_three_modes() {
+        for (given, want) in [
+            (None, IndexMode::Auto),
+            (Some("auto"), IndexMode::Auto),
+            (Some("scan"), IndexMode::Scan),
+            (Some("indexed"), IndexMode::Indexed),
+        ] {
+            let raw = match given {
+                Some(v) => strings(&["x.csv", "--index-mode", v]),
+                None => strings(&["x.csv"]),
+            };
+            let args = Args::parse(&raw, &["--index-mode"], &[]).unwrap();
+            assert_eq!(index_mode_from_args(&args).unwrap(), want);
+        }
+        let raw = strings(&["x.csv", "--index-mode", "turbo"]);
+        let args = Args::parse(&raw, &["--index-mode"], &[]).unwrap();
+        let err = index_mode_from_args(&args).unwrap_err();
+        assert!(err.contains("turbo"), "{err}");
     }
 
     #[test]

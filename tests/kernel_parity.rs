@@ -1,0 +1,96 @@
+//! Pins the bounded and unbounded Levenshtein kernels to each other over
+//! the fuzz corpus.
+//!
+//! The two kernels share `lev_core` and an equality short-circuit, but the
+//! bounded one adds a band (Ukkonen) and early exits; a divergence between
+//! them would silently corrupt the similarity index, whose q-gram filter
+//! verifies candidates with `levenshtein_bounded` while the scan path's
+//! distance matrix is filled by the unbounded kernel. Every token harvested
+//! from `tests/corpus/` — malformed CSV/ARFF fragments full of quotes,
+//! control characters, and truncated multibyte text — is paired against
+//! every other and the kernels must agree exactly.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use renuver::distance::{levenshtein, levenshtein_bounded};
+
+/// Harvest distinct tokens from the corpus: whole lines plus their
+/// comma-split cells, so both long malformed records and short field
+/// values are represented. `BTreeSet` keeps the pairing order stable.
+fn corpus_tokens() -> Vec<String> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut tokens = BTreeSet::new();
+    tokens.insert(String::new()); // the empty string is always in scope
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "fuzz corpus is missing");
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("corpus files are UTF-8");
+        for line in text.lines() {
+            tokens.insert(line.to_owned());
+            for cell in line.split(',') {
+                tokens.insert(cell.trim().to_owned());
+            }
+        }
+    }
+    // Cap the pair count: prefer short tokens (denser edit-distance
+    // neighborhoods exercise the band edges harder than long garbage).
+    let mut tokens: Vec<String> = tokens.into_iter().collect();
+    tokens.sort_by_key(|t| (t.chars().count(), t.clone()));
+    tokens.truncate(120);
+    tokens
+}
+
+#[test]
+fn bounded_kernel_matches_unbounded_on_fuzz_corpus() {
+    let tokens = corpus_tokens();
+    assert!(tokens.len() >= 40, "corpus harvest too small to be meaningful");
+    for a in &tokens {
+        for b in &tokens {
+            let d = levenshtein(a, b);
+            // An unlimited bound must reproduce the unbounded kernel
+            // exactly (this is the overflow regression surface: `max`
+            // used to join the band arithmetic unclamped).
+            assert_eq!(
+                levenshtein_bounded(a, b, usize::MAX),
+                Some(d),
+                "usize::MAX bound diverged on {a:?} vs {b:?}"
+            );
+            // The tightest sufficient bound still admits the distance…
+            assert_eq!(
+                levenshtein_bounded(a, b, d),
+                Some(d),
+                "exact bound diverged on {a:?} vs {b:?}"
+            );
+            // …and one below it must reject, never under-report.
+            if d > 0 {
+                assert_eq!(
+                    levenshtein_bounded(a, b, d - 1),
+                    None,
+                    "bound {} admitted distance-{d} pair {a:?} vs {b:?}",
+                    d - 1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bounded_kernel_is_symmetric_on_fuzz_corpus() {
+    // Symmetry of the bounded kernel matters because the index probes
+    // (query, candidate) while the oracle matrix fills (candidate, query).
+    let tokens = corpus_tokens();
+    for a in tokens.iter().take(60) {
+        for b in tokens.iter().take(60) {
+            assert_eq!(
+                levenshtein_bounded(a, b, 3),
+                levenshtein_bounded(b, a, 3),
+                "asymmetry on {a:?} vs {b:?}"
+            );
+        }
+    }
+}

@@ -572,7 +572,14 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        // Honor upstream proptest's `PROPTEST_CASES` environment knob so
+        // CI can pin a small, reproducible case count without editing
+        // test sources. An explicit `with_cases` still wins.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
     }
 }
 
