@@ -20,53 +20,14 @@
 //!   decline and fall back to scans, so its speedup hovers near 1× by
 //!   design — recorded here to document that regime, not to win it.
 
-use std::time::Instant;
-
-use renuver_bench::quick_mode;
+use renuver_bench::{median_ms, out_path, quick_mode, synthetic_shops, write_bench_json};
 use renuver_core::{
     find_candidate_tuples, find_candidate_tuples_with, IndexMode, Renuver, RenuverConfig,
 };
-use renuver_data::{AttrType, Relation, Schema, Value};
+use renuver_data::Relation;
 use renuver_distance::{DistanceOracle, SimilarityIndex};
 use renuver_eval::inject;
 use renuver_rfd::{Rfd, RfdSet};
-
-/// The 5 000-row synthetic relation of `tests/index_differential.rs` (and
-/// `tests/parallel_determinism.rs`): high-cardinality text columns with
-/// planted dependencies.
-fn synthetic(n: usize) -> Relation {
-    let schema = Schema::new([
-        ("Name", AttrType::Text),
-        ("City", AttrType::Text),
-        ("Zip", AttrType::Text),
-        ("Class", AttrType::Int),
-    ])
-    .unwrap();
-    let rows: Vec<Vec<Value>> = (0..n)
-        .map(|i| {
-            let city_id = i % 40;
-            vec![
-                Value::from(format!("Shop-{:04}", i % 800).as_str()),
-                Value::from(format!("City{city_id:02}").as_str()),
-                Value::from(format!("9{:04}", city_id * 7).as_str()),
-                Value::Int((i % 9) as i64),
-            ]
-        })
-        .collect();
-    Relation::new(schema, rows).unwrap()
-}
-
-fn median_ms(runs: usize, mut f: impl FnMut()) -> f64 {
-    let mut samples: Vec<f64> = (0..runs)
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed().as_secs_f64() * 1e3
-        })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
-}
 
 /// Every missing cell with a non-empty cluster — the per-cell loop of
 /// Algorithm 2 — paired with its cluster under `sigma`.
@@ -113,7 +74,7 @@ fn measure_candidates(
 fn main() {
     let runs = if quick_mode() { 3 } else { 7 };
     let n = if quick_mode() { 1_000 } else { 5_000 };
-    let rel = synthetic(n);
+    let rel = synthetic_shops(n);
     // Headline: discovery-realistic tight thresholds (selective filters).
     let tight = RfdSet::from_text(
         "City(<=0) -> Zip(<=0)\n\
@@ -191,14 +152,5 @@ fn main() {
         impute_scan / impute_indexed,
     );
 
-    let out = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--out")
-            .and_then(|i| args.get(i + 1).cloned())
-            .unwrap_or_else(|| "BENCH_index.json".to_string())
-    };
-    std::fs::write(&out, &json).expect("write benchmark results");
-    print!("{json}");
-    eprintln!("wrote {out}");
+    write_bench_json(&out_path("BENCH_index.json"), &json);
 }

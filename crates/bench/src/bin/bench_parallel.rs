@@ -8,31 +8,14 @@
 //! medians; `machine_cores` records how many cores were actually available,
 //! since the expected speedup on a single-core machine is ~1.0.
 
-use std::time::Instant;
-
-use renuver_bench::{parallel_fixture, quick_mode, rfds_for, DATA_SEED};
+use renuver_bench::{
+    available_cores, median_ms, out_path, parallel_fixture, quick_mode, rfds_for,
+    write_bench_json, DATA_SEED,
+};
 use renuver_core::{Renuver, RenuverConfig};
 use renuver_datasets::Dataset;
 use renuver_distance::DistanceOracle;
 use renuver_eval::inject;
-
-fn available_cores() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-/// Median wall-clock milliseconds over `runs` executions (first run warm-up
-/// is included in the sample set; the median is robust to it).
-fn median_ms(runs: usize, mut f: impl FnMut()) -> f64 {
-    let mut samples: Vec<f64> = (0..runs)
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed().as_secs_f64() * 1e3
-        })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
-}
 
 fn main() {
     let cores = available_cores();
@@ -86,14 +69,5 @@ fn main() {
         impute_seq / impute_par,
     );
 
-    let out = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--out")
-            .and_then(|i| args.get(i + 1).cloned())
-            .unwrap_or_else(|| "BENCH_parallel.json".to_string())
-    };
-    std::fs::write(&out, &json).expect("write benchmark results");
-    print!("{json}");
-    eprintln!("wrote {out} ({cores} cores)");
+    write_bench_json(&out_path("BENCH_parallel.json"), &json);
 }

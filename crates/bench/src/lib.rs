@@ -132,6 +132,72 @@ pub fn fmt_score(x: f64) -> String {
     format!("{x:.3}")
 }
 
+/// Number of cores available to this process — recorded in the benchmark
+/// JSON so a ~1.0 parallel speedup on a single-core box reads as expected
+/// behavior, not a regression.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Median wall-clock milliseconds over `runs` executions (the first-run
+/// warm-up is included in the sample set; the median is robust to it).
+pub fn median_ms(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The value following `--out`, or `default`: where a `bench_*` binary
+/// writes its JSON results.
+pub fn out_path(default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| default.to_string())
+}
+
+/// The shared tail of every `bench_*` binary: writes the JSON results to
+/// `path`, echoes them on stdout, and notes the destination on stderr.
+pub fn write_bench_json(path: &str, json: &str) {
+    std::fs::write(path, json).expect("write benchmark results");
+    print!("{json}");
+    eprintln!("wrote {path}");
+}
+
+/// The synthetic shop relation of `tests/index_differential.rs` and
+/// `tests/parallel_determinism.rs` (5 000 rows in the full protocol):
+/// high-cardinality text columns with planted City→Zip / Zip→City
+/// dependencies, shared by `bench_index` and `bench_obs`.
+pub fn synthetic_shops(n: usize) -> renuver_data::Relation {
+    use renuver_data::{AttrType, Relation, Schema, Value};
+    let schema = Schema::new([
+        ("Name", AttrType::Text),
+        ("City", AttrType::Text),
+        ("Zip", AttrType::Text),
+        ("Class", AttrType::Int),
+    ])
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|i| {
+            let city_id = i % 40;
+            vec![
+                Value::from(format!("Shop-{:04}", i % 800).as_str()),
+                Value::from(format!("City{city_id:02}").as_str()),
+                Value::from(format!("9{:04}", city_id * 7).as_str()),
+                Value::Int((i % 9) as i64),
+            ]
+        })
+        .collect();
+    Relation::new(schema, rows).unwrap()
+}
+
 /// Relation for the parallel-speedup benchmarks: `n` rows drawing a text
 /// column from `k` distinct ~15-char values (plus an int column), so the
 /// [`renuver_distance::DistanceOracle`] build is dominated by the O(k²)

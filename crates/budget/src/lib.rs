@@ -156,6 +156,19 @@ pub enum BudgetTrip {
     Cancelled,
 }
 
+impl BudgetTrip {
+    /// Short machine-readable label, used by trace events (the human
+    /// phrasing lives in the `Display` impl).
+    pub fn label(self) -> &'static str {
+        match self {
+            BudgetTrip::Deadline => "deadline",
+            BudgetTrip::Memory => "memory",
+            BudgetTrip::Ops => "ops",
+            BudgetTrip::Cancelled => "cancelled",
+        }
+    }
+}
+
 impl fmt::Display for BudgetTrip {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -207,6 +220,17 @@ impl Clock {
     }
 }
 
+/// Observer invoked exactly once, by the check that first records a trip.
+/// Wrapped in a newtype so `Inner` can keep deriving/printing `Debug`.
+#[derive(Clone)]
+struct TripHook(Arc<dyn Fn(BudgetTrip, &'static str) + Send + Sync>);
+
+impl fmt::Debug for TripHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TripHook(..)")
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     clock: Clock,
@@ -216,6 +240,7 @@ struct Inner {
     ops: AtomicU64,
     cancelled: AtomicBool,
     trip: OnceLock<(BudgetTrip, &'static str)>,
+    trip_hook: Option<TripHook>,
 }
 
 impl Clone for Inner {
@@ -232,6 +257,7 @@ impl Clone for Inner {
             ops: AtomicU64::new(self.ops.load(Ordering::Relaxed)),
             cancelled: AtomicBool::new(self.cancelled.load(Ordering::Relaxed)),
             trip,
+            trip_hook: self.trip_hook.clone(),
         }
     }
 }
@@ -278,6 +304,7 @@ impl Budget {
                 ops: AtomicU64::new(0),
                 cancelled: AtomicBool::new(false),
                 trip: OnceLock::new(),
+                trip_hook: None,
             }),
         }
     }
@@ -309,6 +336,18 @@ impl Budget {
     /// Replaces the wall clock with a hand-advanced one (tests).
     pub fn with_manual_clock(self, clock: ManualClock) -> Self {
         self.edit(|i| i.clock = Clock::Manual(clock))
+    }
+
+    /// Registers an observer invoked exactly once — by whichever
+    /// [`Budget::check`] first records a trip, with the trip kind and the
+    /// phase that observed it. The observability layer uses this to turn
+    /// budget trips into trace events at the moment they happen; the hook
+    /// must not call back into the budget.
+    pub fn with_trip_hook(
+        self,
+        hook: Arc<dyn Fn(BudgetTrip, &'static str) + Send + Sync>,
+    ) -> Self {
+        self.edit(|i| i.trip_hook = Some(TripHook(hook)))
     }
 
     /// Requests cancellation: the next [`Budget::check`] on any clone
@@ -358,7 +397,11 @@ impl Budget {
             Some(t) => {
                 // First writer wins; racing phases agree on the trip kind
                 // variance-free because every later check re-reads the cell.
-                let _ = self.inner.trip.set((t, phase));
+                if self.inner.trip.set((t, phase)).is_ok() {
+                    if let Some(TripHook(hook)) = &self.inner.trip_hook {
+                        hook(t, phase);
+                    }
+                }
                 Err(self.inner.trip.get().map_or(t, |(t, _)| *t))
             }
         }
@@ -606,6 +649,22 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("operation limit"), "{text}");
         assert!(text.contains("in two"), "{text}");
+    }
+
+    #[test]
+    fn trip_hook_fires_exactly_once_with_site() {
+        use std::sync::Mutex;
+        let seen: Arc<Mutex<Vec<(BudgetTrip, &'static str)>>> = Arc::default();
+        let sink = Arc::clone(&seen);
+        let b = Budget::unlimited()
+            .with_ops_limit(1)
+            .with_trip_hook(Arc::new(move |t, p| sink.lock().unwrap().push((t, p))));
+        let worker = b.clone();
+        assert!(b.check("warm").is_ok());
+        assert_eq!(worker.check("hot"), Err(BudgetTrip::Ops));
+        // Sticky re-reports must not re-fire the hook.
+        assert_eq!(b.check("later"), Err(BudgetTrip::Ops));
+        assert_eq!(*seen.lock().unwrap(), vec![(BudgetTrip::Ops, "hot")]);
     }
 
     #[test]

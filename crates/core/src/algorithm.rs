@@ -3,13 +3,73 @@
 use renuver_budget::BudgetTrip;
 use renuver_data::{Cell, Relation};
 use renuver_distance::{DistanceOracle, SimilarityIndex};
+use renuver_obs::{Counter, Field, FieldValue, Histogram};
 use renuver_rfd::check::stays_key_after_update_with_index;
 use renuver_rfd::{Rfd, RfdSet};
 
 use crate::candidates::{find_candidate_tuples_with, sort_candidates};
 use crate::config::{ClusterOrder, ImputationOrder, IndexMode, RenuverConfig, AUTO_MIN_ROWS};
-use crate::result::{CellOutcome, ImputationResult, ImputationStats, ImputedCell, TraceEvent};
+use crate::result::{
+    CellExplain, CellOutcome, DryReason, ExplainWinner, ImputationResult, ImputationStats,
+    ImputedCell, TraceEvent,
+};
 use crate::verify::VerifyPlan;
+
+/// What one cell's imputation attempt produced: the written cell (when one
+/// stuck) plus the explain-level detail the caller folds into a
+/// [`CellExplain`] and the tracer's `cell` event. The heavy fields
+/// (`generating_rfds`, `winner`) are only populated when explain detail
+/// was requested; the counts are always exact.
+struct CellAttempt {
+    imputed: Option<ImputedCell>,
+    clusters: usize,
+    candidates: usize,
+    generating_rfds: Vec<usize>,
+    winner: Option<ExplainWinner>,
+    dried_up: Option<DryReason>,
+}
+
+/// Metric handles the per-cell loop increments, registered once per run
+/// (only when the tracer is enabled — a disabled run touches no registry).
+struct CoreMetrics {
+    candidates_per_cell: Histogram,
+    verify_full: Counter,
+    verify_changed_rows: Counter,
+}
+
+/// Flattens a [`CellExplain`] into the `cell` trace-event payload
+/// (schema: `renuver_obs::schema`, kind `cell`).
+fn cell_event_fields(exp: &CellExplain) -> Vec<Field> {
+    let mut fields = vec![
+        ("row", FieldValue::U64(exp.cell.row as u64)),
+        ("attr", FieldValue::U64(exp.cell.col as u64)),
+        ("outcome", FieldValue::Str(exp.outcome.label())),
+        ("clusters", FieldValue::U64(exp.clusters as u64)),
+        ("candidates", FieldValue::U64(exp.candidates as u64)),
+    ];
+    if !exp.generating_rfds.is_empty() {
+        fields.push((
+            "rfds",
+            FieldValue::U64s(exp.generating_rfds.iter().map(|&i| i as u64).collect()),
+        ));
+    }
+    if let Some(w) = &exp.winner {
+        fields.push(("donor_row", FieldValue::U64(w.donor_row as u64)));
+        fields.push(("via_rfd", FieldValue::U64(w.via_rfd as u64)));
+        fields.push(("distance", FieldValue::F64(w.distance)));
+        if let Some(margin) = w.runner_up_margin {
+            fields.push(("margin", FieldValue::F64(margin)));
+        }
+        fields.push(("lhs_dists", FieldValue::F64s(w.lhs_distances.clone())));
+    }
+    if let Some(reason) = exp.dried_up {
+        fields.push(("reason", FieldValue::Str(reason.label())));
+        if let DryReason::Budget(trip) = reason {
+            fields.push(("trip", FieldValue::Str(trip.label())));
+        }
+    }
+    fields
+}
 
 /// The RENUVER imputation engine.
 ///
@@ -108,6 +168,22 @@ impl Renuver {
         row_range: std::ops::Range<usize>,
     ) -> ImputationResult {
         let budget = &self.config.budget;
+        let tracer = &self.config.tracer;
+        // Explain detail feeds both the result's `explains` vector and the
+        // tracer's per-cell events; computing it is gated on either
+        // consumer so disabled runs do no extra work.
+        let explain_on = self.config.explain || tracer.is_enabled();
+        let chunks_before = rayon::chunks_dispatched();
+        let run_span = tracer.span("core::impute");
+        tracer.event("run_start", run_span.id(), || {
+            vec![
+                ("subject", FieldValue::Str("impute")),
+                ("rows", FieldValue::U64(rel.len() as u64)),
+                ("attrs", FieldValue::U64(rel.arity() as u64)),
+                ("missing", FieldValue::U64(rel.missing_count() as u64)),
+                ("rfds", FieldValue::U64(sigma.len() as u64)),
+            ]
+        });
         let mut rel = rel.clone();
         let mut stats = ImputationStats::default();
         // Dictionary-encode the text columns once; every distance query in
@@ -115,7 +191,7 @@ impl Renuver {
         // matrix lookup. Kept current after every imputation. Under a
         // tripped budget the build degrades column-wise to direct
         // computation (same answers, no cache).
-        let mut oracle = DistanceOracle::build_budgeted(&rel, 3000, budget);
+        let mut oracle = DistanceOracle::build_traced(&rel, 3000, budget, tracer);
         // The similarity index prunes the `distance ≤ t` scans in key
         // detection, candidate generation, and verification — decisions
         // are identical with or without it (the superset contract in
@@ -124,17 +200,21 @@ impl Renuver {
         // to the scan path.
         let mut index: Option<SimilarityIndex> = match self.config.index_mode {
             IndexMode::Scan => None,
-            IndexMode::Indexed => Some(SimilarityIndex::build_budgeted(&rel, &oracle, budget)),
+            IndexMode::Indexed => {
+                Some(SimilarityIndex::build_traced(&rel, &oracle, budget, tracer))
+            }
             IndexMode::Auto => (rel.len() >= AUTO_MIN_ROWS)
-                .then(|| SimilarityIndex::build_budgeted(&rel, &oracle, budget)),
+                .then(|| SimilarityIndex::build_traced(&rel, &oracle, budget, tracer)),
         };
 
         // Pre-processing (lines 1-6): Σ' = non-key RFDs; r̂ = incomplete
         // tuples. `active` tracks Σ' membership so key-RFDs can be
         // re-admitted after imputations (line 14 / Example 5.1). When the
         // budget cuts the key scan short, unchecked RFDs stay active.
-        let (non_keys, keys, _keys_cut) =
-            sigma.partition_keys_budgeted_with(&oracle, index.as_ref(), &rel, budget);
+        let (non_keys, keys, _keys_cut) = {
+            let _span = run_span.child("core::partition_keys");
+            sigma.partition_keys_budgeted_with(&oracle, index.as_ref(), &rel, budget)
+        };
         stats.keys_filtered = keys.len();
         let mut active = vec![false; sigma.len()];
         for &i in &non_keys {
@@ -147,6 +227,15 @@ impl Renuver {
         let mut imputed = Vec::new();
         let mut unimputed = Vec::new();
         let mut trace: Vec<TraceEvent> = Vec::new();
+        let mut explains: Vec<CellExplain> = Vec::new();
+        let metrics = tracer.is_enabled().then(|| {
+            let m = tracer.metrics();
+            CoreMetrics {
+                candidates_per_cell: m.histogram("core.candidates_per_cell"),
+                verify_full: m.counter("core.verify_full"),
+                verify_changed_rows: m.counter("core.verify_changed_rows"),
+            }
+        });
         // Rows imputed in this run — the witness neighborhood the degraded
         // verification rung restricts itself to.
         let mut touched: Vec<usize> = Vec::new();
@@ -155,6 +244,7 @@ impl Renuver {
         // order (paper default: tuple by tuple, attributes within). The
         // budget ladder per cell: full verify → (pressure ≥ degrade_at)
         // changed-cell neighborhood verify → (tripped) skip the rest.
+        let cells_span = run_span.child("core::impute_cells");
         let cells = self.ordered_cells(&rel, &incomplete);
         let mut outcomes: Vec<(Cell, CellOutcome)> = Vec::with_capacity(cells.len());
         for Cell { row, col: attr } in cells {
@@ -178,6 +268,25 @@ impl Renuver {
                     unimputed.push(cell);
                     stats.unimputed += 1;
                     outcomes.push((cell, outcome));
+                    if explain_on {
+                        let exp = CellExplain {
+                            cell,
+                            outcome,
+                            clusters: 0,
+                            candidates: 0,
+                            generating_rfds: Vec::new(),
+                            winner: None,
+                            dried_up: Some(if outcome == CellOutcome::Cancelled {
+                                DryReason::Cancelled
+                            } else {
+                                DryReason::Budget(trip)
+                            }),
+                        };
+                        cells_span.event("cell", || cell_event_fields(&exp));
+                        if self.config.explain {
+                            explains.push(exp);
+                        }
+                    }
                     continue;
                 }
                 // The intermediate rung: close to the limit, verify only
@@ -187,7 +296,21 @@ impl Renuver {
                 if self.config.trace {
                     trace.push(TraceEvent::CellStarted { cell });
                 }
-                match self.impute_missing_value(
+                if let Some(cm) = &metrics {
+                    if degraded {
+                        cm.verify_changed_rows.inc();
+                    } else {
+                        cm.verify_full.inc();
+                    }
+                }
+                let CellAttempt {
+                    imputed: written,
+                    clusters,
+                    candidates,
+                    generating_rfds,
+                    winner,
+                    dried_up,
+                } = self.impute_missing_value(
                     &mut rel,
                     &oracle,
                     index.as_ref(),
@@ -196,9 +319,14 @@ impl Renuver {
                     sigma,
                     &active,
                     degraded.then_some(touched.as_slice()),
+                    explain_on,
                     &mut stats,
                     &mut trace,
-                ) {
+                );
+                if let Some(cm) = &metrics {
+                    cm.candidates_per_cell.observe(candidates as u64);
+                }
+                let outcome = match written {
                     Some(cell_rec) => {
                         oracle.update_cell(&rel, row, attr);
                         if let Some(ix) = index.as_mut() {
@@ -236,6 +364,7 @@ impl Renuver {
                                 }
                             });
                         }
+                        CellOutcome::Imputed
                     }
                     None => {
                         if self.config.trace {
@@ -244,10 +373,72 @@ impl Renuver {
                         unimputed.push(cell);
                         stats.unimputed += 1;
                         outcomes.push((cell, CellOutcome::NoCandidates));
+                        CellOutcome::NoCandidates
+                    }
+                };
+                if explain_on {
+                    let exp = CellExplain {
+                        cell,
+                        outcome,
+                        clusters,
+                        candidates,
+                        generating_rfds,
+                        winner,
+                        dried_up,
+                    };
+                    cells_span.event("cell", || cell_event_fields(&exp));
+                    if self.config.explain {
+                        explains.push(exp);
                     }
                 }
             }
         }
+
+        drop(cells_span);
+
+        // Roll the run counters into the metrics registry and bracket the
+        // trace with the budget accounting and run summary.
+        if tracer.is_enabled() {
+            let m = tracer.metrics();
+            m.counter("core.cells_imputed").add(stats.imputed as u64);
+            m.counter("core.cells_no_candidates")
+                .add((stats.unimputed - stats.skipped_budget - stats.cancelled) as u64);
+            m.counter("core.cells_skipped_budget").add(stats.skipped_budget as u64);
+            m.counter("core.cells_cancelled").add(stats.cancelled as u64);
+            m.counter("core.candidates_scored").add(stats.candidates_scored as u64);
+            m.counter("core.clusters_visited").add(stats.clusters_visited as u64);
+            m.counter("core.verifications").add(stats.verifications as u64);
+            m.counter("core.verification_failures")
+                .add(stats.verification_failures as u64);
+            m.counter("core.keys_reactivated").add(stats.keys_reactivated as u64);
+            m.gauge("parallel.threads").set(rayon::current_num_threads() as u64);
+            // Chunks dispatched by this run's parallel scans (the global
+            // counter is monotonic; concurrent runs inflate each other's
+            // deltas, which is acceptable for an aggregate gauge).
+            m.gauge("parallel.chunks").set(rayon::chunks_dispatched() - chunks_before);
+        }
+        let report = budget.report();
+        tracer.event("budget_report", run_span.id(), || {
+            let mut fields = vec![
+                ("ops", FieldValue::U64(report.ops)),
+                ("tripped", FieldValue::Bool(report.tripped.is_some())),
+            ];
+            if let Some(trip) = report.tripped {
+                fields.push(("trip", FieldValue::Str(trip.label())));
+            }
+            if let Some(phase) = report.tripped_at {
+                fields.push(("phase", FieldValue::Str(phase)));
+            }
+            fields
+        });
+        tracer.event("run_end", run_span.id(), || {
+            vec![
+                ("subject", FieldValue::Str("impute")),
+                ("imputed", FieldValue::U64(stats.imputed as u64)),
+                ("unimputed", FieldValue::U64(stats.unimputed as u64)),
+                ("missing", FieldValue::U64(stats.missing_total as u64)),
+            ]
+        });
 
         ImputationResult {
             relation: rel,
@@ -256,7 +447,8 @@ impl Renuver {
             outcomes,
             stats,
             trace,
-            budget: budget.report(),
+            explains,
+            budget: report,
         }
     }
 
@@ -289,8 +481,10 @@ impl Renuver {
 
     /// IMPUTE_MISSING_VALUE (Algorithm 2): walks the RHS-threshold clusters
     /// for `attr`, scoring and verifying candidates until one sticks.
-    /// Returns the imputed-cell record, or `None` (leaving the cell
-    /// missing) when no candidate passes verification.
+    /// Returns the attempt record: the imputed cell when a candidate passed
+    /// verification (the cell stays missing otherwise), always with the
+    /// cluster/candidate counts, and — when `explain_on` — the generating
+    /// RFDs, the winner's distance breakdown, and the dry-up reason.
     #[allow(clippy::too_many_arguments)]
     fn impute_missing_value(
         &self,
@@ -302,20 +496,22 @@ impl Renuver {
         sigma: &RfdSet,
         active: &[bool],
         restrict: Option<&[usize]>,
+        explain_on: bool,
         stats: &mut ImputationStats,
         trace: &mut Vec<TraceEvent>,
-    ) -> Option<ImputedCell> {
+    ) -> CellAttempt {
         // RFD selection (Algorithm 1 lines 8-9), restricted to the active
-        // Σ'. Clusters come back in ascending RHS-threshold order.
-        let mut clusters: Vec<(f64, Vec<&Rfd>)> = Vec::new();
+        // Σ'. Clusters hold sigma indices (so explain records can name the
+        // dependencies) and come back in ascending RHS-threshold order.
+        let mut clusters: Vec<(f64, Vec<usize>)> = Vec::new();
         for (i, rfd) in sigma.iter().enumerate() {
             if !active[i] || rfd.rhs_attr() != attr {
                 continue;
             }
             let thr = rfd.rhs_threshold();
             match clusters.iter_mut().find(|(t, _)| *t == thr) {
-                Some((_, v)) => v.push(rfd),
-                None => clusters.push((thr, vec![rfd])),
+                Some((_, v)) => v.push(i),
+                None => clusters.push((thr, vec![i])),
             }
         }
         // total_cmp, not partial_cmp().unwrap(): a NaN threshold (possible
@@ -324,8 +520,17 @@ impl Renuver {
         if self.config.cluster_order == ClusterOrder::Descending {
             clusters.reverse();
         }
+        let mut attempt = CellAttempt {
+            imputed: None,
+            clusters: clusters.len(),
+            candidates: 0,
+            generating_rfds: Vec::new(),
+            winner: None,
+            dried_up: None,
+        };
         if clusters.is_empty() {
-            return None;
+            attempt.dried_up = Some(DryReason::NoActiveRfds);
+            return attempt;
         }
 
         // Verification runs against the FULL Σ, dormant keys included: the
@@ -360,10 +565,12 @@ impl Renuver {
             ),
         };
 
-        for (cluster_threshold, rfds) in &clusters {
+        for (cluster_threshold, members) in &clusters {
             stats.clusters_visited += 1;
-            let mut candidates = find_candidate_tuples_with(oracle, index, rel, row, attr, rfds);
+            let rfds: Vec<&Rfd> = members.iter().map(|&i| sigma.get(i)).collect();
+            let mut candidates = find_candidate_tuples_with(oracle, index, rel, row, attr, &rfds);
             stats.candidates_scored += candidates.len();
+            attempt.candidates += candidates.len();
             if self.config.trace {
                 trace.push(TraceEvent::ClusterVisited {
                     cell: Cell::new(row, attr),
@@ -371,16 +578,47 @@ impl Renuver {
                     candidates: candidates.len(),
                 });
             }
+            if explain_on {
+                for cand in &candidates {
+                    attempt.generating_rfds.push(members[cand.via]);
+                }
+            }
             sort_candidates(&mut candidates);
             if let Some(cap) = self.config.max_candidates_per_cluster {
                 candidates.truncate(cap);
             }
-            for cand in candidates {
+            for (pos, cand) in candidates.iter().enumerate() {
                 stats.verifications += 1;
                 if plan.admits(oracle, rel, attr, cand.row) {
+                    if explain_on {
+                        // Explain detail for the winner, computed against
+                        // the pre-imputation relation: the per-constraint
+                        // distances whose mean is the winning score, and
+                        // the gap to the next-ranked candidate.
+                        let via_rfd = members[cand.via];
+                        let lhs_distances = sigma
+                            .get(via_rfd)
+                            .lhs()
+                            .iter()
+                            .map(|c| {
+                                oracle
+                                    .distance_bounded(rel, c.attr, row, cand.row, c.threshold)
+                                    .unwrap_or(f64::NAN)
+                            })
+                            .collect();
+                        attempt.winner = Some(ExplainWinner {
+                            donor_row: cand.row,
+                            distance: cand.distance,
+                            via_rfd,
+                            lhs_distances,
+                            runner_up_margin: candidates
+                                .get(pos + 1)
+                                .map(|next| next.distance - cand.distance),
+                        });
+                    }
                     let value = rel.value(cand.row, attr).clone();
                     rel.set_value(row, attr, value.clone());
-                    return Some(ImputedCell {
+                    attempt.imputed = Some(ImputedCell {
                         cell: Cell::new(row, attr),
                         value,
                         donor_row: cand.row,
@@ -388,6 +626,9 @@ impl Renuver {
                         cluster_threshold: *cluster_threshold,
                         via: rfds[cand.via].clone(),
                     });
+                    attempt.generating_rfds.sort_unstable();
+                    attempt.generating_rfds.dedup();
+                    return attempt;
                 }
                 stats.verification_failures += 1;
                 if self.config.trace {
@@ -399,7 +640,14 @@ impl Renuver {
                 }
             }
         }
-        None
+        attempt.dried_up = Some(if attempt.candidates == 0 {
+            DryReason::NoCandidates
+        } else {
+            DryReason::AllRejected
+        });
+        attempt.generating_rfds.sort_unstable();
+        attempt.generating_rfds.dedup();
+        attempt
     }
 }
 
@@ -826,6 +1074,180 @@ mod tests {
         let plain = Renuver::new(RenuverConfig::default()).impute(&rel, &figure_1_sigma());
         assert!(plain.trace.is_empty());
         assert_eq!(plain.relation, traced.relation);
+    }
+
+    #[test]
+    fn explain_records_account_for_every_cell() {
+        let rel = restaurant_sample();
+        let sigma = figure_1_sigma();
+        let tracer = renuver_obs::Tracer::enabled();
+        let cfg = RenuverConfig {
+            tracer: tracer.clone(),
+            explain: true,
+            ..RenuverConfig::default()
+        };
+        let r = Renuver::new(cfg).impute(&rel, &sigma);
+        assert_eq!(r.explains.len(), r.stats.missing_total);
+        for e in &r.explains {
+            match e.outcome {
+                CellOutcome::Imputed => {
+                    // The winner matches the provenance record, names its
+                    // sigma index, and its LHS distance vector averages to
+                    // the winning score.
+                    let w = e.winner.as_ref().expect("imputed cell has a winner");
+                    let ic = r.imputed.iter().find(|c| c.cell == e.cell).unwrap();
+                    assert_eq!(w.donor_row, ic.donor_row);
+                    assert_eq!(w.distance, ic.distance);
+                    assert_eq!(sigma.get(w.via_rfd), &ic.via);
+                    let mean =
+                        w.lhs_distances.iter().sum::<f64>() / w.lhs_distances.len() as f64;
+                    assert!((mean - w.distance).abs() < 1e-9, "{e:?}");
+                    assert!(e.generating_rfds.contains(&w.via_rfd));
+                    assert!(e.dried_up.is_none());
+                }
+                _ => {
+                    assert!(e.winner.is_none());
+                    assert!(e.dried_up.is_some(), "{e:?}");
+                }
+            }
+        }
+        // One `cell` trace event per missing cell.
+        let cell_events = tracer.records().iter().filter(|rec| rec.kind == "cell").count();
+        assert_eq!(cell_events, r.stats.missing_total);
+        // Tracing + explain change no decision.
+        let plain = Renuver::new(RenuverConfig::default()).impute(&rel, &sigma);
+        assert_eq!(plain.relation, r.relation);
+        assert_eq!(plain.outcomes, r.outcomes);
+        assert_eq!(plain.stats, r.stats);
+        assert!(plain.explains.is_empty(), "explain is opt-in");
+    }
+
+    #[test]
+    fn t7_phone_explain_names_the_race() {
+        // The walk-through cell t7[Phone]: donor t2 wins at distance 7.5
+        // after t3 (distance 3) is rejected — so the winner's runner-up
+        // margin, if any, is measured from 7.5, and φ6 generated both
+        // candidates.
+        let rel = restaurant_sample();
+        let sigma = figure_1_sigma();
+        let cfg = RenuverConfig { explain: true, ..RenuverConfig::default() };
+        let r = Renuver::new(cfg).impute(&rel, &sigma);
+        let e = r.explains.iter().find(|e| e.cell == Cell::new(6, 2)).unwrap();
+        assert_eq!(e.outcome, CellOutcome::Imputed);
+        assert!(e.candidates >= 2, "{e:?}");
+        let w = e.winner.as_ref().unwrap();
+        assert_eq!(w.donor_row, 1);
+        assert_eq!(w.distance, 7.5);
+        assert_eq!(sigma.get(w.via_rfd).rhs_attr(), 2);
+    }
+
+    #[test]
+    fn dry_reasons_distinguish_no_rfds_no_candidates_and_rejections() {
+        use renuver_budget::BudgetTrip;
+        // (a) All candidates rejected by the consistency guard.
+        let schema = Schema::new([
+            ("A", AttrType::Int),
+            ("B", AttrType::Int),
+            ("C", AttrType::Int),
+        ])
+        .unwrap();
+        let rel = Relation::new(
+            schema.clone(),
+            vec![
+                vec![Value::Int(1), Value::Int(100), Value::Int(7)],
+                vec![Value::Int(1), Value::Int(200), Value::Int(8)],
+                vec![Value::Int(1), Value::Null, Value::Int(9)],
+            ],
+        )
+        .unwrap();
+        let rfds = RfdSet::from_vec(vec![
+            Rfd::new(vec![Constraint::new(0, 0.0)], Constraint::new(1, 200.0)),
+            Rfd::new(vec![Constraint::new(1, 0.0)], Constraint::new(2, 0.0)),
+        ]);
+        let cfg = RenuverConfig { explain: true, ..RenuverConfig::default() };
+        let r = Renuver::new(cfg.clone()).impute(&rel, &rfds);
+        assert_eq!(r.explains[0].dried_up, Some(DryReason::AllRejected));
+        assert_eq!(r.explains[0].candidates, 2);
+
+        // (b) No active RFD targets the attribute at all.
+        let rel_b = Relation::new(
+            schema.clone(),
+            vec![
+                vec![Value::Int(1), Value::Int(1), Value::Null],
+                vec![Value::Int(2), Value::Int(2), Value::Int(5)],
+            ],
+        )
+        .unwrap();
+        let only_b =
+            RfdSet::from_vec(vec![Rfd::new(vec![Constraint::new(0, 0.0)], Constraint::new(1, 0.0))]);
+        let r = Renuver::new(cfg.clone()).impute(&rel_b, &only_b);
+        assert_eq!(r.explains[0].dried_up, Some(DryReason::NoActiveRfds));
+        assert_eq!(r.explains[0].clusters, 0);
+
+        // (c) Clusters exist but match no donor: rows 1 and 2 keep the RFD
+        // non-key (they are LHS-similar with equal C), but neither is
+        // A-similar to the target row 0.
+        let rel_c = Relation::new(
+            schema.clone(),
+            vec![
+                vec![Value::Int(1), Value::Int(1), Value::Null],
+                vec![Value::Int(50), Value::Int(2), Value::Int(5)],
+                vec![Value::Int(50), Value::Int(3), Value::Int(5)],
+            ],
+        )
+        .unwrap();
+        let tight =
+            RfdSet::from_vec(vec![Rfd::new(vec![Constraint::new(0, 0.0)], Constraint::new(2, 0.0))]);
+        let r = Renuver::new(cfg.clone()).impute(&rel_c, &tight);
+        assert_eq!(r.explains[0].dried_up, Some(DryReason::NoCandidates));
+        assert!(r.explains[0].clusters > 0 && r.explains[0].candidates == 0);
+
+        // (d) Budget trips before the cell: the explain names the trip.
+        let skipped = Renuver::new(RenuverConfig {
+            budget: renuver_budget::Budget::unlimited().with_ops_limit(0),
+            parallelism: 1,
+            ..cfg
+        })
+        .impute(&rel, &rfds);
+        assert_eq!(skipped.explains.len(), skipped.stats.missing_total);
+        assert!(skipped
+            .explains
+            .iter()
+            .all(|e| e.dried_up == Some(DryReason::Budget(BudgetTrip::Ops))));
+    }
+
+    #[test]
+    fn traced_run_emits_spans_and_run_brackets() {
+        let rel = restaurant_sample();
+        let tracer = renuver_obs::Tracer::enabled();
+        let cfg = RenuverConfig { tracer: tracer.clone(), ..RenuverConfig::default() };
+        let _ = Renuver::new(cfg).impute(&rel, &figure_1_sigma());
+        let records = tracer.records();
+        let labels: Vec<&str> = records
+            .iter()
+            .filter(|r| r.kind == "span")
+            .filter_map(|r| {
+                r.fields.iter().find(|(n, _)| *n == "label").map(|(_, v)| match v {
+                    renuver_obs::FieldValue::Str(s) => *s,
+                    _ => "",
+                })
+            })
+            .collect();
+        for want in
+            ["core::impute", "core::partition_keys", "core::impute_cells", "distance::oracle_build"]
+        {
+            assert!(labels.contains(&want), "missing span {want}: {labels:?}");
+        }
+        for kind in ["run_start", "run_end", "budget_report"] {
+            assert_eq!(records.iter().filter(|r| r.kind == kind).count(), 1, "{kind}");
+        }
+        // The whole trace validates against the schema.
+        let text = tracer.to_jsonl();
+        renuver_obs::schema::validate_trace(&text).unwrap();
+        // Run counters landed in the registry.
+        let m = tracer.metrics();
+        assert!(m.counter("core.cells_imputed").get() > 0);
+        assert_eq!(m.counter("core.verify_full").get() as usize, rel.missing_count());
     }
 
     #[test]

@@ -210,6 +210,39 @@ mod tests {
     }
 
     #[test]
+    fn attribution_requires_a_mentioned_attribute() {
+        // A cell on a row the violating pair involves, but on an attribute
+        // the dependency never mentions, must not attribute the pair.
+        let schema = Schema::new([
+            ("A", AttrType::Int),
+            ("B", AttrType::Int),
+            ("C", AttrType::Int),
+        ])
+        .unwrap();
+        let r = Relation::new(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Int(10), Value::Int(7)],
+                vec![Value::Int(1), Value::Int(99), Value::Int(8)],
+            ],
+        )
+        .unwrap();
+        let sigma = RfdSet::from_vec(vec![Rfd::new(
+            vec![Constraint::new(0, 0.0)],
+            Constraint::new(1, 0.0),
+        )]);
+        let off_attr = audit(&r, &sigma, &[Cell::new(1, 2)], &AuditConfig::default());
+        assert_eq!(off_attr.violating_pairs, 1);
+        assert_eq!(off_attr.pairs_touching_audited_cells, 0);
+        // The same row with the RHS attribute does attribute it.
+        let on_attr = audit(&r, &sigma, &[Cell::new(1, 1)], &AuditConfig::default());
+        assert_eq!(on_attr.pairs_touching_audited_cells, 1);
+        // As does an LHS attribute.
+        let on_lhs = audit(&r, &sigma, &[Cell::new(0, 0)], &AuditConfig::default());
+        assert_eq!(on_lhs.pairs_touching_audited_cells, 1);
+    }
+
+    #[test]
     fn renuver_output_passes_its_own_audit_under_full_scope() {
         // With Full verification, every imputation preserves r' ⊨ Σ for
         // pairs involving imputed rows; starting from a consistent
@@ -230,6 +263,48 @@ mod tests {
         let cells: Vec<Cell> = result.imputed.iter().map(|ic| ic.cell).collect();
         let report = audit(&result.relation, &sigma, &cells, &AuditConfig::default());
         assert!(report.is_consistent(), "{report:?}");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The report's verdict agrees with an independent brute-force
+            /// sweep over the same oracle primitive: a clean report means
+            /// no violating pair exists, and the pair counts stay exact no
+            /// matter how tight the recording cap is.
+            #[test]
+            fn clean_report_admits_no_violating_pair(
+                rows in proptest::collection::vec((0i64..4, 0i64..4), 2..12),
+                cap in 1usize..4,
+            ) {
+                let r = rel(rows.iter().map(|&(a, b)| vec![Value::Int(a), Value::Int(b)]).collect());
+                let sigma = a_to_b();
+                let report = audit(&r, &sigma, &[], &AuditConfig { max_pairs_per_rfd: cap });
+
+                let oracle = DistanceOracle::build(&r, 3000);
+                let rfd = sigma.get(0);
+                let mut violating = 0usize;
+                for i in 0..r.len() {
+                    for j in (i + 1)..r.len() {
+                        if pair_satisfies_lhs_with(&oracle, &r, rfd, i, j)
+                            && !pair_satisfies_rhs_with(&oracle, &r, rfd, i, j)
+                        {
+                            violating += 1;
+                        }
+                    }
+                }
+                prop_assert_eq!(report.is_consistent(), violating == 0);
+                prop_assert_eq!(report.violating_pairs, violating);
+                if let Some(v) = report.violations.first() {
+                    prop_assert_eq!(v.total_pairs, violating);
+                    prop_assert!(v.pairs.len() <= cap.min(violating));
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! DESIGN.md) and feed the ablation benchmarks.
 
 use renuver_budget::Budget;
+use renuver_obs::Tracer;
 
 /// Order in which the RHS-threshold clusters `ρ_A^i` are visited.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -137,6 +138,20 @@ pub struct RenuverConfig {
     /// and scan paths make identical decisions; this only trades index
     /// construction time against per-cell scan time.
     pub index_mode: IndexMode,
+    /// Structured tracer for the run. The default is disabled — every
+    /// instrumentation site short-circuits on one branch and the run's
+    /// decisions are bit-for-bit identical to an uninstrumented build
+    /// (asserted by `tests/trace_schema.rs`). An enabled tracer collects
+    /// spans, events, and metrics; serialize with
+    /// [`renuver_obs::Tracer::write_jsonl`].
+    pub tracer: Tracer,
+    /// Collect a per-cell [`crate::result::CellExplain`] record — which
+    /// RFDs generated candidates, the winner's LHS distance vector and
+    /// runner-up margin, the first dry-up reason — into
+    /// [`crate::result::ImputationResult::explains`]. Off by default; an
+    /// enabled tracer computes the same records for its `cell` events
+    /// whether or not this flag stores them in the result.
+    pub explain: bool,
 }
 
 impl Default for RenuverConfig {
@@ -152,6 +167,8 @@ impl Default for RenuverConfig {
             budget: Budget::unlimited(),
             degrade_at: 0.9,
             index_mode: IndexMode::default(),
+            tracer: Tracer::disabled(),
+            explain: false,
         }
     }
 }
@@ -179,5 +196,7 @@ mod tests {
         assert!(!cfg.budget.is_limited(), "default budget is unlimited");
         assert_eq!(cfg.degrade_at, 0.9);
         assert_eq!(cfg.index_mode, IndexMode::Auto);
+        assert!(!cfg.tracer.is_enabled(), "default tracer is disabled");
+        assert!(!cfg.explain, "explain records are opt-in");
     }
 }

@@ -29,5 +29,8 @@ pub use audit::{audit, AuditConfig, AuditReport};
 pub use candidates::{find_candidate_tuples, find_candidate_tuples_with, Candidate};
 pub use config::{ClusterOrder, ImputationOrder, IndexMode, RenuverConfig, VerifyScope};
 pub use external::SchemaMismatch;
-pub use result::{CellOutcome, ImputationResult, ImputationStats, ImputedCell, TraceEvent};
+pub use result::{
+    CellExplain, CellOutcome, DryReason, ExplainWinner, ImputationResult, ImputationStats,
+    ImputedCell, TraceEvent,
+};
 pub use verify::{is_faultless, VerifyPlan};

@@ -1,6 +1,6 @@
 //! Imputation outputs: the repaired relation, per-cell outcomes, counters.
 
-use renuver_budget::BudgetReport;
+use renuver_budget::{BudgetReport, BudgetTrip};
 use renuver_data::{Cell, Relation, Value};
 use renuver_rfd::Rfd;
 
@@ -18,6 +18,103 @@ pub enum CellOutcome {
     /// Cancellation was requested before this cell was attempted; left
     /// missing.
     Cancelled,
+}
+
+impl CellOutcome {
+    /// Machine-readable label, matching `renuver_obs::schema::OUTCOMES`.
+    pub fn label(self) -> &'static str {
+        match self {
+            CellOutcome::Imputed => "imputed",
+            CellOutcome::NoCandidates => "no_candidates",
+            CellOutcome::SkippedBudget => "skipped_budget",
+            CellOutcome::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// The first reason a cell's candidate search dried up, in pipeline order:
+/// no dependency could even target the attribute, the dependencies matched
+/// no donor, every donor failed verification, or the budget/cancellation
+/// cut the attempt off before it began.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DryReason {
+    /// No active RFD has the cell's attribute on its RHS — Algorithm 2
+    /// had no cluster to walk.
+    NoActiveRfds,
+    /// Clusters existed but produced zero plausible candidates
+    /// (Algorithm 3 returned empty for every cluster).
+    NoCandidates,
+    /// Candidates were generated and ranked, but every one failed
+    /// IS_FAULTLESS.
+    AllRejected,
+    /// The budget tripped before the cell was attempted.
+    Budget(BudgetTrip),
+    /// The run was cancelled before the cell was attempted.
+    Cancelled,
+}
+
+impl DryReason {
+    /// Machine-readable label, matching `renuver_obs::schema::DRY_REASONS`.
+    pub fn label(self) -> &'static str {
+        match self {
+            DryReason::NoActiveRfds => "no_active_rfds",
+            DryReason::NoCandidates => "no_candidates",
+            DryReason::AllRejected => "all_rejected",
+            DryReason::Budget(_) => "budget",
+            DryReason::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// The winning candidate of an imputed cell, in explain detail: not just
+/// who donated (that is [`ImputedCell`]) but *how close the race was* and
+/// the per-attribute distance breakdown behind the score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainWinner {
+    /// The accepted donor row.
+    pub donor_row: usize,
+    /// The winning Equation 2 distance value.
+    pub distance: f64,
+    /// Index into the run's `sigma` of the RFD that achieved the minimum
+    /// distance (the same dependency as [`ImputedCell::via`], by
+    /// position rather than by value).
+    pub via_rfd: usize,
+    /// Per-LHS-constraint distances between the imputed tuple and the
+    /// donor, in `via_rfd`'s LHS order — the terms whose mean is
+    /// `distance`.
+    pub lhs_distances: Vec<f64>,
+    /// Distance gap to the next-ranked candidate of the winning cluster
+    /// (`next.distance - winner.distance`), or `None` when the winner was
+    /// the cluster's last candidate. Small margins flag coin-flip
+    /// imputations; the gap is non-negative except after a NaN distance.
+    pub runner_up_margin: Option<f64>,
+}
+
+/// Per-cell explain record (collected when
+/// [`crate::config::RenuverConfig::explain`] is set): which dependencies
+/// produced candidates, who won and by how much, or why the search dried
+/// up. One record per missing cell, in visiting order — `explains` always
+/// accounts for exactly the cells counted by
+/// [`ImputationStats::missing_total`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellExplain {
+    /// The missing cell.
+    pub cell: Cell,
+    /// What happened to it.
+    pub outcome: CellOutcome,
+    /// RHS-threshold clusters available for the cell's attribute.
+    pub clusters: usize,
+    /// Candidates scored across all clusters (before any
+    /// `max_candidates_per_cluster` cap).
+    pub candidates: usize,
+    /// Sigma indices of the RFDs credited with generating candidates —
+    /// each candidate is attributed to the dependency achieving its
+    /// minimum distance. Sorted, deduplicated.
+    pub generating_rfds: Vec<usize>,
+    /// The winning candidate, when the cell was imputed.
+    pub winner: Option<ExplainWinner>,
+    /// Why the cell stayed missing, when it did.
+    pub dried_up: Option<DryReason>,
 }
 
 /// One successfully imputed cell, with full provenance: where the value
@@ -133,6 +230,10 @@ pub struct ImputationResult {
     /// Event log, populated only when the engine's `trace` flag is set
     /// (empty otherwise).
     pub trace: Vec<TraceEvent>,
+    /// Per-cell explain records, populated only when the engine's
+    /// `explain` flag is set (empty otherwise). When present, one record
+    /// per missing cell in visiting order.
+    pub explains: Vec<CellExplain>,
     /// Budget snapshot at the end of the run: elapsed time, peak bytes,
     /// and — when limited — which limit tripped and where.
     pub budget: BudgetReport,
@@ -146,6 +247,7 @@ impl PartialEq for ImputationResult {
             && self.outcomes == other.outcomes
             && self.stats == other.stats
             && self.trace == other.trace
+            && self.explains == other.explains
     }
 }
 
@@ -185,6 +287,7 @@ mod tests {
             outcomes: vec![],
             stats: ImputationStats::default(),
             trace: vec![],
+            explains: vec![],
             budget: BudgetReport::default(),
         };
         assert_eq!(res.fill_rate(), 0.0);
@@ -217,6 +320,7 @@ mod tests {
             ],
             stats: ImputationStats::default(),
             trace: vec![],
+            explains: vec![],
             budget: BudgetReport::default(),
         };
         assert_eq!(res.value_for(Cell::new(2, 0)), Some(&Value::Int(7)));
@@ -237,6 +341,7 @@ mod tests {
             outcomes: vec![],
             stats: ImputationStats::default(),
             trace: vec![],
+            explains: vec![],
             budget: BudgetReport::default(),
         };
         let mut b = a.clone();

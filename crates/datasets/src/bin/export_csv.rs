@@ -1,0 +1,40 @@
+//! Writes a generated dataset to a typed-header CSV file. The committed
+//! fixture `data/restaurant_sample.csv` (used by the README's "Inspecting
+//! a run" walkthrough and the CI trace-validation step) comes from:
+//!
+//! ```text
+//! cargo run -p renuver-datasets --bin export_csv -- restaurant 60 42 data/restaurant_sample.csv
+//! ```
+
+use std::process::ExitCode;
+
+use renuver_datasets::Dataset;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [name, rows, seed, out] = args.as_slice() else {
+        eprintln!("usage: export_csv <restaurant|cars|glass|bridges> <rows> <seed> <out.csv>");
+        return ExitCode::FAILURE;
+    };
+    let ds = match name.as_str() {
+        "restaurant" => Dataset::Restaurant,
+        "cars" => Dataset::Cars,
+        "glass" => Dataset::Glass,
+        "bridges" => Dataset::Bridges,
+        other => {
+            eprintln!("unknown dataset {other:?} (expected restaurant, cars, glass, or bridges)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (Ok(n), Ok(seed)) = (rows.parse::<usize>(), seed.parse::<u64>()) else {
+        eprintln!("rows and seed must be integers");
+        return ExitCode::FAILURE;
+    };
+    let rel = ds.relation_n(n, seed);
+    if let Err(e) = renuver_data::csv::write_path(&rel, out) {
+        eprintln!("{out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} rows of {} to {out}", rel.len(), ds.name());
+    ExitCode::SUCCESS
+}

@@ -39,6 +39,7 @@ use std::collections::HashMap;
 
 use renuver_budget::Budget;
 use renuver_data::{AttrId, AttrType, Relation};
+use renuver_obs::{Counter, FieldValue, Histogram, Metrics, Tracer};
 
 use crate::oracle::{DistanceOracle, RowCode};
 
@@ -61,9 +62,70 @@ const NO_CODE: u32 = u32::MAX;
 /// Sentinel row code: post-update value outside the dictionary.
 const FOREIGN_CODE: u32 = u32::MAX - 1;
 
+/// Probe/decline/superset-size statistics for one index, registered
+/// against a [`Metrics`] registry. Declines are split by *which* cutoff
+/// fired — the selectivity cutoff (superset too large to beat a scan),
+/// the weak-filter heuristic (gram bound too loose to be worth
+/// counting), an effectively unbounded threshold, or an attribute that
+/// was never indexed — because they call for different tuning.
+#[derive(Debug, Clone)]
+pub struct IndexStats {
+    /// `rows_within` calls.
+    pub probes: Counter,
+    /// Probes answered with a superset.
+    pub answered: Counter,
+    /// Declines from the selectivity cutoff (estimated superset covered
+    /// more than half the relation).
+    pub declined_selectivity: Counter,
+    /// Declines from the weak-filter heuristic (< ⅓ of the query's
+    /// grams would have to survive).
+    pub declined_weak_filter: Counter,
+    /// Declines because the threshold was effectively unbounded.
+    pub declined_unbounded: Counter,
+    /// Declines because the attribute has no index (boolean columns,
+    /// budget-degraded builds).
+    pub declined_unindexed: Counter,
+    /// Sizes of the supersets actually returned.
+    pub superset_rows: Histogram,
+}
+
+impl IndexStats {
+    /// Creates (or re-attaches to) the index's instruments in `metrics`.
+    pub fn register(metrics: &Metrics) -> Self {
+        IndexStats {
+            probes: metrics.counter("index.probes"),
+            answered: metrics.counter("index.answered"),
+            declined_selectivity: metrics.counter("index.declined_selectivity"),
+            declined_weak_filter: metrics.counter("index.declined_weak_filter"),
+            declined_unbounded: metrics.counter("index.declined_unbounded"),
+            declined_unindexed: metrics.counter("index.declined_unindexed"),
+            superset_rows: metrics.histogram("index.superset_rows"),
+        }
+    }
+
+    fn decline(&self, reason: &'static str) {
+        match reason {
+            SELECTIVITY => self.declined_selectivity.inc(),
+            WEAK_FILTER => self.declined_weak_filter.inc(),
+            UNBOUNDED => self.declined_unbounded.inc(),
+            _ => self.declined_unindexed.inc(),
+        }
+    }
+}
+
+/// Decline reasons threaded out of the per-attribute query paths so the
+/// stats can attribute each `None` to the cutoff that produced it.
+const SELECTIVITY: &str = "selectivity";
+const WEAK_FILTER: &str = "weak_filter";
+const UNBOUNDED: &str = "unbounded";
+const UNINDEXED: &str = "unindexed";
+
 /// Per-attribute similarity index (see module docs).
 pub struct SimilarityIndex {
     attrs: Vec<AttrIndex>,
+    /// Probe statistics; `None` (the default) keeps queries at a single
+    /// extra branch.
+    stats: Option<IndexStats>,
 }
 
 enum AttrIndex {
@@ -127,7 +189,23 @@ impl SimilarityIndex {
     /// and their consumers fall back to the scan path — results are
     /// unchanged, only the pruning is lost.
     pub fn build_budgeted(rel: &Relation, oracle: &DistanceOracle, budget: &Budget) -> Self {
-        let attrs = (0..rel.arity())
+        Self::build_traced(rel, oracle, budget, &Tracer::disabled())
+    }
+
+    /// [`SimilarityIndex::build_budgeted`] with tracing: opens a
+    /// `distance::index_build` span (matching the budget phase label),
+    /// emits one `index_attr` event per attribute with the layout it
+    /// ended up with, and attaches [`IndexStats`] to the tracer's metrics
+    /// registry. With a disabled tracer this is exactly
+    /// `build_budgeted`.
+    pub fn build_traced(
+        rel: &Relation,
+        oracle: &DistanceOracle,
+        budget: &Budget,
+        tracer: &Tracer,
+    ) -> Self {
+        let span = tracer.span("distance::index_build");
+        let attrs: Vec<AttrIndex> = (0..rel.arity())
             .map(|attr| {
                 if budget.check("distance::index_build").is_err() {
                     return AttrIndex::Unindexed;
@@ -144,7 +222,23 @@ impl SimilarityIndex {
                 }
             })
             .collect();
-        SimilarityIndex { attrs }
+        for (attr, ix) in attrs.iter().enumerate() {
+            let mode = match ix {
+                AttrIndex::Unindexed => "unindexed",
+                AttrIndex::Numeric(_) => "numeric",
+                AttrIndex::Text(_) => "text",
+            };
+            span.event("index_attr", || {
+                vec![("attr", FieldValue::U64(attr as u64)), ("mode", FieldValue::Str(mode))]
+            });
+        }
+        let stats = tracer.is_enabled().then(|| IndexStats::register(&tracer.metrics()));
+        SimilarityIndex { attrs, stats }
+    }
+
+    /// Attaches (or detaches) probe statistics after construction.
+    pub fn set_stats(&mut self, stats: Option<IndexStats>) {
+        self.stats = stats;
     }
 
     /// `true` iff queries on `attr` are index-accelerated.
@@ -170,10 +264,28 @@ impl SimilarityIndex {
         row: usize,
         threshold: f64,
     ) -> Option<Vec<usize>> {
-        match &self.attrs[attr] {
-            AttrIndex::Unindexed => None,
+        if let Some(s) = &self.stats {
+            s.probes.inc();
+        }
+        let outcome = match &self.attrs[attr] {
+            AttrIndex::Unindexed => Err(UNINDEXED),
             AttrIndex::Numeric(ix) => ix.rows_within(row, threshold, rel.len()),
             AttrIndex::Text(ix) => ix.rows_within(rel, attr, row, threshold),
+        };
+        match outcome {
+            Ok(rows) => {
+                if let Some(s) = &self.stats {
+                    s.answered.inc();
+                    s.superset_rows.observe(rows.len() as u64);
+                }
+                Some(rows)
+            }
+            Err(reason) => {
+                if let Some(s) = &self.stats {
+                    s.decline(reason);
+                }
+                None
+            }
         }
     }
 
@@ -204,13 +316,14 @@ impl NumericIndex {
         NumericIndex { entries, row_vals }
     }
 
-    fn rows_within(&self, row: usize, thr: f64, n_rows: usize) -> Option<Vec<usize>> {
+    /// `Err` carries the decline reason (see the reason constants).
+    fn rows_within(&self, row: usize, thr: f64, n_rows: usize) -> Result<Vec<usize>, &'static str> {
         // A missing/non-numeric/NaN query value matches nothing; so do NaN
         // and negative thresholds (distances are non-negative or NaN, and
         // `d ≤ t` is false either way) — all exactly as the scan decides.
-        let Some(v) = self.row_vals[row] else { return Some(Vec::new()) };
+        let Some(v) = self.row_vals[row] else { return Ok(Vec::new()) };
         if thr.is_nan() || thr < 0.0 {
-            return Some(Vec::new());
+            return Ok(Vec::new());
         }
         let (start, end) = if thr == f64::INFINITY {
             // Every present value is a candidate (the exact check still
@@ -230,12 +343,12 @@ impl NumericIndex {
         // Selectivity cutoff: a range covering most of the relation prunes
         // nothing worth the sort below.
         if 2 * (end - start) > n_rows {
-            return None;
+            return Err(SELECTIVITY);
         }
         let mut rows: Vec<usize> =
             self.entries[start..end].iter().map(|&(_, r)| r).collect();
         rows.sort_unstable();
-        Some(rows)
+        Ok(rows)
     }
 
     fn update_cell(&mut self, rel: &Relation, row: usize, attr: AttrId) {
@@ -371,18 +484,19 @@ impl TextIndex {
         })
     }
 
+    /// `Err` carries the decline reason (see the reason constants).
     fn rows_within(
         &self,
         rel: &Relation,
         attr: AttrId,
         row: usize,
         thr: f64,
-    ) -> Option<Vec<usize>> {
+    ) -> Result<Vec<usize>, &'static str> {
         let code = self.row_codes[row];
         if code == NO_CODE {
             // A missing query value matches nothing (the scan agrees:
             // `distance_bounded` is `None` on a null side).
-            return Some(Vec::new());
+            return Ok(Vec::new());
         }
         // Same threshold conversion as `value_distance_bounded`: floor to
         // an integer edit bound, NaN/negative → 0, so the candidate set
@@ -391,21 +505,23 @@ impl TextIndex {
         if t >= u32::MAX as f64 {
             // Effectively unbounded: every dictionary value qualifies, so
             // the index prunes nothing.
-            return None;
+            return Err(UNBOUNDED);
         }
         let codes = if code == FOREIGN_CODE {
             match rel.value(row, attr).as_text() {
                 // Non-text value in a text column: the exact check answers
                 // `None` for every pair, so the empty set is exact.
-                None => return Some(Vec::new()),
+                None => return Ok(Vec::new()),
                 Some(s) => {
                     let len = s.chars().count();
-                    self.codes_within(len, gram_profile(len, s).as_ref(), t as usize)?
+                    self.codes_within(len, gram_profile(len, s).as_ref(), t as usize)
+                        .ok_or(WEAK_FILTER)?
                 }
             }
         } else {
             let c = code as usize;
-            self.codes_within(self.lens[c] as usize, self.grams[c].as_ref(), t as usize)?
+            self.codes_within(self.lens[c] as usize, self.grams[c].as_ref(), t as usize)
+                .ok_or(WEAK_FILTER)?
         };
         // Selectivity cutoff, decided before any expansion: when the
         // surviving postings cover most of the relation (the count filter
@@ -418,7 +534,7 @@ impl TextIndex {
             .sum::<usize>()
             + self.foreign_rows.len();
         if 2 * estimate > rel.len() {
-            return None;
+            return Err(SELECTIVITY);
         }
         let mut rows: Vec<usize> = codes
             .iter()
@@ -428,7 +544,7 @@ impl TextIndex {
         // let the caller's exact check decide.
         rows.extend_from_slice(&self.foreign_rows);
         rows.sort_unstable();
-        Some(rows)
+        Ok(rows)
     }
 
     /// Dictionary codes whose value *may* be within edit distance `t` of
@@ -831,6 +947,53 @@ mod tests {
                 assert_eq!(filtered, scan, "attr {attr} row {row} thr {thr}");
             }
         }
+    }
+
+    #[test]
+    fn stats_attribute_each_decline_to_its_cutoff() {
+        let r = rel(
+            &[("S", AttrType::Text), ("N", AttrType::Int), ("B", AttrType::Bool)],
+            vec![
+                vec!["Granita".into(), Value::Int(1), Value::Bool(true)],
+                vec!["Granitas".into(), Value::Int(2), Value::Bool(false)],
+                vec!["Fenix".into(), Value::Int(30), Value::Bool(true)],
+                vec!["Bistro".into(), Value::Int(40), Value::Bool(false)],
+            ],
+        );
+        let oracle = DistanceOracle::build(&r, 3000);
+        let tracer = Tracer::enabled();
+        let index = SimilarityIndex::build_traced(&r, &oracle, &Budget::unlimited(), &tracer);
+        let stats = IndexStats::register(&tracer.metrics());
+
+        assert!(index.rows_within(&r, 0, 0, 0.0).is_some()); // answered
+        assert_eq!(stats.answered.get(), 1);
+        assert_eq!(stats.superset_rows.count(), 1);
+
+        assert_eq!(index.rows_within(&r, 2, 0, 1.0), None); // bool → unindexed
+        assert_eq!(stats.declined_unindexed.get(), 1);
+
+        assert_eq!(index.rows_within(&r, 0, 0, f64::INFINITY), None); // unbounded
+        assert_eq!(stats.declined_unbounded.get(), 1);
+
+        // Edit bound 2 on ~7-char strings: fewer than ⅓ of the query's
+        // grams must survive → the weak-filter heuristic declines.
+        assert_eq!(index.rows_within(&r, 0, 0, 2.0), None);
+        assert_eq!(stats.declined_weak_filter.get(), 1);
+
+        // A numeric range covering every row trips the selectivity cutoff.
+        assert_eq!(index.rows_within(&r, 1, 0, 100.0), None);
+        assert_eq!(stats.declined_selectivity.get(), 1);
+
+        assert_eq!(stats.probes.get(), 5);
+
+        // Index attrs were announced: one event per attribute.
+        let events = tracer.records().iter().filter(|e| e.kind == "index_attr").count();
+        assert_eq!(events, 3);
+
+        // Untraced index: branch stays inert.
+        let untraced = SimilarityIndex::build(&r, &oracle);
+        let _ = untraced.rows_within(&r, 0, 0, 0.0);
+        assert_eq!(stats.probes.get(), 5);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::collections::HashMap;
 
 use renuver_budget::Budget;
 use renuver_data::{AttrId, AttrType, Relation, Value};
+use renuver_obs::{Counter, FieldValue, Metrics, Tracer};
 
 use crate::functions::{lev_core, value_distance, value_distance_bounded};
 
@@ -60,11 +61,37 @@ pub enum RowCode {
     Foreign,
 }
 
+/// Query counters for one oracle: how often the precomputed matrix
+/// answered versus how often a distance kernel ran directly. Registered
+/// against a [`Metrics`] registry so the end-of-run table and the trace
+/// file's `metrics` line both see them.
+#[derive(Debug, Clone)]
+pub struct OracleStats {
+    /// Queries answered by an O(1) matrix lookup.
+    pub matrix_hits: Counter,
+    /// Queries that invoked a distance kernel directly (numeric columns,
+    /// degraded text columns, and foreign post-update values).
+    pub direct_calls: Counter,
+}
+
+impl OracleStats {
+    /// Creates (or re-attaches to) the oracle's counters in `metrics`.
+    pub fn register(metrics: &Metrics) -> Self {
+        OracleStats {
+            matrix_hits: metrics.counter("oracle.matrix_hits"),
+            direct_calls: metrics.counter("oracle.direct_calls"),
+        }
+    }
+}
+
 /// Per-relation distance cache (see module docs).
 pub struct DistanceOracle {
     /// `codes[attr][row]`: dictionary code of the cell, or a sentinel.
     codes: Vec<Vec<u32>>,
     tables: Vec<ColumnTable>,
+    /// Query counters; `None` (the default) keeps the hot path at a
+    /// single branch.
+    stats: Option<OracleStats>,
 }
 
 impl DistanceOracle {
@@ -80,6 +107,26 @@ impl DistanceOracle {
     /// functional, it just answers those columns without a cache. Queries
     /// return the same distances either way.
     pub fn build_budgeted(rel: &Relation, cap: usize, budget: &Budget) -> Self {
+        Self::build_traced(rel, cap, budget, &Tracer::disabled())
+    }
+
+    /// [`DistanceOracle::build_budgeted`] with tracing: opens a
+    /// `distance::oracle_build` span (the same label the budget checks
+    /// use), emits one `oracle_column` event per column with the encoding
+    /// it ended up with, and attaches [`OracleStats`] counters to the
+    /// tracer's metrics registry. With a disabled tracer this is exactly
+    /// `build_budgeted`.
+    pub fn build_traced(rel: &Relation, cap: usize, budget: &Budget, tracer: &Tracer) -> Self {
+        let span = tracer.span("distance::oracle_build");
+        let emit = |attr: usize, mode: &'static str, distinct: usize| {
+            span.event("oracle_column", || {
+                vec![
+                    ("attr", FieldValue::U64(attr as u64)),
+                    ("mode", FieldValue::Str(mode)),
+                    ("distinct", FieldValue::U64(distinct as u64)),
+                ]
+            });
+        };
         let m = rel.arity();
         let n = rel.len();
         let mut codes = vec![Vec::new(); m];
@@ -87,10 +134,12 @@ impl DistanceOracle {
         for (attr, code_slot) in codes.iter_mut().enumerate() {
             if rel.schema().ty(attr) != AttrType::Text {
                 tables.push(ColumnTable::Numeric);
+                emit(attr, "numeric", 0);
                 continue;
             }
             if budget.check("distance::oracle_build").is_err() {
                 tables.push(ColumnTable::Direct);
+                emit(attr, "direct", 0);
                 continue;
             }
             let mut index: HashMap<String, u32> = HashMap::new();
@@ -111,12 +160,14 @@ impl DistanceOracle {
             }
             if dict.len() > cap {
                 tables.push(ColumnTable::Direct);
+                emit(attr, "direct", dict.len());
                 continue;
             }
             let k = dict.len();
             let chars: Vec<Vec<char>> = dict.iter().map(|s| s.chars().collect()).collect();
             if chars.iter().any(|c| c.len() > MAX_MATRIX_VALUE_CHARS) {
                 tables.push(ColumnTable::Direct);
+                emit(attr, "direct", k);
                 continue;
             }
             // The O(k²) Levenshtein fill dominates build time. Each row of
@@ -144,6 +195,7 @@ impl DistanceOracle {
             });
             if tails.iter().any(Option::is_none) {
                 tables.push(ColumnTable::Direct);
+                emit(attr, "direct", k);
                 continue;
             }
             let mut data = vec![0.0f32; k * k];
@@ -156,8 +208,10 @@ impl DistanceOracle {
             }
             *code_slot = col_codes;
             tables.push(ColumnTable::Matrix { index, dict_len: k, data });
+            emit(attr, "matrix", k);
         }
-        DistanceOracle { codes, tables }
+        let stats = tracer.is_enabled().then(|| OracleStats::register(&tracer.metrics()));
+        DistanceOracle { codes, tables, stats }
     }
 
     /// A cache-free oracle: every query computes directly. Useful for
@@ -174,7 +228,14 @@ impl DistanceOracle {
                     }
                 })
                 .collect(),
+            stats: None,
         }
+    }
+
+    /// Attaches (or detaches) query counters after construction — used by
+    /// callers that build the oracle untraced but enable metrics later.
+    pub fn set_stats(&mut self, stats: Option<OracleStats>) {
+        self.stats = stats;
     }
 
     /// Distance between `rel[i][attr]` and `rel[j][attr]` — `None` when
@@ -185,6 +246,9 @@ impl DistanceOracle {
     pub fn distance(&self, rel: &Relation, attr: AttrId, i: usize, j: usize) -> Option<f64> {
         match &self.tables[attr] {
             ColumnTable::Numeric | ColumnTable::Direct => {
+                if let Some(s) = &self.stats {
+                    s.direct_calls.inc();
+                }
                 value_distance(rel.value(i, attr), rel.value(j, attr))
             }
             ColumnTable::Matrix { dict_len, data, .. } => {
@@ -193,7 +257,13 @@ impl DistanceOracle {
                     return None;
                 }
                 if a == DIRECT_CODE || b == DIRECT_CODE {
+                    if let Some(s) = &self.stats {
+                        s.direct_calls.inc();
+                    }
                     return value_distance(rel.value(i, attr), rel.value(j, attr));
+                }
+                if let Some(s) = &self.stats {
+                    s.matrix_hits.inc();
                 }
                 Some(data[a as usize * dict_len + b as usize] as f64)
             }
@@ -220,11 +290,22 @@ impl DistanceOracle {
                     return None;
                 }
                 if a == DIRECT_CODE || b == DIRECT_CODE {
+                    if let Some(s) = &self.stats {
+                        s.direct_calls.inc();
+                    }
                     return value_distance_bounded(rel.value(i, attr), rel.value(j, attr), max);
+                }
+                if let Some(s) = &self.stats {
+                    s.matrix_hits.inc();
                 }
                 Some(data[a as usize * dict_len + b as usize] as f64).filter(|d| *d <= max)
             }
-            _ => value_distance_bounded(rel.value(i, attr), rel.value(j, attr), max),
+            _ => {
+                if let Some(s) = &self.stats {
+                    s.direct_calls.inc();
+                }
+                value_distance_bounded(rel.value(i, attr), rel.value(j, attr), max)
+            }
         }
     }
 
@@ -412,6 +493,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn traced_build_counts_hits_and_emits_column_events() {
+        let rel = sample();
+        let tracer = Tracer::enabled();
+        let oracle = DistanceOracle::build_traced(&rel, 1024, &Budget::unlimited(), &tracer);
+        let stats = OracleStats::register(&tracer.metrics());
+        let _ = oracle.distance(&rel, 0, 0, 1); // matrix hit
+        let _ = oracle.distance(&rel, 1, 0, 1); // numeric → direct
+        let _ = oracle.distance_bounded(&rel, 0, 0, 1, 5.0); // matrix hit
+        assert_eq!(stats.matrix_hits.get(), 2);
+        assert_eq!(stats.direct_calls.get(), 1);
+        let records = tracer.records();
+        let columns: Vec<_> = records.iter().filter(|r| r.kind == "oracle_column").collect();
+        assert_eq!(columns.len(), rel.arity());
+        assert!(records.iter().any(|r| r.kind == "span"));
+        // Untraced builds must not count: the differential suites compare
+        // traced-off runs and the branch must stay inert.
+        let untraced = DistanceOracle::build(&rel, 1024);
+        let _ = untraced.distance(&rel, 0, 0, 1);
+        assert_eq!(stats.matrix_hits.get(), 2);
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Validates a JSONL trace file against the documented schema: every
+//! line must parse as JSON and round-trip through the parser with
+//! exactly the fields its `kind` allows. CI runs this on a trace emitted
+//! by `impute --trace-out` so the schema in `renuver_obs::schema` and
+//! the emitters can never drift apart.
+//!
+//! Usage: `validate_trace <trace.jsonl>` — exits 0 and prints the line
+//! count on success, exits 1 with the offending line number otherwise.
+
+use std::process::ExitCode;
+
+use renuver_obs::schema::validate_trace;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: validate_trace <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_trace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_trace(&text) {
+        Ok(lines) => {
+            println!("{path}: {lines} lines valid");
+            ExitCode::SUCCESS
+        }
+        Err((line, err)) => {
+            eprintln!("{path}:{line}: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,469 @@
+//! Structured tracing and run metrics for the imputation pipeline.
+//!
+//! Zero external dependencies (the build environment is offline — this
+//! crate is std-only, like `renuver-budget`). Three pieces:
+//!
+//! * [`Tracer`] — a cheaply cloneable handle that records timestamped
+//!   events and hierarchical [`Span`]s. A disabled tracer (the default)
+//!   is a `None` inside and every operation short-circuits before
+//!   building any payload, so instrumented hot paths cost one branch.
+//! * [`Metrics`] — a registry of named counters / gauges / histograms.
+//!   Handles are `Arc<Atomic…>` clones, so hot loops cache a handle once
+//!   and increment with relaxed atomics.
+//! * the JSONL sink ([`Tracer::write_jsonl`]) plus a hand-rolled JSON
+//!   parser ([`json`]) and schema validator ([`schema`]) used by the
+//!   `validate_trace` binary and CI.
+//!
+//! # Determinism
+//!
+//! Trace *timings* are wall-clock and never deterministic; trace
+//! *structure* (which events, in which order, with which fields) is.
+//! Parallel sections record into per-thread [`LocalBuffer`]s that the
+//! owner absorbs in chunk-index order ([`Tracer::absorb_ordered`]) — the
+//! same ordered-chunk discipline the rayon stub uses for results — so
+//! event order does not depend on thread interleaving.
+//!
+//! # Schema
+//!
+//! Every line of a trace file is one JSON object with at least
+//! `{"ts_us": <u64>, "kind": <str>}`. The full per-kind field contract
+//! lives in [`schema`] and is documented in DESIGN.md ("Observability").
+
+pub mod json;
+pub mod metrics;
+pub mod schema;
+
+pub use metrics::{Counter, Gauge, Histogram, Metrics};
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A single field value attached to a trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer (row ids, counts, span ids).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float — serialized as `null` when non-finite (JSON has no NaN).
+    F64(f64),
+    /// Static string (labels, outcome names, modes).
+    Str(&'static str),
+    /// Owned string (values that are not compile-time constants).
+    Text(String),
+    /// Boolean flag.
+    Bool(bool),
+    /// Array of unsigned integers (e.g. the sigma indices of the RFDs
+    /// that generated candidates for a cell).
+    U64s(Vec<u64>),
+    /// Array of floats (e.g. a winning candidate's LHS distance vector).
+    F64s(Vec<f64>),
+}
+
+/// Shorthand used by instrumentation sites: a named field.
+pub type Field = (&'static str, FieldValue);
+
+/// One recorded event. `span` is the id of the enclosing span (0 = root /
+/// no span). Span-close records use `kind: "span"` and carry `label`,
+/// `parent`, and `dur_us` fields.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Microseconds since the tracer's epoch (monotonic clock).
+    pub ts_us: u64,
+    /// Event kind — one of the kinds enumerated in [`schema::KINDS`].
+    pub kind: &'static str,
+    /// Id of the enclosing span (0 when emitted outside any span).
+    pub span: u64,
+    /// Named payload fields; flattened into the JSON object.
+    pub fields: Vec<Field>,
+}
+
+struct Inner {
+    epoch: Instant,
+    next_span: AtomicU64,
+    records: Mutex<Vec<TraceRecord>>,
+    metrics: Metrics,
+}
+
+/// Handle to the trace buffer. `Tracer::default()` is disabled: every
+/// method short-circuits on a `None` check and field closures are never
+/// invoked, so a no-op tracer adds near-zero overhead to the hot paths.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl Tracer {
+    /// An enabled tracer with a fresh buffer, span counter, and metrics
+    /// registry.
+    pub fn enabled() -> Self {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                next_span: AtomicU64::new(1),
+                records: Mutex::new(Vec::new()),
+                metrics: Metrics::new(),
+            })),
+        }
+    }
+
+    /// A disabled tracer (same as `Tracer::default()`).
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// `true` when events are being recorded. Instrumentation sites that
+    /// need to precompute payloads (rather than pass a closure to
+    /// [`Tracer::event`]) should gate on this.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The metrics registry backing this tracer. Disabled tracers return
+    /// a detached registry whose handles still work (increments go
+    /// nowhere observable) so callers never need a second code path.
+    pub fn metrics(&self) -> Metrics {
+        match &self.inner {
+            Some(inner) => inner.metrics.clone(),
+            None => Metrics::new(),
+        }
+    }
+
+    /// Records an event under `span`. The field closure only runs when
+    /// the tracer is enabled — pass the payload construction in it.
+    #[inline]
+    pub fn event(&self, kind: &'static str, span: u64, fields: impl FnOnce() -> Vec<Field>) {
+        if let Some(inner) = &self.inner {
+            let rec = TraceRecord {
+                ts_us: inner.epoch.elapsed().as_micros() as u64,
+                kind,
+                span,
+                fields: fields(),
+            };
+            inner.records.lock().unwrap_or_else(|e| e.into_inner()).push(rec);
+        }
+    }
+
+    /// Opens a span. Returns an inert guard when disabled. The span
+    /// record (with `dur_us`) is emitted when the guard drops, so child
+    /// spans appear before their parents in the file; `parent` links the
+    /// hierarchy back together.
+    pub fn span(&self, label: &'static str) -> Span {
+        self.span_under(label, 0)
+    }
+
+    /// Opens a span as a child of `parent` (a span id from [`Span::id`]).
+    pub fn span_under(&self, label: &'static str, parent: u64) -> Span {
+        match &self.inner {
+            Some(inner) => Span {
+                tracer: self.clone(),
+                label,
+                id: inner.next_span.fetch_add(1, Ordering::Relaxed),
+                parent,
+                start: Some(Instant::now()),
+            },
+            None => Span { tracer: Tracer::disabled(), label, id: 0, parent: 0, start: None },
+        }
+    }
+
+    /// Absorbs per-thread buffers **in the order given**. Callers must
+    /// pass buffers in chunk-index order (the same order the rayon stub
+    /// merges results) so the trace is independent of thread scheduling.
+    pub fn absorb_ordered(&self, buffers: impl IntoIterator<Item = LocalBuffer>) {
+        if let Some(inner) = &self.inner {
+            let mut records = inner.records.lock().unwrap_or_else(|e| e.into_inner());
+            for buf in buffers {
+                records.extend(buf.records);
+            }
+        }
+    }
+
+    /// Snapshot of all records so far (cloned; the buffer keeps growing).
+    pub fn records(&self) -> Vec<TraceRecord> {
+        match &self.inner {
+            Some(inner) => inner.records.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Serializes every record (plus a final `metrics` line) as JSONL.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in self.records() {
+            write_record(&mut out, &rec);
+            out.push('\n');
+        }
+        if let Some(inner) = &self.inner {
+            let ts = inner.epoch.elapsed().as_micros() as u64;
+            out.push_str(&inner.metrics.to_json_line(ts));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSONL trace to `path`. Returns the number of lines.
+    pub fn write_jsonl(&self, path: &str) -> std::io::Result<usize> {
+        let text = self.to_jsonl();
+        let lines = text.lines().count();
+        std::fs::write(path, text)?;
+        Ok(lines)
+    }
+}
+
+/// RAII span guard: emits a `kind: "span"` record with `dur_us` on drop.
+pub struct Span {
+    tracer: Tracer,
+    label: &'static str,
+    id: u64,
+    parent: u64,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// This span's id — pass to [`Tracer::span_under`] or
+    /// [`Tracer::event`] to attach children / events to it. 0 when the
+    /// tracer is disabled.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Opens a child span.
+    pub fn child(&self, label: &'static str) -> Span {
+        self.tracer.span_under(label, self.id)
+    }
+
+    /// Records an event inside this span.
+    #[inline]
+    pub fn event(&self, kind: &'static str, fields: impl FnOnce() -> Vec<Field>) {
+        self.tracer.event(kind, self.id, fields);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let dur_us = start.elapsed().as_micros() as u64;
+            let label = self.label;
+            let parent = self.parent;
+            self.tracer.event("span", self.id, || {
+                vec![
+                    ("label", FieldValue::Str(label)),
+                    ("parent", FieldValue::U64(parent)),
+                    ("dur_us", FieldValue::U64(dur_us)),
+                ]
+            });
+        }
+    }
+}
+
+/// A per-thread record buffer for parallel sections: workers push into
+/// their own buffer (no lock contention), and the owner merges buffers in
+/// chunk-index order via [`Tracer::absorb_ordered`]. Timestamps are
+/// stamped relative to the parent tracer's epoch at absorption time would
+/// be wrong — they are stamped at push time against the epoch captured
+/// when the buffer was created, so timings stay monotonic per buffer.
+#[derive(Debug, Default)]
+pub struct LocalBuffer {
+    epoch: Option<Instant>,
+    records: Vec<TraceRecord>,
+}
+
+impl LocalBuffer {
+    /// A buffer bound to `tracer`'s epoch. For a disabled tracer the
+    /// buffer records nothing.
+    pub fn new(tracer: &Tracer) -> Self {
+        LocalBuffer {
+            epoch: tracer.inner.as_ref().map(|i| i.epoch),
+            records: Vec::new(),
+        }
+    }
+
+    /// Records an event under `span`; the closure only runs when the
+    /// parent tracer was enabled.
+    #[inline]
+    pub fn event(&mut self, kind: &'static str, span: u64, fields: impl FnOnce() -> Vec<Field>) {
+        if let Some(epoch) = self.epoch {
+            self.records.push(TraceRecord {
+                ts_us: epoch.elapsed().as_micros() as u64,
+                kind,
+                span,
+                fields: fields(),
+            });
+        }
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Serializes one record as a single-line JSON object: the reserved keys
+/// `ts_us`, `kind`, `span`, then the payload fields in recorded order.
+fn write_record(out: &mut String, rec: &TraceRecord) {
+    let _ = write!(out, "{{\"ts_us\":{},\"kind\":", rec.ts_us);
+    json::write_str(out, rec.kind);
+    let _ = write!(out, ",\"span\":{}", rec.span);
+    for (name, value) in &rec.fields {
+        out.push(',');
+        json::write_str(out, name);
+        out.push(':');
+        write_value(out, value);
+    }
+    out.push('}');
+}
+
+fn write_value(out: &mut String, value: &FieldValue) {
+    match value {
+        FieldValue::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::F64(v) => json::write_f64(out, *v),
+        FieldValue::Str(s) => json::write_str(out, s),
+        FieldValue::Text(s) => json::write_str(out, s),
+        FieldValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        FieldValue::U64s(vs) => {
+            out.push('[');
+            for (i, v) in vs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{v}");
+            }
+            out.push(']');
+        }
+        FieldValue::F64s(vs) => {
+            out.push('[');
+            for (i, v) in vs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_f64(out, *v);
+            }
+            out.push(']');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_skips_closures() {
+        let t = Tracer::disabled();
+        let mut ran = false;
+        t.event("cell", 0, || {
+            ran = true;
+            vec![]
+        });
+        assert!(!ran, "field closure must not run when disabled");
+        assert!(t.records().is_empty());
+        assert_eq!(t.to_jsonl(), "");
+        let span = t.span("core::impute");
+        assert_eq!(span.id(), 0);
+        drop(span);
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn span_hierarchy_links_parent_ids() {
+        let t = Tracer::enabled();
+        {
+            let root = t.span("core::impute");
+            let child = root.child("core::oracle_build");
+            child.event("oracle_column", || vec![("attr", FieldValue::U64(0))]);
+            drop(child);
+        }
+        let recs = t.records();
+        // oracle_column, span(child), span(root) — children close first.
+        assert_eq!(recs.iter().map(|r| r.kind).collect::<Vec<_>>(), ["oracle_column", "span", "span"]);
+        let child_span = &recs[1];
+        let root_span = &recs[2];
+        let parent_of_child = child_span
+            .fields
+            .iter()
+            .find(|(n, _)| *n == "parent")
+            .map(|(_, v)| v.clone())
+            .unwrap();
+        assert_eq!(parent_of_child, FieldValue::U64(root_span.span));
+        assert_eq!(recs[0].span, child_span.span);
+    }
+
+    #[test]
+    fn absorb_ordered_is_deterministic_in_buffer_order() {
+        let t = Tracer::enabled();
+        let mut bufs: Vec<LocalBuffer> = (0..4).map(|_| LocalBuffer::new(&t)).collect();
+        // Simulate out-of-order thread completion: push in reverse.
+        for (i, buf) in bufs.iter_mut().enumerate().rev() {
+            buf.event("lattice_cell", 0, || vec![("chunk", FieldValue::U64(i as u64))]);
+        }
+        t.absorb_ordered(bufs);
+        let chunks: Vec<u64> = t
+            .records()
+            .iter()
+            .map(|r| match r.fields[0].1 {
+                FieldValue::U64(v) => v,
+                _ => panic!("expected u64"),
+            })
+            .collect();
+        assert_eq!(chunks, [0, 1, 2, 3], "merge must follow buffer order, not push order");
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_round_trip_fields() {
+        let t = Tracer::enabled();
+        t.event("cell", 7, || {
+            vec![
+                ("row", FieldValue::U64(3)),
+                ("outcome", FieldValue::Str("imputed")),
+                ("distance", FieldValue::F64(1.5)),
+                ("nan_field", FieldValue::F64(f64::NAN)),
+                ("rfds", FieldValue::U64s(vec![0, 2])),
+                ("lhs_dists", FieldValue::F64s(vec![0.0, 2.0])),
+                ("quote", FieldValue::Text("a\"b\\c".to_string())),
+                ("ok", FieldValue::Bool(true)),
+            ]
+        });
+        let text = t.to_jsonl();
+        let mut lines = text.lines();
+        let cell = json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(cell.get("kind").and_then(json::Value::as_str), Some("cell"));
+        assert_eq!(cell.get("span").and_then(json::Value::as_u64), Some(7));
+        assert_eq!(cell.get("row").and_then(json::Value::as_u64), Some(3));
+        assert_eq!(cell.get("distance").and_then(json::Value::as_f64), Some(1.5));
+        assert!(matches!(cell.get("nan_field"), Some(json::Value::Null)), "NaN must serialize as null");
+        assert_eq!(cell.get("quote").and_then(json::Value::as_str), Some("a\"b\\c"));
+        let metrics_line = json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(metrics_line.get("kind").and_then(json::Value::as_str), Some("metrics"));
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn buffers_on_disabled_tracer_stay_empty() {
+        let t = Tracer::disabled();
+        let mut buf = LocalBuffer::new(&t);
+        buf.event("lattice_cell", 0, Vec::new);
+        assert!(buf.is_empty());
+        assert_eq!(buf.len(), 0);
+    }
+}

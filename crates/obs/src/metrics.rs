@@ -1,0 +1,356 @@
+//! Named counters, gauges, and histograms for end-of-run reporting.
+//!
+//! A [`Metrics`] registry hands out cheap cloneable handles backed by
+//! `Arc<AtomicU64>`s. Hot paths register a handle once (outside the
+//! loop) and increment with relaxed atomics — the registry lock is only
+//! taken at registration and snapshot time. Counts are exact; only their
+//! observation order across threads is not, which is fine because
+//! metrics are aggregates, not a trace.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins value (thread counts, final ops totals, …).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: values 0, 1, 2–3, 4–7, … up to `u64::MAX`.
+const BUCKETS: usize = 65;
+
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A log2-bucketed histogram of `u64` observations (candidate counts per
+/// cell, superset sizes, …). Tracks count / sum / max exactly and the
+/// distribution at power-of-two resolution.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let bucket = (64 - v.leading_zeros()) as usize; // 0 → bucket 0
+        self.0.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// `(bucket_lower_bound, count)` for every non-empty bucket, in
+    /// ascending order. Bucket 0 holds exactly the value 0; bucket b > 0
+    /// holds values in `[2^(b-1), 2^b)`, so its lower bound is `2^(b-1)`.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        (0..BUCKETS)
+            .filter_map(|b| {
+                let n = self.0.buckets[b].load(Ordering::Relaxed);
+                if n == 0 {
+                    return None;
+                }
+                let lower = if b == 0 { 0 } else { 1u64 << (b - 1) };
+                Some((lower, n))
+            })
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, Counter>,
+    gauges: BTreeMap<&'static str, Gauge>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// The registry. Cloning shares the underlying maps; two clones register
+/// and read the same instruments.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Mutex<Registry>>,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("Metrics")
+            .field("counters", &reg.counters.len())
+            .field("gauges", &reg.gauges.len())
+            .field("histograms", &reg.histograms.len())
+            .finish()
+    }
+}
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Returns the counter named `name`, creating it at 0 on first use.
+    /// Same name → same underlying counter, across clones.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .counters
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the gauge named `name`, creating it at 0 on first use.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .gauges
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the histogram named `name`, creating it empty on first use.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .histograms
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// Serializes the registry as the trace file's final line:
+    /// `{"ts_us":…,"kind":"metrics","span":0,"counters":{…},"gauges":{…},
+    /// "histograms":{name:{"count":…,"sum":…,"max":…,"buckets":[[ub,n],…]}}}`.
+    pub fn to_json_line(&self, ts_us: u64) -> String {
+        let reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        let _ = write!(out, "{{\"ts_us\":{ts_us},\"kind\":\"metrics\",\"span\":0,\"counters\":{{");
+        for (i, (name, c)) in reg.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, name);
+            let _ = write!(out, ":{}", c.get());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, g)) in reg.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, name);
+            let _ = write!(out, ":{}", g.get());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in reg.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, name);
+            let _ = write!(out, ":{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[", h.count(), h.sum(), h.max());
+            for (j, (upper, n)) in h.nonzero_buckets().into_iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{upper},{n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders a human-readable summary table (the `--metrics` output).
+    /// Instruments appear in name order; empty sections are omitted.
+    pub fn render_table(&self) -> String {
+        let reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        let name_w = reg
+            .counters
+            .keys()
+            .chain(reg.gauges.keys())
+            .chain(reg.histograms.keys())
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(0)
+            .max("metric".len());
+        if !reg.counters.is_empty() || !reg.gauges.is_empty() {
+            let _ = writeln!(out, "{:<name_w$}  {:>12}", "metric", "value");
+            let _ = writeln!(out, "{}  {}", "-".repeat(name_w), "-".repeat(12));
+            for (name, c) in &reg.counters {
+                let _ = writeln!(out, "{name:<name_w$}  {:>12}", c.get());
+            }
+            for (name, g) in &reg.gauges {
+                let _ = writeln!(out, "{name:<name_w$}  {:>12}", g.get());
+            }
+        }
+        if !reg.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>8} {:>10} {:>8}",
+                "histogram", "count", "mean", "max"
+            );
+            let _ = writeln!(out, "{}  {}", "-".repeat(name_w), "-".repeat(28));
+            for (name, h) in &reg.histograms {
+                let _ = writeln!(
+                    out,
+                    "{name:<name_w$}  {:>8} {:>10.2} {:>8}",
+                    h.count(),
+                    h.mean(),
+                    h.max()
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_the_instrument() {
+        let m = Metrics::new();
+        let a = m.counter("oracle.matrix_hits");
+        let b = m.clone().counter("oracle.matrix_hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(m.counter("oracle.matrix_hits").get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let m = Metrics::new();
+        let h = m.histogram("core.candidates_per_cell");
+        for v in [0, 1, 1, 3, 8] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 13);
+        assert_eq!(h.max(), 8);
+        assert!((h.mean() - 2.6).abs() < 1e-12);
+        // 0 → bucket 0 (ub 0); 1,1 → ub 1; 3 → ub 2; 8 → ub 8.
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 2), (2, 1), (8, 1)]);
+    }
+
+    #[test]
+    fn json_line_parses_and_carries_everything() {
+        let m = Metrics::new();
+        m.counter("a.hits").add(7);
+        m.gauge("b.threads").set(4);
+        m.histogram("c.sizes").observe(5);
+        let line = m.to_json_line(123);
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("kind").and_then(json::Value::as_str), Some("metrics"));
+        assert_eq!(v.get("ts_us").and_then(json::Value::as_u64), Some(123));
+        assert_eq!(v.get("counters").unwrap().get("a.hits").and_then(json::Value::as_u64), Some(7));
+        assert_eq!(v.get("gauges").unwrap().get("b.threads").and_then(json::Value::as_u64), Some(4));
+        let h = v.get("histograms").unwrap().get("c.sizes").unwrap();
+        assert_eq!(h.get("count").and_then(json::Value::as_u64), Some(1));
+        assert_eq!(h.get("sum").and_then(json::Value::as_u64), Some(5));
+    }
+
+    #[test]
+    fn table_lists_instruments_in_name_order() {
+        let m = Metrics::new();
+        m.counter("z.last").inc();
+        m.counter("a.first").inc();
+        m.histogram("h.sizes").observe(2);
+        let table = m.render_table();
+        let a = table.find("a.first").unwrap();
+        let z = table.find("z.last").unwrap();
+        assert!(a < z);
+        assert!(table.contains("h.sizes"));
+    }
+}

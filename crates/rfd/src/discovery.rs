@@ -35,6 +35,7 @@ use std::collections::HashMap;
 use renuver_budget::{Budget, BudgetReport};
 use renuver_data::{AttrId, Relation};
 use renuver_distance::functions::value_distance;
+use renuver_obs::{FieldValue, LocalBuffer, Tracer};
 
 use crate::model::{Constraint, Rfd};
 use crate::set::RfdSet;
@@ -81,6 +82,12 @@ pub struct DiscoveryConfig {
     /// expanding and [`discover_outcome`] returns the Pareto frontier
     /// found so far, flagged `truncated`. The default budget is unlimited.
     pub budget: Budget,
+    /// Structured tracer (default: disabled). An enabled tracer records
+    /// `rfd::patterns` / `rfd::lattice` spans, one `lattice_cell` event
+    /// per searched lattice cell (buffered per worker thread, merged in
+    /// task order so the trace is deterministic), and a final `discovery`
+    /// summary event.
+    pub tracer: Tracer,
 }
 
 impl DiscoveryConfig {
@@ -95,6 +102,7 @@ impl DiscoveryConfig {
             prune_implied: true,
             parallel: true,
             budget: Budget::unlimited(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -517,15 +525,27 @@ pub struct DiscoveryOutcome {
 /// first lattice cell always runs, so even a zero budget yields the
 /// relation's weakest frontier rather than nothing.
 pub fn discover_outcome(rel: &Relation, cfg: &DiscoveryConfig) -> DiscoveryOutcome {
+    let tracer = &cfg.tracer;
+    let run_span = tracer.span("rfd::discover");
     let m = rel.arity();
     if m < 2 || rel.len() < 2 {
+        tracer.event("discovery", run_span.id(), || {
+            vec![
+                ("rfds", FieldValue::U64(0)),
+                ("truncated", FieldValue::Bool(false)),
+                ("lattice_cells", FieldValue::U64(0)),
+            ]
+        });
         return DiscoveryOutcome {
             rfds: RfdSet::new(),
             truncated: false,
             budget: cfg.budget.report(),
         };
     }
-    let (patterns, patterns_complete) = build_patterns(rel, cfg);
+    let (patterns, patterns_complete) = {
+        let _span = run_span.child("rfd::patterns");
+        build_patterns(rel, cfg)
+    };
     let mut truncated = !patterns_complete;
 
     // One task per (RHS attribute, LHS attribute set) lattice cell, in the
@@ -541,38 +561,80 @@ pub fn discover_outcome(rel: &Relation, cfg: &DiscoveryConfig) -> DiscoveryOutco
                 .map(move |set| (rhs, set))
         })
         .collect();
-    let results: Vec<(Vec<Rfd>, bool)> = if cfg.parallel {
+    let lattice_span = run_span.child("rfd::lattice");
+    let lattice_span_id = lattice_span.id();
+    // Each task carries its own event buffer: workers never contend on the
+    // tracer, and absorbing the buffers in task order below keeps the
+    // trace independent of thread scheduling (disabled tracers make the
+    // buffers inert).
+    let results: Vec<(Vec<Rfd>, bool, LocalBuffer)> = if cfg.parallel {
         rayon::par_map_indexed_with_min(tasks.len(), 2, |i| {
+            let mut buf = LocalBuffer::new(tracer);
             // Cell 0 always runs; later cells are dropped wholesale once
             // the budget has tripped.
             if i > 0 && cfg.budget.check("rfd::lattice").is_err() {
-                return (Vec::new(), true);
+                return (Vec::new(), true, buf);
             }
             let (rhs, set) = &tasks[i];
-            discover_for_rhs_set(&patterns, *rhs, set, cfg)
+            let (cell, cut) = discover_for_rhs_set(&patterns, *rhs, set, cfg);
+            buf.event("lattice_cell", lattice_span_id, || {
+                vec![
+                    ("cell", FieldValue::U64(i as u64)),
+                    ("rfds", FieldValue::U64(cell.len() as u64)),
+                ]
+            });
+            (cell, cut, buf)
         })
     } else {
         tasks
             .iter()
             .enumerate()
             .map(|(i, (rhs, set))| {
+                let mut buf = LocalBuffer::new(tracer);
                 if i > 0 && cfg.budget.check("rfd::lattice").is_err() {
-                    return (Vec::new(), true);
+                    return (Vec::new(), true, buf);
                 }
-                discover_for_rhs_set(&patterns, *rhs, set, cfg)
+                let (cell, cut) = discover_for_rhs_set(&patterns, *rhs, set, cfg);
+                buf.event("lattice_cell", lattice_span_id, || {
+                    vec![
+                        ("cell", FieldValue::U64(i as u64)),
+                        ("rfds", FieldValue::U64(cell.len() as u64)),
+                    ]
+                });
+                (cell, cut, buf)
             })
             .collect()
     };
     let mut rfds: Vec<Rfd> = Vec::new();
-    for (cell, cut) in results {
+    let mut buffers: Vec<LocalBuffer> = Vec::with_capacity(results.len());
+    for (cell, cut, buf) in results {
         truncated |= cut;
         rfds.extend(cell);
+        buffers.push(buf);
     }
+    tracer.absorb_ordered(buffers);
+    drop(lattice_span);
 
+    let raw = rfds.len();
     let mut set = RfdSet::from_vec(rfds);
     if cfg.prune_implied {
         set.prune_implied();
     }
+    if tracer.is_enabled() {
+        let metrics = tracer.metrics();
+        metrics.counter("rfd.lattice_cells").add(tasks.len() as u64);
+        metrics.counter("rfd.emitted_raw").add(raw as u64);
+        metrics.counter("rfd.discovered").add(set.len() as u64);
+    }
+    let n_rfds = set.len();
+    let n_cells = tasks.len();
+    tracer.event("discovery", run_span.id(), || {
+        vec![
+            ("rfds", FieldValue::U64(n_rfds as u64)),
+            ("truncated", FieldValue::Bool(truncated)),
+            ("lattice_cells", FieldValue::U64(n_cells as u64)),
+        ]
+    });
     DiscoveryOutcome { rfds: set, truncated, budget: cfg.budget.report() }
 }
 
@@ -581,6 +643,47 @@ mod tests {
     use super::*;
     use crate::check::holds;
     use renuver_data::{AttrType, Schema, Value};
+
+    #[test]
+    fn traced_discovery_is_deterministic_across_parallelism() {
+        let rel = two_col(&[(1, 10), (2, 20), (3, 30), (1, 11), (7, 70)]);
+        let run = |parallel: bool| {
+            let tracer = Tracer::enabled();
+            let cfg = DiscoveryConfig {
+                parallel,
+                tracer: tracer.clone(),
+                ..DiscoveryConfig::with_limit(3.0)
+            };
+            (discover_outcome(&rel, &cfg), tracer)
+        };
+        let (seq, t_seq) = run(false);
+        let (par, t_par) = run(true);
+        assert_eq!(seq.rfds, par.rfds);
+        // Same lattice_cell payloads in the same order regardless of the
+        // path: buffers are absorbed in task order, not completion order.
+        let cells = |t: &Tracer| -> Vec<Vec<renuver_obs::Field>> {
+            t.records()
+                .iter()
+                .filter(|r| r.kind == "lattice_cell")
+                .map(|r| r.fields.clone())
+                .collect()
+        };
+        assert_eq!(cells(&t_seq), cells(&t_par));
+        assert!(!cells(&t_seq).is_empty());
+        // One summary event; the whole trace validates against the schema.
+        let summaries =
+            t_par.records().iter().filter(|r| r.kind == "discovery").count();
+        assert_eq!(summaries, 1);
+        renuver_obs::schema::validate_trace(&t_par.to_jsonl()).unwrap();
+        assert_eq!(
+            t_par.metrics().counter("rfd.discovered").get(),
+            par.rfds.len() as u64
+        );
+        // An untraced run discovers the same frontier.
+        let plain =
+            discover(&rel, &DiscoveryConfig { parallel: true, ..DiscoveryConfig::with_limit(3.0) });
+        assert_eq!(plain, par.rfds);
+    }
 
     fn two_col(rows: &[(i64, i64)]) -> Relation {
         let schema = Schema::new([("A", AttrType::Int), ("B", AttrType::Int)]).unwrap();

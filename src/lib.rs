@@ -57,5 +57,6 @@ pub use renuver_dc as dc;
 pub use renuver_datasets as datasets;
 pub use renuver_distance as distance;
 pub use renuver_eval as eval;
+pub use renuver_obs as obs;
 pub use renuver_rfd as rfd;
 pub use renuver_rulekit as rulekit;

@@ -62,7 +62,17 @@ const USAGE: &str = "usage:
 budget flags (discover, impute, compare):
   --timeout-secs S   stop after S seconds, returning the partial result
   --mem-limit-mb M   stop when tracked heap use exceeds M MiB
-  --ops-limit N      stop after N budget checkpoints (deterministic)";
+  --ops-limit N      stop after N budget checkpoints (deterministic)
+
+observability flags (discover, impute, compare):
+  --trace-out FILE   write a structured JSONL trace of the run; the schema
+                     is documented in DESIGN.md and enforced by the
+                     validate_trace binary
+  --metrics          print the end-of-run metrics table on stderr";
+
+/// The recognised subcommands, in USAGE order — listed back to the user
+/// when they mistype one.
+const COMMANDS: &str = "stats, audit, discover, inject, impute, evaluate, compare";
 
 /// Budget-related flags, shared by `discover`, `impute`, and `compare`.
 const BUDGET_VALUE_FLAGS: [&str; 3] = ["--timeout-secs", "--mem-limit-mb", "--ops-limit"];
@@ -190,6 +200,61 @@ impl BudgetSpec {
     }
 }
 
+/// The observability flags shared by `discover`, `impute`, and `compare`.
+/// Either flag enables the tracer; with neither present the pipelines get
+/// the disabled tracer and pay only a branch per instrumentation site.
+struct TraceSpec {
+    tracer: renuver::obs::Tracer,
+    out: Option<String>,
+    metrics: bool,
+}
+
+impl TraceSpec {
+    fn from_args(args: &Args) -> TraceSpec {
+        let out = args.value("--trace-out").map(str::to_owned);
+        let metrics = args.has("--metrics");
+        let tracer = if out.is_some() || metrics {
+            renuver::obs::Tracer::enabled()
+        } else {
+            renuver::obs::Tracer::disabled()
+        };
+        TraceSpec { tracer, out, metrics }
+    }
+
+    /// Attaches a fire-once hook that turns the budget's first trip into a
+    /// `budget_trip` trace event (trip label + the phase it fired in).
+    fn hook_budget(&self, budget: renuver::budget::Budget) -> renuver::budget::Budget {
+        if !self.tracer.is_enabled() {
+            return budget;
+        }
+        let tracer = self.tracer.clone();
+        budget.with_trip_hook(std::sync::Arc::new(move |trip, phase| {
+            tracer.event("budget_trip", 0, || {
+                vec![
+                    ("trip", renuver::obs::FieldValue::Str(trip.label())),
+                    ("phase", renuver::obs::FieldValue::Str(phase)),
+                ]
+            });
+        }))
+    }
+
+    /// Writes the requested sinks after the run: the JSONL trace file
+    /// and/or the metrics table on stderr.
+    fn finish(&self) -> Result<(), String> {
+        if let Some(path) = &self.out {
+            let lines = self
+                .tracer
+                .write_jsonl(path)
+                .map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("trace: wrote {lines} JSONL records to {path}");
+        }
+        if self.metrics {
+            eprint!("{}", self.tracer.metrics().render_table());
+        }
+        Ok(())
+    }
+}
+
 fn load(path: &str) -> Result<Relation, String> {
     let result = if path.to_ascii_lowercase().ends_with(".arff") {
         renuver::data::arff::read_path(path)
@@ -212,7 +277,7 @@ fn save(rel: &Relation, path: &str) -> Result<(), String> {
 /// appended for the commands that run the budgeted pipelines.
 fn flag_spec(cmd: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
     let discovery = ["--limit", "--auto-limits", "--max-lhs"];
-    let (mut values, bools): (Vec<&str>, Vec<&str>) = match cmd {
+    let (mut values, mut bools): (Vec<&str>, Vec<&str>) = match cmd {
         "stats" => (vec![], vec![]),
         "audit" => (vec!["--rfds"], vec![]),
         "discover" => {
@@ -239,6 +304,8 @@ fn flag_spec(cmd: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
     };
     if matches!(cmd, "discover" | "impute" | "compare") {
         values.extend(BUDGET_VALUE_FLAGS);
+        values.push("--trace-out");
+        bools.push("--metrics");
     }
     Some((values, bools))
 }
@@ -252,7 +319,7 @@ fn run(raw: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let Some((value_flags, bool_flags)) = flag_spec(cmd) else {
-        return Err(format!("unknown command {cmd:?}"));
+        return Err(format!("unknown command {cmd:?} (valid commands: {COMMANDS})"));
     };
     let args = Args::parse(rest, &value_flags, &bool_flags)?;
     match cmd.as_str() {
@@ -263,7 +330,7 @@ fn run(raw: &[String]) -> Result<(), String> {
         "impute" => impute_cmd(&args),
         "evaluate" => evaluate_cmd(&args),
         "compare" => compare_cmd(&args),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(format!("unknown command {other:?} (valid commands: {COMMANDS})")),
     }
 }
 
@@ -338,8 +405,10 @@ fn discovery_config(args: &Args, rel: &Relation) -> Result<DiscoveryConfig, Stri
 fn discover_cmd(args: &Args) -> Result<(), String> {
     let rel = load(&one_positional(args)?)?;
     let spec = BudgetSpec::from_args(args)?;
+    let tspec = TraceSpec::from_args(args);
     let mut cfg = discovery_config(args, &rel)?;
-    cfg.budget = spec.build();
+    cfg.budget = tspec.hook_budget(spec.build());
+    cfg.tracer = tspec.tracer.clone();
     let outcome = renuver::rfd::discovery::discover_outcome(&rel, &cfg);
     let rfds = outcome.rfds;
     if args.has("--summary") {
@@ -367,7 +436,7 @@ fn discover_cmd(args: &Args) -> Result<(), String> {
             rfds.len(),
         );
     }
-    Ok(())
+    tspec.finish()
 }
 
 fn inject_cmd(args: &Args) -> Result<(), String> {
@@ -396,6 +465,12 @@ fn impute_cmd(args: &Args) -> Result<(), String> {
     if !matches!(approach, "renuver" | "derand" | "holoclean" | "knn") {
         return Err(format!(
             "unknown approach {approach:?} (expected renuver, derand, holoclean, or knn)"
+        ));
+    }
+    let tspec = TraceSpec::from_args(args);
+    if approach != "renuver" && tspec.tracer.is_enabled() {
+        return Err(format!(
+            "--trace-out/--metrics instrument the renuver pipeline only, not {approach:?}"
         ));
     }
     // The statistical approaches do not consume RFDs.
@@ -446,8 +521,10 @@ fn impute_cmd(args: &Args) -> Result<(), String> {
         } else {
             ClusterOrder::Ascending
         },
-        budget: spec.build(),
+        budget: tspec.hook_budget(spec.build()),
         index_mode: index_mode_from_args(args)?,
+        tracer: tspec.tracer.clone(),
+        explain: args.has("--explain"),
         ..RenuverConfig::default()
     };
     if approach == "derand" {
@@ -504,35 +581,64 @@ fn impute_cmd(args: &Args) -> Result<(), String> {
         );
     }
     if args.has("--explain") {
-        for ic in &result.imputed {
-            eprintln!(
-                "  row {} [{}] <- {:?} from row {} (distance {:.2}) via {}",
-                ic.cell.row,
-                rel.schema().name(ic.cell.col),
-                ic.value.render(),
-                ic.donor_row,
-                ic.distance,
-                ic.via.display(rel.schema()),
-            );
-        }
-        for cell in &result.unimputed {
-            let why = match result.outcomes.iter().find(|(c, _)| c == cell) {
-                Some((_, renuver::core::CellOutcome::SkippedBudget)) => "budget exhausted",
-                Some((_, renuver::core::CellOutcome::Cancelled)) => "run cancelled",
-                _ => "no consistent candidate",
-            };
-            eprintln!(
-                "  row {} [{}] left missing ({why})",
-                cell.row,
-                rel.schema().name(cell.col)
-            );
+        // One line per missing cell, straight from the CellExplain records:
+        // imputed cells name the donor, distance, runner-up margin, and the
+        // RFDs that generated candidates; dry cells name the first reason
+        // the candidate stream ran out.
+        for e in &result.explains {
+            let attr = rel.schema().name(e.cell.col);
+            match &e.winner {
+                Some(w) => {
+                    let value = result
+                        .imputed
+                        .iter()
+                        .find(|ic| ic.cell == e.cell)
+                        .map(|ic| ic.value.render())
+                        .unwrap_or_default();
+                    let margin = match w.runner_up_margin {
+                        Some(m) => format!(", runner-up +{m:.2}"),
+                        None => String::new(),
+                    };
+                    eprintln!(
+                        "  row {} [{attr}] <- {value:?} from row {} \
+                         (distance {:.2}{margin}) via {}; {} candidate(s) \
+                         in {} cluster(s) from rfds {:?}",
+                        e.cell.row,
+                        w.donor_row,
+                        w.distance,
+                        rfds.get(w.via_rfd).display(rel.schema()),
+                        e.candidates,
+                        e.clusters,
+                        e.generating_rfds,
+                    );
+                }
+                None => {
+                    let why = match e.dried_up {
+                        Some(renuver::core::DryReason::NoActiveRfds) => {
+                            "no active RFD targets this attribute".to_string()
+                        }
+                        Some(renuver::core::DryReason::NoCandidates) => {
+                            format!("no candidates in {} cluster(s)", e.clusters)
+                        }
+                        Some(renuver::core::DryReason::AllRejected) => {
+                            format!("all {} candidate(s) failed verification", e.candidates)
+                        }
+                        Some(renuver::core::DryReason::Budget(trip)) => {
+                            format!("budget: {trip}")
+                        }
+                        Some(renuver::core::DryReason::Cancelled) => "run cancelled".to_string(),
+                        None => "no consistent candidate".to_string(),
+                    };
+                    eprintln!("  row {} [{attr}] left missing ({why})", e.cell.row);
+                }
+            }
         }
     }
     match args.value("--out") {
         Some(path) => save(&result.relation, path)?,
         None => print!("{}", csv::write_string(&result.relation)),
     }
-    Ok(())
+    tspec.finish()
 }
 
 /// Runs all four approaches on seeded injections of a complete file and
@@ -572,8 +678,10 @@ fn compare_cmd(args: &Args) -> Result<(), String> {
     let dcs = discover_dcs(&rel, &DcDiscoveryConfig::default());
     eprintln!("{} RFDs, {} DCs", rfds.len(), dcs.len());
 
+    let tspec = TraceSpec::from_args(args);
     let renuver_config = RenuverConfig {
         index_mode: index_mode_from_args(args)?,
+        tracer: tspec.tracer.clone(),
         ..RenuverConfig::default()
     };
     let imputers: Vec<Box<dyn Imputer>> = vec![
@@ -591,9 +699,13 @@ fn compare_cmd(args: &Args) -> Result<(), String> {
     for imp in &imputers {
         // Budgeted comparisons run serially with a FRESH budget per
         // variant (one tripped deadline must not poison later runs);
-        // unbudgeted ones keep the parallel fan-out.
-        let outcomes = if spec.is_limited() {
-            run_variants_budgeted(&rel, &rules, imp.as_ref(), rate, &seeds, &|| spec.build())
+        // unbudgeted ones keep the parallel fan-out. Traced comparisons
+        // also run serially so the renuver runs' trace events land in
+        // seed order instead of interleaving.
+        let outcomes = if spec.is_limited() || tspec.tracer.is_enabled() {
+            run_variants_budgeted(&rel, &rules, imp.as_ref(), rate, &seeds, &|| {
+                tspec.hook_budget(spec.build())
+            })
         } else {
             run_variants_parallel(&rel, &rules, imp.as_ref(), rate, &seeds)
         };
@@ -612,7 +724,7 @@ fn compare_cmd(args: &Args) -> Result<(), String> {
     if any_tripped {
         println!("* budget tripped during at least one variant; scores reflect partial repairs");
     }
-    Ok(())
+    tspec.finish()
 }
 
 fn evaluate_cmd(args: &Args) -> Result<(), String> {
@@ -692,6 +804,53 @@ mod tests {
         let raw = strings(&["data.csv", "--out"]);
         let err = Args::parse(&raw, &["--out"], &[]).unwrap_err();
         assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn unknown_command_lists_the_valid_ones() {
+        let err = run(&strings(&["imptue", "data.csv"])).unwrap_err();
+        assert!(err.contains("unknown command \"imptue\""), "{err}");
+        for cmd in ["stats", "audit", "discover", "inject", "impute", "evaluate", "compare"] {
+            assert!(err.contains(cmd), "missing {cmd} in: {err}");
+        }
+    }
+
+    #[test]
+    fn trace_flags_belong_to_the_pipeline_commands() {
+        // Accepted (parse gets past the flag vocabulary; the commands then
+        // fail on the nonexistent input file, not on the flags).
+        for cmd in ["discover", "impute", "compare"] {
+            let err =
+                run(&strings(&[cmd, "no-such.csv", "--trace-out", "t.jsonl", "--metrics"]))
+                    .unwrap_err();
+            assert!(err.contains("no-such.csv"), "{cmd}: {err}");
+        }
+        // Rejected everywhere else.
+        let err = run(&strings(&["stats", "x.csv", "--metrics"])).unwrap_err();
+        assert!(err.contains("--metrics"), "{err}");
+        let err = run(&strings(&["inject", "x.csv", "--trace-out", "t.jsonl"])).unwrap_err();
+        assert!(err.contains("--trace-out"), "{err}");
+    }
+
+    #[test]
+    fn trace_spec_enables_the_tracer_only_when_asked() {
+        let raw = strings(&["x.csv"]);
+        let args = Args::parse(&raw, &["--trace-out"], &["--metrics"]).unwrap();
+        assert!(!TraceSpec::from_args(&args).tracer.is_enabled());
+
+        let raw = strings(&["x.csv", "--metrics"]);
+        let args = Args::parse(&raw, &["--trace-out"], &["--metrics"]).unwrap();
+        let tspec = TraceSpec::from_args(&args);
+        assert!(tspec.tracer.is_enabled());
+        assert!(tspec.out.is_none());
+
+        // A hooked budget forwards its first trip into the trace.
+        let budget = tspec.hook_budget(renuver::budget::Budget::unlimited().with_ops_limit(1));
+        assert!(budget.check("cli::test").is_ok());
+        assert!(budget.check("cli::test").is_err());
+        let jsonl = tspec.tracer.to_jsonl();
+        assert!(jsonl.contains("\"kind\":\"budget_trip\""), "{jsonl}");
+        assert!(jsonl.contains("\"trip\":\"ops\""), "{jsonl}");
     }
 
     #[test]

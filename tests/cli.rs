@@ -93,9 +93,57 @@ fn full_pipeline_through_the_cli() {
 #[test]
 fn unknown_command_fails_with_usage() {
     let out = bin().arg("frobnicate").output().unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
     let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown command \"frobnicate\""), "{stderr}");
+    // The error names every valid subcommand so a typo is self-correcting.
+    for cmd in ["stats", "audit", "discover", "inject", "impute", "evaluate", "compare"] {
+        assert!(stderr.contains(cmd), "missing {cmd} in: {stderr}");
+    }
     assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn trace_out_writes_a_schema_listed_jsonl_file() {
+    let dir = tempdir("trace");
+    let data = dir.join("data.csv");
+    std::fs::write(&data, DATA).unwrap();
+    let holes = dir.join("holes.csv");
+    assert!(bin()
+        .arg("inject")
+        .arg(&data)
+        .args(["--rate", "0.2", "--seed", "1", "--out"])
+        .arg(&holes)
+        .status()
+        .unwrap()
+        .success());
+    let trace = dir.join("run.jsonl");
+    let out = bin()
+        .arg("impute")
+        .arg(&holes)
+        .args(["--limit", "3", "--out", "/dev/null", "--metrics", "--trace-out"])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("trace: wrote"), "{stderr}");
+    // --metrics prints the counter table.
+    assert!(stderr.contains("core.cells_imputed"), "{stderr}");
+    let text = std::fs::read_to_string(&trace).unwrap();
+    for kind in ["run_start", "cell", "span", "run_end", "metrics"] {
+        assert!(text.contains(&format!("\"kind\":\"{kind}\"")), "missing {kind}:\n{text}");
+    }
+
+    // The trace flags are renuver-pipeline-only: baselines reject them.
+    let out = bin()
+        .arg("impute")
+        .arg(&holes)
+        .args(["--approach", "knn", "--metrics"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("renuver pipeline only"));
 }
 
 #[test]

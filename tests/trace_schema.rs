@@ -1,0 +1,87 @@
+//! The observability contract, end to end: an imputation run under an
+//! enabled tracer emits a JSONL trace that validates against the closed
+//! schema of `renuver::obs::schema`, its explain records account for every
+//! missing cell, and — the part that keeps tracing honest — the traced
+//! run's decisions are bit-identical to an untraced run's.
+
+use renuver::core::{CellOutcome, Renuver, RenuverConfig};
+use renuver::data::csv;
+use renuver::eval::inject;
+use renuver::obs::schema::validate_trace;
+use renuver::obs::Tracer;
+use renuver::rfd::discovery::{discover, DiscoveryConfig};
+
+const DATA: &str = "\
+Name:text,City:text,Zip:text,Pop:int
+Eolo,Salerno,84084,130000
+Vicolo,Salerno,84084,130000
+Crispi,Milano,20121,1350000
+Brera,Milano,20121,1350000
+Pergola,Roma,00184,2870000
+Margana,Roma,00184,2870000
+Baffo,Roma,00184,2870000
+Strega,Napoli,80121,960000
+Nennella,Napoli,80121,960000
+Cibo,Napoli,80121,960000
+";
+
+#[test]
+fn traced_run_validates_and_matches_the_untraced_run() {
+    let full = csv::read_str(DATA).unwrap();
+    let (rel, _truth) = inject(&full, 0.1, 7);
+    assert!(rel.missing_count() > 0, "fixture must have holes");
+    let sigma = discover(&rel, &DiscoveryConfig::with_limit(3.0));
+
+    let tracer = Tracer::enabled();
+    let traced = Renuver::new(RenuverConfig {
+        tracer: tracer.clone(),
+        explain: true,
+        ..RenuverConfig::default()
+    })
+    .impute(&rel, &sigma);
+    let untraced = Renuver::new(RenuverConfig::default()).impute(&rel, &sigma);
+
+    // Every line of the trace passes the closed schema.
+    let jsonl = tracer.to_jsonl();
+    let lines = validate_trace(&jsonl).unwrap_or_else(|(line, why)| {
+        panic!("trace line {line} invalid: {why}\n{jsonl}");
+    });
+    assert!(lines > 0);
+
+    // The explain records account for every missing cell, and the result's
+    // own ledger balances.
+    assert_eq!(traced.explains.len(), traced.stats.missing_total);
+    assert_eq!(
+        traced.stats.imputed + traced.unimputed.len(),
+        traced.stats.missing_total
+    );
+    for e in &traced.explains {
+        match e.outcome {
+            CellOutcome::Imputed => assert!(
+                e.winner.is_some(),
+                "imputed cell {:?} has no winner record",
+                e.cell
+            ),
+            _ => assert!(
+                e.dried_up.is_some(),
+                "dry cell {:?} has no dry-up reason",
+                e.cell
+            ),
+        }
+    }
+
+    // One `cell` event per missing cell in the trace itself.
+    let cell_events = jsonl
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"cell\""))
+        .count();
+    assert_eq!(cell_events, traced.stats.missing_total);
+
+    // Tracing observes; it never steers. The explain records live only in
+    // the explain-enabled result, so compare the decision-bearing parts.
+    assert_eq!(traced.relation, untraced.relation);
+    assert_eq!(traced.imputed, untraced.imputed);
+    assert_eq!(traced.unimputed, untraced.unimputed);
+    assert_eq!(traced.outcomes, untraced.outcomes);
+    assert_eq!(traced.stats, untraced.stats);
+}

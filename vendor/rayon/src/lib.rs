@@ -25,8 +25,20 @@
 //! execution instead of oversubscribing the machine.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Process-wide count of chunks dispatched to worker threads by the
+/// parallel path (sequential fallbacks dispatch none). Not part of real
+/// rayon's API — the observability layer reads the delta across a run to
+/// report how finely the scheduler actually sliced the work.
+static CHUNKS_DISPATCHED: AtomicU64 = AtomicU64::new(0);
+
+/// Total chunks dispatched by parallel calls since process start.
+/// Monotonic; callers interested in one run take a before/after delta.
+pub fn chunks_dispatched() -> u64 {
+    CHUNKS_DISPATCHED.load(Ordering::Relaxed)
+}
 
 /// Inputs shorter than this run sequentially even when a pool is active:
 /// thread spawn/join overhead (tens of microseconds per call with scoped
@@ -168,6 +180,7 @@ where
                         break;
                     }
                     let end = (start + chunk).min(len);
+                    CHUNKS_DISPATCHED.fetch_add(1, Ordering::Relaxed);
                     local.push((start, (start..end).map(&f).collect()));
                 }
                 parts.lock().unwrap().extend(local);
@@ -462,5 +475,20 @@ mod tests {
     fn builder_zero_means_all_cores() {
         let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
         assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn chunk_counter_moves_only_on_the_parallel_path() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let before = super::chunks_dispatched();
+        let _: Vec<usize> = pool.install(|| par_map_indexed(MIN_PAR_LEN * 4, |i| i));
+        assert_eq!(super::chunks_dispatched(), before, "sequential run dispatched chunks");
+        // Multi-threaded runs dispatch at least one chunk per worker that
+        // found work (other tests may run concurrently, so only a lower
+        // bound is asserted).
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let before = super::chunks_dispatched();
+        let _: Vec<usize> = pool.install(|| par_map_indexed(MIN_PAR_LEN * 4, |i| i));
+        assert!(super::chunks_dispatched() > before);
     }
 }
