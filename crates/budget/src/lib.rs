@@ -469,6 +469,7 @@ impl Budget {
             ops: self.ops(),
             tripped,
             tripped_at,
+            phases: Vec::new(),
         }
     }
 }
@@ -490,6 +491,12 @@ pub struct BudgetReport {
     pub tripped: Option<BudgetTrip>,
     /// The phase that first observed the trip.
     pub tripped_at: Option<&'static str>,
+    /// Where the time went: `(phase label, self-time in microseconds)`,
+    /// largest first. Empty unless the run was traced — the attribution is
+    /// aggregated from the tracer's span records by the caller that owns
+    /// both (see `renuver_obs::flamegraph::phase_totals`), so an untraced
+    /// run pays nothing for it.
+    pub phases: Vec<(String, u64)>,
 }
 
 impl fmt::Display for BudgetReport {
@@ -504,6 +511,18 @@ impl fmt::Display for BudgetReport {
             write!(f, ", budget tripped: {t}")?;
             if let Some(p) = self.tripped_at {
                 write!(f, " in {p}")?;
+            }
+        }
+        if !self.phases.is_empty() {
+            let total: u64 = self.phases.iter().map(|(_, us)| us).sum();
+            write!(f, "; time by phase:")?;
+            for (label, us) in self.phases.iter().take(5) {
+                let pct = (100 * us).checked_div(total).unwrap_or(0);
+                write!(
+                    f,
+                    " {label} {} ({pct}%)",
+                    format_duration(Duration::from_micros(*us))
+                )?;
             }
         }
         Ok(())
@@ -540,6 +559,20 @@ mod tests {
         assert_eq!(format_duration(Duration::from_millis(3_200)), "3.2s");
         assert_eq!(format_duration(Duration::from_secs(869)), "14m 29s");
         assert_eq!(format_duration(Duration::from_secs(48 * 3600 + 120)), "48h 2m");
+    }
+
+    #[test]
+    fn report_display_includes_phase_attribution() {
+        let mut report = Budget::unlimited().report();
+        assert!(!report.to_string().contains("time by phase"));
+        report.phases = vec![
+            ("distance::oracle_build".to_string(), 750_000),
+            ("core::impute_cells".to_string(), 250_000),
+        ];
+        let text = report.to_string();
+        assert!(text.contains("time by phase"), "{text}");
+        assert!(text.contains("distance::oracle_build 750ms (75%)"), "{text}");
+        assert!(text.contains("core::impute_cells 250ms (25%)"), "{text}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The RENUVER main procedure (Algorithms 1 and 2).
 
-use renuver_budget::BudgetTrip;
+use renuver_budget::{BudgetReport, BudgetTrip};
 use renuver_data::{Cell, Relation};
 use renuver_distance::{DistanceOracle, SimilarityIndex};
 use renuver_obs::{Counter, Field, FieldValue, Histogram};
@@ -27,6 +27,20 @@ struct CellAttempt {
     generating_rfds: Vec<usize>,
     winner: Option<ExplainWinner>,
     dried_up: Option<DryReason>,
+}
+
+/// Everything [`Renuver::impute_prepared`] produces except the relation
+/// itself (which the caller owns and passed in by `&mut`). The one-shot
+/// path folds these straight into an [`ImputationResult`]; the serving
+/// engine remaps the cell coordinates to batch-relative first.
+pub(crate) struct PreparedParts {
+    pub(crate) imputed: Vec<ImputedCell>,
+    pub(crate) unimputed: Vec<Cell>,
+    pub(crate) outcomes: Vec<(Cell, CellOutcome)>,
+    pub(crate) stats: ImputationStats,
+    pub(crate) trace: Vec<TraceEvent>,
+    pub(crate) explains: Vec<CellExplain>,
+    pub(crate) budget: BudgetReport,
 }
 
 /// Metric handles the per-cell loop increments, registered once per run
@@ -169,10 +183,6 @@ impl Renuver {
     ) -> ImputationResult {
         let budget = &self.config.budget;
         let tracer = &self.config.tracer;
-        // Explain detail feeds both the result's `explains` vector and the
-        // tracer's per-cell events; computing it is gated on either
-        // consumer so disabled runs do no extra work.
-        let explain_on = self.config.explain || tracer.is_enabled();
         let chunks_before = rayon::chunks_dispatched();
         let run_span = tracer.span("core::impute");
         tracer.event("run_start", run_span.id(), || {
@@ -185,7 +195,6 @@ impl Renuver {
             ]
         });
         let mut rel = rel.clone();
-        let mut stats = ImputationStats::default();
         // Dictionary-encode the text columns once; every distance query in
         // key detection, candidate generation, and verification becomes a
         // matrix lookup. Kept current after every imputation. Under a
@@ -206,6 +215,57 @@ impl Renuver {
             IndexMode::Auto => (rel.len() >= AUTO_MIN_ROWS)
                 .then(|| SimilarityIndex::build_traced(&rel, &oracle, budget, tracer)),
         };
+        let parts = self.impute_prepared(
+            &mut rel,
+            &mut oracle,
+            &mut index,
+            sigma,
+            row_range,
+            &run_span,
+            chunks_before,
+        );
+        ImputationResult {
+            relation: rel,
+            imputed: parts.imputed,
+            unimputed: parts.unimputed,
+            outcomes: parts.outcomes,
+            stats: parts.stats,
+            trace: parts.trace,
+            explains: parts.explains,
+            budget: parts.budget,
+        }
+    }
+
+    /// The core of [`Renuver::impute_rows_inner`] over *prebuilt* state:
+    /// runs pre-processing (key partitioning) and the per-cell imputation
+    /// loop against a relation whose oracle and index the caller already
+    /// owns. This is the seam the serving [`crate::engine::Engine`] uses
+    /// to answer requests without rebuilding the distance structures —
+    /// the one-shot path above builds them fresh and delegates here, so
+    /// both paths make bit-for-bit identical decisions by construction.
+    ///
+    /// `rel`, `oracle`, and `index` are mutated in place (imputations
+    /// write cells and re-index them); `run_span` parents the emitted
+    /// trace; `chunks_before` is the rayon chunk counter at run start
+    /// (for the `parallel.chunks` gauge).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn impute_prepared(
+        &self,
+        rel: &mut Relation,
+        oracle: &mut DistanceOracle,
+        index: &mut Option<SimilarityIndex>,
+        sigma: &RfdSet,
+        row_range: std::ops::Range<usize>,
+        run_span: &renuver_obs::Span,
+        chunks_before: u64,
+    ) -> PreparedParts {
+        let budget = &self.config.budget;
+        let tracer = &self.config.tracer;
+        // Explain detail feeds both the result's `explains` vector and the
+        // tracer's per-cell events; computing it is gated on either
+        // consumer so disabled runs do no extra work.
+        let explain_on = self.config.explain || tracer.is_enabled();
+        let mut stats = ImputationStats::default();
 
         // Pre-processing (lines 1-6): Σ' = non-key RFDs; r̂ = incomplete
         // tuples. `active` tracks Σ' membership so key-RFDs can be
@@ -213,7 +273,7 @@ impl Renuver {
         // budget cuts the key scan short, unchecked RFDs stay active.
         let (non_keys, keys, _keys_cut) = {
             let _span = run_span.child("core::partition_keys");
-            sigma.partition_keys_budgeted_with(&oracle, index.as_ref(), &rel, budget)
+            sigma.partition_keys_budgeted_with(oracle, index.as_ref(), rel, budget)
         };
         stats.keys_filtered = keys.len();
         let mut active = vec![false; sigma.len()];
@@ -245,7 +305,7 @@ impl Renuver {
         // budget ladder per cell: full verify → (pressure ≥ degrade_at)
         // changed-cell neighborhood verify → (tripped) skip the rest.
         let cells_span = run_span.child("core::impute_cells");
-        let cells = self.ordered_cells(&rel, &incomplete);
+        let cells = self.ordered_cells(rel, &incomplete);
         let mut outcomes: Vec<(Cell, CellOutcome)> = Vec::with_capacity(cells.len());
         for Cell { row, col: attr } in cells {
             {
@@ -268,7 +328,8 @@ impl Renuver {
                     unimputed.push(cell);
                     stats.unimputed += 1;
                     outcomes.push((cell, outcome));
-                    if explain_on {
+                    if explain_on && self.config.explain_sample.admits(stats.missing_total - 1, false)
+                    {
                         let exp = CellExplain {
                             cell,
                             outcome,
@@ -311,8 +372,8 @@ impl Renuver {
                     winner,
                     dried_up,
                 } = self.impute_missing_value(
-                    &mut rel,
-                    &oracle,
+                    &mut *rel,
+                    oracle,
                     index.as_ref(),
                     row,
                     attr,
@@ -328,9 +389,9 @@ impl Renuver {
                 }
                 let outcome = match written {
                     Some(cell_rec) => {
-                        oracle.update_cell(&rel, row, attr);
+                        oracle.update_cell(rel, row, attr);
                         if let Some(ix) = index.as_mut() {
-                            ix.update_cell(&rel, row, attr);
+                            ix.update_cell(rel, row, attr);
                         }
                         if self.config.trace {
                             trace.push(TraceEvent::Imputed {
@@ -350,9 +411,9 @@ impl Renuver {
                         if !self.config.skip_key_reevaluation && !degraded {
                             dormant_keys.retain(|&k| {
                                 if stays_key_after_update_with_index(
-                                    &oracle,
+                                    oracle,
                                     index.as_ref(),
-                                    &rel,
+                                    rel,
                                     sigma.get(k),
                                     row,
                                 ) {
@@ -376,7 +437,12 @@ impl Renuver {
                         CellOutcome::NoCandidates
                     }
                 };
-                if explain_on {
+                if explain_on
+                    && self
+                        .config
+                        .explain_sample
+                        .admits(stats.missing_total - 1, outcome == CellOutcome::Imputed)
+                {
                     let exp = CellExplain {
                         cell,
                         outcome,
@@ -417,7 +483,12 @@ impl Renuver {
             // deltas, which is acceptable for an aggregate gauge).
             m.gauge("parallel.chunks").set(rayon::chunks_dispatched() - chunks_before);
         }
-        let report = budget.report();
+        let mut report = budget.report();
+        if tracer.is_enabled() {
+            // Per-phase self-time attribution from the spans closed so
+            // far (the still-open run span is excluded by construction).
+            report.phases = renuver_obs::flamegraph::phase_totals(&tracer.records());
+        }
         tracer.event("budget_report", run_span.id(), || {
             let mut fields = vec![
                 ("ops", FieldValue::U64(report.ops)),
@@ -440,8 +511,7 @@ impl Renuver {
             ]
         });
 
-        ImputationResult {
-            relation: rel,
+        PreparedParts {
             imputed,
             unimputed,
             outcomes,

@@ -86,6 +86,36 @@ pub enum IndexMode {
 /// costs more than it saves.
 pub const AUTO_MIN_ROWS: usize = 256;
 
+/// Which missing cells get a [`crate::result::CellExplain`] record (and a
+/// `cell` trace event). On very wide runs the per-cell events dominate the
+/// trace; sampling keeps traced runs small without touching any
+/// imputation decision — the sample gate sits strictly on the emission
+/// side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExplainSample {
+    /// Every missing cell. Default.
+    #[default]
+    All,
+    /// Every k-th missing cell in visiting order, starting with the
+    /// first (`0` and `1` both mean every cell).
+    EveryKth(usize),
+    /// Only cells that stayed dry — skipped, cancelled, or without an
+    /// admissible candidate. Imputed cells are elided.
+    DryOnly,
+}
+
+impl ExplainSample {
+    /// Whether the `seq`-th missing cell (0-based, visiting order) with
+    /// the given outcome passes the sample gate.
+    pub fn admits(self, seq: usize, imputed: bool) -> bool {
+        match self {
+            ExplainSample::All => true,
+            ExplainSample::EveryKth(k) => k <= 1 || seq.is_multiple_of(k),
+            ExplainSample::DryOnly => !imputed,
+        }
+    }
+}
+
 /// RENUVER configuration.
 #[derive(Debug, Clone)]
 pub struct RenuverConfig {
@@ -152,6 +182,10 @@ pub struct RenuverConfig {
     /// enabled tracer computes the same records for its `cell` events
     /// whether or not this flag stores them in the result.
     pub explain: bool,
+    /// Which cells the explain/trace emission covers (default: all).
+    /// Applies to both [`RenuverConfig::explain`] records and the
+    /// tracer's `cell` events; decisions are unaffected.
+    pub explain_sample: ExplainSample,
 }
 
 impl Default for RenuverConfig {
@@ -169,6 +203,7 @@ impl Default for RenuverConfig {
             index_mode: IndexMode::default(),
             tracer: Tracer::disabled(),
             explain: false,
+            explain_sample: ExplainSample::default(),
         }
     }
 }
@@ -198,5 +233,18 @@ mod tests {
         assert_eq!(cfg.index_mode, IndexMode::Auto);
         assert!(!cfg.tracer.is_enabled(), "default tracer is disabled");
         assert!(!cfg.explain, "explain records are opt-in");
+        assert_eq!(cfg.explain_sample, ExplainSample::All, "no sampling by default");
+    }
+
+    #[test]
+    fn sample_gates() {
+        assert!(ExplainSample::All.admits(7, true));
+        assert!(ExplainSample::EveryKth(0).admits(7, true));
+        assert!(ExplainSample::EveryKth(1).admits(7, true));
+        assert!(ExplainSample::EveryKth(3).admits(0, true));
+        assert!(!ExplainSample::EveryKth(3).admits(1, true));
+        assert!(ExplainSample::EveryKth(3).admits(3, false));
+        assert!(ExplainSample::DryOnly.admits(4, false));
+        assert!(!ExplainSample::DryOnly.admits(4, true));
     }
 }

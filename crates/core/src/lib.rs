@@ -20,6 +20,7 @@ pub mod algorithm;
 pub mod audit;
 pub mod candidates;
 pub mod config;
+pub mod engine;
 pub mod external;
 pub mod result;
 pub mod verify;
@@ -27,7 +28,10 @@ pub mod verify;
 pub use algorithm::Renuver;
 pub use audit::{audit, AuditConfig, AuditReport};
 pub use candidates::{find_candidate_tuples, find_candidate_tuples_with, Candidate};
-pub use config::{ClusterOrder, ImputationOrder, IndexMode, RenuverConfig, VerifyScope};
+pub use config::{
+    ClusterOrder, ExplainSample, ImputationOrder, IndexMode, RenuverConfig, VerifyScope,
+};
+pub use engine::{BatchResult, Engine};
 pub use external::SchemaMismatch;
 pub use result::{
     CellExplain, CellOutcome, DryReason, ExplainWinner, ImputationResult, ImputationStats,

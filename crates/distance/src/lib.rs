@@ -15,6 +15,6 @@ pub mod pattern;
 
 pub use extra::{jaccard_token_distance, jaro_winkler_distance, soundex};
 pub use functions::{levenshtein, levenshtein_bounded, value_distance};
-pub use index::{intersect_sorted, union_sorted, SimilarityIndex};
-pub use oracle::DistanceOracle;
+pub use index::{intersect_sorted, union_sorted, AttrSnapshot, SimilarityIndex};
+pub use oracle::{ColumnSnapshot, DistanceOracle};
 pub use pattern::DistancePattern;

@@ -347,6 +347,140 @@ impl DistanceOracle {
             };
         }
     }
+
+    /// Extends the oracle to cover a freshly appended row of `rel` (the
+    /// row must already be in the relation). Dictionary-encoded columns
+    /// intern the new cell against the *existing* dictionary: a known
+    /// value gets its code, an unknown one falls back to direct
+    /// computation for that cell — the dictionary and matrix never grow,
+    /// so distances are exactly what a full rebuild would answer (known
+    /// pairs hit the same matrix entries; Levenshtein distances are
+    /// integers, exactly representable in both the `f32` matrix and the
+    /// direct `f64` kernel). Rows must be appended in order; undo with
+    /// [`DistanceOracle::truncate_rows`].
+    pub fn append_row(&mut self, rel: &Relation, row: usize) {
+        for (attr, table) in self.tables.iter().enumerate() {
+            if let ColumnTable::Matrix { index, .. } = table {
+                debug_assert_eq!(self.codes[attr].len(), row, "rows must append in order");
+                let code = match rel.value(row, attr) {
+                    Value::Null => NULL_CODE,
+                    v => match v.as_text().and_then(|s| index.get(s)) {
+                        Some(&code) => code,
+                        None => DIRECT_CODE,
+                    },
+                };
+                self.codes[attr].push(code);
+            }
+        }
+    }
+
+    /// Drops the per-row state of every row `≥ len` — the inverse of
+    /// [`DistanceOracle::append_row`], used to roll a batch of appended
+    /// rows back out. Dictionaries and matrices are untouched (appending
+    /// never grew them).
+    pub fn truncate_rows(&mut self, len: usize) {
+        for (attr, table) in self.tables.iter().enumerate() {
+            if matches!(table, ColumnTable::Matrix { .. }) {
+                self.codes[attr].truncate(len);
+            }
+        }
+    }
+
+    /// Snapshots every column's encoding for serialization — see
+    /// [`ColumnSnapshot`]. Inverse of [`DistanceOracle::from_snapshot`].
+    pub fn to_snapshot(&self) -> Vec<ColumnSnapshot> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(attr, table)| match table {
+                ColumnTable::Numeric => ColumnSnapshot::Numeric,
+                ColumnTable::Direct => ColumnSnapshot::Direct,
+                ColumnTable::Matrix { index, dict_len, data } => {
+                    let mut dict = vec![String::new(); *dict_len];
+                    for (value, &code) in index {
+                        dict[code as usize] = value.clone();
+                    }
+                    ColumnSnapshot::Matrix {
+                        dict,
+                        data: data.clone(),
+                        codes: self.codes[attr].clone(),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Rebuilds an oracle from a snapshot, validating every structural
+    /// invariant (matrix shape, code ranges, dictionary uniqueness) so a
+    /// corrupt snapshot yields an error, never a panicking oracle. Stats
+    /// start detached; re-attach with [`DistanceOracle::set_stats`].
+    pub fn from_snapshot(columns: Vec<ColumnSnapshot>) -> Result<DistanceOracle, String> {
+        let mut codes = Vec::with_capacity(columns.len());
+        let mut tables = Vec::with_capacity(columns.len());
+        for (attr, col) in columns.into_iter().enumerate() {
+            match col {
+                ColumnSnapshot::Numeric => {
+                    codes.push(Vec::new());
+                    tables.push(ColumnTable::Numeric);
+                }
+                ColumnSnapshot::Direct => {
+                    codes.push(Vec::new());
+                    tables.push(ColumnTable::Direct);
+                }
+                ColumnSnapshot::Matrix { dict, data, codes: col_codes } => {
+                    let k = dict.len();
+                    if k as u64 >= DIRECT_CODE as u64 {
+                        return Err(format!("column {attr}: dictionary too large ({k})"));
+                    }
+                    if data.len() != k * k {
+                        return Err(format!(
+                            "column {attr}: matrix holds {} entries for {k} values",
+                            data.len()
+                        ));
+                    }
+                    let mut index = HashMap::with_capacity(k);
+                    for (code, value) in dict.into_iter().enumerate() {
+                        if index.insert(value, code as u32).is_some() {
+                            return Err(format!(
+                                "column {attr}: duplicate dictionary value"
+                            ));
+                        }
+                    }
+                    for &c in &col_codes {
+                        if (c as usize) >= k && c != NULL_CODE && c != DIRECT_CODE {
+                            return Err(format!("column {attr}: row code {c} out of range"));
+                        }
+                    }
+                    codes.push(col_codes);
+                    tables.push(ColumnTable::Matrix { index, dict_len: k, data });
+                }
+            }
+        }
+        Ok(DistanceOracle { codes, tables, stats: None })
+    }
+}
+
+/// Portable snapshot of one oracle column, exposed so higher layers can
+/// serialize the oracle (the model-artifact format in `renuver-serve`).
+/// Matrix data is row-major `dict.len() × dict.len()`, `codes` holds one
+/// entry per relation row (`u32::MAX` = missing, `u32::MAX - 1` = value
+/// outside the dictionary).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnSnapshot {
+    /// Numeric / boolean column: distances computed directly, no state.
+    Numeric,
+    /// Text column answered without a cache (over-cap dictionary, huge
+    /// values, or budget-degraded build).
+    Direct,
+    /// Dictionary-encoded text column with its distance matrix.
+    Matrix {
+        /// Code → value.
+        dict: Vec<String>,
+        /// Row-major distance matrix.
+        data: Vec<f32>,
+        /// Per-row codes (see enum docs for the sentinels).
+        codes: Vec<u32>,
+    },
 }
 
 #[cfg(test)]
@@ -532,5 +666,102 @@ mod tests {
         let oracle = DistanceOracle::build(&rel, 1024);
         assert_eq!(oracle.distance_bounded(&rel, 0, 0, 1, 2.0), Some(1.0));
         assert_eq!(oracle.distance_bounded(&rel, 0, 0, 1, 0.5), None);
+    }
+
+    #[test]
+    fn appended_rows_answer_like_a_rebuild() {
+        let mut rel = sample();
+        let mut oracle = DistanceOracle::build(&rel, 1024);
+        let base = rel.len();
+        // One value already in the dictionary, one foreign, one null.
+        rel.push(vec!["Granitas".into(), Value::Int(9)]).unwrap();
+        rel.push(vec!["Fenix".into(), Value::Int(2)]).unwrap();
+        rel.push(vec![Value::Null, Value::Int(1)]).unwrap();
+        for row in base..rel.len() {
+            oracle.append_row(&rel, row);
+        }
+        let rebuilt = DistanceOracle::build(&rel, 1024);
+        for attr in 0..rel.arity() {
+            for i in 0..rel.len() {
+                for j in 0..rel.len() {
+                    assert_eq!(
+                        oracle.distance(&rel, attr, i, j),
+                        rebuilt.distance(&rel, attr, i, j),
+                        "attr {attr} pair ({i},{j})"
+                    );
+                    for max in [0.5, 1.0, 4.0] {
+                        assert_eq!(
+                            oracle.distance_bounded(&rel, attr, i, j, max),
+                            rebuilt.distance_bounded(&rel, attr, i, j, max),
+                        );
+                    }
+                }
+            }
+        }
+        // Rolling the batch back restores the original per-row state.
+        oracle.truncate_rows(base);
+        rel.truncate(base);
+        let fresh = DistanceOracle::build(&rel, 1024);
+        for attr in 0..rel.arity() {
+            for i in 0..rel.len() {
+                for j in 0..rel.len() {
+                    assert_eq!(
+                        oracle.distance(&rel, attr, i, j),
+                        fresh.distance(&rel, attr, i, j),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_answers() {
+        let rel = sample();
+        let mut original = DistanceOracle::build(&rel, 1024);
+        // A direct (over-cap) column must round-trip too.
+        let restored = DistanceOracle::from_snapshot(original.to_snapshot()).unwrap();
+        for attr in 0..rel.arity() {
+            for i in 0..rel.len() {
+                for j in 0..rel.len() {
+                    assert_eq!(
+                        original.distance(&rel, attr, i, j),
+                        restored.distance(&rel, attr, i, j),
+                    );
+                }
+            }
+        }
+        // Snapshots capture post-update codes (foreign values included).
+        let mut rel2 = rel.clone();
+        rel2.set_value(3, 0, "Outsider".into());
+        original.update_cell(&rel2, 3, 0);
+        let restored2 = DistanceOracle::from_snapshot(original.to_snapshot()).unwrap();
+        assert_eq!(
+            original.distance(&rel2, 0, 3, 0),
+            restored2.distance(&rel2, 0, 3, 0)
+        );
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_typed_errors() {
+        let rel = sample();
+        let oracle = DistanceOracle::build(&rel, 1024);
+        // Matrix shape mismatch.
+        let mut snap = oracle.to_snapshot();
+        if let ColumnSnapshot::Matrix { data, .. } = &mut snap[0] {
+            data.pop();
+        }
+        assert!(DistanceOracle::from_snapshot(snap).err().unwrap().contains("matrix"));
+        // Out-of-range row code.
+        let mut snap = oracle.to_snapshot();
+        if let ColumnSnapshot::Matrix { codes, .. } = &mut snap[0] {
+            codes[0] = 9999;
+        }
+        assert!(DistanceOracle::from_snapshot(snap).err().unwrap().contains("out of range"));
+        // Duplicate dictionary value.
+        let mut snap = oracle.to_snapshot();
+        if let ColumnSnapshot::Matrix { dict, .. } = &mut snap[0] {
+            dict[1] = dict[0].clone();
+        }
+        assert!(DistanceOracle::from_snapshot(snap).err().unwrap().contains("duplicate"));
     }
 }

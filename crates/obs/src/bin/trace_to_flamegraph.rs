@@ -1,0 +1,53 @@
+//! Converts a span JSONL trace (as written by `impute --trace-out`) to
+//! the collapsed-stack format understood by standard flamegraph tooling:
+//! one `root;child;leaf <self-microseconds>` line per unique stack.
+//!
+//! Usage: `trace_to_flamegraph <trace.jsonl> [out.folded]` — writes to
+//! the given output path, or stdout when omitted. Pipe the output through
+//! `flamegraph.pl` (or load it into speedscope) to render.
+
+use std::process::ExitCode;
+
+use renuver_obs::flamegraph::collapse_jsonl;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), out) = (args.next(), args.next()) else {
+        eprintln!("usage: trace_to_flamegraph <trace.jsonl> [out.folded]");
+        return ExitCode::FAILURE;
+    };
+    if args.next().is_some() {
+        eprintln!("usage: trace_to_flamegraph <trace.jsonl> [out.folded]");
+        return ExitCode::FAILURE;
+    }
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_to_flamegraph: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let folded = match collapse_jsonl(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("trace_to_flamegraph: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match out {
+        Some(out_path) => match std::fs::write(&out_path, &folded) {
+            Ok(()) => {
+                eprintln!("wrote {} stacks to {out_path}", folded.lines().count());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("trace_to_flamegraph: cannot write {out_path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            print!("{folded}");
+            ExitCode::SUCCESS
+        }
+    }
+}

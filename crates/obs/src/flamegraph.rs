@@ -1,0 +1,274 @@
+//! Collapsed-stack export of span traces.
+//!
+//! Span-close records already carry everything a flamegraph needs — the
+//! span's `label`, its `parent` span id, and its inclusive `dur_us`. This
+//! module folds them into the collapsed-stack text format understood by
+//! standard flamegraph tooling (`flamegraph.pl`, speedscope, inferno):
+//! one line per unique stack, `root;child;leaf <self-microseconds>`.
+//!
+//! Durations are converted from inclusive to *self* time (a frame's
+//! duration minus its closed children's durations) so the flame widths
+//! add up instead of double-counting nested work. The same aggregation,
+//! grouped per label instead of per stack, powers the per-phase budget
+//! attribution in [`renuver_budget::BudgetReport`]-producing callers —
+//! see [`phase_totals`].
+
+use std::collections::HashMap;
+
+use crate::{json, FieldValue, TraceRecord};
+
+/// One closed span, extracted from a `kind: "span"` record.
+#[derive(Debug, Clone)]
+struct ClosedSpan {
+    id: u64,
+    label: String,
+    parent: u64,
+    dur_us: u64,
+}
+
+fn field_u64(rec: &TraceRecord, name: &str) -> Option<u64> {
+    rec.fields.iter().find_map(|(n, v)| {
+        (*n == name).then_some(match v {
+            FieldValue::U64(x) => Some(*x),
+            _ => None,
+        })?
+    })
+}
+
+fn field_str(rec: &TraceRecord, name: &str) -> Option<String> {
+    rec.fields.iter().find_map(|(n, v)| {
+        (*n == name).then_some(match v {
+            FieldValue::Str(s) => Some((*s).to_string()),
+            FieldValue::Text(s) => Some(s.clone()),
+            _ => None,
+        })?
+    })
+}
+
+fn closed_spans(records: &[TraceRecord]) -> Vec<ClosedSpan> {
+    records
+        .iter()
+        .filter(|r| r.kind == "span")
+        .filter_map(|r| {
+            Some(ClosedSpan {
+                id: r.span,
+                label: field_str(r, "label")?,
+                parent: field_u64(r, "parent")?,
+                dur_us: field_u64(r, "dur_us")?,
+            })
+        })
+        .collect()
+}
+
+/// Self-time per span: inclusive duration minus the inclusive durations of
+/// the span's closed children (saturating — clock skew between a parent
+/// and its children must not underflow).
+fn self_times(spans: &[ClosedSpan]) -> Vec<u64> {
+    let mut child_total: HashMap<u64, u64> = HashMap::new();
+    for s in spans {
+        if s.parent != 0 {
+            *child_total.entry(s.parent).or_insert(0) += s.dur_us;
+        }
+    }
+    spans
+        .iter()
+        .map(|s| s.dur_us.saturating_sub(child_total.get(&s.id).copied().unwrap_or(0)))
+        .collect()
+}
+
+/// Folds the span records of a trace into collapsed stacks:
+/// `(stack, self_us)` pairs with `stack` being `;`-joined labels from the
+/// root down, deduplicated (same stack → summed self time) and sorted by
+/// stack for deterministic output. Non-span records are ignored; a span
+/// whose parent never closed (e.g. a trace cut off mid-run) roots its
+/// stack at the deepest closed ancestor.
+pub fn collapse(records: &[TraceRecord]) -> Vec<(String, u64)> {
+    let spans = closed_spans(records);
+    let selfs = self_times(&spans);
+    let by_id: HashMap<u64, usize> = spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    let mut folded: HashMap<String, u64> = HashMap::new();
+    for (i, span) in spans.iter().enumerate() {
+        let mut labels = vec![span.label.as_str()];
+        let mut parent = span.parent;
+        // Walk ancestors; a cycle in corrupt input is cut by the depth cap.
+        let mut depth = 0;
+        while parent != 0 && depth < 1024 {
+            match by_id.get(&parent) {
+                Some(&pi) => {
+                    labels.push(spans[pi].label.as_str());
+                    parent = spans[pi].parent;
+                }
+                None => break,
+            }
+            depth += 1;
+        }
+        labels.reverse();
+        *folded.entry(labels.join(";")).or_insert(0) += selfs[i];
+    }
+    let mut out: Vec<(String, u64)> = folded.into_iter().collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// [`collapse`] rendered as the collapsed-stack text format: one
+/// `stack self_us` line per unique stack.
+pub fn collapse_to_string(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for (stack, us) in collapse(records) {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Self-time aggregated per span label — the "where did the time go"
+/// breakdown attached to budget reports. Sorted by time, largest first
+/// (ties by label, so the output is deterministic).
+pub fn phase_totals(records: &[TraceRecord]) -> Vec<(String, u64)> {
+    let spans = closed_spans(records);
+    let selfs = self_times(&spans);
+    let mut totals: HashMap<String, u64> = HashMap::new();
+    for (i, span) in spans.iter().enumerate() {
+        *totals.entry(span.label.clone()).or_insert(0) += selfs[i];
+    }
+    let mut out: Vec<(String, u64)> = totals.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+/// Converts a span JSONL trace (as written by
+/// [`crate::Tracer::write_jsonl`]) straight to collapsed-stack text.
+/// Lines that are not well-formed span records (events, the trailing
+/// `metrics` line) are skipped; a line that is not JSON at all is an
+/// error — the input is probably not a trace file.
+pub fn collapse_jsonl(text: &str) -> Result<String, String> {
+    let mut records: Vec<TraceRecord> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if v.get("kind").and_then(|k| k.as_str()) != Some("span") {
+            continue;
+        }
+        let (Some(span), Some(label), Some(parent), Some(dur_us)) = (
+            v.get("span").and_then(|x| x.as_u64()),
+            v.get("label").and_then(|x| x.as_str()),
+            v.get("parent").and_then(|x| x.as_u64()),
+            v.get("dur_us").and_then(|x| x.as_u64()),
+        ) else {
+            continue;
+        };
+        // Reconstruct a TraceRecord; the label is owned, not static.
+        records.push(TraceRecord {
+            ts_us: v.get("ts_us").and_then(|x| x.as_u64()).unwrap_or(0),
+            kind: "span",
+            span,
+            fields: vec![
+                ("label", FieldValue::Text(label.to_string())),
+                ("parent", FieldValue::U64(parent)),
+                ("dur_us", FieldValue::U64(dur_us)),
+            ],
+        });
+    }
+    Ok(collapse_to_string(&records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    /// Hand-written trace: root (100µs) with two children — oracle (60µs,
+    /// itself holding a 40µs matrix fill) and cells (30µs) — exercising
+    /// self-time subtraction at two depths.
+    fn hand_written() -> Vec<TraceRecord> {
+        let span = |id: u64, label: &'static str, parent: u64, dur_us: u64| TraceRecord {
+            ts_us: 0,
+            kind: "span",
+            span: id,
+            fields: vec![
+                ("label", FieldValue::Str(label)),
+                ("parent", FieldValue::U64(parent)),
+                ("dur_us", FieldValue::U64(dur_us)),
+            ],
+        };
+        vec![
+            span(3, "distance::matrix_fill", 2, 40),
+            span(2, "distance::oracle_build", 1, 60),
+            span(4, "core::impute_cells", 1, 30),
+            span(1, "core::impute", 0, 100),
+            // An event record in between must be ignored.
+            TraceRecord { ts_us: 5, kind: "cell", span: 4, fields: vec![] },
+        ]
+    }
+
+    #[test]
+    fn collapses_hand_written_trace_with_self_times() {
+        let lines = collapse_to_string(&hand_written());
+        let expected = "\
+core::impute 10
+core::impute;core::impute_cells 30
+core::impute;distance::oracle_build 20
+core::impute;distance::oracle_build;distance::matrix_fill 40
+";
+        assert_eq!(lines, expected);
+    }
+
+    #[test]
+    fn phase_totals_rank_by_self_time() {
+        let totals = phase_totals(&hand_written());
+        assert_eq!(
+            totals,
+            vec![
+                ("distance::matrix_fill".to_string(), 40),
+                ("core::impute_cells".to_string(), 30),
+                ("distance::oracle_build".to_string(), 20),
+                ("core::impute".to_string(), 10),
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_stacks_merge() {
+        let span = |id: u64, label: &'static str, parent: u64, dur: u64| TraceRecord {
+            ts_us: 0,
+            kind: "span",
+            span: id,
+            fields: vec![
+                ("label", FieldValue::Str(label)),
+                ("parent", FieldValue::U64(parent)),
+                ("dur_us", FieldValue::U64(dur)),
+            ],
+        };
+        // Two sibling spans with the same label fold into one stack line.
+        let recs =
+            vec![span(2, "chunk", 1, 7), span(3, "chunk", 1, 5), span(1, "root", 0, 20)];
+        assert_eq!(
+            collapse(&recs),
+            vec![("root".to_string(), 8), ("root;chunk".to_string(), 12)]
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trip_matches_in_memory_collapse() {
+        let t = Tracer::enabled();
+        {
+            let root = t.span("core::impute");
+            let _child = root.child("core::partition_keys");
+        }
+        let from_jsonl = collapse_jsonl(&t.to_jsonl()).unwrap();
+        let in_memory = collapse_to_string(&t.records());
+        assert_eq!(from_jsonl, in_memory);
+        assert!(from_jsonl.contains("core::impute;core::partition_keys "), "{from_jsonl}");
+    }
+
+    #[test]
+    fn non_trace_input_is_an_error() {
+        assert!(collapse_jsonl("this is not json\n").is_err());
+        // Valid JSON that is not a span record is skipped, not an error.
+        assert_eq!(collapse_jsonl("{\"kind\":\"metrics\"}\n").unwrap(), "");
+    }
+}

@@ -29,6 +29,7 @@
 //! `{"ts_us": <u64>, "kind": <str>}`. The full per-kind field contract
 //! lives in [`schema`] and is documented in DESIGN.md ("Observability").
 
+pub mod flamegraph;
 pub mod json;
 pub mod metrics;
 pub mod schema;

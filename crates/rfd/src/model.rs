@@ -41,18 +41,28 @@ impl Rfd {
     /// Panics if the LHS is empty, contains duplicate attributes, or
     /// includes the RHS attribute — all malformed dependencies that cannot
     /// arise from discovery or the provided parser.
-    pub fn new(mut lhs: Vec<Constraint>, rhs: Constraint) -> Self {
-        assert!(!lhs.is_empty(), "RFD requires a non-empty LHS");
+    pub fn new(lhs: Vec<Constraint>, rhs: Constraint) -> Self {
+        match Self::try_new(lhs, rhs) {
+            Ok(rfd) => rfd,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking [`Rfd::new`] for deserializers handling untrusted
+    /// input (e.g. a corrupted model artifact): the same structural
+    /// validation, reported as an error instead of a panic.
+    pub fn try_new(mut lhs: Vec<Constraint>, rhs: Constraint) -> Result<Self, String> {
+        if lhs.is_empty() {
+            return Err("RFD requires a non-empty LHS".to_string());
+        }
         lhs.sort_by_key(|c| c.attr);
-        assert!(
-            lhs.windows(2).all(|w| w[0].attr != w[1].attr),
-            "duplicate LHS attribute in RFD"
-        );
-        assert!(
-            lhs.iter().all(|c| c.attr != rhs.attr),
-            "RHS attribute cannot appear in the LHS"
-        );
-        Rfd { lhs, rhs }
+        if !lhs.windows(2).all(|w| w[0].attr != w[1].attr) {
+            return Err("duplicate LHS attribute in RFD".to_string());
+        }
+        if !lhs.iter().all(|c| c.attr != rhs.attr) {
+            return Err("RHS attribute cannot appear in the LHS".to_string());
+        }
+        Ok(Rfd { lhs, rhs })
     }
 
     /// The LHS constraints, sorted by attribute id — `Φ1`.

@@ -1,0 +1,336 @@
+//! A minimal HTTP/1.1 codec over `std::io` streams.
+//!
+//! The container this repo builds in has no network access and no HTTP
+//! crates, so the server speaks the protocol by hand. The subset here is
+//! exactly what the endpoints need: request line + headers + fixed
+//! `Content-Length` bodies in, status + headers + body out, optional
+//! keep-alive. No chunked transfer, no TLS, no HTTP/2 — clients that
+//! need those sit behind a reverse proxy.
+//!
+//! Parsing is defensive by construction: every line and the body are
+//! read under hard byte limits, so oversized or hostile input yields a
+//! typed [`HttpError`] (which the server maps to 400/413/431), never an
+//! unbounded allocation.
+
+use std::io::{BufRead, Write};
+
+/// Hard cap on the request line and each header line, bytes.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Hard cap on the total header block, bytes.
+pub const MAX_HEADER_BYTES: usize = 32 * 1024;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before sending a request line —
+    /// the normal end of a keep-alive session, not a protocol error.
+    Closed,
+    /// Transport error mid-request.
+    Io(std::io::Error),
+    /// The bytes on the wire are not a well-formed HTTP/1.1 request.
+    Malformed(&'static str),
+    /// The declared `Content-Length` exceeds the server's body limit.
+    BodyTooLarge { declared: usize, limit: usize },
+    /// A header line (or the header block) exceeds the line limits.
+    HeadersTooLarge,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "request body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            HttpError::HeadersTooLarge => write!(f, "request headers too large"),
+        }
+    }
+}
+
+/// A parsed request: method, split path/query, lower-cased header names,
+/// and the raw body bytes.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component, without the query string.
+    pub path: String,
+    /// Decoded `key=value` query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to drop the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Reads one line terminated by `\n`, stripping the terminator and an
+/// optional `\r`, under [`MAX_LINE_BYTES`].
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return if line.is_empty() { Ok(None) } else { Err(HttpError::Malformed("unterminated line")) }
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| HttpError::Malformed("non-UTF-8 header bytes"));
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE_BYTES {
+                    return Err(HttpError::HeadersTooLarge);
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Splits `a=1&b=two` into pairs; bare keys get an empty value. No
+/// percent-decoding — the parameters this API takes are plain tokens.
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (part.to_string(), String::new()),
+        })
+        .collect()
+}
+
+/// Reads and parses one request from the stream. `max_body` bounds the
+/// accepted `Content-Length`; [`HttpError::Closed`] means the peer hung
+/// up cleanly between requests.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body: usize,
+) -> Result<Request, HttpError> {
+    let request_line = match read_line(reader)? {
+        None => return Err(HttpError::Closed),
+        Some(line) => line,
+    };
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts.next().ok_or(HttpError::Malformed("empty request line"))?;
+    let target = parts.next().ok_or(HttpError::Malformed("request line lacks a target"))?;
+    let version = parts.next().ok_or(HttpError::Malformed("request line lacks a version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("not an HTTP/1.x request"));
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+
+    let mut headers = Vec::new();
+    let mut header_bytes = 0usize;
+    loop {
+        let line = read_line(reader)?.ok_or(HttpError::Malformed("headers cut short"))?;
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header line lacks a colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>().map_err(|_| HttpError::Malformed("bad Content-Length")))
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge { declared: content_length, limit: max_body });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// A response ready to serialize: status, content type, extra headers,
+/// body.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value) appended verbatim.
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes a response onto the stream. `close` controls the
+/// `Connection` header; the caller flushes.
+pub fn write_response(
+    out: &mut impl Write,
+    resp: &Response,
+    close: bool,
+) -> std::io::Result<()> {
+    write!(out, "HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status))?;
+    write!(out, "Content-Type: {}\r\n", resp.content_type)?;
+    write!(out, "Content-Length: {}\r\n", resp.body.len())?;
+    write!(out, "Connection: {}\r\n", if close { "close" } else { "keep-alive" })?;
+    for (name, value) in &resp.extra_headers {
+        write!(out, "{name}: {value}\r\n")?;
+    }
+    out.write_all(b"\r\n")?;
+    out.write_all(&resp.body)?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw), 1024)
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let req = parse(b"GET /v1/model?timeout_ms=250&explain HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/model");
+        assert_eq!(req.query_param("timeout_ms"), Some("250"));
+        assert_eq!(req.query_param("explain"), Some(""));
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_a_post_body() {
+        let req = parse(
+            b"POST /v1/impute HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\nbody",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"body");
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn eof_before_a_request_is_closed() {
+        assert!(matches!(parse(b""), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn oversized_bodies_are_refused_before_reading() {
+        let err = parse(b"POST / HTTP/1.1\r\nContent-Length: 4096\r\n\r\n").err().unwrap();
+        assert!(matches!(err, HttpError::BodyTooLarge { declared: 4096, limit: 1024 }));
+    }
+
+    #[test]
+    fn garbage_is_malformed_not_a_panic() {
+        for raw in [
+            &b"\x00\x01\x02\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET / SPDY/9\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+        ] {
+            assert!(parse(raw).is_err(), "accepted {raw:?}");
+        }
+    }
+
+    #[test]
+    fn huge_header_lines_are_cut_off() {
+        let mut raw = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
+        raw.extend(std::iter::repeat(b'a').take(MAX_LINE_BYTES + 10));
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(parse(&raw), Err(HttpError::HeadersTooLarge)));
+    }
+
+    #[test]
+    fn responses_serialize_with_framing() {
+        let mut out = Vec::new();
+        let mut resp = Response::json(200, "{\"ok\":true}".into());
+        resp.extra_headers.push(("Retry-After", "1".into()));
+        write_response(&mut out, &resp, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Imputation-as-a-service: versioned model artifacts and an HTTP server.
+//!
+//! RENUVER's preparation work — RFD discovery, the dictionary-encoded
+//! distance matrices, the similarity index — dwarfs the per-tuple
+//! imputation cost, which makes the train-once / serve-many split
+//! natural. This crate supplies both halves:
+//!
+//! - [`artifact`] — a versioned, checksummed single-file snapshot
+//!   (`.rnv`) of a prepared model: relation + RFD set + oracle + index.
+//!   Loading skips every quadratic build step and answers bit-for-bit
+//!   identically to a fresh build.
+//! - [`http`], [`server`], [`router`] — a dependency-free HTTP/1.1
+//!   server (the build container is offline; `std::net` is all there
+//!   is) with a fixed worker pool, a bounded accept queue that sheds
+//!   load with `503` + `Retry-After`, per-request execution budgets,
+//!   and graceful drain on SIGTERM.
+//!
+//! The CLI front ends are `renuver prepare` (dataset → artifact),
+//! `renuver inspect` (artifact → summary), and `renuver serve`
+//! (artifact or dataset → listening server).
+
+pub mod artifact;
+pub mod http;
+pub mod router;
+pub mod server;
+
+pub use artifact::{Artifact, ArtifactError, ArtifactInfo};
+pub use router::{Ctx, ModelInfo};
+pub use server::{install_signal_handlers, ServeConfig, Server};

@@ -1,0 +1,672 @@
+//! Request routing and the imputation endpoints.
+//!
+//! The API surface (all bodies JSON unless noted):
+//!
+//! - `GET /healthz` — liveness: `200 ok`.
+//! - `GET /v1/model` — the loaded model: schema, row/RFD counts,
+//!   fingerprint, provenance.
+//! - `GET /metrics` — the server's metrics registry as the standard
+//!   `renuver-obs` text table.
+//! - `POST /v1/impute` — tuples with `null` holes in, imputed tuples
+//!   with per-cell outcomes out. Accepts `{"tuples": [[...]]}` JSON or,
+//!   with `Content-Type: text/csv`, a CSV document whose header names
+//!   match the model schema (type annotations optional — values are
+//!   coerced to the model's types). Query parameters: `timeout_ms` (budget
+//!   for this request, capped by the server ceiling), `explain`
+//!   (include per-cell explain records), `explain_sample`
+//!   (`all` | `dry` | an integer `k` for every k-th cell).
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use renuver_budget::Budget;
+use renuver_core::{BatchResult, Engine, ExplainSample};
+use renuver_data::{csv, AttrType, Tuple, Value};
+use renuver_obs::json::{self, write_f64, write_str};
+use renuver_obs::{Metrics, Tracer};
+
+use crate::http::{Request, Response};
+
+/// Provenance of the loaded model, surfaced by `GET /v1/model`.
+pub struct ModelInfo {
+    /// Where the model came from: an artifact path or a dataset path.
+    pub source: String,
+    /// Schema fingerprint (as stored in the artifact header).
+    pub schema_fingerprint: u64,
+    /// Artifact size in bytes, `0` when the model was built in-process.
+    pub artifact_bytes: usize,
+}
+
+/// Shared server state: the engine (serialized behind a mutex — requests
+/// mutate and roll back engine state), model provenance, the metrics
+/// registry, and the request-budget policy.
+pub struct Ctx {
+    /// The serving engine.
+    pub engine: Mutex<Engine>,
+    /// Model provenance.
+    pub info: ModelInfo,
+    /// Server-lifetime metrics, rendered by `GET /metrics`.
+    pub metrics: Metrics,
+    /// Budget applied to requests that do not pass `timeout_ms`.
+    pub default_timeout_ms: Option<u64>,
+    /// Hard ceiling on any per-request `timeout_ms`.
+    pub max_timeout_ms: u64,
+}
+
+impl Ctx {
+    /// Builds a context with the standard counters pre-registered (so
+    /// `/metrics` shows zeros instead of omitting untouched counters).
+    pub fn new(
+        engine: Engine,
+        info: ModelInfo,
+        default_timeout_ms: Option<u64>,
+        max_timeout_ms: u64,
+    ) -> Ctx {
+        let metrics = Metrics::new();
+        for name in [
+            "http.requests",
+            "http.responses_2xx",
+            "http.responses_4xx",
+            "http.responses_5xx",
+            "http.shed",
+            "serve.batches",
+            "serve.cells_missing",
+            "serve.cells_imputed",
+            "serve.budget_tripped",
+        ] {
+            metrics.counter(name);
+        }
+        Ctx {
+            engine: Mutex::new(engine),
+            info,
+            metrics,
+            default_timeout_ms,
+            max_timeout_ms,
+        }
+    }
+
+    fn lock_engine(&self) -> std::sync::MutexGuard<'_, Engine> {
+        // A panic while holding the lock poisons it and may leave the
+        // panicking request's transient rows appended; recover the guard
+        // and restore the reference state before serving again.
+        match self.engine.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                let mut g = poisoned.into_inner();
+                g.reset_transient();
+                g
+            }
+        }
+    }
+}
+
+/// Dispatches one request to its endpoint and accounts it in the
+/// registry. Never panics: malformed input maps to 4xx.
+pub fn route(ctx: &Ctx, req: &Request) -> Response {
+    ctx.metrics.counter("http.requests").inc();
+    let resp = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/metrics") => Response::text(200, ctx.metrics.render_table()),
+        ("GET", "/v1/model") => model_endpoint(ctx),
+        ("POST", "/v1/impute") => impute_endpoint(ctx, req),
+        (_, "/healthz" | "/metrics" | "/v1/model" | "/v1/impute") => {
+            Response::text(405, "method not allowed\n")
+        }
+        _ => Response::text(404, "not found\n"),
+    };
+    let class = match resp.status {
+        200..=299 => "http.responses_2xx",
+        400..=499 => "http.responses_4xx",
+        _ => "http.responses_5xx",
+    };
+    ctx.metrics.counter(class).inc();
+    resp
+}
+
+fn model_endpoint(ctx: &Ctx) -> Response {
+    let engine = ctx.lock_engine();
+    let mut out = String::from("{");
+    out.push_str("\"source\":");
+    write_str(&mut out, &ctx.info.source);
+    out.push_str(&format!(
+        ",\"schema_fingerprint\":\"{:#018x}\"",
+        ctx.info.schema_fingerprint
+    ));
+    out.push_str(&format!(",\"format_version\":{}", crate::artifact::FORMAT_VERSION));
+    out.push_str(&format!(",\"artifact_bytes\":{}", ctx.info.artifact_bytes));
+    out.push_str(&format!(",\"rows\":{}", engine.donor_rows()));
+    out.push_str(&format!(",\"rfds\":{}", engine.sigma().len()));
+    out.push_str(&format!(",\"indexed\":{}", engine.index().is_some()));
+    out.push_str(",\"attrs\":[");
+    for (i, attr) in engine.schema().attrs().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_str(&mut out, &attr.name);
+        out.push_str(",\"type\":");
+        write_str(&mut out, type_label(attr.ty));
+        out.push('}');
+    }
+    out.push_str("]}");
+    Response::json(200, out)
+}
+
+fn type_label(ty: AttrType) -> &'static str {
+    match ty {
+        AttrType::Text => "text",
+        AttrType::Int => "int",
+        AttrType::Float => "float",
+        AttrType::Bool => "bool",
+    }
+}
+
+fn bad_request(msg: impl std::fmt::Display) -> Response {
+    let mut out = String::from("{\"error\":");
+    write_str(&mut out, &msg.to_string());
+    out.push('}');
+    Response::json(400, out)
+}
+
+/// Per-request knobs parsed from the query string.
+struct RequestOpts {
+    timeout_ms: Option<u64>,
+    explain: bool,
+    explain_sample: ExplainSample,
+}
+
+fn parse_opts(ctx: &Ctx, req: &Request) -> Result<RequestOpts, Response> {
+    let timeout_ms = match req.query_param("timeout_ms") {
+        None => ctx.default_timeout_ms,
+        Some(raw) => Some(
+            raw.parse::<u64>()
+                .map_err(|_| bad_request(format!("timeout_ms={raw:?} is not an integer")))?,
+        ),
+    }
+    .map(|ms| ms.min(ctx.max_timeout_ms));
+    let explain = req.query_param("explain").is_some_and(|v| v != "0");
+    let explain_sample = match req.query_param("explain_sample") {
+        None | Some("all") => ExplainSample::All,
+        Some("dry") => ExplainSample::DryOnly,
+        Some(raw) => ExplainSample::EveryKth(raw.parse::<usize>().map_err(|_| {
+            bad_request(format!(
+                "explain_sample={raw:?} is not \"all\", \"dry\", or an integer"
+            ))
+        })?),
+    };
+    Ok(RequestOpts { timeout_ms, explain, explain_sample })
+}
+
+/// Decodes the request body into tuples, by content type.
+fn parse_tuples(engine: &Engine, req: &Request) -> Result<Vec<Tuple>, Response> {
+    let content_type = req.header("content-type").unwrap_or("application/json");
+    if content_type.starts_with("text/csv") {
+        let text = std::str::from_utf8(&req.body)
+            .map_err(|_| bad_request("CSV body is not UTF-8"))?;
+        let rel = csv::read_str(text).map_err(bad_request)?;
+        let names: Vec<&str> = rel.schema().attrs().map(|a| a.name.as_str()).collect();
+        let expected: Vec<&str> = engine.schema().attrs().map(|a| a.name.as_str()).collect();
+        if names != expected {
+            return Err(bad_request(format!(
+                "CSV header {names:?} does not match the model schema {expected:?}"
+            )));
+        }
+        // The body's header may omit type annotations (every column reads
+        // as text then); coerce values to the model's attribute types.
+        Ok(rel
+            .tuples()
+            .map(|t| {
+                t.iter()
+                    .enumerate()
+                    .map(|(col, v)| coerce(v, engine.schema().ty(col)))
+                    .collect()
+            })
+            .collect())
+    } else if content_type.starts_with("application/json") {
+        let text = std::str::from_utf8(&req.body)
+            .map_err(|_| bad_request("JSON body is not UTF-8"))?;
+        let doc = json::parse(text).map_err(bad_request)?;
+        let tuples = doc
+            .get("tuples")
+            .and_then(|t| t.as_array())
+            .ok_or_else(|| bad_request("body must be {\"tuples\": [[...], ...]}"))?;
+        let arity = engine.schema().arity();
+        let mut out = Vec::with_capacity(tuples.len());
+        for (i, row) in tuples.iter().enumerate() {
+            let cells = row
+                .as_array()
+                .ok_or_else(|| bad_request(format!("tuple {i} is not an array")))?;
+            if cells.len() != arity {
+                return Err(bad_request(format!(
+                    "tuple {i} has {} values, schema has {arity}",
+                    cells.len()
+                )));
+            }
+            let mut tuple = Tuple::with_capacity(arity);
+            for (attr, cell) in cells.iter().enumerate() {
+                tuple.push(json_to_value(engine, i, attr, cell)?);
+            }
+            out.push(tuple);
+        }
+        Ok(out)
+    } else {
+        Err(bad_request(format!(
+            "unsupported Content-Type {content_type:?} (use application/json or text/csv)"
+        )))
+    }
+}
+
+/// Converts a CSV-sourced value to the model's attribute type. Same
+/// leniency as dataset loading: unparseable values become `Null`.
+fn coerce(v: &Value, ty: AttrType) -> Value {
+    match (v, ty) {
+        (Value::Null, _) => Value::Null,
+        (Value::Text(_), AttrType::Text)
+        | (Value::Int(_), AttrType::Int)
+        | (Value::Float(_), AttrType::Float)
+        | (Value::Bool(_), AttrType::Bool) => v.clone(),
+        (Value::Int(n), AttrType::Float) => Value::Float(*n as f64),
+        _ => Value::parse(&v.render(), ty),
+    }
+}
+
+fn json_to_value(
+    engine: &Engine,
+    row: usize,
+    attr: usize,
+    cell: &json::Value,
+) -> Result<Value, Response> {
+    let ty = engine.schema().ty(attr);
+    let name = engine.schema().name(attr);
+    let mismatch = |got: &str| {
+        bad_request(format!(
+            "tuple {row}, attribute {name:?}: expected {} or null, got {got}",
+            type_label(ty)
+        ))
+    };
+    Ok(match (cell, ty) {
+        (json::Value::Null, _) => Value::Null,
+        (json::Value::Num(n), AttrType::Int) => {
+            if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 {
+                Value::Int(*n as i64)
+            } else {
+                return Err(mismatch("a non-integer number"));
+            }
+        }
+        (json::Value::Num(n), AttrType::Float) => Value::Float(*n),
+        (json::Value::Str(s), AttrType::Text) => Value::Text(s.clone()),
+        (json::Value::Bool(b), AttrType::Bool) => Value::Bool(*b),
+        (json::Value::Num(_), _) => return Err(mismatch("a number")),
+        (json::Value::Str(_), _) => return Err(mismatch("a string")),
+        (json::Value::Bool(_), _) => return Err(mismatch("a boolean")),
+        (json::Value::Arr(_), _) => return Err(mismatch("an array")),
+        (json::Value::Obj(_), _) => return Err(mismatch("an object")),
+    })
+}
+
+fn impute_endpoint(ctx: &Ctx, req: &Request) -> Response {
+    let opts = match parse_opts(ctx, req) {
+        Ok(o) => o,
+        Err(resp) => return resp,
+    };
+
+    let mut engine = ctx.lock_engine();
+    let result = {
+        let tuples = match parse_tuples(&engine, req) {
+            Ok(t) => t,
+            Err(resp) => return resp,
+        };
+        let mut config = engine.config().clone();
+        config.explain = opts.explain;
+        config.explain_sample = opts.explain_sample;
+        config.budget = match opts.timeout_ms {
+            Some(ms) => Budget::unlimited().with_deadline(Duration::from_millis(ms)),
+            None => Budget::unlimited(),
+        };
+        // A limited request gets an enabled tracer so a degraded response
+        // can attribute where its budget went (phase self-times).
+        config.tracer = if config.budget.is_limited() {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        match engine.impute_batch_with(tuples, &config) {
+            Ok(result) => result,
+            Err(e) => return bad_request(e),
+        }
+    };
+    drop(engine);
+
+    ctx.metrics.counter("serve.batches").inc();
+    ctx.metrics.counter("serve.cells_missing").add(result.stats.missing_total as u64);
+    ctx.metrics.counter("serve.cells_imputed").add(result.stats.imputed as u64);
+    if result.budget.tripped.is_some() {
+        ctx.metrics.counter("serve.budget_tripped").inc();
+    }
+    Response::json(200, render_batch(&result, opts.explain))
+}
+
+/// Serializes a [`BatchResult`] as the `/v1/impute` response document.
+pub fn render_batch(result: &BatchResult, explain: bool) -> String {
+    let mut out = String::from("{\"tuples\":[");
+    for (i, tuple) in result.tuples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, v) in tuple.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            match v {
+                Value::Null => out.push_str("null"),
+                Value::Int(n) => out.push_str(&n.to_string()),
+                Value::Float(f) => write_f64(&mut out, *f),
+                Value::Text(s) => write_str(&mut out, s),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            }
+        }
+        out.push(']');
+    }
+    out.push_str("],\"outcomes\":[");
+    for (i, (cell, outcome)) in result.outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"row\":{},\"attr\":{},\"outcome\":\"{}\"}}",
+            cell.row,
+            cell.col,
+            outcome.label()
+        ));
+    }
+    out.push_str(&format!(
+        "],\"stats\":{{\"missing\":{},\"imputed\":{},\"unimputed\":{},\"skipped_budget\":{},\"cancelled\":{}}}",
+        result.stats.missing_total,
+        result.stats.imputed,
+        result.stats.unimputed,
+        result.stats.skipped_budget,
+        result.stats.cancelled
+    ));
+    out.push_str(&format!(",\"degraded\":{}", result.budget.tripped.is_some()));
+    if result.budget.tripped.is_some() || !result.budget.phases.is_empty() {
+        out.push_str(",\"budget\":{");
+        match result.budget.tripped {
+            Some(trip) => {
+                out.push_str("\"tripped\":");
+                write_str(&mut out, trip.label());
+            }
+            None => out.push_str("\"tripped\":null"),
+        }
+        if let Some(phase) = result.budget.tripped_at {
+            out.push_str(",\"tripped_at\":");
+            write_str(&mut out, phase);
+        }
+        out.push_str(",\"phases\":[");
+        for (i, (label, us)) in result.budget.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            write_str(&mut out, label);
+            out.push_str(&format!(",{us}]"));
+        }
+        out.push_str("]}");
+    }
+    if explain {
+        out.push_str(",\"explains\":[");
+        for (i, exp) in result.explains.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"row\":{},\"attr\":{},\"outcome\":\"{}\",\"clusters\":{},\"candidates\":{}",
+                exp.cell.row,
+                exp.cell.col,
+                exp.outcome.label(),
+                exp.clusters,
+                exp.candidates
+            ));
+            if let Some(w) = &exp.winner {
+                out.push_str(&format!(
+                    ",\"winner\":{{\"donor_row\":{},\"via_rfd\":{},\"distance\":",
+                    w.donor_row, w.via_rfd
+                ));
+                write_f64(&mut out, w.distance);
+                if let Some(margin) = w.runner_up_margin {
+                    out.push_str(",\"runner_up_margin\":");
+                    write_f64(&mut out, margin);
+                }
+                out.push('}');
+            }
+            if let Some(dry) = exp.dried_up {
+                out.push_str(",\"dried_up\":");
+                write_str(&mut out, dry.label());
+            }
+            out.push('}');
+        }
+        out.push(']');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renuver_core::RenuverConfig;
+    use renuver_rfd::{Constraint, Rfd, RfdSet};
+
+    fn test_ctx() -> Ctx {
+        let rel = csv::read_str(
+            "City:text,Zip:text\n\
+             Malibu,90265\n\
+             Malibu,90265\n\
+             Hollywood,90028\n",
+        )
+        .unwrap();
+        let rfds = RfdSet::from_vec(vec![Rfd::new(
+            vec![Constraint::new(0, 0.0)],
+            Constraint::new(1, 0.0),
+        )]);
+        let fingerprint = crate::artifact::schema_fingerprint(rel.schema());
+        let engine = Engine::prepare(rel, rfds, RenuverConfig::default());
+        Ctx::new(
+            engine,
+            ModelInfo {
+                source: "test".into(),
+                schema_fingerprint: fingerprint,
+                artifact_bytes: 0,
+            },
+            None,
+            60_000,
+        )
+    }
+
+    fn get(path: &str) -> Request {
+        let (path, query) = match path.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (path, ""),
+        };
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: query
+                .split('&')
+                .filter(|s| !s.is_empty())
+                .map(|s| match s.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => (s.to_string(), String::new()),
+                })
+                .collect(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn post(path: &str, content_type: &str, body: &str) -> Request {
+        let mut req = get(path);
+        req.method = "POST".into();
+        req.headers.push(("content-type".into(), content_type.into()));
+        req.body = body.as_bytes().to_vec();
+        req
+    }
+
+    #[test]
+    fn healthz_and_unknown_paths() {
+        let ctx = test_ctx();
+        assert_eq!(route(&ctx, &get("/healthz")).status, 200);
+        assert_eq!(route(&ctx, &get("/nope")).status, 404);
+        assert_eq!(route(&ctx, &get("/v1/impute")).status, 405);
+        assert_eq!(ctx.metrics.counter("http.requests").get(), 3);
+        assert_eq!(ctx.metrics.counter("http.responses_2xx").get(), 1);
+        assert_eq!(ctx.metrics.counter("http.responses_4xx").get(), 2);
+    }
+
+    #[test]
+    fn model_endpoint_describes_the_schema() {
+        let ctx = test_ctx();
+        let resp = route(&ctx, &get("/v1/model"));
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("rows").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("rfds").unwrap().as_u64(), Some(1));
+        let attrs = doc.get("attrs").unwrap().as_array().unwrap();
+        assert_eq!(attrs[0].get("name").unwrap().as_str(), Some("City"));
+        assert_eq!(attrs[1].get("type").unwrap().as_str(), Some("text"));
+    }
+
+    #[test]
+    fn impute_json_round_trip() {
+        let ctx = test_ctx();
+        let resp = route(
+            &ctx,
+            &post(
+                "/v1/impute?explain=1",
+                "application/json",
+                r#"{"tuples": [["Malibu", null], ["Atlantis", null]]}"#,
+            ),
+        );
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let tuples = doc.get("tuples").unwrap().as_array().unwrap();
+        assert_eq!(tuples[0].as_array().unwrap()[1].as_str(), Some("90265"));
+        assert_eq!(tuples[1].as_array().unwrap()[1], json::Value::Null);
+        let outcomes = doc.get("outcomes").unwrap().as_array().unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].get("outcome").unwrap().as_str(), Some("imputed"));
+        assert_eq!(outcomes[1].get("outcome").unwrap().as_str(), Some("no_candidates"));
+        let explains = doc.get("explains").unwrap().as_array().unwrap();
+        assert_eq!(explains.len(), 2);
+        assert_eq!(explains[1].get("dried_up").unwrap().as_str(), Some("no_candidates"));
+        assert_eq!(ctx.metrics.counter("serve.cells_imputed").get(), 1);
+        assert_eq!(ctx.metrics.counter("serve.cells_missing").get(), 2);
+    }
+
+    #[test]
+    fn impute_csv_round_trip() {
+        let ctx = test_ctx();
+        let resp = route(
+            &ctx,
+            &post("/v1/impute", "text/csv", "City:text,Zip:text\nMalibu,_\n"),
+        );
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let tuples = doc.get("tuples").unwrap().as_array().unwrap();
+        assert_eq!(tuples[0].as_array().unwrap()[1].as_str(), Some("90265"));
+    }
+
+    #[test]
+    fn untyped_csv_headers_coerce_to_the_model_schema() {
+        let rel = csv::read_str("City:text,Class:int\nMalibu,6\nMalibu,6\nVenice,2\n").unwrap();
+        let rfds = RfdSet::from_vec(vec![
+            Rfd::new(vec![Constraint::new(0, 0.0)], Constraint::new(1, 0.0)),
+            Rfd::new(vec![Constraint::new(1, 0.0)], Constraint::new(0, 0.0)),
+        ]);
+        let engine = Engine::prepare(rel, rfds, RenuverConfig::default());
+        let ctx = Ctx::new(
+            engine,
+            ModelInfo { source: "test".into(), schema_fingerprint: 0, artifact_bytes: 0 },
+            None,
+            60_000,
+        );
+        // Plain header, no `:type` annotations: "6" must land as Int(6).
+        let resp = route(&ctx, &post("/v1/impute", "text/csv", "City,Class\nMalibu,_\n"));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let tuples = doc.get("tuples").unwrap().as_array().unwrap();
+        assert_eq!(tuples[0].as_array().unwrap()[1].as_u64(), Some(6));
+        // A typed value in the body is accepted too.
+        let resp = route(&ctx, &post("/v1/impute", "text/csv", "City,Class\n,2\n"));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let tuples = doc.get("tuples").unwrap().as_array().unwrap();
+        assert_eq!(tuples[0].as_array().unwrap()[0].as_str(), Some("Venice"));
+    }
+
+    #[test]
+    fn invalid_bodies_are_400_never_500() {
+        let ctx = test_ctx();
+        for (ct, body) in [
+            ("application/json", "not json"),
+            ("application/json", "{\"rows\": []}"),
+            ("application/json", "{\"tuples\": [[\"only one\"]]}"),
+            ("application/json", "{\"tuples\": [[1, \"zip\"]]}"),
+            ("application/json", "{\"tuples\": [{\"a\": 1}]}"),
+            ("text/csv", "Wrong:text,Header:text\nx,y\n"),
+            ("application/x-whatever", "???"),
+        ] {
+            let resp = route(&ctx, &post("/v1/impute", ct, body));
+            assert_eq!(resp.status, 400, "{ct} {body:?}");
+        }
+        // The engine still serves after every rejection.
+        let resp = route(
+            &ctx,
+            &post("/v1/impute", "application/json", r#"{"tuples": [["Malibu", null]]}"#),
+        );
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn bad_query_params_are_400() {
+        let ctx = test_ctx();
+        let req = post("/v1/impute?timeout_ms=soon", "application/json", "{\"tuples\":[]}");
+        assert_eq!(route(&ctx, &req).status, 400);
+        let req = post(
+            "/v1/impute?explain_sample=sometimes",
+            "application/json",
+            "{\"tuples\":[]}",
+        );
+        assert_eq!(route(&ctx, &req).status, 400);
+    }
+
+    #[test]
+    fn timed_requests_report_budget_attribution() {
+        let ctx = test_ctx();
+        let resp = route(
+            &ctx,
+            &post(
+                "/v1/impute?timeout_ms=60000",
+                "application/json",
+                r#"{"tuples": [["Malibu", null]]}"#,
+            ),
+        );
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("degraded").unwrap().as_bool(), Some(false));
+        // The tracer was enabled for the limited budget, so phase
+        // self-times are attributed even on a healthy response.
+        let budget = doc.get("budget").unwrap();
+        assert!(!budget.get("phases").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn render_batch_is_valid_json_for_empty_results() {
+        let ctx = test_ctx();
+        let mut engine = ctx.lock_engine();
+        let result = engine.impute_batch(Vec::new()).unwrap();
+        drop(engine);
+        let doc = json::parse(&render_batch(&result, true)).unwrap();
+        assert_eq!(doc.get("tuples").unwrap().as_array().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,375 @@
+//! The TCP server: accept loop, worker pool, load shedding, shutdown.
+//!
+//! Std-only by necessity (the build container is offline), so the shape
+//! is deliberately boring and auditable:
+//!
+//! - A non-blocking accept loop on the main thread polls the listener
+//!   and a shutdown flag (set by SIGINT/SIGTERM or programmatically).
+//! - Accepted connections go into a **bounded** queue feeding a fixed
+//!   pool of worker threads. When the queue is full the accept loop
+//!   itself writes `503 Service Unavailable` with `Retry-After` and
+//!   closes the connection — load is shed at the door, cheaply, instead
+//!   of growing an unbounded backlog.
+//! - Workers run a keep-alive loop per connection: read request, route,
+//!   write response, until the peer closes or asks to.
+//! - Shutdown is graceful: the accept loop stops, the queue sender is
+//!   dropped, and workers drain what was already accepted before the
+//!   process exits.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::http::{self, HttpError, Response};
+use crate::router::{route, Ctx};
+
+/// Server tuning knobs.
+pub struct ServeConfig {
+    /// Address to bind, e.g. `127.0.0.1:7171`. Port `0` picks one.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bounded accept queue depth; connections beyond it are shed with
+    /// `503` + `Retry-After`.
+    pub queue: usize,
+    /// Maximum accepted request body, bytes.
+    pub max_body: usize,
+    /// Seconds suggested in `Retry-After` when shedding.
+    pub retry_after_secs: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7171".into(),
+            workers: 4,
+            queue: 64,
+            max_body: 4 * 1024 * 1024,
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// Process-wide shutdown flag, set by the signal handler. Registered
+/// handlers can only touch async-signal-safe state; a relaxed atomic
+/// store qualifies.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Installs `SIGINT`/`SIGTERM` handlers that request a graceful
+/// shutdown. The `signal` symbol comes from the libc std already links;
+/// no crate dependency.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+/// Non-unix builds run without signal-driven shutdown; tests use
+/// [`Server::shutdown_handle`] instead.
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+/// A bound server, ready to [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+    ctx: Arc<Ctx>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the configured address. The listener is non-blocking so the
+    /// accept loop can poll the shutdown flag.
+    pub fn bind(config: ServeConfig, ctx: Arc<Ctx>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            config,
+            ctx,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag tests (or an embedding process) can set to stop the server
+    /// without a signal.
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    fn should_stop(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed) || SHUTDOWN.load(Ordering::Relaxed)
+    }
+
+    /// Serves until shutdown is requested, then drains in-flight
+    /// connections and returns. Returns the number of connections shed.
+    pub fn run(self) -> std::io::Result<u64> {
+        let (tx, rx) = sync_channel::<TcpStream>(self.config.queue);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(self.config.workers);
+        for i in 0..self.config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let ctx = Arc::clone(&self.ctx);
+            let max_body = self.config.max_body;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &ctx, max_body))?,
+            );
+        }
+
+        let mut shed: u64 = 0;
+        loop {
+            if self.should_stop() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(stream)) => {
+                            shed += 1;
+                            self.ctx.metrics.counter("http.shed").inc();
+                            shed_connection(stream, self.config.retry_after_secs);
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Graceful drain: close the queue (workers exit once it is
+        // empty), then wait for every in-flight connection to finish.
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(shed)
+    }
+}
+
+/// Sheds one connection with `503` + `Retry-After`, without consuming a
+/// queue slot or a worker (the queue really was full at accept time).
+///
+/// The write-and-drain runs on a short-lived thread: the client is
+/// usually mid-request, and closing a socket with an unread request body
+/// sends an RST that can destroy the 503 before the client reads it. A
+/// half-close (`shutdown(Write)`) followed by draining the client's
+/// bytes lets the response land; doing that inline would stall the
+/// accept loop on slow peers.
+fn shed_connection(mut stream: TcpStream, retry_after_secs: u64) {
+    let work = move || {
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_nodelay(true);
+        let mut resp = Response::text(503, "server at capacity, retry shortly\n");
+        resp.extra_headers.push(("Retry-After", retry_after_secs.to_string()));
+        let _ = http::write_response(&mut stream, &resp, true);
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut sink = [0u8; 8192];
+        while matches!(std::io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
+    };
+    // Thread exhaustion under extreme overload drops the connection
+    // without a response (the client sees a reset) — nothing better to
+    // do at that point.
+    let _ = std::thread::Builder::new().name("serve-shed".into()).spawn(work);
+}
+
+/// One worker: pull connections off the shared queue until it closes.
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &Ctx, max_body: usize) {
+    loop {
+        // Hold the lock only for the recv; handling happens unlocked.
+        let stream = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match stream {
+            Ok(stream) => handle_connection(stream, ctx, max_body),
+            Err(_) => return, // queue closed: shutdown
+        }
+    }
+}
+
+/// Serves one connection's keep-alive session.
+fn handle_connection(stream: TcpStream, ctx: &Ctx, max_body: usize) {
+    // Idle/slowloris guard: a connection that stops sending mid-request
+    // is dropped rather than pinning a worker forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    // Buffer the response into one segment and disable Nagle, or the
+    // header-by-header writes interact with delayed ACKs into ~40 ms
+    // per-request stalls on loopback.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => std::io::BufWriter::new(w),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match http::read_request(&mut reader, max_body) {
+            Ok(req) => {
+                let close = req.wants_close();
+                let resp = route(ctx, &req);
+                if http::write_response(&mut writer, &resp, close).is_err() || close {
+                    return;
+                }
+            }
+            Err(HttpError::Closed) => return,
+            Err(err) => {
+                // Protocol-level failure: answer with the right status
+                // and drop the connection (framing may be lost).
+                let status = match &err {
+                    HttpError::BodyTooLarge { .. } => 413,
+                    HttpError::HeadersTooLarge => 431,
+                    _ => 400,
+                };
+                ctx.metrics.counter("http.requests").inc();
+                ctx.metrics.counter("http.responses_4xx").inc();
+                let resp = Response::text(status, format!("{err}\n"));
+                let _ = http::write_response(&mut writer, &resp, true);
+                let _ = writer.flush();
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::ModelInfo;
+    use renuver_core::{Engine, RenuverConfig};
+    use renuver_data::csv;
+    use renuver_rfd::{Constraint, Rfd, RfdSet};
+    use std::io::{BufRead, Read};
+
+    fn test_ctx() -> Arc<Ctx> {
+        let rel = csv::read_str(
+            "City:text,Zip:text\nMalibu,90265\nMalibu,90265\nHollywood,90028\n",
+        )
+        .unwrap();
+        let rfds = RfdSet::from_vec(vec![Rfd::new(
+            vec![Constraint::new(0, 0.0)],
+            Constraint::new(1, 0.0),
+        )]);
+        let engine = Engine::prepare(rel, rfds, RenuverConfig::default());
+        Arc::new(Ctx::new(
+            engine,
+            ModelInfo { source: "test".into(), schema_fingerprint: 0, artifact_bytes: 0 },
+            None,
+            60_000,
+        ))
+    }
+
+    fn start(config: ServeConfig) -> (std::net::SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<u64>) {
+        let server = Server::bind(config, test_ctx()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let stop = server.shutdown_handle();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        (addr, stop, handle)
+    }
+
+    fn request(addr: std::net::SocketAddr, raw: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line.trim().is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        (status, String::from_utf8(body).unwrap())
+    }
+
+    #[test]
+    fn serves_and_shuts_down_gracefully() {
+        let (addr, stop, handle) = start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let (status, body) = request(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        let (status, body) = request(
+            addr,
+            "POST /v1/impute HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 30\r\nConnection: close\r\n\r\n{\"tuples\": [[\"Malibu\", null]]}",
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("90265"), "{body}");
+        stop.store(true, Ordering::Relaxed);
+        let shed = handle.join().unwrap();
+        assert_eq!(shed, 0);
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests() {
+        let (addr, stop, handle) = start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut text = String::new();
+        BufReader::new(stream).read_to_string(&mut text).unwrap();
+        assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 2, "{text}");
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_bodies_get_413() {
+        let (addr, stop, handle) = start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            max_body: 64,
+            ..ServeConfig::default()
+        });
+        let (status, _) = request(
+            addr,
+            "POST /v1/impute HTTP/1.1\r\nContent-Length: 100000\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 413);
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+}

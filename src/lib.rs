@@ -22,6 +22,7 @@
 //! - [`rulekit`] — rule-based imputation-result validation framework
 //! - [`datasets`] — synthetic datasets mirroring the paper's evaluation data
 //! - [`eval`] — missing-value injection, metrics, experiment runners
+//! - [`serve`] — versioned model artifacts and the imputation HTTP server
 //!
 //! New here? Start with the [`guide`] module — a compilable walk-through
 //! from dependencies to audited repairs.
@@ -60,3 +61,4 @@ pub use renuver_eval as eval;
 pub use renuver_obs as obs;
 pub use renuver_rfd as rfd;
 pub use renuver_rulekit as rulekit;
+pub use renuver_serve as serve;

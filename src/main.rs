@@ -58,6 +58,15 @@ const USAGE: &str = "usage:
   renuver compare  <full.csv> --rate R [--limit N] [--seeds N]
                    [--rules rules.txt | --auto-rules F]
                    [--index-mode scan|indexed|auto] [budget flags]
+  renuver prepare  <data.csv> -o model.rnv [--rfds rfds.txt | --limit N]
+                   [--auto-limits F] [--max-lhs N]
+                   [--index-mode scan|indexed|auto]
+  renuver inspect  <model.rnv>
+  renuver serve    <model.rnv | data.csv> [--addr HOST:PORT] [--workers N]
+                   [--queue N] [--max-body-mb M] [--default-timeout-ms T]
+                   [--max-timeout-ms T] [--rfds rfds.txt | --limit N]
+                   [--auto-limits F] [--max-lhs N]
+                   [--index-mode scan|indexed|auto]
 
 budget flags (discover, impute, compare):
   --timeout-secs S   stop after S seconds, returning the partial result
@@ -72,7 +81,8 @@ observability flags (discover, impute, compare):
 
 /// The recognised subcommands, in USAGE order — listed back to the user
 /// when they mistype one.
-const COMMANDS: &str = "stats, audit, discover, inject, impute, evaluate, compare";
+const COMMANDS: &str =
+    "stats, audit, discover, inject, impute, evaluate, compare, prepare, inspect, serve";
 
 /// Budget-related flags, shared by `discover`, `impute`, and `compare`.
 const BUDGET_VALUE_FLAGS: [&str; 3] = ["--timeout-secs", "--mem-limit-mb", "--ops-limit"];
@@ -97,7 +107,9 @@ impl<'a> Args<'a> {
         let mut i = 0;
         while i < raw.len() {
             let a = raw[i].as_str();
-            if a.starts_with("--") {
+            // `--flag` always enters the vocabulary check; declared short
+            // flags (`-o`) do too, so they can take values like long ones.
+            if a.starts_with("--") || value_flags.contains(&a) || bool_flags.contains(&a) {
                 if value_flags.contains(&a) {
                     if i + 1 >= raw.len() {
                         return Err(format!("flag {a} requires a value"));
@@ -300,6 +312,26 @@ fn flag_spec(cmd: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
             v.extend(discovery);
             (v, vec![])
         }
+        "prepare" => {
+            let mut v = vec!["-o", "--out", "--rfds", "--index-mode"];
+            v.extend(discovery);
+            (v, vec![])
+        }
+        "inspect" => (vec![], vec![]),
+        "serve" => {
+            let mut v = vec![
+                "--addr",
+                "--workers",
+                "--queue",
+                "--max-body-mb",
+                "--default-timeout-ms",
+                "--max-timeout-ms",
+                "--rfds",
+                "--index-mode",
+            ];
+            v.extend(discovery);
+            (v, vec![])
+        }
         _ => return None,
     };
     if matches!(cmd, "discover" | "impute" | "compare") {
@@ -322,6 +354,13 @@ fn run(raw: &[String]) -> Result<(), String> {
         return Err(format!("unknown command {cmd:?} (valid commands: {COMMANDS})"));
     };
     let args = Args::parse(rest, &value_flags, &bool_flags)?;
+    // Pipeline commands behave like unix filters: `renuver inspect m.rnv |
+    // head` should end quietly when the pipe closes, not panic on the next
+    // println. `serve` keeps Rust's SIGPIPE=ignore default — its socket
+    // writes must surface EPIPE as an error, not kill the process.
+    if cmd != "serve" {
+        restore_default_sigpipe();
+    }
     match cmd.as_str() {
         "stats" => stats(&args),
         "audit" => audit_cmd(&args),
@@ -330,9 +369,29 @@ fn run(raw: &[String]) -> Result<(), String> {
         "impute" => impute_cmd(&args),
         "evaluate" => evaluate_cmd(&args),
         "compare" => compare_cmd(&args),
+        "prepare" => prepare_cmd(&args),
+        "inspect" => inspect_cmd(&args),
+        "serve" => serve_cmd(&args),
         other => Err(format!("unknown command {other:?} (valid commands: {COMMANDS})")),
     }
 }
+
+/// Resets `SIGPIPE` to its default disposition (terminate). The `signal`
+/// symbol comes from the libc std already links; no crate dependency.
+#[cfg(unix)]
+fn restore_default_sigpipe() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn restore_default_sigpipe() {}
 
 fn one_positional(args: &Args) -> Result<String, String> {
     match args.positional() {
@@ -773,6 +832,148 @@ fn evaluate_cmd(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves the RFD set for a model: `--rfds` file if given, otherwise
+/// discovery with the command's discovery flags. Shared by `prepare` and
+/// `serve`.
+fn rfds_for_model(args: &Args, rel: &Relation) -> Result<RfdSet, String> {
+    match args.value("--rfds") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            RfdSet::from_text(&text, rel.schema())
+        }
+        None => {
+            let cfg = discovery_config(args, rel)?;
+            eprintln!("no --rfds given; discovering with limit {}", cfg.limit);
+            Ok(discover(rel, &cfg))
+        }
+    }
+}
+
+fn prepare_cmd(args: &Args) -> Result<(), String> {
+    use renuver::serve::artifact;
+    let path = one_positional(args)?;
+    let rel = load(&path)?;
+    let out = args
+        .value("-o")
+        .or_else(|| args.value("--out"))
+        .ok_or("prepare requires -o model.rnv")?;
+    let rfds = rfds_for_model(args, &rel)?;
+    let config = RenuverConfig {
+        index_mode: index_mode_from_args(args)?,
+        ..RenuverConfig::default()
+    };
+    let (engine, build_time, _) = renuver::budget::measure(|| {
+        renuver::core::Engine::prepare(rel, rfds, config)
+    });
+    let bytes = artifact::encode_engine(&engine, &path);
+    std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {out}: {} tuples, {} RFDs, {}{} (built in {})",
+        engine.donor_rows(),
+        engine.sigma().len(),
+        if engine.index().is_some() { "indexed, " } else { "" },
+        renuver::budget::format_bytes(bytes.len()),
+        renuver::budget::format_duration(build_time),
+    );
+    Ok(())
+}
+
+fn inspect_cmd(args: &Args) -> Result<(), String> {
+    use renuver::serve::artifact;
+    let path = one_positional(args)?;
+    let bytes = std::fs::read(&path).map_err(|e| format!("{path}: {e}"))?;
+    let info = artifact::inspect(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    println!("artifact: {path}");
+    println!("  format:      v{}", info.version);
+    println!("  fingerprint: {:#018x}", info.schema_fingerprint);
+    println!("  source:      {}", info.source);
+    println!("  size:        {}", renuver::budget::format_bytes(info.bytes));
+    println!("  tuples:      {}", info.rows);
+    println!("  rfds:        {}", info.rfds);
+    println!("  index:       {}", if info.indexed { "snapshotted" } else { "none" });
+    println!("  schema:      ({} attributes)", info.arity);
+    for (name, ty) in &info.attrs {
+        println!("    {name}: {ty}");
+    }
+    Ok(())
+}
+
+/// Builds the serving engine from either an `.rnv` artifact or a raw
+/// dataset (discovering RFDs and building the oracle/index in-process).
+fn serve_engine(
+    args: &Args,
+    path: &str,
+) -> Result<(renuver::core::Engine, renuver::serve::ModelInfo), String> {
+    use renuver::serve::artifact;
+    if path.to_ascii_lowercase().ends_with(".rnv") {
+        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        let loaded = artifact::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        let info = renuver::serve::ModelInfo {
+            source: format!("{path} ({})", loaded.source),
+            schema_fingerprint: loaded.schema_fingerprint,
+            artifact_bytes: bytes.len(),
+        };
+        let config = RenuverConfig {
+            // The artifact dictates whether an index exists; `Auto` would
+            // lie about a model snapshotted without one.
+            index_mode: if loaded.index.is_some() {
+                IndexMode::Indexed
+            } else {
+                IndexMode::Scan
+            },
+            ..RenuverConfig::default()
+        };
+        Ok((loaded.into_engine(config), info))
+    } else {
+        let rel = load(path)?;
+        let rfds = rfds_for_model(args, &rel)?;
+        let fingerprint = renuver::serve::artifact::schema_fingerprint(rel.schema());
+        let config = RenuverConfig {
+            index_mode: index_mode_from_args(args)?,
+            ..RenuverConfig::default()
+        };
+        let engine = renuver::core::Engine::prepare(rel, rfds, config);
+        let info = renuver::serve::ModelInfo {
+            source: path.to_string(),
+            schema_fingerprint: fingerprint,
+            artifact_bytes: 0,
+        };
+        Ok((engine, info))
+    }
+}
+
+fn serve_cmd(args: &Args) -> Result<(), String> {
+    use renuver::serve::{install_signal_handlers, Ctx, ServeConfig, Server};
+    let path = one_positional(args)?;
+    let (engine, info) = serve_engine(args, &path)?;
+    let default_timeout_ms: Option<u64> = args.parse_value("--default-timeout-ms")?;
+    let max_timeout_ms: u64 = args.parse_value("--max-timeout-ms")?.unwrap_or(60_000);
+    let config = ServeConfig {
+        addr: args.value("--addr").unwrap_or("127.0.0.1:7171").to_string(),
+        workers: args.parse_value("--workers")?.unwrap_or(4),
+        queue: args.parse_value("--queue")?.unwrap_or(64),
+        max_body: args
+            .parse_value::<usize>("--max-body-mb")?
+            .unwrap_or(4)
+            .saturating_mul(1024 * 1024),
+        ..ServeConfig::default()
+    };
+    let rows = engine.donor_rows();
+    let rfds = engine.sigma().len();
+    let ctx = std::sync::Arc::new(Ctx::new(engine, info, default_timeout_ms, max_timeout_ms));
+    install_signal_handlers();
+    let server = Server::bind(config, ctx).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // The e2e harness polls stdout for this line; flush so a piped
+    // stdout does not buffer it past the first request.
+    println!("listening on {addr} ({rows} tuples, {rfds} RFDs)");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let shed = server.run().map_err(|e| e.to_string())?;
+    println!("shutdown complete ({shed} connections shed)");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -810,7 +1011,10 @@ mod tests {
     fn unknown_command_lists_the_valid_ones() {
         let err = run(&strings(&["imptue", "data.csv"])).unwrap_err();
         assert!(err.contains("unknown command \"imptue\""), "{err}");
-        for cmd in ["stats", "audit", "discover", "inject", "impute", "evaluate", "compare"] {
+        for cmd in [
+            "stats", "audit", "discover", "inject", "impute", "evaluate", "compare", "prepare",
+            "inspect", "serve",
+        ] {
             assert!(err.contains(cmd), "missing {cmd} in: {err}");
         }
     }

@@ -97,10 +97,91 @@ fn unknown_command_fails_with_usage() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("unknown command \"frobnicate\""), "{stderr}");
     // The error names every valid subcommand so a typo is self-correcting.
-    for cmd in ["stats", "audit", "discover", "inject", "impute", "evaluate", "compare"] {
+    for cmd in [
+        "stats", "audit", "discover", "inject", "impute", "evaluate", "compare", "prepare",
+        "inspect", "serve",
+    ] {
         assert!(stderr.contains(cmd), "missing {cmd} in: {stderr}");
     }
     assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn prepare_inspect_serve_round_trip() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = tempdir("serve");
+    let data = dir.join("data.csv");
+    std::fs::write(&data, DATA).unwrap();
+
+    // prepare: dataset → .rnv artifact (discovery runs, no --rfds).
+    let model = dir.join("model.rnv");
+    let out = bin()
+        .arg("prepare")
+        .arg(&data)
+        .args(["--limit", "3"])
+        .arg("-o")
+        .arg(&model)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("6 tuples"), "{stdout}");
+
+    // inspect: summarizes without loading an engine.
+    let out = bin().arg("inspect").arg(&model).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for needle in ["format:      v1", "tuples:      6", "City: text", "Pop: int"] {
+        assert!(stdout.contains(needle), "missing {needle:?} in: {stdout}");
+    }
+
+    // inspect rejects a non-artifact cleanly.
+    let out = bin().arg("inspect").arg(&data).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("magic"), "stderr should name the bad magic");
+
+    // serve: artifact → listening server; exercise it over loopback and
+    // shut it down with SIGTERM, which must exit 0 (graceful drain).
+    let mut child = bin()
+        .arg("serve")
+        .arg(&model)
+        .args(["--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("listening on"), "{line}");
+    let addr: std::net::SocketAddr = line
+        .split_whitespace()
+        .find_map(|tok| tok.parse().ok())
+        .unwrap_or_else(|| panic!("no address in {line:?}"));
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let body = r#"{"tuples": [["Salerno", null, 130000]]}"#;
+    write!(
+        stream,
+        "POST /v1/impute HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .unwrap();
+    let mut resp = String::new();
+    BufReader::new(stream).read_to_string(&mut resp).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    assert!(resp.contains("84084"), "{resp}");
+
+    assert!(Command::new("kill")
+        .arg("-TERM")
+        .arg(child.id().to_string())
+        .status()
+        .unwrap()
+        .success());
+    let status = child.wait().unwrap();
+    assert!(status.success(), "SIGTERM must drain and exit 0, got {status:?}");
 }
 
 #[test]

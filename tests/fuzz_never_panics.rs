@@ -2,18 +2,21 @@
 //! partial result) on hostile input — never unwind.
 //!
 //! Covered: the CSV and ARFF codecs and the rule parser on arbitrary text
-//! and arbitrary bytes, and the full imputation pipeline on adversarial
-//! relations — NaN/infinite RFD thresholds, all-null columns, megabyte
-//! cells, zero-op budgets. The CI fuzz-smoke step runs these with a fixed
-//! `PROPTEST_CASES` so the suite stays fast and reproducible there.
+//! and arbitrary bytes, the `.rnv` model-artifact decoder on arbitrary
+//! bytes and corrupted real snapshots, and the full imputation pipeline
+//! on adversarial relations — NaN/infinite RFD thresholds, all-null
+//! columns, megabyte cells, zero-op budgets. The CI fuzz-smoke step runs
+//! these with a fixed `PROPTEST_CASES` so the suite stays fast and
+//! reproducible there.
 
 use proptest::prelude::*;
 
 use renuver::budget::Budget;
-use renuver::core::{Renuver, RenuverConfig};
+use renuver::core::{Engine, Renuver, RenuverConfig};
 use renuver::data::{arff, csv, AttrType, Relation, Schema, Value};
 use renuver::rfd::{Constraint, Rfd, RfdSet};
 use renuver::rulekit::parse_rules;
+use renuver::serve::artifact;
 
 // ----------------------------------------------------------------- codecs
 
@@ -62,6 +65,101 @@ proptest! {
     ) {
         let _ = parse_rules(&lines.join("\n"));
     }
+}
+
+// ---------------------------------------------------------- .rnv artifacts
+
+/// A small but structurally complete artifact (text + int columns, an
+/// RFD, a similarity index) used as the mutation base.
+fn seed_artifact() -> Vec<u8> {
+    let rel = csv::read_str(
+        "City:text,Zip:text,Class:int\n\
+         Malibu,90265,6\n\
+         Malibu,90265,6\n\
+         Hollywood,90028,2\n\
+         Venice,_,3\n",
+    )
+    .unwrap();
+    let rfds = RfdSet::from_vec(vec![Rfd::new(
+        vec![Constraint::new(0, 1.0)],
+        Constraint::new(1, 0.0),
+    )]);
+    let engine = Engine::prepare(
+        rel,
+        rfds,
+        RenuverConfig {
+            index_mode: renuver::core::IndexMode::Indexed,
+            ..RenuverConfig::default()
+        },
+    );
+    artifact::encode_engine(&engine, "fuzz-seed")
+}
+
+proptest! {
+    #[test]
+    fn artifact_decode_never_panics_on_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let _ = artifact::decode(&bytes);
+        let _ = artifact::inspect(&bytes);
+    }
+
+    #[test]
+    fn artifact_decode_never_panics_on_magic_prefixed_bytes(
+        tail in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        // Get past the magic/version check so the section parsers see
+        // the garbage (a random prefix almost never does).
+        let mut bytes = b"RNUV\x01\x00\x00\x00".to_vec();
+        bytes.extend(tail);
+        let _ = artifact::decode(&bytes);
+    }
+
+    #[test]
+    fn artifact_decode_never_panics_on_corrupted_snapshots(
+        offset in 0usize..10_000,
+        flip in any::<u8>(),
+        do_truncate in any::<bool>(),
+        truncate_at in 0usize..10_000,
+    ) {
+        let mut bytes = seed_artifact();
+        let len = bytes.len();
+        bytes[offset % len] ^= flip | 1; // always a real change
+        if do_truncate {
+            bytes.truncate(truncate_at % (len + 1));
+        }
+        // Every corruption is a typed error or (for a flip the checksum
+        // cannot see, which does not exist) a valid artifact — never an
+        // unwind.
+        let _ = artifact::decode(&bytes);
+    }
+
+    #[test]
+    fn artifact_decode_never_panics_on_checksum_repaired_corruption(
+        offset in 8usize..10_000,
+        flip in any::<u8>(),
+    ) {
+        // Corrupt the payload, then re-stamp a valid trailing CRC so the
+        // section parsers (not the checksum) must reject the damage.
+        let mut bytes = seed_artifact();
+        let len = bytes.len();
+        let at = 8 + (offset - 8) % (len - 12);
+        bytes[at] ^= flip | 1;
+        let crc = artifact::crc32(&bytes[..len - 4]);
+        let tail = len - 4;
+        bytes[tail..].copy_from_slice(&crc.to_le_bytes());
+        let _ = artifact::decode(&bytes);
+    }
+}
+
+#[test]
+fn artifact_seed_still_decodes() {
+    // Guards the mutation base itself: if encoding broke, the corruption
+    // fuzzers above would be exercising nothing.
+    let bytes = seed_artifact();
+    let loaded = artifact::decode(&bytes).expect("seed artifact must decode");
+    assert_eq!(loaded.relation.len(), 4);
+    assert!(loaded.index.is_some());
 }
 
 // --------------------------------------------------------------- pipeline
