@@ -7,6 +7,7 @@ use renuver_obs::{Counter, Field, FieldValue, Histogram};
 use renuver_rfd::check::stays_key_after_update_with_index;
 use renuver_rfd::{Rfd, RfdSet};
 
+use crate::batch::CellCache;
 use crate::candidates::{find_candidate_tuples_with, sort_candidates};
 use crate::config::{ClusterOrder, ImputationOrder, IndexMode, RenuverConfig, AUTO_MIN_ROWS};
 use crate::result::{
@@ -299,6 +300,10 @@ impl Renuver {
         // Rows imputed in this run — the witness neighborhood the degraded
         // verification rung restricts itself to.
         let mut touched: Vec<usize> = Vec::new();
+        // Batch verification: witness and candidate scans shared between
+        // cells with the same imputed attribute and LHS signature (see
+        // `crate::batch`). Decisions are identical with the cache off.
+        let mut cache = CellCache::new(self.config.batch_verify, sigma, rel.arity());
 
         // Imputation (lines 11-14): visit missing cells in the configured
         // order (paper default: tuple by tuple, attributes within). The
@@ -383,6 +388,7 @@ impl Renuver {
                     explain_on,
                     &mut stats,
                     &mut trace,
+                    &mut cache,
                 );
                 if let Some(cm) = &metrics {
                     cm.candidates_per_cell.observe(candidates as u64);
@@ -393,6 +399,7 @@ impl Renuver {
                         if let Some(ix) = index.as_mut() {
                             ix.update_cell(rel, row, attr);
                         }
+                        cache.note_write(row, attr);
                         if self.config.trace {
                             trace.push(TraceEvent::Imputed {
                                 cell: cell_rec.cell,
@@ -409,6 +416,7 @@ impl Renuver {
                         // a usable one; only pairs involving `row` changed.
                         // The degraded rung skips this O(n·|keys|) scan.
                         if !self.config.skip_key_reevaluation && !degraded {
+                            let reactivated_before = stats.keys_reactivated;
                             dormant_keys.retain(|&k| {
                                 if stays_key_after_update_with_index(
                                     oracle,
@@ -424,6 +432,11 @@ impl Renuver {
                                     false
                                 }
                             });
+                            if stats.keys_reactivated != reactivated_before {
+                                // Σ' grew: cluster composition (and thus
+                                // cached candidate lists) may change.
+                                cache.bump_active();
+                            }
                         }
                         CellOutcome::Imputed
                     }
@@ -477,6 +490,8 @@ impl Renuver {
             m.counter("core.verification_failures")
                 .add(stats.verification_failures as u64);
             m.counter("core.keys_reactivated").add(stats.keys_reactivated as u64);
+            m.counter("core.batch_plans_built").add(cache.plans_built());
+            m.counter("core.batch_plans_reused").add(cache.plans_reused());
             m.gauge("parallel.threads").set(rayon::current_num_threads() as u64);
             // Chunks dispatched by this run's parallel scans (the global
             // counter is monotonic; concurrent runs inflate each other's
@@ -569,6 +584,7 @@ impl Renuver {
         explain_on: bool,
         stats: &mut ImputationStats,
         trace: &mut Vec<TraceEvent>,
+        cache: &mut CellCache,
     ) -> CellAttempt {
         // RFD selection (Algorithm 1 lines 8-9), restricted to the active
         // Σ'. Clusters hold sigma indices (so explain records can name the
@@ -614,8 +630,26 @@ impl Renuver {
         // scan to the rows this run already changed — a deliberate
         // weakening (violations against untouched rows go unseen) traded
         // for finishing more cells before the budget's hard stop.
-        let plan = match restrict {
-            Some(rows) => VerifyPlan::build_over(
+        // The batch cache shares the plan's witness scans (and the cluster
+        // loop's candidate scans below) between same-signature cells; the
+        // degraded rung bypasses it — restricted witness lists depend on
+        // the changed-rows set, not the signature.
+        let cache_key = match restrict {
+            None => cache.key_for(rel, row, attr),
+            Some(_) => None,
+        };
+        let plan = match (&cache_key, restrict) {
+            (Some(key), _) => cache.plan_for(
+                key,
+                oracle,
+                index,
+                rel,
+                row,
+                attr,
+                sigma,
+                self.config.verify_scope,
+            ),
+            (None, Some(rows)) => VerifyPlan::build_over(
                 oracle,
                 rel,
                 row,
@@ -624,7 +658,7 @@ impl Renuver {
                 self.config.verify_scope,
                 rows,
             ),
-            None => VerifyPlan::build_with(
+            (None, None) => VerifyPlan::build_with(
                 oracle,
                 index,
                 rel,
@@ -635,10 +669,15 @@ impl Renuver {
             ),
         };
 
-        for (cluster_threshold, members) in &clusters {
+        for (cluster_idx, (cluster_threshold, members)) in clusters.iter().enumerate() {
             stats.clusters_visited += 1;
             let rfds: Vec<&Rfd> = members.iter().map(|&i| sigma.get(i)).collect();
-            let mut candidates = find_candidate_tuples_with(oracle, index, rel, row, attr, &rfds);
+            let mut candidates = match &cache_key {
+                Some(key) => cache.cluster_candidates(
+                    key, cluster_idx, members, oracle, index, rel, row, attr, &rfds,
+                ),
+                None => find_candidate_tuples_with(oracle, index, rel, row, attr, &rfds),
+            };
             stats.candidates_scored += candidates.len();
             attempt.candidates += candidates.len();
             if self.config.trace {

@@ -1,0 +1,476 @@
+//! Batch verification: one oracle pass serves many cells.
+//!
+//! The per-cell loop's expensive steps — the witness scans behind a
+//! [`VerifyPlan`] and the donor scans behind candidate generation — are
+//! `O(n)` relation passes whose output depends on the *target cell* only
+//! through (a) the imputed attribute and (b) the target row's values on
+//! the attributes the relevant RFDs constrain. Missing cells that share an
+//! RFD cluster and agree on those values (typical in serving batches, and
+//! in any column whose misses concentrate on a few LHS signatures) would
+//! recompute identical scans cell after cell.
+//!
+//! [`CellCache`] keys that work by `(attr, signature values)` and replays
+//! it. Soundness relies on three invariants, all enforced here:
+//!
+//! - **Signature-determinism.** Every cached computation reads the target
+//!   row only on the signature attributes (see [`CellCache::new`] for the
+//!   exact set), and distances are pure functions of the compared values —
+//!   so two cells with bit-equal signatures get bit-equal scans. Float
+//!   signatures compare by bit pattern, which never merges values the
+//!   oracle could tell apart.
+//! - **Write tracking.** An imputation writes one cell; only that row's
+//!   donor/witness status can change in any cached entry. Writes land in
+//!   each affected entry's `pending` set ([`CellCache::note_write`]), and
+//!   the next reuse re-evaluates exactly those rows with the same
+//!   predicates the full scan uses — removing them first, so a row whose
+//!   changed values *demote* it is dropped too. The patched lists equal a
+//!   fresh scan of the current relation.
+//! - **Version gating.** Cluster composition (and therefore the cached
+//!   per-cluster candidate lists) depends on the active Σ' set; key
+//!   reactivation bumps [`CellCache::bump_active`] and stale entries are
+//!   rebuilt on next touch.
+//!
+//! The degraded (budget-pressure) verification rung bypasses the cache:
+//! its restricted witness lists depend on the changed-rows set, which is
+//! not signature-determined.
+//!
+//! Results are bit-identical with the cache off (`RenuverConfig::
+//! batch_verify = false`), asserted by `tests/batch_differential.rs` and
+//! the unit tests below.
+
+use std::collections::{BTreeSet, HashMap};
+
+use renuver_data::{AttrId, Relation, Value};
+use renuver_distance::{DistanceOracle, SimilarityIndex};
+use renuver_rfd::{Rfd, RfdSet};
+
+use crate::candidates::{find_candidate_tuples_with, Candidate, ClusterScorer};
+use crate::config::VerifyScope;
+use crate::verify::{close_witness, far_witness, VerifyPlan, WitnessKind};
+
+/// A [`Value`] projected to a hashable key. Floats key by bit pattern:
+/// `-0.0`/`0.0` and distinct NaNs land in different buckets (forgoing a
+/// reuse, never corrupting one), while bit-equal floats — including equal
+/// NaNs — always produce identical distances downstream.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum KeyValue {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(u64),
+    Text(String),
+}
+
+impl KeyValue {
+    fn of(v: &Value) -> KeyValue {
+        match v {
+            Value::Null => KeyValue::Null,
+            Value::Bool(b) => KeyValue::Bool(*b),
+            Value::Int(i) => KeyValue::Int(*i),
+            Value::Float(f) => KeyValue::Float(f.to_bits()),
+            Value::Text(s) => KeyValue::Text(s.clone()),
+        }
+    }
+}
+
+/// Cache key: the imputed attribute plus the target row's values on that
+/// attribute's signature attributes, in ascending attribute order.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct SigKey {
+    attr: AttrId,
+    values: Vec<KeyValue>,
+}
+
+/// One cluster's cached candidate list: the *unsorted* scan output
+/// (ascending donor row), plus the cluster's sigma indices so pending
+/// rows can be re-scored with the cluster's own thresholds.
+struct CachedCluster {
+    members: Vec<usize>,
+    list: Vec<Candidate>,
+}
+
+struct CacheEntry {
+    /// [`CellCache::version`] at creation; a mismatch means the active Σ'
+    /// changed and the entry is rebuilt on next touch.
+    version: u64,
+    /// Rows written since the entry's lists were last reconciled.
+    pending: BTreeSet<usize>,
+    /// Witness lists for the verify plan, kept current up to `pending`.
+    witnesses: crate::verify::WitnessLists,
+    /// Per-cluster-position candidate lists, filled lazily as the cluster
+    /// loop reaches them.
+    candidates: Vec<Option<CachedCluster>>,
+}
+
+/// The batch-verification cache for one `impute_prepared` run. See the
+/// module docs for the contract.
+pub(crate) struct CellCache {
+    enabled: bool,
+    version: u64,
+    /// Per attribute: the signature attributes (sorted) whose target-row
+    /// values determine that attribute's cached scans.
+    sig_attrs: Vec<Vec<AttrId>>,
+    /// Per attribute: `sig_attrs ∪ {attr}` (sorted) — a write to any of
+    /// these invalidates/amends entries for that attribute. The attribute
+    /// itself is always included: a filled cell becomes a new donor and a
+    /// new potential witness.
+    read_attrs: Vec<Vec<AttrId>>,
+    entries: HashMap<SigKey, CacheEntry>,
+    plans_built: u64,
+    plans_reused: u64,
+}
+
+impl CellCache {
+    /// Derives the signature sets from `sigma`: for cells on attribute
+    /// `A`, every scan reads the target row on
+    ///
+    /// - the LHS attributes of each RFD with RHS `A` (cluster candidate
+    ///   scans, and `Full`-scope far-witness scans), and
+    /// - the LHS attributes and the RHS attribute of each RFD with `A` in
+    ///   its LHS (close-witness scans).
+    ///
+    /// Nothing else about the target row is consulted — the index-seeded
+    /// scan variants read more, but their output is pinned identical to
+    /// the exact scan by the superset contract.
+    pub(crate) fn new(enabled: bool, sigma: &RfdSet, arity: usize) -> CellCache {
+        let mut sig: Vec<BTreeSet<AttrId>> = vec![BTreeSet::new(); arity];
+        for rfd in sigma.iter() {
+            let rhs = rfd.rhs_attr();
+            if rhs < arity {
+                for c in rfd.lhs() {
+                    sig[rhs].insert(c.attr);
+                }
+            }
+            for c in rfd.lhs() {
+                if c.attr >= arity {
+                    continue;
+                }
+                for c2 in rfd.lhs() {
+                    if c2.attr != c.attr {
+                        sig[c.attr].insert(c2.attr);
+                    }
+                }
+                sig[c.attr].insert(rhs);
+            }
+        }
+        let sig_attrs: Vec<Vec<AttrId>> =
+            sig.iter().map(|s| s.iter().copied().collect()).collect();
+        let read_attrs: Vec<Vec<AttrId>> = sig
+            .iter()
+            .enumerate()
+            .map(|(a, s)| {
+                let mut r = s.clone();
+                r.insert(a);
+                r.into_iter().collect()
+            })
+            .collect();
+        CellCache {
+            enabled,
+            version: 0,
+            sig_attrs,
+            read_attrs,
+            entries: HashMap::new(),
+            plans_built: 0,
+            plans_reused: 0,
+        }
+    }
+
+    /// The cache key for cell `(row, attr)`, or `None` when caching is
+    /// disabled (the caller then takes the uncached paths).
+    pub(crate) fn key_for(&self, rel: &Relation, row: usize, attr: AttrId) -> Option<SigKey> {
+        if !self.enabled {
+            return None;
+        }
+        let values =
+            self.sig_attrs[attr].iter().map(|&a| KeyValue::of(rel.value(row, a))).collect();
+        Some(SigKey { attr, values })
+    }
+
+    /// The active Σ' set changed (key reactivation): cluster composition
+    /// may differ from here on, so existing entries are stale.
+    pub(crate) fn bump_active(&mut self) {
+        self.version += 1;
+    }
+
+    /// Record an imputation write to `(row, attr)`: every entry whose
+    /// read set contains `attr` must re-evaluate `row` before next use.
+    pub(crate) fn note_write(&mut self, row: usize, attr: AttrId) {
+        if !self.enabled {
+            return;
+        }
+        let CellCache { read_attrs, entries, .. } = self;
+        for (key, entry) in entries.iter_mut() {
+            if read_attrs[key.attr].binary_search(&attr).is_ok() {
+                entry.pending.insert(row);
+            }
+        }
+    }
+
+    pub(crate) fn plans_built(&self) -> u64 {
+        self.plans_built
+    }
+
+    pub(crate) fn plans_reused(&self) -> u64 {
+        self.plans_reused
+    }
+
+    /// The verify plan for cell `(row, attr)`: compiled from the cached
+    /// witness lists when an entry with this signature exists (after
+    /// reconciling pending rows), otherwise from a fresh witness scan that
+    /// seeds the entry. Must be called before
+    /// [`CellCache::cluster_candidates`] for the cell — reconciliation
+    /// happens here, and no writes occur mid-cell.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn plan_for(
+        &mut self,
+        key: &SigKey,
+        oracle: &DistanceOracle,
+        index: Option<&SimilarityIndex>,
+        rel: &Relation,
+        row: usize,
+        attr: AttrId,
+        sigma: &RfdSet,
+        scope: VerifyScope,
+    ) -> VerifyPlan {
+        let version = self.version;
+        let reusable = self.entries.get(key).is_some_and(|e| e.version == version);
+        if reusable {
+            self.plans_reused += 1;
+            let entry = self.entries.get_mut(key).expect("entry checked above");
+            if !entry.pending.is_empty() {
+                let pending: Vec<usize> = entry.pending.iter().copied().collect();
+                entry.pending.clear();
+                for w in &mut entry.witnesses.0 {
+                    let rfd = sigma.get(w.sigma_idx);
+                    for &p in &pending {
+                        if let Ok(pos) = w.rows.binary_search(&p) {
+                            w.rows.remove(pos);
+                        }
+                        let keep = match w.kind {
+                            WitnessKind::Close => close_witness(oracle, rel, row, attr, rfd, p),
+                            WitnessKind::Far => far_witness(oracle, rel, row, attr, rfd, p),
+                        };
+                        if keep {
+                            let pos = w.rows.binary_search(&p).unwrap_err();
+                            w.rows.insert(pos, p);
+                        }
+                    }
+                }
+                let mut dist_buf: Vec<Option<f64>> = vec![None; rel.arity()];
+                for slot in entry.candidates.iter_mut().flatten() {
+                    let rfds: Vec<&Rfd> =
+                        slot.members.iter().map(|&i| sigma.get(i)).collect();
+                    let scorer = ClusterScorer::new(rel.arity(), &rfds);
+                    for &p in &pending {
+                        if let Ok(pos) = slot.list.binary_search_by(|c| c.row.cmp(&p)) {
+                            slot.list.remove(pos);
+                        }
+                        if let Some(c) = scorer.score(oracle, rel, row, attr, p, &mut dist_buf) {
+                            let pos = slot
+                                .list
+                                .binary_search_by(|x| x.row.cmp(&c.row))
+                                .unwrap_err();
+                            slot.list.insert(pos, c);
+                        }
+                    }
+                }
+            }
+            let entry = self.entries.get(key).expect("entry checked above");
+            return VerifyPlan::from_witnesses(oracle, attr, &entry.witnesses);
+        }
+        self.plans_built += 1;
+        let witnesses = VerifyPlan::collect_witnesses(
+            oracle,
+            index,
+            rel,
+            row,
+            attr,
+            sigma.iter(),
+            scope,
+            None,
+        );
+        let plan = VerifyPlan::from_witnesses(oracle, attr, &witnesses);
+        self.entries.insert(
+            key.clone(),
+            CacheEntry { version, pending: BTreeSet::new(), witnesses, candidates: Vec::new() },
+        );
+        plan
+    }
+
+    /// The candidate list for the cell's cluster at position
+    /// `cluster_idx` (whose sigma indices are `members`): the cached scan
+    /// output when present, otherwise a fresh scan that fills the slot.
+    /// Returns the *unsorted* list, exactly as
+    /// [`find_candidate_tuples_with`] would — the caller sorts and
+    /// truncates as usual.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn cluster_candidates(
+        &mut self,
+        key: &SigKey,
+        cluster_idx: usize,
+        members: &[usize],
+        oracle: &DistanceOracle,
+        index: Option<&SimilarityIndex>,
+        rel: &Relation,
+        row: usize,
+        attr: AttrId,
+        rfds: &[&Rfd],
+    ) -> Vec<Candidate> {
+        let entry = self.entries.get_mut(key).expect("plan_for seeds the entry first");
+        debug_assert_eq!(entry.version, self.version);
+        debug_assert!(entry.pending.is_empty(), "plan_for reconciles before the cluster loop");
+        if entry.candidates.len() <= cluster_idx {
+            entry.candidates.resize_with(cluster_idx + 1, || None);
+        }
+        match &mut entry.candidates[cluster_idx] {
+            Some(cached) => {
+                debug_assert_eq!(cached.members, members, "cluster layout is version-stable");
+                cached.list.clone()
+            }
+            slot @ None => {
+                let list = find_candidate_tuples_with(oracle, index, rel, row, attr, rfds);
+                *slot = Some(CachedCluster { members: members.to_vec(), list: list.clone() });
+                list
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renuver_data::{AttrType, Schema};
+    use renuver_rfd::Constraint;
+
+    fn schema() -> Schema {
+        Schema::new([
+            ("City", AttrType::Text),
+            ("Zip", AttrType::Text),
+            ("Region", AttrType::Text),
+        ])
+        .unwrap()
+    }
+
+    fn t(city: Option<&str>, zip: Option<&str>, region: Option<&str>) -> Vec<Value> {
+        [city, zip, region].iter().map(|v| v.map(Value::from).unwrap_or(Value::Null)).collect()
+    }
+
+    fn sigma() -> RfdSet {
+        RfdSet::from_vec(vec![
+            // City ≈ → Zip =
+            Rfd::new(vec![Constraint::new(0, 1.0)], Constraint::new(1, 0.0)),
+            // Zip = → Region =
+            Rfd::new(vec![Constraint::new(1, 0.0)], Constraint::new(2, 0.0)),
+        ])
+    }
+
+    #[test]
+    fn signatures_cover_every_target_row_read() {
+        let cache = CellCache::new(true, &sigma(), 3);
+        // Zip cells: candidate scans read City (cluster LHS); close-witness
+        // scans for Zip-on-LHS RFDs read Region (their RHS). City itself
+        // never hosts an RFD RHS here, so its signature is just its LHS
+        // co-attrs and RHS.
+        assert_eq!(cache.sig_attrs[1], vec![0, 2]);
+        assert_eq!(cache.read_attrs[1], vec![0, 1, 2]);
+        // City appears only in RFD 0's LHS alone → signature is its RHS.
+        assert_eq!(cache.sig_attrs[0], vec![1]);
+        assert_eq!(cache.read_attrs[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn same_signature_cells_share_and_writes_reconcile() {
+        // Rows 4 and 5 both miss Zip with the same City signature; row 6
+        // misses Zip with a different one. After row 4 is imputed (a write
+        // to Zip), row 5's reuse must re-admit row 4 as a donor/witness —
+        // exactly what a fresh scan would see.
+        let rel_rows = vec![
+            t(Some("Springfield"), Some("62701"), Some("IL")),
+            t(Some("Springfield"), Some("62701"), Some("IL")),
+            t(Some("Shelbyville"), Some("62565"), Some("IL")),
+            t(Some("Ogdenville"), Some("11111"), Some("ND")),
+            t(Some("Springfield"), None, Some("IL")),
+            t(Some("Springfield"), None, Some("IL")),
+            t(Some("Shelbyville"), None, Some("IL")),
+        ];
+        let rel = Relation::new(schema(), rel_rows).unwrap();
+        let sigma = sigma();
+        let oracle = DistanceOracle::build(&rel, 3000);
+        let mut cache = CellCache::new(true, &sigma, rel.arity());
+
+        let k4 = cache.key_for(&rel, 4, 1).unwrap();
+        let k5 = cache.key_for(&rel, 5, 1).unwrap();
+        let k6 = cache.key_for(&rel, 6, 1).unwrap();
+        assert_eq!(k4, k5, "same City+Region signature");
+        assert_ne!(k4, k6);
+
+        let scope = VerifyScope::Full;
+        let _plan4 = cache.plan_for(&k4, &oracle, None, &rel, 4, 1, &sigma, scope);
+        assert_eq!((cache.plans_built(), cache.plans_reused()), (1, 0));
+        let members = vec![0usize];
+        let rfds: Vec<&Rfd> = members.iter().map(|&i| sigma.get(i)).collect();
+        let base =
+            cache.cluster_candidates(&k4, 0, &members, &oracle, None, &rel, 4, 1, &rfds);
+        assert_eq!(
+            base,
+            find_candidate_tuples_with(&oracle, None, &rel, 4, 1, &rfds),
+            "cached base equals a fresh scan"
+        );
+
+        // Impute row 4 from row 0 and record the write.
+        let mut rel = rel;
+        rel.set_value(4, 1, rel.value(0, 1).clone());
+        let mut oracle = oracle;
+        oracle.update_cell(&rel, 4, 1);
+        cache.note_write(4, 1);
+
+        // Row 5 reuses the entry; the reconciled lists must equal fresh
+        // scans of the *current* relation (row 4 is now a donor).
+        let plan5 = cache.plan_for(&k5, &oracle, None, &rel, 5, 1, &sigma, scope);
+        assert_eq!((cache.plans_built(), cache.plans_reused()), (1, 1));
+        let reconciled =
+            cache.cluster_candidates(&k5, 0, &members, &oracle, None, &rel, 5, 1, &rfds);
+        let fresh = find_candidate_tuples_with(&oracle, None, &rel, 5, 1, &rfds);
+        assert_eq!(reconciled, fresh);
+        assert!(fresh.iter().any(|c| c.row == 4), "imputed row joined the donor pool");
+        let fresh_plan =
+            VerifyPlan::build(&oracle, &rel, 5, 1, sigma.iter(), scope);
+        for donor in 0..rel.len() {
+            if rel.is_missing(donor, 1) {
+                continue;
+            }
+            assert_eq!(
+                plan5.admits(&oracle, &rel, 1, donor),
+                fresh_plan.admits(&oracle, &rel, 1, donor),
+                "donor {donor}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_bump_invalidates_entries() {
+        let rel = Relation::new(
+            schema(),
+            vec![
+                t(Some("Springfield"), Some("62701"), Some("IL")),
+                t(Some("Springfield"), None, Some("IL")),
+            ],
+        )
+        .unwrap();
+        let sigma = sigma();
+        let oracle = DistanceOracle::build(&rel, 3000);
+        let mut cache = CellCache::new(true, &sigma, rel.arity());
+        let k = cache.key_for(&rel, 1, 1).unwrap();
+        let _ = cache.plan_for(&k, &oracle, None, &rel, 1, 1, &sigma, VerifyScope::Full);
+        cache.bump_active();
+        let _ = cache.plan_for(&k, &oracle, None, &rel, 1, 1, &sigma, VerifyScope::Full);
+        assert_eq!((cache.plans_built(), cache.plans_reused()), (2, 0));
+    }
+
+    #[test]
+    fn disabled_cache_yields_no_keys() {
+        let rel = Relation::new(schema(), vec![t(Some("a"), None, Some("b"))]).unwrap();
+        let cache = CellCache::new(false, &sigma(), rel.arity());
+        assert!(cache.key_for(&rel, 0, 1).is_none());
+    }
+}

@@ -84,45 +84,9 @@ pub fn find_candidate_tuples_with(
     cluster: &[&Rfd],
 ) -> Vec<Candidate> {
     let m = rel.arity();
-    // Largest threshold each attribute is compared against in this cluster;
-    // distances above it are never needed exactly.
-    let mut max_thr: Vec<Option<f64>> = vec![None; m];
-    for rfd in cluster {
-        for c in rfd.lhs() {
-            let slot = &mut max_thr[c.attr];
-            *slot = Some(slot.map_or(c.threshold, |t: f64| t.max(c.threshold)));
-        }
-    }
-
-    // Scores donor row `j`, filling `dist_buf` with the partial distance
-    // pattern over the attributes this cluster uses (`None` = missing value
-    // on either side, or beyond every threshold).
-    let score = |j: usize, dist_buf: &mut Vec<Option<f64>>| -> Option<Candidate> {
-        if j == row || rel.is_missing(j, attr) {
-            return None;
-        }
-        for (a, slot) in dist_buf.iter_mut().enumerate() {
-            *slot = max_thr[a].and_then(|thr| oracle.distance_bounded(rel, a, row, j, thr));
-        }
-        let mut dist_min = f64::INFINITY;
-        let mut via = 0usize;
-        for (idx, rfd) in cluster.iter().enumerate() {
-            let lhs = rfd.lhs();
-            let satisfied = lhs.iter().all(|c| {
-                matches!(dist_buf[c.attr], Some(d) if d <= c.threshold)
-            });
-            if satisfied {
-                let sum: f64 = lhs.iter().map(|c| dist_buf[c.attr].unwrap()).sum();
-                let dist = sum / lhs.len() as f64;
-                if dist < dist_min {
-                    dist_min = dist;
-                    via = idx;
-                }
-            }
-        }
-        dist_min
-            .is_finite()
-            .then_some(Candidate { row: j, distance: dist_min, via })
+    let scorer = ClusterScorer::new(m, cluster);
+    let score = |j: usize, dist_buf: &mut [Option<f64>]| -> Option<Candidate> {
+        scorer.score(oracle, rel, row, attr, j, dist_buf)
     };
 
     let n = rel.len();
@@ -141,6 +105,67 @@ pub fn find_candidate_tuples_with(
             .into_iter()
             .flatten()
             .collect()
+    }
+}
+
+/// The per-donor scoring core of FIND_CANDIDATE_TUPLES, split out so the
+/// batch-verification cache can re-score a *single* donor row (a row
+/// written since a cached list was computed) with exactly the arithmetic
+/// the full scan uses.
+pub(crate) struct ClusterScorer<'c> {
+    cluster: &'c [&'c Rfd],
+    /// Largest threshold each attribute is compared against in this
+    /// cluster; distances above it are never needed exactly.
+    max_thr: Vec<Option<f64>>,
+}
+
+impl<'c> ClusterScorer<'c> {
+    pub(crate) fn new(arity: usize, cluster: &'c [&'c Rfd]) -> ClusterScorer<'c> {
+        let mut max_thr: Vec<Option<f64>> = vec![None; arity];
+        for rfd in cluster {
+            for c in rfd.lhs() {
+                let slot = &mut max_thr[c.attr];
+                *slot = Some(slot.map_or(c.threshold, |t: f64| t.max(c.threshold)));
+            }
+        }
+        ClusterScorer { cluster, max_thr }
+    }
+
+    /// Scores donor row `j` for the cell `(row, attr)`, filling `dist_buf`
+    /// (of length `rel.arity()`) with the partial distance pattern over
+    /// the attributes this cluster uses (`None` = missing value on either
+    /// side, or beyond every threshold).
+    pub(crate) fn score(
+        &self,
+        oracle: &DistanceOracle,
+        rel: &Relation,
+        row: usize,
+        attr: AttrId,
+        j: usize,
+        dist_buf: &mut [Option<f64>],
+    ) -> Option<Candidate> {
+        if j == row || rel.is_missing(j, attr) {
+            return None;
+        }
+        for (a, slot) in dist_buf.iter_mut().enumerate() {
+            *slot = self.max_thr[a].and_then(|thr| oracle.distance_bounded(rel, a, row, j, thr));
+        }
+        let mut dist_min = f64::INFINITY;
+        let mut via = 0usize;
+        for (idx, rfd) in self.cluster.iter().enumerate() {
+            let lhs = rfd.lhs();
+            let satisfied =
+                lhs.iter().all(|c| matches!(dist_buf[c.attr], Some(d) if d <= c.threshold));
+            if satisfied {
+                let sum: f64 = lhs.iter().map(|c| dist_buf[c.attr].unwrap()).sum();
+                let dist = sum / lhs.len() as f64;
+                if dist < dist_min {
+                    dist_min = dist;
+                    via = idx;
+                }
+            }
+        }
+        dist_min.is_finite().then_some(Candidate { row: j, distance: dist_min, via })
     }
 }
 

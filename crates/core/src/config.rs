@@ -186,6 +186,13 @@ pub struct RenuverConfig {
     /// Applies to both [`RenuverConfig::explain`] records and the
     /// tracer's `cell` events; decisions are unaffected.
     pub explain_sample: ExplainSample,
+    /// Share witness scans and candidate scans between missing cells with
+    /// the same imputed attribute and LHS signature (the batch
+    /// verification cache, `crate::batch`). `true` (default) caches;
+    /// results are bit-for-bit identical either way (asserted by
+    /// `tests/batch_differential.rs`) — this only trades memory for
+    /// skipped relation scans on signature-sharing cells.
+    pub batch_verify: bool,
 }
 
 impl Default for RenuverConfig {
@@ -204,6 +211,7 @@ impl Default for RenuverConfig {
             tracer: Tracer::disabled(),
             explain: false,
             explain_sample: ExplainSample::default(),
+            batch_verify: true,
         }
     }
 }
@@ -234,6 +242,7 @@ mod tests {
         assert!(!cfg.tracer.is_enabled(), "default tracer is disabled");
         assert!(!cfg.explain, "explain records are opt-in");
         assert_eq!(cfg.explain_sample, ExplainSample::All, "no sampling by default");
+        assert!(cfg.batch_verify, "signature-sharing cache is on by default");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 pub mod algorithm;
 pub mod audit;
+mod batch;
 pub mod candidates;
 pub mod config;
 pub mod engine;

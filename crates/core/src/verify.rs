@@ -1,5 +1,8 @@
 //! Post-imputation consistency verification (Algorithm 4, IS_FAULTLESS).
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+
 use renuver_data::{AttrId, Relation};
 use renuver_rfd::check::{pair_satisfies_lhs, pair_satisfies_rhs};
 use renuver_rfd::Rfd;
@@ -51,6 +54,92 @@ pub fn is_faultless<'a>(
     true
 }
 
+use renuver_distance::{intersect_sorted, DistanceOracle, MatrixView, RowCode, SimilarityIndex};
+
+/// Which side of an RFD the witness rows constrain a candidate from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WitnessKind {
+    /// Candidate rejected when *within* `thr` of a witness (`attr` on the
+    /// RFD's LHS: the witnesses already violate the RHS).
+    Close,
+    /// Candidate rejected when *beyond* `thr` from a witness (`attr` is the
+    /// RFD's RHS: the witnesses satisfy the whole LHS).
+    Far,
+}
+
+/// The violation witnesses one RFD contributes to a cell's plan, tagged
+/// with the RFD's position in `sigma` so the batch-verification cache can
+/// re-evaluate individual rows later ([`close_witness`] /
+/// [`far_witness`]). Unlike the compiled [`VerifyPlan`], empty row lists
+/// are *kept*: a row written after the scan may join them.
+#[derive(Debug, Clone)]
+pub(crate) struct RfdWitnesses {
+    pub(crate) sigma_idx: usize,
+    pub(crate) kind: WitnessKind,
+    pub(crate) thr: f64,
+    /// Witness rows, ascending.
+    pub(crate) rows: Vec<usize>,
+}
+
+/// All witness lists for one cell, in `sigma` order — the raw (and
+/// expensive-to-compute) form a [`VerifyPlan`] compiles from, and the form
+/// the batch cache stores and patches between cells.
+#[derive(Debug, Clone)]
+pub(crate) struct WitnessLists(pub(crate) Vec<RfdWitnesses>);
+
+/// The per-RFD witness predicate for `attr`-on-LHS entries: `j` witnesses
+/// a rejection iff it has a value on `attr`, satisfies the RFD's other LHS
+/// constraints against `row`, and already violates the RHS against `row`.
+pub(crate) fn close_witness(
+    oracle: &DistanceOracle,
+    rel: &Relation,
+    row: usize,
+    attr: AttrId,
+    rfd: &Rfd,
+    j: usize,
+) -> bool {
+    if j == row {
+        return false;
+    }
+    let tj = rel.tuple(j);
+    if tj[attr].is_null() {
+        return false; // pair can never satisfy the attr constraint
+    }
+    for c in rfd.lhs() {
+        if c.attr == attr {
+            continue;
+        }
+        if oracle.distance_bounded(rel, c.attr, row, j, c.threshold).is_none() {
+            return false;
+        }
+    }
+    // Violates iff RHS distance exceeds the threshold (missing j RHS →
+    // not evaluable → no violation).
+    let rhs = rfd.rhs();
+    !tj[rhs.attr].is_null()
+        && oracle.distance_bounded(rel, rhs.attr, row, j, rhs.threshold).is_none()
+}
+
+/// The per-RFD witness predicate for `attr`-as-RHS entries (`Full` scope):
+/// `j` witnesses a rejection iff it has a value on `attr` and satisfies
+/// the RFD's whole LHS against `row`.
+pub(crate) fn far_witness(
+    oracle: &DistanceOracle,
+    rel: &Relation,
+    row: usize,
+    attr: AttrId,
+    rfd: &Rfd,
+    j: usize,
+) -> bool {
+    if j == row {
+        return false;
+    }
+    if rel.tuple(j)[attr].is_null() {
+        return false; // RHS pair not evaluable
+    }
+    rfd.lhs().iter().all(|c| oracle.distance_bounded(rel, c.attr, row, j, c.threshold).is_some())
+}
+
 /// A precompiled consistency check for one cell `(row, attr)`.
 ///
 /// [`is_faultless`] rescans every pair for every candidate, but only the
@@ -67,20 +156,84 @@ pub fn is_faultless<'a>(
 ///   precompute the rows that satisfy the whole LHS — a candidate is
 ///   rejected iff it is beyond the RHS threshold from such a row's value.
 ///
+/// When the imputed column is matrix-encoded by the [`DistanceOracle`],
+/// each witness set is additionally collapsed to a `u64`-block bitset over
+/// the column's *dictionary codes* — distinct witness values, not rows.
+/// [`VerifyPlan::admits`] then resolves the donor's code, lazily builds a
+/// "codes within threshold of this donor" mask straight from the distance
+/// matrix (memoized per `(threshold, donor code)` across entries), and
+/// decides each entry with word-AND sweeps instead of per-row oracle
+/// calls. Rows whose value fell outside the dictionary stay on the exact
+/// per-row path, so decisions are bit-identical to the row loop.
+///
 /// Equivalent to [`is_faultless`] (asserted by tests and the
 /// `verify_plan_matches_reference` property test in `tests/`), but one
 /// relation scan per cell instead of one per candidate.
 pub struct VerifyPlan {
-    /// `(attr threshold, rows)` — reject when the candidate value is
-    /// *within* the threshold of any listed row's value on the imputed
-    /// attribute.
-    reject_if_close: Vec<(f64, Vec<usize>)>,
-    /// `(RHS threshold, rows)` — reject when the candidate value is
-    /// *beyond* the threshold from any listed row's value.
-    reject_if_far: Vec<(f64, Vec<usize>)>,
+    /// Reject when the candidate value is *within* the threshold of any
+    /// listed row's value on the imputed attribute.
+    reject_if_close: Vec<WitnessSet>,
+    /// Reject when the candidate value is *beyond* the threshold from any
+    /// listed row's value.
+    reject_if_far: Vec<WitnessSet>,
+    /// `(threshold bits, donor code) → codes within threshold` masks,
+    /// shared across entries. `admits` runs in the sequential candidate
+    /// loop, so interior mutability through `RefCell` is safe.
+    masks: RefCell<MaskMemo>,
 }
 
-use renuver_distance::{intersect_sorted, DistanceOracle, SimilarityIndex};
+/// Memoized "codes within threshold of this donor" bitset masks, keyed by
+/// `(threshold bits, donor code)`.
+type MaskMemo = HashMap<(u64, u32), Box<[u64]>>;
+
+/// One compiled entry of a [`VerifyPlan`].
+struct WitnessSet {
+    thr: f64,
+    /// All witness rows, ascending — the exact fallback path, used when
+    /// the column is not matrix-encoded or the donor's value is not in
+    /// the dictionary.
+    rows: Vec<usize>,
+    /// Distinct dictionary codes of the witnesses' values on the imputed
+    /// attribute, as a `u64`-block bitset over the column dictionary;
+    /// `None` when the column is not matrix-encoded.
+    codes: Option<Box<[u64]>>,
+    /// Witness rows whose value lies outside the dictionary — always
+    /// checked per-row through the oracle.
+    foreign: Vec<usize>,
+}
+
+impl WitnessSet {
+    fn build(view: Option<&MatrixView<'_>>, thr: f64, rows: Vec<usize>) -> WitnessSet {
+        let Some(view) = view else {
+            return WitnessSet { thr, rows, codes: None, foreign: Vec::new() };
+        };
+        let mut codes = vec![0u64; view.dict_len().div_ceil(64)].into_boxed_slice();
+        let mut foreign = Vec::new();
+        for &j in &rows {
+            match view.code(j) {
+                RowCode::Code(c) => codes[(c / 64) as usize] |= 1 << (c % 64),
+                // Foreign values take the per-row oracle path; a null here
+                // is impossible (witness predicates require a value) but
+                // the per-row path answers it correctly regardless.
+                RowCode::Foreign | RowCode::Null => foreign.push(j),
+            }
+        }
+        WitnessSet { thr, rows, codes: Some(codes), foreign }
+    }
+}
+
+/// Bitset of the dictionary codes within `thr` of code `d`, read straight
+/// off the distance matrix row.
+fn within_mask(view: &MatrixView<'_>, d: u32, thr: f64) -> Box<[u64]> {
+    let k = view.dict_len();
+    let mut mask = vec![0u64; k.div_ceil(64)].into_boxed_slice();
+    for c in 0..k as u32 {
+        if view.distance(d, c) <= thr {
+            mask[(c / 64) as usize] |= 1 << (c % 64);
+        }
+    }
+    mask
+}
 
 /// Collects the rows `0..n` (minus nothing — callers exclude rows inside
 /// `pred`) satisfying `pred`, in ascending order. Falls back to a plain
@@ -123,7 +276,8 @@ impl VerifyPlan {
         sigma: impl Iterator<Item = &'a Rfd>,
         scope: VerifyScope,
     ) -> VerifyPlan {
-        Self::build_inner(oracle, None, rel, row, attr, sigma, scope, None)
+        let lists = Self::collect_witnesses(oracle, None, rel, row, attr, sigma, scope, None);
+        Self::from_witnesses(oracle, attr, &lists)
     }
 
     /// [`VerifyPlan::build`] with an optional [`SimilarityIndex`]: each
@@ -141,7 +295,8 @@ impl VerifyPlan {
         sigma: impl Iterator<Item = &'a Rfd>,
         scope: VerifyScope,
     ) -> VerifyPlan {
-        Self::build_inner(oracle, index, rel, row, attr, sigma, scope, None)
+        let lists = Self::collect_witnesses(oracle, index, rel, row, attr, sigma, scope, None);
+        Self::from_witnesses(oracle, attr, &lists)
     }
 
     /// [`VerifyPlan::build`] restricted to `rows` as the only potential
@@ -160,11 +315,16 @@ impl VerifyPlan {
         scope: VerifyScope,
         rows: &[usize],
     ) -> VerifyPlan {
-        Self::build_inner(oracle, None, rel, row, attr, sigma, scope, Some(rows))
+        let lists =
+            Self::collect_witnesses(oracle, None, rel, row, attr, sigma, scope, Some(rows));
+        Self::from_witnesses(oracle, attr, &lists)
     }
 
+    /// The expensive half of plan building: scan the relation once per
+    /// relevant RFD for its violation witnesses. Empty lists are kept (see
+    /// [`WitnessLists`]); [`VerifyPlan::from_witnesses`] drops them.
     #[allow(clippy::too_many_arguments)]
-    fn build_inner<'a>(
+    pub(crate) fn collect_witnesses<'a>(
         oracle: &DistanceOracle,
         index: Option<&SimilarityIndex>,
         rel: &Relation,
@@ -173,7 +333,7 @@ impl VerifyPlan {
         sigma: impl Iterator<Item = &'a Rfd>,
         scope: VerifyScope,
         restrict: Option<&[usize]>,
-    ) -> VerifyPlan {
+    ) -> WitnessLists {
         debug_assert!(rel.is_missing(row, attr));
         // Superset of the rows within threshold of `row` on every *indexed*
         // constraint in `lhs` (minus the `skip` attribute); `None` when no
@@ -203,15 +363,13 @@ impl VerifyPlan {
             }
             base
         };
-        let mut reject_if_close = Vec::new();
-        let mut reject_if_far = Vec::new();
+        let mut entries = Vec::new();
         let t = rel.tuple(row);
-        for rfd in sigma {
+        for (sigma_idx, rfd) in sigma.enumerate() {
             if rfd.lhs_contains(attr) {
                 // Candidate-independent parts: the other LHS constraints
                 // and the (fixed) RHS comparison.
-                let rhs = rfd.rhs();
-                if t[rhs.attr].is_null() {
+                if t[rfd.rhs().attr].is_null() {
                     continue; // RHS not evaluable → cannot violate
                 }
                 let Some(attr_thr) =
@@ -221,57 +379,59 @@ impl VerifyPlan {
                 };
                 let base = index_base(rfd.lhs(), Some(attr));
                 let rows = collect_rows(rel.len(), base.as_deref().or(restrict), |j| {
-                    if j == row {
-                        return false;
-                    }
-                    let tj = rel.tuple(j);
-                    if tj[attr].is_null() {
-                        return false; // pair can never satisfy the attr constraint
-                    }
-                    for c in rfd.lhs() {
-                        if c.attr == attr {
-                            continue;
-                        }
-                        if oracle.distance_bounded(rel, c.attr, row, j, c.threshold).is_none() {
-                            return false;
-                        }
-                    }
-                    // Violates iff RHS distance exceeds the threshold
-                    // (missing j RHS → not evaluable → no violation).
-                    !tj[rhs.attr].is_null()
-                        && oracle
-                            .distance_bounded(rel, rhs.attr, row, j, rhs.threshold)
-                            .is_none()
+                    close_witness(oracle, rel, row, attr, rfd, j)
                 });
-                if !rows.is_empty() {
-                    reject_if_close.push((attr_thr, rows));
-                }
+                entries.push(RfdWitnesses {
+                    sigma_idx,
+                    kind: WitnessKind::Close,
+                    thr: attr_thr,
+                    rows,
+                });
             } else if scope == VerifyScope::Full && rfd.rhs_attr() == attr {
                 // LHS is fully candidate-independent.
                 let base = index_base(rfd.lhs(), None);
                 let rows = collect_rows(rel.len(), base.as_deref().or(restrict), |j| {
-                    if j == row {
-                        return false;
-                    }
-                    if rel.tuple(j)[attr].is_null() {
-                        return false; // RHS pair not evaluable
-                    }
-                    rfd.lhs().iter().all(|c| {
-                        oracle.distance_bounded(rel, c.attr, row, j, c.threshold).is_some()
-                    })
+                    far_witness(oracle, rel, row, attr, rfd, j)
                 });
-                if !rows.is_empty() {
-                    reject_if_far.push((rfd.rhs_threshold(), rows));
-                }
+                entries.push(RfdWitnesses {
+                    sigma_idx,
+                    kind: WitnessKind::Far,
+                    thr: rfd.rhs_threshold(),
+                    rows,
+                });
             }
         }
-        VerifyPlan { reject_if_close, reject_if_far }
+        WitnessLists(entries)
+    }
+
+    /// Compiles witness lists into an admissibility plan: code bitsets for
+    /// matrix-encoded columns, exact row lists otherwise.
+    pub(crate) fn from_witnesses(
+        oracle: &DistanceOracle,
+        attr: AttrId,
+        lists: &WitnessLists,
+    ) -> VerifyPlan {
+        let view = oracle.matrix_view(attr);
+        let mut reject_if_close = Vec::new();
+        let mut reject_if_far = Vec::new();
+        for w in &lists.0 {
+            if w.rows.is_empty() {
+                continue; // an empty witness list can never reject
+            }
+            let set = WitnessSet::build(view.as_ref(), w.thr, w.rows.clone());
+            match w.kind {
+                WitnessKind::Close => reject_if_close.push(set),
+                WitnessKind::Far => reject_if_far.push(set),
+            }
+        }
+        VerifyPlan { reject_if_close, reject_if_far, masks: RefCell::new(HashMap::new()) }
     }
 
     /// `true` iff imputing the cell with the value of `donor_row` on the
     /// imputed attribute keeps the instance consistent. Candidates are
-    /// always values of existing tuples (Algorithm 3), so the comparison is
-    /// a pair of oracle lookups per constraining row.
+    /// always values of existing tuples (Algorithm 3), so the comparison
+    /// is a pair of oracle lookups per constraining row — or, on the
+    /// matrix fast path, one word-AND sweep per entry.
     pub fn admits(
         &self,
         oracle: &DistanceOracle,
@@ -279,23 +439,59 @@ impl VerifyPlan {
         attr: AttrId,
         donor_row: usize,
     ) -> bool {
-        for (thr, rows) in &self.reject_if_close {
-            if rows
-                .iter()
-                .any(|&j| oracle.distance_bounded(rel, attr, donor_row, j, *thr).is_some())
-            {
+        let view = oracle.matrix_view(attr);
+        let donor_code = view.as_ref().and_then(|v| match v.code(donor_row) {
+            RowCode::Code(c) => Some(c),
+            RowCode::Foreign | RowCode::Null => None,
+        });
+        for set in &self.reject_if_close {
+            if self.rejects(oracle, rel, attr, donor_row, view.as_ref(), donor_code, set, true) {
                 return false;
             }
         }
-        for (thr, rows) in &self.reject_if_far {
-            if rows
-                .iter()
-                .any(|&j| oracle.distance_bounded(rel, attr, donor_row, j, *thr).is_none())
-            {
+        for set in &self.reject_if_far {
+            if self.rejects(oracle, rel, attr, donor_row, view.as_ref(), donor_code, set, false) {
                 return false;
             }
         }
         true
+    }
+
+    /// Decides one entry: `close` rejects on a witness *within* `thr`,
+    /// `!close` (far) on a witness *beyond* it. Both reduce to "some
+    /// witness whose within-ness equals `close`".
+    #[allow(clippy::too_many_arguments)]
+    fn rejects(
+        &self,
+        oracle: &DistanceOracle,
+        rel: &Relation,
+        attr: AttrId,
+        donor_row: usize,
+        view: Option<&MatrixView<'_>>,
+        donor_code: Option<u32>,
+        set: &WitnessSet,
+        close: bool,
+    ) -> bool {
+        if let (Some(view), Some(d), Some(codes)) = (view, donor_code, set.codes.as_ref()) {
+            let coded_hit = {
+                let mut masks = self.masks.borrow_mut();
+                let mask = masks
+                    .entry((set.thr.to_bits(), d))
+                    .or_insert_with(|| within_mask(view, d, set.thr));
+                if close {
+                    codes.iter().zip(mask.iter()).any(|(&w, &m)| w & m != 0)
+                } else {
+                    codes.iter().zip(mask.iter()).any(|(&w, &m)| w & !m != 0)
+                }
+            };
+            return coded_hit
+                || set.foreign.iter().any(|&j| {
+                    oracle.distance_bounded(rel, attr, donor_row, j, set.thr).is_some() == close
+                });
+        }
+        set.rows
+            .iter()
+            .any(|&j| oracle.distance_bounded(rel, attr, donor_row, j, set.thr).is_some() == close)
     }
 }
 
@@ -460,6 +656,89 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn bitset_plan_admits_exactly_like_direct_plan() {
+        // The same plan compiled against a matrix-backed oracle (code
+        // bitsets + word-AND sweeps) and a direct oracle (per-row distance
+        // calls) must admit identically for every donor — the fast path is
+        // an encoding of the row loop, not an approximation of it.
+        let rel = restaurant_sample();
+        let matrix = DistanceOracle::build(&rel, 3000);
+        let direct = DistanceOracle::direct(&rel);
+        let sigma = [
+            Rfd::new(vec![Constraint::new(2, 1.0)], Constraint::new(4, 0.0)),
+            Rfd::new(
+                vec![Constraint::new(0, 8.0), Constraint::new(2, 0.0)],
+                Constraint::new(1, 9.0),
+            ),
+            Rfd::new(vec![Constraint::new(0, 20.0)], Constraint::new(2, 2.0)),
+            Rfd::new(vec![Constraint::new(1, 2.0)], Constraint::new(2, 1.0)),
+        ];
+        for scope in [VerifyScope::LhsOnly, VerifyScope::Full] {
+            for (row, attr) in [(6, 2), (3, 2), (5, 1), (4, 3)] {
+                let fast = VerifyPlan::build(&matrix, &rel, row, attr, sigma.iter(), scope);
+                let slow = VerifyPlan::build(&direct, &rel, row, attr, sigma.iter(), scope);
+                for donor in 0..rel.len() {
+                    if rel.is_missing(donor, attr) {
+                        continue;
+                    }
+                    assert_eq!(
+                        fast.admits(&matrix, &rel, attr, donor),
+                        slow.admits(&direct, &rel, attr, donor),
+                        "scope {scope:?} cell ({row},{attr}) donor {donor}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_plan_matches_witness_lists() {
+        // `collect_witnesses` + `from_witnesses` is the composition the
+        // batch cache relies on: recompiling stored lists yields a plan
+        // that admits exactly like a fresh build, and re-running the
+        // per-row predicates reproduces every stored list.
+        let rel = restaurant_sample();
+        let oracle = DistanceOracle::build(&rel, 3000);
+        let sigma = [
+            Rfd::new(vec![Constraint::new(2, 1.0)], Constraint::new(4, 0.0)),
+            Rfd::new(vec![Constraint::new(0, 20.0)], Constraint::new(2, 2.0)),
+        ];
+        let (row, attr) = (6, 2);
+        let lists = VerifyPlan::collect_witnesses(
+            &oracle,
+            None,
+            &rel,
+            row,
+            attr,
+            sigma.iter(),
+            VerifyScope::Full,
+            None,
+        );
+        for w in &lists.0 {
+            let rfd = &sigma[w.sigma_idx];
+            let fresh: Vec<usize> = (0..rel.len())
+                .filter(|&j| match w.kind {
+                    WitnessKind::Close => close_witness(&oracle, &rel, row, attr, rfd, j),
+                    WitnessKind::Far => far_witness(&oracle, &rel, row, attr, rfd, j),
+                })
+                .collect();
+            assert_eq!(w.rows, fresh, "rfd {} kind {:?}", w.sigma_idx, w.kind);
+        }
+        let recompiled = VerifyPlan::from_witnesses(&oracle, attr, &lists);
+        let fresh = VerifyPlan::build(&oracle, &rel, row, attr, sigma.iter(), VerifyScope::Full);
+        for donor in 0..rel.len() {
+            if rel.is_missing(donor, attr) {
+                continue;
+            }
+            assert_eq!(
+                recompiled.admits(&oracle, &rel, attr, donor),
+                fresh.admits(&oracle, &rel, attr, donor),
+                "donor {donor}"
+            );
         }
     }
 

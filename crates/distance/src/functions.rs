@@ -1,12 +1,19 @@
-//! Scalar distance functions (`δ_A` in the paper's notation).
+//! Distance functions (`δ_A` in the paper's notation) and the kernel
+//! dispatch between the scalar dynamic programs and the bit-parallel
+//! Myers kernels in [`crate::kernels`].
 
 use renuver_data::Value;
 
+use crate::kernels;
+
 /// Levenshtein edit distance between two strings, computed over Unicode
-/// scalar values with the classic two-row dynamic program.
+/// scalar values.
 ///
 /// This is the `δ` used for text attributes (paper Section 5.3, ref. \[25\]):
 /// e.g. `levenshtein("Fenix", "Fenix Argyle") == 7` as in Example 5.5.
+/// Long inputs run Myers' bit-parallel kernel, short ones the classic
+/// two-row dynamic program; both are exact, so the dispatch is invisible
+/// ([`levenshtein_scalar`] is the pinned reference).
 pub fn levenshtein(a: &str, b: &str) -> usize {
     if let Some(d) = zero_if_equal(a, b) {
         return d;
@@ -14,6 +21,18 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     lev_core(&a, &b)
+}
+
+/// The scalar two-row dynamic program, with no bit-parallel dispatch —
+/// the reference implementation the parity tests and the kernel
+/// benchmark compare against.
+pub fn levenshtein_scalar(a: &str, b: &str) -> usize {
+    if let Some(d) = zero_if_equal(a, b) {
+        return d;
+    }
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    lev_core_scalar(&a, &b)
 }
 
 /// Equality short-circuit shared by both Levenshtein kernels: identical
@@ -25,10 +44,21 @@ fn zero_if_equal(a: &str, b: &str) -> Option<usize> {
     (a == b).then_some(0)
 }
 
-/// Levenshtein over pre-collected char slices — the kernel shared by
-/// [`levenshtein`] and the oracle's matrix fill (which collects each
-/// dictionary value's chars once instead of once per pair).
+/// Levenshtein over pre-collected char slices — the dispatch point shared
+/// by [`levenshtein`] and the oracle's matrix fill (which collects each
+/// dictionary value's chars once instead of once per pair). Routes to the
+/// bit-parallel kernel once the shorter side clears
+/// [`kernels::MYERS_MIN_CHARS`].
 pub(crate) fn lev_core(a: &[char], b: &[char]) -> usize {
+    let short_len = a.len().min(b.len());
+    if kernels::myers_wins(short_len, None) {
+        return kernels::myers_distance(a, b);
+    }
+    lev_core_scalar(a, b)
+}
+
+/// The scalar two-row dynamic program over char slices.
+pub(crate) fn lev_core_scalar(a: &[char], b: &[char]) -> usize {
     // Keep the shorter string in the inner dimension to minimize the row.
     let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if short.is_empty() {
@@ -57,11 +87,21 @@ pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
     if let Some(d) = zero_if_equal(a, b) {
         return Some(d);
     }
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    if a.len().abs_diff(b.len()) > max {
+    // Allocation-free pre-checks ahead of the `Vec<char>` collects:
+    // over-bound megabyte pairs used to pay two large allocations just to
+    // fail the length filter. First from byte lengths alone (a UTF-8
+    // string of `l` bytes holds between `⌈l/4⌉` and `l` chars, so the
+    // char-count gap is at least `char_gap_lower_bound`), then — when the
+    // byte bounds are inconclusive — from an exact allocation-free char
+    // count.
+    if char_gap_lower_bound(a.len(), b.len()) > max {
         return None;
     }
+    if a.chars().count().abs_diff(b.chars().count()) > max {
+        return None;
+    }
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
     // The distance never exceeds the longer length, so the band half-width
     // doesn't need to either — this also keeps the `i + max` band edge from
     // overflowing when callers pass a `usize::MAX`-style "unbounded" bound.
@@ -70,6 +110,44 @@ pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
     if short.is_empty() {
         return (long.len() <= max).then_some(long.len());
     }
+    if kernels::myers_wins(short.len(), Some(max)) {
+        return kernels::myers_distance_bounded(short, long, max);
+    }
+    lev_bounded_band(short, long, max)
+}
+
+/// The banded scalar kernel with no bit-parallel dispatch — the pinned
+/// reference for [`levenshtein_bounded`]. Same contract.
+pub fn levenshtein_bounded_scalar(a: &str, b: &str, max: usize) -> Option<usize> {
+    if let Some(d) = zero_if_equal(a, b) {
+        return Some(d);
+    }
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > max {
+        return None;
+    }
+    let max = max.min(a.len().max(b.len()));
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return (long.len() <= max).then_some(long.len());
+    }
+    lev_bounded_band(short, long, max)
+}
+
+/// Lower bound on `|chars(a) - chars(b)|` from byte lengths: UTF-8 packs
+/// 1–4 bytes per char, so `chars ∈ [⌈bytes/4⌉, bytes]` for each side.
+#[inline]
+fn char_gap_lower_bound(a_bytes: usize, b_bytes: usize) -> usize {
+    let gap_ab = a_bytes.div_ceil(4).saturating_sub(b_bytes);
+    let gap_ba = b_bytes.div_ceil(4).saturating_sub(a_bytes);
+    gap_ab.max(gap_ba)
+}
+
+/// The Ukkonen band over pre-collected, pre-ordered char slices
+/// (`short.len() <= long.len()`, `max` already clamped, `short`
+/// non-empty).
+fn lev_bounded_band(short: &[char], long: &[char], max: usize) -> Option<usize> {
     // Banded DP (Ukkonen): `d[i][j] >= |i - j|`, so any cell farther than
     // `max` from the diagonal can never contribute to a within-bound
     // answer. Restricting each row to the `2·max + 1` band makes the cost
@@ -193,6 +271,41 @@ mod tests {
     #[test]
     fn bounded_early_exit_on_length_gap() {
         assert_eq!(levenshtein_bounded("a", "abcdefgh", 3), None);
+    }
+
+    #[test]
+    fn bounded_over_bound_long_pairs_exit_before_collecting() {
+        // Regression: both `Vec<char>` collects used to run before the
+        // length filter, so over-bound megabyte pairs paid two large
+        // allocations just to return `None`. The byte-bound pre-check
+        // catches grossly mismatched lengths from `str::len` alone…
+        let giant = "x".repeat(1 << 22);
+        assert_eq!(levenshtein_bounded(&giant, "tiny", 5), None);
+        // …and the allocation-free char count catches near-equal byte
+        // lengths whose char difference still exceeds the bound.
+        let longer = "x".repeat((1 << 22) + 7);
+        assert_eq!(levenshtein_bounded(&giant, &longer, 6), None);
+        // A within-bound pair of the same scale must still answer.
+        let close = format!("{giant}yz");
+        assert_eq!(levenshtein_bounded(&giant, &close, 6), Some(2));
+    }
+
+    #[test]
+    fn char_gap_lower_bound_is_a_true_lower_bound() {
+        for (a, b) in [
+            ("", ""),
+            ("a", "abcdefgh"),
+            ("日本語", "ab"),
+            ("💧💧💧", "x"),
+            ("ascii only", "ascii only too"),
+            ("🌊🌊🌊🌊🌊🌊🌊🌊", "y"),
+        ] {
+            let gap = a.chars().count().abs_diff(b.chars().count());
+            assert!(
+                char_gap_lower_bound(a.len(), b.len()) <= gap,
+                "bound overshot the real gap on {a:?} vs {b:?}"
+            );
+        }
     }
 
     #[test]

@@ -25,7 +25,12 @@
 //! uses (`DistanceOracle::distance_bounded` or the pair checks built on
 //! it), so the indexed paths produce bit-for-bit identical results by
 //! construction: the index only decides which rows are *worth* the exact
-//! check. Values the index cannot reason about (post-update values outside
+//! check. Those re-checks inherit the kernel dispatch in
+//! [`crate::functions`]: matrix-backed attributes answer from the
+//! Myers-filled dictionary matrix, and foreign/overflow rows run the
+//! dispatched bounded kernel directly — so accelerating the kernels
+//! speeds up the index's re-check path without touching this module's
+//! pruning logic (`tests/kernel_parity.rs` pins the kernels themselves). Values the index cannot reason about (post-update values outside
 //! the dictionary, non-text values in a text column) are always included.
 //! The differential harness in `tests/index_differential.rs` asserts the
 //! equivalence end to end.

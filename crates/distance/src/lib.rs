@@ -10,11 +10,16 @@
 pub mod extra;
 pub mod functions;
 pub mod index;
+pub mod kernels;
 pub mod oracle;
 pub mod pattern;
 
 pub use extra::{jaccard_token_distance, jaro_winkler_distance, soundex};
-pub use functions::{levenshtein, levenshtein_bounded, value_distance};
+pub use functions::{
+    levenshtein, levenshtein_bounded, levenshtein_bounded_scalar, levenshtein_scalar,
+    value_distance,
+};
 pub use index::{intersect_sorted, union_sorted, AttrSnapshot, SimilarityIndex};
-pub use oracle::{ColumnSnapshot, DistanceOracle};
+pub use kernels::{myers_levenshtein, myers_levenshtein_bounded, MyersPattern};
+pub use oracle::{ColumnSnapshot, DistanceOracle, MatrixView, RowCode};
 pub use pattern::DistancePattern;

@@ -18,6 +18,7 @@ use renuver_data::{AttrId, AttrType, Relation, Value};
 use renuver_obs::{Counter, FieldValue, Metrics, Tracer};
 
 use crate::functions::{lev_core, value_distance, value_distance_bounded};
+use crate::kernels;
 
 /// Dictionary values longer than this never enter a precomputed matrix:
 /// one megabyte-scale cell would turn the `O(k²)` fill into gigabytes of
@@ -182,6 +183,13 @@ impl DistanceOracle {
                 if budget.check("distance::matrix_fill").is_err() {
                     return None;
                 }
+                // Long dictionary values run Myers' bit-parallel kernel
+                // with the Peq preprocessing amortized over the whole row
+                // of the matrix; short values keep the two-row DP. Both
+                // kernels are exact, so the matrix is bit-identical
+                // either way.
+                let pattern = (kernels::myers_wins(chars[a].len(), None))
+                    .then(|| kernels::MyersPattern::new(&chars[a]));
                 let mut tail = Vec::with_capacity(k - a - 1);
                 for (off, b) in ((a + 1)..k).enumerate() {
                     if off % FILL_CHECK_STRIDE == FILL_CHECK_STRIDE - 1
@@ -189,7 +197,11 @@ impl DistanceOracle {
                     {
                         return None;
                     }
-                    tail.push(lev_core(&chars[a], &chars[b]) as f32);
+                    let d = match &pattern {
+                        Some(p) => p.distance(&chars[b]),
+                        None => lev_core(&chars[a], &chars[b]),
+                    };
+                    tail.push(d as f32);
                 }
                 Some(tail)
             });
@@ -332,6 +344,22 @@ impl DistanceOracle {
         }
     }
 
+    /// A borrowed view over one matrix-encoded column, or `None` when the
+    /// column has no precomputed matrix (numeric, over-cap, degraded).
+    /// Bulk consumers — the [`crate::SimilarityIndex`] rebuild paths and
+    /// the core crate's bitset verification — use this to work in
+    /// dictionary-code space without per-row `Vec` materialization.
+    pub fn matrix_view(&self, attr: AttrId) -> Option<MatrixView<'_>> {
+        match &self.tables[attr] {
+            ColumnTable::Matrix { dict_len, data, .. } => Some(MatrixView {
+                codes: &self.codes[attr],
+                dict_len: *dict_len,
+                data,
+            }),
+            _ => None,
+        }
+    }
+
     /// Re-interns a cell after its value changed (e.g. an imputation).
     /// A value not present in the column's dictionary falls back to direct
     /// computation for that cell — imputers that copy existing values
@@ -457,6 +485,40 @@ impl DistanceOracle {
             }
         }
         Ok(DistanceOracle { codes, tables, stats: None })
+    }
+}
+
+/// Read-only view of a matrix-encoded text column: per-row dictionary
+/// status plus O(1) code-to-code distances. See
+/// [`DistanceOracle::matrix_view`].
+pub struct MatrixView<'a> {
+    codes: &'a [u32],
+    dict_len: usize,
+    data: &'a [f32],
+}
+
+impl MatrixView<'_> {
+    /// Number of distinct values in the dictionary.
+    pub fn dict_len(&self) -> usize {
+        self.dict_len
+    }
+
+    /// Dictionary status of one relation row.
+    #[inline]
+    pub fn code(&self, row: usize) -> RowCode {
+        match self.codes[row] {
+            NULL_CODE => RowCode::Null,
+            DIRECT_CODE => RowCode::Foreign,
+            c => RowCode::Code(c),
+        }
+    }
+
+    /// Distance between two dictionary codes — the same value the
+    /// matrix-backed [`DistanceOracle::distance`] answers for rows
+    /// carrying those codes.
+    #[inline]
+    pub fn distance(&self, a: u32, b: u32) -> f64 {
+        self.data[a as usize * self.dict_len + b as usize] as f64
     }
 }
 

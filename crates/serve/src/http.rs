@@ -165,12 +165,23 @@ pub fn read_request(
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse::<usize>().map_err(|_| HttpError::Malformed("bad Content-Length")))
-        .transpose()?
-        .unwrap_or(0);
+    // RFC 9110 §8.6: a message with multiple Content-Length field lines
+    // carrying different values must be rejected — honoring the first (or
+    // any) one desyncs body framing on keep-alive connections, the
+    // classic request-smuggling primitive. Repeats of the *same* valid
+    // value are tolerated, as the RFC permits.
+    let mut content_length = None;
+    for (_, v) in headers.iter().filter(|(k, _)| k == "content-length") {
+        let parsed = v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("bad Content-Length"))?;
+        match content_length {
+            None => content_length = Some(parsed),
+            Some(prev) if prev == parsed => {}
+            Some(_) => return Err(HttpError::Malformed("conflicting Content-Length headers")),
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
     if content_length > max_body {
         return Err(HttpError::BodyTooLarge { declared: content_length, limit: max_body });
     }
@@ -310,6 +321,30 @@ mod tests {
         ] {
             assert!(parse(raw).is_err(), "accepted {raw:?}");
         }
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_malformed() {
+        // Two different declared lengths: honoring either desyncs the
+        // connection, so the request must die as malformed (→ 400).
+        let err = parse(
+            b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 6\r\n\r\nbodyxx",
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(err, HttpError::Malformed("conflicting Content-Length headers")));
+        // A bad duplicate is malformed even when the first copy parses.
+        assert!(parse(b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: x\r\n\r\nbody")
+            .is_err());
+    }
+
+    #[test]
+    fn repeated_identical_content_lengths_are_tolerated() {
+        let req = parse(
+            b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"body");
     }
 
     #[test]

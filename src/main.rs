@@ -5,7 +5,7 @@
 //! renuver discover <data.csv> [--limit N] [--max-lhs N] [--out rfds.txt]
 //! renuver inject   <data.csv> --rate R [--seed S] --out incomplete.csv
 //! renuver impute   <data.csv> [--rfds rfds.txt | --limit N] [--out repaired.csv]
-//!                  [--full-verify] [--descending]
+//!                  [--full-verify] [--descending] [--no-batch-verify]
 //! renuver evaluate --original full.csv --incomplete holes.csv
 //!                  --imputed repaired.csv [--rules rules.txt]
 //! ```
@@ -52,6 +52,7 @@ const USAGE: &str = "usage:
   renuver impute   <data.csv> [--rfds rfds.txt | --limit N] [--out repaired.csv]
                    [--approach renuver|derand|holoclean|knn] [--explain]
                    [--donors donor.csv] [--full-verify] [--descending]
+                   [--no-batch-verify]
                    [--index-mode scan|indexed|auto] [budget flags]
   renuver evaluate --original full.csv --incomplete holes.csv \\
                    --imputed repaired.csv [--rules rules.txt | --auto-rules F]
@@ -301,7 +302,7 @@ fn flag_spec(cmd: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
         "impute" => {
             let mut v = vec!["--rfds", "--out", "--approach", "--donors", "--index-mode"];
             v.extend(discovery);
-            (v, vec!["--full-verify", "--descending", "--explain"])
+            (v, vec!["--full-verify", "--descending", "--explain", "--no-batch-verify"])
         }
         "evaluate" => (
             vec!["--original", "--incomplete", "--imputed", "--rules", "--auto-rules"],
@@ -584,6 +585,7 @@ fn impute_cmd(args: &Args) -> Result<(), String> {
         index_mode: index_mode_from_args(args)?,
         tracer: tspec.tracer.clone(),
         explain: args.has("--explain"),
+        batch_verify: !args.has("--no-batch-verify"),
         ..RenuverConfig::default()
     };
     if approach == "derand" {

@@ -1,0 +1,504 @@
+//! Differential harness: the batch-verification cache must be bit-for-bit
+//! identical to the uncached per-cell scans.
+//!
+//! The signature-sharing cache (`renuver_core::batch`) lets missing cells
+//! with the same imputed attribute and LHS value signature share one
+//! witness scan and one candidate scan per cluster. Soundness rests on
+//! three invariants (documented in the module): signatures cover every
+//! target-row read, every relation write lands in the affected entries'
+//! pending sets and is re-evaluated with the exact scan predicates on
+//! reuse, and key reactivation bumps a version that invalidates
+//! cluster-composition-dependent lists. These tests pin the resulting
+//! contract — `batch_verify: true` and `batch_verify: false` produce the
+//! same [`ImputationResult`] — at three levels:
+//!
+//! 1. **End-to-end proptest** — full results (repaired relation, imputed
+//!    cells, outcomes, stats, trace) compared on random relations and RFD
+//!    sets, in both `IndexMode::Scan` and `IndexMode::Indexed`.
+//! 2. **Deterministic fixtures** — signature-heavy relations where the
+//!    cache demonstrably engages (`core.batch_plans_reused > 0`),
+//!    interleaved writes turn imputed rows into donors for later
+//!    same-signature cells, and key reactivation forces a version bump.
+//! 3. **Engine batch path** — `Engine::impute_batch` compared across the
+//!    flag, since the serve `/v1/impute` path reuses prepared state.
+//!
+//! Budget-limited runs are compared too: the cache adds no budget
+//! checkpoints (the only in-loop poll is per-cell), so unlike the index
+//! differential, a tripped budget truncates both paths at the same cell.
+
+use proptest::prelude::*;
+
+use renuver::budget::Budget;
+use renuver::core::{Engine, ImputationResult, IndexMode, Renuver, RenuverConfig};
+use renuver::data::{AttrType, Relation, Schema, Value};
+use renuver::datasets::Dataset;
+use renuver::eval::inject;
+use renuver::obs::Tracer;
+use renuver::rfd::discovery::{discover, DiscoveryConfig};
+use renuver::rfd::{Constraint, Rfd, RfdSet};
+
+fn run_batch(rel: &Relation, sigma: &RfdSet, batch: bool, mode: IndexMode) -> ImputationResult {
+    let cfg = RenuverConfig {
+        parallelism: 1,
+        trace: true,
+        batch_verify: batch,
+        index_mode: mode,
+        ..RenuverConfig::default()
+    };
+    Renuver::new(cfg).impute(rel, sigma)
+}
+
+/// Canonical rendering of everything decision-relevant in a result — the
+/// same convention as `tests/index_differential.rs`: the budget report is
+/// excluded (elapsed time differs), and comparing `Debug` text makes NaN
+/// values compare equal to themselves.
+fn canon(r: &ImputationResult) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        r.relation, r.imputed, r.unimputed, r.outcomes, r.stats, r.trace
+    )
+}
+
+/// Asserts the cached and uncached runs agree under both the scan and the
+/// indexed donor-retrieval paths, and returns the uncached scan result.
+fn assert_batch_agrees(rel: &Relation, sigma: &RfdSet) -> ImputationResult {
+    let reference = run_batch(rel, sigma, false, IndexMode::Scan);
+    for mode in [IndexMode::Scan, IndexMode::Indexed] {
+        let cached = run_batch(rel, sigma, true, mode);
+        assert_eq!(
+            canon(&reference),
+            canon(&cached),
+            "batch-verify run diverged from uncached scan (mode={mode:?})"
+        );
+    }
+    reference
+}
+
+// ----------------------------------------------------- random generators
+
+/// Small random relations biased toward value collisions — shared-value
+/// columns are exactly what produces shared signatures, so the cache's
+/// reuse path (not just the miss path) gets random coverage. Mirrors
+/// `tests/index_differential.rs`.
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    let col_types = prop::collection::vec(
+        prop_oneof![
+            Just(AttrType::Int),
+            Just(AttrType::Float),
+            Just(AttrType::Text),
+        ],
+        2..5,
+    );
+    (col_types, 2usize..14).prop_flat_map(|(types, rows)| {
+        let schema = Schema::new(
+            types
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (format!("c{i}"), *t)),
+        )
+        .expect("generated names are distinct");
+        let cell = |ty: AttrType| -> BoxedStrategy<Value> {
+            match ty {
+                AttrType::Int => prop_oneof![
+                    1 => Just(Value::Null),
+                    6 => (-3i64..4).prop_map(Value::Int),
+                ]
+                .boxed(),
+                AttrType::Float => prop_oneof![
+                    1 => Just(Value::Null),
+                    5 => (-2.0f64..2.0).prop_map(|f| Value::Float((f * 2.0).round() / 2.0)),
+                    1 => Just(Value::Float(f64::NAN)),
+                    1 => Just(Value::Float(f64::INFINITY)),
+                ]
+                .boxed(),
+                _ => prop_oneof![
+                    1 => Just(Value::Null),
+                    6 => "[ab]{0,3}".prop_map(Value::from),
+                    1 => Just(Value::Text("αβ".into())),
+                ]
+                .boxed(),
+            }
+        };
+        let cells: Vec<BoxedStrategy<Value>> = types.iter().map(|t| cell(*t)).collect();
+        let row = BoxedStrategy::new(move |rng| {
+            cells.iter().map(|s| s.generate(rng)).collect::<Vec<Value>>()
+        });
+        prop::collection::vec(row, rows..rows + 1).prop_map(move |tuples| {
+            Relation::new(schema.clone(), tuples).expect("tuples match the schema")
+        })
+    })
+}
+
+/// Random RFD sets with the cache's hard thresholds: exact match, small
+/// bands, NaN, infinity.
+fn arb_rfds(arity: usize) -> BoxedStrategy<RfdSet> {
+    let thr = prop_oneof![
+        Just(0.0f64),
+        Just(1.0),
+        Just(2.0),
+        Just(5.0),
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+    ];
+    let rfd = (0..arity, 0..arity, thr.clone(), thr).prop_map(
+        move |(lhs, rhs, lhs_thr, rhs_thr)| {
+            let lhs = if lhs == rhs { (lhs + 1) % arity } else { lhs };
+            Rfd::new(vec![Constraint::new(lhs, lhs_thr)], Constraint::new(rhs, rhs_thr))
+        },
+    );
+    prop::collection::vec(rfd, 1..5).prop_map(RfdSet::from_vec).boxed()
+}
+
+/// Per-suite case count, overridable by `PROPTEST_CASES` for CI.
+fn cases(default_cases: u32) -> ProptestConfig {
+    let n = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_cases);
+    ProptestConfig::with_cases(n)
+}
+
+// ------------------------------------------------- end-to-end differential
+
+proptest! {
+    #![proptest_config(cases(96))]
+
+    /// The headline guarantee: full imputation runs make identical
+    /// decisions with the cache on and off, under scan and index alike.
+    #[test]
+    fn imputation_results_match_uncached(
+        input in arb_relation().prop_flat_map(|rel| {
+            let arity = rel.arity();
+            (Just(rel), arb_rfds(arity))
+        }),
+    ) {
+        let (rel, sigma) = input;
+        let reference = run_batch(&rel, &sigma, false, IndexMode::Scan);
+        for mode in [IndexMode::Scan, IndexMode::Indexed] {
+            let cached = run_batch(&rel, &sigma, true, mode);
+            prop_assert_eq!(canon(&reference), canon(&cached), "mode={:?}", mode);
+        }
+        prop_assert_eq!(
+            reference.stats.imputed + reference.stats.unimputed,
+            reference.stats.missing_total
+        );
+    }
+}
+
+#[test]
+fn restaurant_sample_identical_across_flag() {
+    let rel = Dataset::Restaurant.relation(11);
+    let (incomplete, _truth) = inject(&rel, 0.03, 11);
+    let sigma = discover(
+        &incomplete,
+        &DiscoveryConfig { max_lhs: 2, ..DiscoveryConfig::with_limit(6.0) },
+    );
+    let result = assert_batch_agrees(&incomplete, &sigma);
+    assert!(result.stats.imputed > 0, "degenerate fixture: nothing imputed");
+}
+
+/// 5 000 rows with planted RFDs — the scale at which the index engages,
+/// so both retrieval paths run in earnest under the cache. A higher
+/// injection rate than the index differential uses (1% vs 0.2%) makes
+/// same-signature collisions near-certain across 40 cities.
+fn synthetic_5k() -> (Relation, RfdSet) {
+    let schema = Schema::new([
+        ("Name", AttrType::Text),
+        ("City", AttrType::Text),
+        ("Zip", AttrType::Text),
+        ("Class", AttrType::Int),
+    ])
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..5_000usize)
+        .map(|i| {
+            let city_id = i % 40;
+            vec![
+                Value::from(format!("Shop-{:04}", i % 800).as_str()),
+                Value::from(format!("City{city_id:02}").as_str()),
+                Value::from(format!("9{:04}", city_id * 7).as_str()),
+                Value::Int((i % 9) as i64),
+            ]
+        })
+        .collect();
+    let rel = Relation::new(schema, rows).unwrap();
+    let sigma = RfdSet::from_text(
+        "City(<=0) -> Zip(<=0)\n\
+         Zip(<=1) -> City(<=3)\n\
+         Name(<=3) -> City(<=6)\n\
+         Zip(<=0) -> Class(<=8)",
+        rel.schema(),
+    )
+    .unwrap();
+    (rel, sigma)
+}
+
+#[test]
+fn synthetic_5k_identical_across_flag() {
+    let (rel, sigma) = synthetic_5k();
+    let (incomplete, truth) = inject(&rel, 0.01, 23);
+    assert!(truth.len() > 100, "fixture should knock out a couple hundred cells");
+    let result = assert_batch_agrees(&incomplete, &sigma);
+    assert!(result.stats.imputed > 0, "degenerate fixture: nothing imputed");
+}
+
+// ------------------------------------------------- deterministic fixtures
+
+fn text_relation(cols: &[(&str, &[&str])]) -> Relation {
+    let schema =
+        Schema::new(cols.iter().map(|(n, _)| ((*n).to_owned(), AttrType::Text))).unwrap();
+    let rows = cols[0].1.len();
+    let tuples: Vec<Vec<Value>> = (0..rows)
+        .map(|i| {
+            cols.iter()
+                .map(|(_, vals)| match vals[i] {
+                    "_" => Value::Null,
+                    v => Value::from(v),
+                })
+                .collect()
+        })
+        .collect();
+    Relation::new(schema, tuples).unwrap()
+}
+
+/// Many missing `Zip` cells sharing a handful of `City` signatures: the
+/// fixture the cache exists for. 5 cities × 12 rows, every 4th Zip
+/// missing — each city contributes ~3 same-signature cells.
+fn signature_heavy() -> (Relation, RfdSet) {
+    let schema = Schema::new([
+        ("City", AttrType::Text),
+        ("Zip", AttrType::Text),
+        ("Class", AttrType::Int),
+    ])
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..60usize)
+        .map(|i| {
+            let city = i % 5;
+            vec![
+                Value::from(format!("City{city}").as_str()),
+                if i % 4 == 3 {
+                    Value::Null
+                } else {
+                    Value::from(format!("9{:03}", city * 11).as_str())
+                },
+                Value::Int((city * 2) as i64),
+            ]
+        })
+        .collect();
+    let rel = Relation::new(schema, rows).unwrap();
+    let sigma = RfdSet::from_text(
+        "City(<=0) -> Zip(<=0)\nCity(<=1) -> Zip(<=1)",
+        rel.schema(),
+    )
+    .unwrap();
+    (rel, sigma)
+}
+
+/// The cache must actually engage on the signature-heavy fixture — a
+/// differential suite that only ever exercises the miss path would pin
+/// nothing. The `core.batch_plans_*` counters come from the traced
+/// metrics roll-up.
+#[test]
+fn cache_engages_on_shared_signatures() {
+    let (rel, sigma) = signature_heavy();
+    assert_batch_agrees(&rel, &sigma);
+
+    let run_counters = |batch: bool| {
+        let tracer = Tracer::enabled();
+        let cfg = RenuverConfig {
+            parallelism: 1,
+            batch_verify: batch,
+            tracer: tracer.clone(),
+            ..RenuverConfig::default()
+        };
+        let result = Renuver::new(cfg).impute(&rel, &sigma);
+        let m = tracer.metrics();
+        (
+            result,
+            m.counter("core.batch_plans_built").get(),
+            m.counter("core.batch_plans_reused").get(),
+        )
+    };
+
+    let (on, built, reused) = run_counters(true);
+    assert!(on.stats.imputed > 0, "degenerate fixture: nothing imputed");
+    assert!(built > 0, "cache never built a plan");
+    assert!(reused > 0, "fixture shares signatures but no plan was reused");
+    // 5 cities, 15 missing Zip cells: far fewer distinct signatures than
+    // cells, so reuse must dominate.
+    assert!(
+        built + reused >= 15,
+        "every missing cell goes through the cache: built={built} reused={reused}"
+    );
+
+    let (off, built_off, reused_off) = run_counters(false);
+    assert_eq!(built_off, 0, "disabled cache must not build plans");
+    assert_eq!(reused_off, 0, "disabled cache must not reuse plans");
+    assert_eq!(on.stats.imputed, off.stats.imputed);
+}
+
+/// Imputed rows become donors for later same-signature cells: A(≤0) → B
+/// fills B values that then serve as LHS evidence for B(≤0) → C on cells
+/// whose signature was cached *before* the write. The pending-row
+/// reconciliation path is what keeps the two runs identical here.
+#[test]
+fn chained_writes_reconcile_into_cached_entries() {
+    let rel = text_relation(&[
+        ("A", &["k1", "k1", "k1", "k2", "k2", "k2", "k3", "k3"]),
+        ("B", &["v1", "_", "_", "v2", "_", "_", "v3", "_"]),
+        ("C", &["w1", "w1", "_", "w2", "_", "w2", "w3", "_"]),
+    ]);
+    let sigma = RfdSet::from_vec(vec![
+        Rfd::new(vec![Constraint::new(0, 0.0)], Constraint::new(1, 1.0)),
+        Rfd::new(vec![Constraint::new(1, 0.0)], Constraint::new(2, 1.0)),
+    ]);
+    let result = assert_batch_agrees(&rel, &sigma);
+    assert!(result.stats.imputed >= 4, "fixture should chain imputations");
+}
+
+/// Key reactivation mid-run (paper Example 5.1) changes which RFDs are
+/// usable, which changes cluster composition for every cell after the
+/// reactivation — the cache's version bump must discard stale cluster
+/// lists. Mirrors `key_reactivation_enables_late_imputation` in
+/// `algorithm.rs`, compared across the flag.
+#[test]
+fn key_reactivation_invalidates_cached_clusters() {
+    let schema = Schema::new([
+        ("A", AttrType::Int),
+        ("C", AttrType::Int),
+        ("B", AttrType::Int),
+    ])
+    .unwrap();
+    let rel = Relation::new(
+        schema,
+        vec![
+            vec![Value::Int(1), Value::Int(9), Value::Int(40)],
+            vec![Value::Int(1), Value::Null, Value::Null],
+            vec![Value::Int(5), Value::Int(8), Value::Int(77)],
+        ],
+    )
+    .unwrap();
+    let sigma = RfdSet::from_vec(vec![
+        Rfd::new(vec![Constraint::new(0, 0.0)], Constraint::new(1, 0.0)),
+        Rfd::new(vec![Constraint::new(1, 0.0)], Constraint::new(2, 0.0)),
+    ]);
+    let result = assert_batch_agrees(&rel, &sigma);
+    assert_eq!(result.stats.imputed, 2);
+    assert_eq!(result.stats.keys_reactivated, 1, "fixture must reactivate a key");
+}
+
+#[test]
+fn regression_nan_thresholds_and_values() {
+    // NaN thresholds and NaN/±0.0 floats stress the `KeyValue` bit-pattern
+    // signature (NaN == NaN, 0.0 != -0.0 under `to_bits`) and the mask
+    // memo keyed by `thr.to_bits()`.
+    let schema =
+        Schema::new([("N", AttrType::Float), ("B", AttrType::Text)]).unwrap();
+    let rel = Relation::new(
+        schema,
+        vec![
+            vec![Value::Float(1.0), Value::Text("p".into())],
+            vec![Value::Float(f64::NAN), Value::Text("p".into())],
+            vec![Value::Float(f64::NAN), Value::Null],
+            vec![Value::Float(-0.0), Value::Null],
+            vec![Value::Float(0.0), Value::Null],
+            vec![Value::Float(f64::INFINITY), Value::Text("q".into())],
+        ],
+    )
+    .unwrap();
+    for (lhs_thr, rhs_thr) in [
+        (1.0, 0.0),
+        (f64::NAN, 0.0),
+        (0.0, f64::NAN),
+        (f64::INFINITY, f64::INFINITY),
+    ] {
+        let sigma = RfdSet::from_vec(vec![Rfd::new(
+            vec![Constraint::new(0, lhs_thr)],
+            Constraint::new(1, rhs_thr),
+        )]);
+        assert_batch_agrees(&rel, &sigma);
+    }
+}
+
+#[test]
+fn regression_multi_attr_signatures_with_unicode() {
+    // Two-attribute LHS signatures, empty strings, and astral/unicode
+    // collisions; the missing column also appears on an LHS, so the
+    // read-set includes the written attribute itself.
+    let rel = text_relation(&[
+        ("A", &["", "αβγ", "αβ", "", "αβγ", "", "αβ", "αβγ"]),
+        ("B", &["x", "y", "x", "x", "y", "x", "x", "y"]),
+        ("C", &["p", "q", "_", "p", "_", "_", "r", "q"]),
+        ("D", &["u", "v", "u", "_", "v", "u", "_", "v"]),
+    ]);
+    let sigma = RfdSet::from_vec(vec![
+        Rfd::new(
+            vec![Constraint::new(0, 1.0), Constraint::new(1, 0.0)],
+            Constraint::new(2, 1.0),
+        ),
+        Rfd::new(vec![Constraint::new(2, 0.0)], Constraint::new(3, 1.0)),
+    ]);
+    assert_batch_agrees(&rel, &sigma);
+}
+
+// ----------------------------------------------------- budgets and engine
+
+#[test]
+fn budget_truncation_identical_across_flag() {
+    // The cache adds no budget checkpoints — the only in-loop poll is the
+    // per-cell `core::cell` check — so unlike cross-index comparisons,
+    // budget-limited runs must still agree bit-for-bit across the flag.
+    let (rel, sigma) = signature_heavy();
+    for ops in [0u64, 1, 8, 64, 256, 4096, 1 << 20] {
+        let run = |batch: bool| {
+            let cfg = RenuverConfig {
+                parallelism: 1,
+                trace: true,
+                batch_verify: batch,
+                budget: Budget::unlimited().with_ops_limit(ops),
+                ..RenuverConfig::default()
+            };
+            Renuver::new(cfg).impute(&rel, &sigma)
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(canon(&on), canon(&off), "ops={ops}");
+        assert_eq!(
+            on.stats.imputed + on.stats.unimputed,
+            on.stats.missing_total,
+            "ops={ops}"
+        );
+    }
+}
+
+#[test]
+fn engine_batches_identical_across_flag() {
+    // The serve path: a prepared engine imputing appended request tuples.
+    // `BatchResult`'s PartialEq already excludes the budget report.
+    let (rel, sigma) = signature_heavy();
+    let batch: Vec<Vec<Value>> = (0..6usize)
+        .map(|i| {
+            vec![
+                Value::from(format!("City{}", i % 3).as_str()),
+                Value::Null,
+                Value::Int((i % 3 * 2) as i64),
+            ]
+        })
+        .collect();
+    let engine_with = |flag: bool| {
+        let cfg = RenuverConfig {
+            parallelism: 1,
+            batch_verify: flag,
+            ..RenuverConfig::default()
+        };
+        Engine::prepare(rel.clone(), sigma.clone(), cfg)
+    };
+    let mut on = engine_with(true);
+    let mut off = engine_with(false);
+    let a = on.impute_batch(batch.clone()).unwrap();
+    let b = off.impute_batch(batch).unwrap();
+    assert_eq!(a, b, "engine batch diverged across batch_verify");
+    assert!(
+        a.outcomes.iter().any(|(_, o)| matches!(o, renuver::core::CellOutcome::Imputed)),
+        "degenerate fixture: no appended cell imputed"
+    );
+}

@@ -1,19 +1,28 @@
-//! Pins the bounded and unbounded Levenshtein kernels to each other over
-//! the fuzz corpus.
+//! Pins every Levenshtein kernel to the scalar reference over the fuzz
+//! corpus.
 //!
-//! The two kernels share `lev_core` and an equality short-circuit, but the
-//! bounded one adds a band (Ukkonen) and early exits; a divergence between
-//! them would silently corrupt the similarity index, whose q-gram filter
-//! verifies candidates with `levenshtein_bounded` while the scan path's
-//! distance matrix is filled by the unbounded kernel. Every token harvested
-//! from `tests/corpus/` — malformed CSV/ARFF fragments full of quotes,
+//! Four kernels must agree exactly: the scalar two-row DP
+//! (`levenshtein_scalar`, the reference), the banded Ukkonen DP
+//! (`levenshtein_bounded_scalar`), and Myers' bit-parallel kernel in both
+//! its unbounded and bounded forms. The public `levenshtein` /
+//! `levenshtein_bounded` entry points dispatch between them by input
+//! size, so a divergence would silently corrupt the oracle's distance
+//! matrix, the similarity index's candidate re-checks, and every
+//! verification sweep built on top. Every token harvested from
+//! `tests/corpus/` — malformed CSV/ARFF fragments full of quotes,
 //! control characters, and truncated multibyte text — is paired against
-//! every other and the kernels must agree exactly.
+//! every other and the kernels must agree exactly; long multi-word
+//! patterns, astral-plane unicode, and `usize::MAX`-style unbounded
+//! bounds get dedicated sections, plus proptest metric-property checks.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
-use renuver::distance::{levenshtein, levenshtein_bounded};
+use proptest::prelude::*;
+use renuver::distance::{
+    levenshtein, levenshtein_bounded, levenshtein_bounded_scalar, levenshtein_scalar,
+    myers_levenshtein, myers_levenshtein_bounded,
+};
 
 /// Harvest distinct tokens from the corpus: whole lines plus their
 /// comma-split cells, so both long malformed records and short field
@@ -76,6 +85,142 @@ fn bounded_kernel_matches_unbounded_on_fuzz_corpus() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn myers_kernels_match_scalar_dp_on_fuzz_corpus() {
+    // The bit-parallel kernels are exercised *directly* (bypassing the
+    // size dispatch, which would route short corpus tokens to the scalar
+    // path) against the scalar reference DP.
+    let tokens = corpus_tokens();
+    for a in &tokens {
+        for b in &tokens {
+            let d = levenshtein_scalar(a, b);
+            if !a.is_empty() && !b.is_empty() {
+                assert_eq!(myers_levenshtein(a, b), d, "Myers diverged on {a:?} vs {b:?}");
+            }
+            assert_eq!(
+                myers_levenshtein_bounded(a, b, usize::MAX),
+                Some(d),
+                "bounded Myers at usize::MAX diverged on {a:?} vs {b:?}"
+            );
+            assert_eq!(
+                myers_levenshtein_bounded(a, b, d),
+                Some(d),
+                "bounded Myers rejected its own distance on {a:?} vs {b:?}"
+            );
+            if d > 0 {
+                assert_eq!(
+                    myers_levenshtein_bounded(a, b, d - 1),
+                    None,
+                    "bounded Myers under-reported {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Stretches corpus tokens past 64 chars so the bit-vectors span several
+/// words, with the repetition offset by a marker to keep edits landing on
+/// block seams.
+fn long_tokens() -> Vec<String> {
+    let mut long = Vec::new();
+    for (i, t) in corpus_tokens().into_iter().filter(|t| !t.is_empty()).enumerate() {
+        let mut s = String::new();
+        while s.chars().count() <= 64 + (i % 80) {
+            s.push_str(&t);
+            s.push(char::from(b'a' + (i % 26) as u8));
+        }
+        long.push(s);
+        if long.len() == 24 {
+            break;
+        }
+    }
+    assert_eq!(long.len(), 24, "corpus harvest too small for long tokens");
+    long
+}
+
+#[test]
+fn myers_multi_word_patterns_match_scalar_dp() {
+    let tokens = long_tokens();
+    for a in &tokens {
+        assert!(a.chars().count() > 64, "long tokens must span >1 bit-vector word");
+        for b in &tokens {
+            let d = levenshtein_scalar(a, b);
+            assert_eq!(myers_levenshtein(a, b), d, "multi-word Myers diverged on {a:?} vs {b:?}");
+            assert_eq!(myers_levenshtein_bounded(a, b, d), Some(d));
+            if d > 0 {
+                assert_eq!(myers_levenshtein_bounded(a, b, d - 1), None);
+            }
+            // The dispatched public kernels must answer identically too.
+            assert_eq!(levenshtein(a, b), d);
+            assert_eq!(levenshtein_bounded(a, b, d), Some(d));
+            assert_eq!(levenshtein_bounded(a, b, usize::MAX), Some(d));
+        }
+    }
+}
+
+#[test]
+fn astral_plane_unicode_is_exact() {
+    // Astral-plane scalars (surrogate-pair territory in UTF-16, 4 bytes
+    // in UTF-8) must count as single chars in every kernel, including the
+    // sparse-Peq path of the bit-parallel kernel and the byte-length
+    // pre-check of the bounded dispatch.
+    let words = [
+        "𝔘𝔫𝔦𝔠𝔬𝔡𝔢",
+        "𝔘𝔫𝔦𝔠𝔬𝔡𝔢!",
+        "💧🌊💧🌊💧",
+        "💧🌊🌊💧",
+        "a💧b🌊c",
+        "abc",
+        "",
+    ];
+    let stretch: Vec<String> = words
+        .iter()
+        .map(|w| w.chars().cycle().take(90).collect::<String>())
+        .collect();
+    for a in words.iter().map(|s| s.to_string()).chain(stretch.iter().cloned()) {
+        for b in words.iter().map(|s| s.to_string()).chain(stretch.iter().cloned()) {
+            let d = levenshtein_scalar(&a, &b);
+            assert_eq!(levenshtein(&a, &b), d, "{a:?} vs {b:?}");
+            if !a.is_empty() && !b.is_empty() {
+                assert_eq!(myers_levenshtein(&a, &b), d, "{a:?} vs {b:?}");
+            }
+            for max in [0, 1, 3, d, usize::MAX] {
+                let want = (d <= max).then_some(d);
+                assert_eq!(levenshtein_bounded(&a, &b, max), want, "{a:?} vs {b:?} max={max}");
+                assert_eq!(
+                    myers_levenshtein_bounded(&a, &b, max),
+                    want,
+                    "{a:?} vs {b:?} max={max}"
+                );
+                assert_eq!(levenshtein_bounded_scalar(&a, &b, max), want);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Myers (both forms) against the scalar DP on arbitrary unicode,
+    /// sized to cross the one-word boundary.
+    #[test]
+    fn myers_matches_scalar_dp(a in ".{1,80}", b in ".{1,80}", max in 0usize..12) {
+        let d = levenshtein_scalar(&a, &b);
+        prop_assert_eq!(myers_levenshtein(&a, &b), d);
+        prop_assert_eq!(myers_levenshtein_bounded(&a, &b, max), (d <= max).then_some(d));
+        prop_assert_eq!(levenshtein(&a, &b), d);
+        prop_assert_eq!(levenshtein_bounded(&a, &b, max), (d <= max).then_some(d));
+    }
+
+    /// The bit-parallel kernel is still a metric: symmetric, and the
+    /// triangle inequality holds through an arbitrary midpoint.
+    #[test]
+    fn myers_symmetry_and_triangle(a in ".{1,60}", b in ".{1,60}", c in ".{1,60}") {
+        let dab = myers_levenshtein(&a, &b);
+        prop_assert_eq!(dab, myers_levenshtein(&b, &a));
+        prop_assert_eq!(myers_levenshtein(&a, &a), 0);
+        prop_assert!(dab <= myers_levenshtein(&a, &c) + myers_levenshtein(&c, &b));
     }
 }
 

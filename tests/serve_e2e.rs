@@ -109,7 +109,7 @@ fn concurrent_mixed_traffic_reconciles_with_metrics() {
         clients.push(std::thread::spawn(move || {
             let (mut ok, mut bad, mut huge) = (0u64, 0u64, 0u64);
             for i in 0..PER_CONN {
-                match (c + i) % 3 {
+                match (c + i) % 4 {
                     // Valid: one hole, imputable from the reference data.
                     0 => {
                         let (status, body) =
@@ -124,6 +124,17 @@ fn concurrent_mixed_traffic_reconciles_with_metrics() {
                             request(addr, &post_impute("{\"tuples\": [[broken", ""));
                         assert_eq!(status, 400, "{body}");
                         assert!(body.contains("\"error\""), "{body}");
+                        bad += 1;
+                    }
+                    // Smuggling probe: conflicting Content-Length headers
+                    // (RFC 9110 §8.6) must die as 400, not desync the
+                    // framing by honoring either declared length.
+                    2 => {
+                        let raw = b"POST /v1/impute HTTP/1.1\r\nHost: e2e\r\n\
+                                    Content-Length: 4\r\nContent-Length: 30\r\n\
+                                    Connection: close\r\n\r\nbodyGET /x HTTP/1.1\r\n\r\n";
+                        let (status, _) = request(addr, raw);
+                        assert_eq!(status, 400);
                         bad += 1;
                     }
                     // Oversized: declared Content-Length over the limit is
