@@ -1,0 +1,122 @@
+//! Measures the durable write path and the incremental-append speedup
+//! it rides on, writing results to `BENCH_ingest.json`.
+//!
+//! Run with `cargo run -p renuver-bench --release --bin bench_ingest`
+//! (`--quick` shrinks the fixture, `--out <path>` overrides the output
+//! file). Three questions, one fixture (the synthetic shop relation):
+//!
+//! 1. **Incremental vs rebuild** — growing a prepared engine by a batch
+//!    through [`Engine::commit_tuples`] vs rebuilding the oracle/index
+//!    from scratch on the extended relation. This is the algorithmic
+//!    claim behind `/v1/ingest`: the rebuild is quadratic in the
+//!    dictionary, the append touches only the new rows' values.
+//! 2. **WAL overhead** — the same committed batches with the
+//!    CRC-framed, fsynced log write in front, as `renuver ingest` and
+//!    the server run them. The delta is the durability tax.
+//! 3. **Recovery** — replaying a WAL of many small records into a
+//!    freshly loaded snapshot, plus one compaction, the cold-restart
+//!    cost an operator actually waits on.
+
+use renuver_bench::{median_ms, out_path, quick_mode, synthetic_shops, write_bench_json};
+use renuver_core::{Engine, RenuverConfig};
+use renuver_data::{Relation, Tuple};
+use renuver_rfd::{Constraint, Rfd, RfdSet};
+use renuver_serve::{artifact, Durable, DurabilityOptions};
+
+fn sigma() -> RfdSet {
+    // The planted City→Zip / Zip→City dependencies of the fixture.
+    RfdSet::from_vec(vec![
+        Rfd::new(vec![Constraint::new(1, 0.0)], Constraint::new(2, 0.0)),
+        Rfd::new(vec![Constraint::new(2, 0.0)], Constraint::new(1, 0.0)),
+    ])
+}
+
+fn split(rel: &Relation, base_rows: usize) -> (Relation, Vec<Tuple>) {
+    let base: Vec<Tuple> = rel.tuples().take(base_rows).cloned().collect();
+    let rest: Vec<Tuple> = rel.tuples().skip(base_rows).cloned().collect();
+    (Relation::new(rel.schema().clone(), base).unwrap(), rest)
+}
+
+fn main() {
+    let quick = quick_mode();
+    let (rows, batch_rows, runs, wal_records) =
+        if quick { (800, 40, 3, 20) } else { (5000, 250, 5, 200) };
+    let full = synthetic_shops(rows);
+    let base_rows = rows - batch_rows;
+    let (base, batch) = split(&full, base_rows);
+    let config = RenuverConfig::default();
+
+    // 1. Incremental append vs full rebuild for one batch. Engine is
+    // not Clone, so each run gets a faithful copy via the artifact
+    // round-trip; the decode cost is identical across the measurements
+    // being compared, so deltas and ratios are still meaningful.
+    let prepared = Engine::prepare(base, sigma(), config.clone());
+    let bytes = artifact::encode_engine(&prepared, "bench", 0);
+    let commit_only_ms = median_ms(runs, || {
+        let mut e = artifact::decode(&bytes).unwrap().into_engine(config.clone());
+        let _ = e.commit_tuples(batch.clone()).unwrap();
+    });
+    let rebuild_ms = median_ms(runs, || {
+        drop(Engine::prepare(full.clone(), sigma(), config.clone()));
+    });
+
+    // 2. The durability tax: the same commit with the fsynced WAL write
+    // in front, through the real Durable store.
+    let dir = std::env::temp_dir().join(format!("renuver-bench-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let snapshot = dir.join("model.rnv");
+    std::fs::write(&snapshot, &bytes).unwrap();
+    let durable_ms = median_ms(runs, || {
+        let _ = std::fs::remove_file(dir.join("model.rnv.wal"));
+        let mut e = artifact::decode(&bytes).unwrap().into_engine(config.clone());
+        let (mut durable, _) =
+            Durable::recover(&mut e, 0, DurabilityOptions::beside(&snapshot, "bench")).unwrap();
+        durable.append(&batch).unwrap();
+        let _ = e.commit_tuples(batch.clone()).unwrap();
+    });
+
+    // 3. Cold recovery: replay `wal_records` one-row records, then fold
+    // them into the snapshot.
+    let _ = std::fs::remove_file(dir.join("model.rnv.wal"));
+    {
+        let mut e = artifact::decode(&bytes).unwrap().into_engine(config.clone());
+        let (mut durable, _) =
+            Durable::recover(&mut e, 0, DurabilityOptions::beside(&snapshot, "bench")).unwrap();
+        for t in batch.iter().cycle().take(wal_records) {
+            durable.append(std::slice::from_ref(t)).unwrap();
+            e.commit_tuples(vec![t.clone()]).unwrap();
+        }
+    }
+    let replay_ms = median_ms(runs, || {
+        let mut e = artifact::decode(&bytes).unwrap().into_engine(config.clone());
+        let (_, report) =
+            Durable::recover(&mut e, 0, DurabilityOptions::beside(&snapshot, "bench")).unwrap();
+        assert_eq!(report.replayed, wal_records);
+    });
+    let compact_ms = {
+        let mut e = artifact::decode(&bytes).unwrap().into_engine(config.clone());
+        let (mut durable, _) =
+            Durable::recover(&mut e, 0, DurabilityOptions::beside(&snapshot, "bench")).unwrap();
+        let start = std::time::Instant::now();
+        durable.compact(&e).unwrap();
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let batch_per_s = |ms: f64| if ms > 0.0 { batch_rows as f64 / (ms / 1e3) } else { 0.0 };
+    let json = format!(
+        "{{\n  \"rows\": {rows},\n  \"batch_rows\": {batch_rows},\n  \"runs_per_measurement\": {runs},\n  \
+         \"append\": {{\n    \"commit_ms\": {commit_only_ms:.3},\n    \"commit_rows_per_s\": {:.1},\n    \
+         \"rebuild_ms\": {rebuild_ms:.3},\n    \"speedup_vs_rebuild\": {:.3}\n  }},\n  \
+         \"durability\": {{\n    \"wal_commit_ms\": {durable_ms:.3},\n    \
+         \"overhead_ms\": {:.3}\n  }},\n  \
+         \"recovery\": {{\n    \"wal_records\": {wal_records},\n    \"replay_ms\": {replay_ms:.3},\n    \
+         \"records_per_s\": {:.1},\n    \"compact_ms\": {compact_ms:.3}\n  }}\n}}\n",
+        batch_per_s(commit_only_ms),
+        if commit_only_ms > 0.0 { rebuild_ms / commit_only_ms } else { 0.0 },
+        (durable_ms - commit_only_ms).max(0.0),
+        if replay_ms > 0.0 { wal_records as f64 / (replay_ms / 1e3) } else { 0.0 },
+    );
+    write_bench_json(&out_path("BENCH_ingest.json"), &json);
+}

@@ -109,7 +109,7 @@ fn main() {
 
     // --- Artifact: load vs rebuild -------------------------------------
     let engine = rebuild(&rel, &config);
-    let bytes = artifact::encode_engine(&engine, "bench:synthetic_shops");
+    let bytes = artifact::encode_engine(&engine, "bench:synthetic_shops", 0);
     let artifact_bytes = bytes.len();
     let rebuild_ms = median_ms(runs, || drop(rebuild(&rel, &config)));
     let load_ms = median_ms(runs, || drop(artifact::decode(&bytes).expect("decode artifact")));

@@ -40,7 +40,7 @@
 
 use renuver_budget::BudgetReport;
 use renuver_data::{Cell, DataError, Relation, Schema, Tuple};
-use renuver_distance::{DistanceOracle, SimilarityIndex};
+use renuver_distance::{DistanceOracle, SimilarityIndex, DEFAULT_DICT_CAP};
 use renuver_obs::FieldValue;
 use renuver_rfd::RfdSet;
 
@@ -100,6 +100,17 @@ impl PartialEq for BatchResult {
     }
 }
 
+/// Accounting for one [`Engine::commit_tuples`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Rows adopted into the reference instance by this commit.
+    pub rows: usize,
+    /// Donor rows after the commit (`== Engine::donor_rows()`).
+    pub donors: usize,
+    /// Dictionary entries the oracle's matrix columns grew by.
+    pub dict_grown: usize,
+}
+
 impl Engine {
     /// Builds an engine over `rel` and `sigma`: constructs the distance
     /// oracle and (per [`RenuverConfig::index_mode`]) the similarity
@@ -109,7 +120,7 @@ impl Engine {
         let build = |rel: &Relation, config: &RenuverConfig| {
             let budget = &config.budget;
             let tracer = &config.tracer;
-            let oracle = DistanceOracle::build_traced(rel, 3000, budget, tracer);
+            let oracle = DistanceOracle::build_traced(rel, DEFAULT_DICT_CAP, budget, tracer);
             let index = match config.index_mode {
                 IndexMode::Scan => None,
                 IndexMode::Indexed => {
@@ -317,6 +328,63 @@ impl Engine {
             budget: parts.budget,
         })
     }
+
+    /// Permanently appends `tuples` to the reference instance: the rows
+    /// become donors for every subsequent request, the oracle's
+    /// dictionaries/matrices and the index's posting lists grow to cover
+    /// them ([`DistanceOracle::commit_rows`] /
+    /// [`SimilarityIndex::commit_rows`]), and [`Engine::donor_rows`]
+    /// advances past them.
+    ///
+    /// The tuples are adopted **as given** — no imputation runs. The
+    /// durable write path calls [`Engine::impute_batch_with`] first and
+    /// commits the repaired tuples it returns; WAL replay commits the
+    /// repaired tuples recorded at ingest time through this same method,
+    /// which is what makes a recovered engine bit-identical to one that
+    /// never crashed: both states are the same sequence of deterministic
+    /// `commit_tuples` calls over the same snapshot.
+    ///
+    /// On a [`DataError`] (arity/type mismatch part-way through) the
+    /// whole batch rolls back via the transactional truncate and the
+    /// engine keeps its prior reference state.
+    pub fn commit_tuples(&mut self, tuples: Vec<Tuple>) -> Result<CommitStats, DataError> {
+        let base = self.base_len;
+        for tuple in tuples {
+            if let Err(e) = self.rel.push(tuple) {
+                self.rel.truncate(base);
+                return Err(e);
+            }
+        }
+        for row in base..self.rel.len() {
+            self.oracle.append_row(&self.rel, row);
+            if let Some(ix) = self.index.as_mut() {
+                ix.append_row(&self.rel, row);
+            }
+        }
+        // Infallible from here on: the commit either happened entirely
+        // (all pushes succeeded above) or not at all.
+        let dict_grown = self.oracle.commit_rows(&self.rel, base, DEFAULT_DICT_CAP);
+        if let Some(ix) = self.index.as_mut() {
+            ix.commit_rows(&self.rel, base);
+        }
+        self.base_len = self.rel.len();
+        Ok(CommitStats { rows: self.base_len - base, donors: self.base_len, dict_grown })
+    }
+
+    /// Repairs `tuples` with the engine's shared per-cell loop, then
+    /// commits the repaired batch — `impute_batch_with` followed by
+    /// [`Engine::commit_tuples`], the in-process shape of `/v1/ingest`.
+    /// On error nothing is retained.
+    pub fn ingest_batch_with(
+        &mut self,
+        tuples: Vec<Tuple>,
+        config: &RenuverConfig,
+    ) -> Result<(BatchResult, CommitStats), DataError> {
+        let result = self.impute_batch_with(tuples, config)?;
+        let stats = self.commit_tuples(result.tuples.clone())?;
+        Ok((result, stats))
+    }
+
 }
 
 #[cfg(test)]
@@ -403,6 +471,75 @@ mod tests {
             result.imputed[0].donor_row < engine.donor_rows(),
             "donor came from the reference instance"
         );
+    }
+
+    #[test]
+    fn commit_tuples_matches_prepare_from_scratch() {
+        let mut engine = Engine::prepare(reference(), sigma(), RenuverConfig::default());
+        let batch = vec![
+            vec![Value::Text("Ogden".into()), Value::Text("84401".into())],
+            vec![Value::Text("Provo".into()), Value::Text("84601".into())],
+        ];
+        let stats = engine.commit_tuples(batch.clone()).unwrap();
+        assert_eq!(stats.rows, 2);
+        assert_eq!(stats.donors, 7);
+        assert_eq!(stats.dict_grown, 2, "Ogden and 84401 are new dictionary values");
+        assert_eq!(engine.donor_rows(), 7);
+
+        // The committed engine's distance structures are bit-identical to
+        // an engine prepared over the grown relation from scratch.
+        let mut grown = reference();
+        for t in &batch {
+            grown.push(t.clone()).unwrap();
+        }
+        let fresh = Engine::prepare(grown, sigma(), RenuverConfig::default());
+        assert_eq!(engine.oracle().to_snapshot(), fresh.oracle().to_snapshot());
+        assert_eq!(
+            engine.index().map(|ix| ix.to_snapshot()),
+            fresh.index().map(|ix| ix.to_snapshot())
+        );
+
+        // The committed rows serve as donors for later requests.
+        let result = engine
+            .impute_batch(vec![vec![Value::Text("Ogden".into()), Value::Null]])
+            .unwrap();
+        assert_eq!(result.tuples[0][1], Value::Text("84401".into()));
+    }
+
+    #[test]
+    fn ingest_repairs_then_commits() {
+        let mut engine = Engine::prepare(reference(), sigma(), RenuverConfig::default());
+        let config = engine.config().clone();
+        let (result, stats) = engine
+            .ingest_batch_with(
+                vec![vec![Value::Text("Provo".into()), Value::Null]],
+                &config,
+            )
+            .unwrap();
+        assert_eq!(result.tuples[0][1], Value::Text("84601".into()));
+        assert_eq!(stats.rows, 1);
+        assert_eq!(stats.dict_grown, 0, "the repaired tuple only holds known values");
+        assert_eq!(engine.donor_rows(), 6);
+        // The adopted row is a full-fledged donor; the engine's state is
+        // exactly prepare() over the repaired relation.
+        let mut grown = reference();
+        grown.push(vec![Value::Text("Provo".into()), Value::Text("84601".into())]).unwrap();
+        let fresh = Engine::prepare(grown, sigma(), RenuverConfig::default());
+        assert_eq!(engine.oracle().to_snapshot(), fresh.oracle().to_snapshot());
+    }
+
+    #[test]
+    fn failed_commit_rolls_back_entirely() {
+        let mut engine = Engine::prepare(reference(), sigma(), RenuverConfig::default());
+        let before = engine.oracle().to_snapshot();
+        let err = engine.commit_tuples(vec![
+            vec![Value::Text("Ogden".into()), Value::Text("84401".into())],
+            vec![Value::Text("arity".into())],
+        ]);
+        assert!(err.is_err());
+        assert_eq!(engine.donor_rows(), 5);
+        assert_eq!(engine.relation().len(), 5);
+        assert_eq!(engine.oracle().to_snapshot(), before);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub use candidates::{find_candidate_tuples, find_candidate_tuples_with, Candidat
 pub use config::{
     ClusterOrder, ExplainSample, ImputationOrder, IndexMode, RenuverConfig, VerifyScope,
 };
-pub use engine::{BatchResult, Engine};
+pub use engine::{BatchResult, CommitStats, Engine};
 pub use external::SchemaMismatch;
 pub use result::{
     CellExplain, CellOutcome, DryReason, ExplainWinner, ImputationResult, ImputationStats,

@@ -322,6 +322,33 @@ impl SimilarityIndex {
         }
     }
 
+    /// Permanently adopts rows `base..rel.len()` into the index, growing
+    /// each text column's dictionary (and its derived q-gram layers) to
+    /// cover their values — the *commit* counterpart of the transient
+    /// [`SimilarityIndex::append_row`]. After the commit no committed row
+    /// is foreign: each one sits in a real posting list, exactly as a
+    /// from-scratch build over the grown relation would place it
+    /// (`tests/ingest_differential.rs` pins snapshot equality).
+    ///
+    /// The code assignment matches a rebuild for the same reason the
+    /// oracle's [`DistanceOracle::commit_rows`] does: new values first
+    /// appear after every reference row, so first-occurrence interning
+    /// hands them codes `≥ k` in the same order either way — whether the
+    /// rebuild copies the oracle's (also committed) dictionary or
+    /// re-interns the column itself. Numeric attributes need no commit
+    /// step: [`SimilarityIndex::append_row`] already inserts their
+    /// entries at the exact sorted position a rebuild would.
+    ///
+    /// Requires every committed row to already be covered by
+    /// [`SimilarityIndex::append_row`].
+    pub fn commit_rows(&mut self, rel: &Relation, base: usize) {
+        for (attr, ix) in self.attrs.iter_mut().enumerate() {
+            if let AttrIndex::Text(ix) = ix {
+                ix.commit_rows(rel, base, attr);
+            }
+        }
+    }
+
     /// Drops every row `≥ len` from the per-row state and posting lists —
     /// the inverse of [`SimilarityIndex::append_row`].
     pub fn truncate_rows(&mut self, len: usize) {
@@ -826,6 +853,65 @@ impl TextIndex {
         }
     }
 
+    /// See [`SimilarityIndex::commit_rows`]. Grows the dictionary with
+    /// every new value in first-occurrence order, derives its q-gram
+    /// layers (each new code lands at the *end* of its grams' inverted
+    /// lists, preserving the code-ascending order a rebuild produces),
+    /// and moves the committed rows out of the foreign set into their
+    /// posting lists.
+    fn commit_rows(&mut self, rel: &Relation, base: usize, attr: AttrId) {
+        let n = rel.len();
+        debug_assert_eq!(self.row_codes.len(), n, "commit_rows requires appended coverage");
+        for row in base..n {
+            let Some(s) = rel.value(row, attr).as_text() else {
+                // Missing cell: stays NO_CODE, exactly as appended.
+                continue;
+            };
+            let code = match self.value_index.get(s) {
+                Some(&c) => c,
+                None => {
+                    let c = self.values.len() as u32;
+                    self.value_index.insert(s.to_owned(), c);
+                    self.values.push(s.to_owned());
+                    let len = s.chars().count();
+                    self.lens.push(len as u32);
+                    let profile = gram_profile(len, s);
+                    match &profile {
+                        None => self.ungrammed.push(c),
+                        Some(p) => {
+                            for (&g, &count) in p {
+                                self.inverted.entry(g).or_default().push((c, count));
+                            }
+                        }
+                    }
+                    self.grams.push(profile);
+                    self.postings.push(Vec::new());
+                    c
+                }
+            };
+            let old = std::mem::replace(&mut self.row_codes[row], code);
+            if old == code {
+                continue;
+            }
+            match old {
+                NO_CODE => {}
+                FOREIGN_CODE => {
+                    if let Ok(pos) = self.foreign_rows.binary_search(&row) {
+                        self.foreign_rows.remove(pos);
+                    }
+                }
+                c => {
+                    if let Ok(pos) = self.postings[c as usize].binary_search(&row) {
+                        self.postings[c as usize].remove(pos);
+                    }
+                }
+            }
+            if let Err(pos) = self.postings[code as usize].binary_search(&row) {
+                self.postings[code as usize].insert(pos, row);
+            }
+        }
+    }
+
     fn truncate_rows(&mut self, len: usize) {
         for row in len..self.row_codes.len() {
             match self.row_codes[row] {
@@ -1141,6 +1227,48 @@ mod tests {
         // Over MAX_MATRIX_VALUE_CHARS → oracle column is Direct → the index
         // interns the column itself; over MAX_GRAM_CHARS → no gram profile.
         assert_matches_scan(&r, 0, &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn commit_rows_matches_rebuild_snapshot_and_queries() {
+        let mut r = rel(
+            &[("Name", AttrType::Text), ("N", AttrType::Int)],
+            vec![
+                vec!["Granita".into(), Value::Int(5)],
+                vec!["Granitas".into(), Value::Int(6)],
+                vec![Value::Null, Value::Int(7)],
+            ],
+        );
+        let oracle = DistanceOracle::build(&r, 3000);
+        let mut index = SimilarityIndex::build(&r, &oracle);
+        let base = r.len();
+        r.push(vec!["Granita".into(), Value::Int(8)]).unwrap(); // known value
+        r.push(vec!["Fenix".into(), Value::Int(9)]).unwrap(); // new value
+        r.push(vec!["Fenix".into(), Value::Null]).unwrap(); // repeated new value
+        r.push(vec![Value::Null, Value::Int(1)]).unwrap(); // missing cell
+        r.push(vec!["x".into(), Value::Int(2)]).unwrap(); // new, too short to gram
+        for row in base..r.len() {
+            index.append_row(&r, row);
+        }
+        index.commit_rows(&r, base);
+        let rebuilt = SimilarityIndex::build(&r, &DistanceOracle::build(&r, 3000));
+        assert_eq!(index.to_snapshot(), rebuilt.to_snapshot());
+        // No committed row is left on the foreign list, and every probe
+        // answers identically to the from-scratch build.
+        for attr in 0..r.arity() {
+            for row in 0..r.len() {
+                for thr in [0.0, 1.0, 3.0, 100.0] {
+                    assert_eq!(
+                        index.rows_within(&r, attr, row, thr),
+                        rebuilt.rows_within(&r, attr, row, thr),
+                        "attr {attr} row {row} thr {thr}"
+                    );
+                }
+            }
+        }
+        // Committing again with nothing appended is a no-op.
+        index.commit_rows(&r, r.len());
+        assert_eq!(index.to_snapshot(), rebuilt.to_snapshot());
     }
 
     #[test]

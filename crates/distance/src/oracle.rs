@@ -20,6 +20,13 @@ use renuver_obs::{Counter, FieldValue, Metrics, Tracer};
 use crate::functions::{lev_core, value_distance, value_distance_bounded};
 use crate::kernels;
 
+/// The dictionary cap every production call site builds with: columns
+/// with more distinct values than this answer directly instead of paying
+/// an `O(k²)` matrix fill. [`DistanceOracle::commit_rows`] must be handed
+/// the same cap the oracle was built with so its degradation decision
+/// matches what a full rebuild would do.
+pub const DEFAULT_DICT_CAP: usize = 3000;
+
 /// Dictionary values longer than this never enter a precomputed matrix:
 /// one megabyte-scale cell would turn the `O(k²)` fill into gigabytes of
 /// `O(len²)` Levenshtein work before the first query. Direct computation
@@ -402,6 +409,116 @@ impl DistanceOracle {
         }
     }
 
+    /// Permanently adopts rows `base..rel.len()` into the oracle, growing
+    /// each matrix column's dictionary and distance matrix to cover their
+    /// values — the *commit* counterpart of the transient
+    /// [`DistanceOracle::append_row`]. Returns the number of dictionary
+    /// entries added across all columns.
+    ///
+    /// The committed oracle is **bit-identical to a full rebuild** over
+    /// the grown relation (`tests/ingest_differential.rs` pins this via
+    /// snapshot equality):
+    ///
+    /// - A rebuild interns values in row order, so every value first
+    ///   appearing in the committed rows gets a code `≥ dict_len`, in
+    ///   first-occurrence order — exactly the codes assigned here.
+    /// - The grown matrix embeds the old `k × k` matrix in its top-left
+    ///   corner (old pairs keep their distances) and fills the new
+    ///   row/column band with the same exact kernels the build uses;
+    ///   Levenshtein distances are integers, exact in `f32`, so kernel
+    ///   dispatch cannot perturb a bit.
+    /// - A rebuild degrades the column to [`ColumnTable::Direct`] when
+    ///   the full dictionary exceeds `cap` or any value exceeds
+    ///   [`MAX_MATRIX_VALUE_CHARS`]; the commit applies the same rules to
+    ///   the *grown* dictionary, so `cap` must be the cap the oracle was
+    ///   built with ([`DEFAULT_DICT_CAP`] at every production call site).
+    ///
+    /// Requires every committed row to already be covered by
+    /// [`DistanceOracle::append_row`] / [`DistanceOracle::update_cell`],
+    /// and no row `< base` may carry a foreign (out-of-dictionary) code —
+    /// the engine guarantees both: imputation only writes donor copies,
+    /// and the reference rows are never mutated.
+    pub fn commit_rows(&mut self, rel: &Relation, base: usize, cap: usize) -> usize {
+        let n = rel.len();
+        let mut grown_total = 0;
+        for (attr, (table, col_codes)) in
+            self.tables.iter_mut().zip(self.codes.iter_mut()).enumerate()
+        {
+            let ColumnTable::Matrix { index, dict_len, data } = table else { continue };
+            debug_assert_eq!(col_codes.len(), n, "commit_rows requires appended coverage");
+            debug_assert!(
+                col_codes[..base].iter().all(|&c| c != DIRECT_CODE),
+                "reference rows must not hold foreign values at commit time"
+            );
+            // Intern every new value in first-occurrence order — the same
+            // order a full rebuild's row-order pass would meet them in.
+            let k = *dict_len;
+            let mut new_values: Vec<String> = Vec::new();
+            for row in base..n {
+                if let Some(s) = rel.value(row, attr).as_text() {
+                    if !index.contains_key(s) {
+                        index.insert(s.to_owned(), (k + new_values.len()) as u32);
+                        new_values.push(s.to_owned());
+                    }
+                }
+            }
+            if new_values.is_empty() {
+                // Nothing to grow; the appended codes are already final.
+                continue;
+            }
+            let k2 = k + new_values.len();
+            // A rebuild over the grown relation would refuse the matrix
+            // entirely in these cases — mirror it exactly.
+            if k2 > cap
+                || new_values.iter().any(|s| s.chars().count() > MAX_MATRIX_VALUE_CHARS)
+            {
+                *table = ColumnTable::Direct;
+                col_codes.clear();
+                continue;
+            }
+            let mut dict = vec![String::new(); k2];
+            for (value, &code) in index.iter() {
+                dict[code as usize] = value.clone();
+            }
+            let chars: Vec<Vec<char>> = dict.iter().map(|s| s.chars().collect()).collect();
+            // Embed the old matrix, then fill the new band. Both kernels
+            // are exact, so pairing each new value's pattern against every
+            // earlier value answers the same integers the build's
+            // upper-triangle fill would.
+            let mut grown = vec![0.0f32; k2 * k2];
+            for a in 0..k {
+                grown[a * k2..a * k2 + k].copy_from_slice(&data[a * k..(a + 1) * k]);
+            }
+            for b in k..k2 {
+                let pattern = (kernels::myers_wins(chars[b].len(), None))
+                    .then(|| kernels::MyersPattern::new(&chars[b]));
+                for (a, other) in chars.iter().enumerate().take(b) {
+                    let d = match &pattern {
+                        Some(p) => p.distance(other),
+                        None => lev_core(&chars[b], other),
+                    } as f32;
+                    grown[a * k2 + b] = d;
+                    grown[b * k2 + a] = d;
+                }
+            }
+            *data = grown;
+            *dict_len = k2;
+            grown_total += new_values.len();
+            // Re-code the committed rows: every value is in the grown
+            // dictionary now, so no committed row stays foreign.
+            for (row, code) in col_codes.iter_mut().enumerate().take(n).skip(base) {
+                *code = match rel.value(row, attr) {
+                    Value::Null => NULL_CODE,
+                    v => match v.as_text().and_then(|s| index.get(s)) {
+                        Some(&code) => code,
+                        None => DIRECT_CODE,
+                    },
+                };
+            }
+        }
+        grown_total
+    }
+
     /// Drops the per-row state of every row `≥ len` — the inverse of
     /// [`DistanceOracle::append_row`], used to roll a batch of appended
     /// rows back out. Dictionaries and matrices are untouched (appending
@@ -774,6 +891,71 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn commit_rows_is_bit_identical_to_rebuild() {
+        let mut rel = sample();
+        let mut oracle = DistanceOracle::build(&rel, 1024);
+        let base = rel.len();
+        // Known value, two occurrences of one new value, a second new
+        // value, and a null — the full interning surface.
+        rel.push(vec!["Granita".into(), Value::Int(3)]).unwrap();
+        rel.push(vec!["Fenix".into(), Value::Int(4)]).unwrap();
+        rel.push(vec!["Fenix".into(), Value::Null]).unwrap();
+        rel.push(vec!["Spago".into(), Value::Int(8)]).unwrap();
+        rel.push(vec![Value::Null, Value::Int(9)]).unwrap();
+        for row in base..rel.len() {
+            oracle.append_row(&rel, row);
+        }
+        let grown = oracle.commit_rows(&rel, base, 1024);
+        assert_eq!(grown, 2, "Fenix and Spago enter the dictionary once each");
+        let rebuilt = DistanceOracle::build(&rel, 1024);
+        assert_eq!(oracle.to_snapshot(), rebuilt.to_snapshot());
+        // Committing again with nothing appended is a no-op.
+        assert_eq!(oracle.commit_rows(&rel, rel.len(), 1024), 0);
+        assert_eq!(oracle.to_snapshot(), rebuilt.to_snapshot());
+    }
+
+    #[test]
+    fn commit_rows_degrades_over_cap_exactly_like_rebuild() {
+        let mut rel = sample();
+        let mut oracle = DistanceOracle::build(&rel, 3);
+        let base = rel.len();
+        // The base dictionary holds 2 values; two more breach a cap of 3.
+        rel.push(vec!["Fenix".into(), Value::Int(1)]).unwrap();
+        rel.push(vec!["Spago".into(), Value::Int(2)]).unwrap();
+        for row in base..rel.len() {
+            oracle.append_row(&rel, row);
+        }
+        oracle.commit_rows(&rel, base, 3);
+        let rebuilt = DistanceOracle::build(&rel, 3);
+        assert_eq!(oracle.to_snapshot(), rebuilt.to_snapshot());
+        assert!(matches!(oracle.to_snapshot()[0], ColumnSnapshot::Direct));
+        // Degraded columns still answer every query correctly.
+        let direct = DistanceOracle::direct(&rel);
+        for i in 0..rel.len() {
+            for j in 0..rel.len() {
+                assert_eq!(
+                    oracle.distance(&rel, 0, i, j),
+                    direct.distance(&rel, 0, i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn commit_rows_degrades_on_huge_values_exactly_like_rebuild() {
+        let mut rel = sample();
+        let mut oracle = DistanceOracle::build(&rel, 1024);
+        let base = rel.len();
+        rel.push(vec![Value::Text("x".repeat(MAX_MATRIX_VALUE_CHARS + 1)), Value::Int(1)])
+            .unwrap();
+        oracle.append_row(&rel, base);
+        oracle.commit_rows(&rel, base, 1024);
+        let rebuilt = DistanceOracle::build(&rel, 1024);
+        assert_eq!(oracle.to_snapshot(), rebuilt.to_snapshot());
+        assert!(matches!(oracle.to_snapshot()[0], ColumnSnapshot::Direct));
     }
 
     #[test]

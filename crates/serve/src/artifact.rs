@@ -9,15 +9,18 @@
 //! `rebuild + serve` (quantified by `bench_serve`), while answering
 //! bit-for-bit identically (asserted by `tests/serve_differential.rs`).
 //!
-//! # Format (version 1)
+//! # Format (version 2)
 //!
 //! ```text
 //! magic            b"RNUV"                     4 bytes
-//! format version   u32 LE                      = 1
+//! format version   u32 LE                      = 2
 //! schema fp        u64 LE   FNV-1a over attribute names and type tags
 //! payload          sections below, all integers LE, strings u32-length-prefixed UTF-8
 //!   schema         u32 arity; per attr: name, u8 type tag
 //!   source         free-form provenance string (dataset path, may be empty)
+//!   committed seq  u64 LE   highest WAL sequence number folded into this
+//!                  snapshot (0 for a freshly prepared model); recovery
+//!                  replays only WAL records with seq greater than this
 //!   relation       u32 rows; per cell: u8 tag (0 null, 1 int i64, 2 float
 //!                  f64 bits, 3 text, 4 bool u8)
 //!   rfds           u32 count; per RFD: u32 lhs len; per constraint
@@ -43,14 +46,16 @@ use std::fmt;
 use std::path::Path;
 
 use renuver_core::{Engine, RenuverConfig};
-use renuver_data::{AttrType, Relation, Schema, Tuple, Value};
+use renuver_data::{AttrType, Relation, Schema, Tuple};
 use renuver_distance::{AttrSnapshot, ColumnSnapshot, DistanceOracle, SimilarityIndex};
-use renuver_rfd::{Constraint, Rfd, RfdSet};
+use renuver_rfd::{Rfd, RfdSet};
+
+use crate::codec::{Cursor, Writer};
 
 /// The artifact file magic, `b"RNUV"`.
 pub const MAGIC: [u8; 4] = *b"RNUV";
 /// The format version this build writes and the only one it reads.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why an artifact failed to save or load.
 #[derive(Debug)]
@@ -108,6 +113,10 @@ pub struct Artifact {
     pub schema_fingerprint: u64,
     /// Free-form provenance recorded at save time (dataset path).
     pub source: String,
+    /// Highest WAL sequence number folded into this snapshot (0 for a
+    /// freshly prepared model). Recovery replays only WAL records with a
+    /// sequence number greater than this.
+    pub committed_seq: u64,
     /// The reference relation.
     pub relation: Relation,
     /// The discovered RFD set.
@@ -134,6 +143,8 @@ pub struct ArtifactInfo {
     pub schema_fingerprint: u64,
     /// Provenance string recorded at save time.
     pub source: String,
+    /// Highest WAL sequence number folded into the snapshot.
+    pub committed_seq: u64,
     /// Reference tuples in the snapshot.
     pub rows: usize,
     /// Attributes in the schema.
@@ -213,51 +224,6 @@ fn type_label(ty: AttrType) -> &'static str {
 
 // ---------------------------------------------------------------- encode
 
-struct Writer {
-    buf: Vec<u8>,
-}
-
-impl Writer {
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-    fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
-        self.buf.extend_from_slice(s.as_bytes());
-    }
-    fn value(&mut self, v: &Value) {
-        match v {
-            Value::Null => self.u8(0),
-            Value::Int(i) => {
-                self.u8(1);
-                self.buf.extend_from_slice(&i.to_le_bytes());
-            }
-            Value::Float(f) => {
-                self.u8(2);
-                self.u64(f.to_bits());
-            }
-            Value::Text(s) => {
-                self.u8(3);
-                self.str(s);
-            }
-            Value::Bool(b) => {
-                self.u8(4);
-                self.u8(u8::from(*b));
-            }
-        }
-    }
-    fn constraint(&mut self, c: Constraint) {
-        self.u32(c.attr as u32);
-        self.u64(c.threshold.to_bits());
-    }
-}
-
 /// Serializes a model to artifact bytes (header + payload + checksum).
 pub fn encode(
     rel: &Relation,
@@ -265,8 +231,9 @@ pub fn encode(
     oracle: &DistanceOracle,
     index: Option<&SimilarityIndex>,
     source: &str,
+    committed_seq: u64,
 ) -> Vec<u8> {
-    let mut w = Writer { buf: Vec::new() };
+    let mut w = Writer::new();
     w.buf.extend_from_slice(&MAGIC);
     w.u32(FORMAT_VERSION);
     w.u64(schema_fingerprint(rel.schema()));
@@ -278,6 +245,7 @@ pub fn encode(
         w.u8(type_tag(attr.ty));
     }
     w.str(source);
+    w.u64(committed_seq);
 
     // Relation.
     w.u32(rel.len() as u32);
@@ -358,8 +326,15 @@ pub fn encode(
 }
 
 /// [`encode`] straight from a prepared engine.
-pub fn encode_engine(engine: &Engine, source: &str) -> Vec<u8> {
-    encode(engine.relation(), engine.sigma(), engine.oracle(), engine.index(), source)
+pub fn encode_engine(engine: &Engine, source: &str, committed_seq: u64) -> Vec<u8> {
+    encode(
+        engine.relation(),
+        engine.sigma(),
+        engine.oracle(),
+        engine.index(),
+        source,
+        committed_seq,
+    )
 }
 
 /// Writes an artifact file.
@@ -371,80 +346,11 @@ pub fn save(
     index: Option<&SimilarityIndex>,
     source: &str,
 ) -> Result<(), ArtifactError> {
-    std::fs::write(path, encode(rel, rfds, oracle, index, source))?;
+    std::fs::write(path, encode(rel, rfds, oracle, index, source, 0))?;
     Ok(())
 }
 
 // ---------------------------------------------------------------- decode
-
-/// Bounds-checked reader over the artifact bytes. Every length prefix is
-/// validated against the bytes actually remaining before allocating, so
-/// hostile lengths cannot trigger oversized allocations.
-struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
-    }
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
-        if self.remaining() < n {
-            return Err(ArtifactError::Truncated);
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-    fn u8(&mut self) -> Result<u8, ArtifactError> {
-        Ok(self.take(1)?[0])
-    }
-    fn u32(&mut self) -> Result<u32, ArtifactError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-    fn u64(&mut self) -> Result<u64, ArtifactError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-    fn i64(&mut self) -> Result<i64, ArtifactError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-    /// A length prefix for items of at least `min_item_bytes` each:
-    /// rejected up front if the remaining bytes cannot possibly hold it.
-    fn len(&mut self, min_item_bytes: usize) -> Result<usize, ArtifactError> {
-        let n = self.u32()? as usize;
-        if n.saturating_mul(min_item_bytes.max(1)) > self.remaining() {
-            return Err(ArtifactError::Truncated);
-        }
-        Ok(n)
-    }
-    fn str(&mut self) -> Result<String, ArtifactError> {
-        let n = self.len(1)?;
-        let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| ArtifactError::Corrupt("string is not UTF-8".into()))
-    }
-    fn value(&mut self) -> Result<Value, ArtifactError> {
-        Ok(match self.u8()? {
-            0 => Value::Null,
-            1 => Value::Int(self.i64()?),
-            2 => Value::Float(f64::from_bits(self.u64()?)),
-            3 => Value::Text(self.str()?),
-            4 => Value::Bool(self.u8()? != 0),
-            tag => return Err(ArtifactError::Corrupt(format!("unknown value tag {tag}"))),
-        })
-    }
-    fn constraint(&mut self, arity: usize) -> Result<Constraint, ArtifactError> {
-        let attr = self.u32()? as usize;
-        let threshold = f64::from_bits(self.u64()?);
-        if attr >= arity {
-            return Err(ArtifactError::Corrupt(format!(
-                "constraint attribute {attr} out of range for arity {arity}"
-            )));
-        }
-        Ok(Constraint::new(attr, threshold))
-    }
-}
 
 /// Parses artifact bytes into a decoded [`Artifact`].
 pub fn decode(bytes: &[u8]) -> Result<Artifact, ArtifactError> {
@@ -503,6 +409,7 @@ pub fn decode(bytes: &[u8]) -> Result<Artifact, ArtifactError> {
         });
     }
     let source = c.str()?;
+    let committed_seq = c.u64()?;
 
     // Relation.
     let rows = c.len(arity)?;
@@ -627,6 +534,7 @@ pub fn decode(bytes: &[u8]) -> Result<Artifact, ArtifactError> {
     Ok(Artifact {
         schema_fingerprint: header_fp,
         source,
+        committed_seq,
         relation,
         rfds,
         oracle,
@@ -649,6 +557,7 @@ pub fn inspect(bytes: &[u8]) -> Result<ArtifactInfo, ArtifactError> {
         version: FORMAT_VERSION,
         schema_fingerprint: artifact.schema_fingerprint,
         source: artifact.source,
+        committed_seq: artifact.committed_seq,
         rows: artifact.relation.len(),
         arity: artifact.relation.arity(),
         attrs: artifact
@@ -666,7 +575,8 @@ pub fn inspect(bytes: &[u8]) -> Result<ArtifactInfo, ArtifactError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use renuver_data::csv;
+    use renuver_data::{csv, Value};
+    use renuver_rfd::Constraint;
 
     fn model() -> (Relation, RfdSet) {
         let rel = csv::read_str(
@@ -688,7 +598,7 @@ mod tests {
         let (rel, rfds) = model();
         let oracle = DistanceOracle::build(&rel, 3000);
         let ix = index.then(|| SimilarityIndex::build(&rel, &oracle));
-        encode(&rel, &rfds, &oracle, ix.as_ref(), "tests/model.csv")
+        encode(&rel, &rfds, &oracle, ix.as_ref(), "tests/model.csv", 7)
     }
 
     #[test]
@@ -696,10 +606,11 @@ mod tests {
         let (rel, rfds) = model();
         let oracle = DistanceOracle::build(&rel, 3000);
         let ix = SimilarityIndex::build(&rel, &oracle);
-        let bytes = encode(&rel, &rfds, &oracle, Some(&ix), "tests/model.csv");
+        let bytes = encode(&rel, &rfds, &oracle, Some(&ix), "tests/model.csv", 42);
 
         let artifact = decode(&bytes).unwrap();
         assert_eq!(artifact.source, "tests/model.csv");
+        assert_eq!(artifact.committed_seq, 42);
         assert_eq!(artifact.relation.schema(), rel.schema());
         assert_eq!(
             artifact.relation.tuples().collect::<Vec<_>>(),
@@ -714,13 +625,14 @@ mod tests {
         assert_eq!(artifact.index.unwrap().to_snapshot(), ix.to_snapshot());
 
         // Deterministic: same model encodes to the same bytes.
-        assert_eq!(bytes, encode(&rel, &rfds, &oracle, Some(&ix), "tests/model.csv"));
+        assert_eq!(bytes, encode(&rel, &rfds, &oracle, Some(&ix), "tests/model.csv", 42));
     }
 
     #[test]
     fn inspect_summarizes_the_header() {
         let info = inspect(&encoded(true)).unwrap();
-        assert_eq!(info.version, 1);
+        assert_eq!(info.version, 2);
+        assert_eq!(info.committed_seq, 7);
         assert_eq!(info.rows, 4);
         assert_eq!(info.arity, 4);
         assert_eq!(info.rfds, 2);
@@ -795,7 +707,7 @@ mod tests {
         // rejected by the bounds check, not attempted as an allocation.
         let (rel, rfds) = model();
         let oracle = DistanceOracle::build(&rel, 3000);
-        let mut bytes = encode(&rel, &rfds, &oracle, None, "");
+        let mut bytes = encode(&rel, &rfds, &oracle, None, "", 0);
         // The row-count u32 sits right after schema + empty source; find
         // it by scanning for the known value 4 following the source.
         let needle = 4u32.to_le_bytes();
@@ -814,7 +726,7 @@ mod tests {
         let (rel, rfds) = model();
         let bytes = {
             let engine = Engine::prepare(rel.clone(), rfds, RenuverConfig::default());
-            encode_engine(&engine, "m")
+            encode_engine(&engine, "m", 0)
         };
         let mut engine = decode(&bytes).unwrap().into_engine(RenuverConfig::default());
         let batch = vec![vec![

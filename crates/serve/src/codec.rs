@@ -1,0 +1,137 @@
+//! The shared binary codec under both on-disk formats in this crate:
+//! model artifacts (`.rnv`, [`crate::artifact`]) and the write-ahead log
+//! (`.wal`, [`crate::wal`]). One encoder/decoder pair means a tuple is
+//! laid out bit-identically whether it travels in a snapshot's relation
+//! section or in a WAL frame — which is what lets the recovery path
+//! replay WAL records through the exact commit code the live server
+//! runs, and lets the differential tests compare artifacts byte for
+//! byte.
+//!
+//! All integers are little-endian; strings are u32-length-prefixed
+//! UTF-8; values carry a one-byte tag (0 null, 1 int i64, 2 float f64
+//! bits, 3 text, 4 bool u8). The reader is bounds-checked: every length
+//! prefix is validated against the bytes actually remaining *before*
+//! anything is allocated, so hostile lengths cannot trigger oversized
+//! allocations — decoding corrupt input yields a typed
+//! [`ArtifactError`], never a panic.
+
+use renuver_data::Value;
+use renuver_rfd::Constraint;
+
+use crate::artifact::ArtifactError;
+
+/// Append-only encoder over a growable byte buffer.
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    pub(crate) fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.u8(0),
+            Value::Int(i) => {
+                self.u8(1);
+                self.buf.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                self.u8(2);
+                self.u64(f.to_bits());
+            }
+            Value::Text(s) => {
+                self.u8(3);
+                self.str(s);
+            }
+            Value::Bool(b) => {
+                self.u8(4);
+                self.u8(u8::from(*b));
+            }
+        }
+    }
+    pub(crate) fn constraint(&mut self, c: Constraint) {
+        self.u32(c.attr as u32);
+        self.u64(c.threshold.to_bits());
+    }
+}
+
+/// Bounds-checked reader over encoded bytes (see module docs).
+pub(crate) struct Cursor<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        if self.remaining() < n {
+            return Err(ArtifactError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    pub(crate) fn u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+    pub(crate) fn u32(&mut self) -> Result<u32, ArtifactError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    pub(crate) fn u64(&mut self) -> Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    pub(crate) fn i64(&mut self) -> Result<i64, ArtifactError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    /// A length prefix for items of at least `min_item_bytes` each:
+    /// rejected up front if the remaining bytes cannot possibly hold it.
+    pub(crate) fn len(&mut self, min_item_bytes: usize) -> Result<usize, ArtifactError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_item_bytes.max(1)) > self.remaining() {
+            return Err(ArtifactError::Truncated);
+        }
+        Ok(n)
+    }
+    pub(crate) fn str(&mut self) -> Result<String, ArtifactError> {
+        let n = self.len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ArtifactError::Corrupt("string is not UTF-8".into()))
+    }
+    pub(crate) fn value(&mut self) -> Result<Value, ArtifactError> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Int(self.i64()?),
+            2 => Value::Float(f64::from_bits(self.u64()?)),
+            3 => Value::Text(self.str()?),
+            4 => Value::Bool(self.u8()? != 0),
+            tag => return Err(ArtifactError::Corrupt(format!("unknown value tag {tag}"))),
+        })
+    }
+    pub(crate) fn constraint(&mut self, arity: usize) -> Result<Constraint, ArtifactError> {
+        let attr = self.u32()? as usize;
+        let threshold = f64::from_bits(self.u64()?);
+        if attr >= arity {
+            return Err(ArtifactError::Corrupt(format!(
+                "constraint attribute {attr} out of range for arity {arity}"
+            )));
+        }
+        Ok(Constraint::new(attr, threshold))
+    }
+}

@@ -9,6 +9,15 @@
 //!   (`.rnv`) of a prepared model: relation + RFD set + oracle + index.
 //!   Loading skips every quadratic build step and answers bit-for-bit
 //!   identically to a fresh build.
+//! - [`wal`], [`store`], [`fault`] — the durable write path: every
+//!   accepted ingest batch is fsynced into a CRC-framed write-ahead log
+//!   before the client sees a success response, a background compactor
+//!   folds the log back into the snapshot via atomic rename, and
+//!   recovery replays the log through the same deterministic commit
+//!   code the live server runs — so a restart after a crash at *any*
+//!   point yields an engine bit-identical to one that never crashed.
+//!   [`fault`] is the injection harness the crash-recovery test matrix
+//!   drives.
 //! - [`http`], [`server`], [`router`] — a dependency-free HTTP/1.1
 //!   server (the build container is offline; `std::net` is all there
 //!   is) with a fixed worker pool, a bounded accept queue that sheds
@@ -16,14 +25,21 @@
 //!   and graceful drain on SIGTERM.
 //!
 //! The CLI front ends are `renuver prepare` (dataset → artifact),
-//! `renuver inspect` (artifact → summary), and `renuver serve`
-//! (artifact or dataset → listening server).
+//! `renuver inspect` (artifact → summary), `renuver ingest` (batch →
+//! repaired, WAL-committed model growth), and `renuver serve` (artifact
+//! or dataset → listening server).
 
 pub mod artifact;
+mod codec;
+pub mod fault;
 pub mod http;
 pub mod router;
 pub mod server;
+pub mod store;
+pub mod wal;
 
 pub use artifact::{Artifact, ArtifactError, ArtifactInfo};
-pub use router::{Ctx, ModelInfo};
+pub use router::{Ctx, ModelInfo, ServeState};
 pub use server::{install_signal_handlers, ServeConfig, Server};
+pub use store::{Durable, DurabilityOptions, RecoveryReport, StoreError};
+pub use wal::{Wal, WalError, WalRecord};

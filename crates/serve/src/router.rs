@@ -2,9 +2,11 @@
 //!
 //! The API surface (all bodies JSON unless noted):
 //!
-//! - `GET /healthz` — liveness: `200 ok`.
+//! - `GET /healthz` — liveness plus a `state` field
+//!   (`ok` | `recovering` | `compacting` | `degraded`) and the highest
+//!   durable sequence number. Always `200` while the process lives.
 //! - `GET /v1/model` — the loaded model: schema, row/RFD counts,
-//!   fingerprint, provenance.
+//!   fingerprint, provenance, durable sequence number.
 //! - `GET /metrics` — the server's metrics registry as the standard
 //!   `renuver-obs` text table.
 //! - `POST /v1/impute` — tuples with `null` holes in, imputed tuples
@@ -15,7 +17,16 @@
 //!   for this request, capped by the server ceiling), `explain`
 //!   (include per-cell explain records), `explain_sample`
 //!   (`all` | `dry` | an integer `k` for every k-th cell).
+//! - `POST /v1/ingest` — same body formats as `/v1/impute`, but the
+//!   repaired batch is *committed*: appended to the WAL (fsynced before
+//!   the response), folded into the model relation, oracle, and index,
+//!   and available as donors to subsequent requests. `503` while the
+//!   WAL is still replaying, when the model was served without
+//!   durability, or after a WAL write failure degraded the server.
+//! - `POST /v1/compact` — fold the WAL into a fresh snapshot (atomic
+//!   rename) and truncate it.
 
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -26,6 +37,42 @@ use renuver_obs::json::{self, write_f64, write_str};
 use renuver_obs::{Metrics, Tracer};
 
 use crate::http::{Request, Response};
+use crate::store::Durable;
+
+/// The server's write-path health, surfaced by `GET /healthz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ServeState {
+    /// Serving reads and (when durable) writes.
+    Ok = 0,
+    /// WAL replay is still running; ingest is refused with `503`.
+    Recovering = 1,
+    /// A compaction snapshot is being written.
+    Compacting = 2,
+    /// A WAL write failed after the engine accepted work — ingest is
+    /// refused until the operator restarts (recovery re-syncs state).
+    Degraded = 3,
+}
+
+impl ServeState {
+    /// The wire label used in `/healthz` and `/v1/model`.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeState::Ok => "ok",
+            ServeState::Recovering => "recovering",
+            ServeState::Compacting => "compacting",
+            ServeState::Degraded => "degraded",
+        }
+    }
+    fn from_u8(v: u8) -> ServeState {
+        match v {
+            1 => ServeState::Recovering,
+            2 => ServeState::Compacting,
+            3 => ServeState::Degraded,
+            _ => ServeState::Ok,
+        }
+    }
+}
 
 /// Provenance of the loaded model, surfaced by `GET /v1/model`.
 pub struct ModelInfo {
@@ -51,6 +98,15 @@ pub struct Ctx {
     pub default_timeout_ms: Option<u64>,
     /// Hard ceiling on any per-request `timeout_ms`.
     pub max_timeout_ms: u64,
+    /// Write-path state machine (see [`ServeState`]).
+    state: AtomicU8,
+    /// Highest durable sequence number, mirrored from the WAL so read
+    /// endpoints can report it without taking the durable lock.
+    seq: AtomicU64,
+    /// The durable store, once recovery has installed it. `None` means
+    /// the model is served read-only (no WAL configured, or replay is
+    /// still running). Lock order: engine before durable, always.
+    durable: Mutex<Option<Durable>>,
 }
 
 impl Ctx {
@@ -73,6 +129,12 @@ impl Ctx {
             "serve.cells_missing",
             "serve.cells_imputed",
             "serve.budget_tripped",
+            "http.timeouts",
+            "serve.ingest_batches",
+            "serve.ingest_rows",
+            "serve.compactions",
+            "serve.compact_failed",
+            "serve.wal_degraded",
         ] {
             metrics.counter(name);
         }
@@ -82,10 +144,38 @@ impl Ctx {
             metrics,
             default_timeout_ms,
             max_timeout_ms,
+            state: AtomicU8::new(ServeState::Ok as u8),
+            seq: AtomicU64::new(0),
+            durable: Mutex::new(None),
         }
     }
 
-    fn lock_engine(&self) -> std::sync::MutexGuard<'_, Engine> {
+    /// Current write-path state.
+    pub fn state(&self) -> ServeState {
+        ServeState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// Moves the write-path state machine.
+    pub fn set_state(&self, state: ServeState) {
+        self.state.store(state as u8, Ordering::Release);
+    }
+
+    /// Highest durable sequence number (0 when not durable).
+    pub fn seq(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// Installs the durable store after WAL replay finished and flips
+    /// the state to `ok`. Until this runs, `/v1/ingest` answers `503`.
+    pub fn install_durable(&self, durable: Durable) {
+        self.seq.store(durable.last_seq(), Ordering::Release);
+        *self.durable.lock().unwrap_or_else(|p| p.into_inner()) = Some(durable);
+        self.set_state(ServeState::Ok);
+    }
+
+    /// Locks the engine, recovering a poisoned lock by rolling back any
+    /// transient rows the panicking request left behind.
+    pub fn lock_engine(&self) -> std::sync::MutexGuard<'_, Engine> {
         // A panic while holding the lock poisons it and may leave the
         // panicking request's transient rows appended; recover the guard
         // and restore the reference state before serving again.
@@ -105,11 +195,13 @@ impl Ctx {
 pub fn route(ctx: &Ctx, req: &Request) -> Response {
     ctx.metrics.counter("http.requests").inc();
     let resp = match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/healthz") => healthz_endpoint(ctx),
         ("GET", "/metrics") => Response::text(200, ctx.metrics.render_table()),
         ("GET", "/v1/model") => model_endpoint(ctx),
         ("POST", "/v1/impute") => impute_endpoint(ctx, req),
-        (_, "/healthz" | "/metrics" | "/v1/model" | "/v1/impute") => {
+        ("POST", "/v1/ingest") => ingest_endpoint(ctx, req),
+        ("POST", "/v1/compact") => compact_endpoint(ctx),
+        (_, "/healthz" | "/metrics" | "/v1/model" | "/v1/impute" | "/v1/ingest" | "/v1/compact") => {
             Response::text(405, "method not allowed\n")
         }
         _ => Response::text(404, "not found\n"),
@@ -121,6 +213,17 @@ pub fn route(ctx: &Ctx, req: &Request) -> Response {
     };
     ctx.metrics.counter(class).inc();
     resp
+}
+
+/// Liveness plus the write-path state. Always `200` while the process
+/// can answer at all — orchestrators key restarts off the `state` field
+/// (`degraded` means the WAL can no longer accept writes), not the
+/// status code, so a degraded-but-readable server keeps serving reads.
+fn healthz_endpoint(ctx: &Ctx) -> Response {
+    Response::json(
+        200,
+        format!("{{\"status\":\"ok\",\"state\":\"{}\",\"seq\":{}}}", ctx.state().label(), ctx.seq()),
+    )
 }
 
 fn model_endpoint(ctx: &Ctx) -> Response {
@@ -137,6 +240,8 @@ fn model_endpoint(ctx: &Ctx) -> Response {
     out.push_str(&format!(",\"rows\":{}", engine.donor_rows()));
     out.push_str(&format!(",\"rfds\":{}", engine.sigma().len()));
     out.push_str(&format!(",\"indexed\":{}", engine.index().is_some()));
+    out.push_str(&format!(",\"state\":\"{}\"", ctx.state().label()));
+    out.push_str(&format!(",\"seq\":{}", ctx.seq()));
     out.push_str(",\"attrs\":[");
     for (i, attr) in engine.schema().attrs().enumerate() {
         if i > 0 {
@@ -346,6 +451,167 @@ fn impute_endpoint(ctx: &Ctx, req: &Request) -> Response {
     Response::json(200, render_batch(&result, opts.explain))
 }
 
+fn unavailable(msg: &str) -> Response {
+    let mut body = String::from("{\"error\":");
+    write_str(&mut body, msg);
+    body.push('}');
+    let mut resp = Response::json(503, body);
+    resp.extra_headers.push(("Retry-After", "1".into()));
+    resp
+}
+
+/// `POST /v1/ingest`: repair the batch, make it durable, commit it.
+///
+/// The sequence under the engine lock is the durability contract:
+///
+/// 1. impute the batch (transient — rolls back on any error),
+/// 2. append the *repaired* tuples to the WAL and fsync,
+/// 3. fold them into the relation/oracle/index via `commit_tuples`.
+///
+/// The client sees `200` only after step 2 succeeded, so every
+/// acknowledged batch is recoverable; a crash before the fsync loses
+/// only batches nobody was told about. A WAL failure after the fsync
+/// path starts degrades the server (writes refused until restart)
+/// rather than risking the log and the engine drifting apart.
+fn ingest_endpoint(ctx: &Ctx, req: &Request) -> Response {
+    match ctx.state() {
+        ServeState::Ok => {}
+        ServeState::Recovering => return unavailable("wal replay in progress, ingest not ready"),
+        ServeState::Compacting => return unavailable("compaction in progress, retry shortly"),
+        ServeState::Degraded => {
+            return unavailable("write path degraded by an earlier wal failure; restart to recover")
+        }
+    }
+    let opts = match parse_opts(ctx, req) {
+        Ok(o) => o,
+        Err(resp) => return resp,
+    };
+
+    let mut engine = ctx.lock_engine();
+    let tuples = match parse_tuples(&engine, req) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let mut config = engine.config().clone();
+    config.explain = opts.explain;
+    config.explain_sample = opts.explain_sample;
+    config.budget = match opts.timeout_ms {
+        Some(ms) => Budget::unlimited().with_deadline(Duration::from_millis(ms)),
+        None => Budget::unlimited(),
+    };
+    config.tracer = if config.budget.is_limited() { Tracer::enabled() } else { Tracer::disabled() };
+    let result = match engine.impute_batch_with(tuples, &config) {
+        Ok(result) => result,
+        Err(e) => return bad_request(e),
+    };
+
+    // Engine lock held; take the durable lock second (the fixed order).
+    let mut durable_guard = ctx.durable.lock().unwrap_or_else(|p| p.into_inner());
+    let Some(durable) = durable_guard.as_mut() else {
+        return unavailable("model is not durable (serve it from an artifact with --wal)");
+    };
+    let seq = match durable.append(&result.tuples) {
+        Ok(seq) => seq,
+        Err(e) => {
+            ctx.set_state(ServeState::Degraded);
+            ctx.metrics.counter("serve.wal_degraded").inc();
+            let mut body = String::from("{\"error\":");
+            write_str(&mut body, &format!("wal append failed: {e}"));
+            body.push('}');
+            return Response::json(500, body);
+        }
+    };
+    let stats = match engine.commit_tuples(result.tuples.clone()) {
+        Ok(stats) => stats,
+        Err(e) => {
+            // The WAL holds a record the engine refused — the two views
+            // have diverged and only a restart (replay) re-syncs them.
+            ctx.set_state(ServeState::Degraded);
+            ctx.metrics.counter("serve.wal_degraded").inc();
+            let mut body = String::from("{\"error\":");
+            write_str(&mut body, &format!("commit failed after wal append: {e}"));
+            body.push('}');
+            return Response::json(500, body);
+        }
+    };
+    ctx.seq.store(seq, Ordering::Release);
+
+    // Threshold-triggered compaction, while both locks are still held
+    // so the snapshot and the sequence number cannot drift.
+    let mut compacted = false;
+    if durable.should_compact() {
+        ctx.set_state(ServeState::Compacting);
+        match durable.compact(&engine) {
+            Ok(_) => {
+                compacted = true;
+                ctx.metrics.counter("serve.compactions").inc();
+            }
+            Err(e) => {
+                // Both pre- and post-rename failures leave a consistent
+                // {snapshot, wal} pair on disk; stay serving.
+                eprintln!("renuver: compaction failed (will retry at next threshold): {e}");
+                ctx.metrics.counter("serve.compact_failed").inc();
+            }
+        }
+        ctx.set_state(ServeState::Ok);
+    }
+    drop(durable_guard);
+    drop(engine);
+
+    ctx.metrics.counter("serve.ingest_batches").inc();
+    ctx.metrics.counter("serve.ingest_rows").add(stats.rows as u64);
+    ctx.metrics.counter("serve.cells_missing").add(result.stats.missing_total as u64);
+    ctx.metrics.counter("serve.cells_imputed").add(result.stats.imputed as u64);
+
+    let batch_json = render_batch(&result, opts.explain);
+    Response::json(
+        200,
+        format!(
+            "{{\"seq\":{seq},\"committed_rows\":{},\"donor_rows\":{},\"dict_grown\":{},\"compacted\":{compacted},{}",
+            stats.rows,
+            stats.donors,
+            stats.dict_grown,
+            &batch_json[1..],
+        ),
+    )
+}
+
+/// `POST /v1/compact`: fold the WAL into a fresh snapshot now.
+fn compact_endpoint(ctx: &Ctx) -> Response {
+    match ctx.state() {
+        ServeState::Ok => {}
+        ServeState::Recovering => return unavailable("wal replay in progress"),
+        ServeState::Compacting => return unavailable("compaction already in progress"),
+        ServeState::Degraded => return unavailable("write path degraded; restart to recover"),
+    }
+    let engine = ctx.lock_engine();
+    let mut durable_guard = ctx.durable.lock().unwrap_or_else(|p| p.into_inner());
+    let Some(durable) = durable_guard.as_mut() else {
+        return unavailable("model is not durable (serve it from an artifact with --wal)");
+    };
+    ctx.set_state(ServeState::Compacting);
+    let result = durable.compact(&engine);
+    ctx.set_state(ServeState::Ok);
+    match result {
+        Ok(seq) => {
+            ctx.metrics.counter("serve.compactions").inc();
+            Response::json(
+                200,
+                format!("{{\"seq\":{seq},\"wal_records\":{},\"wal_bytes\":{}}}",
+                    durable.wal_records(),
+                    durable.wal_bytes()),
+            )
+        }
+        Err(e) => {
+            ctx.metrics.counter("serve.compact_failed").inc();
+            let mut body = String::from("{\"error\":");
+            write_str(&mut body, &format!("compaction failed: {e}"));
+            body.push('}');
+            Response::json(500, body)
+        }
+    }
+}
+
 /// Serializes a [`BatchResult`] as the `/v1/impute` response document.
 pub fn render_batch(result: &BatchResult, explain: bool) -> String {
     let mut out = String::from("{\"tuples\":[");
@@ -515,12 +781,152 @@ mod tests {
     #[test]
     fn healthz_and_unknown_paths() {
         let ctx = test_ctx();
-        assert_eq!(route(&ctx, &get("/healthz")).status, 200);
+        let resp = route(&ctx, &get("/healthz"));
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("state").unwrap().as_str(), Some("ok"));
+        assert_eq!(doc.get("seq").unwrap().as_u64(), Some(0));
         assert_eq!(route(&ctx, &get("/nope")).status, 404);
         assert_eq!(route(&ctx, &get("/v1/impute")).status, 405);
-        assert_eq!(ctx.metrics.counter("http.requests").get(), 3);
+        assert_eq!(route(&ctx, &get("/v1/ingest")).status, 405);
+        assert_eq!(ctx.metrics.counter("http.requests").get(), 4);
         assert_eq!(ctx.metrics.counter("http.responses_2xx").get(), 1);
-        assert_eq!(ctx.metrics.counter("http.responses_4xx").get(), 2);
+        assert_eq!(ctx.metrics.counter("http.responses_4xx").get(), 3);
+    }
+
+    fn durable_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("renuver-router-tests-{}", std::process::id()))
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Wires a test context to a durable store rooted at a fresh temp
+    /// dir, the way `renuver serve --wal` does after replay.
+    fn durable_ctx(name: &str) -> (Ctx, std::path::PathBuf) {
+        let ctx = test_ctx();
+        let dir = durable_dir(name);
+        let snapshot = dir.join("model.rnv");
+        {
+            let engine = ctx.lock_engine();
+            std::fs::write(&snapshot, crate::artifact::encode_engine(&engine, "test", 0)).unwrap();
+        }
+        let opts = crate::store::DurabilityOptions::beside(&snapshot, "test");
+        let durable = {
+            let mut engine = ctx.lock_engine();
+            let (durable, _) = Durable::recover(&mut engine, 0, opts).unwrap();
+            durable
+        };
+        ctx.install_durable(durable);
+        (ctx, dir)
+    }
+
+    #[test]
+    fn ingest_without_durability_is_503() {
+        let ctx = test_ctx();
+        let resp = route(
+            &ctx,
+            &post("/v1/ingest", "application/json", r#"{"tuples": [["Venice", "90291"]]}"#),
+        );
+        assert_eq!(resp.status, 503, "{}", String::from_utf8_lossy(&resp.body));
+        assert!(resp.extra_headers.iter().any(|(k, _)| *k == "Retry-After"));
+        assert_eq!(route(&ctx, &post("/v1/compact", "application/json", "")).status, 503);
+    }
+
+    #[test]
+    fn ingest_refused_while_recovering_or_degraded() {
+        let (ctx, _dir) = durable_ctx("refused-states");
+        for state in [ServeState::Recovering, ServeState::Degraded] {
+            ctx.set_state(state);
+            let resp = route(
+                &ctx,
+                &post("/v1/ingest", "application/json", r#"{"tuples": [["Venice", "90291"]]}"#),
+            );
+            assert_eq!(resp.status, 503, "state {state:?}");
+        }
+        ctx.set_state(ServeState::Ok);
+        let resp = route(
+            &ctx,
+            &post("/v1/ingest", "application/json", r#"{"tuples": [["Venice", "90291"]]}"#),
+        );
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    }
+
+    #[test]
+    fn ingest_repairs_commits_and_serves_the_new_donor() {
+        let (ctx, _dir) = durable_ctx("commit");
+        // The batch itself has a hole; ingest must repair then commit it.
+        let resp = route(
+            &ctx,
+            &post(
+                "/v1/ingest",
+                "application/json",
+                r#"{"tuples": [["Venice", "90291"], ["Malibu", null]]}"#,
+            ),
+        );
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("seq").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("committed_rows").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("donor_rows").unwrap().as_u64(), Some(5));
+        let tuples = doc.get("tuples").unwrap().as_array().unwrap();
+        assert_eq!(tuples[1].as_array().unwrap()[1].as_str(), Some("90265"));
+        assert_eq!(ctx.seq(), 1);
+        assert_eq!(ctx.metrics.counter("serve.ingest_rows").get(), 2);
+
+        // The committed row is a donor for plain imputation now.
+        let resp = route(
+            &ctx,
+            &post("/v1/impute", "application/json", r#"{"tuples": [["Venice", null]]}"#),
+        );
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let tuples = doc.get("tuples").unwrap().as_array().unwrap();
+        assert_eq!(tuples[0].as_array().unwrap()[1].as_str(), Some("90291"));
+    }
+
+    #[test]
+    fn compact_endpoint_rewrites_the_snapshot() {
+        let (ctx, dir) = durable_ctx("compact-endpoint");
+        let resp = route(
+            &ctx,
+            &post("/v1/ingest", "application/json", r#"{"tuples": [["Venice", "90291"]]}"#),
+        );
+        assert_eq!(resp.status, 200);
+        let resp = route(&ctx, &post("/v1/compact", "application/json", ""));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("seq").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("wal_records").unwrap().as_u64(), Some(0));
+        assert_eq!(ctx.metrics.counter("serve.compactions").get(), 1);
+        let snapshot = crate::artifact::load(dir.join("model.rnv")).unwrap();
+        assert_eq!(snapshot.committed_seq, 1);
+        assert_eq!(snapshot.relation.len(), 4);
+        assert_eq!(ctx.state(), ServeState::Ok);
+    }
+
+    #[test]
+    fn injected_wal_failure_degrades_the_server() {
+        let (ctx, _dir) = durable_ctx("degrade");
+        crate::fault::arm("wal.append.pre_write", crate::fault::Action::Err);
+        let resp = route(
+            &ctx,
+            &post("/v1/ingest", "application/json", r#"{"tuples": [["Venice", "90291"]]}"#),
+        );
+        crate::fault::disarm("wal.append.pre_write");
+        assert_eq!(resp.status, 500, "{}", String::from_utf8_lossy(&resp.body));
+        assert_eq!(ctx.state(), ServeState::Degraded);
+        assert_eq!(ctx.metrics.counter("serve.wal_degraded").get(), 1);
+        // The engine did not commit the failed batch.
+        assert_eq!(ctx.lock_engine().donor_rows(), 3);
+        // Subsequent ingests are refused, reads still work.
+        let resp = route(
+            &ctx,
+            &post("/v1/ingest", "application/json", r#"{"tuples": [["Venice", "90291"]]}"#),
+        );
+        assert_eq!(resp.status, 503);
+        assert_eq!(route(&ctx, &get("/v1/model")).status, 200);
     }
 
     #[test]

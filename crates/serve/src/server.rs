@@ -39,6 +39,10 @@ pub struct ServeConfig {
     pub max_body: usize,
     /// Seconds suggested in `Retry-After` when shedding.
     pub retry_after_secs: u64,
+    /// Per-connection read deadline, seconds. A peer that stalls
+    /// mid-request (slow-loris) past this gets `408 Request Timeout`
+    /// and the connection is closed.
+    pub read_timeout_secs: u64,
 }
 
 impl Default for ServeConfig {
@@ -49,6 +53,7 @@ impl Default for ServeConfig {
             queue: 64,
             max_body: 4 * 1024 * 1024,
             retry_after_secs: 1,
+            read_timeout_secs: 10,
         }
     }
 }
@@ -131,10 +136,11 @@ impl Server {
             let rx = Arc::clone(&rx);
             let ctx = Arc::clone(&self.ctx);
             let max_body = self.config.max_body;
+            let read_timeout = Duration::from_secs(self.config.read_timeout_secs.max(1));
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &ctx, max_body))?,
+                    .spawn(move || worker_loop(&rx, &ctx, max_body, read_timeout))?,
             );
         }
 
@@ -202,7 +208,12 @@ fn shed_connection(mut stream: TcpStream, retry_after_secs: u64) {
 }
 
 /// One worker: pull connections off the shared queue until it closes.
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &Ctx, max_body: usize) {
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    ctx: &Ctx,
+    max_body: usize,
+    read_timeout: Duration,
+) {
     loop {
         // Hold the lock only for the recv; handling happens unlocked.
         let stream = match rx.lock() {
@@ -210,17 +221,30 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &Ctx, max_body: usize) {
             Err(_) => return,
         };
         match stream {
-            Ok(stream) => handle_connection(stream, ctx, max_body),
+            Ok(stream) => handle_connection(stream, ctx, max_body, read_timeout),
             Err(_) => return, // queue closed: shutdown
         }
     }
 }
 
+/// Whether a read failure was the socket deadline expiring (the kind
+/// differs by platform: `WouldBlock` on unix, `TimedOut` elsewhere).
+fn is_read_deadline(err: &HttpError) -> bool {
+    matches!(
+        err,
+        HttpError::Io(e) if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        )
+    )
+}
+
 /// Serves one connection's keep-alive session.
-fn handle_connection(stream: TcpStream, ctx: &Ctx, max_body: usize) {
+fn handle_connection(stream: TcpStream, ctx: &Ctx, max_body: usize, read_timeout: Duration) {
     // Idle/slowloris guard: a connection that stops sending mid-request
-    // is dropped rather than pinning a worker forever.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    // is answered with 408 and dropped rather than pinning a worker
+    // forever (accounted under `http.timeouts`).
+    let _ = stream.set_read_timeout(Some(read_timeout));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     // Buffer the response into one segment and disable Nagle, or the
     // header-by-header writes interact with delayed ACKs into ~40 ms
@@ -244,14 +268,24 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx, max_body: usize) {
             Err(err) => {
                 // Protocol-level failure: answer with the right status
                 // and drop the connection (framing may be lost).
-                let status = match &err {
-                    HttpError::BodyTooLarge { .. } => 413,
-                    HttpError::HeadersTooLarge => 431,
-                    _ => 400,
+                let status = if is_read_deadline(&err) {
+                    ctx.metrics.counter("http.timeouts").inc();
+                    408
+                } else {
+                    match &err {
+                        HttpError::BodyTooLarge { .. } => 413,
+                        HttpError::HeadersTooLarge => 431,
+                        _ => 400,
+                    }
                 };
                 ctx.metrics.counter("http.requests").inc();
                 ctx.metrics.counter("http.responses_4xx").inc();
-                let resp = Response::text(status, format!("{err}\n"));
+                let body = if status == 408 {
+                    format!("request read deadline ({}s) exceeded\n", read_timeout.as_secs())
+                } else {
+                    format!("{err}\n")
+                };
+                let resp = Response::text(status, body);
                 let _ = http::write_response(&mut writer, &resp, true);
                 let _ = writer.flush();
                 return;
@@ -326,7 +360,8 @@ mod tests {
             ..ServeConfig::default()
         });
         let (status, body) = request(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
-        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"state\":\"ok\""), "{body}");
         let (status, body) = request(
             addr,
             "POST /v1/impute HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 30\r\nConnection: close\r\n\r\n{\"tuples\": [[\"Malibu\", null]]}",
@@ -352,6 +387,36 @@ mod tests {
         let mut text = String::new();
         BufReader::new(stream).read_to_string(&mut text).unwrap();
         assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 2, "{text}");
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn stalled_requests_get_408_and_are_counted() {
+        let server = Server::bind(
+            ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 1,
+                read_timeout_secs: 1,
+                ..ServeConfig::default()
+            },
+            test_ctx(),
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let ctx = Arc::clone(&server.ctx);
+        let stop = server.shutdown_handle();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        // Slow-loris: open a request and stop mid-header, forever.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /healthz HTTP/1.1\r\nX-Stall: ye").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        assert!(status_line.starts_with("HTTP/1.1 408 "), "{status_line}");
+        assert_eq!(ctx.metrics.counter("http.timeouts").get(), 1);
+
         stop.store(true, Ordering::Relaxed);
         handle.join().unwrap();
     }

@@ -1,0 +1,413 @@
+//! The durable model store: a `.rnv` snapshot plus its sibling WAL.
+//!
+//! This module ties the pieces together for both the server
+//! (`/v1/ingest`, `/v1/compact`) and the CLI (`renuver ingest`):
+//!
+//! - **Recovery** ([`Durable::recover`]): open the WAL against the
+//!   loaded snapshot's `committed_seq` and replay every newer record
+//!   through [`Engine::commit_tuples`] — the exact method the live
+//!   write path uses — so the recovered engine is bit-identical to one
+//!   that never crashed.
+//! - **Append** ([`Durable::append`]): fsync the repaired batch into
+//!   the WAL *before* the engine commit is acknowledged.
+//! - **Compaction** ([`Durable::compact`]): snapshot the live engine
+//!   into a fresh artifact via temp-file + atomic rename, then truncate
+//!   the WAL. A crash between those two steps is benign: the snapshot
+//!   already carries `committed_seq`, so replay skips every WAL record
+//!   at or below it.
+//!
+//! # Crash-interleaving matrix
+//!
+//! | crash point                  | disk state on restart             | recovery outcome            |
+//! |------------------------------|-----------------------------------|-----------------------------|
+//! | before WAL fsync             | old snapshot, maybe-torn tail     | batch absent (never acked)  |
+//! | after WAL fsync, before ack  | old snapshot + full frame         | batch replayed (acceptable: |
+//! |                              |                                   | client saw no response)     |
+//! | compaction: before rename    | old snapshot + WAL, stray `.tmp`  | as if never compacted       |
+//! | compaction: after rename,    | new snapshot + stale WAL          | replay skips folded frames  |
+//! | before WAL truncate          |                                   |                             |
+//! | after WAL truncate           | new snapshot + empty WAL          | nothing to replay           |
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+use renuver_core::Engine;
+use renuver_data::Tuple;
+
+use crate::artifact::{self, ArtifactError};
+use crate::fault;
+use crate::wal::{sync_parent_dir, Wal, WalError};
+
+/// Compact once the WAL exceeds this many bytes (default).
+pub const DEFAULT_COMPACT_BYTES: u64 = 4 << 20;
+/// Compact once the WAL holds this many records (default).
+pub const DEFAULT_COMPACT_RECORDS: u64 = 256;
+
+/// Why the durable store failed to recover, append, or compact.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// The WAL failed to open or is corrupt beyond its torn tail.
+    Wal(WalError),
+    /// Snapshot encoding/writing failed during compaction.
+    Artifact(ArtifactError),
+    /// A WAL record decoded but the engine refused to commit it — the
+    /// log disagrees with the model schema it claims to extend.
+    Replay { seq: u64, reason: String },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Wal(e) => write!(f, "{e}"),
+            StoreError::Artifact(e) => write!(f, "{e}"),
+            StoreError::Replay { seq, reason } => {
+                write!(f, "wal replay failed at seq {seq}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+impl From<WalError> for StoreError {
+    fn from(e: WalError) -> Self {
+        StoreError::Wal(e)
+    }
+}
+impl From<ArtifactError> for StoreError {
+    fn from(e: ArtifactError) -> Self {
+        StoreError::Artifact(e)
+    }
+}
+
+/// How to wire durability for a model: where the files live and when to
+/// fold the WAL back into the snapshot.
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// The WAL path (conventionally `<model>.rnv.wal`).
+    pub wal_path: PathBuf,
+    /// The snapshot rewritten by compaction (the `.rnv` that was loaded).
+    pub snapshot_path: PathBuf,
+    /// Provenance string stamped into compacted snapshots.
+    pub source: String,
+    /// Compact once the WAL exceeds this many bytes.
+    pub compact_bytes: u64,
+    /// Compact once the WAL holds this many records.
+    pub compact_records: u64,
+}
+
+impl DurabilityOptions {
+    /// Conventional wiring for a model at `snapshot_path`: WAL beside it
+    /// at `<path>.wal`, default compaction thresholds.
+    pub fn beside(snapshot_path: impl Into<PathBuf>, source: &str) -> DurabilityOptions {
+        let snapshot_path = snapshot_path.into();
+        let mut wal_os = snapshot_path.clone().into_os_string();
+        wal_os.push(".wal");
+        DurabilityOptions {
+            wal_path: PathBuf::from(wal_os),
+            snapshot_path,
+            source: source.to_string(),
+            compact_bytes: DEFAULT_COMPACT_BYTES,
+            compact_records: DEFAULT_COMPACT_RECORDS,
+        }
+    }
+}
+
+/// What recovery found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// WAL records replayed into the engine (seq > snapshot seq).
+    pub replayed: usize,
+    /// Rows appended to the relation by replay.
+    pub rows: usize,
+    /// The sequence number the store is at after recovery.
+    pub seq: u64,
+}
+
+/// A live durable store: the open WAL plus compaction wiring.
+pub struct Durable {
+    wal: Wal,
+    opts: DurabilityOptions,
+}
+
+impl Durable {
+    /// Opens the WAL for a just-loaded snapshot and replays outstanding
+    /// records into `engine`. `snapshot_seq` is the artifact's
+    /// `committed_seq`. On success the engine reflects every batch that
+    /// was ever acknowledged, and nothing that wasn't.
+    pub fn recover(
+        engine: &mut Engine,
+        snapshot_seq: u64,
+        opts: DurabilityOptions,
+    ) -> Result<(Durable, RecoveryReport), StoreError> {
+        let schema_fp = artifact::schema_fingerprint(engine.relation().schema());
+        let arity = engine.relation().arity();
+        let (wal, records) = Wal::open(&opts.wal_path, schema_fp, snapshot_seq, arity)?;
+        let mut replayed = 0;
+        let mut rows = 0;
+        for record in records {
+            let stats = engine
+                .commit_tuples(record.tuples)
+                .map_err(|e| StoreError::Replay { seq: record.seq, reason: e.to_string() })?;
+            replayed += 1;
+            rows += stats.rows;
+        }
+        let seq = wal.last_seq();
+        Ok((Durable { wal, opts }, RecoveryReport { replayed, rows, seq }))
+    }
+
+    /// Makes one repaired batch durable and returns its sequence
+    /// number. Must be called — and must succeed — *before* the batch
+    /// is committed to the engine and acknowledged to the client.
+    pub fn append(&mut self, tuples: &[Tuple]) -> io::Result<u64> {
+        self.wal.append(tuples)
+    }
+
+    /// Whether the WAL has grown past either compaction threshold.
+    pub fn should_compact(&self) -> bool {
+        self.wal.bytes() >= self.opts.compact_bytes
+            || self.wal.records() >= self.opts.compact_records
+    }
+
+    /// Folds the engine's current state into a fresh snapshot and
+    /// truncates the WAL. The snapshot becomes visible atomically
+    /// (temp file + rename); the WAL is reset only after the rename is
+    /// durable, so a crash anywhere in between recovers correctly (see
+    /// the module-level matrix). Returns the snapshot's sequence.
+    ///
+    /// The caller must hold the engine lock (or otherwise guarantee no
+    /// concurrent commit) so `engine` and `last_seq` agree.
+    pub fn compact(&mut self, engine: &Engine) -> Result<u64, StoreError> {
+        let seq = self.wal.last_seq();
+        fault::hit("compact.pre_write")?;
+        let bytes = artifact::encode_engine(engine, &self.opts.source, seq);
+        let tmp = self.opts.snapshot_path.with_extension("rnv.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fault::hit("compact.pre_rename")?;
+        std::fs::rename(&tmp, &self.opts.snapshot_path)?;
+        sync_parent_dir(&self.opts.snapshot_path);
+        fault::hit("compact.post_rename")?;
+        fault::hit("compact.pre_truncate")?;
+        self.wal.reset(seq)?;
+        Ok(seq)
+    }
+
+    /// Highest durable sequence number.
+    pub fn last_seq(&self) -> u64 {
+        self.wal.last_seq()
+    }
+    /// Current WAL size in bytes.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.bytes()
+    }
+    /// Records currently in the WAL.
+    pub fn wal_records(&self) -> u64 {
+        self.wal.records()
+    }
+    /// The store's wiring (paths, thresholds).
+    pub fn options(&self) -> &DurabilityOptions {
+        &self.opts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renuver_core::RenuverConfig;
+    use renuver_data::{csv, Value};
+    use renuver_rfd::{Constraint, Rfd, RfdSet};
+    use std::path::Path;
+
+    fn fresh_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("renuver-store-tests-{}", std::process::id()))
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn engine() -> Engine {
+        let rel = csv::read_str(
+            "City:text,Zip:text\n\
+             Malibu,90265\n\
+             Hollywood,90028\n\
+             Provo,84601\n",
+        )
+        .unwrap();
+        let rfds =
+            RfdSet::from_vec(vec![Rfd::new(vec![Constraint::new(0, 0.0)], Constraint::new(1, 0.0))]);
+        Engine::prepare(rel, rfds, RenuverConfig::default())
+    }
+
+    fn batch(n: i64) -> Vec<Tuple> {
+        vec![vec![Value::Text(format!("City{n}")), Value::Text(format!("{:05}", 10000 + n))]]
+    }
+
+    fn opts(dir: &Path) -> DurabilityOptions {
+        let mut o = DurabilityOptions::beside(dir.join("model.rnv"), "store-tests");
+        o.compact_bytes = u64::MAX;
+        o.compact_records = u64::MAX;
+        o
+    }
+
+    /// Write an initial snapshot the way `renuver prepare` would.
+    fn seed_snapshot(dir: &Path, engine: &Engine) {
+        std::fs::write(dir.join("model.rnv"), artifact::encode_engine(engine, "store-tests", 0))
+            .unwrap();
+    }
+
+    #[test]
+    fn recover_replays_exactly_the_unfolded_suffix() {
+        let dir = fresh_dir("replay-suffix");
+        let mut live = engine();
+        seed_snapshot(&dir, &live);
+        let (mut durable, report) = Durable::recover(&mut live, 0, opts(&dir)).unwrap();
+        assert_eq!(report, RecoveryReport { replayed: 0, rows: 0, seq: 0 });
+
+        // Ack two batches through the durable path.
+        for n in 1..=2 {
+            let tuples = batch(n);
+            durable.append(&tuples).unwrap();
+            live.commit_tuples(tuples).unwrap();
+        }
+
+        // "Crash": rebuild from the untouched snapshot + WAL.
+        let snapshot = artifact::load(dir.join("model.rnv")).unwrap();
+        let committed = snapshot.committed_seq;
+        let mut recovered = snapshot.into_engine(RenuverConfig::default());
+        let (_, report) = Durable::recover(&mut recovered, committed, opts(&dir)).unwrap();
+        assert_eq!(report, RecoveryReport { replayed: 2, rows: 2, seq: 2 });
+
+        // Bit-identical to the never-crashed engine.
+        assert_eq!(
+            artifact::encode_engine(&recovered, "x", report.seq),
+            artifact::encode_engine(&live, "x", 2),
+        );
+    }
+
+    #[test]
+    fn compact_folds_the_wal_and_recovery_still_agrees() {
+        let dir = fresh_dir("compact");
+        let mut live = engine();
+        seed_snapshot(&dir, &live);
+        let (mut durable, _) = Durable::recover(&mut live, 0, opts(&dir)).unwrap();
+        for n in 1..=3 {
+            let tuples = batch(n);
+            durable.append(&tuples).unwrap();
+            live.commit_tuples(tuples).unwrap();
+        }
+        assert_eq!(durable.compact(&live).unwrap(), 3);
+        assert_eq!(durable.wal_records(), 0);
+
+        // One more batch after compaction.
+        let tuples = batch(4);
+        durable.append(&tuples).unwrap();
+        live.commit_tuples(tuples).unwrap();
+
+        let snapshot = artifact::load(dir.join("model.rnv")).unwrap();
+        assert_eq!(snapshot.committed_seq, 3);
+        let committed = snapshot.committed_seq;
+        let mut recovered = snapshot.into_engine(RenuverConfig::default());
+        let (_, report) = Durable::recover(&mut recovered, committed, opts(&dir)).unwrap();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.seq, 4);
+        assert_eq!(
+            artifact::encode_engine(&recovered, "x", 4),
+            artifact::encode_engine(&live, "x", 4),
+        );
+    }
+
+    #[test]
+    fn crash_between_rename_and_truncate_skips_folded_frames() {
+        let dir = fresh_dir("post-rename");
+        let mut live = engine();
+        seed_snapshot(&dir, &live);
+        let (mut durable, _) = Durable::recover(&mut live, 0, opts(&dir)).unwrap();
+        for n in 1..=2 {
+            let tuples = batch(n);
+            durable.append(&tuples).unwrap();
+            live.commit_tuples(tuples).unwrap();
+        }
+
+        // Simulate the crash window: snapshot renamed, WAL untouched.
+        fault::arm("compact.pre_truncate", fault::Action::Err);
+        let err = durable.compact(&live).unwrap_err();
+        fault::disarm("compact.pre_truncate");
+        assert!(err.to_string().contains("injected fault"));
+        assert_eq!(durable.wal_records(), 2, "wal must survive the failed truncate");
+
+        // Recovery: new snapshot already holds both batches; the stale
+        // WAL's frames are all ≤ committed_seq and must be skipped.
+        let snapshot = artifact::load(dir.join("model.rnv")).unwrap();
+        assert_eq!(snapshot.committed_seq, 2);
+        let committed = snapshot.committed_seq;
+        let mut recovered = snapshot.into_engine(RenuverConfig::default());
+        let (_, report) = Durable::recover(&mut recovered, committed, opts(&dir)).unwrap();
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.seq, 2);
+        assert_eq!(
+            artifact::encode_engine(&recovered, "x", 2),
+            artifact::encode_engine(&live, "x", 2),
+        );
+    }
+
+    #[test]
+    fn crash_before_rename_is_as_if_compaction_never_ran() {
+        let dir = fresh_dir("pre-rename");
+        let mut live = engine();
+        seed_snapshot(&dir, &live);
+        let (mut durable, _) = Durable::recover(&mut live, 0, opts(&dir)).unwrap();
+        let tuples = batch(1);
+        durable.append(&tuples).unwrap();
+        live.commit_tuples(tuples).unwrap();
+
+        fault::arm("compact.pre_rename", fault::Action::Err);
+        assert!(durable.compact(&live).is_err());
+        fault::disarm("compact.pre_rename");
+
+        let snapshot = artifact::load(dir.join("model.rnv")).unwrap();
+        assert_eq!(snapshot.committed_seq, 0, "old snapshot must be untouched");
+        let committed = snapshot.committed_seq;
+        let mut recovered = snapshot.into_engine(RenuverConfig::default());
+        let (_, report) = Durable::recover(&mut recovered, committed, opts(&dir)).unwrap();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(
+            artifact::encode_engine(&recovered, "x", 1),
+            artifact::encode_engine(&live, "x", 1),
+        );
+    }
+
+    #[test]
+    fn threshold_trips_should_compact() {
+        let dir = fresh_dir("threshold");
+        let mut live = engine();
+        seed_snapshot(&dir, &live);
+        let mut o = opts(&dir);
+        o.compact_records = 2;
+        let (mut durable, _) = Durable::recover(&mut live, 0, o).unwrap();
+        assert!(!durable.should_compact());
+        for n in 1..=2 {
+            let tuples = batch(n);
+            durable.append(&tuples).unwrap();
+            live.commit_tuples(tuples).unwrap();
+        }
+        assert!(durable.should_compact());
+        durable.compact(&live).unwrap();
+        assert!(!durable.should_compact());
+    }
+}

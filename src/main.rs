@@ -63,9 +63,13 @@ const USAGE: &str = "usage:
                    [--auto-limits F] [--max-lhs N]
                    [--index-mode scan|indexed|auto]
   renuver inspect  <model.rnv>
+  renuver ingest   <model.rnv> <batch.csv> [--out repaired.csv] [--compact]
+                   [--compact-bytes-mb M] [--compact-records N]
   renuver serve    <model.rnv | data.csv> [--addr HOST:PORT] [--workers N]
                    [--queue N] [--max-body-mb M] [--default-timeout-ms T]
-                   [--max-timeout-ms T] [--rfds rfds.txt | --limit N]
+                   [--max-timeout-ms T] [--read-timeout-secs S]
+                   [--wal] [--compact-bytes-mb M] [--compact-records N]
+                   [--rfds rfds.txt | --limit N]
                    [--auto-limits F] [--max-lhs N]
                    [--index-mode scan|indexed|auto]
 
@@ -83,7 +87,7 @@ observability flags (discover, impute, compare):
 /// The recognised subcommands, in USAGE order — listed back to the user
 /// when they mistype one.
 const COMMANDS: &str =
-    "stats, audit, discover, inject, impute, evaluate, compare, prepare, inspect, serve";
+    "stats, audit, discover, inject, impute, evaluate, compare, prepare, inspect, ingest, serve";
 
 /// Budget-related flags, shared by `discover`, `impute`, and `compare`.
 const BUDGET_VALUE_FLAGS: [&str; 3] = ["--timeout-secs", "--mem-limit-mb", "--ops-limit"];
@@ -319,6 +323,10 @@ fn flag_spec(cmd: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
             (v, vec![])
         }
         "inspect" => (vec![], vec![]),
+        "ingest" => (
+            vec!["--out", "--compact-bytes-mb", "--compact-records"],
+            vec!["--compact"],
+        ),
         "serve" => {
             let mut v = vec![
                 "--addr",
@@ -327,11 +335,14 @@ fn flag_spec(cmd: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
                 "--max-body-mb",
                 "--default-timeout-ms",
                 "--max-timeout-ms",
+                "--read-timeout-secs",
+                "--compact-bytes-mb",
+                "--compact-records",
                 "--rfds",
                 "--index-mode",
             ];
             v.extend(discovery);
-            (v, vec![])
+            (v, vec!["--wal"])
         }
         _ => return None,
     };
@@ -372,6 +383,7 @@ fn run(raw: &[String]) -> Result<(), String> {
         "compare" => compare_cmd(&args),
         "prepare" => prepare_cmd(&args),
         "inspect" => inspect_cmd(&args),
+        "ingest" => ingest_cmd(&args),
         "serve" => serve_cmd(&args),
         other => Err(format!("unknown command {other:?} (valid commands: {COMMANDS})")),
     }
@@ -867,7 +879,9 @@ fn prepare_cmd(args: &Args) -> Result<(), String> {
     let (engine, build_time, _) = renuver::budget::measure(|| {
         renuver::core::Engine::prepare(rel, rfds, config)
     });
-    let bytes = artifact::encode_engine(&engine, &path);
+    // A freshly prepared model starts at durable sequence 0; `ingest`
+    // advances it one WAL record at a time from there.
+    let bytes = artifact::encode_engine(&engine, &path, 0);
     std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
     println!(
         "wrote {out}: {} tuples, {} RFDs, {}{} (built in {})",
@@ -893,6 +907,16 @@ fn inspect_cmd(args: &Args) -> Result<(), String> {
     println!("  tuples:      {}", info.rows);
     println!("  rfds:        {}", info.rfds);
     println!("  index:       {}", if info.indexed { "snapshotted" } else { "none" });
+    println!("  seq:         {}", info.committed_seq);
+    // A sibling WAL means the snapshot may be behind the durable state;
+    // `ingest`/`serve --wal` replays it, `--compact` folds it back in.
+    let wal_path = format!("{path}.wal");
+    if let Ok(meta) = std::fs::metadata(&wal_path) {
+        println!(
+            "  wal:         {wal_path} ({})",
+            renuver::budget::format_bytes(meta.len() as usize)
+        );
+    }
     println!("  schema:      ({} attributes)", info.arity);
     for (name, ty) in &info.attrs {
         println!("    {name}: {ty}");
@@ -900,12 +924,148 @@ fn inspect_cmd(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Compaction-threshold overrides shared by `ingest` and `serve --wal`.
+/// The WAL lives beside the snapshot (`<model>.rnv.wal`); the snapshot
+/// provenance string is carried forward into compacted rewrites.
+fn durability_options(
+    args: &Args,
+    model_path: &str,
+    source: &str,
+) -> Result<renuver::serve::DurabilityOptions, String> {
+    let mut opts = renuver::serve::DurabilityOptions::beside(model_path, source);
+    if let Some(mb) = args.parse_value::<u64>("--compact-bytes-mb")? {
+        opts.compact_bytes = mb.saturating_mul(1024 * 1024);
+    }
+    if let Some(n) = args.parse_value::<u64>("--compact-records")? {
+        opts.compact_records = n;
+    }
+    Ok(opts)
+}
+
+/// Repairs one batch against a prepared model and commits it durably.
+///
+/// The ordering is the whole point: the repaired tuples are fsynced
+/// into the model's WAL *before* they are folded into the in-memory
+/// relation/oracle/index and before anything is printed. A crash at
+/// any step leaves a state the next `ingest` or `serve --wal` run
+/// recovers from — either the batch is fully present or fully absent,
+/// never half-applied. (The fault-injection matrix in
+/// `tests/wal_recovery.rs` kills this command at every crash point and
+/// checks exactly that.)
+fn ingest_cmd(args: &Args) -> Result<(), String> {
+    use renuver::data::{AttrType, Value};
+    use renuver::serve::{artifact, Durable};
+    let (model_path, batch_path) = match args.positional() {
+        [m, b] => (*m, *b),
+        other => {
+            return Err(format!(
+                "ingest needs a model and a batch (renuver ingest model.rnv batch.csv), got {} positionals",
+                other.len()
+            ))
+        }
+    };
+    if !model_path.to_ascii_lowercase().ends_with(".rnv") {
+        return Err(format!(
+            "{model_path}: ingest commits into a prepared artifact (.rnv); run `renuver prepare` first"
+        ));
+    }
+    let loaded = artifact::load(model_path).map_err(|e| format!("{model_path}: {e}"))?;
+    let snapshot_seq = loaded.committed_seq;
+    let source = loaded.source.clone();
+    let config = RenuverConfig {
+        index_mode: if loaded.index.is_some() { IndexMode::Indexed } else { IndexMode::Scan },
+        ..RenuverConfig::default()
+    };
+    let mut engine = loaded.into_engine(config);
+    let opts = durability_options(args, model_path, &source)?;
+    let (mut durable, report) =
+        Durable::recover(&mut engine, snapshot_seq, opts).map_err(|e| format!("{model_path}: {e}"))?;
+    if report.replayed > 0 {
+        eprintln!(
+            "recovered {} wal record(s), {} rows; model is at seq {}",
+            report.replayed, report.rows, report.seq
+        );
+    }
+
+    let batch = load(batch_path)?;
+    let names: Vec<&str> = batch.schema().attrs().map(|a| a.name.as_str()).collect();
+    let expected: Vec<&str> = engine.schema().attrs().map(|a| a.name.as_str()).collect();
+    if names != expected {
+        return Err(format!(
+            "{batch_path}: header {names:?} does not match the model schema {expected:?}"
+        ));
+    }
+    // The batch header may omit type annotations (columns read as text);
+    // coerce to the model's types, same leniency as `/v1/ingest` CSV.
+    let tuples: Vec<renuver::data::Tuple> = batch
+        .tuples()
+        .map(|t| {
+            t.iter()
+                .enumerate()
+                .map(|(col, v)| {
+                    let ty = engine.schema().ty(col);
+                    match (v, ty) {
+                        (Value::Null, _) => Value::Null,
+                        (Value::Text(_), AttrType::Text)
+                        | (Value::Int(_), AttrType::Int)
+                        | (Value::Float(_), AttrType::Float)
+                        | (Value::Bool(_), AttrType::Bool) => v.clone(),
+                        (Value::Int(n), AttrType::Float) => Value::Float(*n as f64),
+                        _ => Value::parse(&v.render(), ty),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let config = engine.config().clone();
+    let result = engine
+        .impute_batch_with(tuples, &config)
+        .map_err(|e| format!("{batch_path}: {e}"))?;
+    let seq = durable
+        .append(&result.tuples)
+        .map_err(|e| format!("wal append failed, nothing committed: {e}"))?;
+    let stats = engine
+        .commit_tuples(result.tuples.clone())
+        .map_err(|e| format!("commit failed after wal append; the next run replays seq {seq}: {e}"))?;
+    eprintln!(
+        "seq {seq}: imputed {}/{} missing cells, committed {} row(s) ({} donors total{})",
+        result.stats.imputed,
+        result.stats.missing_total,
+        stats.rows,
+        stats.donors,
+        if stats.dict_grown > 0 {
+            format!(", dictionary grew by {}", stats.dict_grown)
+        } else {
+            String::new()
+        },
+    );
+    if args.has("--compact") || durable.should_compact() {
+        let folded = durable.compact(&engine).map_err(|e| e.to_string())?;
+        eprintln!("compacted: snapshot rewritten at seq {folded}, wal truncated");
+    }
+    let repaired = Relation::new(engine.schema().clone(), result.tuples.clone())
+        .map_err(|e| e.to_string())?;
+    match args.value("--out") {
+        Some(path) => save(&repaired, path),
+        None => {
+            print!("{}", csv::write_string(&repaired));
+            Ok(())
+        }
+    }
+}
+
+/// The artifact's committed sequence number and provenance string —
+/// present only for `.rnv` models (a dataset-built engine has no
+/// snapshot to compact into).
+type DurabilitySeed = Option<(u64, String)>;
+
 /// Builds the serving engine from either an `.rnv` artifact or a raw
 /// dataset (discovering RFDs and building the oracle/index in-process).
 fn serve_engine(
     args: &Args,
     path: &str,
-) -> Result<(renuver::core::Engine, renuver::serve::ModelInfo), String> {
+) -> Result<(renuver::core::Engine, renuver::serve::ModelInfo, DurabilitySeed), String> {
     use renuver::serve::artifact;
     if path.to_ascii_lowercase().ends_with(".rnv") {
         let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
@@ -915,6 +1075,7 @@ fn serve_engine(
             schema_fingerprint: loaded.schema_fingerprint,
             artifact_bytes: bytes.len(),
         };
+        let seed = (loaded.committed_seq, loaded.source.clone());
         let config = RenuverConfig {
             // The artifact dictates whether an index exists; `Auto` would
             // lie about a model snapshotted without one.
@@ -925,7 +1086,7 @@ fn serve_engine(
             },
             ..RenuverConfig::default()
         };
-        Ok((loaded.into_engine(config), info))
+        Ok((loaded.into_engine(config), info, Some(seed)))
     } else {
         let rel = load(path)?;
         let rfds = rfds_for_model(args, &rel)?;
@@ -940,16 +1101,17 @@ fn serve_engine(
             schema_fingerprint: fingerprint,
             artifact_bytes: 0,
         };
-        Ok((engine, info))
+        Ok((engine, info, None))
     }
 }
 
 fn serve_cmd(args: &Args) -> Result<(), String> {
-    use renuver::serve::{install_signal_handlers, Ctx, ServeConfig, Server};
+    use renuver::serve::{install_signal_handlers, Ctx, Durable, ServeConfig, ServeState, Server};
     let path = one_positional(args)?;
-    let (engine, info) = serve_engine(args, &path)?;
+    let (engine, info, durability) = serve_engine(args, &path)?;
     let default_timeout_ms: Option<u64> = args.parse_value("--default-timeout-ms")?;
     let max_timeout_ms: u64 = args.parse_value("--max-timeout-ms")?.unwrap_or(60_000);
+    let defaults = ServeConfig::default();
     let config = ServeConfig {
         addr: args.value("--addr").unwrap_or("127.0.0.1:7171").to_string(),
         workers: args.parse_value("--workers")?.unwrap_or(4),
@@ -958,19 +1120,62 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
             .parse_value::<usize>("--max-body-mb")?
             .unwrap_or(4)
             .saturating_mul(1024 * 1024),
-        ..ServeConfig::default()
+        read_timeout_secs: args
+            .parse_value("--read-timeout-secs")?
+            .unwrap_or(defaults.read_timeout_secs),
+        ..defaults
     };
     let rows = engine.donor_rows();
     let rfds = engine.sigma().len();
     let ctx = std::sync::Arc::new(Ctx::new(engine, info, default_timeout_ms, max_timeout_ms));
+
+    // `--wal` arms the durable write path: the server binds immediately
+    // (healthz answers `"state":"recovering"`, ingest answers 503) and a
+    // background thread replays the WAL before flipping the state to ok.
+    let recovery = if args.has("--wal") {
+        let Some((snapshot_seq, source)) = durability else {
+            return Err(
+                "--wal needs a .rnv artifact to compact into; run `renuver prepare` first".into(),
+            );
+        };
+        let opts = durability_options(args, &path, &source)?;
+        ctx.set_state(ServeState::Recovering);
+        Some((snapshot_seq, opts))
+    } else {
+        None
+    };
+
     install_signal_handlers();
-    let server = Server::bind(config, ctx).map_err(|e| e.to_string())?;
+    let server = Server::bind(config, ctx.clone()).map_err(|e| e.to_string())?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     // The e2e harness polls stdout for this line; flush so a piped
     // stdout does not buffer it past the first request.
     println!("listening on {addr} ({rows} tuples, {rfds} RFDs)");
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
+    if let Some((snapshot_seq, opts)) = recovery {
+        let ctx = ctx.clone();
+        std::thread::spawn(move || {
+            // Replay holds the engine lock, so read requests queue behind
+            // it briefly; ingest is refused by the state gate either way.
+            let mut engine = ctx.lock_engine();
+            match Durable::recover(&mut engine, snapshot_seq, opts) {
+                Ok((durable, report)) => {
+                    drop(engine);
+                    eprintln!(
+                        "wal: replayed {} record(s), {} rows; durable at seq {}",
+                        report.replayed, report.rows, report.seq
+                    );
+                    ctx.install_durable(durable);
+                }
+                Err(e) => {
+                    drop(engine);
+                    eprintln!("wal: recovery failed, serving reads only (state degraded): {e}");
+                    ctx.set_state(ServeState::Degraded);
+                }
+            }
+        });
+    }
     let shed = server.run().map_err(|e| e.to_string())?;
     println!("shutdown complete ({shed} connections shed)");
     Ok(())
@@ -1015,7 +1220,7 @@ mod tests {
         assert!(err.contains("unknown command \"imptue\""), "{err}");
         for cmd in [
             "stats", "audit", "discover", "inject", "impute", "evaluate", "compare", "prepare",
-            "inspect", "serve",
+            "inspect", "ingest", "serve",
         ] {
             assert!(err.contains(cmd), "missing {cmd} in: {err}");
         }

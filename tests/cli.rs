@@ -132,7 +132,7 @@ fn prepare_inspect_serve_round_trip() {
     let out = bin().arg("inspect").arg(&model).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8(out.stdout).unwrap();
-    for needle in ["format:      v1", "tuples:      6", "City: text", "Pop: int"] {
+    for needle in ["format:      v2", "tuples:      6", "City: text", "Pop: int"] {
         assert!(stdout.contains(needle), "missing {needle:?} in: {stdout}");
     }
 

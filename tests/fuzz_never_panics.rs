@@ -92,7 +92,7 @@ fn seed_artifact() -> Vec<u8> {
             ..RenuverConfig::default()
         },
     );
-    artifact::encode_engine(&engine, "fuzz-seed")
+    artifact::encode_engine(&engine, "fuzz-seed", 0)
 }
 
 proptest! {

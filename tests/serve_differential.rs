@@ -121,7 +121,7 @@ fn assert_artifact_load_matches_build(
     mode: IndexMode,
 ) {
     let mut built = Engine::prepare(base.clone(), sigma.clone(), config(mode));
-    let bytes = artifact::encode_engine(&built, "differential");
+    let bytes = artifact::encode_engine(&built, "differential", 0);
     let loaded = artifact::decode(&bytes).expect("snapshot decodes");
     assert_eq!(loaded.index.is_some(), built.index().is_some());
     let mut loaded = loaded.into_engine(config(mode));

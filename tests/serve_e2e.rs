@@ -230,6 +230,77 @@ fn overload_sheds_with_503_and_accounts_for_it() {
 }
 
 #[test]
+fn healthz_reports_state_and_seq() {
+    let (addr, ctx, stop, handle) = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    });
+    let (status, body) = request(addr, b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"state\":\"ok\""), "{body}");
+    assert!(body.contains("\"seq\":0"), "{body}");
+
+    // A model served without --wal refuses ingest with 503 + Retry-After.
+    let ingest_body = r#"{"tuples": [["City07", null]]}"#;
+    let raw = format!(
+        "POST /v1/ingest HTTP/1.1\r\nHost: e2e\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{ingest_body}",
+        ingest_body.len()
+    );
+    let (status, body) = request(addr, raw.as_bytes());
+    assert_eq!(status, 503, "{body}");
+    assert!(body.to_ascii_lowercase().contains("retry-after:"), "{body}");
+
+    stop.store(true, Ordering::Relaxed);
+    handle.join().unwrap();
+    drop(ctx);
+}
+
+/// Slow-loris clients: connections that trickle a request and then
+/// stall must be answered with `408` within the read deadline and
+/// counted, while a healthy client on the same pool is unaffected.
+#[test]
+fn stalled_connections_get_408_without_starving_the_pool() {
+    let (addr, ctx, stop, handle) = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        read_timeout_secs: 1,
+        ..ServeConfig::default()
+    });
+
+    const LORIS: usize = 3;
+    let mut clients = Vec::new();
+    for _ in 0..LORIS {
+        clients.push(std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+                .unwrap();
+            // A plausible prefix, then silence.
+            stream.write_all(b"POST /v1/impute HTTP/1.1\r\nHost: loris\r\nConte").unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut status_line = String::new();
+            reader.read_line(&mut status_line).unwrap();
+            assert!(
+                status_line.starts_with("HTTP/1.1 408 "),
+                "stalled client expected 408, got {status_line:?}"
+            );
+        }));
+    }
+    // A healthy request while the stalls are pending.
+    let (status, body) = request(addr, &post_impute(r#"{"tuples": [["City07", null]]}"#, ""));
+    assert_eq!(status, 200, "{body}");
+    for c in clients {
+        c.join().expect("loris client panicked");
+    }
+    assert_eq!(ctx.metrics.counter("http.timeouts").get(), LORIS as u64);
+
+    stop.store(true, Ordering::Relaxed);
+    handle.join().unwrap();
+}
+
+#[test]
 fn graceful_shutdown_drains_inflight_requests() {
     let (addr, _ctx, stop, handle) = start(ServeConfig {
         addr: "127.0.0.1:0".into(),
