@@ -24,6 +24,7 @@ pub mod config;
 pub mod engine;
 pub mod external;
 pub mod result;
+pub mod shard;
 pub mod verify;
 
 pub use algorithm::Renuver;
@@ -37,5 +38,8 @@ pub use external::SchemaMismatch;
 pub use result::{
     CellExplain, CellOutcome, DryReason, ExplainWinner, ImputationResult, ImputationStats,
     ImputedCell, TraceEvent,
+};
+pub use shard::{
+    commit_sharded, impute_sharded, partition, partition_attrs, partition_by, shard_of, ShardPlan,
 };
 pub use verify::{is_faultless, VerifyPlan};

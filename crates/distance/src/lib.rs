@@ -17,7 +17,7 @@ pub mod pattern;
 pub use extra::{jaccard_token_distance, jaro_winkler_distance, soundex};
 pub use functions::{
     levenshtein, levenshtein_bounded, levenshtein_bounded_scalar, levenshtein_scalar,
-    value_distance,
+    value_distance, value_distance_bounded,
 };
 pub use index::{intersect_sorted, union_sorted, AttrSnapshot, SimilarityIndex};
 pub use kernels::{myers_levenshtein, myers_levenshtein_bounded, MyersPattern};

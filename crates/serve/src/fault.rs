@@ -29,6 +29,8 @@
 //! | `compact.pre_rename`     | temp file complete, rename not yet issued   |
 //! | `compact.post_rename`    | snapshot live, WAL not yet truncated        |
 //! | `compact.pre_truncate`   | alias point directly before the WAL reset   |
+//! | `compact.shard_done`     | sharded only: one shard snapshot renamed,   |
+//! |                          | siblings and the manifest still old         |
 
 use std::collections::HashMap;
 use std::io;

@@ -18,6 +18,14 @@
 //!   point yields an engine bit-identical to one that never crashed.
 //!   [`fault`] is the injection harness the crash-recovery test matrix
 //!   drives.
+//! - [`registry`] — the sharded topology (`serve --shards N`): N shard
+//!   engines partitioned by RFD left-hand-side values behind an
+//!   immutable published snapshot, so imputes run lock-free and merge
+//!   bit-identically to a single engine. Per-shard WALs each log the
+//!   full batch (any healthy log rebuilds a dead sibling's tail),
+//!   compaction runs off-request, and `PUT /v1/model` / `SIGHUP`
+//!   atomically swap the serving model with zero downtime, guarded by
+//!   the schema fingerprint.
 //! - [`http`], [`server`], [`router`] — a dependency-free HTTP/1.1
 //!   server (the build container is offline; `std::net` is all there
 //!   is) with a fixed worker pool, a bounded accept queue that sheds
@@ -33,13 +41,17 @@ pub mod artifact;
 mod codec;
 pub mod fault;
 pub mod http;
+pub mod registry;
 pub mod router;
 pub mod server;
 pub mod store;
 pub mod wal;
 
 pub use artifact::{Artifact, ArtifactError, ArtifactInfo};
-pub use router::{Ctx, ModelInfo, ServeState};
+pub use registry::{
+    IngestOutcome, Manifest, Registry, RegistryError, ShardLayout, ShardRecovery, ShardState, Snap,
+};
+pub use router::{Ctx, ModelInfo, ServeState, Topology};
 pub use server::{install_signal_handlers, ServeConfig, Server};
 pub use store::{Durable, DurabilityOptions, RecoveryReport, StoreError};
 pub use wal::{Wal, WalError, WalRecord};

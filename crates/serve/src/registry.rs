@@ -1,0 +1,1167 @@
+//! The sharded engine registry: N relation shards behind one router.
+//!
+//! A registry partitions the reference relation into `n_shards` parts with
+//! [`renuver_core::partition`] (key-RFD LHS attributes when one exists,
+//! hash of all LHS values otherwise) and serves every `/v1/impute` request
+//! from an immutable, atomically swapped snapshot ([`Snap`]) — requests
+//! clone one `Arc` and run entirely lock-free, which is what buys the
+//! multi-core throughput the single `Mutex<Engine>` topology cannot reach.
+//! Results are byte-identical to the single-engine path: the merge
+//! contract is proven by `tests/shard_differential.rs`.
+//!
+//! ## Durable layout
+//!
+//! Beside a base model at `model.rnv`, a durable registry keeps
+//!
+//! | file                  | holds                                         |
+//! |-----------------------|-----------------------------------------------|
+//! | `model.rnv.shard<k>`  | shard `k`'s snapshot (a normal v2 artifact)   |
+//! | `model.rnv.shard<k>.wal` | shard `k`'s write-ahead log                |
+//! | `model.rnv.manifest`  | routing table: shard id per global base row   |
+//!
+//! Every shard WAL records the **full repaired batch** (not just the
+//! shard's own rows). That redundancy is the recovery story: any healthy
+//! WAL can rebuild the global `locate` table and the in-memory tail of a
+//! shard whose own log is gone, so a single-shard crash degrades exactly
+//! one shard instead of the registry.
+//!
+//! ## Recovery
+//!
+//! With the manifest at seq `M` and shard snapshots at seqs `s_k ≥ M`
+//! (mixed after a mid-compaction crash), every WAL is opened at
+//! `snapshot_seq = M` — the manifest is always written before any WAL is
+//! truncated, so `base_seq ≤ M` holds for every log. The committed
+//! horizon is the minimum `last_seq` over healthy WALs; batches
+//! `M+1 ..= committed` replay in order, growing `locate` for every tuple
+//! but pushing a tuple into part `k` only when its seq exceeds `s_k`
+//! (rows at or below `s_k` are already inside that shard's snapshot).
+//! A recovery that finds mixed snapshot seqs compacts once to normalize.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use renuver_core::{commit_sharded, impute_sharded, partition, shard_of, BatchResult, ShardPlan};
+use renuver_core::RenuverConfig;
+use renuver_data::{DataError, Relation, Schema, Tuple};
+use renuver_distance::DistanceOracle;
+use renuver_rfd::RfdSet;
+
+use crate::artifact::{self, Artifact, ArtifactError};
+use crate::fault;
+use crate::store::StoreError;
+use crate::wal::{sync_parent_dir, Wal, WalRecord};
+
+/// Manifest magic: `RNVM`.
+const MANIFEST_MAGIC: [u8; 4] = *b"RNVM";
+/// Manifest format version.
+const MANIFEST_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------- layout
+
+/// Path conventions for a sharded model rooted at a base `.rnv` path.
+#[derive(Debug, Clone)]
+pub struct ShardLayout {
+    base: PathBuf,
+}
+
+impl ShardLayout {
+    /// A layout rooted beside `base` (conventionally the `model.rnv` the
+    /// registry was prepared from).
+    pub fn beside(base: impl Into<PathBuf>) -> ShardLayout {
+        ShardLayout { base: base.into() }
+    }
+
+    fn suffixed(&self, suffix: &str) -> PathBuf {
+        let mut os = self.base.clone().into_os_string();
+        os.push(suffix);
+        PathBuf::from(os)
+    }
+
+    /// `model.rnv.shard<k>` — shard `k`'s snapshot.
+    pub fn shard_snapshot(&self, k: usize) -> PathBuf {
+        self.suffixed(&format!(".shard{k}"))
+    }
+
+    /// `model.rnv.shard<k>.wal` — shard `k`'s write-ahead log.
+    pub fn shard_wal(&self, k: usize) -> PathBuf {
+        self.suffixed(&format!(".shard{k}.wal"))
+    }
+
+    /// `model.rnv.manifest` — the routing manifest.
+    pub fn manifest(&self) -> PathBuf {
+        self.suffixed(".manifest")
+    }
+}
+
+// -------------------------------------------------------------- manifest
+
+/// The routing manifest: which shard owns each global base row, plus the
+/// partition attributes so WAL replay re-derives identical assignments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Schema fingerprint — must match every shard snapshot and WAL.
+    pub schema_fp: u64,
+    /// Number of shards in the layout.
+    pub n_shards: usize,
+    /// The seq this manifest (and the `assign` table) covers.
+    pub seq: u64,
+    /// Partition attributes hashed by [`shard_of`].
+    pub attrs: Vec<usize>,
+    /// `assign[g]` = owning shard of global row `g`, for all rows at
+    /// `seq`. Locals are re-derived by counting in order.
+    pub assign: Vec<u32>,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(40 + self.attrs.len() * 4 + self.assign.len() * 4);
+        buf.extend_from_slice(&MANIFEST_MAGIC);
+        buf.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.schema_fp.to_le_bytes());
+        buf.extend_from_slice(&(self.n_shards as u32).to_le_bytes());
+        buf.extend_from_slice(&self.seq.to_le_bytes());
+        buf.extend_from_slice(&(self.attrs.len() as u32).to_le_bytes());
+        for &a in &self.attrs {
+            buf.extend_from_slice(&(a as u32).to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.assign.len() as u64).to_le_bytes());
+        for &s in &self.assign {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        let crc = artifact::crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Manifest, RegistryError> {
+        let bad = |m: &str| RegistryError::Manifest(m.to_string());
+        if bytes.len() < 4 + 4 + 8 + 4 + 8 + 4 + 8 + 4 {
+            return Err(bad("manifest truncated"));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 4);
+        let crc = u32::from_le_bytes(tail.try_into().unwrap());
+        if crc != artifact::crc32(body) {
+            return Err(bad("manifest checksum mismatch"));
+        }
+        let mut at = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], RegistryError> {
+            let s = body.get(at..at + n).ok_or_else(|| {
+                RegistryError::Manifest("manifest truncated".to_string())
+            })?;
+            at += n;
+            Ok(s)
+        };
+        if take(4)? != MANIFEST_MAGIC {
+            return Err(bad("not a registry manifest (bad magic)"));
+        }
+        let version = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        if version != MANIFEST_VERSION {
+            return Err(bad(&format!("unsupported manifest version {version}")));
+        }
+        let schema_fp = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let n_shards = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+        let seq = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let n_attrs = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+        let mut attrs = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            attrs.push(u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize);
+        }
+        let n_rows = u64::from_le_bytes(take(8)?.try_into().unwrap()) as usize;
+        let mut assign = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            let s = u32::from_le_bytes(take(4)?.try_into().unwrap());
+            if s as usize >= n_shards {
+                return Err(bad("manifest assigns a row to a shard out of range"));
+            }
+            assign.push(s);
+        }
+        if at != body.len() {
+            return Err(bad("trailing bytes after manifest payload"));
+        }
+        Ok(Manifest { schema_fp, n_shards, seq, attrs, assign })
+    }
+
+    /// Loads and validates the manifest at `path`.
+    pub fn load(path: &Path) -> Result<Manifest, RegistryError> {
+        Manifest::decode(&fs::read(path)?)
+    }
+
+    /// Writes the manifest durably: temp file, fsync, rename, dir fsync.
+    pub fn store(&self, path: &Path) -> io::Result<()> {
+        write_atomic(path, &self.encode())
+    }
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp_os = path.to_path_buf().into_os_string();
+    tmp_os.push(".tmp");
+    let tmp = PathBuf::from(tmp_os);
+    fs::write(&tmp, bytes)?;
+    fs::File::open(&tmp)?.sync_all()?;
+    fs::rename(&tmp, path)?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+// ---------------------------------------------------------------- errors
+
+/// Everything that can go wrong building, recovering, or swapping a
+/// registry.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// A shard snapshot failed to load or encode.
+    Artifact(ArtifactError),
+    /// The manifest is missing, corrupt, or inconsistent.
+    Manifest(String),
+    /// A model's schema fingerprint does not match the registry's.
+    SchemaMismatch { expected: u64, got: u64 },
+    /// Replay could not reconstruct a consistent shard state.
+    Recovery(String),
+    /// The underlying store failed (WAL append, compaction).
+    Store(StoreError),
+    /// The batch itself was rejected by the imputation core.
+    Data(DataError),
+    /// Ingest refused because one or more shards are degraded.
+    Degraded(Vec<usize>),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "registry i/o error: {e}"),
+            RegistryError::Artifact(e) => write!(f, "shard snapshot error: {e}"),
+            RegistryError::Manifest(m) => write!(f, "manifest error: {m}"),
+            RegistryError::SchemaMismatch { expected, got } => write!(
+                f,
+                "schema fingerprint mismatch: registry has {expected:#x}, model has {got:#x}"
+            ),
+            RegistryError::Recovery(m) => write!(f, "shard recovery failed: {m}"),
+            RegistryError::Store(e) => write!(f, "{e}"),
+            RegistryError::Data(e) => write!(f, "{e}"),
+            RegistryError::Degraded(shards) => {
+                write!(f, "shards degraded: {shards:?} — ingest refused")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<io::Error> for RegistryError {
+    fn from(e: io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}
+impl From<ArtifactError> for RegistryError {
+    fn from(e: ArtifactError) -> Self {
+        RegistryError::Artifact(e)
+    }
+}
+impl From<StoreError> for RegistryError {
+    fn from(e: StoreError) -> Self {
+        RegistryError::Store(e)
+    }
+}
+impl From<DataError> for RegistryError {
+    fn from(e: DataError) -> Self {
+        RegistryError::Data(e)
+    }
+}
+
+// ------------------------------------------------------------------ snap
+
+/// An immutable, atomically published view of the registry: everything an
+/// impute needs. Requests clone the `Arc` once and never take a lock.
+pub struct Snap {
+    /// The shard parts, all sharing the model schema.
+    pub parts: Vec<Relation>,
+    /// Global row → `(shard, local)`.
+    pub locate: Vec<(u32, u32)>,
+    /// The partition attributes [`shard_of`] hashes for routing.
+    pub attrs: Vec<usize>,
+    /// The RFD set.
+    pub sigma: RfdSet,
+    /// The serve-time base config (per-request options are layered on a
+    /// clone of this).
+    pub config: RenuverConfig,
+    /// The committed seq this view reflects.
+    pub seq: u64,
+}
+
+impl Snap {
+    /// The model schema (all parts share it).
+    pub fn schema(&self) -> &Schema {
+        self.parts[0].schema()
+    }
+
+    /// Total reference rows across all parts.
+    pub fn rows(&self) -> usize {
+        self.locate.len()
+    }
+
+    /// Runs a batch against this view — lock-free, byte-identical to the
+    /// single-engine path.
+    pub fn impute(
+        &self,
+        tuples: Vec<Tuple>,
+        config: &RenuverConfig,
+    ) -> Result<BatchResult, DataError> {
+        let parts: Vec<&Relation> = self.parts.iter().collect();
+        impute_sharded(&parts, &self.locate, &self.sigma, config, tuples)
+    }
+}
+
+/// Per-shard health, reported by `/healthz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Serving and accepting ingests.
+    Ok,
+    /// The shard's WAL is unusable: imputes are served (state was rebuilt
+    /// from sibling logs) but ingest is refused.
+    Degraded,
+}
+
+impl ShardState {
+    /// Stable label for JSON payloads.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardState::Ok => "ok",
+            ShardState::Degraded => "degraded",
+        }
+    }
+}
+
+/// What recovery found and did, for startup logging.
+#[derive(Debug, Clone, Default)]
+pub struct ShardRecovery {
+    /// Batches replayed from the WAL horizon.
+    pub replayed: usize,
+    /// Rows appended across all shards by replay.
+    pub rows: usize,
+    /// The committed seq after recovery.
+    pub seq: u64,
+    /// Shards whose WAL could not be opened.
+    pub degraded: Vec<usize>,
+    /// Whether recovery compacted to normalize mixed snapshot seqs.
+    pub normalized: bool,
+}
+
+// ------------------------------------------------------------- registry
+
+/// The durable half of a registry: per-shard WALs (`None` = degraded)
+/// plus the layout and compaction thresholds.
+struct ShardStore {
+    layout: ShardLayout,
+    wals: Vec<Option<Wal>>,
+    source: String,
+    compact_bytes: u64,
+    compact_records: u64,
+}
+
+/// The mutable, commit-locked half of a registry.
+struct Shards {
+    plan: ShardPlan,
+    sigma: RfdSet,
+    config: RenuverConfig,
+    seq: u64,
+    store: Option<ShardStore>,
+}
+
+impl Shards {
+    fn publish(&self) -> Arc<Snap> {
+        Arc::new(Snap {
+            parts: self.plan.parts.clone(),
+            locate: self.plan.locate.clone(),
+            attrs: self.plan.attrs.clone(),
+            sigma: self.sigma.clone(),
+            config: self.config.clone(),
+            seq: self.seq,
+        })
+    }
+}
+
+struct Inner {
+    shards: Mutex<Shards>,
+    snap: RwLock<Arc<Snap>>,
+    shard_states: Vec<AtomicU8>,
+    compacting: AtomicBool,
+    schema_fp: u64,
+    n_shards: usize,
+    swaps: AtomicU64,
+}
+
+/// A sharded engine registry. Cloning shares the underlying state; the
+/// background compaction worker holds a clone.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+/// The outcome of a committed sharded ingest.
+pub struct IngestOutcome {
+    /// The imputation result for the batch (same shape as `/v1/impute`).
+    pub batch: BatchResult,
+    /// The batch's sequence number.
+    pub seq: u64,
+    /// Rows committed (= the batch size).
+    pub committed_rows: usize,
+    /// Donor pool size after commit (total reference rows).
+    pub donor_rows: usize,
+    /// Whether any shard WAL has crossed its compaction thresholds.
+    pub wants_compact: bool,
+}
+
+impl Registry {
+    // -------------------------------------------------------- construct
+
+    /// Builds an in-memory (non-durable) registry by partitioning `rel`.
+    pub fn build(rel: &Relation, sigma: RfdSet, config: RenuverConfig, n_shards: usize) -> Registry {
+        let plan = partition(rel, &sigma, n_shards.max(1));
+        let schema_fp = artifact::schema_fingerprint(rel.schema());
+        Registry::assemble(plan, sigma, config, 0, None, schema_fp, Vec::new())
+    }
+
+    fn assemble(
+        plan: ShardPlan,
+        sigma: RfdSet,
+        config: RenuverConfig,
+        seq: u64,
+        store: Option<ShardStore>,
+        schema_fp: u64,
+        degraded: Vec<usize>,
+    ) -> Registry {
+        let n_shards = plan.parts.len();
+        let shard_states: Vec<AtomicU8> = (0..n_shards)
+            .map(|k| AtomicU8::new(if degraded.contains(&k) { 1 } else { 0 }))
+            .collect();
+        let shards = Shards { plan, sigma, config, seq, store };
+        let snap = shards.publish();
+        Registry {
+            inner: Arc::new(Inner {
+                shards: Mutex::new(shards),
+                snap: RwLock::new(snap),
+                shard_states,
+                compacting: AtomicBool::new(false),
+                schema_fp,
+                n_shards,
+                swaps: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Writes the sharded layout for `rel` beside `base` without opening
+    /// WALs — the `prepare --shards` path. Returns the shard row counts.
+    pub fn prepare_layout(
+        rel: &Relation,
+        sigma: &RfdSet,
+        n_shards: usize,
+        layout: &ShardLayout,
+        source: &str,
+        seq: u64,
+    ) -> Result<Vec<usize>, RegistryError> {
+        let plan = partition(rel, sigma, n_shards.max(1));
+        write_shard_snapshots(&plan, sigma, layout, source, seq, false)?;
+        manifest_of(&plan, artifact::schema_fingerprint(rel.schema()), seq)
+            .store(&layout.manifest())?;
+        Ok(plan.parts.iter().map(|p| p.len()).collect())
+    }
+
+    /// Opens (or initializes) a durable registry beside `base_model`.
+    ///
+    /// With no manifest on disk the base artifact is partitioned fresh and
+    /// the sharded layout is written. With a manifest, shard snapshots and
+    /// WALs recover per the module-level algorithm; `n_shards` on disk
+    /// wins over the requested count.
+    pub fn open_durable(
+        base: Artifact,
+        config: RenuverConfig,
+        n_shards: usize,
+        layout: ShardLayout,
+        source: &str,
+        compact_bytes: u64,
+        compact_records: u64,
+    ) -> Result<(Registry, ShardRecovery), RegistryError> {
+        let schema_fp = base.schema_fingerprint;
+        if layout.manifest().exists() {
+            Registry::recover(
+                base, config, layout, source, compact_bytes, compact_records,
+            )
+        } else {
+            let seq = base.committed_seq;
+            let plan = partition(&base.relation, &base.rfds, n_shards.max(1));
+            write_shard_snapshots(&plan, &base.rfds, &layout, source, seq, false)?;
+            manifest_of(&plan, schema_fp, seq).store(&layout.manifest())?;
+            let arity = base.relation.arity();
+            let mut wals = Vec::with_capacity(plan.parts.len());
+            for k in 0..plan.parts.len() {
+                let (wal, _) = Wal::open(layout.shard_wal(k), schema_fp, seq, arity)
+                    .map_err(StoreError::Wal)?;
+                wals.push(Some(wal));
+            }
+            let store = ShardStore {
+                layout,
+                wals,
+                source: source.to_string(),
+                compact_bytes,
+                compact_records,
+            };
+            let report = ShardRecovery { seq, ..ShardRecovery::default() };
+            let reg = Registry::assemble(
+                plan, base.rfds, config, seq, Some(store), schema_fp, Vec::new(),
+            );
+            Ok((reg, report))
+        }
+    }
+
+    fn recover(
+        base: Artifact,
+        config: RenuverConfig,
+        layout: ShardLayout,
+        source: &str,
+        compact_bytes: u64,
+        compact_records: u64,
+    ) -> Result<(Registry, ShardRecovery), RegistryError> {
+        let schema_fp = base.schema_fingerprint;
+        let m = Manifest::load(&layout.manifest())?;
+        if m.schema_fp != schema_fp {
+            return Err(RegistryError::SchemaMismatch { expected: m.schema_fp, got: schema_fp });
+        }
+        let n = m.n_shards;
+        let arity = base.relation.arity();
+
+        // Shard snapshots. Each may be ahead of the manifest after a
+        // mid-compaction crash.
+        let mut parts = Vec::with_capacity(n);
+        let mut snap_seq = Vec::with_capacity(n);
+        for k in 0..n {
+            let art = artifact::load(layout.shard_snapshot(k))?;
+            if art.schema_fingerprint != schema_fp {
+                return Err(RegistryError::SchemaMismatch {
+                    expected: schema_fp,
+                    got: art.schema_fingerprint,
+                });
+            }
+            snap_seq.push(art.committed_seq);
+            parts.push(art.relation);
+        }
+
+        // Rebuild locate for the manifest's base rows; count the base rows
+        // each shard's snapshot owes to the manifest.
+        let mut locate: Vec<(u32, u32)> = Vec::with_capacity(m.assign.len());
+        let mut next_local = vec![0u32; n];
+        for &s in &m.assign {
+            let k = s as usize;
+            locate.push((s, next_local[k]));
+            next_local[k] += 1;
+        }
+
+        // WALs open at the manifest seq: the manifest is written before
+        // any WAL reset, so every base_seq ≤ m.seq. An unopenable WAL
+        // degrades its shard; siblings carry the full batches.
+        let mut wals: Vec<Option<Wal>> = Vec::with_capacity(n);
+        let mut records: Vec<Vec<WalRecord>> = Vec::with_capacity(n);
+        let mut degraded = Vec::new();
+        for k in 0..n {
+            match Wal::open(layout.shard_wal(k), schema_fp, m.seq, arity) {
+                Ok((wal, recs)) => {
+                    wals.push(Some(wal));
+                    records.push(recs);
+                }
+                Err(e) => {
+                    eprintln!("renuver: shard {k} wal unusable ({e}); shard degraded");
+                    degraded.push(k);
+                    wals.push(None);
+                    records.push(Vec::new());
+                }
+            }
+        }
+
+        let healthy: Vec<usize> = (0..n).filter(|k| wals[*k].is_some()).collect();
+        if healthy.is_empty() && snap_seq.iter().any(|&s| s != m.seq) {
+            return Err(RegistryError::Recovery(
+                "no readable wal and shard snapshots are ahead of the manifest".to_string(),
+            ));
+        }
+        let committed = healthy
+            .iter()
+            .map(|&k| wals[k].as_ref().expect("healthy").last_seq())
+            .min()
+            .unwrap_or(m.seq);
+
+        // Replay m.seq+1 ..= committed from the shard that defines the
+        // horizon (its record list is exactly that range).
+        let src = healthy
+            .iter()
+            .copied()
+            .find(|&k| wals[k].as_ref().expect("healthy").last_seq() == committed);
+        let mut replayed = 0usize;
+        let mut rows = 0usize;
+        if let Some(src) = src {
+            for rec in &records[src] {
+                if rec.seq > committed {
+                    break;
+                }
+                for t in &rec.tuples {
+                    let k = shard_of(t, &m.attrs, n);
+                    locate.push((k as u32, next_local[k]));
+                    if rec.seq > snap_seq[k] {
+                        parts[k].push(t.clone()).map_err(|e| {
+                            RegistryError::Recovery(format!(
+                                "wal seq {} disagrees with the shard schema: {e}",
+                                rec.seq
+                            ))
+                        })?;
+                        rows += 1;
+                    }
+                    next_local[k] += 1;
+                }
+                replayed += 1;
+            }
+        }
+        for k in 0..n {
+            if next_local[k] as usize != parts[k].len() {
+                return Err(RegistryError::Recovery(format!(
+                    "shard {k} has {} rows but replay accounts for {} — snapshot and wal disagree",
+                    parts[k].len(),
+                    next_local[k]
+                )));
+            }
+        }
+
+        let mixed = snap_seq.iter().any(|&s| s != committed)
+            || healthy
+                .iter()
+                .any(|&k| wals[k].as_ref().expect("healthy").last_seq() != committed);
+        let plan = ShardPlan { attrs: m.attrs.clone(), parts, locate };
+        let store = ShardStore {
+            layout,
+            wals,
+            source: source.to_string(),
+            compact_bytes,
+            compact_records,
+        };
+        let reg = Registry::assemble(
+            plan, base.rfds, config, committed, Some(store), schema_fp, degraded.clone(),
+        );
+        let mut normalized = false;
+        if mixed {
+            // Normalize: rewrite every snapshot + the manifest at the
+            // committed horizon and reset the healthy logs.
+            reg.compact()?;
+            normalized = true;
+        }
+        let report = ShardRecovery { replayed, rows, seq: committed, degraded, normalized };
+        Ok((reg, report))
+    }
+
+    // ---------------------------------------------------------- queries
+
+    /// The current published snapshot. One `Arc` clone, no lock held
+    /// while the request runs.
+    pub fn snapshot(&self) -> Arc<Snap> {
+        self.inner.snap.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.inner.n_shards
+    }
+
+    /// The registry's schema fingerprint.
+    pub fn schema_fp(&self) -> u64 {
+        self.inner.schema_fp
+    }
+
+    /// Per-shard health, shard order.
+    pub fn shard_states(&self) -> Vec<ShardState> {
+        self.inner
+            .shard_states
+            .iter()
+            .map(|s| if s.load(Ordering::Acquire) == 0 { ShardState::Ok } else { ShardState::Degraded })
+            .collect()
+    }
+
+    /// Indices of degraded shards.
+    pub fn degraded_shards(&self) -> Vec<usize> {
+        self.shard_states()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == ShardState::Degraded)
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Whether a background compaction is in flight.
+    pub fn compacting(&self) -> bool {
+        self.inner.compacting.load(Ordering::Acquire)
+    }
+
+    /// Completed model swaps.
+    pub fn swaps(&self) -> u64 {
+        self.inner.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Rows per shard in the published snapshot.
+    pub fn shard_rows(&self) -> Vec<usize> {
+        self.snapshot().parts.iter().map(|p| p.len()).collect()
+    }
+
+    // ----------------------------------------------------------- ingest
+
+    /// Repairs and commits a batch: impute on the locked state, append
+    /// the full repaired batch to every healthy shard WAL, route rows to
+    /// their shards, publish a new snapshot. Refused while any shard is
+    /// degraded — acknowledging a batch a degraded log never saw would
+    /// silently fork the shards on the next recovery.
+    pub fn ingest(
+        &self,
+        tuples: Vec<Tuple>,
+        config: &RenuverConfig,
+    ) -> Result<IngestOutcome, RegistryError> {
+        let degraded = self.degraded_shards();
+        if !degraded.is_empty() {
+            return Err(RegistryError::Degraded(degraded));
+        }
+        let mut shards = self.inner.shards.lock().unwrap_or_else(|e| e.into_inner());
+        let parts: Vec<&Relation> = shards.plan.parts.iter().collect();
+        let batch =
+            impute_sharded(&parts, &shards.plan.locate, &shards.sigma, config, tuples)?;
+        drop(parts);
+
+        let seq = shards.seq + 1;
+        if let Some(store) = shards.store.as_mut() {
+            for k in 0..store.wals.len() {
+                let appended = match store.wals[k].as_mut() {
+                    Some(wal) => wal.append(&batch.tuples).map(|_| ()),
+                    None => Ok(()),
+                };
+                if let Err(e) = appended {
+                    // Drop the handle: the shard is degraded until a swap
+                    // or restart rebuilds its log. The batch is NOT
+                    // acknowledged; logs that already hold this seq are
+                    // beyond the committed horizon and will be truncated
+                    // by the next compaction.
+                    store.wals[k] = None;
+                    self.inner.shard_states[k].store(1, Ordering::Release);
+                    return Err(RegistryError::Store(StoreError::Io(e)));
+                }
+            }
+        }
+
+        commit_sharded(&mut shards.plan, &batch.tuples);
+        shards.seq = seq;
+        let wants_compact = shards.store.as_ref().is_some_and(|s| {
+            s.wals.iter().flatten().any(|w| {
+                w.bytes() >= s.compact_bytes || w.records() >= s.compact_records
+            })
+        });
+        let donor_rows = shards.plan.locate.len();
+        let committed_rows = batch.tuples.len();
+        let snap = shards.publish();
+        *self.inner.snap.write().unwrap_or_else(|e| e.into_inner()) = snap;
+        drop(shards);
+        Ok(IngestOutcome { batch, seq, committed_rows, donor_rows, wants_compact })
+    }
+
+    // ------------------------------------------------------- compaction
+
+    /// Folds every shard's WAL into a fresh snapshot, rewrites the
+    /// manifest, and resets the healthy logs. Fault points mirror the
+    /// single-engine compactor (`compact.pre_write`, `compact.pre_rename`,
+    /// `compact.post_rename`, `compact.pre_truncate`), hit per shard, plus
+    /// `compact.shard_done` after each shard's snapshot goes live — the
+    /// window where a crash leaves snapshot seqs mixed.
+    pub fn compact(&self) -> Result<u64, RegistryError> {
+        let mut shards = self.inner.shards.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = shards.seq;
+        let Shards { plan, sigma, store, .. } = &mut *shards;
+        let Some(store) = store.as_mut() else {
+            return Ok(seq);
+        };
+        write_shard_snapshots(plan, sigma, &store.layout, &store.source, seq, true)
+            .map_err(RegistryError::from)?;
+        manifest_of(plan, self.inner.schema_fp, seq)
+            .store(&store.layout.manifest())
+            .map_err(StoreError::Io)?;
+        fault::hit("compact.post_rename").map_err(StoreError::Io)?;
+        for wal in store.wals.iter_mut().flatten() {
+            fault::hit("compact.pre_truncate").map_err(StoreError::Io)?;
+            wal.reset(seq).map_err(StoreError::Io)?;
+        }
+        Ok(seq)
+    }
+
+    /// Kicks off a background compaction if none is running. Returns
+    /// whether a worker was spawned; `done` runs on the worker with the
+    /// result.
+    pub fn spawn_compact(
+        &self,
+        done: impl FnOnce(Result<u64, RegistryError>) + Send + 'static,
+    ) -> bool {
+        if self
+            .inner
+            .compacting
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
+        }
+        let reg = self.clone();
+        std::thread::spawn(move || {
+            let result = reg.compact();
+            reg.inner.compacting.store(false, Ordering::Release);
+            done(result);
+        });
+        true
+    }
+
+    // ------------------------------------------------------------- swap
+
+    /// Atomically replaces the model: re-partitions `art.relation` with
+    /// the new RFD set, rewrites the durable layout (fresh WALs — this
+    /// also clears any degraded shard), and publishes the new snapshot.
+    /// In-flight imputes finish on the old `Arc`; the seq counter keeps
+    /// running. Rejected when the schema fingerprint differs.
+    pub fn swap(&self, art: Artifact) -> Result<u64, RegistryError> {
+        if art.schema_fingerprint != self.inner.schema_fp {
+            return Err(RegistryError::SchemaMismatch {
+                expected: self.inner.schema_fp,
+                got: art.schema_fingerprint,
+            });
+        }
+        let mut shards = self.inner.shards.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = shards.seq.max(art.committed_seq);
+        let plan = partition(&art.relation, &art.rfds, self.inner.n_shards);
+        if let Some(store) = shards.store.as_mut() {
+            write_shard_snapshots(&plan, &art.rfds, &store.layout, &store.source, seq, false)?;
+            manifest_of(&plan, self.inner.schema_fp, seq)
+                .store(&store.layout.manifest())
+                .map_err(StoreError::Io)?;
+            let arity = art.relation.arity();
+            let mut wals = Vec::with_capacity(plan.parts.len());
+            for k in 0..plan.parts.len() {
+                let path = store.layout.shard_wal(k);
+                // A fresh log: stale or corrupt predecessors are gone, so
+                // a swap also heals a degraded shard.
+                let _ = fs::remove_file(&path);
+                let (wal, _) = Wal::open(&path, self.inner.schema_fp, seq, arity)
+                    .map_err(StoreError::Wal)?;
+                wals.push(Some(wal));
+            }
+            store.wals = wals;
+        }
+        shards.plan = plan;
+        shards.sigma = art.rfds;
+        shards.seq = seq;
+        for s in &self.inner.shard_states {
+            s.store(0, Ordering::Release);
+        }
+        let snap = shards.publish();
+        *self.inner.snap.write().unwrap_or_else(|e| e.into_inner()) = snap;
+        drop(shards);
+        self.inner.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(seq)
+    }
+}
+
+// ---------------------------------------------------------------- shared
+
+fn manifest_of(plan: &ShardPlan, schema_fp: u64, seq: u64) -> Manifest {
+    Manifest {
+        schema_fp,
+        n_shards: plan.parts.len(),
+        seq,
+        attrs: plan.attrs.clone(),
+        assign: plan.locate.iter().map(|&(k, _)| k).collect(),
+    }
+}
+
+/// Writes one snapshot per shard (temp + fsync + rename + dir fsync).
+/// `faults` wires the compaction crash points, per shard.
+fn write_shard_snapshots(
+    plan: &ShardPlan,
+    sigma: &RfdSet,
+    layout: &ShardLayout,
+    source: &str,
+    seq: u64,
+    faults: bool,
+) -> Result<(), StoreError> {
+    for (k, part) in plan.parts.iter().enumerate() {
+        if faults {
+            fault::hit("compact.pre_write")?;
+        }
+        // Dict cap 0: shard snapshots carry no dictionary — the sharded
+        // impute path computes distances directly, so rebuilding an
+        // oracle here would be pure bloat.
+        let oracle = DistanceOracle::build(part, 0);
+        let bytes = artifact::encode(part, sigma, &oracle, None, source, seq);
+        let path = layout.shard_snapshot(k);
+        let mut tmp_os = path.clone().into_os_string();
+        tmp_os.push(".tmp");
+        let tmp = PathBuf::from(tmp_os);
+        fs::write(&tmp, &bytes)?;
+        fs::File::open(&tmp)?.sync_all()?;
+        if faults {
+            fault::hit("compact.pre_rename")?;
+        }
+        fs::rename(&tmp, &path)?;
+        sync_parent_dir(&path);
+        if faults {
+            fault::hit("compact.shard_done")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renuver_data::{AttrType, Schema, Value};
+    use renuver_rfd::RfdSet;
+
+    fn schema() -> Schema {
+        Schema::new([("City", AttrType::Text), ("Zip", AttrType::Text)]).unwrap()
+    }
+
+    fn relation() -> Relation {
+        let rows = [
+            ("Salerno", "84121"),
+            ("Salerno", "84121"),
+            ("Milano", "20121"),
+            ("Milano", "20121"),
+            ("Roma", "00142"),
+            ("Roma", "00142"),
+        ];
+        let tuples = rows
+            .iter()
+            .map(|(c, z)| vec![Value::from(*c), Value::from(*z)])
+            .collect();
+        Relation::new(schema(), tuples).unwrap()
+    }
+
+    fn sigma() -> RfdSet {
+        RfdSet::from_text("City(<=0) -> Zip(<=0)\nZip(<=0) -> City(<=0)", &schema()).unwrap()
+    }
+
+    fn artifact_bytes(rel: &Relation, seq: u64) -> Vec<u8> {
+        let oracle = DistanceOracle::build(rel, 0);
+        artifact::encode(rel, &sigma(), &oracle, None, "test", seq)
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("renuver-registry-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn manifest_roundtrips() {
+        let m = Manifest {
+            schema_fp: 0xdead_beef,
+            n_shards: 3,
+            seq: 42,
+            attrs: vec![0, 2],
+            assign: vec![0, 1, 2, 1, 0],
+        };
+        let decoded = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn manifest_rejects_corruption() {
+        let m = Manifest { schema_fp: 1, n_shards: 2, seq: 0, attrs: vec![0], assign: vec![0, 1] };
+        let mut bytes = m.encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert!(Manifest::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn in_memory_registry_imputes_and_ingests() {
+        let reg = Registry::build(&relation(), sigma(), RenuverConfig::default(), 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.rows(), 6);
+        let cfg = snap.config.clone();
+        let out = snap
+            .impute(vec![vec![Value::from("Salerno"), Value::Null]], &cfg)
+            .unwrap();
+        assert_eq!(out.tuples[0][1], Value::from("84121"));
+        let outcome = reg
+            .ingest(vec![vec![Value::from("Torino"), Value::from("10121")]], &cfg)
+            .unwrap();
+        assert_eq!(outcome.seq, 1);
+        assert_eq!(outcome.donor_rows, 7);
+        assert_eq!(reg.snapshot().rows(), 7);
+    }
+
+    #[test]
+    fn durable_registry_survives_reopen() {
+        let dir = tmpdir("reopen");
+        let base = dir.join("model.rnv");
+        fs::write(&base, artifact_bytes(&relation(), 0)).unwrap();
+        let art = artifact::load(&base).unwrap();
+        let layout = ShardLayout::beside(&base);
+        let (reg, rep) = Registry::open_durable(
+            art, RenuverConfig::default(), 2, layout.clone(), "test", 1 << 20, 1 << 20,
+        )
+        .unwrap();
+        assert_eq!(rep.seq, 0);
+        let cfg = reg.snapshot().config.clone();
+        reg.ingest(vec![vec![Value::from("Torino"), Value::from("10121")]], &cfg).unwrap();
+        reg.ingest(vec![vec![Value::from("Napoli"), Value::Null]], &cfg).unwrap();
+        let before: Vec<usize> = reg.shard_rows();
+        drop(reg);
+
+        let art = artifact::load(&base).unwrap();
+        let (reg2, rep2) = Registry::open_durable(
+            art, RenuverConfig::default(), 2, layout, "test", 1 << 20, 1 << 20,
+        )
+        .unwrap();
+        assert_eq!(rep2.seq, 2);
+        assert_eq!(rep2.replayed, 2);
+        assert!(rep2.degraded.is_empty());
+        assert_eq!(reg2.shard_rows(), before);
+        assert_eq!(reg2.snapshot().rows(), 8);
+    }
+
+    #[test]
+    fn compaction_resets_wals_and_recovery_skips_folded_batches() {
+        let dir = tmpdir("compact");
+        let base = dir.join("model.rnv");
+        fs::write(&base, artifact_bytes(&relation(), 0)).unwrap();
+        let layout = ShardLayout::beside(&base);
+        let (reg, _) = Registry::open_durable(
+            artifact::load(&base).unwrap(),
+            RenuverConfig::default(),
+            3,
+            layout.clone(),
+            "test",
+            1 << 20,
+            1 << 20,
+        )
+        .unwrap();
+        let cfg = reg.snapshot().config.clone();
+        reg.ingest(vec![vec![Value::from("Torino"), Value::from("10121")]], &cfg).unwrap();
+        assert_eq!(reg.compact().unwrap(), 1);
+        reg.ingest(vec![vec![Value::from("Bari"), Value::from("70121")]], &cfg).unwrap();
+        let rows = reg.shard_rows();
+        drop(reg);
+
+        let (reg2, rep) = Registry::open_durable(
+            artifact::load(&base).unwrap(),
+            RenuverConfig::default(),
+            3,
+            layout,
+            "test",
+            1 << 20,
+            1 << 20,
+        )
+        .unwrap();
+        // Only the post-compaction batch replays.
+        assert_eq!(rep.replayed, 1);
+        assert_eq!(rep.seq, 2);
+        assert_eq!(reg2.shard_rows(), rows);
+    }
+
+    #[test]
+    fn corrupt_shard_wal_degrades_only_that_shard() {
+        let dir = tmpdir("degrade");
+        let base = dir.join("model.rnv");
+        fs::write(&base, artifact_bytes(&relation(), 0)).unwrap();
+        let layout = ShardLayout::beside(&base);
+        let (reg, _) = Registry::open_durable(
+            artifact::load(&base).unwrap(),
+            RenuverConfig::default(),
+            2,
+            layout.clone(),
+            "test",
+            1 << 20,
+            1 << 20,
+        )
+        .unwrap();
+        let cfg = reg.snapshot().config.clone();
+        reg.ingest(vec![vec![Value::from("Torino"), Value::from("10121")]], &cfg).unwrap();
+        let rows = reg.snapshot().rows();
+        drop(reg);
+
+        // Flip a header byte of shard 1's log: schema fp mismatch.
+        let wal_path = layout.shard_wal(1);
+        let mut bytes = fs::read(&wal_path).unwrap();
+        bytes[9] ^= 0xff;
+        fs::write(&wal_path, &bytes).unwrap();
+
+        let (reg2, rep) = Registry::open_durable(
+            artifact::load(&base).unwrap(),
+            RenuverConfig::default(),
+            2,
+            layout,
+            "test",
+            1 << 20,
+            1 << 20,
+        )
+        .unwrap();
+        assert_eq!(rep.degraded, vec![1]);
+        assert_eq!(
+            reg2.shard_states(),
+            vec![ShardState::Ok, ShardState::Degraded]
+        );
+        // State was rebuilt from shard 0's full-batch log.
+        assert_eq!(reg2.snapshot().rows(), rows);
+        // Ingest is refused while degraded.
+        let cfg = reg2.snapshot().config.clone();
+        let err = match reg2.ingest(vec![vec![Value::from("Bari"), Value::from("70121")]], &cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("degraded registry accepted an ingest"),
+        };
+        assert!(matches!(err, RegistryError::Degraded(ref s) if s == &vec![1]));
+    }
+
+    #[test]
+    fn swap_replaces_model_and_heals_degraded_shards() {
+        let dir = tmpdir("swap");
+        let base = dir.join("model.rnv");
+        fs::write(&base, artifact_bytes(&relation(), 0)).unwrap();
+        let layout = ShardLayout::beside(&base);
+        let (reg, _) = Registry::open_durable(
+            artifact::load(&base).unwrap(),
+            RenuverConfig::default(),
+            2,
+            layout.clone(),
+            "test",
+            1 << 20,
+            1 << 20,
+        )
+        .unwrap();
+        // A fingerprint mismatch is rejected outright.
+        let other_schema =
+            Schema::new([("Name", AttrType::Text), ("Klass", AttrType::Int)]).unwrap();
+        let other = Relation::new(
+            other_schema.clone(),
+            vec![vec![Value::from("a"), Value::Int(1)]],
+        )
+        .unwrap();
+        let other_rfds = RfdSet::from_text("Name(<=0) -> Klass(<=0)", &other_schema).unwrap();
+        let oracle = DistanceOracle::build(&other, 0);
+        let bad = artifact::decode(&artifact::encode(&other, &other_rfds, &oracle, None, "x", 0))
+            .unwrap();
+        assert!(matches!(reg.swap(bad), Err(RegistryError::SchemaMismatch { .. })));
+        assert_eq!(reg.swaps(), 0);
+
+        // A matching swap replaces the relation and bumps the counter.
+        let mut bigger = relation();
+        bigger.push(vec![Value::from("Bari"), Value::from("70121")]).unwrap();
+        let art = artifact::decode(&artifact_bytes(&bigger, 0)).unwrap();
+        reg.swap(art).unwrap();
+        assert_eq!(reg.swaps(), 1);
+        assert_eq!(reg.snapshot().rows(), 7);
+        let cfg = reg.snapshot().config.clone();
+        reg.ingest(vec![vec![Value::from("Torino"), Value::from("10121")]], &cfg).unwrap();
+        assert_eq!(reg.snapshot().rows(), 8);
+    }
+}

@@ -25,18 +25,31 @@
 //!   durability, or after a WAL write failure degraded the server.
 //! - `POST /v1/compact` — fold the WAL into a fresh snapshot (atomic
 //!   rename) and truncate it.
+//! - `PUT /v1/model` — hot model swap: the body is a complete `.rnv`
+//!   artifact with the same schema fingerprint as the loaded model.
+//!   The new model is installed atomically (in-flight requests finish
+//!   on the old one); a fingerprint mismatch is rejected with `409`.
+//!   `SIGHUP` triggers the same swap from the model path on disk.
+//!
+//! A context serves one of two topologies: **single** (one
+//! `Mutex<Engine>`, the original write path) or **sharded** (a
+//! [`Registry`] of N relation shards behind an atomically swapped
+//! snapshot — imputes run lock-free and merge bit-identically to the
+//! single engine; see `crates/serve/src/registry.rs`).
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 use std::time::Duration;
 
 use renuver_budget::Budget;
 use renuver_core::{BatchResult, Engine, ExplainSample};
-use renuver_data::{csv, AttrType, Tuple, Value};
+use renuver_data::{csv, AttrType, Schema, Tuple, Value};
 use renuver_obs::json::{self, write_f64, write_str};
 use renuver_obs::{Metrics, Tracer};
 
 use crate::http::{Request, Response};
+use crate::registry::{Registry, RegistryError};
 use crate::store::Durable;
 
 /// The server's write-path health, surfaced by `GET /healthz`.
@@ -75,6 +88,7 @@ impl ServeState {
 }
 
 /// Provenance of the loaded model, surfaced by `GET /v1/model`.
+#[derive(Clone)]
 pub struct ModelInfo {
     /// Where the model came from: an artifact path or a dataset path.
     pub source: String,
@@ -84,34 +98,84 @@ pub struct ModelInfo {
     pub artifact_bytes: usize,
 }
 
-/// Shared server state: the engine (serialized behind a mutex — requests
-/// mutate and roll back engine state), model provenance, the metrics
-/// registry, and the request-budget policy.
+/// How the context serves: one engine behind a mutex, or a sharded
+/// registry behind an atomically swapped snapshot.
+//
+// The variants differ by ~500 bytes, but exactly one Topology exists
+// per process (inside the one `Ctx`), so boxing would buy nothing.
+#[allow(clippy::large_enum_variant)]
+pub enum Topology {
+    /// The original topology: every request serializes on the engine
+    /// lock; ingest and compaction run inline.
+    Single {
+        /// The serving engine.
+        engine: Mutex<Engine>,
+        /// The durable store, once recovery has installed it. `None`
+        /// means the model is served read-only (no WAL configured, or
+        /// replay is still running). Lock order: engine before durable.
+        durable: Mutex<Option<Durable>>,
+    },
+    /// N shard parts; imputes clone an `Arc` snapshot and run lock-free,
+    /// compaction happens off-request on a worker thread.
+    Sharded(Registry),
+}
+
+/// Leaked-once per-shard metric names (the registry requires
+/// `&'static str` instrument names).
+struct ShardLabels {
+    rows: &'static str,
+    ingest_rows: &'static str,
+}
+
+/// Shared server state: the topology (engine or shard registry), model
+/// provenance, the metrics registry, and the request-budget policy.
 pub struct Ctx {
-    /// The serving engine.
-    pub engine: Mutex<Engine>,
-    /// Model provenance.
-    pub info: ModelInfo,
+    /// How requests are served.
+    pub topology: Topology,
+    /// Model provenance. Behind a lock: a hot swap replaces it.
+    info: RwLock<ModelInfo>,
     /// Server-lifetime metrics, rendered by `GET /metrics`.
     pub metrics: Metrics,
     /// Budget applied to requests that do not pass `timeout_ms`.
     pub default_timeout_ms: Option<u64>,
     /// Hard ceiling on any per-request `timeout_ms`.
     pub max_timeout_ms: u64,
-    /// Write-path state machine (see [`ServeState`]).
+    /// Write-path state machine (see [`ServeState`]). For the sharded
+    /// topology this is the fallback when no shard overrides it.
     state: AtomicU8,
-    /// Highest durable sequence number, mirrored from the WAL so read
-    /// endpoints can report it without taking the durable lock.
+    /// Highest durable sequence number, mirrored so read endpoints can
+    /// report it without taking any write lock.
     seq: AtomicU64,
-    /// The durable store, once recovery has installed it. `None` means
-    /// the model is served read-only (no WAL configured, or replay is
-    /// still running). Lock order: engine before durable, always.
-    durable: Mutex<Option<Durable>>,
+    /// Where `SIGHUP` reloads the model from, when serving a file.
+    model_path: Mutex<Option<PathBuf>>,
+    /// Per-shard instrument names (empty for the single topology).
+    shard_labels: Vec<ShardLabels>,
 }
 
+const BASE_COUNTERS: [&str; 17] = [
+    "http.requests",
+    "http.responses_2xx",
+    "http.responses_4xx",
+    "http.responses_5xx",
+    "http.shed",
+    "serve.batches",
+    "serve.cells_missing",
+    "serve.cells_imputed",
+    "serve.budget_tripped",
+    "http.timeouts",
+    "serve.ingest_batches",
+    "serve.ingest_rows",
+    "serve.compactions",
+    "serve.compact_failed",
+    "serve.wal_degraded",
+    "serve.swaps",
+    "serve.swap_rejected",
+];
+
 impl Ctx {
-    /// Builds a context with the standard counters pre-registered (so
-    /// `/metrics` shows zeros instead of omitting untouched counters).
+    /// Builds a single-engine context with the standard counters
+    /// pre-registered (so `/metrics` shows zeros instead of omitting
+    /// untouched counters).
     pub fn new(
         engine: Engine,
         info: ModelInfo,
@@ -119,43 +183,77 @@ impl Ctx {
         max_timeout_ms: u64,
     ) -> Ctx {
         let metrics = Metrics::new();
-        for name in [
-            "http.requests",
-            "http.responses_2xx",
-            "http.responses_4xx",
-            "http.responses_5xx",
-            "http.shed",
-            "serve.batches",
-            "serve.cells_missing",
-            "serve.cells_imputed",
-            "serve.budget_tripped",
-            "http.timeouts",
-            "serve.ingest_batches",
-            "serve.ingest_rows",
-            "serve.compactions",
-            "serve.compact_failed",
-            "serve.wal_degraded",
-        ] {
+        for name in BASE_COUNTERS {
             metrics.counter(name);
         }
         Ctx {
-            engine: Mutex::new(engine),
-            info,
+            topology: Topology::Single {
+                engine: Mutex::new(engine),
+                durable: Mutex::new(None),
+            },
+            info: RwLock::new(info),
             metrics,
             default_timeout_ms,
             max_timeout_ms,
             state: AtomicU8::new(ServeState::Ok as u8),
             seq: AtomicU64::new(0),
-            durable: Mutex::new(None),
+            model_path: Mutex::new(None),
+            shard_labels: Vec::new(),
         }
     }
 
-    /// Current write-path state.
+    /// Builds a sharded context over `registry`, with per-shard row
+    /// gauges and ingest counters registered up front.
+    pub fn new_sharded(
+        registry: Registry,
+        info: ModelInfo,
+        default_timeout_ms: Option<u64>,
+        max_timeout_ms: u64,
+    ) -> Ctx {
+        let metrics = Metrics::new();
+        for name in BASE_COUNTERS {
+            metrics.counter(name);
+        }
+        let shard_labels: Vec<ShardLabels> = (0..registry.n_shards())
+            .map(|k| ShardLabels {
+                rows: Box::leak(format!("serve.shard{k}.rows").into_boxed_str()),
+                ingest_rows: Box::leak(format!("serve.shard{k}.ingest_rows").into_boxed_str()),
+            })
+            .collect();
+        for (labels, rows) in shard_labels.iter().zip(registry.shard_rows()) {
+            metrics.gauge(labels.rows).set(rows as u64);
+            metrics.counter(labels.ingest_rows);
+        }
+        let seq = registry.snapshot().seq;
+        Ctx {
+            topology: Topology::Sharded(registry),
+            info: RwLock::new(info),
+            metrics,
+            default_timeout_ms,
+            max_timeout_ms,
+            state: AtomicU8::new(ServeState::Ok as u8),
+            seq: AtomicU64::new(seq),
+            model_path: Mutex::new(None),
+            shard_labels,
+        }
+    }
+
+    /// Current write-path state. Sharded contexts derive it: degraded if
+    /// any shard is, compacting while the background worker runs.
     pub fn state(&self) -> ServeState {
+        if let Topology::Sharded(reg) = &self.topology {
+            if !reg.degraded_shards().is_empty() {
+                return ServeState::Degraded;
+            }
+            if reg.compacting() {
+                return ServeState::Compacting;
+            }
+        }
         ServeState::from_u8(self.state.load(Ordering::Acquire))
     }
 
-    /// Moves the write-path state machine.
+    /// Moves the write-path state machine (single topology; sharded
+    /// contexts derive their state from the registry).
     pub fn set_state(&self, state: ServeState) {
         self.state.store(state as u8, Ordering::Release);
     }
@@ -165,21 +263,52 @@ impl Ctx {
         self.seq.load(Ordering::Acquire)
     }
 
+    /// A snapshot of the model provenance.
+    pub fn info(&self) -> ModelInfo {
+        self.info.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Records where `SIGHUP` should reload the model from.
+    pub fn set_model_path(&self, path: PathBuf) {
+        *self.model_path.lock().unwrap_or_else(|e| e.into_inner()) = Some(path);
+    }
+
+    /// The registered model path, if any.
+    pub fn model_path(&self) -> Option<PathBuf> {
+        self.model_path.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// The shard registry, when sharded.
+    pub fn registry(&self) -> Option<&Registry> {
+        match &self.topology {
+            Topology::Sharded(reg) => Some(reg),
+            Topology::Single { .. } => None,
+        }
+    }
+
     /// Installs the durable store after WAL replay finished and flips
     /// the state to `ok`. Until this runs, `/v1/ingest` answers `503`.
+    /// Single topology only.
     pub fn install_durable(&self, durable: Durable) {
+        let Topology::Single { durable: slot, .. } = &self.topology else {
+            panic!("install_durable on a sharded context");
+        };
         self.seq.store(durable.last_seq(), Ordering::Release);
-        *self.durable.lock().unwrap_or_else(|p| p.into_inner()) = Some(durable);
+        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(durable);
         self.set_state(ServeState::Ok);
     }
 
     /// Locks the engine, recovering a poisoned lock by rolling back any
-    /// transient rows the panicking request left behind.
+    /// transient rows the panicking request left behind. Single topology
+    /// only — sharded requests never lock.
     pub fn lock_engine(&self) -> std::sync::MutexGuard<'_, Engine> {
+        let Topology::Single { engine, .. } = &self.topology else {
+            panic!("lock_engine on a sharded context");
+        };
         // A panic while holding the lock poisons it and may leave the
         // panicking request's transient rows appended; recover the guard
         // and restore the reference state before serving again.
-        match self.engine.lock() {
+        match engine.lock() {
             Ok(g) => g,
             Err(poisoned) => {
                 let mut g = poisoned.into_inner();
@@ -187,6 +316,13 @@ impl Ctx {
                 g
             }
         }
+    }
+
+    fn lock_durable(&self) -> std::sync::MutexGuard<'_, Option<Durable>> {
+        let Topology::Single { durable, .. } = &self.topology else {
+            panic!("lock_durable on a sharded context");
+        };
+        durable.lock().unwrap_or_else(|p| p.into_inner())
     }
 }
 
@@ -198,6 +334,7 @@ pub fn route(ctx: &Ctx, req: &Request) -> Response {
         ("GET", "/healthz") => healthz_endpoint(ctx),
         ("GET", "/metrics") => Response::text(200, ctx.metrics.render_table()),
         ("GET", "/v1/model") => model_endpoint(ctx),
+        ("PUT", "/v1/model") => swap_endpoint(ctx, req),
         ("POST", "/v1/impute") => impute_endpoint(ctx, req),
         ("POST", "/v1/ingest") => ingest_endpoint(ctx, req),
         ("POST", "/v1/compact") => compact_endpoint(ctx),
@@ -220,30 +357,74 @@ pub fn route(ctx: &Ctx, req: &Request) -> Response {
 /// (`degraded` means the WAL can no longer accept writes), not the
 /// status code, so a degraded-but-readable server keeps serving reads.
 fn healthz_endpoint(ctx: &Ctx) -> Response {
-    Response::json(
-        200,
-        format!("{{\"status\":\"ok\",\"state\":\"{}\",\"seq\":{}}}", ctx.state().label(), ctx.seq()),
-    )
+    let mut out = format!(
+        "{{\"status\":\"ok\",\"state\":\"{}\",\"seq\":{}",
+        ctx.state().label(),
+        ctx.seq()
+    );
+    if let Topology::Sharded(reg) = &ctx.topology {
+        out.push_str(&format!(",\"compacting\":{}", reg.compacting()));
+        out.push_str(",\"shards\":[");
+        let rows = reg.shard_rows();
+        for (k, state) in reg.shard_states().iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"shard\":{k},\"state\":\"{}\",\"rows\":{}}}",
+                state.label(),
+                rows[k]
+            ));
+        }
+        out.push(']');
+    }
+    out.push('}');
+    Response::json(200, out)
 }
 
 fn model_endpoint(ctx: &Ctx) -> Response {
-    let engine = ctx.lock_engine();
+    let info = ctx.info();
+    let (rows, rfds, indexed, attrs, shards) = match &ctx.topology {
+        Topology::Single { .. } => {
+            let engine = ctx.lock_engine();
+            (
+                engine.donor_rows(),
+                engine.sigma().len(),
+                engine.index().is_some(),
+                engine.schema().clone(),
+                None,
+            )
+        }
+        Topology::Sharded(reg) => {
+            let snap = reg.snapshot();
+            (
+                snap.rows(),
+                snap.sigma.len(),
+                false,
+                snap.schema().clone(),
+                Some(reg.n_shards()),
+            )
+        }
+    };
     let mut out = String::from("{");
     out.push_str("\"source\":");
-    write_str(&mut out, &ctx.info.source);
+    write_str(&mut out, &info.source);
     out.push_str(&format!(
         ",\"schema_fingerprint\":\"{:#018x}\"",
-        ctx.info.schema_fingerprint
+        info.schema_fingerprint
     ));
     out.push_str(&format!(",\"format_version\":{}", crate::artifact::FORMAT_VERSION));
-    out.push_str(&format!(",\"artifact_bytes\":{}", ctx.info.artifact_bytes));
-    out.push_str(&format!(",\"rows\":{}", engine.donor_rows()));
-    out.push_str(&format!(",\"rfds\":{}", engine.sigma().len()));
-    out.push_str(&format!(",\"indexed\":{}", engine.index().is_some()));
+    out.push_str(&format!(",\"artifact_bytes\":{}", info.artifact_bytes));
+    out.push_str(&format!(",\"rows\":{rows}"));
+    out.push_str(&format!(",\"rfds\":{rfds}"));
+    out.push_str(&format!(",\"indexed\":{indexed}"));
+    if let Some(n) = shards {
+        out.push_str(&format!(",\"shards\":{n}"));
+    }
     out.push_str(&format!(",\"state\":\"{}\"", ctx.state().label()));
     out.push_str(&format!(",\"seq\":{}", ctx.seq()));
     out.push_str(",\"attrs\":[");
-    for (i, attr) in engine.schema().attrs().enumerate() {
+    for (i, attr) in attrs.attrs().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -303,14 +484,14 @@ fn parse_opts(ctx: &Ctx, req: &Request) -> Result<RequestOpts, Response> {
 }
 
 /// Decodes the request body into tuples, by content type.
-fn parse_tuples(engine: &Engine, req: &Request) -> Result<Vec<Tuple>, Response> {
+fn parse_tuples(schema: &Schema, req: &Request) -> Result<Vec<Tuple>, Response> {
     let content_type = req.header("content-type").unwrap_or("application/json");
     if content_type.starts_with("text/csv") {
         let text = std::str::from_utf8(&req.body)
             .map_err(|_| bad_request("CSV body is not UTF-8"))?;
         let rel = csv::read_str(text).map_err(bad_request)?;
         let names: Vec<&str> = rel.schema().attrs().map(|a| a.name.as_str()).collect();
-        let expected: Vec<&str> = engine.schema().attrs().map(|a| a.name.as_str()).collect();
+        let expected: Vec<&str> = schema.attrs().map(|a| a.name.as_str()).collect();
         if names != expected {
             return Err(bad_request(format!(
                 "CSV header {names:?} does not match the model schema {expected:?}"
@@ -323,7 +504,7 @@ fn parse_tuples(engine: &Engine, req: &Request) -> Result<Vec<Tuple>, Response> 
             .map(|t| {
                 t.iter()
                     .enumerate()
-                    .map(|(col, v)| coerce(v, engine.schema().ty(col)))
+                    .map(|(col, v)| coerce(v, schema.ty(col)))
                     .collect()
             })
             .collect())
@@ -335,7 +516,7 @@ fn parse_tuples(engine: &Engine, req: &Request) -> Result<Vec<Tuple>, Response> 
             .get("tuples")
             .and_then(|t| t.as_array())
             .ok_or_else(|| bad_request("body must be {\"tuples\": [[...], ...]}"))?;
-        let arity = engine.schema().arity();
+        let arity = schema.arity();
         let mut out = Vec::with_capacity(tuples.len());
         for (i, row) in tuples.iter().enumerate() {
             let cells = row
@@ -349,7 +530,7 @@ fn parse_tuples(engine: &Engine, req: &Request) -> Result<Vec<Tuple>, Response> 
             }
             let mut tuple = Tuple::with_capacity(arity);
             for (attr, cell) in cells.iter().enumerate() {
-                tuple.push(json_to_value(engine, i, attr, cell)?);
+                tuple.push(json_to_value(schema, i, attr, cell)?);
             }
             out.push(tuple);
         }
@@ -376,13 +557,13 @@ fn coerce(v: &Value, ty: AttrType) -> Value {
 }
 
 fn json_to_value(
-    engine: &Engine,
+    schema: &Schema,
     row: usize,
     attr: usize,
     cell: &json::Value,
 ) -> Result<Value, Response> {
-    let ty = engine.schema().ty(attr);
-    let name = engine.schema().name(attr);
+    let ty = schema.ty(attr);
+    let name = schema.name(attr);
     let mismatch = |got: &str| {
         bad_request(format!(
             "tuple {row}, attribute {name:?}: expected {} or null, got {got}",
@@ -409,38 +590,59 @@ fn json_to_value(
     })
 }
 
+/// Layers per-request knobs over the serving base config.
+fn request_config(base: &renuver_core::RenuverConfig, opts: &RequestOpts) -> renuver_core::RenuverConfig {
+    let mut config = base.clone();
+    config.explain = opts.explain;
+    config.explain_sample = opts.explain_sample;
+    config.budget = match opts.timeout_ms {
+        Some(ms) => Budget::unlimited().with_deadline(Duration::from_millis(ms)),
+        None => Budget::unlimited(),
+    };
+    // A limited request gets an enabled tracer so a degraded response
+    // can attribute where its budget went (phase self-times).
+    config.tracer = if config.budget.is_limited() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    config
+}
+
 fn impute_endpoint(ctx: &Ctx, req: &Request) -> Response {
     let opts = match parse_opts(ctx, req) {
         Ok(o) => o,
         Err(resp) => return resp,
     };
 
-    let mut engine = ctx.lock_engine();
-    let result = {
-        let tuples = match parse_tuples(&engine, req) {
-            Ok(t) => t,
-            Err(resp) => return resp,
-        };
-        let mut config = engine.config().clone();
-        config.explain = opts.explain;
-        config.explain_sample = opts.explain_sample;
-        config.budget = match opts.timeout_ms {
-            Some(ms) => Budget::unlimited().with_deadline(Duration::from_millis(ms)),
-            None => Budget::unlimited(),
-        };
-        // A limited request gets an enabled tracer so a degraded response
-        // can attribute where its budget went (phase self-times).
-        config.tracer = if config.budget.is_limited() {
-            Tracer::enabled()
-        } else {
-            Tracer::disabled()
-        };
-        match engine.impute_batch_with(tuples, &config) {
-            Ok(result) => result,
-            Err(e) => return bad_request(e),
+    let result = match &ctx.topology {
+        Topology::Single { .. } => {
+            let mut engine = ctx.lock_engine();
+            let tuples = match parse_tuples(engine.schema(), req) {
+                Ok(t) => t,
+                Err(resp) => return resp,
+            };
+            let config = request_config(engine.config(), &opts);
+            match engine.impute_batch_with(tuples, &config) {
+                Ok(result) => result,
+                Err(e) => return bad_request(e),
+            }
+        }
+        Topology::Sharded(reg) => {
+            // One Arc clone; the request runs against an immutable view,
+            // concurrent with ingests and model swaps.
+            let snap = reg.snapshot();
+            let tuples = match parse_tuples(snap.schema(), req) {
+                Ok(t) => t,
+                Err(resp) => return resp,
+            };
+            let config = request_config(&snap.config, &opts);
+            match snap.impute(tuples, &config) {
+                Ok(result) => result,
+                Err(e) => return bad_request(e),
+            }
         }
     };
-    drop(engine);
 
     ctx.metrics.counter("serve.batches").inc();
     ctx.metrics.counter("serve.cells_missing").add(result.stats.missing_total as u64);
@@ -477,6 +679,9 @@ fn ingest_endpoint(ctx: &Ctx, req: &Request) -> Response {
     match ctx.state() {
         ServeState::Ok => {}
         ServeState::Recovering => return unavailable("wal replay in progress, ingest not ready"),
+        // Sharded compaction runs off-request; an ingest just queues on
+        // the commit lock behind it instead of bouncing.
+        ServeState::Compacting if ctx.registry().is_some() => {}
         ServeState::Compacting => return unavailable("compaction in progress, retry shortly"),
         ServeState::Degraded => {
             return unavailable("write path degraded by an earlier wal failure; restart to recover")
@@ -486,27 +691,23 @@ fn ingest_endpoint(ctx: &Ctx, req: &Request) -> Response {
         Ok(o) => o,
         Err(resp) => return resp,
     };
+    if let Topology::Sharded(reg) = &ctx.topology {
+        return ingest_sharded(ctx, reg, req, &opts);
+    }
 
     let mut engine = ctx.lock_engine();
-    let tuples = match parse_tuples(&engine, req) {
+    let tuples = match parse_tuples(engine.schema(), req) {
         Ok(t) => t,
         Err(resp) => return resp,
     };
-    let mut config = engine.config().clone();
-    config.explain = opts.explain;
-    config.explain_sample = opts.explain_sample;
-    config.budget = match opts.timeout_ms {
-        Some(ms) => Budget::unlimited().with_deadline(Duration::from_millis(ms)),
-        None => Budget::unlimited(),
-    };
-    config.tracer = if config.budget.is_limited() { Tracer::enabled() } else { Tracer::disabled() };
+    let config = request_config(engine.config(), &opts);
     let result = match engine.impute_batch_with(tuples, &config) {
         Ok(result) => result,
         Err(e) => return bad_request(e),
     };
 
     // Engine lock held; take the durable lock second (the fixed order).
-    let mut durable_guard = ctx.durable.lock().unwrap_or_else(|p| p.into_inner());
+    let mut durable_guard = ctx.lock_durable();
     let Some(durable) = durable_guard.as_mut() else {
         return unavailable("model is not durable (serve it from an artifact with --wal)");
     };
@@ -576,16 +777,104 @@ fn ingest_endpoint(ctx: &Ctx, req: &Request) -> Response {
     )
 }
 
+/// The sharded ingest path: the registry serializes commits internally,
+/// appends the repaired batch to every shard WAL, and publishes a new
+/// snapshot. Compaction, when due, is handed to a background worker —
+/// the response never waits on a snapshot rewrite.
+fn ingest_sharded(ctx: &Ctx, reg: &Registry, req: &Request, opts: &RequestOpts) -> Response {
+    let snap = reg.snapshot();
+    let tuples = match parse_tuples(snap.schema(), req) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let config = request_config(&snap.config, opts);
+    drop(snap);
+    let outcome = match reg.ingest(tuples, &config) {
+        Ok(o) => o,
+        Err(RegistryError::Degraded(shards)) => {
+            return unavailable(&format!(
+                "shards {shards:?} degraded by an earlier wal failure; swap a model or restart"
+            ))
+        }
+        Err(RegistryError::Data(e)) => return bad_request(e),
+        Err(e) => {
+            ctx.metrics.counter("serve.wal_degraded").inc();
+            let mut body = String::from("{\"error\":");
+            write_str(&mut body, &format!("wal append failed: {e}"));
+            body.push('}');
+            return Response::json(500, body);
+        }
+    };
+    ctx.seq.store(outcome.seq, Ordering::Release);
+
+    ctx.metrics.counter("serve.ingest_batches").inc();
+    ctx.metrics.counter("serve.ingest_rows").add(outcome.committed_rows as u64);
+    ctx.metrics.counter("serve.cells_missing").add(outcome.batch.stats.missing_total as u64);
+    ctx.metrics.counter("serve.cells_imputed").add(outcome.batch.stats.imputed as u64);
+    for (labels, rows) in ctx.shard_labels.iter().zip(reg.shard_rows()) {
+        ctx.metrics.gauge(labels.rows).set(rows as u64);
+    }
+    if ctx.shard_labels.len() == reg.n_shards() {
+        let snap = reg.snapshot();
+        for t in &outcome.batch.tuples {
+            let k = renuver_core::shard_of(t, &snap.attrs, reg.n_shards());
+            ctx.metrics.counter(ctx.shard_labels[k].ingest_rows).inc();
+        }
+    }
+
+    if outcome.wants_compact {
+        let metrics = ctx.metrics.clone();
+        reg.spawn_compact(move |result| match result {
+            Ok(_) => metrics.counter("serve.compactions").inc(),
+            Err(e) => {
+                eprintln!("renuver: background compaction failed (will retry): {e}");
+                metrics.counter("serve.compact_failed").inc();
+            }
+        });
+    }
+
+    let batch_json = render_batch(&outcome.batch, opts.explain);
+    Response::json(
+        200,
+        format!(
+            "{{\"seq\":{},\"committed_rows\":{},\"donor_rows\":{},\"dict_grown\":false,\"compacted\":false,{}",
+            outcome.seq,
+            outcome.committed_rows,
+            outcome.donor_rows,
+            &batch_json[1..],
+        ),
+    )
+}
+
 /// `POST /v1/compact`: fold the WAL into a fresh snapshot now.
 fn compact_endpoint(ctx: &Ctx) -> Response {
     match ctx.state() {
         ServeState::Ok => {}
         ServeState::Recovering => return unavailable("wal replay in progress"),
         ServeState::Compacting => return unavailable("compaction already in progress"),
+        ServeState::Degraded if ctx.registry().is_some() => {}
         ServeState::Degraded => return unavailable("write path degraded; restart to recover"),
     }
+    if let Topology::Sharded(reg) = &ctx.topology {
+        return match reg.compact() {
+            Ok(seq) => {
+                ctx.metrics.counter("serve.compactions").inc();
+                Response::json(
+                    200,
+                    format!("{{\"seq\":{seq},\"shards\":{}}}", reg.n_shards()),
+                )
+            }
+            Err(e) => {
+                ctx.metrics.counter("serve.compact_failed").inc();
+                let mut body = String::from("{\"error\":");
+                write_str(&mut body, &format!("compaction failed: {e}"));
+                body.push('}');
+                Response::json(500, body)
+            }
+        };
+    }
     let engine = ctx.lock_engine();
-    let mut durable_guard = ctx.durable.lock().unwrap_or_else(|p| p.into_inner());
+    let mut durable_guard = ctx.lock_durable();
     let Some(durable) = durable_guard.as_mut() else {
         return unavailable("model is not durable (serve it from an artifact with --wal)");
     };
@@ -609,6 +898,104 @@ fn compact_endpoint(ctx: &Ctx) -> Response {
             body.push('}');
             Response::json(500, body)
         }
+    }
+}
+
+/// `PUT /v1/model`: hot model swap. The body is a complete `.rnv`
+/// artifact; its schema fingerprint must match the loaded model's.
+fn swap_endpoint(ctx: &Ctx, req: &Request) -> Response {
+    match apply_model_swap(ctx, &req.body, "PUT /v1/model") {
+        Ok(seq) => Response::json(200, format!("{{\"swapped\":true,\"seq\":{seq}}}")),
+        Err(resp) => resp,
+    }
+}
+
+/// Installs artifact `bytes` as the serving model — shared by
+/// `PUT /v1/model` and the `SIGHUP` reload. The new model must carry the
+/// same schema fingerprint; requests in flight finish against the old
+/// model, new requests see the new one.
+pub fn apply_model_swap(ctx: &Ctx, bytes: &[u8], via: &str) -> Result<u64, Response> {
+    let art = match crate::artifact::decode(bytes) {
+        Ok(a) => a,
+        Err(e) => return Err(bad_request(format!("model swap rejected: {e}"))),
+    };
+    let expected = ctx.info().schema_fingerprint;
+    if art.schema_fingerprint != expected {
+        ctx.metrics.counter("serve.swap_rejected").inc();
+        let mut body = String::from("{\"error\":");
+        write_str(
+            &mut body,
+            &format!(
+                "schema fingerprint mismatch: serving {expected:#018x}, swap carries {:#018x}",
+                art.schema_fingerprint
+            ),
+        );
+        body.push('}');
+        return Err(Response::json(409, body));
+    }
+    let source = art.source.clone();
+    let seq = match &ctx.topology {
+        Topology::Sharded(reg) => match reg.swap(art) {
+            Ok(seq) => seq,
+            Err(e) => {
+                let mut body = String::from("{\"error\":");
+                write_str(&mut body, &format!("model swap failed: {e}"));
+                body.push('}');
+                return Err(Response::json(500, body));
+            }
+        },
+        Topology::Single { .. } => {
+            let mut engine = ctx.lock_engine();
+            let mut durable_guard = ctx.lock_durable();
+            let seq = ctx.seq();
+            let config = engine.config().clone();
+            let new_engine = art.into_engine(config);
+            if let Some(durable) = durable_guard.as_mut() {
+                // Re-encode at the live seq: the snapshot on disk and the
+                // reset WAL must agree on the committed horizon, whatever
+                // seq the uploaded artifact carried.
+                let snapshot =
+                    crate::artifact::encode_engine(&new_engine, &source, seq);
+                if let Err(e) = durable.replace_snapshot(&snapshot, seq) {
+                    let mut body = String::from("{\"error\":");
+                    write_str(&mut body, &format!("model swap failed: {e}"));
+                    body.push('}');
+                    return Err(Response::json(500, body));
+                }
+            }
+            *engine = new_engine;
+            seq
+        }
+    };
+    ctx.seq.store(seq, Ordering::Release);
+    {
+        let mut info = ctx.info.write().unwrap_or_else(|e| e.into_inner());
+        info.source = source;
+        info.artifact_bytes = bytes.len();
+    }
+    ctx.metrics.counter("serve.swaps").inc();
+    eprintln!("renuver: model swapped via {via} (seq {seq})");
+    Ok(seq)
+}
+
+/// Reloads the model from the registered path — the `SIGHUP` handler's
+/// slow half, run on the accept loop.
+pub fn reload_from_path(ctx: &Ctx) {
+    let Some(path) = ctx.model_path() else {
+        eprintln!("renuver: SIGHUP ignored — model was not served from a file");
+        return;
+    };
+    match std::fs::read(&path) {
+        Ok(bytes) => {
+            if let Err(resp) = apply_model_swap(ctx, &bytes, "SIGHUP") {
+                eprintln!(
+                    "renuver: SIGHUP reload of {} rejected: {}",
+                    path.display(),
+                    String::from_utf8_lossy(&resp.body)
+                );
+            }
+        }
+        Err(e) => eprintln!("renuver: SIGHUP reload failed to read {}: {e}", path.display()),
     }
 }
 

@@ -63,22 +63,35 @@ impl Default for ServeConfig {
 /// store qualifies.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
+/// Process-wide reload request, set by SIGHUP. The accept loop polls it
+/// and re-reads the model artifact from its recorded path — a zero-
+/// downtime swap through the same guarded path as `PUT /v1/model`.
+static RELOAD: AtomicBool = AtomicBool::new(false);
+
 #[cfg(unix)]
 extern "C" fn on_signal(_signum: i32) {
     SHUTDOWN.store(true, Ordering::Relaxed);
 }
 
+#[cfg(unix)]
+extern "C" fn on_reload(_signum: i32) {
+    RELOAD.store(true, Ordering::Relaxed);
+}
+
 /// Installs `SIGINT`/`SIGTERM` handlers that request a graceful
-/// shutdown. The `signal` symbol comes from the libc std already links;
-/// no crate dependency.
+/// shutdown and a `SIGHUP` handler that requests a model reload. The
+/// `signal` symbol comes from the libc std already links; no crate
+/// dependency.
 #[cfg(unix)]
 pub fn install_signal_handlers() {
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
     unsafe {
+        signal(SIGHUP, on_reload as extern "C" fn(i32) as usize);
         signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
         signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
     }
@@ -148,6 +161,11 @@ impl Server {
         loop {
             if self.should_stop() {
                 break;
+            }
+            if RELOAD.swap(false, Ordering::Relaxed) {
+                // Workers keep serving the old snapshot while the swap
+                // runs here; only new accepts wait behind it.
+                crate::router::reload_from_path(&self.ctx);
             }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {

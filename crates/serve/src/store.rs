@@ -206,6 +206,23 @@ impl Durable {
         Ok(seq)
     }
 
+    /// Replaces the snapshot file with a complete artifact and resets
+    /// the WAL at `seq` — the single-topology half of a hot model swap.
+    /// The bytes must already be a valid artifact with the serving
+    /// schema fingerprint (the router checks before calling).
+    pub fn replace_snapshot(&mut self, bytes: &[u8], seq: u64) -> Result<(), StoreError> {
+        let tmp = self.opts.snapshot_path.with_extension("rnv.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.opts.snapshot_path)?;
+        sync_parent_dir(&self.opts.snapshot_path);
+        self.wal.reset(seq)?;
+        Ok(())
+    }
+
     /// Highest durable sequence number.
     pub fn last_seq(&self) -> u64 {
         self.wal.last_seq()

@@ -318,7 +318,7 @@ fn flag_spec(cmd: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
             (v, vec![])
         }
         "prepare" => {
-            let mut v = vec!["-o", "--out", "--rfds", "--index-mode"];
+            let mut v = vec!["-o", "--out", "--rfds", "--index-mode", "--shards"];
             v.extend(discovery);
             (v, vec![])
         }
@@ -340,6 +340,7 @@ fn flag_spec(cmd: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
                 "--compact-records",
                 "--rfds",
                 "--index-mode",
+                "--shards",
             ];
             v.extend(discovery);
             (v, vec!["--wal"])
@@ -891,6 +892,19 @@ fn prepare_cmd(args: &Args) -> Result<(), String> {
         renuver::budget::format_bytes(bytes.len()),
         renuver::budget::format_duration(build_time),
     );
+    // `--shards N` additionally writes the sharded layout (per-shard
+    // snapshots + routing manifest) beside the model, so `serve --wal
+    // --shards N` starts without re-partitioning.
+    if let Some(n) = args.parse_value::<usize>("--shards")? {
+        if n == 0 {
+            return Err("--shards must be at least 1".into());
+        }
+        let layout = renuver::serve::ShardLayout::beside(out);
+        let rows =
+            renuver::serve::Registry::prepare_layout(engine.relation(), engine.sigma(), n, &layout, &path, 0)
+                .map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {n}-shard layout beside {out}: rows per shard {rows:?}");
+    }
     Ok(())
 }
 
@@ -968,6 +982,13 @@ fn ingest_cmd(args: &Args) -> Result<(), String> {
         return Err(format!(
             "{model_path}: ingest commits into a prepared artifact (.rnv); run `renuver prepare` first"
         ));
+    }
+    // A sharded layout (written by `prepare --shards` or `serve --shards
+    // --wal`) announces itself with a manifest beside the artifact; the
+    // batch then commits through the registry so every shard WAL sees it.
+    let shard_layout = renuver::serve::ShardLayout::beside(model_path);
+    if shard_layout.manifest().exists() {
+        return ingest_sharded_cmd(args, model_path, batch_path, shard_layout);
     }
     let loaded = artifact::load(model_path).map_err(|e| format!("{model_path}: {e}"))?;
     let snapshot_seq = loaded.committed_seq;
@@ -1055,6 +1076,111 @@ fn ingest_cmd(args: &Args) -> Result<(), String> {
     }
 }
 
+/// `ingest` against a sharded layout: recover the registry (replaying
+/// every shard WAL), commit the batch through it — the repaired rows
+/// are fsynced into *every* healthy shard log before anything prints —
+/// and optionally fold the logs into fresh shard snapshots.
+fn ingest_sharded_cmd(
+    args: &Args,
+    model_path: &str,
+    batch_path: &str,
+    layout: renuver::serve::ShardLayout,
+) -> Result<(), String> {
+    use renuver::data::{AttrType, Value};
+    use renuver::serve::{artifact, Registry};
+    let loaded = artifact::load(model_path).map_err(|e| format!("{model_path}: {e}"))?;
+    let source = loaded.source.clone();
+    let config = RenuverConfig {
+        index_mode: if loaded.index.is_some() { IndexMode::Indexed } else { IndexMode::Scan },
+        ..RenuverConfig::default()
+    };
+    let opts = durability_options(args, model_path, &source)?;
+    let (registry, report) = Registry::open_durable(
+        loaded,
+        config.clone(),
+        1, // the manifest's shard count wins over this placeholder
+        layout,
+        &source,
+        opts.compact_bytes,
+        opts.compact_records,
+    )
+    .map_err(|e| format!("{model_path}: {e}"))?;
+    if report.replayed > 0 || !report.degraded.is_empty() {
+        eprintln!(
+            "recovered {} wal record(s), {} rows; sharded model is at seq {}{}",
+            report.replayed,
+            report.rows,
+            report.seq,
+            if report.degraded.is_empty() {
+                String::new()
+            } else {
+                format!("; degraded shards {:?}", report.degraded)
+            },
+        );
+    }
+    let snap = registry.snapshot();
+    let schema = snap.schema().clone();
+    drop(snap);
+
+    let batch = load(batch_path)?;
+    let names: Vec<&str> = batch.schema().attrs().map(|a| a.name.as_str()).collect();
+    let expected: Vec<&str> = schema.attrs().map(|a| a.name.as_str()).collect();
+    if names != expected {
+        return Err(format!(
+            "{batch_path}: header {names:?} does not match the model schema {expected:?}"
+        ));
+    }
+    let tuples: Vec<renuver::data::Tuple> = batch
+        .tuples()
+        .map(|t| {
+            t.iter()
+                .enumerate()
+                .map(|(col, v)| {
+                    let ty = schema.ty(col);
+                    match (v, ty) {
+                        (Value::Null, _) => Value::Null,
+                        (Value::Text(_), AttrType::Text)
+                        | (Value::Int(_), AttrType::Int)
+                        | (Value::Float(_), AttrType::Float)
+                        | (Value::Bool(_), AttrType::Bool) => v.clone(),
+                        (Value::Int(n), AttrType::Float) => Value::Float(*n as f64),
+                        _ => Value::parse(&v.render(), ty),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let outcome = registry
+        .ingest(tuples, &config)
+        .map_err(|e| format!("{batch_path}: {e}"))?;
+    eprintln!(
+        "seq {}: imputed {}/{} missing cells, committed {} row(s) across {} shard(s) ({} donors total)",
+        outcome.seq,
+        outcome.batch.stats.imputed,
+        outcome.batch.stats.missing_total,
+        outcome.committed_rows,
+        registry.n_shards(),
+        outcome.donor_rows,
+    );
+    if args.has("--compact") || outcome.wants_compact {
+        let folded = registry.compact().map_err(|e| e.to_string())?;
+        eprintln!(
+            "compacted: {} shard snapshot(s) rewritten at seq {folded}, wals truncated",
+            registry.n_shards()
+        );
+    }
+    let repaired =
+        Relation::new(schema, outcome.batch.tuples.clone()).map_err(|e| e.to_string())?;
+    match args.value("--out") {
+        Some(path) => save(&repaired, path),
+        None => {
+            print!("{}", csv::write_string(&repaired));
+            Ok(())
+        }
+    }
+}
+
 /// The artifact's committed sequence number and provenance string —
 /// present only for `.rnv` models (a dataset-built engine has no
 /// snapshot to compact into).
@@ -1105,10 +1231,22 @@ fn serve_engine(
     }
 }
 
+/// Prints the startup handshake's second line. The e2e harness reads
+/// exactly two stdout lines — the `listening on` banner, then this —
+/// instead of polling `/healthz`, so startup is retry-free.
+fn print_ready(state: &str, seq: u64) {
+    use std::io::Write as _;
+    println!("ready state={state} seq={seq}");
+    let _ = std::io::stdout().flush();
+}
+
 fn serve_cmd(args: &Args) -> Result<(), String> {
-    use renuver::serve::{install_signal_handlers, Ctx, Durable, ServeConfig, ServeState, Server};
+    use renuver::serve::{
+        install_signal_handlers, Ctx, Durable, Registry, ServeConfig, ServeState, Server,
+        ShardLayout,
+    };
     let path = one_positional(args)?;
-    let (engine, info, durability) = serve_engine(args, &path)?;
+    let shards: usize = args.parse_value("--shards")?.unwrap_or(0);
     let default_timeout_ms: Option<u64> = args.parse_value("--default-timeout-ms")?;
     let max_timeout_ms: u64 = args.parse_value("--max-timeout-ms")?.unwrap_or(60_000);
     let defaults = ServeConfig::default();
@@ -1125,13 +1263,115 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
             .unwrap_or(defaults.read_timeout_secs),
         ..defaults
     };
+
+    if shards > 0 {
+        // Sharded topology: recovery is synchronous (the registry must be
+        // whole before the first request), so the ready line follows the
+        // banner immediately.
+        let is_artifact = path.to_ascii_lowercase().ends_with(".rnv");
+        let (registry, info, report) = if is_artifact {
+            use renuver::serve::artifact;
+            let bytes = std::fs::read(&path).map_err(|e| format!("{path}: {e}"))?;
+            let loaded = artifact::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+            let info = renuver::serve::ModelInfo {
+                source: format!("{path} ({})", loaded.source),
+                schema_fingerprint: loaded.schema_fingerprint,
+                artifact_bytes: bytes.len(),
+            };
+            let source = loaded.source.clone();
+            let core_config = RenuverConfig {
+                index_mode: if loaded.index.is_some() { IndexMode::Indexed } else { IndexMode::Scan },
+                ..RenuverConfig::default()
+            };
+            if args.has("--wal") {
+                let opts = durability_options(args, &path, &source)?;
+                let (registry, report) = Registry::open_durable(
+                    loaded,
+                    core_config,
+                    shards,
+                    ShardLayout::beside(&path),
+                    &source,
+                    opts.compact_bytes,
+                    opts.compact_records,
+                )
+                .map_err(|e| format!("{path}: {e}"))?;
+                (registry, info, Some(report))
+            } else {
+                let registry =
+                    Registry::build(&loaded.relation, loaded.rfds, core_config, shards);
+                (registry, info, None)
+            }
+        } else {
+            if args.has("--wal") {
+                return Err(
+                    "--wal needs a .rnv artifact to compact into; run `renuver prepare` first"
+                        .into(),
+                );
+            }
+            let rel = load(&path)?;
+            let rfds = rfds_for_model(args, &rel)?;
+            let info = renuver::serve::ModelInfo {
+                source: path.to_string(),
+                schema_fingerprint: renuver::serve::artifact::schema_fingerprint(rel.schema()),
+                artifact_bytes: 0,
+            };
+            let core_config = RenuverConfig {
+                index_mode: index_mode_from_args(args)?,
+                ..RenuverConfig::default()
+            };
+            (Registry::build(&rel, rfds, core_config, shards), info, None)
+        };
+        if let Some(report) = &report {
+            if report.replayed > 0 || !report.degraded.is_empty() {
+                eprintln!(
+                    "wal: replayed {} record(s), {} rows across {} shard(s); seq {}{}{}",
+                    report.replayed,
+                    report.rows,
+                    registry.n_shards(),
+                    report.seq,
+                    if report.normalized { ", snapshots normalized" } else { "" },
+                    if report.degraded.is_empty() {
+                        String::new()
+                    } else {
+                        format!("; degraded shards {:?}", report.degraded)
+                    },
+                );
+            }
+        }
+        let snap = registry.snapshot();
+        let (rows, rfds) = (snap.rows(), snap.sigma.len());
+        drop(snap);
+        let ctx = std::sync::Arc::new(Ctx::new_sharded(
+            registry,
+            info,
+            default_timeout_ms,
+            max_timeout_ms,
+        ));
+        if is_artifact {
+            ctx.set_model_path(std::path::PathBuf::from(&path));
+        }
+        install_signal_handlers();
+        let server = Server::bind(config, ctx.clone()).map_err(|e| e.to_string())?;
+        let addr = server.local_addr().map_err(|e| e.to_string())?;
+        println!("listening on {addr} ({rows} tuples, {rfds} RFDs)");
+        print_ready(ctx.state().label(), ctx.seq());
+        let shed = server.run().map_err(|e| e.to_string())?;
+        println!("shutdown complete ({shed} connections shed)");
+        return Ok(());
+    }
+
+    let (engine, info, durability) = serve_engine(args, &path)?;
     let rows = engine.donor_rows();
     let rfds = engine.sigma().len();
     let ctx = std::sync::Arc::new(Ctx::new(engine, info, default_timeout_ms, max_timeout_ms));
+    if path.to_ascii_lowercase().ends_with(".rnv") {
+        ctx.set_model_path(std::path::PathBuf::from(&path));
+    }
 
     // `--wal` arms the durable write path: the server binds immediately
     // (healthz answers `"state":"recovering"`, ingest answers 503) and a
-    // background thread replays the WAL before flipping the state to ok.
+    // background thread replays the WAL before flipping the state to ok
+    // and printing the ready line.
     let recovery = if args.has("--wal") {
         let Some((snapshot_seq, source)) = durability else {
             return Err(
@@ -1148,33 +1388,37 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
     install_signal_handlers();
     let server = Server::bind(config, ctx.clone()).map_err(|e| e.to_string())?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
-    // The e2e harness polls stdout for this line; flush so a piped
+    // The e2e harness reads stdout for this line; flush so a piped
     // stdout does not buffer it past the first request.
     println!("listening on {addr} ({rows} tuples, {rfds} RFDs)");
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    if let Some((snapshot_seq, opts)) = recovery {
-        let ctx = ctx.clone();
-        std::thread::spawn(move || {
-            // Replay holds the engine lock, so read requests queue behind
-            // it briefly; ingest is refused by the state gate either way.
-            let mut engine = ctx.lock_engine();
-            match Durable::recover(&mut engine, snapshot_seq, opts) {
-                Ok((durable, report)) => {
-                    drop(engine);
-                    eprintln!(
-                        "wal: replayed {} record(s), {} rows; durable at seq {}",
-                        report.replayed, report.rows, report.seq
-                    );
-                    ctx.install_durable(durable);
+    match recovery {
+        Some((snapshot_seq, opts)) => {
+            let ctx = ctx.clone();
+            std::thread::spawn(move || {
+                // Replay holds the engine lock, so read requests queue behind
+                // it briefly; ingest is refused by the state gate either way.
+                let mut engine = ctx.lock_engine();
+                match Durable::recover(&mut engine, snapshot_seq, opts) {
+                    Ok((durable, report)) => {
+                        drop(engine);
+                        eprintln!(
+                            "wal: replayed {} record(s), {} rows; durable at seq {}",
+                            report.replayed, report.rows, report.seq
+                        );
+                        ctx.install_durable(durable);
+                    }
+                    Err(e) => {
+                        drop(engine);
+                        eprintln!("wal: recovery failed, serving reads only (state degraded): {e}");
+                        ctx.set_state(ServeState::Degraded);
+                    }
                 }
-                Err(e) => {
-                    drop(engine);
-                    eprintln!("wal: recovery failed, serving reads only (state degraded): {e}");
-                    ctx.set_state(ServeState::Degraded);
-                }
-            }
-        });
+                print_ready(ctx.state().label(), ctx.seq());
+            });
+        }
+        None => print_ready(ctx.state().label(), ctx.seq()),
     }
     let shed = server.run().map_err(|e| e.to_string())?;
     println!("shutdown complete ({shed} connections shed)");

@@ -189,17 +189,11 @@ fn sigterm_during_inflight_ingest_commits_fully_or_not_at_all() {
         .unwrap_or_else(|| panic!("bad banner {banner:?}"))
         .to_string();
 
-    // Wait out WAL replay: ingest is refused until the state flips to ok.
-    for _ in 0..100 {
-        let mut s = std::net::TcpStream::connect(&addr).unwrap();
-        s.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
-        let mut resp = String::new();
-        s.read_to_string(&mut resp).unwrap();
-        if resp.contains("\"state\":\"ok\"") {
-            break;
-        }
-        std::thread::sleep(std::time::Duration::from_millis(20));
-    }
+    // Retry-free handshake: the second stdout line arrives once WAL
+    // replay is done and ingest is accepted (no healthz polling).
+    let mut ready = String::new();
+    lines.read_line(&mut ready).unwrap();
+    assert!(ready.starts_with("ready state=ok "), "{ready:?}");
 
     // Send the request in two halves with SIGTERM in between: the
     // server must finish reading and commit, not cut the socket.
@@ -241,4 +235,203 @@ fn sigterm_during_inflight_ingest_commits_fully_or_not_at_all() {
     .unwrap();
     assert_ok(&ingest(&dir_ctl, "sig_batch.csv", None, false), "control batch");
     assert_eq!(recovered, final_snapshot(&dir_ctl));
+}
+
+// ------------------------------------------------------ sharded layouts
+//
+// `prepare --shards 2` writes per-shard snapshots, per-shard WALs, and a
+// routing manifest beside the artifact; `ingest` auto-detects the
+// manifest and commits through the registry. The sharded contract
+// differs from the single-engine one in exactly one place: a batch is
+// committed only once it is appended to *every* shard WAL, so a crash
+// anywhere inside the append fan-out leaves the batch absent (an orphan
+// frame on an earlier log sits beyond the committed horizon and is
+// truncated when recovery normalizes). Compaction crashes — including
+// the sharded-only window where one shard's snapshot is renamed while
+// its siblings and the manifest are still old — must change nothing
+// logically, per shard, byte for byte.
+
+const SHARDS: usize = 2;
+
+fn setup_sharded(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("renuver-shard-recovery-{}", std::process::id()))
+        .join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("data.csv"), DATA).unwrap();
+    std::fs::write(dir.join("batch1.csv"), BATCH1).unwrap();
+    std::fs::write(dir.join("batch2.csv"), BATCH2).unwrap();
+    let out = bin()
+        .current_dir(&dir)
+        .args(["prepare", "data.csv", "-o", "model.rnv", "--limit", "3", "--shards", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "prepare failed: {}", String::from_utf8_lossy(&out.stderr));
+    dir
+}
+
+/// Canonical sharded end state: recover + ingest `batch2.csv` with
+/// `--compact`, then read every shard snapshot plus the manifest. Two
+/// histories that agree on the durable batches agree on every byte of
+/// every shard.
+fn final_sharded_state(dir: &Path) -> Vec<Vec<u8>> {
+    let out = ingest(dir, "batch2.csv", None, true);
+    assert_ok(&out, "sharded recovery ingest of batch2");
+    let mut files = Vec::new();
+    for k in 0..SHARDS {
+        files.push(std::fs::read(dir.join(format!("model.rnv.shard{k}"))).unwrap());
+    }
+    files.push(std::fs::read(dir.join("model.rnv.manifest")).unwrap());
+    files
+}
+
+fn sharded_control(tag: &str, batches: &[&str]) -> Vec<Vec<u8>> {
+    let dir = setup_sharded(tag);
+    for b in batches {
+        assert_ok(&ingest(&dir, b, None, false), b);
+    }
+    final_sharded_state(&dir)
+}
+
+#[test]
+fn sharded_append_crash_matrix_commits_nothing() {
+    // Every append crash point leaves the batch uncommitted: the fault
+    // fires on the first shard WAL the fan-out touches, so no state
+    // where all logs carry the frame is ever reached.
+    for fault in [
+        "wal.append.pre_write=crash",
+        "wal.append.mid_write=short:10",
+        "wal.append.pre_fsync=crash",
+        "wal.append.post_fsync=crash",
+    ] {
+        let point = fault.split('=').next().unwrap();
+        let dir = setup_sharded(&format!("append-{}", point.replace('.', "-")));
+        let out = ingest(&dir, "batch1.csv", Some(fault), false);
+        assert!(!out.status.success(), "{fault}: sharded ingest should have died");
+
+        let recovered = final_sharded_state(&dir);
+        let control =
+            sharded_control(&format!("append-ctl-{}", point.replace('.', "-")), &[]);
+        assert_eq!(
+            recovered, control,
+            "{fault}: per-shard recovery differs from a control that never saw batch1"
+        );
+    }
+}
+
+#[test]
+fn sharded_compaction_crash_matrix_changes_nothing_logically() {
+    // The commit is acknowledged before compaction, so batch1 survives a
+    // crash at every point — including `compact.shard_done`, the
+    // sharded-only window where shard 0's snapshot is already at the new
+    // seq while shard 1 and the manifest still hold the old one.
+    // Recovery must notice the mixed seqs and normalize.
+    for point in [
+        "compact.pre_write",
+        "compact.pre_rename",
+        "compact.shard_done",
+        "compact.post_rename",
+        "compact.pre_truncate",
+    ] {
+        let dir = setup_sharded(&format!("cpt-{}", point.replace('.', "-")));
+        let out = ingest(&dir, "batch1.csv", Some(&format!("{point}=crash")), true);
+        assert!(!out.status.success(), "{point}: sharded ingest --compact should have died");
+
+        let recovered = final_sharded_state(&dir);
+        let control = sharded_control(
+            &format!("cpt-ctl-{}", point.replace('.', "-")),
+            &["batch1.csv"],
+        );
+        assert_eq!(
+            recovered, control,
+            "{point}: sharded compaction crash changed the logical state"
+        );
+    }
+}
+
+/// One shard's WAL is corrupted while a sibling keeps the full history:
+/// the registry comes up `degraded` for the crashed shard only, keeps
+/// serving imputes (the sibling's log rebuilds the dead shard's tail in
+/// memory), and refuses ingest until the shard heals.
+#[test]
+#[cfg(unix)]
+fn corrupt_shard_wal_serves_degraded_for_that_shard_only() {
+    let dir = setup_sharded("degraded");
+    assert_ok(&ingest(&dir, "batch1.csv", None, false), "batch1");
+
+    // Flip a byte inside shard 0's WAL header: the log refuses to open.
+    let wal_path = dir.join("model.rnv.shard0.wal");
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    bytes[9] ^= 0xff;
+    std::fs::write(&wal_path, &bytes).unwrap();
+
+    let mut child = bin()
+        .current_dir(&dir)
+        .args(["serve", "model.rnv", "--shards", "2", "--wal", "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut lines = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    lines.read_line(&mut banner).unwrap();
+    let addr = banner
+        .strip_prefix("listening on ")
+        .and_then(|r| r.split_whitespace().next())
+        .unwrap_or_else(|| panic!("bad banner {banner:?}"))
+        .to_string();
+    let mut ready = String::new();
+    lines.read_line(&mut ready).unwrap();
+    assert!(ready.starts_with("ready state=degraded "), "{ready:?}");
+
+    let send = |raw: &str| {
+        let mut s = std::net::TcpStream::connect(&addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut resp = String::new();
+        BufReader::new(s).read_to_string(&mut resp).unwrap();
+        resp
+    };
+
+    // Only shard 0 is degraded, and batch1's two rows were rebuilt from
+    // the sibling's log: 6 base rows + 2 replayed across the shards.
+    let health = send("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert!(health.contains("\"state\":\"degraded\""), "{health}");
+    assert!(
+        health.contains("{\"shard\":0,\"state\":\"degraded\""),
+        "shard 0 should be degraded: {health}"
+    );
+    assert!(
+        health.contains("{\"shard\":1,\"state\":\"ok\""),
+        "shard 1 should be healthy: {health}"
+    );
+    let rows: u64 = health
+        .split("\"rows\":")
+        .skip(1)
+        .map(|r| r.split(|c: char| !c.is_ascii_digit()).next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(rows, 8, "replayed batch rows missing from the registry: {health}");
+
+    // Reads still answer from the recovered state.
+    let body = r#"{"tuples": [["Salerno", null]]}"#;
+    let resp = send(&format!(
+        "POST /v1/impute HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    ));
+    assert!(resp.starts_with("HTTP/1.1 200 "), "{resp}");
+    assert!(resp.contains("84084"), "{resp}");
+
+    // Writes are refused: acknowledging a batch a degraded log never saw
+    // would fork the shards.
+    let resp = send(&format!(
+        "POST /v1/ingest HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    ));
+    assert!(resp.starts_with("HTTP/1.1 503 "), "{resp}");
+
+    let kill = Command::new("kill").arg("-TERM").arg(child.id().to_string()).status().unwrap();
+    assert!(kill.success());
+    assert!(child.wait().unwrap().success(), "serve did not exit cleanly");
 }
