@@ -31,6 +31,10 @@
 //! | `compact.pre_truncate`   | alias point directly before the WAL reset   |
 //! | `compact.shard_done`     | sharded only: one shard snapshot renamed,   |
 //! |                          | siblings and the manifest still old         |
+//! | `registry.append.shard<k>` | sharded only: the ingest fan-out reaches  |
+//! |                          | shard `k` — earlier logs hold the frame     |
+//! | `swap.pre_commit`        | sharded only: the new generation's files    |
+//! |                          | are all written, manifest not yet flipped   |
 
 use std::collections::HashMap;
 use std::io;

@@ -19,6 +19,13 @@
 //! | `model.rnv.shard<k>.wal` | shard `k`'s write-ahead log                |
 //! | `model.rnv.manifest`  | routing table: shard id per global base row   |
 //!
+//! A model swap never rewrites those files in place: it writes the whole
+//! replacement layout under the next generation's names
+//! (`model.rnv.g<gen>.shard<k>[.wal]`) and commits by atomically
+//! renaming a manifest that records the new generation — the manifest is
+//! the single switch, so a crash anywhere inside a swap leaves either
+//! the complete old layout or the complete new one, never a mix.
+//!
 //! Every shard WAL records the **full repaired batch** (not just the
 //! shard's own rows). That redundancy is the recovery story: any healthy
 //! WAL can rebuild the global `locate` table and the in-memory tail of a
@@ -56,8 +63,8 @@ use crate::wal::{sync_parent_dir, Wal, WalRecord};
 
 /// Manifest magic: `RNVM`.
 const MANIFEST_MAGIC: [u8; 4] = *b"RNVM";
-/// Manifest format version.
-const MANIFEST_VERSION: u32 = 1;
+/// Manifest format version. v2 added the layout generation.
+const MANIFEST_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------- layout
 
@@ -80,19 +87,73 @@ impl ShardLayout {
         PathBuf::from(os)
     }
 
-    /// `model.rnv.shard<k>` — shard `k`'s snapshot.
-    pub fn shard_snapshot(&self, k: usize) -> PathBuf {
-        self.suffixed(&format!(".shard{k}"))
+    /// `.g<gen>` for swapped-in layouts; generation 0 keeps the bare
+    /// names `prepare --shards` writes.
+    fn gen_prefix(gen: u64) -> String {
+        if gen == 0 { String::new() } else { format!(".g{gen}") }
     }
 
-    /// `model.rnv.shard<k>.wal` — shard `k`'s write-ahead log.
-    pub fn shard_wal(&self, k: usize) -> PathBuf {
-        self.suffixed(&format!(".shard{k}.wal"))
+    /// `model.rnv[.g<gen>].shard<k>` — shard `k`'s snapshot in layout
+    /// generation `gen`.
+    pub fn shard_snapshot(&self, gen: u64, k: usize) -> PathBuf {
+        self.suffixed(&format!("{}.shard{k}", Self::gen_prefix(gen)))
     }
 
-    /// `model.rnv.manifest` — the routing manifest.
+    /// `model.rnv[.g<gen>].shard<k>.wal` — shard `k`'s write-ahead log
+    /// in layout generation `gen`.
+    pub fn shard_wal(&self, gen: u64, k: usize) -> PathBuf {
+        self.suffixed(&format!("{}.shard{k}.wal", Self::gen_prefix(gen)))
+    }
+
+    /// `model.rnv.manifest` — the routing manifest. Generation-less: the
+    /// manifest names the live generation and its atomic rename is the
+    /// commit point of every layout rewrite.
     pub fn manifest(&self) -> PathBuf {
         self.suffixed(".manifest")
+    }
+
+    /// Best-effort removal of every shard file whose generation is not
+    /// `current`: losers of an interrupted swap, or the previous layout
+    /// after a committed one. Never touches the manifest or the base
+    /// model.
+    fn sweep_stale_generations(&self, current: u64) {
+        let Some(base_name) = self.base.file_name().and_then(|n| n.to_str()) else {
+            return;
+        };
+        let parent = self.base.parent().unwrap_or_else(|| Path::new("."));
+        let dir = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
+        let Ok(entries) = fs::read_dir(dir) else { return };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(suffix) = name
+                .strip_prefix(base_name)
+                .and_then(|s| s.strip_prefix('.'))
+            else {
+                continue;
+            };
+            // `shard<k>...` is generation 0; `g<gen>.shard<k>...` is a
+            // swapped generation. Anything else (manifest, tmp files of
+            // the manifest, the base model) is left alone.
+            let gen = if suffix.starts_with("shard") {
+                0
+            } else if let Some(rest) = suffix.strip_prefix('g') {
+                match rest.split_once('.') {
+                    Some((num, tail)) if tail.starts_with("shard") => {
+                        match num.parse::<u64>() {
+                            Ok(g) => g,
+                            Err(_) => continue,
+                        }
+                    }
+                    _ => continue,
+                }
+            } else {
+                continue;
+            };
+            if gen != current {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
     }
 }
 
@@ -108,6 +169,10 @@ pub struct Manifest {
     pub n_shards: usize,
     /// The seq this manifest (and the `assign` table) covers.
     pub seq: u64,
+    /// Layout generation: which `[.g<gen>]` file set holds the shard
+    /// snapshots and WALs. A model swap writes the whole next generation
+    /// before flipping this in one atomic manifest rename.
+    pub generation: u64,
     /// Partition attributes hashed by [`shard_of`].
     pub attrs: Vec<usize>,
     /// `assign[g]` = owning shard of global row `g`, for all rows at
@@ -117,12 +182,13 @@ pub struct Manifest {
 
 impl Manifest {
     fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(40 + self.attrs.len() * 4 + self.assign.len() * 4);
+        let mut buf = Vec::with_capacity(48 + self.attrs.len() * 4 + self.assign.len() * 4);
         buf.extend_from_slice(&MANIFEST_MAGIC);
         buf.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
         buf.extend_from_slice(&self.schema_fp.to_le_bytes());
         buf.extend_from_slice(&(self.n_shards as u32).to_le_bytes());
         buf.extend_from_slice(&self.seq.to_le_bytes());
+        buf.extend_from_slice(&self.generation.to_le_bytes());
         buf.extend_from_slice(&(self.attrs.len() as u32).to_le_bytes());
         for &a in &self.attrs {
             buf.extend_from_slice(&(a as u32).to_le_bytes());
@@ -138,7 +204,7 @@ impl Manifest {
 
     fn decode(bytes: &[u8]) -> Result<Manifest, RegistryError> {
         let bad = |m: &str| RegistryError::Manifest(m.to_string());
-        if bytes.len() < 4 + 4 + 8 + 4 + 8 + 4 + 8 + 4 {
+        if bytes.len() < 4 + 4 + 8 + 4 + 8 + 8 + 4 + 8 + 4 {
             return Err(bad("manifest truncated"));
         }
         let (body, tail) = bytes.split_at(bytes.len() - 4);
@@ -164,6 +230,7 @@ impl Manifest {
         let schema_fp = u64::from_le_bytes(take(8)?.try_into().unwrap());
         let n_shards = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
         let seq = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let generation = u64::from_le_bytes(take(8)?.try_into().unwrap());
         let n_attrs = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
         let mut attrs = Vec::with_capacity(n_attrs);
         for _ in 0..n_attrs {
@@ -181,7 +248,7 @@ impl Manifest {
         if at != body.len() {
             return Err(bad("trailing bytes after manifest payload"));
         }
-        Ok(Manifest { schema_fp, n_shards, seq, attrs, assign })
+        Ok(Manifest { schema_fp, n_shards, seq, generation, attrs, assign })
     }
 
     /// Loads and validates the manifest at `path`.
@@ -358,6 +425,8 @@ pub struct ShardRecovery {
 struct ShardStore {
     layout: ShardLayout,
     wals: Vec<Option<Wal>>,
+    /// The live layout generation (file-name suffix of snapshots/WALs).
+    generation: u64,
     source: String,
     compact_bytes: u64,
     compact_records: u64,
@@ -465,8 +534,8 @@ impl Registry {
         seq: u64,
     ) -> Result<Vec<usize>, RegistryError> {
         let plan = partition(rel, sigma, n_shards.max(1));
-        write_shard_snapshots(&plan, sigma, layout, source, seq, false)?;
-        manifest_of(&plan, artifact::schema_fingerprint(rel.schema()), seq)
+        write_shard_snapshots(&plan, sigma, layout, source, seq, 0, false)?;
+        manifest_of(&plan, artifact::schema_fingerprint(rel.schema()), seq, 0)
             .store(&layout.manifest())?;
         Ok(plan.parts.iter().map(|p| p.len()).collect())
     }
@@ -494,18 +563,19 @@ impl Registry {
         } else {
             let seq = base.committed_seq;
             let plan = partition(&base.relation, &base.rfds, n_shards.max(1));
-            write_shard_snapshots(&plan, &base.rfds, &layout, source, seq, false)?;
-            manifest_of(&plan, schema_fp, seq).store(&layout.manifest())?;
+            write_shard_snapshots(&plan, &base.rfds, &layout, source, seq, 0, false)?;
+            manifest_of(&plan, schema_fp, seq, 0).store(&layout.manifest())?;
             let arity = base.relation.arity();
             let mut wals = Vec::with_capacity(plan.parts.len());
             for k in 0..plan.parts.len() {
-                let (wal, _) = Wal::open(layout.shard_wal(k), schema_fp, seq, arity)
+                let (wal, _) = Wal::open(layout.shard_wal(0, k), schema_fp, seq, arity)
                     .map_err(StoreError::Wal)?;
                 wals.push(Some(wal));
             }
             let store = ShardStore {
                 layout,
                 wals,
+                generation: 0,
                 source: source.to_string(),
                 compact_bytes,
                 compact_records,
@@ -533,13 +603,22 @@ impl Registry {
         }
         let n = m.n_shards;
         let arity = base.relation.arity();
+        // `shard_of` indexes tuples with these, so a stale manifest paired
+        // with a same-fingerprint model must fail cleanly here rather than
+        // panic out of bounds during replay or ingest.
+        if let Some(&a) = m.attrs.iter().find(|&&a| a >= arity) {
+            return Err(RegistryError::Manifest(format!(
+                "manifest partition attribute {a} out of range for arity {arity}"
+            )));
+        }
+        let gen = m.generation;
 
         // Shard snapshots. Each may be ahead of the manifest after a
         // mid-compaction crash.
         let mut parts = Vec::with_capacity(n);
         let mut snap_seq = Vec::with_capacity(n);
         for k in 0..n {
-            let art = artifact::load(layout.shard_snapshot(k))?;
+            let art = artifact::load(layout.shard_snapshot(gen, k))?;
             if art.schema_fingerprint != schema_fp {
                 return Err(RegistryError::SchemaMismatch {
                     expected: schema_fp,
@@ -567,7 +646,7 @@ impl Registry {
         let mut records: Vec<Vec<WalRecord>> = Vec::with_capacity(n);
         let mut degraded = Vec::new();
         for k in 0..n {
-            match Wal::open(layout.shard_wal(k), schema_fp, m.seq, arity) {
+            match Wal::open(layout.shard_wal(gen, k), schema_fp, m.seq, arity) {
                 Ok((wal, recs)) => {
                     wals.push(Some(wal));
                     records.push(recs);
@@ -638,9 +717,14 @@ impl Registry {
                 .iter()
                 .any(|&k| wals[k].as_ref().expect("healthy").last_seq() != committed);
         let plan = ShardPlan { attrs: m.attrs.clone(), parts, locate };
+        // Sweep losers of an interrupted swap (files of any generation
+        // other than the committed one) before they can shadow a later
+        // swap to the same generation number.
+        layout.sweep_stale_generations(gen);
         let store = ShardStore {
             layout,
             wals,
+            generation: gen,
             source: source.to_string(),
             compact_bytes,
             compact_records,
@@ -723,11 +807,16 @@ impl Registry {
         tuples: Vec<Tuple>,
         config: &RenuverConfig,
     ) -> Result<IngestOutcome, RegistryError> {
+        let mut shards = self.inner.shards.lock().unwrap_or_else(|e| e.into_inner());
+        // Degradation only transitions while this lock is held (the
+        // append fan-out below, `swap`, and recovery all run under it),
+        // so checking here cannot race with a concurrent ingest that
+        // degrades a shard after we looked — the TOCTOU an unlocked
+        // check would allow.
         let degraded = self.degraded_shards();
         if !degraded.is_empty() {
             return Err(RegistryError::Degraded(degraded));
         }
-        let mut shards = self.inner.shards.lock().unwrap_or_else(|e| e.into_inner());
         let parts: Vec<&Relation> = shards.plan.parts.iter().collect();
         let batch =
             impute_sharded(&parts, &shards.plan.locate, &shards.sigma, config, tuples)?;
@@ -736,10 +825,14 @@ impl Registry {
         let seq = shards.seq + 1;
         if let Some(store) = shards.store.as_mut() {
             for k in 0..store.wals.len() {
-                let appended = match store.wals[k].as_mut() {
-                    Some(wal) => wal.append(&batch.tuples).map(|_| ()),
-                    None => Ok(()),
+                // A missing handle is a hard refusal, never a skip:
+                // acknowledging a batch this log never saw would fork
+                // the shards on what its seq contains.
+                let Some(wal) = store.wals[k].as_mut() else {
+                    return Err(RegistryError::Degraded(vec![k]));
                 };
+                let appended = fault::hit(&format!("registry.append.shard{k}"))
+                    .and_then(|()| wal.append(&batch.tuples).map(|_| ()));
                 if let Err(e) = appended {
                     // Drop the handle: the shard is degraded until a swap
                     // or restart rebuilds its log. The batch is NOT
@@ -783,9 +876,11 @@ impl Registry {
         let Some(store) = store.as_mut() else {
             return Ok(seq);
         };
-        write_shard_snapshots(plan, sigma, &store.layout, &store.source, seq, true)
-            .map_err(RegistryError::from)?;
-        manifest_of(plan, self.inner.schema_fp, seq)
+        write_shard_snapshots(
+            plan, sigma, &store.layout, &store.source, seq, store.generation, true,
+        )
+        .map_err(RegistryError::from)?;
+        manifest_of(plan, self.inner.schema_fp, seq, store.generation)
             .store(&store.layout.manifest())
             .map_err(StoreError::Io)?;
         fault::hit("compact.post_rename").map_err(StoreError::Io)?;
@@ -827,6 +922,15 @@ impl Registry {
     /// also clears any degraded shard), and publishes the new snapshot.
     /// In-flight imputes finish on the old `Arc`; the seq counter keeps
     /// running. Rejected when the schema fingerprint differs.
+    ///
+    /// The durable rewrite is crash-atomic: every file of the new layout
+    /// — snapshots *and* fresh WALs — is written under the next
+    /// generation's names, invisible to recovery, and the single commit
+    /// point is the atomic manifest rename that flips the generation. A
+    /// crash before it leaves the old generation byte-for-byte intact
+    /// (including its logs, so no acknowledged batch is lost); a crash
+    /// after it recovers onto the complete new layout. Files of the
+    /// losing generation are swept post-commit and again at recovery.
     pub fn swap(&self, art: Artifact) -> Result<u64, RegistryError> {
         if art.schema_fingerprint != self.inner.schema_fp {
             return Err(RegistryError::SchemaMismatch {
@@ -838,22 +942,35 @@ impl Registry {
         let seq = shards.seq.max(art.committed_seq);
         let plan = partition(&art.relation, &art.rfds, self.inner.n_shards);
         if let Some(store) = shards.store.as_mut() {
-            write_shard_snapshots(&plan, &art.rfds, &store.layout, &store.source, seq, false)?;
-            manifest_of(&plan, self.inner.schema_fp, seq)
-                .store(&store.layout.manifest())
-                .map_err(StoreError::Io)?;
+            let old_gen = store.generation;
+            let new_gen = old_gen + 1;
+            write_shard_snapshots(
+                &plan, &art.rfds, &store.layout, &store.source, seq, new_gen, false,
+            )?;
             let arity = art.relation.arity();
             let mut wals = Vec::with_capacity(plan.parts.len());
             for k in 0..plan.parts.len() {
-                let path = store.layout.shard_wal(k);
-                // A fresh log: stale or corrupt predecessors are gone, so
-                // a swap also heals a degraded shard.
+                let path = store.layout.shard_wal(new_gen, k);
+                // An earlier swap to this generation may have failed
+                // before its commit point; a fresh log is wanted either
+                // way, and stale or corrupt predecessors being gone is
+                // what lets a swap heal a degraded shard.
                 let _ = fs::remove_file(&path);
                 let (wal, _) = Wal::open(&path, self.inner.schema_fp, seq, arity)
                     .map_err(StoreError::Wal)?;
                 wals.push(Some(wal));
             }
+            fault::hit("swap.pre_commit").map_err(StoreError::Io)?;
+            manifest_of(&plan, self.inner.schema_fp, seq, new_gen)
+                .store(&store.layout.manifest())
+                .map_err(StoreError::Io)?;
+            // Committed. The old generation is garbage from here on.
+            store.generation = new_gen;
             store.wals = wals;
+            for k in 0..self.inner.n_shards {
+                let _ = fs::remove_file(store.layout.shard_snapshot(old_gen, k));
+                let _ = fs::remove_file(store.layout.shard_wal(old_gen, k));
+            }
         }
         shards.plan = plan;
         shards.sigma = art.rfds;
@@ -871,24 +988,27 @@ impl Registry {
 
 // ---------------------------------------------------------------- shared
 
-fn manifest_of(plan: &ShardPlan, schema_fp: u64, seq: u64) -> Manifest {
+fn manifest_of(plan: &ShardPlan, schema_fp: u64, seq: u64, generation: u64) -> Manifest {
     Manifest {
         schema_fp,
         n_shards: plan.parts.len(),
         seq,
+        generation,
         attrs: plan.attrs.clone(),
         assign: plan.locate.iter().map(|&(k, _)| k).collect(),
     }
 }
 
-/// Writes one snapshot per shard (temp + fsync + rename + dir fsync).
-/// `faults` wires the compaction crash points, per shard.
+/// Writes one snapshot per shard (temp + fsync + rename + dir fsync)
+/// under generation `gen`'s names. `faults` wires the compaction crash
+/// points, per shard.
 fn write_shard_snapshots(
     plan: &ShardPlan,
     sigma: &RfdSet,
     layout: &ShardLayout,
     source: &str,
     seq: u64,
+    gen: u64,
     faults: bool,
 ) -> Result<(), StoreError> {
     for (k, part) in plan.parts.iter().enumerate() {
@@ -900,7 +1020,7 @@ fn write_shard_snapshots(
         // oracle here would be pure bloat.
         let oracle = DistanceOracle::build(part, 0);
         let bytes = artifact::encode(part, sigma, &oracle, None, source, seq);
-        let path = layout.shard_snapshot(k);
+        let path = layout.shard_snapshot(gen, k);
         let mut tmp_os = path.clone().into_os_string();
         tmp_os.push(".tmp");
         let tmp = PathBuf::from(tmp_os);
@@ -966,6 +1086,7 @@ mod tests {
             schema_fp: 0xdead_beef,
             n_shards: 3,
             seq: 42,
+            generation: 7,
             attrs: vec![0, 2],
             assign: vec![0, 1, 2, 1, 0],
         };
@@ -975,7 +1096,14 @@ mod tests {
 
     #[test]
     fn manifest_rejects_corruption() {
-        let m = Manifest { schema_fp: 1, n_shards: 2, seq: 0, attrs: vec![0], assign: vec![0, 1] };
+        let m = Manifest {
+            schema_fp: 1,
+            n_shards: 2,
+            seq: 0,
+            generation: 0,
+            attrs: vec![0],
+            assign: vec![0, 1],
+        };
         let mut bytes = m.encode();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xff;
@@ -1091,7 +1219,7 @@ mod tests {
         drop(reg);
 
         // Flip a header byte of shard 1's log: schema fp mismatch.
-        let wal_path = layout.shard_wal(1);
+        let wal_path = layout.shard_wal(0, 1);
         let mut bytes = fs::read(&wal_path).unwrap();
         bytes[9] ^= 0xff;
         fs::write(&wal_path, &bytes).unwrap();
@@ -1163,5 +1291,215 @@ mod tests {
         let cfg = reg.snapshot().config.clone();
         reg.ingest(vec![vec![Value::from("Torino"), Value::from("10121")]], &cfg).unwrap();
         assert_eq!(reg.snapshot().rows(), 8);
+    }
+
+    #[test]
+    fn recover_rejects_out_of_range_partition_attrs() {
+        let dir = tmpdir("bad-attrs");
+        let base = dir.join("model.rnv");
+        fs::write(&base, artifact_bytes(&relation(), 0)).unwrap();
+        let layout = ShardLayout::beside(&base);
+        let (reg, _) = Registry::open_durable(
+            artifact::load(&base).unwrap(),
+            RenuverConfig::default(),
+            2,
+            layout.clone(),
+            "test",
+            1 << 20,
+            1 << 20,
+        )
+        .unwrap();
+        drop(reg);
+
+        // A manifest whose partition attrs point past the model's arity
+        // must be refused cleanly, not panic inside `shard_of`.
+        let mut m = Manifest::load(&layout.manifest()).unwrap();
+        m.attrs = vec![7];
+        m.store(&layout.manifest()).unwrap();
+        let err = match Registry::open_durable(
+            artifact::load(&base).unwrap(),
+            RenuverConfig::default(),
+            2,
+            layout,
+            "test",
+            1 << 20,
+            1 << 20,
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("manifest with out-of-range attrs was accepted"),
+        };
+        assert!(
+            matches!(err, RegistryError::Manifest(ref m) if m.contains("out of range")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn mid_fanout_append_failure_degrades_and_blocks_ingest_without_forking() {
+        let dir = tmpdir("fanout");
+        let base = dir.join("model.rnv");
+        fs::write(&base, artifact_bytes(&relation(), 0)).unwrap();
+        let layout = ShardLayout::beside(&base);
+        let (reg, _) = Registry::open_durable(
+            artifact::load(&base).unwrap(),
+            RenuverConfig::default(),
+            2,
+            layout.clone(),
+            "test",
+            1 << 20,
+            1 << 20,
+        )
+        .unwrap();
+        let cfg = reg.snapshot().config.clone();
+        reg.ingest(vec![vec![Value::from("Torino"), Value::from("10121")]], &cfg).unwrap();
+
+        // Shard 1's append fails after shard 0 already logged the frame:
+        // the batch must not be acknowledged and shard 1 degrades.
+        fault::arm("registry.append.shard1", fault::Action::Err);
+        let err = match reg.ingest(vec![vec![Value::from("Bari"), Value::from("70121")]], &cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("fan-out failure was acknowledged"),
+        };
+        fault::disarm("registry.append.shard1");
+        assert!(matches!(err, RegistryError::Store(_)), "{err}");
+        assert_eq!(reg.shard_states(), vec![ShardState::Ok, ShardState::Degraded]);
+        assert_eq!(reg.snapshot().seq, 1, "failed fan-out must not advance the seq");
+        assert_eq!(reg.snapshot().rows(), 7);
+
+        // The next ingest is refused under the commit lock — the None
+        // slot is a hard error, never a silent skip.
+        let err = match reg.ingest(vec![vec![Value::from("Bari"), Value::from("70121")]], &cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("degraded registry accepted an ingest"),
+        };
+        assert!(matches!(err, RegistryError::Degraded(ref s) if s == &vec![1]), "{err}");
+        drop(reg);
+
+        // Recovery truncates shard 0's orphan frame (it sits beyond the
+        // committed horizon) instead of forking the logs.
+        let (reg2, rep) = Registry::open_durable(
+            artifact::load(&base).unwrap(),
+            RenuverConfig::default(),
+            2,
+            layout,
+            "test",
+            1 << 20,
+            1 << 20,
+        )
+        .unwrap();
+        assert_eq!(rep.seq, 1);
+        assert_eq!(rep.replayed, 1);
+        assert!(rep.degraded.is_empty());
+        assert!(rep.normalized, "the orphan frame leaves the logs mixed");
+        assert_eq!(reg2.snapshot().rows(), 7);
+        let cfg = reg2.snapshot().config.clone();
+        let outcome = reg2
+            .ingest(vec![vec![Value::from("Bari"), Value::from("70121")]], &cfg)
+            .unwrap();
+        assert_eq!(outcome.seq, 2);
+    }
+
+    #[test]
+    fn interrupted_swap_preserves_the_old_generation() {
+        let dir = tmpdir("swap-interrupt");
+        let base = dir.join("model.rnv");
+        fs::write(&base, artifact_bytes(&relation(), 0)).unwrap();
+        let layout = ShardLayout::beside(&base);
+        let (reg, _) = Registry::open_durable(
+            artifact::load(&base).unwrap(),
+            RenuverConfig::default(),
+            2,
+            layout.clone(),
+            "test",
+            1 << 20,
+            1 << 20,
+        )
+        .unwrap();
+        let cfg = reg.snapshot().config.clone();
+        reg.ingest(vec![vec![Value::from("Torino"), Value::from("10121")]], &cfg).unwrap();
+
+        // The swap dies after writing the whole generation-1 layout but
+        // before the manifest commit: the disk state equals a crash in
+        // that window, and the old generation must win.
+        let mut bigger = relation();
+        bigger.push(vec![Value::from("Bari"), Value::from("70121")]).unwrap();
+        let art = artifact::decode(&artifact_bytes(&bigger, 0)).unwrap();
+        fault::arm("swap.pre_commit", fault::Action::Err);
+        let err = reg.swap(art).unwrap_err();
+        fault::disarm("swap.pre_commit");
+        assert!(matches!(err, RegistryError::Store(_)), "{err}");
+        assert_eq!(reg.swaps(), 0);
+        assert_eq!(reg.snapshot().rows(), 7, "a failed swap must not change the model");
+        assert!(
+            layout.shard_snapshot(1, 0).exists(),
+            "the aborted generation's files linger until the sweep"
+        );
+        // The old generation's WALs still accept commits.
+        reg.ingest(vec![vec![Value::from("Napoli"), Value::from("80121")]], &cfg).unwrap();
+        drop(reg);
+
+        // Recovery reads the old manifest, replays both acknowledged
+        // batches, and sweeps the orphaned generation-1 files.
+        let (reg2, rep) = Registry::open_durable(
+            artifact::load(&base).unwrap(),
+            RenuverConfig::default(),
+            2,
+            layout.clone(),
+            "test",
+            1 << 20,
+            1 << 20,
+        )
+        .unwrap();
+        assert_eq!(rep.seq, 2);
+        assert_eq!(rep.replayed, 2);
+        assert_eq!(reg2.snapshot().rows(), 8);
+        assert!(!layout.shard_snapshot(1, 0).exists());
+        assert!(!layout.shard_wal(1, 0).exists());
+    }
+
+    #[test]
+    fn committed_swap_is_atomic_across_reopen_and_sweeps_the_old_generation() {
+        let dir = tmpdir("swap-commit");
+        let base = dir.join("model.rnv");
+        fs::write(&base, artifact_bytes(&relation(), 0)).unwrap();
+        let layout = ShardLayout::beside(&base);
+        let (reg, _) = Registry::open_durable(
+            artifact::load(&base).unwrap(),
+            RenuverConfig::default(),
+            2,
+            layout.clone(),
+            "test",
+            1 << 20,
+            1 << 20,
+        )
+        .unwrap();
+        let cfg = reg.snapshot().config.clone();
+        reg.ingest(vec![vec![Value::from("Torino"), Value::from("10121")]], &cfg).unwrap();
+
+        let mut bigger = relation();
+        bigger.push(vec![Value::from("Bari"), Value::from("70121")]).unwrap();
+        let art = artifact::decode(&artifact_bytes(&bigger, 0)).unwrap();
+        assert_eq!(reg.swap(art).unwrap(), 1);
+        assert_eq!(Manifest::load(&layout.manifest()).unwrap().generation, 1);
+        assert!(layout.shard_snapshot(1, 0).exists());
+        assert!(!layout.shard_snapshot(0, 0).exists(), "old generation swept after commit");
+        assert!(!layout.shard_wal(0, 0).exists());
+        reg.ingest(vec![vec![Value::from("Napoli"), Value::from("80121")]], &cfg).unwrap();
+        drop(reg);
+
+        let (reg2, rep) = Registry::open_durable(
+            artifact::load(&base).unwrap(),
+            RenuverConfig::default(),
+            2,
+            layout,
+            "test",
+            1 << 20,
+            1 << 20,
+        )
+        .unwrap();
+        assert_eq!(rep.seq, 2);
+        assert_eq!(rep.replayed, 1);
+        // 7 swapped-in rows + the post-swap batch.
+        assert_eq!(reg2.snapshot().rows(), 8);
     }
 }

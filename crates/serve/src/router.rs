@@ -805,7 +805,10 @@ fn ingest_sharded(ctx: &Ctx, reg: &Registry, req: &Request, opts: &RequestOpts) 
             return Response::json(500, body);
         }
     };
-    ctx.seq.store(outcome.seq, Ordering::Release);
+    // The registry's commit lock is already released here, so two
+    // concurrent ingests can reach this line out of order; a plain store
+    // could publish seq 2 then 1 to /healthz. fetch_max never regresses.
+    ctx.seq.fetch_max(outcome.seq, Ordering::AcqRel);
 
     ctx.metrics.counter("serve.ingest_batches").inc();
     ctx.metrics.counter("serve.ingest_rows").add(outcome.committed_rows as u64);
@@ -967,7 +970,9 @@ pub fn apply_model_swap(ctx: &Ctx, bytes: &[u8], via: &str) -> Result<u64, Respo
             seq
         }
     };
-    ctx.seq.store(seq, Ordering::Release);
+    // Sharded swaps publish outside the registry's commit lock, so a
+    // concurrent ingest may already have advanced past `seq`.
+    ctx.seq.fetch_max(seq, Ordering::AcqRel);
     {
         let mut info = ctx.info.write().unwrap_or_else(|e| e.into_inner());
         info.source = source;

@@ -350,6 +350,76 @@ fn sharded_compaction_crash_matrix_changes_nothing_logically() {
     }
 }
 
+/// Swap crash window: the server dies after writing the whole
+/// next-generation layout (snapshots + fresh WALs under `.g1.*` names)
+/// but before the atomic manifest flip that commits it. The old
+/// generation must win: recovery serves the old model plus every
+/// acknowledged batch, byte for byte, and sweeps the orphaned files.
+#[test]
+#[cfg(unix)]
+fn swap_crash_before_manifest_flip_preserves_the_old_model() {
+    let dir = setup_sharded("swap-crash");
+    assert_ok(&ingest(&dir, "batch1.csv", None, false), "batch1");
+
+    // A replacement model: same schema (same fingerprint), one more row.
+    std::fs::write(dir.join("data2.csv"), format!("{DATA}Bari,70121\n")).unwrap();
+    let out = bin()
+        .current_dir(&dir)
+        .args(["prepare", "data2.csv", "-o", "model2.rnv", "--limit", "3"])
+        .output()
+        .unwrap();
+    assert_ok(&out, "prepare model2");
+
+    let mut child = bin()
+        .current_dir(&dir)
+        .args(["serve", "model.rnv", "--shards", "2", "--wal", "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .env("RENUVER_FAULT", "swap.pre_commit=crash")
+        .spawn()
+        .unwrap();
+    let mut lines = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    lines.read_line(&mut banner).unwrap();
+    let addr = banner
+        .strip_prefix("listening on ")
+        .and_then(|r| r.split_whitespace().next())
+        .unwrap_or_else(|| panic!("bad banner {banner:?}"))
+        .to_string();
+    let mut ready = String::new();
+    lines.read_line(&mut ready).unwrap();
+    assert!(ready.starts_with("ready state=ok "), "{ready:?}");
+
+    // PUT the new model; the armed fault aborts the process mid-swap.
+    let body = std::fs::read(dir.join("model2.rnv")).unwrap();
+    let mut raw = format!(
+        "PUT /v1/model HTTP/1.1\r\nHost: t\r\nContent-Type: application/octet-stream\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    raw.extend_from_slice(&body);
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    s.write_all(&raw).unwrap();
+    let mut resp = String::new();
+    let _ = BufReader::new(s).read_to_string(&mut resp);
+    assert!(!resp.starts_with("HTTP/1.1 200"), "swap should have crashed, got: {resp:?}");
+    assert!(!child.wait().unwrap().success(), "serve should have aborted mid-swap");
+
+    // The aborted generation's files are on disk but uncommitted.
+    assert!(dir.join("model.rnv.g1.shard0").exists(), "crash landed before the g1 write");
+
+    // Recovery lands on exactly the state of a control that ingested
+    // batch1 and was never asked to swap, and sweeps the orphans.
+    let recovered = final_sharded_state(&dir);
+    let control = sharded_control("swap-crash-ctl", &["batch1.csv"]);
+    assert_eq!(recovered, control, "interrupted swap changed the logical state");
+    for k in 0..SHARDS {
+        assert!(!dir.join(format!("model.rnv.g1.shard{k}")).exists());
+        assert!(!dir.join(format!("model.rnv.g1.shard{k}.wal")).exists());
+    }
+}
+
 /// One shard's WAL is corrupted while a sibling keeps the full history:
 /// the registry comes up `degraded` for the crashed shard only, keeps
 /// serving imputes (the sibling's log rebuilds the dead shard's tail in
