@@ -29,7 +29,7 @@ use std::time::Instant;
 use renuver_bench::{median_ms, out_path, quick_mode, synthetic_shops, write_bench_json};
 use renuver_core::{Engine, IndexMode, RenuverConfig};
 use renuver_rfd::discovery::{discover, DiscoveryConfig};
-use renuver_serve::{artifact, Ctx, ModelInfo, Registry, ServeConfig, Server};
+use renuver_serve::{artifact, Ctx, FlightOptions, ModelInfo, Registry, ServeConfig, Server};
 
 /// What `renuver serve <dataset>` does before it can answer a request:
 /// RFD discovery plus the oracle/index build.
@@ -276,10 +276,75 @@ fn main() {
         ));
     }
 
+    // Server-side latency, from the flight recorder's rolling-window
+    // histogram (what `/metrics` reports as p50/p95/p99) — read right
+    // after the sweep so the 60 s window still holds its samples.
+    let lat = ctx.metrics.windowed("serve.latency.impute.2xx");
+    let (lat_p50_us, lat_p95_us, lat_p99_us) = lat.quantiles();
+    let lat_count = lat.all_time().count();
+    eprintln!(
+        "server-side impute latency: n={lat_count}, p50 {lat_p50_us} us, \
+         p95 {lat_p95_us} us, p99 {lat_p99_us} us"
+    );
+
     stop.store(true, Ordering::Relaxed);
     let shed = server_thread.join().expect("join server");
     assert_eq!(shed, 0, "benchmark load must not be shed (queue too small?)");
     let imputed = ctx.metrics.counter("serve.cells_imputed").get();
+
+    // --- Flight-recorder overhead --------------------------------------
+    // The same model under the same load with the recorder on vs off
+    // (`--no-flight`). Interleaved best-of-3 rounds damp scheduler
+    // noise; the recorder must cost under 5% of throughput.
+    let overhead_conc = 4usize;
+    let mut best = [0.0f64; 2]; // [on, off]
+    for _ in 0..3 {
+        for (slot, enabled) in [(0usize, true), (1, false)] {
+            let engine =
+                artifact::decode(&bytes).expect("decode artifact").into_engine(config.clone());
+            let mut ctx = Ctx::new(
+                engine,
+                ModelInfo {
+                    source: "bench:synthetic_shops".into(),
+                    schema_fingerprint: artifact::schema_fingerprint(rel.schema()),
+                    artifact_bytes,
+                },
+                None,
+                60_000,
+            );
+            ctx.set_flight(FlightOptions { enabled, ..FlightOptions::default() });
+            let server = Server::bind(
+                ServeConfig {
+                    addr: "127.0.0.1:0".into(),
+                    workers: 8,
+                    queue: 64,
+                    ..ServeConfig::default()
+                },
+                Arc::new(ctx),
+            )
+            .expect("bind");
+            let addr = server.local_addr().expect("local_addr");
+            let stop = server.shutdown_handle();
+            let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+            let (rps, _, _) = measure_level(addr, body, overhead_conc, per_conn);
+            stop.store(true, Ordering::Relaxed);
+            server_thread.join().expect("join server");
+            best[slot] = best[slot].max(rps);
+        }
+    }
+    let (rps_on, rps_off) = (best[0], best[1]);
+    let overhead_pct = (rps_off / rps_on - 1.0) * 100.0;
+    eprintln!(
+        "flight recorder: on {rps_on:.0} req/s, off {rps_off:.0} req/s \
+         ({overhead_pct:+.2}% overhead)"
+    );
+    if !quick {
+        assert!(
+            overhead_pct < 5.0,
+            "flight recorder must cost under 5% throughput, measured {overhead_pct:.2}% \
+             (on {rps_on:.0} req/s, off {rps_off:.0} req/s)"
+        );
+    }
 
     let json = format!(
         "{{\n  \
@@ -291,7 +356,19 @@ fn main() {
          \"load_ms\": {load_ms:.3},\n    \
          \"load_speedup\": {speedup:.3}\n  }},\n  \
          \"impute_cells_served\": {imputed},\n  \
+         \"server_latency\": {{\n    \
+         \"histogram\": \"serve.latency.impute.2xx\",\n    \
+         \"count\": {lat_count},\n    \
+         \"p50_us\": {lat_p50_us},\n    \
+         \"p95_us\": {lat_p95_us},\n    \
+         \"p99_us\": {lat_p99_us}\n  }},\n  \
+         \"flight_recorder\": {{\n    \
+         \"recorder_on_req_per_s\": {rps_on:.1},\n    \
+         \"recorder_off_req_per_s\": {rps_off:.1},\n    \
+         \"overhead_pct\": {overhead_pct:.3},\n    \
+         \"overhead_floor_asserted\": {}\n  }},\n  \
          \"throughput\": [{}]\n}}\n",
+        !quick,
         levels.join(", "),
     );
 

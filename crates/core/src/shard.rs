@@ -24,8 +24,11 @@
 //! multi-shard speedup without a determinism tax.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use renuver_budget::BudgetTrip;
+use renuver_obs::FieldValue;
 use renuver_data::{AttrId, Cell, DataError, Relation, Tuple, Value};
 use renuver_distance::value_distance_bounded;
 use renuver_rfd::{Rfd, RfdSet};
@@ -149,6 +152,11 @@ struct View<'a> {
     parts: &'a [&'a Relation],
     locate: &'a [(u32, u32)],
     scratch: &'a Relation,
+    /// Per-part scan-time accumulators (nanoseconds), one slot per shard
+    /// part, charged by the parallel scan fan-outs below. `None` when the
+    /// run is untraced, so the hot path never reads a clock. Sequential
+    /// scans (small relations) and the scratch group are unattributed.
+    legs: Option<&'a [AtomicU64]>,
 }
 
 impl<'a> View<'a> {
@@ -195,6 +203,21 @@ impl<'a> View<'a> {
         self.parts.len() > 1 && self.len() >= PAR_MIN_ROWS
     }
 
+    /// Runs `work` for scan group `gi`, charging its wall time to the
+    /// group's leg-clock slot when a clock is attached. The scratch
+    /// group (index `parts.len()`) has no slot and runs unclocked.
+    fn time_group<T>(&self, gi: usize, work: impl FnOnce() -> T) -> T {
+        match self.legs.and_then(|legs| legs.get(gi)) {
+            Some(slot) => {
+                let t0 = Instant::now();
+                let out = work();
+                slot.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                out
+            }
+            None => work(),
+        }
+    }
+
     /// Runs `f` over every global row, fanned out per shard part on scoped
     /// threads when the relation is large enough, and returns the matches
     /// concatenated in group order. Callers must not depend on output
@@ -205,11 +228,19 @@ impl<'a> View<'a> {
             return (0..self.len()).filter_map(f).collect();
         }
         let groups = self.scan_groups();
+        let f = &f;
         let mut out = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = groups
                 .iter()
-                .map(|rows| scope.spawn(|| rows.iter().filter_map(|&g| f(g)).collect::<Vec<T>>()))
+                .enumerate()
+                .map(|(gi, rows)| {
+                    scope.spawn(move || {
+                        self.time_group(gi, || {
+                            rows.iter().filter_map(|&g| f(g)).collect::<Vec<T>>()
+                        })
+                    })
+                })
                 .collect();
             for h in handles {
                 out.extend(h.join().expect("shard scan worker panicked"));
@@ -400,14 +431,18 @@ fn find_candidates(view: &View<'_>, row: usize, attr: AttrId, cluster: &[&Rfd]) 
         return (0..view.len()).filter_map(|j| score(j, &mut dist_buf)).collect();
     }
     let groups = view.scan_groups();
+    let score = &score;
     let mut out = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = groups
             .iter()
-            .map(|rows| {
-                scope.spawn(|| {
-                    let mut dist_buf: Vec<Option<f64>> = vec![None; m];
-                    rows.iter().filter_map(|&j| score(j, &mut dist_buf)).collect::<Vec<_>>()
+            .enumerate()
+            .map(|(gi, rows)| {
+                scope.spawn(move || {
+                    view.time_group(gi, || {
+                        let mut dist_buf: Vec<Option<f64>> = vec![None; m];
+                        rows.iter().filter_map(|&j| score(j, &mut dist_buf)).collect::<Vec<_>>()
+                    })
                 })
             })
             .collect();
@@ -468,6 +503,7 @@ fn impute_missing_value(
     active: &[bool],
     restrict: Option<&[usize]>,
     explain_on: bool,
+    legs: Option<&[AtomicU64]>,
     stats: &mut ImputationStats,
 ) -> Attempt {
     let mut clusters: Vec<(f64, Vec<usize>)> = Vec::new();
@@ -503,7 +539,7 @@ fn impute_missing_value(
     // after the view's borrow ends.
     let base = locate.len();
     let selection = {
-        let view = View { parts, locate, scratch: &*scratch };
+        let view = View { parts, locate, scratch: &*scratch, legs };
         let plan = build_plan(&view, row, attr, sigma, config.verify_scope, restrict);
         let mut found: Option<(Value, usize, f64, f64, usize)> = None;
         'clusters: for (cluster_threshold, members) in &clusters {
@@ -611,12 +647,18 @@ pub fn impute_sharded(
     let explain_on = config.explain || tracer.is_enabled();
     let mut stats = ImputationStats::default();
 
+    // Per-shard scan-time legs (nanoseconds), charged by the parallel
+    // scan fan-outs and reported as `shard_leg` trace events. Allocated
+    // only when traced so the untraced path never touches a clock.
+    let legs: Option<Vec<AtomicU64>> =
+        tracer.is_enabled().then(|| (0..parts.len()).map(|_| AtomicU64::new(0)).collect());
+
     // Pre-processing (Algorithm 1 lines 1-6) over the global view; the
     // loop mirrors `RfdSet::partition_keys_budgeted_with`, including the
     // budget poll per RFD.
     let (non_keys, keys) = {
         let _span = run_span.child("core::partition_keys");
-        let view = View { parts, locate, scratch: &scratch };
+        let view = View { parts, locate, scratch: &scratch, legs: legs.as_deref() };
         let mut non_keys = Vec::new();
         let mut keys = Vec::new();
         let mut cut = false;
@@ -640,7 +682,7 @@ pub fn impute_sharded(
     let mut dormant_keys = keys;
 
     let incomplete: Vec<usize> = {
-        let view = View { parts, locate, scratch: &scratch };
+        let view = View { parts, locate, scratch: &scratch, legs: legs.as_deref() };
         (base..len).filter(|&r| (0..view.arity()).any(|a| view.is_missing(r, a))).collect()
     };
     let mut imputed: Vec<ImputedCell> = Vec::new();
@@ -649,7 +691,7 @@ pub fn impute_sharded(
 
     let cells_span = run_span.child("core::impute_cells");
     let cells = {
-        let view = View { parts, locate, scratch: &scratch };
+        let view = View { parts, locate, scratch: &scratch, legs: legs.as_deref() };
         ordered_cells(&view, &incomplete, config.imputation_order)
     };
     let mut outcomes: Vec<(Cell, CellOutcome)> = Vec::with_capacity(cells.len());
@@ -698,6 +740,7 @@ pub fn impute_sharded(
             &active,
             degraded.then_some(touched.as_slice()),
             explain_on,
+            legs.as_deref(),
             &mut stats,
         );
         let outcome = match attempt.imputed {
@@ -709,7 +752,7 @@ pub fn impute_sharded(
                     touched.push(row);
                 }
                 if !config.skip_key_reevaluation && !degraded {
-                    let view = View { parts, locate, scratch: &scratch };
+                    let view = View { parts, locate, scratch: &scratch, legs: legs.as_deref() };
                     dormant_keys.retain(|&k| {
                         if stays_key_after_update(&view, sigma.get(k), row) {
                             true
@@ -743,6 +786,20 @@ pub fn impute_sharded(
         }
     }
     drop(cells_span);
+
+    // One `shard_leg` event per part: the scan time the fan-out charged
+    // to that part's clock (zero when scans stayed sequential).
+    if let Some(legs) = &legs {
+        for (k, slot) in legs.iter().enumerate() {
+            let scan_us = slot.load(Ordering::Relaxed) / 1_000;
+            run_span.event("shard_leg", || {
+                vec![
+                    ("shard", FieldValue::U64(k as u64)),
+                    ("scan_us", FieldValue::U64(scan_us)),
+                ]
+            });
+        }
+    }
 
     let mut report = budget.report();
     if tracer.is_enabled() {

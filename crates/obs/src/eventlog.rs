@@ -1,0 +1,131 @@
+//! A structured JSONL server event log.
+//!
+//! [`EventLog`] is the serving layer's append-only sink: one schema-
+//! shaped line ([`crate::schema`]) per server event or access-log
+//! summary, written through a shared handle that any thread may clone.
+//! Unlike the [`crate::Tracer`] — which buffers a whole run and writes
+//! once — the event log appends and flushes *per line*, so a `tail -f`
+//! (or the e2e reconciliation test) sees each request as it completes
+//! and a crash loses at most the line being written.
+//!
+//! Timestamps are microseconds since the log was opened, matching the
+//! tracer's epoch convention; every line validates against
+//! [`crate::schema::validate_line`].
+
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::{Field, TraceRecord};
+
+struct Inner {
+    epoch: Instant,
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+/// A thread-safe, append-per-line JSONL event sink. Cloning shares the
+/// underlying file; lines from concurrent writers never interleave
+/// (each line is written whole under the file lock).
+#[derive(Clone)]
+pub struct EventLog {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog").field("path", &self.inner.path).finish()
+    }
+}
+
+impl EventLog {
+    /// Creates (truncating) the log file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<EventLog> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(EventLog {
+            inner: Arc::new(Inner { epoch: Instant::now(), path, file: Mutex::new(file) }),
+        })
+    }
+
+    /// Where the log lives.
+    pub fn path(&self) -> &Path {
+        &self.inner.path
+    }
+
+    /// Appends one record (kind + payload fields, span 0) stamped at
+    /// the current offset from the log's epoch, and flushes. Write
+    /// failures are swallowed: telemetry must never take down serving.
+    pub fn append(&self, kind: &'static str, fields: Vec<Field>) {
+        let rec = TraceRecord {
+            ts_us: self.inner.epoch.elapsed().as_micros() as u64,
+            kind,
+            span: 0,
+            fields,
+        };
+        let mut line = rec.to_json();
+        line.push('\n');
+        let mut file = self.inner.file.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = file.write_all(line.as_bytes());
+        let _ = file.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{validate_trace, SERVE_SCHEMA_VERSION};
+    use crate::FieldValue;
+
+    fn temp_log(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("renuver-eventlog-{}-{name}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn appended_lines_validate_against_the_schema() {
+        let path = temp_log("validates");
+        let log = EventLog::create(&path).unwrap();
+        log.append("server_event", vec![
+            ("v", FieldValue::U64(SERVE_SCHEMA_VERSION)),
+            ("event", FieldValue::Str("recovery")),
+            ("seq", FieldValue::U64(7)),
+        ]);
+        log.append("access", vec![
+            ("v", FieldValue::U64(SERVE_SCHEMA_VERSION)),
+            ("id", FieldValue::Text("abc-1".into())),
+            ("endpoint", FieldValue::Str("impute")),
+            ("status", FieldValue::U64(200)),
+            ("latency_us", FieldValue::U64(321)),
+        ]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(validate_trace(&text), Ok(2), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn clones_share_the_file_and_lines_stay_whole() {
+        let path = temp_log("shared");
+        let log = EventLog::create(&path).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let log = log.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25u64 {
+                    log.append("server_event", vec![
+                        ("v", FieldValue::U64(SERVE_SCHEMA_VERSION)),
+                        ("event", FieldValue::Str("shed")),
+                        ("seq", FieldValue::U64(t * 100 + i)),
+                    ]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(validate_trace(&text), Ok(100), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

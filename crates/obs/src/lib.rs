@@ -29,12 +29,14 @@
 //! `{"ts_us": <u64>, "kind": <str>}`. The full per-kind field contract
 //! lives in [`schema`] and is documented in DESIGN.md ("Observability").
 
+pub mod eventlog;
 pub mod flamegraph;
 pub mod json;
 pub mod metrics;
 pub mod schema;
 
-pub use metrics::{Counter, Gauge, Histogram, Metrics};
+pub use eventlog::EventLog;
+pub use metrics::{Counter, Gauge, Histogram, Metrics, WindowedHistogram};
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,6 +63,9 @@ pub enum FieldValue {
     U64s(Vec<u64>),
     /// Array of floats (e.g. a winning candidate's LHS distance vector).
     F64s(Vec<f64>),
+    /// String-keyed map of unsigned integers, serialized as a JSON
+    /// object (e.g. an access-log line's per-phase self-times).
+    U64Map(Vec<(String, u64)>),
 }
 
 /// Shorthand used by instrumentation sites: a named field.
@@ -79,6 +84,16 @@ pub struct TraceRecord {
     pub span: u64,
     /// Named payload fields; flattened into the JSON object.
     pub fields: Vec<Field>,
+}
+
+impl TraceRecord {
+    /// This record as one schema-shaped JSON object (no trailing
+    /// newline) — the same serialization [`Tracer::to_jsonl`] uses.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        write_record(&mut out, self);
+        out
+    }
 }
 
 struct Inner {
@@ -361,6 +376,18 @@ fn write_value(out: &mut String, value: &FieldValue) {
                 json::write_f64(out, *v);
             }
             out.push(']');
+        }
+        FieldValue::U64Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_str(out, k);
+                out.push(':');
+                let _ = write!(out, "{v}");
+            }
+            out.push('}');
         }
     }
 }

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crate::json;
 
@@ -144,11 +145,173 @@ impl Histogram {
     }
 }
 
+/// Ring slots covering one second each. Must exceed [`WINDOW_SECS`] so a
+/// slot being recycled is always already outside the window.
+const WINDOW_SLOTS: usize = 64;
+/// Quantile snapshots cover the last this-many seconds.
+pub const WINDOW_SECS: u64 = 60;
+/// Slot stamp meaning "never written".
+const SLOT_EMPTY: u64 = u64::MAX;
+
+struct WindowSlot {
+    /// Absolute second (since the instrument's epoch) this slot covers,
+    /// or [`SLOT_EMPTY`].
+    stamp: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+struct WindowedInner {
+    epoch: Instant,
+    total: Histogram,
+    slots: [WindowSlot; WINDOW_SLOTS],
+}
+
+/// A latency histogram with two views: an all-time log2 [`Histogram`]
+/// and a ring of per-second slots over which rolling-window quantiles
+/// (p50/p95/p99 over the last [`WINDOW_SECS`] seconds) are computed on
+/// demand. Observation is lock-free; the slot covering the current
+/// second is claimed with a stamp CAS, whose loser at a second boundary
+/// may drop a handful of counts from the window view (never from the
+/// all-time view) — an accepted smudge for an approximate quantile.
+///
+/// Quantiles are reported at the log2 bucket resolution: the returned
+/// value is the *upper bound* of the bucket containing the target rank,
+/// so `quantile(0.5)` of observations all equal to 300 reports 511.
+#[derive(Clone)]
+pub struct WindowedHistogram(Arc<WindowedInner>);
+
+impl std::fmt::Debug for WindowedHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowedHistogram")
+            .field("count", &self.0.total.count())
+            .field("p50", &self.quantile(0.5))
+            .finish()
+    }
+}
+
+impl Default for WindowedHistogram {
+    fn default() -> Self {
+        WindowedHistogram(Arc::new(WindowedInner {
+            epoch: Instant::now(),
+            total: Histogram::default(),
+            slots: std::array::from_fn(|_| WindowSlot {
+                stamp: AtomicU64::new(SLOT_EMPTY),
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }))
+    }
+}
+
+/// Upper bound of log2 bucket `b`: bucket 0 holds exactly 0, bucket
+/// b > 0 holds `[2^(b-1), 2^b)`.
+fn bucket_upper(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        _ if b >= 64 => u64::MAX,
+        _ => (1u64 << b) - 1,
+    }
+}
+
+impl WindowedHistogram {
+    /// Records one observation into the all-time histogram and the
+    /// current second's window slot.
+    pub fn observe(&self, v: u64) {
+        self.0.total.observe(v);
+        let sec = self.0.epoch.elapsed().as_secs();
+        let slot = &self.0.slots[(sec % WINDOW_SLOTS as u64) as usize];
+        let stamp = slot.stamp.load(Ordering::Acquire);
+        if stamp != sec {
+            // Claim the slot for this second; the winner resets it.
+            // Losers that raced an older stamp re-check and fall through
+            // (the slot is either ours now or was claimed for `sec` by
+            // another thread — both fine to add into).
+            if slot
+                .stamp
+                .compare_exchange(stamp, sec, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                for b in &slot.buckets {
+                    b.store(0, Ordering::Relaxed);
+                }
+                slot.count.store(0, Ordering::Relaxed);
+                slot.sum.store(0, Ordering::Relaxed);
+            } else if slot.stamp.load(Ordering::Acquire) != sec {
+                // A different second won the slot; count only all-time.
+                return;
+            }
+        }
+        let bucket = (64 - v.leading_zeros()) as usize;
+        slot.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// The all-time histogram view (shares storage with this handle).
+    pub fn all_time(&self) -> Histogram {
+        self.0.total.clone()
+    }
+
+    /// Per-bucket counts and the total over the live window.
+    fn window_buckets(&self) -> ([u64; BUCKETS], u64, u64) {
+        let now = self.0.epoch.elapsed().as_secs();
+        let oldest = now.saturating_sub(WINDOW_SECS.saturating_sub(1));
+        let mut buckets = [0u64; BUCKETS];
+        let mut count = 0;
+        let mut sum = 0;
+        for slot in &self.0.slots {
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp == SLOT_EMPTY || stamp < oldest || stamp > now {
+                continue;
+            }
+            for (b, n) in slot.buckets.iter().enumerate() {
+                buckets[b] += n.load(Ordering::Relaxed);
+            }
+            count += slot.count.load(Ordering::Relaxed);
+            sum += slot.sum.load(Ordering::Relaxed);
+        }
+        (buckets, count, sum)
+    }
+
+    /// Number of observations inside the window.
+    pub fn window_count(&self) -> u64 {
+        self.window_buckets().1
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) over the window, as the upper
+    /// bound of the log2 bucket holding the target rank. 0 when the
+    /// window is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let (buckets, count, _) = self.window_buckets();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0;
+        for (b, n) in buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper(b);
+            }
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+
+    /// `(p50, p95, p99)` over the window in one pass.
+    pub fn quantiles(&self) -> (u64, u64, u64) {
+        (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
+    }
+}
+
 #[derive(Default)]
 struct Registry {
     counters: BTreeMap<&'static str, Counter>,
     gauges: BTreeMap<&'static str, Gauge>,
     histograms: BTreeMap<&'static str, Histogram>,
+    windows: BTreeMap<&'static str, WindowedHistogram>,
 }
 
 /// The registry. Cloning shares the underlying maps; two clones register
@@ -209,6 +372,18 @@ impl Metrics {
             .clone()
     }
 
+    /// Returns the windowed (rolling-quantile) histogram named `name`,
+    /// creating it empty on first use.
+    pub fn windowed(&self, name: &'static str) -> WindowedHistogram {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .windows
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
     /// Serializes the registry as the trace file's final line:
     /// `{"ts_us":…,"kind":"metrics","span":0,"counters":{…},"gauges":{…},
     /// "histograms":{name:{"count":…,"sum":…,"max":…,"buckets":[[ub,n],…]}}}`.
@@ -232,10 +407,12 @@ impl Metrics {
             let _ = write!(out, ":{}", g.get());
         }
         out.push_str("},\"histograms\":{");
-        for (i, (name, h)) in reg.histograms.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        for (name, h) in &reg.histograms {
+            if !first {
                 out.push(',');
             }
+            first = false;
             json::write_str(&mut out, name);
             let _ = write!(out, ":{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[", h.count(), h.sum(), h.max());
             for (j, (upper, n)) in h.nonzero_buckets().into_iter().enumerate() {
@@ -245,6 +422,25 @@ impl Metrics {
                 let _ = write!(out, "[{upper},{n}]");
             }
             out.push_str("]}");
+        }
+        // Windowed histograms join the same object: all-time moments plus
+        // the rolling-window quantile snapshot.
+        for (name, w) in &reg.windows {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let h = w.all_time();
+            let (p50, p95, p99) = w.quantiles();
+            json::write_str(&mut out, name);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"sum\":{},\"max\":{},\"window_secs\":{WINDOW_SECS},\"window_count\":{},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99}}}",
+                h.count(),
+                h.sum(),
+                h.max(),
+                w.window_count(),
+            );
         }
         out.push_str("}}");
         out
@@ -291,8 +487,88 @@ impl Metrics {
                 );
             }
         }
+        if !reg.windows.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>8} {:>8} {:>8} {:>8} {:>8}",
+                format!("latency ({WINDOW_SECS}s window)"),
+                "count",
+                "p50",
+                "p95",
+                "p99",
+                "max"
+            );
+            let _ = writeln!(out, "{}  {}", "-".repeat(name_w), "-".repeat(44));
+            for (name, w) in &reg.windows {
+                let (p50, p95, p99) = w.quantiles();
+                let _ = writeln!(
+                    out,
+                    "{name:<name_w$}  {:>8} {:>8} {:>8} {:>8} {:>8}",
+                    w.all_time().count(),
+                    p50,
+                    p95,
+                    p99,
+                    w.all_time().max()
+                );
+            }
+        }
         out
     }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (`text/plain; version=0.0.4`). Dotted instrument names become
+    /// underscore-separated metric names; plain and windowed histograms
+    /// render as native Prometheus histograms with cumulative `le`
+    /// buckets at the log2 bucket upper bounds.
+    pub fn render_prometheus(&self) -> String {
+        let reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, c) in &reg.counters {
+            let name = prom_name(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        for (name, g) in &reg.gauges {
+            let name = prom_name(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", g.get());
+        }
+        let plain = reg.histograms.iter().map(|(n, h)| (*n, h.clone()));
+        let windowed = reg.windows.iter().map(|(n, w)| (*n, w.all_time()));
+        for (name, h) in plain.chain(windowed) {
+            let name = prom_name(name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (lower, n) in h.nonzero_buckets() {
+                cumulative += n;
+                let le = if lower == 0 { 0 } else { lower.saturating_mul(2) - 1 };
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
+    }
+}
+
+/// Maps a dotted instrument name onto the Prometheus name charset
+/// `[a-zA-Z0-9_:]` (leading digits get an underscore prefix).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        match ch {
+            'a'..='z' | 'A'..='Z' | ':' | '_' => out.push(ch),
+            '0'..='9' => {
+                if i == 0 {
+                    out.push('_');
+                }
+                out.push(ch);
+            }
+            _ => out.push('_'),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -339,6 +615,73 @@ mod tests {
         let h = v.get("histograms").unwrap().get("c.sizes").unwrap();
         assert_eq!(h.get("count").and_then(json::Value::as_u64), Some(1));
         assert_eq!(h.get("sum").and_then(json::Value::as_u64), Some(5));
+    }
+
+    #[test]
+    fn windowed_histogram_quantiles_cover_recent_observations() {
+        let m = Metrics::new();
+        let w = m.windowed("serve.latency.impute.2xx");
+        assert_eq!(w.quantile(0.5), 0, "empty window reports 0");
+        for _ in 0..90 {
+            w.observe(300); // bucket [256, 512) → upper bound 511
+        }
+        for _ in 0..10 {
+            w.observe(5_000); // bucket [4096, 8192) → upper bound 8191
+        }
+        assert_eq!(w.window_count(), 100);
+        assert_eq!(w.quantile(0.50), 511);
+        assert_eq!(w.quantile(0.95), 8191);
+        assert_eq!(w.quantile(0.99), 8191);
+        assert_eq!(w.all_time().count(), 100);
+        assert_eq!(w.all_time().max(), 5_000);
+        // Same name → same instrument, like every other registry entry.
+        assert_eq!(m.windowed("serve.latency.impute.2xx").window_count(), 100);
+    }
+
+    #[test]
+    fn windowed_histogram_joins_the_json_metrics_line() {
+        let m = Metrics::new();
+        m.windowed("w.lat").observe(100);
+        m.histogram("h.plain").observe(3);
+        let v = json::parse(&m.to_json_line(9)).unwrap();
+        let w = v.get("histograms").unwrap().get("w.lat").unwrap();
+        assert_eq!(w.get("count").and_then(json::Value::as_u64), Some(1));
+        assert_eq!(w.get("window_count").and_then(json::Value::as_u64), Some(1));
+        assert_eq!(w.get("p50").and_then(json::Value::as_u64), Some(127));
+        assert!(v.get("histograms").unwrap().get("h.plain").is_some());
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let m = Metrics::new();
+        m.counter("http.requests").add(3);
+        m.gauge("serve.shard0.rows").set(12);
+        m.windowed("serve.latency.impute.2xx").observe(300);
+        m.windowed("serve.latency.impute.2xx").observe(5);
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE http_requests counter\nhttp_requests 3\n"), "{text}");
+        assert!(text.contains("# TYPE serve_shard0_rows gauge\nserve_shard0_rows 12\n"));
+        assert!(text.contains("# TYPE serve_latency_impute_2xx histogram"), "{text}");
+        assert!(text.contains("serve_latency_impute_2xx_bucket{le=\"7\"} 1\n"));
+        assert!(text.contains("serve_latency_impute_2xx_bucket{le=\"511\"} 2\n"));
+        assert!(text.contains("serve_latency_impute_2xx_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("serve_latency_impute_2xx_sum 305\n"));
+        assert!(text.contains("serve_latency_impute_2xx_count 2\n"));
+        // Every line is `# ...` or `name[{labels}] value` with a legal name.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name_part, value) = line.rsplit_once(' ').unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad sample value: {line}");
+            let name = name_part.split('{').next().unwrap();
+            assert!(
+                !name.is_empty()
+                    && name.chars().next().unwrap().is_ascii_alphabetic()
+                    && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name: {line}"
+            );
+        }
     }
 
     #[test]

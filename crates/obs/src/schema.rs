@@ -40,6 +40,24 @@ pub const OUTCOMES: &[&str] = &["imputed", "no_candidates", "skipped_budget", "c
 pub const DRY_REASONS: &[&str] =
     &["no_active_rfds", "no_candidates", "all_rejected", "budget", "cancelled"];
 
+/// Server lifecycle events as they appear in `server_event` records —
+/// mirrors the emit sites in `renuver-serve` (registry, router, accept
+/// loop) and the CLI recovery path.
+pub const SERVER_EVENTS: &[&str] = &[
+    "recovery",
+    "swap",
+    "compaction",
+    "shard_degraded",
+    "shard_healed",
+    "shed",
+    "read_timeout",
+    "wal_degraded",
+];
+
+/// Schema version stamped (as `v`) on the serving-layer record kinds
+/// (`access`, `server_event`) so consumers can detect field changes.
+pub const SERVE_SCHEMA_VERSION: u64 = 1;
+
 /// One kind's contract: `(kind, required fields, optional fields)`.
 type KindSpec = (&'static str, &'static [(&'static str, Ty)], &'static [(&'static str, Ty)]);
 
@@ -124,6 +142,45 @@ pub const SPEC: &[KindSpec] = &[
         "metrics",
         &[("counters", Ty::Obj), ("gauges", Ty::Obj), ("histograms", Ty::Obj)],
         &[],
+    ),
+    // One per shard fan-out leg of a traced sharded impute: cumulative
+    // candidate-scan time attributed to that shard over the request.
+    ("shard_leg", &[("shard", Ty::U64), ("scan_us", Ty::U64)], &[]),
+    // One per served request: the flight recorder's access-log summary.
+    // `phases` (budget phase self-times) is present when the request ran
+    // with an enabled tracer (`?trace=1` or a limited budget); `shards`
+    // lists the fan-out legs a traced sharded request touched.
+    (
+        "access",
+        &[
+            ("v", Ty::U64),
+            ("id", Ty::Str),
+            ("endpoint", Ty::Str),
+            ("status", Ty::U64),
+            ("latency_us", Ty::U64),
+        ],
+        &[
+            ("bytes_in", Ty::U64),
+            ("bytes_out", Ty::U64),
+            ("phases", Ty::Obj),
+            ("cells_imputed", Ty::U64),
+            ("cells_missing", Ty::U64),
+            ("shards", Ty::U64Arr),
+            ("trace_events", Ty::U64),
+        ],
+    ),
+    // Server lifecycle: recovery done, model swap (with the layout
+    // generation when sharded+durable), compaction, shard degradation
+    // and heal, accept-loop shed, read-deadline timeout, WAL fault trip.
+    (
+        "server_event",
+        &[("v", Ty::U64), ("event", Ty::Enum(SERVER_EVENTS))],
+        &[
+            ("seq", Ty::U64),
+            ("generation", Ty::U64),
+            ("shard", Ty::U64),
+            ("detail", Ty::Str),
+        ],
     ),
 ];
 
@@ -218,6 +275,12 @@ mod tests {
             r#"{"ts_us":1,"kind":"cell","span":3,"row":5,"attr":1,"outcome":"no_candidates","reason":"all_rejected"}"#,
             r#"{"ts_us":1,"kind":"budget_trip","span":0,"trip":"DeadlineExceeded","phase":"core::cell"}"#,
             r#"{"ts_us":1,"kind":"metrics","span":0,"counters":{"a":1},"gauges":{},"histograms":{}}"#,
+            r#"{"ts_us":1,"kind":"shard_leg","span":4,"shard":2,"scan_us":120}"#,
+            r#"{"ts_us":1,"kind":"access","span":0,"v":1,"id":"9f3a-1","endpoint":"impute","status":200,"latency_us":850,"bytes_in":64,"bytes_out":512,"phases":{"core::scan":500},"cells_imputed":1,"cells_missing":2,"shards":[0,3]}"#,
+            r#"{"ts_us":1,"kind":"access","span":0,"v":1,"id":"x","endpoint":"error","status":400,"latency_us":5}"#,
+            r#"{"ts_us":1,"kind":"server_event","span":0,"v":1,"event":"swap","seq":9,"generation":2}"#,
+            r#"{"ts_us":1,"kind":"server_event","span":0,"v":1,"event":"shard_degraded","shard":1,"detail":"wal append failed"}"#,
+            r#"{"ts_us":1,"kind":"server_event","span":0,"v":1,"event":"shed"}"#,
         ] {
             validate_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
         }
@@ -246,6 +309,18 @@ mod tests {
                 "negative row",
             ),
             ("not json", "parse error"),
+            (
+                r#"{"ts_us":1,"kind":"access","span":0,"v":1,"id":"x","endpoint":"impute","status":200}"#,
+                "access missing latency_us",
+            ),
+            (
+                r#"{"ts_us":1,"kind":"server_event","span":0,"v":1,"event":"rebooted"}"#,
+                "event not in enum",
+            ),
+            (
+                r#"{"ts_us":1,"kind":"server_event","span":0,"event":"shed"}"#,
+                "missing schema version",
+            ),
         ] {
             assert!(validate_line(line).is_err(), "accepted invalid line ({why}): {line}");
         }

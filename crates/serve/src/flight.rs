@@ -1,0 +1,272 @@
+//! The request-scoped flight recorder.
+//!
+//! One [`FlightRecorder`] per server process ties together the pieces
+//! of per-request observability:
+//!
+//! - **Request ids** — an inbound `X-Request-Id` is honored (after
+//!   sanitizing); otherwise ids are minted from a per-boot nonce plus an
+//!   atomic counter (`<nonce:8 hex>-<n>`), so ids are unique within a
+//!   boot and distinguishable across boots.
+//! - **Access log** — one schema-checked `access` line per served
+//!   request and one `server_event` line per lifecycle transition,
+//!   appended to an [`EventLog`] when `--log-out` is configured.
+//! - **Slow-request ring** — the last [`RING_SLOTS`] requests above the
+//!   slow threshold, with their full phase breakdowns, dumped by
+//!   `GET /v1/debug/requests`. Writers claim slots with one atomic
+//!   `fetch_add` (no shared lock on the request path; each slot has its
+//!   own uncontended mutex for the payload write).
+//!
+//! The recorder is **observation only**: with it on or off, imputation
+//! decisions and response bodies are byte-identical (proven by the
+//! differential e2e test). `FlightOptions::enabled = false` turns all
+//! of the above off for overhead measurement.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use renuver_obs::schema::SERVE_SCHEMA_VERSION;
+use renuver_obs::{EventLog, Field, FieldValue};
+
+/// Capacity of the slow-request ring.
+pub const RING_SLOTS: usize = 64;
+
+/// Knobs for the flight recorder, set from the CLI.
+pub struct FlightOptions {
+    /// Master switch; `false` disables ids, histograms, logging, and the
+    /// slow ring entirely (for the recorder-off differential / bench).
+    pub enabled: bool,
+    /// Structured event log sink (`--log-out`), if any.
+    pub log: Option<EventLog>,
+    /// Requests at or above this latency enter the slow ring.
+    pub slow_threshold_ms: u64,
+    /// Cap on span/event records returned in a `?trace=1` envelope.
+    pub trace_max_events: usize,
+}
+
+impl Default for FlightOptions {
+    fn default() -> Self {
+        FlightOptions {
+            enabled: true,
+            log: None,
+            slow_threshold_ms: 250,
+            trace_max_events: 256,
+        }
+    }
+}
+
+/// One retained slow request.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// The request id stamped on the response.
+    pub id: String,
+    /// Endpoint label (the same label the latency histograms use).
+    pub endpoint: &'static str,
+    /// Response status code.
+    pub status: u16,
+    /// Wall-clock service time.
+    pub latency_us: u64,
+    /// Budget phase self-times, when the request ran traced.
+    pub phases: Vec<(String, u64)>,
+}
+
+struct Inner {
+    enabled: bool,
+    boot_nonce: u64,
+    next_id: AtomicU64,
+    log: Option<EventLog>,
+    slow_threshold_us: u64,
+    trace_max_events: usize,
+    /// Monotone slot-claim cursor; slot = cursor % RING_SLOTS.
+    cursor: AtomicU64,
+    ring: Vec<Mutex<Option<(u64, SlowEntry)>>>,
+}
+
+/// Cloneable handle to the process-wide recorder (see module docs).
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("enabled", &self.inner.enabled)
+            .field("log", &self.inner.log.is_some())
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// Builds a recorder from the CLI options.
+    pub fn new(opts: FlightOptions) -> FlightRecorder {
+        // FNV-1a over wall time + pid: unique enough per boot, and no
+        // dependency on a randomness source the container may lack.
+        let mut nonce: u64 = 0xcbf2_9ce4_8422_2325;
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+            ^ u64::from(std::process::id()).rotate_left(32);
+        for byte in seed.to_le_bytes() {
+            nonce = (nonce ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        FlightRecorder {
+            inner: Arc::new(Inner {
+                enabled: opts.enabled,
+                boot_nonce: nonce,
+                next_id: AtomicU64::new(1),
+                log: opts.log,
+                slow_threshold_us: opts.slow_threshold_ms.saturating_mul(1_000),
+                trace_max_events: opts.trace_max_events.max(1),
+                cursor: AtomicU64::new(0),
+                ring: (0..RING_SLOTS).map(|_| Mutex::new(None)).collect(),
+            }),
+        }
+    }
+
+    /// A recorder with every feature off.
+    pub fn off() -> FlightRecorder {
+        FlightRecorder::new(FlightOptions { enabled: false, ..FlightOptions::default() })
+    }
+
+    /// Whether the recorder observes requests at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// Whether an event log sink is attached.
+    pub fn has_log(&self) -> bool {
+        self.inner.log.is_some()
+    }
+
+    /// The `?trace=1` envelope size cap.
+    pub fn trace_max_events(&self) -> usize {
+        self.inner.trace_max_events
+    }
+
+    /// The slow-ring admission threshold, microseconds.
+    pub fn slow_threshold_us(&self) -> u64 {
+        self.inner.slow_threshold_us
+    }
+
+    /// Resolves this request's id: a sane inbound `X-Request-Id` wins,
+    /// otherwise a fresh id is minted. Inbound ids are trusted only as
+    /// far as log hygiene allows — longer than 128 bytes or containing
+    /// non-graphic characters, they are replaced.
+    pub fn request_id(&self, inbound: Option<&str>) -> String {
+        if let Some(id) = inbound {
+            if !id.is_empty()
+                && id.len() <= 128
+                && id.chars().all(|c| c.is_ascii_graphic())
+            {
+                return id.to_string();
+            }
+        }
+        let n = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        format!("{:08x}-{n}", self.inner.boot_nonce as u32)
+    }
+
+    /// Appends one `access` line (no-op without a log sink).
+    pub fn access(&self, fields: Vec<Field>) {
+        if let Some(log) = &self.inner.log {
+            let mut all = vec![("v", FieldValue::U64(SERVE_SCHEMA_VERSION))];
+            all.extend(fields);
+            log.append("access", all);
+        }
+    }
+
+    /// Appends one `server_event` line (no-op without a log sink).
+    pub fn server_event(&self, event: &'static str, fields: Vec<Field>) {
+        if !self.inner.enabled {
+            return;
+        }
+        if let Some(log) = &self.inner.log {
+            let mut all = vec![
+                ("v", FieldValue::U64(SERVE_SCHEMA_VERSION)),
+                ("event", FieldValue::Str(event)),
+            ];
+            all.extend(fields);
+            log.append("server_event", all);
+        }
+    }
+
+    /// Admits `entry` to the slow ring when it clears the threshold.
+    pub fn note_slow(&self, entry: SlowEntry) {
+        if entry.latency_us < self.inner.slow_threshold_us {
+            return;
+        }
+        let ticket = self.inner.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.inner.ring[(ticket % RING_SLOTS as u64) as usize];
+        let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+        // A lapped writer may already hold a newer ticket; keep it.
+        if guard.as_ref().map_or(true, |(t, _)| *t < ticket) {
+            *guard = Some((ticket, entry));
+        }
+    }
+
+    /// The retained slow requests, oldest first.
+    pub fn slow_snapshot(&self) -> Vec<SlowEntry> {
+        let mut entries: Vec<(u64, SlowEntry)> = self
+            .inner
+            .ring
+            .iter()
+            .filter_map(|slot| slot.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .collect();
+        entries.sort_by_key(|(ticket, _)| *ticket);
+        entries.into_iter().map(|(_, e)| e).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorder(threshold_ms: u64) -> FlightRecorder {
+        FlightRecorder::new(FlightOptions {
+            slow_threshold_ms: threshold_ms,
+            ..FlightOptions::default()
+        })
+    }
+
+    #[test]
+    fn minted_ids_are_unique_and_inbound_ids_are_honored() {
+        let f = recorder(250);
+        let a = f.request_id(None);
+        let b = f.request_id(None);
+        assert_ne!(a, b);
+        assert_eq!(a.split('-').next(), b.split('-').next(), "same boot nonce");
+        assert_eq!(f.request_id(Some("client-7")), "client-7");
+        // Hostile inbound ids are replaced, not echoed.
+        let huge = "x".repeat(200);
+        assert_ne!(f.request_id(Some(&huge)), huge);
+        assert_ne!(f.request_id(Some("a\nb")), "a\nb");
+        assert_ne!(f.request_id(Some("")), "");
+    }
+
+    #[test]
+    fn slow_ring_keeps_the_latest_above_threshold() {
+        let f = recorder(1); // 1000us threshold
+        f.note_slow(SlowEntry {
+            id: "fast".into(),
+            endpoint: "impute",
+            status: 200,
+            latency_us: 999,
+            phases: Vec::new(),
+        });
+        assert!(f.slow_snapshot().is_empty(), "below threshold is dropped");
+        for i in 0..(RING_SLOTS as u64 + 10) {
+            f.note_slow(SlowEntry {
+                id: format!("r{i}"),
+                endpoint: "impute",
+                status: 200,
+                latency_us: 1_000 + i,
+                phases: vec![("core::scan".into(), i)],
+            });
+        }
+        let snap = f.slow_snapshot();
+        assert_eq!(snap.len(), RING_SLOTS);
+        // The oldest retained entry is the one after the lapped ones.
+        assert_eq!(snap.first().unwrap().id, "r10");
+        assert_eq!(snap.last().unwrap().id, format!("r{}", RING_SLOTS + 9));
+    }
+}

@@ -40,6 +40,7 @@
 pub mod artifact;
 mod codec;
 pub mod fault;
+pub mod flight;
 pub mod http;
 pub mod registry;
 pub mod router;
@@ -48,6 +49,7 @@ pub mod store;
 pub mod wal;
 
 pub use artifact::{Artifact, ArtifactError, ArtifactInfo};
+pub use flight::{FlightOptions, FlightRecorder, SlowEntry};
 pub use registry::{
     IngestOutcome, Manifest, Registry, RegistryError, ShardLayout, ShardRecovery, ShardState, Snap,
 };

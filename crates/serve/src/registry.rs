@@ -790,6 +790,13 @@ impl Registry {
         self.inner.swaps.load(Ordering::Relaxed)
     }
 
+    /// The live layout generation (0 for non-durable registries, which
+    /// have no on-disk layout to version).
+    pub fn generation(&self) -> u64 {
+        let shards = self.inner.shards.lock().unwrap_or_else(|e| e.into_inner());
+        shards.store.as_ref().map_or(0, |s| s.generation)
+    }
+
     /// Rows per shard in the published snapshot.
     pub fn shard_rows(&self) -> Vec<usize> {
         self.snapshot().parts.iter().map(|p| p.len()).collect()

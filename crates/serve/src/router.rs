@@ -40,14 +40,15 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use renuver_budget::Budget;
 use renuver_core::{BatchResult, Engine, ExplainSample};
 use renuver_data::{csv, AttrType, Schema, Tuple, Value};
 use renuver_obs::json::{self, write_f64, write_str};
-use renuver_obs::{Metrics, Tracer};
+use renuver_obs::{Field, FieldValue, Metrics, TraceRecord, Tracer};
 
+use crate::flight::{FlightOptions, FlightRecorder, SlowEntry};
 use crate::http::{Request, Response};
 use crate::registry::{Registry, RegistryError};
 use crate::store::Durable;
@@ -125,6 +126,9 @@ pub enum Topology {
 struct ShardLabels {
     rows: &'static str,
     ingest_rows: &'static str,
+    /// Windowed histogram of the shard's scan-leg time per traced
+    /// request, microseconds.
+    scan_us: &'static str,
 }
 
 /// Shared server state: the topology (engine or shard registry), model
@@ -150,6 +154,8 @@ pub struct Ctx {
     model_path: Mutex<Option<PathBuf>>,
     /// Per-shard instrument names (empty for the single topology).
     shard_labels: Vec<ShardLabels>,
+    /// The flight recorder: request ids, access log, slow ring.
+    flight: FlightRecorder,
 }
 
 const BASE_COUNTERS: [&str; 17] = [
@@ -172,6 +178,71 @@ const BASE_COUNTERS: [&str; 17] = [
     "serve.swap_rejected",
 ];
 
+/// Endpoint labels for latency attribution. `other` covers unknown
+/// paths and method mismatches; `error` covers protocol-level failures
+/// the connection handler rejects before routing (408/413/431/400).
+const ENDPOINTS: [&str; 10] = [
+    "healthz", "metrics", "model", "swap", "impute", "ingest", "compact", "debug", "other", "error",
+];
+
+/// Windowed latency histogram names, `[endpoint][status class]`, in
+/// [`ENDPOINTS`] order. Literal so registration matches observation
+/// without leaking (the metrics registry wants `&'static str`).
+const LATENCY_WINDOWS: [[&str; 3]; 10] = [
+    ["serve.latency.healthz.2xx", "serve.latency.healthz.4xx", "serve.latency.healthz.5xx"],
+    ["serve.latency.metrics.2xx", "serve.latency.metrics.4xx", "serve.latency.metrics.5xx"],
+    ["serve.latency.model.2xx", "serve.latency.model.4xx", "serve.latency.model.5xx"],
+    ["serve.latency.swap.2xx", "serve.latency.swap.4xx", "serve.latency.swap.5xx"],
+    ["serve.latency.impute.2xx", "serve.latency.impute.4xx", "serve.latency.impute.5xx"],
+    ["serve.latency.ingest.2xx", "serve.latency.ingest.4xx", "serve.latency.ingest.5xx"],
+    ["serve.latency.compact.2xx", "serve.latency.compact.4xx", "serve.latency.compact.5xx"],
+    ["serve.latency.debug.2xx", "serve.latency.debug.4xx", "serve.latency.debug.5xx"],
+    ["serve.latency.other.2xx", "serve.latency.other.4xx", "serve.latency.other.5xx"],
+    ["serve.latency.error.2xx", "serve.latency.error.4xx", "serve.latency.error.5xx"],
+];
+
+/// Lifecycle event counters, one per `schema::SERVER_EVENTS` entry.
+/// These count even when no `--log-out` sink is attached, so the e2e
+/// reconciliation can compare `/metrics` against the event log.
+const EVENT_COUNTERS: [(&str, &str); 8] = [
+    ("recovery", "serve.events.recovery"),
+    ("swap", "serve.events.swap"),
+    ("compaction", "serve.events.compaction"),
+    ("shard_degraded", "serve.events.shard_degraded"),
+    ("shard_healed", "serve.events.shard_healed"),
+    ("shed", "serve.events.shed"),
+    ("read_timeout", "serve.events.read_timeout"),
+    ("wal_degraded", "serve.events.wal_degraded"),
+];
+
+/// The windowed latency histogram for `endpoint` × `status`.
+fn latency_name(endpoint: &'static str, status: u16) -> &'static str {
+    let ep = ENDPOINTS
+        .iter()
+        .position(|e| *e == endpoint)
+        .expect("endpoint label missing from ENDPOINTS");
+    let class = match status {
+        200..=299 => 0,
+        400..=499 => 1,
+        _ => 2,
+    };
+    LATENCY_WINDOWS[ep][class]
+}
+
+/// Pre-registers the observability instruments so `/metrics` shows
+/// them (zeroed) before any traffic arrives, matching the
+/// `BASE_COUNTERS` convention.
+fn register_observability(metrics: &Metrics) {
+    for windows in LATENCY_WINDOWS {
+        for name in windows {
+            metrics.windowed(name);
+        }
+    }
+    for (_, counter) in EVENT_COUNTERS {
+        metrics.counter(counter);
+    }
+}
+
 impl Ctx {
     /// Builds a single-engine context with the standard counters
     /// pre-registered (so `/metrics` shows zeros instead of omitting
@@ -186,6 +257,7 @@ impl Ctx {
         for name in BASE_COUNTERS {
             metrics.counter(name);
         }
+        register_observability(&metrics);
         Ctx {
             topology: Topology::Single {
                 engine: Mutex::new(engine),
@@ -199,6 +271,7 @@ impl Ctx {
             seq: AtomicU64::new(0),
             model_path: Mutex::new(None),
             shard_labels: Vec::new(),
+            flight: FlightRecorder::new(FlightOptions::default()),
         }
     }
 
@@ -214,15 +287,18 @@ impl Ctx {
         for name in BASE_COUNTERS {
             metrics.counter(name);
         }
+        register_observability(&metrics);
         let shard_labels: Vec<ShardLabels> = (0..registry.n_shards())
             .map(|k| ShardLabels {
                 rows: Box::leak(format!("serve.shard{k}.rows").into_boxed_str()),
                 ingest_rows: Box::leak(format!("serve.shard{k}.ingest_rows").into_boxed_str()),
+                scan_us: Box::leak(format!("serve.shard{k}.scan_us").into_boxed_str()),
             })
             .collect();
         for (labels, rows) in shard_labels.iter().zip(registry.shard_rows()) {
             metrics.gauge(labels.rows).set(rows as u64);
             metrics.counter(labels.ingest_rows);
+            metrics.windowed(labels.scan_us);
         }
         let seq = registry.snapshot().seq;
         Ctx {
@@ -235,7 +311,30 @@ impl Ctx {
             seq: AtomicU64::new(seq),
             model_path: Mutex::new(None),
             shard_labels,
+            flight: FlightRecorder::new(FlightOptions::default()),
         }
+    }
+
+    /// Replaces the flight recorder (CLI wiring: `--log-out`,
+    /// `--slow-threshold-ms`, `--no-flight`). Call before serving.
+    pub fn set_flight(&mut self, opts: FlightOptions) {
+        self.flight = FlightRecorder::new(opts);
+    }
+
+    /// The flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Records one lifecycle event: bumps its `serve.events.*` counter
+    /// (always — the counters are part of `/metrics` regardless of
+    /// logging) and appends a `server_event` log line when the recorder
+    /// is enabled and a `--log-out` sink is attached.
+    pub fn server_event(&self, event: &'static str, fields: Vec<Field>) {
+        if let Some((_, counter)) = EVENT_COUNTERS.iter().find(|(e, _)| *e == event) {
+            self.metrics.counter(counter).inc();
+        }
+        self.flight.server_event(event, fields);
     }
 
     /// Current write-path state. Sharded contexts derive it: degraded if
@@ -326,22 +425,42 @@ impl Ctx {
     }
 }
 
+/// Per-request observability scratch: the endpoint handlers fill it,
+/// `route` folds it into the access-log line and the slow ring.
+#[derive(Default)]
+struct Telemetry {
+    cells_missing: Option<u64>,
+    cells_imputed: Option<u64>,
+    /// Budget phase self-times (label, µs), present when the request
+    /// ran with an enabled tracer.
+    phases: Vec<(String, u64)>,
+    /// Per-shard scan legs (shard, µs), from `shard_leg` trace events.
+    shards: Vec<(u64, u64)>,
+    /// Records returned in the `?trace=1` envelope.
+    trace_events: Option<u64>,
+}
+
 /// Dispatches one request to its endpoint and accounts it in the
 /// registry. Never panics: malformed input maps to 4xx.
 pub fn route(ctx: &Ctx, req: &Request) -> Response {
     ctx.metrics.counter("http.requests").inc();
-    let resp = match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => healthz_endpoint(ctx),
-        ("GET", "/metrics") => Response::text(200, ctx.metrics.render_table()),
-        ("GET", "/v1/model") => model_endpoint(ctx),
-        ("PUT", "/v1/model") => swap_endpoint(ctx, req),
-        ("POST", "/v1/impute") => impute_endpoint(ctx, req),
-        ("POST", "/v1/ingest") => ingest_endpoint(ctx, req),
-        ("POST", "/v1/compact") => compact_endpoint(ctx),
-        (_, "/healthz" | "/metrics" | "/v1/model" | "/v1/impute" | "/v1/ingest" | "/v1/compact") => {
-            Response::text(405, "method not allowed\n")
-        }
-        _ => Response::text(404, "not found\n"),
+    let started = Instant::now();
+    let mut tel = Telemetry::default();
+    let (endpoint, mut resp) = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => ("healthz", healthz_endpoint(ctx)),
+        ("GET", "/metrics") => ("metrics", metrics_endpoint(ctx, req)),
+        ("GET", "/v1/model") => ("model", model_endpoint(ctx)),
+        ("PUT", "/v1/model") => ("swap", swap_endpoint(ctx, req)),
+        ("POST", "/v1/impute") => ("impute", impute_endpoint(ctx, req, &mut tel)),
+        ("POST", "/v1/ingest") => ("ingest", ingest_endpoint(ctx, req, &mut tel)),
+        ("POST", "/v1/compact") => ("compact", compact_endpoint(ctx)),
+        ("GET", "/v1/debug/requests") => ("debug", debug_requests_endpoint(ctx)),
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/model" | "/v1/impute" | "/v1/ingest" | "/v1/compact"
+            | "/v1/debug/requests",
+        ) => ("other", Response::text(405, "method not allowed\n")),
+        _ => ("other", Response::text(404, "not found\n")),
     };
     let class = match resp.status {
         200..=299 => "http.responses_2xx",
@@ -349,7 +468,150 @@ pub fn route(ctx: &Ctx, req: &Request) -> Response {
         _ => "http.responses_5xx",
     };
     ctx.metrics.counter(class).inc();
+    finish_request(ctx, req, endpoint, &mut resp, started, tel);
     resp
+}
+
+/// The flight recorder's per-request tail: latency histogram, request
+/// id echo, access-log line, slow-ring admission. Observation only —
+/// when the recorder is off the response leaves byte-identical to one
+/// from a recorder-less server (the differential e2e pins this).
+fn finish_request(
+    ctx: &Ctx,
+    req: &Request,
+    endpoint: &'static str,
+    resp: &mut Response,
+    started: Instant,
+    tel: Telemetry,
+) {
+    if !ctx.flight.is_enabled() {
+        return;
+    }
+    let latency_us = started.elapsed().as_micros() as u64;
+    ctx.metrics.windowed(latency_name(endpoint, resp.status)).observe(latency_us);
+    for &(shard, scan_us) in &tel.shards {
+        if let Some(labels) = ctx.shard_labels.get(shard as usize) {
+            ctx.metrics.windowed(labels.scan_us).observe(scan_us);
+        }
+    }
+    let id = ctx.flight.request_id(req.header("x-request-id"));
+    if ctx.flight.has_log() {
+        let mut fields: Vec<Field> = vec![
+            ("id", FieldValue::Text(id.clone())),
+            ("endpoint", FieldValue::Str(endpoint)),
+            ("status", FieldValue::U64(u64::from(resp.status))),
+            ("latency_us", FieldValue::U64(latency_us)),
+            ("bytes_in", FieldValue::U64(req.body.len() as u64)),
+            ("bytes_out", FieldValue::U64(resp.body.len() as u64)),
+        ];
+        if let Some(v) = tel.cells_missing {
+            fields.push(("cells_missing", FieldValue::U64(v)));
+        }
+        if let Some(v) = tel.cells_imputed {
+            fields.push(("cells_imputed", FieldValue::U64(v)));
+        }
+        if !tel.phases.is_empty() {
+            fields.push(("phases", FieldValue::U64Map(tel.phases.clone())));
+        }
+        if !tel.shards.is_empty() {
+            fields.push(("shards", FieldValue::U64s(tel.shards.iter().map(|&(k, _)| k).collect())));
+        }
+        if let Some(n) = tel.trace_events {
+            fields.push(("trace_events", FieldValue::U64(n)));
+        }
+        ctx.flight.access(fields);
+    }
+    ctx.flight.note_slow(SlowEntry {
+        id: id.clone(),
+        endpoint,
+        status: resp.status,
+        latency_us,
+        phases: tel.phases,
+    });
+    resp.extra_headers.push(("X-Request-Id", id));
+}
+
+/// The connection handler's access-log hook for requests that never
+/// reach `route` (read timeout, oversized body/headers, bad request
+/// line). They already count in `http.requests`/`http.responses_4xx`;
+/// this gives them the same latency attribution, log line, and id echo
+/// under the `error` endpoint label.
+pub(crate) fn record_protocol_error(
+    ctx: &Ctx,
+    resp: &mut Response,
+    started: Instant,
+    bytes_in: usize,
+) {
+    if !ctx.flight.is_enabled() {
+        return;
+    }
+    let latency_us = started.elapsed().as_micros() as u64;
+    ctx.metrics.windowed(latency_name("error", resp.status)).observe(latency_us);
+    let id = ctx.flight.request_id(None);
+    if ctx.flight.has_log() {
+        ctx.flight.access(vec![
+            ("id", FieldValue::Text(id.clone())),
+            ("endpoint", FieldValue::Str("error")),
+            ("status", FieldValue::U64(u64::from(resp.status))),
+            ("latency_us", FieldValue::U64(latency_us)),
+            ("bytes_in", FieldValue::U64(bytes_in as u64)),
+            ("bytes_out", FieldValue::U64(resp.body.len() as u64)),
+        ]);
+    }
+    resp.extra_headers.push(("X-Request-Id", id));
+}
+
+/// `GET /metrics`: the standard text table, or Prometheus exposition
+/// when asked for via `?format=prometheus` or content negotiation.
+fn metrics_endpoint(ctx: &Ctx, req: &Request) -> Response {
+    let explicit = req.query_param("format");
+    if let Some(f) = explicit {
+        if f != "prometheus" && f != "table" {
+            return bad_request(format!("format={f:?} is not \"prometheus\" or \"table\""));
+        }
+    }
+    let accept = req.header("accept").unwrap_or("");
+    let prometheus = explicit == Some("prometheus")
+        || (explicit.is_none()
+            && (accept.contains("application/openmetrics-text") || accept.contains("version=0.0.4")));
+    if prometheus {
+        let mut resp = Response::text(200, ctx.metrics.render_prometheus());
+        resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        resp
+    } else {
+        Response::text(200, ctx.metrics.render_table())
+    }
+}
+
+/// `GET /v1/debug/requests`: dump the slow-request ring.
+fn debug_requests_endpoint(ctx: &Ctx) -> Response {
+    let mut out = format!(
+        "{{\"enabled\":{},\"slow_threshold_us\":{},\"requests\":[",
+        ctx.flight.is_enabled(),
+        ctx.flight.slow_threshold_us()
+    );
+    for (i, e) in ctx.flight.slow_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":");
+        write_str(&mut out, &e.id);
+        out.push_str(&format!(
+            ",\"endpoint\":\"{}\",\"status\":{},\"latency_us\":{},\"phases\":[",
+            e.endpoint, e.status, e.latency_us
+        ));
+        for (j, (label, us)) in e.phases.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            write_str(&mut out, label);
+            out.push_str(&format!(",{us}]"));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    Response::json(200, out)
 }
 
 /// Liveness plus the write-path state. Always `200` while the process
@@ -459,6 +721,9 @@ struct RequestOpts {
     timeout_ms: Option<u64>,
     explain: bool,
     explain_sample: ExplainSample,
+    /// `?trace=1`: run traced regardless of budget and return the span
+    /// breakdown in a `trace` envelope on the response.
+    trace: bool,
 }
 
 fn parse_opts(ctx: &Ctx, req: &Request) -> Result<RequestOpts, Response> {
@@ -480,7 +745,8 @@ fn parse_opts(ctx: &Ctx, req: &Request) -> Result<RequestOpts, Response> {
             ))
         })?),
     };
-    Ok(RequestOpts { timeout_ms, explain, explain_sample })
+    let trace = req.query_param("trace").is_some_and(|v| v != "0");
+    Ok(RequestOpts { timeout_ms, explain, explain_sample, trace })
 }
 
 /// Decodes the request body into tuples, by content type.
@@ -599,9 +865,11 @@ fn request_config(base: &renuver_core::RenuverConfig, opts: &RequestOpts) -> ren
         Some(ms) => Budget::unlimited().with_deadline(Duration::from_millis(ms)),
         None => Budget::unlimited(),
     };
-    // A limited request gets an enabled tracer so a degraded response
-    // can attribute where its budget went (phase self-times).
-    config.tracer = if config.budget.is_limited() {
+    // One gate for both tracing consumers: a limited request needs
+    // phase attribution so a degraded response can say where its budget
+    // went, and `?trace=1` asks for the same attribution explicitly
+    // (previously unlimited requests could never get it).
+    config.tracer = if opts.trace || config.budget.is_limited() {
         Tracer::enabled()
     } else {
         Tracer::disabled()
@@ -609,13 +877,104 @@ fn request_config(base: &renuver_core::RenuverConfig, opts: &RequestOpts) -> ren
     config
 }
 
-fn impute_endpoint(ctx: &Ctx, req: &Request) -> Response {
+/// Reads a `u64` field off a trace record.
+fn field_u64(rec: &TraceRecord, name: &str) -> Option<u64> {
+    rec.fields.iter().find_map(|(k, v)| match v {
+        FieldValue::U64(n) if *k == name => Some(*n),
+        _ => None,
+    })
+}
+
+/// Reads a string field off a trace record.
+fn field_str<'a>(rec: &'a TraceRecord, name: &str) -> Option<&'a str> {
+    rec.fields.iter().find_map(|(k, v)| match (v, *k == name) {
+        (FieldValue::Str(s), true) => Some(*s),
+        (FieldValue::Text(s), true) => Some(s.as_str()),
+        _ => None,
+    })
+}
+
+/// Folds a finished request's trace into the telemetry scratch: budget
+/// phase self-times and per-shard scan legs.
+fn collect_telemetry(result: &BatchResult, tracer: &Tracer, tel: &mut Telemetry) {
+    tel.cells_missing = Some(result.stats.missing_total as u64);
+    tel.cells_imputed = Some(result.stats.imputed as u64);
+    tel.phases = result.budget.phases.clone();
+    if tracer.is_enabled() {
+        for rec in tracer.records() {
+            if rec.kind == "shard_leg" {
+                if let (Some(shard), Some(scan_us)) =
+                    (field_u64(&rec, "shard"), field_u64(&rec, "scan_us"))
+                {
+                    tel.shards.push((shard, scan_us));
+                }
+            }
+        }
+    }
+}
+
+/// Appends the `?trace=1` envelope to a response body (a JSON object):
+/// the closed spans and shard legs from the request's tracer, capped at
+/// `max_events`. The envelope is client-opt-in and independent of the
+/// flight recorder's state, so the recorder on/off differential strips
+/// nothing but the `X-Request-Id` header.
+fn attach_trace(body: &mut String, tracer: &Tracer, max_events: usize, tel: &mut Telemetry) {
+    debug_assert!(body.ends_with('}'));
+    let records = tracer.records();
+    let mut spans = String::new();
+    let mut shards = String::new();
+    let mut taken = 0usize;
+    let mut span_count = 0usize;
+    let mut shard_count = 0usize;
+    for rec in &records {
+        if taken == max_events {
+            break;
+        }
+        match rec.kind {
+            "span" => {
+                if span_count > 0 {
+                    spans.push(',');
+                }
+                spans.push_str(&format!("{{\"span\":{},\"label\":", rec.span));
+                write_str(&mut spans, field_str(rec, "label").unwrap_or("?"));
+                spans.push_str(&format!(
+                    ",\"parent\":{},\"dur_us\":{}}}",
+                    field_u64(rec, "parent").unwrap_or(0),
+                    field_u64(rec, "dur_us").unwrap_or(0)
+                ));
+                span_count += 1;
+                taken += 1;
+            }
+            "shard_leg" => {
+                if shard_count > 0 {
+                    shards.push(',');
+                }
+                shards.push_str(&format!(
+                    "{{\"shard\":{},\"scan_us\":{}}}",
+                    field_u64(rec, "shard").unwrap_or(0),
+                    field_u64(rec, "scan_us").unwrap_or(0)
+                ));
+                shard_count += 1;
+                taken += 1;
+            }
+            _ => {}
+        }
+    }
+    body.pop();
+    body.push_str(&format!(
+        ",\"trace\":{{\"events\":{taken},\"truncated\":{},\"spans\":[{spans}],\"shards\":[{shards}]}}}}",
+        taken == max_events && records.len() > max_events
+    ));
+    tel.trace_events = Some(taken as u64);
+}
+
+fn impute_endpoint(ctx: &Ctx, req: &Request, tel: &mut Telemetry) -> Response {
     let opts = match parse_opts(ctx, req) {
         Ok(o) => o,
         Err(resp) => return resp,
     };
 
-    let result = match &ctx.topology {
+    let (result, tracer) = match &ctx.topology {
         Topology::Single { .. } => {
             let mut engine = ctx.lock_engine();
             let tuples = match parse_tuples(engine.schema(), req) {
@@ -624,7 +983,7 @@ fn impute_endpoint(ctx: &Ctx, req: &Request) -> Response {
             };
             let config = request_config(engine.config(), &opts);
             match engine.impute_batch_with(tuples, &config) {
-                Ok(result) => result,
+                Ok(result) => (result, config.tracer),
                 Err(e) => return bad_request(e),
             }
         }
@@ -638,7 +997,7 @@ fn impute_endpoint(ctx: &Ctx, req: &Request) -> Response {
             };
             let config = request_config(&snap.config, &opts);
             match snap.impute(tuples, &config) {
-                Ok(result) => result,
+                Ok(result) => (result, config.tracer),
                 Err(e) => return bad_request(e),
             }
         }
@@ -650,7 +1009,12 @@ fn impute_endpoint(ctx: &Ctx, req: &Request) -> Response {
     if result.budget.tripped.is_some() {
         ctx.metrics.counter("serve.budget_tripped").inc();
     }
-    Response::json(200, render_batch(&result, opts.explain))
+    collect_telemetry(&result, &tracer, tel);
+    let mut body = render_batch(&result, opts.explain);
+    if opts.trace {
+        attach_trace(&mut body, &tracer, ctx.flight.trace_max_events(), tel);
+    }
+    Response::json(200, body)
 }
 
 fn unavailable(msg: &str) -> Response {
@@ -675,7 +1039,7 @@ fn unavailable(msg: &str) -> Response {
 /// only batches nobody was told about. A WAL failure after the fsync
 /// path starts degrades the server (writes refused until restart)
 /// rather than risking the log and the engine drifting apart.
-fn ingest_endpoint(ctx: &Ctx, req: &Request) -> Response {
+fn ingest_endpoint(ctx: &Ctx, req: &Request, tel: &mut Telemetry) -> Response {
     match ctx.state() {
         ServeState::Ok => {}
         ServeState::Recovering => return unavailable("wal replay in progress, ingest not ready"),
@@ -692,7 +1056,7 @@ fn ingest_endpoint(ctx: &Ctx, req: &Request) -> Response {
         Err(resp) => return resp,
     };
     if let Topology::Sharded(reg) = &ctx.topology {
-        return ingest_sharded(ctx, reg, req, &opts);
+        return ingest_sharded(ctx, reg, req, &opts, tel);
     }
 
     let mut engine = ctx.lock_engine();
@@ -716,6 +1080,10 @@ fn ingest_endpoint(ctx: &Ctx, req: &Request) -> Response {
         Err(e) => {
             ctx.set_state(ServeState::Degraded);
             ctx.metrics.counter("serve.wal_degraded").inc();
+            ctx.server_event("wal_degraded", vec![(
+                "detail",
+                FieldValue::Text(format!("wal append failed: {e}")),
+            )]);
             let mut body = String::from("{\"error\":");
             write_str(&mut body, &format!("wal append failed: {e}"));
             body.push('}');
@@ -729,6 +1097,10 @@ fn ingest_endpoint(ctx: &Ctx, req: &Request) -> Response {
             // have diverged and only a restart (replay) re-syncs them.
             ctx.set_state(ServeState::Degraded);
             ctx.metrics.counter("serve.wal_degraded").inc();
+            ctx.server_event("wal_degraded", vec![(
+                "detail",
+                FieldValue::Text(format!("commit failed after wal append: {e}")),
+            )]);
             let mut body = String::from("{\"error\":");
             write_str(&mut body, &format!("commit failed after wal append: {e}"));
             body.push('}');
@@ -743,9 +1115,10 @@ fn ingest_endpoint(ctx: &Ctx, req: &Request) -> Response {
     if durable.should_compact() {
         ctx.set_state(ServeState::Compacting);
         match durable.compact(&engine) {
-            Ok(_) => {
+            Ok(compact_seq) => {
                 compacted = true;
                 ctx.metrics.counter("serve.compactions").inc();
+                ctx.server_event("compaction", vec![("seq", FieldValue::U64(compact_seq))]);
             }
             Err(e) => {
                 // Both pre- and post-rename failures leave a consistent
@@ -763,25 +1136,33 @@ fn ingest_endpoint(ctx: &Ctx, req: &Request) -> Response {
     ctx.metrics.counter("serve.ingest_rows").add(stats.rows as u64);
     ctx.metrics.counter("serve.cells_missing").add(result.stats.missing_total as u64);
     ctx.metrics.counter("serve.cells_imputed").add(result.stats.imputed as u64);
+    collect_telemetry(&result, &config.tracer, tel);
 
     let batch_json = render_batch(&result, opts.explain);
-    Response::json(
-        200,
-        format!(
-            "{{\"seq\":{seq},\"committed_rows\":{},\"donor_rows\":{},\"dict_grown\":{},\"compacted\":{compacted},{}",
-            stats.rows,
-            stats.donors,
-            stats.dict_grown,
-            &batch_json[1..],
-        ),
-    )
+    let mut body = format!(
+        "{{\"seq\":{seq},\"committed_rows\":{},\"donor_rows\":{},\"dict_grown\":{},\"compacted\":{compacted},{}",
+        stats.rows,
+        stats.donors,
+        stats.dict_grown,
+        &batch_json[1..],
+    );
+    if opts.trace {
+        attach_trace(&mut body, &config.tracer, ctx.flight.trace_max_events(), tel);
+    }
+    Response::json(200, body)
 }
 
 /// The sharded ingest path: the registry serializes commits internally,
 /// appends the repaired batch to every shard WAL, and publishes a new
 /// snapshot. Compaction, when due, is handed to a background worker —
 /// the response never waits on a snapshot rewrite.
-fn ingest_sharded(ctx: &Ctx, reg: &Registry, req: &Request, opts: &RequestOpts) -> Response {
+fn ingest_sharded(
+    ctx: &Ctx,
+    reg: &Registry,
+    req: &Request,
+    opts: &RequestOpts,
+    tel: &mut Telemetry,
+) -> Response {
     let snap = reg.snapshot();
     let tuples = match parse_tuples(snap.schema(), req) {
         Ok(t) => t,
@@ -799,6 +1180,13 @@ fn ingest_sharded(ctx: &Ctx, reg: &Registry, req: &Request, opts: &RequestOpts) 
         Err(RegistryError::Data(e)) => return bad_request(e),
         Err(e) => {
             ctx.metrics.counter("serve.wal_degraded").inc();
+            ctx.server_event("wal_degraded", vec![(
+                "detail",
+                FieldValue::Text(format!("wal append failed: {e}")),
+            )]);
+            for k in reg.degraded_shards() {
+                ctx.server_event("shard_degraded", vec![("shard", FieldValue::U64(k as u64))]);
+            }
             let mut body = String::from("{\"error\":");
             write_str(&mut body, &format!("wal append failed: {e}"));
             body.push('}');
@@ -827,8 +1215,15 @@ fn ingest_sharded(ctx: &Ctx, reg: &Registry, req: &Request, opts: &RequestOpts) 
 
     if outcome.wants_compact {
         let metrics = ctx.metrics.clone();
+        let flight = ctx.flight.clone();
         reg.spawn_compact(move |result| match result {
-            Ok(_) => metrics.counter("serve.compactions").inc(),
+            Ok(seq) => {
+                metrics.counter("serve.compactions").inc();
+                // `Ctx::server_event` needs `&Ctx`; the worker only has
+                // clones, so the counter and line are emitted directly.
+                metrics.counter("serve.events.compaction").inc();
+                flight.server_event("compaction", vec![("seq", FieldValue::U64(seq))]);
+            }
             Err(e) => {
                 eprintln!("renuver: background compaction failed (will retry): {e}");
                 metrics.counter("serve.compact_failed").inc();
@@ -836,17 +1231,19 @@ fn ingest_sharded(ctx: &Ctx, reg: &Registry, req: &Request, opts: &RequestOpts) 
         });
     }
 
+    collect_telemetry(&outcome.batch, &config.tracer, tel);
     let batch_json = render_batch(&outcome.batch, opts.explain);
-    Response::json(
-        200,
-        format!(
-            "{{\"seq\":{},\"committed_rows\":{},\"donor_rows\":{},\"dict_grown\":false,\"compacted\":false,{}",
-            outcome.seq,
-            outcome.committed_rows,
-            outcome.donor_rows,
-            &batch_json[1..],
-        ),
-    )
+    let mut body = format!(
+        "{{\"seq\":{},\"committed_rows\":{},\"donor_rows\":{},\"dict_grown\":false,\"compacted\":false,{}",
+        outcome.seq,
+        outcome.committed_rows,
+        outcome.donor_rows,
+        &batch_json[1..],
+    );
+    if opts.trace {
+        attach_trace(&mut body, &config.tracer, ctx.flight.trace_max_events(), tel);
+    }
+    Response::json(200, body)
 }
 
 /// `POST /v1/compact`: fold the WAL into a fresh snapshot now.
@@ -862,6 +1259,7 @@ fn compact_endpoint(ctx: &Ctx) -> Response {
         return match reg.compact() {
             Ok(seq) => {
                 ctx.metrics.counter("serve.compactions").inc();
+                ctx.server_event("compaction", vec![("seq", FieldValue::U64(seq))]);
                 Response::json(
                     200,
                     format!("{{\"seq\":{seq},\"shards\":{}}}", reg.n_shards()),
@@ -887,6 +1285,7 @@ fn compact_endpoint(ctx: &Ctx) -> Response {
     match result {
         Ok(seq) => {
             ctx.metrics.counter("serve.compactions").inc();
+            ctx.server_event("compaction", vec![("seq", FieldValue::U64(seq))]);
             Response::json(
                 200,
                 format!("{{\"seq\":{seq},\"wal_records\":{},\"wal_bytes\":{}}}",
@@ -937,6 +1336,11 @@ pub fn apply_model_swap(ctx: &Ctx, bytes: &[u8], via: &str) -> Result<u64, Respo
         return Err(Response::json(409, body));
     }
     let source = art.source.clone();
+    // A successful sharded swap rebuilds every shard's layout, which
+    // heals shards an earlier WAL failure degraded; capture the before
+    // set so the heals can be logged.
+    let was_degraded: Vec<usize> =
+        ctx.registry().map(|reg| reg.degraded_shards()).unwrap_or_default();
     let seq = match &ctx.topology {
         Topology::Sharded(reg) => match reg.swap(art) {
             Ok(seq) => seq,
@@ -979,6 +1383,15 @@ pub fn apply_model_swap(ctx: &Ctx, bytes: &[u8], via: &str) -> Result<u64, Respo
         info.artifact_bytes = bytes.len();
     }
     ctx.metrics.counter("serve.swaps").inc();
+    let mut fields: Vec<Field> = vec![("seq", FieldValue::U64(seq))];
+    if let Some(reg) = ctx.registry() {
+        fields.push(("generation", FieldValue::U64(reg.generation())));
+    }
+    fields.push(("detail", FieldValue::Text(via.to_string())));
+    ctx.server_event("swap", fields);
+    for k in was_degraded {
+        ctx.server_event("shard_healed", vec![("shard", FieldValue::U64(k as u64))]);
+    }
     eprintln!("renuver: model swapped via {via} (seq {seq})");
     Ok(seq)
 }
@@ -1466,5 +1879,307 @@ mod tests {
         drop(engine);
         let doc = json::parse(&render_batch(&result, true)).unwrap();
         assert_eq!(doc.get("tuples").unwrap().as_array().unwrap().len(), 0);
+    }
+
+    // ------------------------------------------------- flight recorder
+
+    fn sharded_ctx() -> Ctx {
+        let rel = csv::read_str(
+            "City:text,Zip:text\n\
+             Malibu,90265\n\
+             Malibu,90265\n\
+             Hollywood,90028\n\
+             Venice,90291\n",
+        )
+        .unwrap();
+        let rfds = RfdSet::from_vec(vec![Rfd::new(
+            vec![Constraint::new(0, 0.0)],
+            Constraint::new(1, 0.0),
+        )]);
+        let registry = crate::registry::Registry::build(&rel, rfds, RenuverConfig::default(), 2);
+        Ctx::new_sharded(
+            registry,
+            ModelInfo { source: "test".into(), schema_fingerprint: 0, artifact_bytes: 0 },
+            None,
+            60_000,
+        )
+    }
+
+    #[test]
+    fn trace_query_attributes_unlimited_budget_requests() {
+        let ctx = test_ctx();
+        let body = r#"{"tuples": [["Malibu", null]]}"#;
+        // Untraced with no deadline: the tracer stays off, so the
+        // response carries no budget attribution and no envelope.
+        let resp = route(&ctx, &post("/v1/impute", "application/json", body));
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert!(doc.get("budget").is_none(), "untraced healthy response has no budget block");
+        assert!(doc.get("trace").is_none(), "no envelope unless ?trace=1");
+
+        // `?trace=1` on the same unlimited budget: phases are attributed
+        // and the span breakdown rides back on the response. Before the
+        // gate was unified, unlimited-budget requests could never get
+        // phase attribution.
+        let resp = route(&ctx, &post("/v1/impute?trace=1", "application/json", body));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let phases = doc.get("budget").unwrap().get("phases").unwrap();
+        assert!(
+            !phases.as_array().unwrap().is_empty(),
+            "trace=1 must attribute phases on an unlimited budget"
+        );
+        let trace = doc.get("trace").unwrap();
+        assert!(trace.get("events").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(trace.get("truncated").unwrap().as_bool(), Some(false));
+        let spans = trace.get("spans").unwrap().as_array().unwrap();
+        assert!(!spans.is_empty(), "traced run closed no spans");
+        for s in spans {
+            assert!(s.get("label").unwrap().as_str().is_some());
+            assert!(s.get("dur_us").unwrap().as_u64().is_some());
+        }
+    }
+
+    #[test]
+    fn trace_envelope_caps_events_and_composes_with_deadlines() {
+        // Cap: trace_max_events=1 keeps exactly one record and flags it.
+        let mut ctx = test_ctx();
+        ctx.set_flight(FlightOptions { trace_max_events: 1, ..FlightOptions::default() });
+        let body = r#"{"tuples": [["Malibu", null]]}"#;
+        let resp = route(&ctx, &post("/v1/impute?trace=1", "application/json", body));
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let trace = doc.get("trace").unwrap();
+        assert_eq!(trace.get("events").unwrap().as_u64(), Some(1));
+        assert_eq!(trace.get("truncated").unwrap().as_bool(), Some(true));
+
+        // `?trace=1&timeout_ms=...`: the explicit-trace and
+        // degraded-attribution paths share one tracer, so both the
+        // budget block and the envelope are populated.
+        let ctx = test_ctx();
+        let resp = route(
+            &ctx,
+            &post("/v1/impute?trace=1&timeout_ms=60000", "application/json", body),
+        );
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert!(!doc.get("budget").unwrap().get("phases").unwrap().as_array().unwrap().is_empty());
+        assert!(doc.get("trace").is_some());
+    }
+
+    #[test]
+    fn sharded_trace_envelope_reports_per_shard_legs() {
+        let ctx = sharded_ctx();
+        let resp = route(
+            &ctx,
+            &post("/v1/impute?trace=1", "application/json", r#"{"tuples": [["Malibu", null]]}"#),
+        );
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let shards = doc.get("trace").unwrap().get("shards").unwrap().as_array().unwrap();
+        assert_eq!(shards.len(), 2, "one leg per shard part");
+        for leg in shards {
+            assert!(leg.get("shard").unwrap().as_u64().is_some());
+            assert!(leg.get("scan_us").unwrap().as_u64().is_some());
+        }
+        // The legs also landed in the per-shard latency windows.
+        assert_eq!(ctx.metrics.windowed("serve.shard0.scan_us").all_time().count(), 1);
+        assert_eq!(ctx.metrics.windowed("serve.shard1.scan_us").all_time().count(), 1);
+    }
+
+    #[test]
+    fn request_ids_are_echoed_and_inbound_ids_honored() {
+        let ctx = test_ctx();
+        let resp = route(&ctx, &get("/healthz"));
+        let (_, minted) = resp
+            .extra_headers
+            .iter()
+            .find(|(k, _)| *k == "X-Request-Id")
+            .expect("response must carry a request id");
+        assert!(!minted.is_empty());
+
+        let mut req = get("/healthz");
+        req.headers.push(("x-request-id".into(), "caller-42".into()));
+        let resp = route(&ctx, &req);
+        assert!(
+            resp.extra_headers.iter().any(|(k, v)| *k == "X-Request-Id" && v == "caller-42"),
+            "sane inbound ids are echoed back"
+        );
+
+        // A hostile inbound id is replaced, not reflected into the log.
+        let mut req = get("/healthz");
+        req.headers.push(("x-request-id".into(), "a b\u{7}c".into()));
+        let resp = route(&ctx, &req);
+        let (_, id) =
+            resp.extra_headers.iter().find(|(k, _)| *k == "X-Request-Id").unwrap();
+        assert_ne!(id, "a b\u{7}c");
+    }
+
+    #[test]
+    fn recorder_toggle_never_changes_response_bytes() {
+        for sharded in [false, true] {
+            let on = if sharded { sharded_ctx() } else { test_ctx() };
+            let mut off = if sharded { sharded_ctx() } else { test_ctx() };
+            off.set_flight(FlightOptions { enabled: false, ..FlightOptions::default() });
+            let requests = [
+                post(
+                    "/v1/impute?explain=1",
+                    "application/json",
+                    r#"{"tuples": [["Malibu", null], ["Atlantis", null]]}"#,
+                ),
+                post("/v1/impute", "text/csv", "City:text,Zip:text\nMalibu,_\n"),
+                post("/v1/impute", "application/json", "not json"),
+                get("/v1/model"),
+                get("/healthz"),
+            ];
+            for req in &requests {
+                let a = route(&on, req);
+                let b = route(&off, req);
+                assert_eq!(a.status, b.status);
+                assert_eq!(
+                    a.body, b.body,
+                    "recorder toggle changed {} {} (sharded={sharded})",
+                    req.method, req.path
+                );
+                assert!(a.extra_headers.iter().any(|(k, _)| *k == "X-Request-Id"));
+                assert!(!b.extra_headers.iter().any(|(k, _)| *k == "X-Request-Id"));
+                let strip = |h: &[(&'static str, String)]| {
+                    h.iter().filter(|(k, _)| *k != "X-Request-Id").cloned().collect::<Vec<_>>()
+                };
+                assert_eq!(strip(&a.extra_headers), strip(&b.extra_headers));
+            }
+        }
+    }
+
+    #[test]
+    fn slow_ring_feeds_the_debug_endpoint() {
+        let mut ctx = test_ctx();
+        ctx.set_flight(FlightOptions { slow_threshold_ms: 0, ..FlightOptions::default() });
+        let resp = route(
+            &ctx,
+            &post("/v1/impute", "application/json", r#"{"tuples": [["Malibu", null]]}"#),
+        );
+        assert_eq!(resp.status, 200);
+        let resp = route(&ctx, &get("/v1/debug/requests"));
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("enabled").unwrap().as_bool(), Some(true));
+        let reqs = doc.get("requests").unwrap().as_array().unwrap();
+        assert_eq!(reqs.len(), 1, "only the impute preceded the dump");
+        assert_eq!(reqs[0].get("endpoint").unwrap().as_str(), Some("impute"));
+        assert_eq!(reqs[0].get("status").unwrap().as_u64(), Some(200));
+        assert!(reqs[0].get("id").unwrap().as_str().is_some());
+
+        // Recorder off: the ring stays empty and the endpoint says so.
+        let mut off = test_ctx();
+        off.set_flight(FlightOptions { enabled: false, ..FlightOptions::default() });
+        route(&off, &post("/v1/impute", "application/json", r#"{"tuples": [["Malibu", null]]}"#));
+        let resp = route(&off, &get("/v1/debug/requests"));
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("enabled").unwrap().as_bool(), Some(false));
+        assert!(doc.get("requests").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn access_log_validates_and_reconciles_with_counters() {
+        let mut ctx = test_ctx();
+        let dir = durable_dir("flight-log");
+        let path = dir.join("events.jsonl");
+        ctx.set_flight(FlightOptions {
+            log: Some(renuver_obs::EventLog::create(&path).unwrap()),
+            ..FlightOptions::default()
+        });
+        let ok_body = r#"{"tuples": [["Malibu", null]]}"#;
+        assert_eq!(route(&ctx, &post("/v1/impute", "application/json", ok_body)).status, 200);
+        assert_eq!(
+            route(&ctx, &post("/v1/impute?trace=1", "application/json", ok_body)).status,
+            200
+        );
+        assert_eq!(route(&ctx, &post("/v1/impute", "application/json", "not json")).status, 400);
+        assert_eq!(route(&ctx, &get("/nope")).status, 404);
+        assert_eq!(route(&ctx, &post("/v1/compact", "application/json", "")).status, 503);
+        assert_eq!(route(&ctx, &get("/healthz")).status, 200);
+        ctx.server_event("swap", vec![("seq", FieldValue::U64(7))]);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines = renuver_obs::schema::validate_trace(&text)
+            .unwrap_or_else(|(line, why)| panic!("log line {line} invalid: {why}\n{text}"));
+        assert_eq!(lines, 7, "6 access lines + 1 server_event:\n{text}");
+
+        let access_status = |line: &str| -> Option<u64> {
+            if !line.contains("\"kind\":\"access\"") {
+                return None;
+            }
+            let rest = line.split("\"status\":").nth(1)?;
+            rest.chars().take_while(char::is_ascii_digit).collect::<String>().parse().ok()
+        };
+        let class = |lo, hi| {
+            text.lines()
+                .filter_map(access_status)
+                .filter(|s| (lo..=hi).contains(s))
+                .count() as u64
+        };
+        assert_eq!(class(200, 299), ctx.metrics.counter("http.responses_2xx").get());
+        assert_eq!(class(400, 499), ctx.metrics.counter("http.responses_4xx").get());
+        assert_eq!(class(500, 599), ctx.metrics.counter("http.responses_5xx").get());
+
+        // The traced request's line carries phase self-times, cell
+        // counts, and the envelope size; the lifecycle event landed in
+        // both the log and its counter.
+        assert!(
+            text.lines().any(|l| l.contains("\"phases\":{") && l.contains("\"trace_events\":")),
+            "{text}"
+        );
+        assert!(text.lines().any(|l| l.contains("\"cells_imputed\":1")), "{text}");
+        assert!(
+            text.lines()
+                .any(|l| l.contains("\"kind\":\"server_event\"") && l.contains("\"event\":\"swap\"")),
+            "{text}"
+        );
+        assert_eq!(ctx.metrics.counter("serve.events.swap").get(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_and_negotiates() {
+        let ctx = test_ctx();
+        assert_eq!(
+            route(&ctx, &post("/v1/impute", "application/json", r#"{"tuples": [["Malibu", null]]}"#))
+                .status,
+            200
+        );
+
+        // Explicit ?format=prometheus.
+        let resp = route(&ctx, &get("/metrics?format=prometheus"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "text/plain; version=0.0.4; charset=utf-8");
+        let body = std::str::from_utf8(&resp.body).unwrap();
+        assert!(body.contains("# TYPE http_requests counter"), "{body}");
+        assert!(body.contains("# TYPE serve_latency_impute_2xx histogram"), "{body}");
+        // Every line is a comment or `name[{labels}] value` over the
+        // Prometheus charset — the exposition must parse as-is.
+        for line in body.lines().filter(|l| !l.is_empty()) {
+            if line.starts_with("# ") {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line {line:?}"));
+            assert!(value.chars().all(|c| c.is_ascii_digit()), "bad sample value: {line:?}");
+            let bare = name.split('{').next().unwrap();
+            assert!(
+                !bare.is_empty()
+                    && !bare.starts_with(|c: char| c.is_ascii_digit())
+                    && bare.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name: {line:?}"
+            );
+        }
+
+        // Accept-header negotiation selects the same rendering; the
+        // plain table and unknown formats behave as before.
+        let mut req = get("/metrics");
+        req.headers.push(("accept".into(), "application/openmetrics-text".into()));
+        let resp = route(&ctx, &req);
+        assert_eq!(resp.content_type, "text/plain; version=0.0.4; charset=utf-8");
+        let resp = route(&ctx, &get("/metrics"));
+        assert_eq!(resp.content_type, "text/plain; charset=utf-8");
+        assert_eq!(route(&ctx, &get("/metrics?format=csv")).status, 400);
     }
 }

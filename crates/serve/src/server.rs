@@ -174,6 +174,10 @@ impl Server {
                         Err(TrySendError::Full(stream)) => {
                             shed += 1;
                             self.ctx.metrics.counter("http.shed").inc();
+                            self.ctx.server_event("shed", vec![(
+                                "seq",
+                                renuver_obs::FieldValue::U64(shed),
+                            )]);
                             shed_connection(stream, self.config.retry_after_secs);
                         }
                         Err(TrySendError::Disconnected(_)) => break,
@@ -274,6 +278,7 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx, max_body: usize, read_timeout
     };
     let mut reader = BufReader::new(stream);
     loop {
+        let started = std::time::Instant::now();
         match http::read_request(&mut reader, max_body) {
             Ok(req) => {
                 let close = req.wants_close();
@@ -288,6 +293,13 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx, max_body: usize, read_timeout
                 // and drop the connection (framing may be lost).
                 let status = if is_read_deadline(&err) {
                     ctx.metrics.counter("http.timeouts").inc();
+                    ctx.server_event("read_timeout", vec![(
+                        "detail",
+                        renuver_obs::FieldValue::Text(format!(
+                            "read deadline {}s",
+                            read_timeout.as_secs()
+                        )),
+                    )]);
                     408
                 } else {
                     match &err {
@@ -303,7 +315,8 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx, max_body: usize, read_timeout
                 } else {
                     format!("{err}\n")
                 };
-                let resp = Response::text(status, body);
+                let mut resp = Response::text(status, body);
+                crate::router::record_protocol_error(ctx, &mut resp, started, 0);
                 let _ = http::write_response(&mut writer, &resp, true);
                 let _ = writer.flush();
                 return;

@@ -65,6 +65,7 @@ const USAGE: &str = "usage:
   renuver inspect  <model.rnv>
   renuver ingest   <model.rnv> <batch.csv> [--out repaired.csv] [--compact]
                    [--compact-bytes-mb M] [--compact-records N]
+                   [--log-out FILE]
   renuver serve    <model.rnv | data.csv> [--addr HOST:PORT] [--workers N]
                    [--queue N] [--max-body-mb M] [--default-timeout-ms T]
                    [--max-timeout-ms T] [--read-timeout-secs S]
@@ -72,6 +73,8 @@ const USAGE: &str = "usage:
                    [--rfds rfds.txt | --limit N]
                    [--auto-limits F] [--max-lhs N]
                    [--index-mode scan|indexed|auto]
+                   [--log-out FILE] [--slow-threshold-ms T]
+                   [--trace-max-events N] [--no-flight]
 
 budget flags (discover, impute, compare):
   --timeout-secs S   stop after S seconds, returning the partial result
@@ -82,7 +85,16 @@ observability flags (discover, impute, compare):
   --trace-out FILE   write a structured JSONL trace of the run; the schema
                      is documented in DESIGN.md and enforced by the
                      validate_trace binary
-  --metrics          print the end-of-run metrics table on stderr";
+  --metrics          print the end-of-run metrics table on stderr
+
+flight recorder flags (serve; ingest takes --log-out only):
+  --log-out FILE        append one schema-checked JSONL line per request
+                        (access) and lifecycle transition (server_event)
+  --slow-threshold-ms T requests at or above T ms land in the slow ring
+                        served by GET /v1/debug/requests (default 250)
+  --trace-max-events N  cap on the ?trace=1 response envelope (default 256)
+  --no-flight           disable request ids, latency windows, logging, and
+                        the slow ring (overhead measurement)";
 
 /// The recognised subcommands, in USAGE order — listed back to the user
 /// when they mistype one.
@@ -324,7 +336,7 @@ fn flag_spec(cmd: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
         }
         "inspect" => (vec![], vec![]),
         "ingest" => (
-            vec!["--out", "--compact-bytes-mb", "--compact-records"],
+            vec!["--out", "--compact-bytes-mb", "--compact-records", "--log-out"],
             vec!["--compact"],
         ),
         "serve" => {
@@ -341,9 +353,12 @@ fn flag_spec(cmd: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
                 "--rfds",
                 "--index-mode",
                 "--shards",
+                "--log-out",
+                "--slow-threshold-ms",
+                "--trace-max-events",
             ];
             v.extend(discovery);
-            (v, vec!["--wal"])
+            (v, vec!["--wal", "--no-flight"])
         }
         _ => return None,
     };
@@ -956,6 +971,61 @@ fn durability_options(
     Ok(opts)
 }
 
+/// Flight-recorder knobs for `serve` (`--log-out`, `--slow-threshold-ms`,
+/// `--trace-max-events`, `--no-flight`).
+fn flight_options(args: &Args) -> Result<renuver::serve::FlightOptions, String> {
+    let defaults = renuver::serve::FlightOptions::default();
+    let log = match args.value("--log-out") {
+        Some(path) => {
+            Some(renuver::obs::EventLog::create(path).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    Ok(renuver::serve::FlightOptions {
+        enabled: !args.has("--no-flight"),
+        log,
+        slow_threshold_ms: args
+            .parse_value("--slow-threshold-ms")?
+            .unwrap_or(defaults.slow_threshold_ms),
+        trace_max_events: args
+            .parse_value("--trace-max-events")?
+            .unwrap_or(defaults.trace_max_events),
+    })
+}
+
+/// The event log for CLI commands that have no server `Ctx` (`ingest
+/// --log-out`): lifecycle lines are appended directly.
+fn cli_event_log(args: &Args) -> Result<Option<renuver::obs::EventLog>, String> {
+    match args.value("--log-out") {
+        Some(path) => Ok(Some(
+            renuver::obs::EventLog::create(path).map_err(|e| format!("{path}: {e}"))?,
+        )),
+        None => Ok(None),
+    }
+}
+
+/// Appends one `server_event` line to a CLI event log, if one is open.
+fn cli_event(
+    log: &Option<renuver::obs::EventLog>,
+    event: &'static str,
+    seq: u64,
+    detail: Option<String>,
+) {
+    use renuver::obs::schema::SERVE_SCHEMA_VERSION;
+    use renuver::obs::FieldValue;
+    if let Some(log) = log {
+        let mut fields = vec![
+            ("v", FieldValue::U64(SERVE_SCHEMA_VERSION)),
+            ("event", FieldValue::Str(event)),
+            ("seq", FieldValue::U64(seq)),
+        ];
+        if let Some(d) = detail {
+            fields.push(("detail", FieldValue::Text(d)));
+        }
+        log.append("server_event", fields);
+    }
+}
+
 /// Repairs one batch against a prepared model and commits it durably.
 ///
 /// The ordering is the whole point: the repaired tuples are fsynced
@@ -999,8 +1069,15 @@ fn ingest_cmd(args: &Args) -> Result<(), String> {
     };
     let mut engine = loaded.into_engine(config);
     let opts = durability_options(args, model_path, &source)?;
+    let event_log = cli_event_log(args)?;
     let (mut durable, report) =
         Durable::recover(&mut engine, snapshot_seq, opts).map_err(|e| format!("{model_path}: {e}"))?;
+    cli_event(
+        &event_log,
+        "recovery",
+        report.seq,
+        Some(format!("replayed {} record(s), {} rows", report.replayed, report.rows)),
+    );
     if report.replayed > 0 {
         eprintln!(
             "recovered {} wal record(s), {} rows; model is at seq {}",
@@ -1063,6 +1140,7 @@ fn ingest_cmd(args: &Args) -> Result<(), String> {
     );
     if args.has("--compact") || durable.should_compact() {
         let folded = durable.compact(&engine).map_err(|e| e.to_string())?;
+        cli_event(&event_log, "compaction", folded, None);
         eprintln!("compacted: snapshot rewritten at seq {folded}, wal truncated");
     }
     let repaired = Relation::new(engine.schema().clone(), result.tuples.clone())
@@ -1105,6 +1183,13 @@ fn ingest_sharded_cmd(
         opts.compact_records,
     )
     .map_err(|e| format!("{model_path}: {e}"))?;
+    let event_log = cli_event_log(args)?;
+    cli_event(
+        &event_log,
+        "recovery",
+        report.seq,
+        Some(format!("replayed {} record(s), {} rows", report.replayed, report.rows)),
+    );
     if report.replayed > 0 || !report.degraded.is_empty() {
         eprintln!(
             "recovered {} wal record(s), {} rows; sharded model is at seq {}{}",
@@ -1165,6 +1250,7 @@ fn ingest_sharded_cmd(
     );
     if args.has("--compact") || outcome.wants_compact {
         let folded = registry.compact().map_err(|e| e.to_string())?;
+        cli_event(&event_log, "compaction", folded, None);
         eprintln!(
             "compacted: {} shard snapshot(s) rewritten at seq {folded}, wals truncated",
             registry.n_shards()
@@ -1341,12 +1427,27 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
         let snap = registry.snapshot();
         let (rows, rfds) = (snap.rows(), snap.sigma.len());
         drop(snap);
-        let ctx = std::sync::Arc::new(Ctx::new_sharded(
-            registry,
-            info,
-            default_timeout_ms,
-            max_timeout_ms,
-        ));
+        let mut ctx = Ctx::new_sharded(registry, info, default_timeout_ms, max_timeout_ms);
+        ctx.set_flight(flight_options(args)?);
+        let ctx = std::sync::Arc::new(ctx);
+        if let Some(report) = &report {
+            ctx.server_event("recovery", vec![
+                ("seq", renuver::obs::FieldValue::U64(report.seq)),
+                (
+                    "detail",
+                    renuver::obs::FieldValue::Text(format!(
+                        "replayed {} record(s), {} rows",
+                        report.replayed, report.rows
+                    )),
+                ),
+            ]);
+            for &k in &report.degraded {
+                ctx.server_event("shard_degraded", vec![(
+                    "shard",
+                    renuver::obs::FieldValue::U64(k as u64),
+                )]);
+            }
+        }
         if is_artifact {
             ctx.set_model_path(std::path::PathBuf::from(&path));
         }
@@ -1363,7 +1464,9 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
     let (engine, info, durability) = serve_engine(args, &path)?;
     let rows = engine.donor_rows();
     let rfds = engine.sigma().len();
-    let ctx = std::sync::Arc::new(Ctx::new(engine, info, default_timeout_ms, max_timeout_ms));
+    let mut ctx = Ctx::new(engine, info, default_timeout_ms, max_timeout_ms);
+    ctx.set_flight(flight_options(args)?);
+    let ctx = std::sync::Arc::new(ctx);
     if path.to_ascii_lowercase().ends_with(".rnv") {
         ctx.set_model_path(std::path::PathBuf::from(&path));
     }
@@ -1408,6 +1511,16 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
                             report.replayed, report.rows, report.seq
                         );
                         ctx.install_durable(durable);
+                        ctx.server_event("recovery", vec![
+                            ("seq", renuver::obs::FieldValue::U64(report.seq)),
+                            (
+                                "detail",
+                                renuver::obs::FieldValue::Text(format!(
+                                    "replayed {} record(s), {} rows",
+                                    report.replayed, report.rows
+                                )),
+                            ),
+                        ]);
                     }
                     Err(e) => {
                         drop(engine);

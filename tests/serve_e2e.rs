@@ -20,8 +20,9 @@ use std::sync::Arc;
 
 use renuver::core::{Engine, RenuverConfig};
 use renuver::data::csv;
+use renuver::obs::EventLog;
 use renuver::rfd::{Constraint, Rfd, RfdSet};
-use renuver::serve::{Ctx, ModelInfo, ServeConfig, Server};
+use renuver::serve::{Ctx, FlightOptions, ModelInfo, ServeConfig, Server};
 
 fn test_engine() -> Engine {
     let mut text = String::from("City:text,Zip:text\n");
@@ -37,12 +38,23 @@ fn test_engine() -> Engine {
 }
 
 fn start(config: ServeConfig) -> (SocketAddr, Arc<Ctx>, Arc<std::sync::atomic::AtomicBool>, std::thread::JoinHandle<u64>) {
-    let ctx = Arc::new(Ctx::new(
+    start_flight(config, FlightOptions::default())
+}
+
+/// Like [`start`], but with explicit flight-recorder options (the way
+/// `renuver serve --log-out`/`--no-flight` wires them).
+fn start_flight(
+    config: ServeConfig,
+    opts: FlightOptions,
+) -> (SocketAddr, Arc<Ctx>, Arc<std::sync::atomic::AtomicBool>, std::thread::JoinHandle<u64>) {
+    let mut ctx = Ctx::new(
         test_engine(),
         ModelInfo { source: "e2e".into(), schema_fingerprint: 0, artifact_bytes: 0 },
         None,
         60_000,
-    ));
+    );
+    ctx.set_flight(opts);
+    let ctx = Arc::new(ctx);
     let server = Server::bind(config, Arc::clone(&ctx)).unwrap();
     let addr = server.local_addr().unwrap();
     let stop = server.shutdown_handle();
@@ -316,4 +328,194 @@ fn graceful_shutdown_drains_inflight_requests() {
     handle.join().expect("server thread panicked");
     let (status, text) = slow.join().expect("in-flight client");
     assert_eq!(status, 200, "in-flight request was dropped by shutdown: {text}");
+}
+
+/// Pulls the status off an `access` log line, if it is one.
+fn access_status(line: &str) -> Option<u64> {
+    if !line.contains("\"kind\":\"access\"") {
+        return None;
+    }
+    let rest = line.split("\"status\":").nth(1)?;
+    rest.chars().take_while(char::is_ascii_digit).collect::<String>().parse().ok()
+}
+
+/// The flight-recorder reconciliation: under concurrent mixed traffic —
+/// slow valid bodies through a deliberately tiny queue (forcing sheds),
+/// malformed JSON, and oversized declared lengths — every response the
+/// clients saw is accounted for. Each non-shed response has exactly one
+/// schema-valid `access` line whose status class matches the `/metrics`
+/// counters, and each accept-loop shed has a `shed` server event; no
+/// request is double-counted and none goes missing.
+#[test]
+fn access_log_reconciles_with_metrics_under_mixed_traffic() {
+    let dir = std::env::temp_dir().join(format!("renuver-e2e-flight-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("events.jsonl");
+    let (addr, ctx, stop, handle) = start_flight(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue: 1,
+            max_body: 4096,
+            ..ServeConfig::default()
+        },
+        FlightOptions {
+            log: Some(EventLog::create(&log_path).unwrap()),
+            slow_threshold_ms: 0,
+            ..FlightOptions::default()
+        },
+    );
+
+    // 64-tuple bodies keep the single worker busy; a burst of them plus
+    // fast malformed/oversized probes overflows the one-slot queue.
+    let tuples: Vec<String> = (0..64).map(|i| format!(r#"["City{:02}", null]"#, i % 25)).collect();
+    let slow_body = format!("{{\"tuples\": [{}]}}", tuples.join(","));
+    const CONNS: usize = 16;
+    let mut clients = Vec::new();
+    for c in 0..CONNS {
+        let slow_body = slow_body.clone();
+        clients.push(std::thread::spawn(move || {
+            let raw = match c % 2 {
+                // Half the burst: slow valid bodies.
+                0 => post_impute(&slow_body, ""),
+                // The rest alternates malformed JSON and oversized
+                // declared lengths (a protocol-level rejection that
+                // never reaches the router).
+                _ if c % 4 == 1 => post_impute("{\"tuples\": [[broken", ""),
+                _ => b"POST /v1/impute HTTP/1.1\r\nHost: e2e\r\n\
+                       Content-Length: 100000\r\nConnection: close\r\n\r\n"
+                    .to_vec(),
+            };
+            request(addr, &raw).0
+        }));
+    }
+    let mut tally = std::collections::HashMap::<u16, u64>::new();
+    for c in clients {
+        *tally.entry(c.join().expect("client panicked")).or_insert(0) += 1;
+    }
+    let count = |s: u16| tally.get(&s).copied().unwrap_or(0);
+    assert_eq!(tally.values().sum::<u64>(), CONNS as u64);
+    assert!(count(503) > 0, "burst was fully absorbed; shrink the queue or slow the body");
+
+    // An inbound X-Request-Id is echoed on the response.
+    let (status, rest) = request(
+        addr,
+        b"GET /healthz HTTP/1.1\r\nHost: e2e\r\nX-Request-Id: e2e-fixed-id\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert!(rest.to_ascii_lowercase().contains("x-request-id: e2e-fixed-id"), "{rest}");
+
+    // Prometheus exposition works over the wire and parses line by line.
+    let (status, resp) =
+        request(addr, b"GET /metrics?format=prometheus HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 200);
+    let (headers, prom) = resp.split_once("\r\n\r\n").unwrap();
+    assert!(
+        headers.to_ascii_lowercase().contains("content-type: text/plain; version=0.0.4"),
+        "{headers}"
+    );
+    assert!(prom.contains("# TYPE http_requests counter"), "{prom}");
+    assert!(prom.contains("# TYPE serve_latency_impute_2xx histogram"), "{prom}");
+    for line in prom.lines().filter(|l| !l.is_empty()) {
+        if line.starts_with("# ") {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line {line:?}"));
+        assert!(value.chars().all(|c| c.is_ascii_digit()), "bad sample value: {line:?}");
+        let bare = name.split('{').next().unwrap();
+        assert!(
+            !bare.is_empty() && bare.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name: {line:?}"
+        );
+    }
+
+    // The slow ring kept the burst (threshold 0: everything qualifies).
+    let (status, resp) =
+        request(addr, b"GET /v1/debug/requests HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(resp.contains("\"enabled\":true"), "{resp}");
+    assert!(resp.contains("\"endpoint\":\"impute\""), "{resp}");
+
+    stop.store(true, Ordering::Relaxed);
+    let shed_counted = handle.join().expect("server thread panicked");
+    assert_eq!(shed_counted, count(503), "accept loop disagrees with clients about sheds");
+
+    // Every line of the log validates against the closed schema.
+    let text = std::fs::read_to_string(&log_path).unwrap();
+    renuver::obs::schema::validate_trace(&text)
+        .unwrap_or_else(|(line, why)| panic!("log line {line} invalid: {why}"));
+
+    // Reconciliation: access lines per status class match the counters
+    // exactly, which in turn match what the clients saw (the three
+    // sequential probes above add three 2xx on both sides).
+    let class = |lo: u64, hi: u64| {
+        text.lines().filter_map(access_status).filter(|s| (lo..=hi).contains(s)).count() as u64
+    };
+    assert_eq!(class(200, 299), ctx.metrics.counter("http.responses_2xx").get());
+    assert_eq!(class(400, 499), ctx.metrics.counter("http.responses_4xx").get());
+    assert_eq!(class(500, 599), ctx.metrics.counter("http.responses_5xx").get());
+    assert_eq!(class(200, 299), count(200) + 3);
+    assert_eq!(class(400, 499), count(400) + count(413));
+    assert_eq!(class(500, 599), 0, "sheds are not access lines");
+
+    // Sheds: one server_event line each, agreeing with both counters.
+    let shed_lines = text
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"server_event\"") && l.contains("\"event\":\"shed\""))
+        .count() as u64;
+    assert_eq!(shed_lines, count(503));
+    assert_eq!(ctx.metrics.counter("http.shed").get(), count(503));
+    assert_eq!(ctx.metrics.counter("serve.events.shed").get(), count(503));
+
+    // Protocol-level rejections (oversized declared length) are logged
+    // under the `error` endpoint label — none are silently dropped.
+    let error_lines = text
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"access\"") && l.contains("\"endpoint\":\"error\""))
+        .count() as u64;
+    assert_eq!(error_lines, count(413));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The recorder-off differential, over real sockets: a server with
+/// `--no-flight` answers every request with byte-identical bodies and
+/// headers, minus only the `X-Request-Id` echo.
+#[test]
+fn recorder_off_server_is_byte_identical_on_the_wire() {
+    let config = || ServeConfig { addr: "127.0.0.1:0".into(), workers: 2, ..ServeConfig::default() };
+    let (addr_on, _ctx_on, stop_on, handle_on) = start_flight(config(), FlightOptions::default());
+    let (addr_off, _ctx_off, stop_off, handle_off) =
+        start_flight(config(), FlightOptions { enabled: false, ..FlightOptions::default() });
+
+    let requests: Vec<Vec<u8>> = vec![
+        post_impute(r#"{"tuples": [["City07", null]]}"#, ""),
+        post_impute(r#"{"tuples": [["City07", null], ["Nowhere", null]]}"#, "?explain=1"),
+        post_impute("{\"tuples\": [[broken", ""),
+        b"GET /v1/model HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec(),
+        b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec(),
+    ];
+    for raw in &requests {
+        let (status_on, resp_on) = request(addr_on, raw);
+        let (status_off, resp_off) = request(addr_off, raw);
+        assert_eq!(status_on, status_off);
+        let (h_on, b_on) = resp_on.split_once("\r\n\r\n").unwrap();
+        let (h_off, b_off) = resp_off.split_once("\r\n\r\n").unwrap();
+        assert_eq!(b_on, b_off, "recorder changed a response body");
+        assert!(h_on.to_ascii_lowercase().contains("x-request-id:"), "{h_on}");
+        assert!(!h_off.to_ascii_lowercase().contains("x-request-id:"), "{h_off}");
+        let strip = |h: &str| {
+            h.lines()
+                .filter(|l| !l.to_ascii_lowercase().starts_with("x-request-id:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(h_on), strip(h_off), "recorder changed a header beyond the id echo");
+    }
+
+    stop_on.store(true, Ordering::Relaxed);
+    stop_off.store(true, Ordering::Relaxed);
+    handle_on.join().unwrap();
+    handle_off.join().unwrap();
 }
