@@ -1,0 +1,234 @@
+//! The shared metrics-diff engine: work counters for one imputation run
+//! and signed deltas between two runs.
+//!
+//! Built once here so both consumers render the same arithmetic:
+//!
+//! - `renuver tune` explains every threshold move with the work deltas
+//!   (candidates scored, verifications, oracle hits) that justified it.
+//! - `renuver compare --metrics-diff` shows how each injected variant's
+//!   work profile departs from the first variant's.
+
+use renuver_core::ImputationStats;
+
+/// Work counters of one imputation run, the diffable subset of
+/// [`ImputationStats`] plus the budget's per-phase self-times.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkMetrics {
+    /// Candidate tuples scored across all clusters.
+    pub candidates_scored: u64,
+    /// Candidate values submitted to IS_FAULTLESS.
+    pub verifications: u64,
+    /// Verifications that passed (candidate accepted by the oracle).
+    pub oracle_hits: u64,
+    /// Clusters visited across all missing values.
+    pub clusters_visited: u64,
+    /// Missing values successfully filled.
+    pub imputed: u64,
+    /// Budget phase self-times `(label, microseconds)`; empty unless the
+    /// run was traced.
+    pub phases: Vec<(String, u64)>,
+}
+
+impl WorkMetrics {
+    /// Extracts the diffable counters from a run's stats and phase times.
+    pub fn from_stats(stats: &ImputationStats, phases: Vec<(String, u64)>) -> WorkMetrics {
+        WorkMetrics {
+            candidates_scored: stats.candidates_scored as u64,
+            verifications: stats.verifications as u64,
+            oracle_hits: (stats.verifications - stats.verification_failures) as u64,
+            clusters_visited: stats.clusters_visited as u64,
+            imputed: stats.imputed as u64,
+            phases,
+        }
+    }
+
+    /// Signed deltas of `self` relative to `baseline` (`self - baseline`).
+    pub fn diff(&self, baseline: &WorkMetrics) -> MetricsDiff {
+        let d = |a: u64, b: u64| a as i64 - b as i64;
+        // Union of phase labels, ordered: baseline's order first, then
+        // labels only `self` has — deterministic regardless of timing.
+        let mut d_phases: Vec<(String, i64)> = baseline
+            .phases
+            .iter()
+            .map(|(label, b)| {
+                let a = self
+                    .phases
+                    .iter()
+                    .find(|(l, _)| l == label)
+                    .map_or(0, |(_, v)| *v);
+                (label.clone(), d(a, *b))
+            })
+            .collect();
+        for (label, a) in &self.phases {
+            if !baseline.phases.iter().any(|(l, _)| l == label) {
+                d_phases.push((label.clone(), *a as i64));
+            }
+        }
+        MetricsDiff {
+            d_candidates_scored: d(self.candidates_scored, baseline.candidates_scored),
+            d_verifications: d(self.verifications, baseline.verifications),
+            d_oracle_hits: d(self.oracle_hits, baseline.oracle_hits),
+            d_clusters_visited: d(self.clusters_visited, baseline.clusters_visited),
+            d_imputed: d(self.imputed, baseline.imputed),
+            d_phases,
+        }
+    }
+}
+
+/// Signed per-counter deltas between two runs (`after - before`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsDiff {
+    /// Change in candidates scored.
+    pub d_candidates_scored: i64,
+    /// Change in verification attempts.
+    pub d_verifications: i64,
+    /// Change in accepted verifications.
+    pub d_oracle_hits: i64,
+    /// Change in clusters visited.
+    pub d_clusters_visited: i64,
+    /// Change in cells imputed.
+    pub d_imputed: i64,
+    /// Per-phase self-time deltas, microseconds.
+    pub d_phases: Vec<(String, i64)>,
+}
+
+impl MetricsDiff {
+    /// Whether every counter delta is zero (phase times ignored — they
+    /// are wall-clock and never reproducible).
+    pub fn is_zero(&self) -> bool {
+        self.d_candidates_scored == 0
+            && self.d_verifications == 0
+            && self.d_oracle_hits == 0
+            && self.d_clusters_visited == 0
+            && self.d_imputed == 0
+    }
+}
+
+/// Explicitly signed rendering: `+12`, `-3`, `0`.
+pub fn signed(v: i64) -> String {
+    if v > 0 {
+        format!("+{v}")
+    } else {
+        v.to_string()
+    }
+}
+
+/// Renders labeled diffs as the fixed-width table `compare
+/// --metrics-diff` prints. Counter columns are deterministic; the phase
+/// column carries wall-clock self-time deltas and is `-` for untraced
+/// runs.
+pub fn diff_table(rows: &[(String, MetricsDiff)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>12} {:>15} {:>13} {:>10} {:>9}  {}\n",
+        "variant", "Δcandidates", "Δverifications", "Δoracle-hits", "Δclusters", "Δimputed",
+        "Δphases (us)"
+    ));
+    for (label, d) in rows {
+        let phases: Vec<String> = d
+            .d_phases
+            .iter()
+            .filter(|(_, v)| *v != 0)
+            .map(|(p, v)| format!("{p} {}", signed(*v)))
+            .collect();
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>15} {:>13} {:>10} {:>9}  {}\n",
+            label,
+            signed(d.d_candidates_scored),
+            signed(d.d_verifications),
+            signed(d.d_oracle_hits),
+            signed(d.d_clusters_visited),
+            signed(d.d_imputed),
+            if phases.is_empty() { "-".to_string() } else { phases.join(", ") },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> ImputationStats {
+        ImputationStats {
+            missing_total: 10,
+            imputed: 7,
+            unimputed: 3,
+            candidates_scored: 120,
+            verifications: 30,
+            verification_failures: 9,
+            clusters_visited: 15,
+            keys_reactivated: 0,
+            keys_filtered: 1,
+            skipped_budget: 0,
+            cancelled: 0,
+        }
+    }
+
+    #[test]
+    fn work_metrics_capture_the_diffable_counters() {
+        let w = WorkMetrics::from_stats(&stats(), vec![("core::scan".into(), 500)]);
+        assert_eq!(w.candidates_scored, 120);
+        assert_eq!(w.verifications, 30);
+        assert_eq!(w.oracle_hits, 21, "verifications minus failures");
+        assert_eq!(w.clusters_visited, 15);
+        assert_eq!(w.imputed, 7);
+        assert_eq!(w.phases, vec![("core::scan".to_string(), 500)]);
+    }
+
+    #[test]
+    fn diff_is_signed_and_phase_union_is_deterministic() {
+        let base = WorkMetrics {
+            candidates_scored: 100,
+            verifications: 20,
+            oracle_hits: 18,
+            clusters_visited: 10,
+            imputed: 8,
+            phases: vec![("core::scan".into(), 400), ("core::verify".into(), 100)],
+        };
+        let after = WorkMetrics {
+            candidates_scored: 140,
+            verifications: 17,
+            oracle_hits: 17,
+            clusters_visited: 10,
+            imputed: 9,
+            phases: vec![("core::verify".into(), 150), ("core::oracle".into(), 30)],
+        };
+        let d = after.diff(&base);
+        assert_eq!(d.d_candidates_scored, 40);
+        assert_eq!(d.d_verifications, -3);
+        assert_eq!(d.d_oracle_hits, -1);
+        assert_eq!(d.d_clusters_visited, 0);
+        assert_eq!(d.d_imputed, 1);
+        assert_eq!(
+            d.d_phases,
+            vec![
+                ("core::scan".to_string(), -400),
+                ("core::verify".to_string(), 50),
+                ("core::oracle".to_string(), 30),
+            ]
+        );
+        assert!(!d.is_zero());
+        assert!(after.diff(&after).is_zero());
+    }
+
+    #[test]
+    fn table_rendering_is_pinned() {
+        let zero = MetricsDiff::default();
+        let moved = MetricsDiff {
+            d_candidates_scored: 40,
+            d_verifications: -3,
+            d_oracle_hits: -1,
+            d_clusters_visited: 0,
+            d_imputed: 1,
+            d_phases: vec![("core::scan".into(), -400), ("core::idle".into(), 0)],
+        };
+        let table = diff_table(&[("seed 1".into(), zero), ("seed 2".into(), moved)]);
+        assert_eq!(
+            table,
+            "variant       Δcandidates  Δverifications  Δoracle-hits  Δclusters  Δimputed  Δphases (us)\n\
+             seed 1                  0               0             0          0         0  -\n\
+             seed 2                +40              -3            -1          0        +1  core::scan -400\n"
+        );
+    }
+}

@@ -7,6 +7,8 @@ use renuver_data::Relation;
 use renuver_dc::DenialConstraint;
 use renuver_rfd::RfdSet;
 
+use crate::diff::WorkMetrics;
+
 /// A missing-value imputation approach: relation in, repaired relation out.
 ///
 /// Metadata (RFDs for the dependency-driven approaches, DCs for Holoclean)
@@ -28,6 +30,13 @@ pub trait Imputer: Send + Sync {
     fn impute_budgeted(&self, rel: &Relation, budget: &Budget) -> Relation {
         let _ = budget;
         self.impute(rel)
+    }
+
+    /// [`Imputer::impute_budgeted`], additionally reporting the run's
+    /// diffable work counters ([`WorkMetrics`]) when the approach tracks
+    /// them. The default reports `None`; RENUVER overrides it.
+    fn impute_measured(&self, rel: &Relation, budget: &Budget) -> (Relation, Option<WorkMetrics>) {
+        (self.impute_budgeted(rel, budget), None)
     }
 }
 
@@ -59,6 +68,13 @@ impl Imputer for RenuverImputer {
         // configuration is otherwise unchanged.
         let cfg = RenuverConfig { budget: budget.clone(), ..self.config.clone() };
         Renuver::new(cfg).impute(rel, &self.rfds).relation
+    }
+
+    fn impute_measured(&self, rel: &Relation, budget: &Budget) -> (Relation, Option<WorkMetrics>) {
+        let cfg = RenuverConfig { budget: budget.clone(), ..self.config.clone() };
+        let result = Renuver::new(cfg).impute(rel, &self.rfds);
+        let work = WorkMetrics::from_stats(&result.stats, result.budget.phases.clone());
+        (result.relation, Some(work))
     }
 }
 

@@ -13,6 +13,7 @@
 
 pub mod auto_rules;
 pub mod budget;
+pub mod diff;
 pub mod imputer;
 pub mod inject;
 pub mod metrics;
@@ -21,6 +22,7 @@ pub mod runner;
 pub mod sweep;
 
 pub use auto_rules::auto_rules;
+pub use diff::{diff_table, MetricsDiff, WorkMetrics};
 pub use imputer::{
     DerandImputer, GreyKnnImputer, HolocleanImputer, Imputer, RenuverImputer,
 };

@@ -150,6 +150,7 @@ mod tests {
             elapsed: Duration::from_millis(470),
             peak_bytes: 0,
             tripped: None,
+            work: None,
         };
         let line = outcome_line(&out);
         assert!(line.ends_with("in 470ms"), "{line}");

@@ -7,6 +7,7 @@ use renuver_data::Relation;
 use renuver_rulekit::RuleSet;
 
 use crate::budget::measure;
+use crate::diff::WorkMetrics;
 use crate::imputer::Imputer;
 use crate::inject::inject;
 use crate::metrics::{evaluate, Scores};
@@ -25,6 +26,10 @@ pub struct RunOutcome {
     /// unbudgeted runs and runs that finished inside their budget). A
     /// tripped run's scores describe a *partial* repair.
     pub tripped: Option<BudgetTrip>,
+    /// Diffable work counters, when the approach tracks them (the
+    /// budgeted runner fills this via [`Imputer::impute_measured`]; the
+    /// parallel runner does not).
+    pub work: Option<WorkMetrics>,
 }
 
 /// Runs `imputer` on `seeds.len()` injected variants of `rel` at the given
@@ -57,13 +62,14 @@ pub fn run_variants_budgeted(
         .map(|&seed| {
             let (incomplete, truth) = inject(rel, rate, seed);
             let budget = make_budget();
-            let (repaired, elapsed, peak_bytes) =
-                measure(|| imputer.impute_budgeted(&incomplete, &budget));
+            let ((repaired, work), elapsed, peak_bytes) =
+                measure(|| imputer.impute_measured(&incomplete, &budget));
             RunOutcome {
                 scores: evaluate(&repaired, &truth, rules),
                 elapsed,
                 peak_bytes,
                 tripped: budget.trip(),
+                work,
             }
         })
         .collect()
@@ -94,6 +100,7 @@ pub fn run_variants_parallel(
                         elapsed,
                         peak_bytes,
                         tripped: None,
+                        work: None,
                     }
                 })
             })
@@ -192,6 +199,8 @@ pub fn average_scores(outcomes: &[RunOutcome]) -> RunOutcome {
         // An average over any tripped run is itself partial; surface the
         // first trip so callers cannot mistake it for a complete batch.
         tripped: outcomes.iter().find_map(|o| o.tripped),
+        // Work counters are per-run; an average has none.
+        work: None,
     }
 }
 
@@ -289,6 +298,7 @@ mod tests {
             elapsed: Duration::from_secs(2),
             peak_bytes: 100,
             tripped: None,
+            work: None,
         };
         let avg = average_scores(&[mk(1.0, 0.5), mk(0.5, 1.0)]);
         assert_eq!(avg.scores.precision, 0.75);
@@ -317,6 +327,7 @@ mod tests {
             elapsed: Duration::ZERO,
             peak_bytes: 0,
             tripped: None,
+            work: None,
         };
         let s = summarize(&[mk(0.8), mk(1.0)]);
         assert!((s.precision.mean - 0.9).abs() < 1e-12);

@@ -71,6 +71,7 @@ impl Sweep<'_> {
                                 elapsed,
                                 peak_bytes,
                                 tripped: None,
+                                work: None,
                             }
                         })
                         .collect();

@@ -52,7 +52,13 @@ pub const SERVER_EVENTS: &[&str] = &[
     "shed",
     "read_timeout",
     "wal_degraded",
+    "tune_started",
+    "tune_finished",
+    "tune_cancelled",
 ];
+
+/// Why a tune run stopped — mirrors `renuver_tune::StopReason`.
+pub const TUNE_STOPS: &[&str] = &["target", "converged", "budget", "cancelled", "max_iters"];
 
 /// Schema version stamped (as `v`) on the serving-layer record kinds
 /// (`access`, `server_event`) so consumers can detect field changes.
@@ -179,8 +185,42 @@ pub const SPEC: &[KindSpec] = &[
             ("seq", Ty::U64),
             ("generation", Ty::U64),
             ("shard", Ty::U64),
+            ("job", Ty::U64),
             ("detail", Ty::Str),
         ],
+    ),
+    // Tune-run bracketing: one `tune_start` per run with the masking
+    // parameters that make the run reproducible.
+    (
+        "tune_start",
+        &[("seed", Ty::U64), ("masked", Ty::U64), ("rfds", Ty::U64)],
+        &[("target_f1", Ty::F64), ("max_iters", Ty::U64), ("sample_rate", Ty::F64)],
+    ),
+    // One per tune iteration: the held-out score, the per-attribute
+    // threshold moves chosen from it (`attrs`/`old`/`new` in lockstep),
+    // and the work deltas vs the previous iteration that justified them
+    // (signed, so F64 — the schema has no signed-integer type).
+    (
+        "tune_iter",
+        &[("iter", Ty::U64), ("f1", Ty::F64)],
+        &[
+            ("precision", Ty::F64),
+            ("recall", Ty::F64),
+            ("attrs", Ty::U64Arr),
+            ("old", Ty::F64Arr),
+            ("new", Ty::F64Arr),
+            ("d_f1", Ty::F64),
+            ("d_candidates", Ty::F64),
+            ("d_verifications", Ty::F64),
+            ("d_oracle_hits", Ty::F64),
+        ],
+    ),
+    // Tune-run summary: iterations executed, best held-out F1, and why
+    // the loop stopped.
+    (
+        "tune_end",
+        &[("iters", Ty::U64), ("f1", Ty::F64), ("stop", Ty::Enum(TUNE_STOPS))],
+        &[("best_iter", Ty::U64), ("partial", Ty::Bool)],
     ),
 ];
 
@@ -281,6 +321,10 @@ mod tests {
             r#"{"ts_us":1,"kind":"server_event","span":0,"v":1,"event":"swap","seq":9,"generation":2}"#,
             r#"{"ts_us":1,"kind":"server_event","span":0,"v":1,"event":"shard_degraded","shard":1,"detail":"wal append failed"}"#,
             r#"{"ts_us":1,"kind":"server_event","span":0,"v":1,"event":"shed"}"#,
+            r#"{"ts_us":1,"kind":"server_event","span":0,"v":1,"event":"tune_started","job":3,"detail":"seed 42"}"#,
+            r#"{"ts_us":1,"kind":"tune_start","span":1,"seed":42,"masked":12,"rfds":3,"target_f1":0.95,"max_iters":12}"#,
+            r#"{"ts_us":1,"kind":"tune_iter","span":1,"iter":2,"f1":0.8,"precision":1.0,"recall":0.66,"attrs":[0,4],"old":[0,1],"new":[1,2],"d_f1":-0.1,"d_candidates":40,"d_verifications":-3,"d_oracle_hits":2}"#,
+            r#"{"ts_us":1,"kind":"tune_end","span":1,"iters":5,"f1":0.97,"stop":"target","best_iter":4,"partial":false}"#,
         ] {
             validate_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
         }
@@ -320,6 +364,14 @@ mod tests {
             (
                 r#"{"ts_us":1,"kind":"server_event","span":0,"event":"shed"}"#,
                 "missing schema version",
+            ),
+            (
+                r#"{"ts_us":1,"kind":"tune_end","span":1,"iters":5,"f1":0.97,"stop":"bored"}"#,
+                "stop reason not in enum",
+            ),
+            (
+                r#"{"ts_us":1,"kind":"tune_start","span":1,"seed":42,"masked":12}"#,
+                "tune_start missing rfds",
             ),
         ] {
             assert!(validate_line(line).is_err(), "accepted invalid line ({why}): {line}");

@@ -1,0 +1,287 @@
+//! The server's asynchronous job registry (today: tune jobs only).
+//!
+//! `POST /v1/tune` is the first endpoint whose work outlives its
+//! request, so it gets the minimal machinery that makes async safe:
+//! monotonically increasing job ids, a single-flight guard (one tune at
+//! a time — a second submit answers `409`), lock-light progress shared
+//! with the worker thread, cancellation through the job's [`Budget`]
+//! handle, and a graceful-drain hook that joins the worker so shutdown
+//! never truncates the event log mid-job.
+//!
+//! Only the *latest* job is retained. Tune results are cheap to
+//! recompute and the single-flight guard means there is never more than
+//! one interesting job anyway; polling an earlier id answers `404`.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use renuver_budget::Budget;
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum JobStatus {
+    /// The worker thread is running.
+    Running = 0,
+    /// Finished normally; the result body is stored.
+    Done = 1,
+    /// Cancelled (or drained at shutdown); a partial result is stored.
+    Cancelled = 2,
+    /// The worker panicked; an error body is stored.
+    Failed = 3,
+}
+
+impl JobStatus {
+    /// The label the HTTP payloads carry.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Failed => "failed",
+        }
+    }
+
+    fn from_u8(v: u8) -> JobStatus {
+        match v {
+            0 => JobStatus::Running,
+            1 => JobStatus::Done,
+            2 => JobStatus::Cancelled,
+            _ => JobStatus::Failed,
+        }
+    }
+}
+
+/// Progress shared between the worker thread and request handlers.
+/// Everything a poll needs is readable without blocking the worker.
+pub struct JobState {
+    status: AtomicU8,
+    iterations: AtomicU64,
+    /// Terminal response body, set exactly once by [`JobState::finish`].
+    result: Mutex<Option<String>>,
+}
+
+impl JobState {
+    fn new() -> JobState {
+        JobState {
+            status: AtomicU8::new(JobStatus::Running as u8),
+            iterations: AtomicU64::new(0),
+            result: Mutex::new(None),
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn status(&self) -> JobStatus {
+        JobStatus::from_u8(self.status.load(Ordering::Acquire))
+    }
+
+    /// Iterations the worker has completed so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations.load(Ordering::Acquire)
+    }
+
+    /// Worker-side progress update.
+    pub fn set_iterations(&self, n: u64) {
+        self.iterations.store(n, Ordering::Release);
+    }
+
+    /// Stores the terminal body and flips the status — in that order, so
+    /// a poll that sees a terminal status always finds the body.
+    pub fn finish(&self, status: JobStatus, body: String) {
+        *self.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(body);
+        self.status.store(status as u8, Ordering::Release);
+    }
+
+    /// The stored terminal body, once [`JobState::finish`] ran.
+    pub fn result(&self) -> Option<String> {
+        self.result.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+struct Job {
+    id: u64,
+    /// The run's budget — cancelling it is how `DELETE` stops the job.
+    budget: Budget,
+    state: Arc<JobState>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The registry: one retained job behind a slot mutex. All methods are
+/// cheap; none is held across the worker's actual work.
+pub struct TuneJobs {
+    next_id: AtomicU64,
+    slot: Mutex<Option<Job>>,
+}
+
+impl TuneJobs {
+    /// An empty registry; ids start at 1.
+    pub fn new() -> TuneJobs {
+        TuneJobs { next_id: AtomicU64::new(1), slot: Mutex::new(None) }
+    }
+
+    /// Single-flight submit: reserves an id and state, calls `spawn`
+    /// with them to start the worker, and retains the job. When a job is
+    /// still running, returns `Err` with its id (the `409` path) and
+    /// does not call `spawn`. A previous *terminal* job is retired (its
+    /// thread joined) before the new one starts.
+    pub fn submit<F>(&self, budget: Budget, spawn: F) -> Result<u64, u64>
+    where
+        F: FnOnce(u64, Arc<JobState>) -> JoinHandle<()>,
+    {
+        let mut slot = self.lock();
+        if let Some(job) = slot.as_ref() {
+            if job.state.status() == JobStatus::Running {
+                return Err(job.id);
+            }
+        }
+        if let Some(mut old) = slot.take() {
+            if let Some(h) = old.handle.take() {
+                let _ = h.join();
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(JobState::new());
+        let handle = spawn(id, Arc::clone(&state));
+        *slot = Some(Job { id, budget, state, handle: Some(handle) });
+        Ok(id)
+    }
+
+    /// The state of job `id`, while it is the retained job.
+    pub fn get(&self, id: u64) -> Option<Arc<JobState>> {
+        self.lock().as_ref().filter(|j| j.id == id).map(|j| Arc::clone(&j.state))
+    }
+
+    /// Requests cancellation of job `id` and reports the status it had:
+    /// `Running` means the cancel was delivered (the worker stops at its
+    /// next budget checkpoint); a terminal status makes the call a
+    /// no-op.
+    pub fn cancel(&self, id: u64) -> Option<JobStatus> {
+        let slot = self.lock();
+        let job = slot.as_ref().filter(|j| j.id == id)?;
+        let status = job.state.status();
+        if status == JobStatus::Running {
+            job.budget.cancel();
+        }
+        Some(status)
+    }
+
+    /// Latest job `(id, status, iterations)`, for `/healthz`.
+    pub fn snapshot(&self) -> Option<(u64, JobStatus, u64)> {
+        self.lock().as_ref().map(|j| (j.id, j.state.status(), j.state.iterations()))
+    }
+
+    /// Graceful-drain hook: cancels a running job and joins its worker,
+    /// so the terminal result and its event-log lines are written before
+    /// the server exits.
+    pub fn shutdown(&self) {
+        let handle = {
+            let mut slot = self.lock();
+            match slot.as_mut() {
+                Some(job) => {
+                    job.budget.cancel();
+                    job.handle.take()
+                }
+                None => None,
+            }
+        };
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Option<Job>> {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Default for TuneJobs {
+    fn default() -> Self {
+        TuneJobs::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    /// A worker that blocks until its budget is cancelled, then finishes.
+    fn blocking_worker(budget: Budget, state: Arc<JobState>) -> JoinHandle<()> {
+        std::thread::spawn(move || {
+            while !budget.is_cancelled() {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            state.finish(JobStatus::Cancelled, "{\"partial\":true}".into());
+        })
+    }
+
+    #[test]
+    fn submit_is_single_flight_and_ids_are_monotonic() {
+        let jobs = TuneJobs::new();
+        let budget = Budget::unlimited();
+        let id = jobs
+            .submit(budget.clone(), |_, state| blocking_worker(budget.clone(), state))
+            .unwrap();
+        assert_eq!(id, 1);
+        // Second submit while running: rejected, spawn not called.
+        let second = jobs.submit(Budget::unlimited(), |_, _| panic!("must not spawn"));
+        assert_eq!(second, Err(1));
+        assert_eq!(jobs.cancel(1), Some(JobStatus::Running));
+        jobs.shutdown();
+        assert_eq!(jobs.get(1).unwrap().status(), JobStatus::Cancelled);
+        // Terminal job: a new submit retires it and takes the next id.
+        let id2 = jobs
+            .submit(Budget::unlimited(), |_, state| {
+                std::thread::spawn(move || state.finish(JobStatus::Done, "{}".into()))
+            })
+            .unwrap();
+        assert_eq!(id2, 2);
+        assert!(jobs.get(1).is_none(), "only the latest job is retained");
+    }
+
+    #[test]
+    fn cancel_reaches_the_worker_and_the_result_is_stored() {
+        let jobs = TuneJobs::new();
+        let budget = Budget::unlimited();
+        let worker_budget = budget.clone();
+        let (tx, rx) = mpsc::channel();
+        let id = jobs
+            .submit(budget, move |_, state| {
+                std::thread::spawn(move || {
+                    tx.send(()).unwrap();
+                    while !worker_budget.is_cancelled() {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    state.set_iterations(3);
+                    state.finish(JobStatus::Cancelled, "{\"iterations\":3}".into());
+                })
+            })
+            .unwrap();
+        rx.recv().unwrap();
+        assert_eq!(jobs.cancel(id), Some(JobStatus::Running));
+        jobs.shutdown();
+        let state = jobs.get(id).unwrap();
+        assert_eq!(state.status(), JobStatus::Cancelled);
+        assert_eq!(state.iterations(), 3);
+        assert_eq!(state.result().unwrap(), "{\"iterations\":3}");
+        // Cancelling a terminal job is a reported no-op.
+        assert_eq!(jobs.cancel(id), Some(JobStatus::Cancelled));
+        assert_eq!(jobs.cancel(99), None);
+    }
+
+    #[test]
+    fn snapshot_reports_the_latest_job() {
+        let jobs = TuneJobs::new();
+        assert!(jobs.snapshot().is_none());
+        let id = jobs
+            .submit(Budget::unlimited(), |_, state| {
+                std::thread::spawn(move || state.finish(JobStatus::Done, "{}".into()))
+            })
+            .unwrap();
+        jobs.shutdown();
+        let (sid, status, _) = jobs.snapshot().unwrap();
+        assert_eq!(sid, id);
+        assert_eq!(status, JobStatus::Done);
+    }
+}

@@ -26,6 +26,13 @@
 //!   compaction runs off-request, and `PUT /v1/model` / `SIGHUP`
 //!   atomically swap the serving model with zero downtime, guarded by
 //!   the schema fingerprint.
+//! - [`jobs`] — the single-flight async job registry behind
+//!   `POST /v1/tune`: one background tune at a time, monotonic ids,
+//!   poll/cancel via `GET`/`DELETE /v1/tune/<id>`, budget-based
+//!   cancellation with partial reports, and a graceful-drain join so
+//!   shutdown never orphans a running job. A finished tune can install
+//!   its winning thresholds through the same checked swap path as
+//!   `PUT /v1/model`.
 //! - [`http`], [`server`], [`router`] — a dependency-free HTTP/1.1
 //!   server (the build container is offline; `std::net` is all there
 //!   is) with a fixed worker pool, a bounded accept queue that sheds
@@ -42,6 +49,7 @@ mod codec;
 pub mod fault;
 pub mod flight;
 pub mod http;
+pub mod jobs;
 pub mod registry;
 pub mod router;
 pub mod server;
@@ -50,6 +58,7 @@ pub mod wal;
 
 pub use artifact::{Artifact, ArtifactError, ArtifactInfo};
 pub use flight::{FlightOptions, FlightRecorder, SlowEntry};
+pub use jobs::{JobState, JobStatus, TuneJobs};
 pub use registry::{
     IngestOutcome, Manifest, Registry, RegistryError, ShardLayout, ShardRecovery, ShardState, Snap,
 };

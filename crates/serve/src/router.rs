@@ -39,7 +39,7 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock, Weak};
 use std::time::{Duration, Instant};
 
 use renuver_budget::Budget;
@@ -50,6 +50,7 @@ use renuver_obs::{Field, FieldValue, Metrics, TraceRecord, Tracer};
 
 use crate::flight::{FlightOptions, FlightRecorder, SlowEntry};
 use crate::http::{Request, Response};
+use crate::jobs::{JobState, JobStatus, TuneJobs};
 use crate::registry::{Registry, RegistryError};
 use crate::store::Durable;
 
@@ -156,6 +157,12 @@ pub struct Ctx {
     shard_labels: Vec<ShardLabels>,
     /// The flight recorder: request ids, access log, slow ring.
     flight: FlightRecorder,
+    /// The async tune-job registry (`POST /v1/tune`).
+    jobs: TuneJobs,
+    /// Weak self-reference, bound by `Server::bind` (or [`Ctx::bind_self`]
+    /// in tests), so request handlers can hand an owning handle to the
+    /// worker threads they spawn.
+    self_ref: Mutex<Weak<Ctx>>,
 }
 
 const BASE_COUNTERS: [&str; 17] = [
@@ -181,14 +188,15 @@ const BASE_COUNTERS: [&str; 17] = [
 /// Endpoint labels for latency attribution. `other` covers unknown
 /// paths and method mismatches; `error` covers protocol-level failures
 /// the connection handler rejects before routing (408/413/431/400).
-const ENDPOINTS: [&str; 10] = [
-    "healthz", "metrics", "model", "swap", "impute", "ingest", "compact", "debug", "other", "error",
+const ENDPOINTS: [&str; 11] = [
+    "healthz", "metrics", "model", "swap", "impute", "ingest", "compact", "debug", "tune", "other",
+    "error",
 ];
 
 /// Windowed latency histogram names, `[endpoint][status class]`, in
 /// [`ENDPOINTS`] order. Literal so registration matches observation
 /// without leaking (the metrics registry wants `&'static str`).
-const LATENCY_WINDOWS: [[&str; 3]; 10] = [
+const LATENCY_WINDOWS: [[&str; 3]; 11] = [
     ["serve.latency.healthz.2xx", "serve.latency.healthz.4xx", "serve.latency.healthz.5xx"],
     ["serve.latency.metrics.2xx", "serve.latency.metrics.4xx", "serve.latency.metrics.5xx"],
     ["serve.latency.model.2xx", "serve.latency.model.4xx", "serve.latency.model.5xx"],
@@ -197,6 +205,7 @@ const LATENCY_WINDOWS: [[&str; 3]; 10] = [
     ["serve.latency.ingest.2xx", "serve.latency.ingest.4xx", "serve.latency.ingest.5xx"],
     ["serve.latency.compact.2xx", "serve.latency.compact.4xx", "serve.latency.compact.5xx"],
     ["serve.latency.debug.2xx", "serve.latency.debug.4xx", "serve.latency.debug.5xx"],
+    ["serve.latency.tune.2xx", "serve.latency.tune.4xx", "serve.latency.tune.5xx"],
     ["serve.latency.other.2xx", "serve.latency.other.4xx", "serve.latency.other.5xx"],
     ["serve.latency.error.2xx", "serve.latency.error.4xx", "serve.latency.error.5xx"],
 ];
@@ -204,7 +213,7 @@ const LATENCY_WINDOWS: [[&str; 3]; 10] = [
 /// Lifecycle event counters, one per `schema::SERVER_EVENTS` entry.
 /// These count even when no `--log-out` sink is attached, so the e2e
 /// reconciliation can compare `/metrics` against the event log.
-const EVENT_COUNTERS: [(&str, &str); 8] = [
+const EVENT_COUNTERS: [(&str, &str); 11] = [
     ("recovery", "serve.events.recovery"),
     ("swap", "serve.events.swap"),
     ("compaction", "serve.events.compaction"),
@@ -213,6 +222,9 @@ const EVENT_COUNTERS: [(&str, &str); 8] = [
     ("shed", "serve.events.shed"),
     ("read_timeout", "serve.events.read_timeout"),
     ("wal_degraded", "serve.events.wal_degraded"),
+    ("tune_started", "serve.events.tune_started"),
+    ("tune_finished", "serve.events.tune_finished"),
+    ("tune_cancelled", "serve.events.tune_cancelled"),
 ];
 
 /// The windowed latency histogram for `endpoint` × `status`.
@@ -272,6 +284,8 @@ impl Ctx {
             model_path: Mutex::new(None),
             shard_labels: Vec::new(),
             flight: FlightRecorder::new(FlightOptions::default()),
+            jobs: TuneJobs::new(),
+            self_ref: Mutex::new(Weak::new()),
         }
     }
 
@@ -312,6 +326,8 @@ impl Ctx {
             model_path: Mutex::new(None),
             shard_labels,
             flight: FlightRecorder::new(FlightOptions::default()),
+            jobs: TuneJobs::new(),
+            self_ref: Mutex::new(Weak::new()),
         }
     }
 
@@ -324,6 +340,22 @@ impl Ctx {
     /// The flight recorder.
     pub fn flight(&self) -> &FlightRecorder {
         &self.flight
+    }
+
+    /// The tune-job registry.
+    pub fn jobs(&self) -> &TuneJobs {
+        &self.jobs
+    }
+
+    /// Binds the weak self-reference that lets request handlers spawn
+    /// worker threads owning the context. `Server::bind` calls this;
+    /// tests that route to `/v1/tune` directly must call it themselves.
+    pub fn bind_self(self: &Arc<Ctx>) {
+        *self.self_ref.lock().unwrap_or_else(|e| e.into_inner()) = Arc::downgrade(self);
+    }
+
+    fn self_arc(&self) -> Option<Arc<Ctx>> {
+        self.self_ref.lock().unwrap_or_else(|e| e.into_inner()).upgrade()
     }
 
     /// Records one lifecycle event: bumps its `serve.events.*` counter
@@ -455,10 +487,14 @@ pub fn route(ctx: &Ctx, req: &Request) -> Response {
         ("POST", "/v1/ingest") => ("ingest", ingest_endpoint(ctx, req, &mut tel)),
         ("POST", "/v1/compact") => ("compact", compact_endpoint(ctx)),
         ("GET", "/v1/debug/requests") => ("debug", debug_requests_endpoint(ctx)),
+        ("POST", "/v1/tune") => ("tune", tune_submit_endpoint(ctx, req)),
+        (method, path) if path.starts_with("/v1/tune/") => {
+            ("tune", tune_job_endpoint(ctx, method, path))
+        }
         (
             _,
             "/healthz" | "/metrics" | "/v1/model" | "/v1/impute" | "/v1/ingest" | "/v1/compact"
-            | "/v1/debug/requests",
+            | "/v1/debug/requests" | "/v1/tune",
         ) => ("other", Response::text(405, "method not allowed\n")),
         _ => ("other", Response::text(404, "not found\n")),
     };
@@ -639,6 +675,12 @@ fn healthz_endpoint(ctx: &Ctx) -> Response {
             ));
         }
         out.push(']');
+    }
+    if let Some((id, status, iterations)) = ctx.jobs.snapshot() {
+        out.push_str(&format!(
+            ",\"tune\":{{\"id\":{id},\"status\":\"{}\",\"iterations\":{iterations}}}",
+            status.label()
+        ));
     }
     out.push('}');
     Response::json(200, out)
@@ -1299,6 +1341,247 @@ fn compact_endpoint(ctx: &Ctx) -> Response {
             write_str(&mut body, &format!("compaction failed: {e}"));
             body.push('}');
             Response::json(500, body)
+        }
+    }
+}
+
+/// Knobs a `POST /v1/tune` body may set; everything is optional (an
+/// empty body tunes with the defaults and a fingerprint-derived seed).
+struct TuneParams {
+    seed: Option<u64>,
+    rate: Option<f64>,
+    max_iters: Option<u64>,
+    target_f1: Option<f64>,
+    step: Option<f64>,
+    /// Install the winning thresholds via the hot-swap path when the
+    /// run finishes cleanly.
+    install: bool,
+}
+
+fn parse_tune_params(body: &[u8]) -> Result<TuneParams, Response> {
+    let mut p = TuneParams {
+        seed: None,
+        rate: None,
+        max_iters: None,
+        target_f1: None,
+        step: None,
+        install: false,
+    };
+    if body.is_empty() {
+        return Ok(p);
+    }
+    let text =
+        std::str::from_utf8(body).map_err(|_| bad_request("request body is not UTF-8"))?;
+    let parsed = json::parse(text).map_err(|e| bad_request(format!("invalid JSON: {e}")))?;
+    let obj = parsed.as_object().ok_or_else(|| bad_request("body must be a JSON object"))?;
+    for (key, val) in obj {
+        match key.as_str() {
+            "seed" => {
+                p.seed =
+                    Some(val.as_u64().ok_or_else(|| {
+                        bad_request("\"seed\" must be an unsigned integer")
+                    })?)
+            }
+            "rate" => {
+                let r = val
+                    .as_f64()
+                    .filter(|r| *r > 0.0 && *r <= 1.0)
+                    .ok_or_else(|| bad_request("\"rate\" must be a number in (0, 1]"))?;
+                p.rate = Some(r);
+            }
+            "max_iters" => {
+                let n = val
+                    .as_u64()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| bad_request("\"max_iters\" must be a positive integer"))?;
+                p.max_iters = Some(n);
+            }
+            "target_f1" => {
+                let t = val
+                    .as_f64()
+                    .filter(|t| *t > 0.0 && *t <= 1.0)
+                    .ok_or_else(|| bad_request("\"target_f1\" must be a number in (0, 1]"))?;
+                p.target_f1 = Some(t);
+            }
+            "step" => {
+                let s = val
+                    .as_f64()
+                    .filter(|s| *s > 0.0)
+                    .ok_or_else(|| bad_request("\"step\" must be a positive number"))?;
+                p.step = Some(s);
+            }
+            "install" => {
+                p.install = val
+                    .as_bool()
+                    .ok_or_else(|| bad_request("\"install\" must be a boolean"))?;
+            }
+            other => return Err(bad_request(format!("unknown tune field {other:?}"))),
+        }
+    }
+    Ok(p)
+}
+
+/// `POST /v1/tune`: submits the server's one asynchronous job. Answers
+/// `202` with the job id immediately; progress and the final report are
+/// polled via `GET /v1/tune/<id>`. Single-flight: a second submit while
+/// a job runs answers `409`.
+fn tune_submit_endpoint(ctx: &Ctx, req: &Request) -> Response {
+    if ctx.registry().is_some() {
+        return unavailable("tune runs on the single-engine topology only");
+    }
+    let params = match parse_tune_params(&req.body) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    // The worker thread outlives this request, so it needs an owning
+    // handle; `Server::bind` parked one behind the weak self-reference.
+    let Some(owner) = ctx.self_arc() else {
+        return unavailable("tune jobs need a server-bound context");
+    };
+    let budget = Budget::unlimited();
+    let worker_budget = budget.clone();
+    let submitted = ctx.jobs.submit(budget, move |id, state| {
+        std::thread::Builder::new()
+            .name(format!("tune-{id}"))
+            .spawn(move || run_tune_job(owner, id, state, worker_budget, params))
+            .expect("spawn tune worker")
+    });
+    match submitted {
+        Ok(id) => {
+            ctx.server_event("tune_started", vec![("job", FieldValue::U64(id))]);
+            Response::json(202, format!("{{\"id\":{id},\"status\":\"running\"}}"))
+        }
+        Err(running) => Response::json(
+            409,
+            format!("{{\"error\":\"tune job {running} is already running\",\"id\":{running}}}"),
+        ),
+    }
+}
+
+/// `GET`/`DELETE /v1/tune/<id>`: poll or cancel the latest job. Only
+/// the latest job is retained — earlier ids answer `404`.
+fn tune_job_endpoint(ctx: &Ctx, method: &str, path: &str) -> Response {
+    let Some(id) = path.strip_prefix("/v1/tune/").and_then(|s| s.parse::<u64>().ok()) else {
+        return Response::text(404, "not found\n");
+    };
+    match method {
+        "GET" => match ctx.jobs.get(id) {
+            // The worker stores the result before flipping the status,
+            // so a present result is always the terminal body.
+            Some(state) => match state.result() {
+                Some(body) => Response::json(200, body),
+                None => Response::json(
+                    200,
+                    format!(
+                        "{{\"id\":{id},\"status\":\"running\",\"iterations\":{}}}",
+                        state.iterations()
+                    ),
+                ),
+            },
+            None => Response::text(404, "not found\n"),
+        },
+        "DELETE" => match ctx.jobs.cancel(id) {
+            Some(JobStatus::Running) => {
+                Response::json(202, format!("{{\"id\":{id},\"status\":\"cancelling\"}}"))
+            }
+            Some(status) => {
+                Response::json(200, format!("{{\"id\":{id},\"status\":\"{}\"}}", status.label()))
+            }
+            None => Response::text(404, "not found\n"),
+        },
+        _ => Response::text(405, "method not allowed\n"),
+    }
+}
+
+/// The tune-job worker. Snapshots the engine's relation, RFD set, and
+/// config under a brief lock, then tunes entirely off-lock — requests
+/// keep serving. On a clean finish with `install`, the winning
+/// thresholds go through the same `apply_model_swap` path as
+/// `PUT /v1/model`, so the served model is bit-identical to one
+/// prepared from the tuned set directly.
+fn run_tune_job(
+    ctx: Arc<Ctx>,
+    id: u64,
+    state: Arc<JobState>,
+    budget: Budget,
+    params: TuneParams,
+) {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let (rel, sigma, config) = {
+            let engine = ctx.lock_engine();
+            (engine.relation().clone(), engine.sigma().clone(), engine.config().clone())
+        };
+        let fingerprint = ctx.info().schema_fingerprint;
+        let defaults = renuver_tune::TuneConfig::default();
+        let progress = Arc::clone(&state);
+        let cfg = renuver_tune::TuneConfig {
+            seed: params.seed.unwrap_or_else(|| renuver_tune::default_seed(fingerprint)),
+            sample_rate: params.rate.unwrap_or(defaults.sample_rate),
+            max_iters: params.max_iters.map(|n| n as usize).unwrap_or(defaults.max_iters),
+            target_f1: params.target_f1.unwrap_or(defaults.target_f1),
+            step: params.step.unwrap_or(defaults.step),
+            budget,
+            progress: Some(Arc::new(move |n| progress.set_iterations(n))),
+            ..defaults
+        };
+        let report = renuver_tune::tune(&rel, &sigma, &cfg);
+        let mut tail = format!(",\"report\":{}", report.to_json(rel.schema()));
+        if params.install && !report.partial {
+            let source = format!("tune job {id}");
+            let engine = Engine::prepare(rel, report.tuned.clone(), config);
+            let bytes = crate::artifact::encode_engine(&engine, &source, ctx.seq());
+            match apply_model_swap(&ctx, &bytes, &source) {
+                Ok(seq) => tail.push_str(&format!(",\"installed\":true,\"seq\":{seq}")),
+                Err(resp) => {
+                    tail.push_str(",\"installed\":false,\"install_error\":");
+                    let why = String::from_utf8_lossy(&resp.body).trim().to_string();
+                    write_str(&mut tail, &why);
+                }
+            }
+        }
+        (report, tail)
+    }));
+    match outcome {
+        Ok((report, tail)) => {
+            let status =
+                if report.partial { JobStatus::Cancelled } else { JobStatus::Done };
+            let iterations = report.iterations.len();
+            state.set_iterations(iterations as u64);
+            state.finish(
+                status,
+                format!(
+                    "{{\"id\":{id},\"status\":\"{}\",\"iterations\":{iterations}{tail}}}",
+                    status.label()
+                ),
+            );
+            let event = if report.partial { "tune_cancelled" } else { "tune_finished" };
+            ctx.server_event(
+                event,
+                vec![
+                    ("job", FieldValue::U64(id)),
+                    (
+                        "detail",
+                        FieldValue::Text(format!(
+                            "stop {} best_f1 {:.3}",
+                            report.stop.label(),
+                            report.best_f1
+                        )),
+                    ),
+                ],
+            );
+        }
+        Err(_) => {
+            state.finish(
+                JobStatus::Failed,
+                format!("{{\"id\":{id},\"status\":\"failed\",\"error\":\"tune worker panicked\"}}"),
+            );
+            ctx.server_event(
+                "tune_cancelled",
+                vec![
+                    ("job", FieldValue::U64(id)),
+                    ("detail", FieldValue::Str("worker panicked")),
+                ],
+            );
         }
     }
 }
@@ -2181,5 +2464,154 @@ mod tests {
         let resp = route(&ctx, &get("/metrics"));
         assert_eq!(resp.content_type, "text/plain; charset=utf-8");
         assert_eq!(route(&ctx, &get("/metrics?format=csv")).status, 400);
+    }
+
+    // ------------------------------------------------------ tune jobs
+
+    /// Routes `req` against an Arc-bound context, the way a real server
+    /// serves it (tune submission upgrades the weak self-reference).
+    fn bound_ctx() -> Arc<Ctx> {
+        let ctx = Arc::new(test_ctx());
+        ctx.bind_self();
+        ctx
+    }
+
+    fn delete(path: &str) -> Request {
+        let mut req = get(path);
+        req.method = "DELETE".into();
+        req
+    }
+
+    /// Polls `GET /v1/tune/<id>` until the job leaves `running`.
+    fn poll_done(ctx: &Ctx, id: u64) -> json::Value {
+        for _ in 0..500 {
+            let resp = route(ctx, &get(&format!("/v1/tune/{id}")));
+            assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+            let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+            if doc.get("status").unwrap().as_str() != Some("running") {
+                return doc;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("tune job {id} never finished");
+    }
+
+    #[test]
+    fn tune_job_lifecycle_submit_poll_result() {
+        let ctx = bound_ctx();
+        let resp = route(&ctx, &post("/v1/tune", "application/json", r#"{"seed": 7}"#));
+        assert_eq!(resp.status, 202, "{}", String::from_utf8_lossy(&resp.body));
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("id").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("running"));
+
+        let done = poll_done(&ctx, 1);
+        assert_eq!(done.get("status").unwrap().as_str(), Some("done"));
+        let report = done.get("report").unwrap();
+        assert_eq!(report.get("seed").unwrap().as_u64(), Some(7));
+        assert!(report.get("thresholds").unwrap().as_str().is_some());
+        assert!(done.get("installed").is_none(), "install was not requested");
+
+        // The job is surfaced by /healthz and counted in /metrics.
+        let health = route(&ctx, &get("/healthz"));
+        let hdoc = json::parse(std::str::from_utf8(&health.body).unwrap()).unwrap();
+        let tune = hdoc.get("tune").unwrap();
+        assert_eq!(tune.get("id").unwrap().as_u64(), Some(1));
+        assert_eq!(tune.get("status").unwrap().as_str(), Some("done"));
+        assert_eq!(ctx.metrics.counter("serve.events.tune_started").get(), 1);
+        assert_eq!(ctx.metrics.counter("serve.events.tune_finished").get(), 1);
+        assert_eq!(ctx.metrics.counter("serve.events.tune_cancelled").get(), 0);
+
+        // Unknown ids and non-numeric ids answer 404.
+        assert_eq!(route(&ctx, &get("/v1/tune/99")).status, 404);
+        assert_eq!(route(&ctx, &get("/v1/tune/abc")).status, 404);
+        // Wrong methods: 405 on the collection and on a job id.
+        assert_eq!(route(&ctx, &get("/v1/tune")).status, 405);
+        let mut put = get("/v1/tune/1");
+        put.method = "PUT".into();
+        assert_eq!(route(&ctx, &put).status, 405);
+    }
+
+    #[test]
+    fn tune_install_swaps_the_served_model() {
+        let ctx = bound_ctx();
+        let resp = route(
+            &ctx,
+            &post("/v1/tune", "application/json", r#"{"seed": 3, "install": true}"#),
+        );
+        assert_eq!(resp.status, 202, "{}", String::from_utf8_lossy(&resp.body));
+        let done = poll_done(&ctx, 1);
+        assert_eq!(done.get("status").unwrap().as_str(), Some("done"));
+        assert_eq!(done.get("installed").unwrap().as_bool(), Some(true), "{done:?}");
+        // The install went through the hot-swap path: provenance and the
+        // swap counter both show it.
+        assert_eq!(ctx.info().source, "tune job 1");
+        assert_eq!(ctx.metrics.counter("serve.swaps").get(), 1);
+        // The served thresholds are the tuned set.
+        let tuned_text = done.get("report").unwrap().get("thresholds").unwrap();
+        let engine = ctx.lock_engine();
+        let served = engine.sigma().to_text(engine.schema());
+        assert_eq!(Some(served.as_str()), tuned_text.as_str());
+    }
+
+    #[test]
+    fn tune_submit_is_single_flight_and_delete_cancels() {
+        let ctx = bound_ctx();
+        // Park a synthetic running job so the timing is deterministic.
+        let budget = Budget::unlimited();
+        let worker = budget.clone();
+        let id = ctx
+            .jobs()
+            .submit(budget, move |_, state| {
+                std::thread::spawn(move || {
+                    while !worker.is_cancelled() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    state.finish(JobStatus::Cancelled, "{\"status\":\"cancelled\"}".into());
+                })
+            })
+            .unwrap();
+
+        let resp = route(&ctx, &post("/v1/tune", "application/json", ""));
+        assert_eq!(resp.status, 409, "{}", String::from_utf8_lossy(&resp.body));
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("id").unwrap().as_u64(), Some(id));
+
+        // DELETE delivers the cancel; the worker lands a terminal state.
+        let resp = route(&ctx, &delete(&format!("/v1/tune/{id}")));
+        assert_eq!(resp.status, 202);
+        ctx.jobs().shutdown();
+        let resp = route(&ctx, &delete(&format!("/v1/tune/{id}")));
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("cancelled"));
+        assert_eq!(route(&ctx, &delete("/v1/tune/99")).status, 404);
+    }
+
+    #[test]
+    fn tune_rejects_bad_params_sharded_and_unbound_contexts() {
+        let ctx = bound_ctx();
+        for body in [
+            r#"{"seed": -1}"#,
+            r#"{"rate": 0}"#,
+            r#"{"rate": 1.5}"#,
+            r#"{"max_iters": 0}"#,
+            r#"{"target_f1": 0}"#,
+            r#"{"step": 0}"#,
+            r#"{"install": "yes"}"#,
+            r#"{"bogus": 1}"#,
+            r#"[1]"#,
+            "not json",
+        ] {
+            let resp = route(&ctx, &post("/v1/tune", "application/json", body));
+            assert_eq!(resp.status, 400, "{body}: {}", String::from_utf8_lossy(&resp.body));
+        }
+        // Without a bound Arc there is nothing to own the worker thread.
+        let unbound = test_ctx();
+        assert_eq!(route(&unbound, &post("/v1/tune", "application/json", "")).status, 503);
+        // The sharded topology has no single engine to tune.
+        let sharded = Arc::new(sharded_ctx());
+        sharded.bind_self();
+        assert_eq!(route(&sharded, &post("/v1/tune", "application/json", "")).status, 503);
     }
 }

@@ -116,6 +116,9 @@ impl Server {
     pub fn bind(config: ServeConfig, ctx: Arc<Ctx>) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
+        // Lets request handlers (the tune-job submit) spawn worker
+        // threads that own the context beyond their request's lifetime.
+        ctx.bind_self();
         Ok(Server {
             listener,
             config,
@@ -197,6 +200,9 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        // A running tune job is cancelled and joined, so its partial
+        // report and terminal event-log lines land before we exit.
+        self.ctx.jobs().shutdown();
         Ok(shed)
     }
 }

@@ -62,3 +62,4 @@ pub use renuver_obs as obs;
 pub use renuver_rfd as rfd;
 pub use renuver_rulekit as rulekit;
 pub use renuver_serve as serve;
+pub use renuver_tune as tune;

@@ -57,8 +57,13 @@ const USAGE: &str = "usage:
   renuver evaluate --original full.csv --incomplete holes.csv \\
                    --imputed repaired.csv [--rules rules.txt | --auto-rules F]
   renuver compare  <full.csv> --rate R [--limit N] [--seeds N]
-                   [--rules rules.txt | --auto-rules F]
+                   [--rules rules.txt | --auto-rules F] [--metrics-diff]
                    [--index-mode scan|indexed|auto] [budget flags]
+  renuver tune     <data.csv | model.rnv> [--rfds rfds.txt | --limit N]
+                   [--auto-limits F] [--max-lhs N] [--seed S] [--rate R]
+                   [--iterations N] [--target-f1 F] [--step W]
+                   [--rules rules.txt | --auto-rules F] [--parallelism N]
+                   [--out tuned-rfds.txt] [budget flags]
   renuver prepare  <data.csv> -o model.rnv [--rfds rfds.txt | --limit N]
                    [--auto-limits F] [--max-lhs N]
                    [--index-mode scan|indexed|auto]
@@ -76,12 +81,12 @@ const USAGE: &str = "usage:
                    [--log-out FILE] [--slow-threshold-ms T]
                    [--trace-max-events N] [--no-flight]
 
-budget flags (discover, impute, compare):
+budget flags (discover, impute, compare, tune):
   --timeout-secs S   stop after S seconds, returning the partial result
   --mem-limit-mb M   stop when tracked heap use exceeds M MiB
   --ops-limit N      stop after N budget checkpoints (deterministic)
 
-observability flags (discover, impute, compare):
+observability flags (discover, impute, compare, tune):
   --trace-out FILE   write a structured JSONL trace of the run; the schema
                      is documented in DESIGN.md and enforced by the
                      validate_trace binary
@@ -98,10 +103,11 @@ flight recorder flags (serve; ingest takes --log-out only):
 
 /// The recognised subcommands, in USAGE order — listed back to the user
 /// when they mistype one.
-const COMMANDS: &str =
-    "stats, audit, discover, inject, impute, evaluate, compare, prepare, inspect, ingest, serve";
+const COMMANDS: &str = "stats, audit, discover, inject, impute, evaluate, compare, tune, \
+     prepare, inspect, ingest, serve";
 
-/// Budget-related flags, shared by `discover`, `impute`, and `compare`.
+/// Budget-related flags, shared by `discover`, `impute`, `compare`, and
+/// `tune`.
 const BUDGET_VALUE_FLAGS: [&str; 3] = ["--timeout-secs", "--mem-limit-mb", "--ops-limit"];
 
 /// Flag parser with an explicit per-command vocabulary: every `--flag` must
@@ -327,6 +333,22 @@ fn flag_spec(cmd: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
         "compare" => {
             let mut v = vec!["--rate", "--seeds", "--rules", "--auto-rules", "--index-mode"];
             v.extend(discovery);
+            (v, vec!["--metrics-diff"])
+        }
+        "tune" => {
+            let mut v = vec![
+                "--rfds",
+                "--seed",
+                "--rate",
+                "--iterations",
+                "--target-f1",
+                "--step",
+                "--parallelism",
+                "--rules",
+                "--auto-rules",
+                "--out",
+            ];
+            v.extend(discovery);
             (v, vec![])
         }
         "prepare" => {
@@ -362,7 +384,7 @@ fn flag_spec(cmd: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
         }
         _ => return None,
     };
-    if matches!(cmd, "discover" | "impute" | "compare") {
+    if matches!(cmd, "discover" | "impute" | "compare" | "tune") {
         values.extend(BUDGET_VALUE_FLAGS);
         values.push("--trace-out");
         bools.push("--metrics");
@@ -397,6 +419,7 @@ fn run(raw: &[String]) -> Result<(), String> {
         "impute" => impute_cmd(&args),
         "evaluate" => evaluate_cmd(&args),
         "compare" => compare_cmd(&args),
+        "tune" => tune_cmd(&args),
         "prepare" => prepare_cmd(&args),
         "inspect" => inspect_cmd(&args),
         "ingest" => ingest_cmd(&args),
@@ -735,8 +758,8 @@ fn impute_cmd(args: &Args) -> Result<(), String> {
 fn compare_cmd(args: &Args) -> Result<(), String> {
     use renuver::baselines::{DerandConfig, GreyKnnConfig, HolocleanConfig};
     use renuver::eval::{
-        average_scores, run_variants_budgeted, run_variants_parallel, DerandImputer,
-        GreyKnnImputer, HolocleanImputer, Imputer, RenuverImputer,
+        average_scores, diff_table, run_variants_budgeted, run_variants_parallel, DerandImputer,
+        GreyKnnImputer, HolocleanImputer, Imputer, MetricsDiff, RenuverImputer, WorkMetrics,
     };
     let rel = load(&one_positional(args)?)?;
     if rel.missing_count() > 0 {
@@ -780,24 +803,30 @@ fn compare_cmd(args: &Args) -> Result<(), String> {
         Box::new(GreyKnnImputer::new(GreyKnnConfig::default())),
     ];
     let spec = BudgetSpec::from_args(args)?;
+    let metrics_diff = args.has("--metrics-diff");
     println!(
         "{:<12} {:>9} {:>9} {:>9} {:>10}",
         "approach", "precision", "recall", "F1", "avg time"
     );
     let mut any_tripped = false;
+    let mut work_rows: Vec<(String, WorkMetrics)> = Vec::new();
     for imp in &imputers {
         // Budgeted comparisons run serially with a FRESH budget per
         // variant (one tripped deadline must not poison later runs);
         // unbudgeted ones keep the parallel fan-out. Traced comparisons
         // also run serially so the renuver runs' trace events land in
-        // seed order instead of interleaving.
-        let outcomes = if spec.is_limited() || tspec.tracer.is_enabled() {
+        // seed order instead of interleaving; `--metrics-diff` needs the
+        // serial path too, because only it measures work counters.
+        let outcomes = if spec.is_limited() || tspec.tracer.is_enabled() || metrics_diff {
             run_variants_budgeted(&rel, &rules, imp.as_ref(), rate, &seeds, &|| {
                 tspec.hook_budget(spec.build())
             })
         } else {
             run_variants_parallel(&rel, &rules, imp.as_ref(), rate, &seeds)
         };
+        if metrics_diff {
+            work_rows.push((imp.name().to_string(), sum_work(&outcomes)));
+        }
         let avg = average_scores(&outcomes);
         let marker = if avg.tripped.is_some() { "*" } else { "" };
         any_tripped |= avg.tripped.is_some();
@@ -812,6 +841,145 @@ fn compare_cmd(args: &Args) -> Result<(), String> {
     }
     if any_tripped {
         println!("* budget tripped during at least one variant; scores reflect partial repairs");
+    }
+    if metrics_diff {
+        // Per-variant work deltas against the first row (renuver). The
+        // statistical baselines do not instrument work counters, so their
+        // rows show what renuver spends relative to doing none of it.
+        let baseline = work_rows[0].1.clone();
+        let rows: Vec<(String, MetricsDiff)> =
+            work_rows.iter().map(|(name, w)| (name.clone(), w.diff(&baseline))).collect();
+        println!();
+        println!("work deltas vs {}:", work_rows[0].0);
+        print!("{}", diff_table(&rows));
+    }
+    tspec.finish()
+}
+
+/// Sums the measured work across a variant's seeded runs (runs without
+/// work metrics — the statistical baselines — contribute nothing).
+fn sum_work(outcomes: &[renuver::eval::RunOutcome]) -> renuver::eval::WorkMetrics {
+    let mut total = renuver::eval::WorkMetrics::default();
+    for outcome in outcomes {
+        let Some(work) = &outcome.work else { continue };
+        total.candidates_scored += work.candidates_scored;
+        total.verifications += work.verifications;
+        total.oracle_hits += work.oracle_hits;
+        total.clusters_visited += work.clusters_visited;
+        total.imputed += work.imputed;
+        for (label, us) in &work.phases {
+            match total.phases.iter_mut().find(|(l, _)| l == label) {
+                Some((_, t)) => *t += us,
+                None => total.phases.push((label.clone(), *us)),
+            }
+        }
+    }
+    total
+}
+
+/// `renuver tune`: fit per-attribute thresholds against a seeded held-out
+/// mask. Accepts either a dataset (RFDs via `--rfds` or discovery) or a
+/// prepared `.rnv` model. The iteration table goes to stderr; stdout (or
+/// `--out`) carries only the tuned RFD set, so fixed-seed runs can be
+/// compared byte-for-byte.
+fn tune_cmd(args: &Args) -> Result<(), String> {
+    let path = one_positional(args)?;
+    let (rel, rfds, fingerprint) = if path.to_ascii_lowercase().ends_with(".rnv") {
+        let art = renuver::serve::artifact::load(&path).map_err(|e| format!("{path}: {e}"))?;
+        let fingerprint = art.schema_fingerprint;
+        let engine = art.into_engine(RenuverConfig::default());
+        (engine.relation().clone(), engine.sigma().clone(), fingerprint)
+    } else {
+        let rel = load(&path)?;
+        let rfds = rfds_for_model(args, &rel)?;
+        let fingerprint = renuver::serve::artifact::schema_fingerprint(rel.schema());
+        (rel, rfds, fingerprint)
+    };
+    if rfds.is_empty() {
+        return Err("no RFDs to tune (empty set)".into());
+    }
+    let seed: u64 = args
+        .parse_value("--seed")?
+        .unwrap_or_else(|| renuver::tune::default_seed(fingerprint));
+    let rate: f64 = args.parse_value("--rate")?.unwrap_or(0.2);
+    if !(rate > 0.0 && rate <= 1.0) {
+        return Err("--rate must be in (0, 1]".into());
+    }
+    let iterations: usize = args.parse_value("--iterations")?.unwrap_or(12);
+    if iterations == 0 {
+        return Err("--iterations must be at least 1".into());
+    }
+    let target_f1: f64 = args.parse_value("--target-f1")?.unwrap_or(0.95);
+    if !(target_f1 > 0.0 && target_f1 <= 1.0) {
+        return Err("--target-f1 must be in (0, 1]".into());
+    }
+    let step: f64 = args.parse_value("--step")?.unwrap_or(1.0);
+    if step <= 0.0 || step.is_nan() {
+        return Err("--step must be positive".into());
+    }
+    let parallelism: usize = args.parse_value("--parallelism")?.unwrap_or(0);
+    let rules = match (args.value("--rules"), args.parse_value::<f64>("--auto-rules")?) {
+        (Some(path), _) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            parse_rules(&text)?
+        }
+        (None, Some(fraction)) => renuver::eval::auto_rules(&rel, fraction),
+        (None, None) => RuleSet::new(),
+    };
+    let spec = BudgetSpec::from_args(args)?;
+    let tspec = TraceSpec::from_args(args);
+    let cfg = renuver::tune::TuneConfig {
+        seed,
+        sample_rate: rate,
+        max_iters: iterations,
+        target_f1,
+        step,
+        parallelism,
+        budget: tspec.hook_budget(spec.build()),
+        tracer: tspec.tracer.clone(),
+        rules,
+        ..renuver::tune::TuneConfig::default()
+    };
+    eprintln!("tuning with seed {seed}: {} RFDs, sample rate {rate}", rfds.len());
+    let report = renuver::tune::tune(&rel, &rfds, &cfg);
+    eprintln!(
+        "{:>5} {:>9} {:>9} {:>9} {:>11} {:>8} {:>8}  moves",
+        "iter", "precision", "recall", "F1", "Δcandidates", "Δverify", "Δoracle"
+    );
+    for it in &report.iterations {
+        let moves: Vec<String> = it
+            .moves
+            .iter()
+            .map(|m| format!("{} {}→{}", rel.schema().name(m.attr), m.old, m.new))
+            .collect();
+        eprintln!(
+            "{:>5} {:>9.3} {:>9.3} {:>9.3} {:>11} {:>8} {:>8}  {}",
+            it.iter,
+            it.scores.precision,
+            it.scores.recall,
+            it.scores.f1,
+            renuver::eval::diff::signed(it.diff.d_candidates_scored),
+            renuver::eval::diff::signed(it.diff.d_verifications),
+            renuver::eval::diff::signed(it.diff.d_oracle_hits),
+            if moves.is_empty() { "-".to_string() } else { moves.join(", ") },
+        );
+    }
+    eprintln!(
+        "stop: {} after {} iterations ({} held-out cells); best F1 {:.3} at iteration {}{}",
+        report.stop.label(),
+        report.iterations.len(),
+        report.masked,
+        report.best_f1,
+        report.best_iter,
+        if report.partial { " — partial result" } else { "" },
+    );
+    let text = report.tuned.to_text(rel.schema());
+    match args.value("--out") {
+        Some(out) => {
+            std::fs::write(out, &text).map_err(|e| format!("{out}: {e}"))?;
+            eprintln!("wrote {} tuned RFDs to {out}", report.tuned.len());
+        }
+        None => print!("{text}"),
     }
     tspec.finish()
 }
@@ -1576,8 +1744,8 @@ mod tests {
         let err = run(&strings(&["imptue", "data.csv"])).unwrap_err();
         assert!(err.contains("unknown command \"imptue\""), "{err}");
         for cmd in [
-            "stats", "audit", "discover", "inject", "impute", "evaluate", "compare", "prepare",
-            "inspect", "ingest", "serve",
+            "stats", "audit", "discover", "inject", "impute", "evaluate", "compare", "tune",
+            "prepare", "inspect", "ingest", "serve",
         ] {
             assert!(err.contains(cmd), "missing {cmd} in: {err}");
         }
@@ -1587,7 +1755,7 @@ mod tests {
     fn trace_flags_belong_to_the_pipeline_commands() {
         // Accepted (parse gets past the flag vocabulary; the commands then
         // fail on the nonexistent input file, not on the flags).
-        for cmd in ["discover", "impute", "compare"] {
+        for cmd in ["discover", "impute", "compare", "tune"] {
             let err =
                 run(&strings(&[cmd, "no-such.csv", "--trace-out", "t.jsonl", "--metrics"]))
                     .unwrap_err();

@@ -98,8 +98,8 @@ fn unknown_command_fails_with_usage() {
     assert!(stderr.contains("unknown command \"frobnicate\""), "{stderr}");
     // The error names every valid subcommand so a typo is self-correcting.
     for cmd in [
-        "stats", "audit", "discover", "inject", "impute", "evaluate", "compare", "prepare",
-        "inspect", "serve",
+        "stats", "audit", "discover", "inject", "impute", "evaluate", "compare", "tune",
+        "prepare", "inspect", "serve",
     ] {
         assert!(stderr.contains(cmd), "missing {cmd} in: {stderr}");
     }
@@ -356,6 +356,71 @@ fn compare_runs_all_approaches() {
     let out = bin().arg("compare").arg(&holes).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("complete instance"));
+}
+
+#[test]
+fn compare_metrics_diff_renders_the_delta_table() {
+    let dir = tempdir("metrics-diff");
+    let data = dir.join("data.csv");
+    std::fs::write(&data, DATA).unwrap();
+    let out = bin()
+        .arg("compare")
+        .arg(&data)
+        .args(["--rate", "0.2", "--limit", "3", "--seeds", "2", "--metrics-diff"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // The rendered table is pinned: the shared MetricsDiff engine's
+    // header, the reference line, and one row per approach.
+    assert!(stdout.contains("work deltas vs RENUVER:"), "{stdout}");
+    let header = "variant       Δcandidates  Δverifications  Δoracle-hits  Δclusters  Δimputed  Δphases (us)";
+    assert!(stdout.contains(header), "{stdout}");
+    let table: Vec<&str> = stdout.lines().skip_while(|l| !l.starts_with("variant")).collect();
+    assert_eq!(table.len(), 5, "header + 4 approach rows: {stdout}");
+    // The reference row diffs against itself: all-zero deltas.
+    let renuver_row = table[1];
+    assert!(renuver_row.starts_with("RENUVER"), "{renuver_row}");
+    for field in renuver_row.split_whitespace().skip(1).take(5) {
+        assert_eq!(field, "0", "{renuver_row}");
+    }
+    for name in ["Derand", "Holoclean", "kNN"] {
+        assert!(table.iter().any(|row| row.starts_with(name)), "{stdout}");
+    }
+}
+
+#[test]
+fn tune_improves_thresholds_and_writes_them() {
+    // Twin rows: names two edits apart sharing a Zip. At the discovery
+    // threshold a masked Zip has no donor; tuning widens until it does.
+    let mut data = String::from("Name:text,Zip:text\n");
+    for i in 0..8u8 {
+        let c = (b'a' + i) as char;
+        let name = String::from(c).repeat(4);
+        data.push_str(&format!("{name},zip-{c}\n{name} 2,zip-{c}\n"));
+    }
+    let dir = tempdir("tune");
+    let path = dir.join("twins.csv");
+    std::fs::write(&path, &data).unwrap();
+    let rfds = dir.join("rfds.txt");
+    std::fs::write(&rfds, "Name(≤0) → Zip(≤0)\n").unwrap();
+
+    let tuned = dir.join("tuned.txt");
+    let out = bin()
+        .arg("tune")
+        .arg(&path)
+        .args(["--seed", "7", "--rfds"])
+        .arg(&rfds)
+        .arg("--out")
+        .arg(&tuned)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("stop:"), "{stderr}");
+    let tuned_text = std::fs::read_to_string(&tuned).unwrap();
+    assert_ne!(tuned_text, "Name(≤0) → Zip(≤0)\n", "tuning must widen the LHS");
+    assert!(tuned_text.contains("→ Zip(≤0)"), "RHS must stay put: {tuned_text}");
 }
 
 #[test]
